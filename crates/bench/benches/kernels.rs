@@ -1,0 +1,100 @@
+//! Criterion microbenches of the hot kernels (real wall-clock time of this
+//! implementation, complementing the simulated-time figure binaries).
+
+use ca_dense::{blas1, blas2, blas3, Mat};
+use ca_sparse::{gen, Ell};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn random_mat(n: usize, k: usize, seed: u64) -> Mat {
+    let mut state = seed | 1;
+    Mat::from_fn(n, k, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    })
+}
+
+fn bench_blas(c: &mut Criterion) {
+    let n = 100_000;
+    let a = random_mat(n, 30, 1);
+    let x = a.col_to_vec(0);
+    let y = a.col_to_vec(1);
+
+    let mut g = c.benchmark_group("blas1");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("dot_100k", |b| b.iter(|| blas1::dot(&x, &y)));
+    g.bench_function("nrm2_100k", |b| b.iter(|| blas1::nrm2(&x)));
+    g.finish();
+
+    let mut g = c.benchmark_group("blas2");
+    g.bench_function("gemv_t_100k_x30", |b| {
+        let mut out = vec![0.0; 30];
+        b.iter(|| blas2::gemv_t(1.0, &a, &x, 0.0, &mut out))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("blas3_gram");
+    for h in [0usize, 128, 384, 1024] {
+        g.bench_with_input(BenchmarkId::new("syrk_100k_x30", h), &h, |b, &h| {
+            let mut out = Mat::zeros(30, 30);
+            if h == 0 {
+                b.iter(|| blas3::syrk_tn(1.0, &a, 0.0, &mut out))
+            } else {
+                b.iter(|| blas3::syrk_tn_batched(&a, h, &mut out))
+            }
+        });
+    }
+    g.finish();
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let a = gen::cantilever(12, 12, 12);
+    let e = Ell::from_csr(&a);
+    let n = a.nrows();
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+    let mut y = vec![0.0; n];
+
+    let mut g = c.benchmark_group("spmv");
+    g.throughput(Throughput::Elements(a.nnz() as u64));
+    g.bench_function("csr_seq", |b| b.iter(|| ca_sparse::spmv::spmv(&a, &x, &mut y)));
+    g.bench_function("csr_rayon", |b| b.iter(|| ca_sparse::spmv::spmv_par(&a, &x, &mut y)));
+    g.bench_function("ellpack", |b| b.iter(|| e.spmv(&x, &mut y)));
+    g.finish();
+}
+
+fn bench_small_factorizations(c: &mut Criterion) {
+    // the host-side factorizations CholQR/SVQR/CAQR lean on
+    let k = 31;
+    let tall = random_mat(500, k, 3);
+    let mut gram = Mat::zeros(k, k);
+    blas3::syrk_tn(1.0, &tall, 0.0, &mut gram);
+    for i in 0..k {
+        gram[(i, i)] += 1.0;
+    }
+
+    let mut g = c.benchmark_group("host_factorizations");
+    g.bench_function("cholesky_31", |b| b.iter(|| ca_dense::chol::cholesky_upper(&gram).unwrap()));
+    g.bench_function("jacobi_svd_31", |b| b.iter(|| ca_dense::jacobi::sym_svd(&gram)));
+    g.bench_function("householder_qr_93x31", |b| {
+        let stacked = random_mat(93, k, 9);
+        b.iter(|| ca_dense::qr::householder_qr(&stacked))
+    });
+    g.bench_function("hessenberg_eig_60", |b| {
+        let mut h = Mat::zeros(60, 60);
+        let mut st = 5u64;
+        for j in 0..60 {
+            for i in 0..=(j + 1).min(59) {
+                st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
+                h[(i, j)] = ((st >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+            }
+        }
+        b.iter(|| ca_dense::hessenberg::hessenberg_eigenvalues(&h).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_blas, bench_spmv, bench_small_factorizations
+}
+criterion_main!(benches);

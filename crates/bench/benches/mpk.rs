@@ -1,0 +1,63 @@
+//! Criterion benches of the matrix powers kernel: setup analysis,
+//! execution, and the s = 1 SpMV path (wall-clock).
+
+use ca_gmres::layout::Layout;
+use ca_gmres::mpk::{dist_spmv, mpk, MpkPlan, MpkState};
+use ca_gmres::newton::BasisSpec;
+use ca_gpusim::{MatId, MultiGpu};
+use ca_sparse::gen;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn loaded_state(s: usize, ndev: usize) -> (MultiGpu, MpkState, Vec<MatId>, usize) {
+    let a = gen::cantilever(10, 10, 10);
+    let n = a.nrows();
+    let layout = Layout::even(n, ndev);
+    let mut mg = MultiGpu::with_defaults(ndev);
+    let st = MpkState::load(&mut mg, &a, MpkPlan::new(&a, &layout, s));
+    let v_ids: Vec<MatId> = (0..ndev)
+        .map(|d| {
+            let nl = layout.nlocal(d);
+            let dev = mg.device_mut(d);
+            let v = dev.alloc_mat(nl, s + 1);
+            dev.mat_mut(v).set_col(0, &vec![1.0; nl]);
+            v
+        })
+        .collect();
+    (mg, st, v_ids, n)
+}
+
+fn bench_plan_setup(c: &mut Criterion) {
+    let a = gen::cantilever(10, 10, 10);
+    let layout = Layout::even(a.nrows(), 3);
+    let mut g = c.benchmark_group("mpk_plan_setup");
+    for s in [1usize, 5, 10] {
+        g.bench_with_input(BenchmarkId::new("cant3k", s), &s, |b, &s| {
+            b.iter(|| MpkPlan::new(&a, &layout, s))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mpk_exec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpk_exec_wallclock");
+    g.sample_size(10);
+    for s in [2usize, 5, 10] {
+        g.bench_with_input(BenchmarkId::new("cant3k_3gpu", s), &s, |b, &s| {
+            let (mut mg, st, v_ids, _) = loaded_state(s, 3);
+            let spec = BasisSpec::monomial(s);
+            b.iter(|| mpk(&mut mg, &st, &v_ids, 0, &spec))
+        });
+    }
+    g.bench_function("spmv_path_3gpu", |b| {
+        let (mut mg, st, v_ids, _) = loaded_state(1, 3);
+        b.iter(|| dist_spmv(&mut mg, &st, &v_ids, 0, 1))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_plan_setup, bench_mpk_exec
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benches of the five TSQR algorithms and BOrth (wall-clock).
+
+use ca_gmres::orth::{borth, tsqr, BorthKind, TsqrKind};
+use ca_gpusim::{MatId, MultiGpu};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn setup(n: usize, cols: usize, ndev: usize) -> (MultiGpu, Vec<MatId>) {
+    let mut mg = MultiGpu::with_defaults(ndev);
+    let ids = (0..ndev)
+        .map(|d| {
+            let nl = n / ndev;
+            let dev = mg.device_mut(d);
+            let v = dev.alloc_mat(nl, cols);
+            let mut st = (d as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+            for j in 0..cols {
+                let col: Vec<f64> = (0..nl)
+                    .map(|_| {
+                        st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        ((st >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+                    })
+                    .collect();
+                dev.mat_mut(v).set_col(j, &col);
+            }
+            v
+        })
+        .collect();
+    (mg, ids)
+}
+
+fn bench_tsqr(c: &mut Criterion) {
+    let (n, k, ndev) = (60_000usize, 16usize, 3usize);
+    let mut g = c.benchmark_group("tsqr_wallclock");
+    for kind in [TsqrKind::Mgs, TsqrKind::Cgs, TsqrKind::CholQr, TsqrKind::SvQr, TsqrKind::Caqr] {
+        g.bench_with_input(BenchmarkId::new("60k_x16_3gpu", format!("{kind}")), &kind, |b, &kind| {
+            b.iter_batched(
+                || setup(n, k, ndev),
+                |(mut mg, ids)| tsqr(&mut mg, &ids, 0, k, kind, true).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_borth(c: &mut Criterion) {
+    let (n, ndev) = (60_000usize, 3usize);
+    let mut g = c.benchmark_group("borth_wallclock");
+    for kind in [BorthKind::Mgs, BorthKind::Cgs] {
+        g.bench_with_input(
+            BenchmarkId::new("project_10_onto_20", format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter_batched(
+                    || {
+                        let (mut mg, ids) = setup(n, 30, ndev);
+                        tsqr(&mut mg, &ids, 0, 20, TsqrKind::CholQr, true).unwrap();
+                        (mg, ids)
+                    },
+                    |(mut mg, ids)| borth(&mut mg, &ids, 20, 30, kind),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tsqr, bench_borth
+}
+criterion_main!(benches);

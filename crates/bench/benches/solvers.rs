@@ -1,0 +1,64 @@
+//! Criterion benches of whole solves (wall-clock): GMRES vs CA-GMRES on a
+//! moderate problem, plus the CPU reference.
+
+use ca_gmres::prelude::*;
+use ca_gpusim::MultiGpu;
+use ca_sparse::gen;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn problem() -> (ca_sparse::Csr, Vec<f64>) {
+    let a = gen::circuit(10_000, 77);
+    let (ab, bal) = ca_sparse::balance::balance(&a);
+    let n = a.nrows();
+    let mut st = 0x1234_5678_9abc_def1u64;
+    let b: Vec<f64> = (0..n)
+        .map(|_| {
+            st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((st >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+        .collect();
+    (ab, bal.scale_rhs(&b))
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let (a, b) = problem();
+    let mut g = c.benchmark_group("solvers_wallclock");
+    g.sample_size(10);
+
+    g.bench_function("gmres30_cgs_3gpu_2cycles", |bch| {
+        let (a_ord, perm, layout) = prepare(&a, Ordering::Kway, 3);
+        let bp = ca_sparse::perm::permute_vec(&b, &perm);
+        bch.iter(|| {
+            let mut mg = MultiGpu::with_defaults(3);
+            let sys = System::new(&mut mg, &a_ord, layout.clone(), 30, None);
+            sys.load_rhs(&mut mg, &bp);
+            gmres(&mut mg, &sys, &GmresConfig { m: 30, rtol: 0.0, max_restarts: 2, ..Default::default() })
+        })
+    });
+
+    g.bench_function("cagmres_10_30_cholqr_3gpu_3cycles", |bch| {
+        let (a_ord, perm, layout) = prepare(&a, Ordering::Kway, 3);
+        let bp = ca_sparse::perm::permute_vec(&b, &perm);
+        bch.iter(|| {
+            let mut mg = MultiGpu::with_defaults(3);
+            let sys = System::new(&mut mg, &a_ord, layout.clone(), 30, Some(10));
+            sys.load_rhs(&mut mg, &bp);
+            let cfg = CaGmresConfig { s: 10, m: 30, rtol: 0.0, max_restarts: 3, ..Default::default() };
+            ca_gmres(&mut mg, &sys, &cfg)
+        })
+    });
+
+    g.bench_function("gmres30_cpu_reference_2cycles", |bch| {
+        bch.iter(|| {
+            gmres_cpu(&a, &b, 30, BorthKind::Cgs, 0.0, 2, &ca_gpusim::PerfModel::default())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_solvers
+}
+criterion_main!(benches);

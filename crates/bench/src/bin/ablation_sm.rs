@@ -1,0 +1,83 @@
+//! Ablation: CA-GMRES speedup over GMRES as a function of the step size
+//! `s` and the restart length `m` — the parameter landscape behind the
+//! paper's closing remark about "adaptive schemes ... to adjust input
+//! parameters (e.g., m and s)".
+//!
+//! Expected shape: speedup rises with `s` (fewer reductions per vector)
+//! until the block kernels' s^2 Gram work and the MPK/SpMV overhead eat
+//! the gain; larger `m` amortizes the fixed per-cycle costs and shifts
+//! the optimum to larger `s`.
+
+use ca_bench::{balanced_problem, format_table, g3_circuit, write_json, Scale};
+use ca_gmres::cagmres::KernelMode;
+use ca_gmres::prelude::*;
+use ca_gpusim::MultiGpu;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    m: usize,
+    s: usize,
+    gmres_ms_per_res: f64,
+    ca_ms_per_res: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let t = g3_circuit(scale);
+    let (a_bal, b_bal) = balanced_problem(&t.a);
+    let ndev = 3usize;
+    let mut rows: Vec<Row> = Vec::new();
+
+    for m in [30usize, 60, 120] {
+        let (a_ord, perm, layout) = prepare(&a_bal, Ordering::Kway, ndev);
+        let b_perm = ca_sparse::perm::permute_vec(&b_bal, &perm);
+
+        let mut mg = MultiGpu::with_defaults(ndev);
+        let sys = System::new(&mut mg, &a_ord, layout.clone(), m, None);
+        sys.load_rhs(&mut mg, &b_perm);
+        let g = gmres(
+            &mut mg,
+            &sys,
+            &GmresConfig { m, orth: BorthKind::Cgs, rtol: 0.0, max_restarts: 3 },
+        );
+        let g_ms = g.stats.total_per_restart_ms();
+
+        for s in [2usize, 5, 10, 15, 20, 30] {
+            if s > m {
+                continue;
+            }
+            let mut mg2 = MultiGpu::with_defaults(ndev);
+            let sys2 = System::new(&mut mg2, &a_ord, layout.clone(), m, Some(s));
+            sys2.load_rhs(&mut mg2, &b_perm);
+            let cfg = CaGmresConfig {
+                s,
+                m,
+                kernel: KernelMode::Auto,
+                rtol: 0.0,
+                max_restarts: 4,
+                ..Default::default()
+            };
+            let c = ca_gmres(&mut mg2, &sys2, &cfg);
+            let c_ms = c.ca_stats.total_per_restart_ms();
+            rows.push(Row { m, s, gmres_ms_per_res: g_ms, ca_ms_per_res: c_ms, speedup: g_ms / c_ms });
+        }
+    }
+
+    println!("Ablation — CA-GMRES speedup over the (s, m) grid (G3_circuit analog, {ndev} GPUs)\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.m.to_string(),
+                r.s.to_string(),
+                format!("{:.3}", r.gmres_ms_per_res),
+                format!("{:.3}", r.ca_ms_per_res),
+                format!("{:.2}", r.speedup),
+            ]
+        })
+        .collect();
+    println!("{}", format_table(&["m", "s", "GMRES ms/res", "CA ms/res", "speedup"], &table));
+    write_json("ablation_sm", &rows);
+}

@@ -1,0 +1,89 @@
+//! Figure 3: performance of standard GMRES on the 16-core CPU reference
+//! vs 1–3 (simulated) GPUs, for the four test matrices.
+//!
+//! Reports effective Gflop/s (total GMRES flops / simulated solve time),
+//! the same metric as the paper's bar chart. Expected shape: GPUs beat the
+//! CPU on every matrix and scale with device count, with the sparsest
+//! matrix (G3_circuit) scaling worst because communication dominates.
+
+use ca_bench::{format_table, gmres_flops, rhs_for, suite, write_json, Scale};
+use ca_gmres::prelude::*;
+use ca_gpusim::MultiGpu;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    matrix: String,
+    config: String,
+    iters: usize,
+    restarts: usize,
+    time_s: f64,
+    gflops: f64,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut rows: Vec<Row> = Vec::new();
+
+    for t in suite(scale) {
+        let b = rhs_for(&t.a);
+        let (n, nnz, m) = (t.a.nrows(), t.a.nnz(), t.m);
+
+        // CPU reference (threaded-MKL stand-in), CGS orthogonalization.
+        let (_, cpu) = gmres_cpu(
+            &t.a,
+            &b,
+            m,
+            BorthKind::Cgs,
+            1e-8,
+            1000,
+            &ca_gpusim::PerfModel::default(),
+        );
+        rows.push(Row {
+            matrix: t.name.into(),
+            config: "CPU (16 cores)".into(),
+            iters: cpu.total_iters,
+            restarts: cpu.restarts,
+            time_s: cpu.t_total,
+            gflops: gmres_flops(nnz, n, m, cpu.total_iters) / cpu.t_total / 1e9,
+        });
+
+        // 1-3 simulated GPUs.
+        for ng in 1..=3usize {
+            let (a_ord, _, layout) = prepare(&t.a, Ordering::Natural, ng);
+            let mut mg = MultiGpu::with_defaults(ng);
+            let sys = System::new(&mut mg, &a_ord, layout, m, None);
+            sys.load_rhs(&mut mg, &b);
+            let cfg = GmresConfig { m, orth: BorthKind::Cgs, rtol: 1e-8, max_restarts: 1000 };
+            let out = gmres(&mut mg, &sys, &cfg);
+            rows.push(Row {
+                matrix: t.name.into(),
+                config: format!("{ng} GPU{}", if ng > 1 { "s" } else { "" }),
+                iters: out.stats.total_iters,
+                restarts: out.stats.restarts,
+                time_s: out.stats.t_total,
+                gflops: gmres_flops(nnz, n, m, out.stats.total_iters) / out.stats.t_total / 1e9,
+            });
+        }
+    }
+
+    println!("Figure 3 — GMRES on CPUs vs 1-3 GPUs (effective Gflop/s, simulated time)\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.matrix.clone(),
+                r.config.clone(),
+                r.iters.to_string(),
+                r.restarts.to_string(),
+                format!("{:.4}", r.time_s),
+                format!("{:.2}", r.gflops),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(&["matrix", "config", "iters", "restarts", "sim time (s)", "Gflop/s"], &table)
+    );
+    write_json("fig03_gmres_gpu_vs_cpu", &rows);
+}

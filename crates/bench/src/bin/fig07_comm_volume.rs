@@ -1,0 +1,77 @@
+//! Figure 7: total MPK communication volume to generate m = 100 basis
+//! vectors, `(m/s) * (|union_d delta^(d,1:s)| + sum_d |delta^(d,1:s)|)`,
+//! vs `s`, for the three orderings on `cant` and `G3_circuit`.
+//!
+//! Expected shape (paper §IV-B): volume rises quickly for small `s`
+//! (boundary sets grow faster than the 1/s message-count saving), then
+//! flattens; for `s > ~5` MPK moves more total data than plain SpMV but in
+//! s-times fewer messages. KWY beats RCM on the irregular circuit matrix
+//! and loses to it on the naturally banded cant.
+
+use ca_bench::{cant, format_table, g3_circuit, write_json, Scale};
+use ca_gmres::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    matrix: String,
+    ordering: String,
+    s: usize,
+    gather_elems: usize,
+    scatter_elems: usize,
+    total_for_m100: usize,
+    relative_to_spmv: f64,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let ndev = 3;
+    let m = 100usize;
+    let s_values = [1usize, 2, 3, 4, 5, 6, 8, 10];
+    let mut rows = Vec::new();
+
+    for t in [cant(scale), g3_circuit(scale)] {
+        for ord in [Ordering::Natural, Ordering::Rcm, Ordering::Kway] {
+            let (a_ord, _, layout) = prepare(&t.a, ord, ndev);
+            let spmv_total = MpkPlan::new(&a_ord, &layout, 1).comm_volume_total(m);
+            for &s in &s_values {
+                let plan = MpkPlan::new(&a_ord, &layout, s);
+                let (g, sc) = plan.comm_volume_per_block();
+                let total = plan.comm_volume_total(m);
+                rows.push(Row {
+                    matrix: t.name.into(),
+                    ordering: ord.to_string(),
+                    s,
+                    gather_elems: g,
+                    scatter_elems: sc,
+                    total_for_m100: total,
+                    relative_to_spmv: total as f64 / spmv_total.max(1) as f64,
+                });
+            }
+        }
+    }
+
+    println!("Figure 7 — MPK communication volume for m = {m} vectors ({ndev} GPUs)\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.matrix.clone(),
+                r.ordering.clone(),
+                r.s.to_string(),
+                r.gather_elems.to_string(),
+                r.scatter_elems.to_string(),
+                r.total_for_m100.to_string(),
+                format!("{:.2}x", r.relative_to_spmv),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["matrix", "ordering", "s", "gather/blk", "scatter/blk", "total(m=100)", "vs SpMV"],
+            &table
+        )
+    );
+    write_json("fig07_comm_volume", &rows);
+}

@@ -1,0 +1,105 @@
+//! Figure 8: matrix powers kernel performance — simulated time to generate
+//! m = 100 basis vectors vs `s`, split into total (solid line in the
+//! paper) and SpMV-only compute (dashed line), on 3 GPUs.
+//!
+//! Expected shape (paper §IV-B): compute time grows ~linearly with `s`
+//! (boundary-row extra work); communication time (the gap) collapses
+//! quickly for small `s` as latency amortizes, then creeps back up as the
+//! volume term dominates — a shallow minimum at moderate `s`, with peak
+//! speedups over s = 1 in the 10-20% range.
+
+use ca_bench::{cant, format_table, g3_circuit, rhs_for, write_json, Scale};
+use ca_gmres::mpk::{mpk, MpkState};
+use ca_gmres::newton::BasisSpec;
+use ca_gmres::prelude::*;
+use ca_gpusim::{MatId, MultiGpu};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    matrix: String,
+    ordering: String,
+    s: usize,
+    total_ms: f64,
+    spmv_only_ms: f64,
+    comm_ms: f64,
+    speedup_vs_s1: f64,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let ndev = 3;
+    let m = 100usize;
+    let s_values = [1usize, 2, 3, 4, 5, 6, 8, 10, 12, 15];
+    let mut rows = Vec::new();
+
+    for (t, ord) in [(cant(scale), Ordering::Natural), (g3_circuit(scale), Ordering::Kway)] {
+        let (a_ord, _, layout) = prepare(&t.a, ord, ndev);
+        let b = rhs_for(&a_ord);
+        let mut t_s1 = f64::NAN;
+        for &s in &s_values {
+            let mut mg = MultiGpu::with_defaults(ndev);
+            let st = MpkState::load(&mut mg, &a_ord, MpkPlan::new(&a_ord, &layout, s));
+            // basis storage: m+1 columns
+            let v_ids: Vec<MatId> = (0..ndev)
+                .map(|d| {
+                    let nl = layout.nlocal(d);
+                    let dev = mg.device_mut(d);
+                    let v = dev.alloc_mat(nl, m + 1);
+                    let lo = layout.range(d).start;
+                    dev.mat_mut(v).set_col(0, &b[lo..lo + nl]);
+                    v
+                })
+                .collect();
+            mg.reset_time();
+            let mut t_exchange = 0.0;
+            let mut t_steps = 0.0;
+            let mut col = 0usize;
+            while col < m {
+                let blk = s.min(m - col);
+                let phases = mpk(&mut mg, &st, &v_ids, col, &BasisSpec::monomial(blk));
+                t_exchange += phases.exchange;
+                t_steps += phases.steps;
+                col += blk;
+            }
+            mg.sync();
+            let total = mg.time();
+            if s == 1 {
+                t_s1 = total;
+            }
+            rows.push(Row {
+                matrix: t.name.into(),
+                ordering: ord.to_string(),
+                s,
+                total_ms: 1e3 * total,
+                spmv_only_ms: 1e3 * t_steps,
+                comm_ms: 1e3 * t_exchange,
+                speedup_vs_s1: t_s1 / total,
+            });
+        }
+    }
+
+    println!("Figure 8 — MPK time to generate {m} vectors ({ndev} GPUs, simulated)\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.matrix.clone(),
+                r.ordering.clone(),
+                r.s.to_string(),
+                format!("{:.3}", r.total_ms),
+                format!("{:.3}", r.spmv_only_ms),
+                format!("{:.3}", r.comm_ms),
+                format!("{:.3}", r.speedup_vs_s1),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["matrix", "ordering", "s", "total (ms)", "SpMV-only (ms)", "comm (ms)", "speedup vs s=1"],
+            &table
+        )
+    );
+    write_json("fig08_mpk_performance", &rows);
+}

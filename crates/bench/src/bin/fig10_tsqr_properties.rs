@@ -1,0 +1,89 @@
+//! Figure 10 (table): properties of the TSQR algorithms — measured GPU-CPU
+//! communication round trips and kernel class, against the paper's
+//! analytic counts: MGS (s+1)(s+2)/2 reductions, CGS ~2(s+1), CholQR /
+//! SVQR / CAQR a single reduction + broadcast.
+
+use ca_bench::{format_table, write_json};
+use ca_gmres::orth::{tsqr, TsqrKind};
+use ca_gpusim::{MatId, MultiGpu};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    algorithm: String,
+    orth_error_bound: String,
+    flops: String,
+    kernel_class: String,
+    measured_roundtrips: u64,
+    paper_roundtrips: String,
+}
+
+fn main() {
+    let s1 = 30usize; // s + 1 columns, the paper's typical block
+    let n = 60_000usize;
+    let ndev = 3usize;
+    let mut rows = Vec::new();
+
+    for (kind, bound, flops, class, paper) in [
+        (TsqrKind::Mgs, "O(eps k)", "2ns^2", "BLAS-1 xDOT", format!("{}", s1 * (s1 + 1))),
+        (TsqrKind::Cgs, "O(eps k^s)", "2ns^2", "BLAS-2 xGEMV", format!("{}", 2 * s1)),
+        (TsqrKind::CgsFused, "O(eps k^s)", "2ns^2", "BLAS-2 xGEMV", format!("{}", 2 * s1)),
+        (TsqrKind::CholQr, "O(eps k^2)", "2ns^2", "BLAS-3 xGEMM", "2".into()),
+        (TsqrKind::SvQr, "O(eps k^2)", "2ns^2", "BLAS-3 xGEMM", "2".into()),
+        (TsqrKind::Caqr, "O(eps)", "4ns^2", "BLAS-1,2 xGEQR2", "2".into()),
+    ] {
+        let mut mg = MultiGpu::with_defaults(ndev);
+        let ids: Vec<MatId> = (0..ndev)
+            .map(|d| {
+                let nl = n / ndev;
+                let dev = mg.device_mut(d);
+                let v = dev.alloc_mat(nl, s1);
+                for j in 0..s1 {
+                    let col: Vec<f64> =
+                        (0..nl).map(|i| (((d * nl + i) * (j + 3)) as f64 * 1e-4).sin()).collect();
+                    dev.mat_mut(v).set_col(j, &col);
+                }
+                v
+            })
+            .collect();
+        mg.reset_counters();
+        tsqr(&mut mg, &ids, 0, s1, kind, true).expect("random block must factor");
+        let c = mg.counters();
+        // count communication phases per GPU (the paper's "# GPU-CPU
+        // comm." tallies one per direction); our CGS exceeds the paper's
+        // 2(s+1) because we do not fuse the norm into the GEMV (their
+        // footnote 5 describes the fused variant)
+        let measured = (c.msgs_to_host + c.msgs_to_dev) / ndev as u64;
+        rows.push(Row {
+            algorithm: kind.to_string(),
+            orth_error_bound: bound.into(),
+            flops: flops.into(),
+            kernel_class: class.into(),
+            measured_roundtrips: measured,
+            paper_roundtrips: paper,
+        });
+    }
+
+    println!("Figure 10 — TSQR algorithm properties (s+1 = {s1} columns, {ndev} GPUs)\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.algorithm.clone(),
+                r.orth_error_bound.clone(),
+                r.flops.clone(),
+                r.kernel_class.clone(),
+                r.measured_roundtrips.to_string(),
+                r.paper_roundtrips.clone(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["algorithm", "||I-Q'Q||", "# flops", "kernels", "measured round trips", "analytic"],
+            &table
+        )
+    );
+    write_json("fig10_tsqr_properties", &rows);
+}

@@ -1,0 +1,211 @@
+//! # ca-bench — harness regenerating every table and figure of the paper
+//!
+//! One binary per figure (see `src/bin/`); this library holds the shared
+//! pieces: the test-matrix suite (synthetic analogs of the paper's Fig. 12
+//! matrices), table formatting, and JSON result emission for
+//! `EXPERIMENTS.md`.
+//!
+//! Run any figure with, e.g.:
+//! ```text
+//! cargo run --release -p ca-bench --bin fig08_mpk_performance
+//! cargo run --release -p ca-bench --bin fig14_cagmres_table -- --large
+//! ```
+//! `--large` switches from the laptop-scale default to near-paper sizes.
+
+#![allow(clippy::needless_range_loop)]
+
+use ca_sparse::{gen, Csr};
+use serde::Serialize;
+
+/// Problem-size scale for the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop-scale (default): every figure regenerates in seconds–minutes.
+    Small,
+    /// Near-paper sizes (row counts within ~2-25x of Fig. 12; the circuit
+    /// analog is kept at 400k rows to bound memory).
+    Large,
+}
+
+impl Scale {
+    /// Parse from process args: `--large` selects [`Scale::Large`].
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--large") {
+            Scale::Large
+        } else {
+            Scale::Small
+        }
+    }
+}
+
+/// A suite entry: the matrix analog plus the paper's per-matrix restart
+/// length (§VI chose the best `m` per matrix; Fig. 14 reports
+/// cant: 60, G3_circuit: 30, dielFilterV2real: 180, nlpkkt120: 120).
+pub struct TestMatrix {
+    /// Paper matrix this stands in for.
+    pub name: &'static str,
+    /// The analog.
+    pub a: Csr,
+    /// Restart length the paper used for it.
+    pub m: usize,
+}
+
+/// The `cant` analog (FEM cantilever, banded, nnz/n ≈ 64).
+pub fn cant(scale: Scale) -> TestMatrix {
+    let d = match scale {
+        Scale::Small => 14,
+        Scale::Large => 28,
+    };
+    TestMatrix { name: "cant", a: gen::cantilever(d, d, d), m: 60 }
+}
+
+/// The `G3_circuit` analog (irregular circuit graph, nnz/n ≈ 4.8).
+pub fn g3_circuit(scale: Scale) -> TestMatrix {
+    let n = match scale {
+        Scale::Small => 40_000,
+        Scale::Large => 400_000,
+    };
+    TestMatrix { name: "G3_circuit", a: gen::circuit(n, 20140527), m: 30 }
+}
+
+/// The `dielFilterV2real` analog (FEM electromagnetics, nnz/n ≈ 42).
+pub fn diel_filter(scale: Scale) -> TestMatrix {
+    let d = match scale {
+        Scale::Small => 26,
+        Scale::Large => 40,
+    };
+    TestMatrix { name: "dielFilterV2real", a: gen::diel_filter(d, d, d), m: 180 }
+}
+
+/// The `nlpkkt120` analog (KKT saddle point, nnz/n ≈ 27).
+pub fn nlpkkt(scale: Scale) -> TestMatrix {
+    let d = match scale {
+        Scale::Small => 18,
+        Scale::Large => 44,
+    };
+    TestMatrix { name: "nlpkkt120", a: gen::kkt(d, d, d), m: 120 }
+}
+
+/// The full four-matrix suite in the paper's order.
+pub fn suite(scale: Scale) -> Vec<TestMatrix> {
+    vec![cant(scale), g3_circuit(scale), diel_filter(scale), nlpkkt(scale)]
+}
+
+/// A spectrally flat pseudo-random right-hand side. A structured rhs (all
+/// ones, smooth sinusoid) only excites a sliver of the spectrum and lets
+/// GMRES converge in a handful of steps; a flat one forces the solver
+/// through the near-null modes, giving paper-like restart counts.
+pub fn rhs_for(a: &Csr) -> Vec<f64> {
+    let n = a.nrows();
+    let mut state = 0x853c49e6748fea9bu64;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+        .collect()
+}
+
+/// The paper's §VI preprocessing: balance the matrix (rows scaled by their
+/// norms, then columns by theirs) and scale the rhs to match. Benches
+/// solve the balanced system — without this the Newton basis norms grow
+/// like `||A||^s` and the Gram matrices overflow double precision.
+pub fn balanced_problem(a: &Csr) -> (Csr, Vec<f64>) {
+    let (ab, bal) = ca_sparse::balance::balance(a);
+    let b = bal.scale_rhs(&rhs_for(a));
+    (ab, b)
+}
+
+/// Render an aligned text table.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncol) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:>width$}", c, width = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Write a JSON result blob under `bench_results/` (repo root when run via
+/// cargo; cwd otherwise).
+pub fn write_json<T: Serialize>(figure: &str, value: &T) {
+    let dir = std::path::Path::new("bench_results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{figure}.json"));
+    if let Ok(s) = serde_json::to_string_pretty(value) {
+        let _ = std::fs::write(&path, s);
+        eprintln!("[ca-bench] wrote {}", path.display());
+    }
+}
+
+/// GMRES flop count for effective-Gflop/s reporting (Fig. 3/11 style):
+/// `iters * (2 nnz + 4 n k_avg)` with `k_avg ≈ m/2` orthogonalization
+/// columns per iteration.
+pub fn gmres_flops(nnz: usize, n: usize, m: usize, iters: usize) -> f64 {
+    iters as f64 * (2.0 * nnz as f64 + 4.0 * n as f64 * (m as f64 / 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_paper_character() {
+        for t in suite(Scale::Small) {
+            assert!(t.a.nrows() > 1000, "{} too small", t.name);
+            assert!(t.m >= 30);
+        }
+        let c = cant(Scale::Small);
+        assert!(c.a.avg_row_nnz() > 45.0);
+        let g = g3_circuit(Scale::Small);
+        assert!(g.a.avg_row_nnz() < 8.0);
+    }
+
+    #[test]
+    fn table_formats_aligned() {
+        let s = format_table(
+            &["a", "bbb"],
+            &[vec!["1".into(), "2".into()], vec!["10".into(), "20".into()]],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with('2'));
+    }
+
+    #[test]
+    fn rhs_is_flat_and_deterministic() {
+        let t = cant(Scale::Small);
+        let b1 = rhs_for(&t.a);
+        let b2 = rhs_for(&t.a);
+        assert_eq!(b1, b2);
+        assert_eq!(b1.len(), t.a.nrows());
+        let mean: f64 = b1.iter().sum::<f64>() / b1.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+}
+
+
+

@@ -1,0 +1,696 @@
+//! The matrix powers kernel (paper §IV).
+//!
+//! Given a start vector, MPK computes `s` (shifted) matrix-vector products
+//! without any communication between the initial exchange and the end of
+//! the block: each device receives, up front, every remote vector element
+//! reachable within `s` hops of its local rows (the boundary sets
+//! `delta^(d,k)`), then runs `s` purely local SpMV steps over its local
+//! block plus progressively fewer boundary rows.
+//!
+//! [`MpkPlan`] performs the setup analysis (the reverse-BFS recursion of
+//! §IV-A) on the reordered matrix; [`MpkState`] loads the slices into
+//! device memory; [`mpk`] executes the Fig. 4 pseudocode; [`dist_spmv`] is
+//! the s = 1 specialization used by standard GMRES (without MPK's extra
+//! local copy, per footnote 4).
+
+use crate::layout::Layout;
+use crate::newton::BasisSpec;
+use ca_gpusim::{device::SpStorage, MatId, MultiGpu, SpId, VecId};
+use ca_sparse::{Csr, Ell, Hyb};
+
+/// Per-device MPK analysis.
+#[derive(Debug, Clone)]
+pub struct DevicePlan {
+    /// Contiguous global row range owned by this device (`i^(d,s+1)`).
+    pub local: std::ops::Range<usize>,
+    /// BFS levels of the reverse dependency expansion: `levels[t-1]` holds
+    /// the global rows at distance `t` from the local set, i.e. the paper's
+    /// boundary set `delta^(d, s+1-t)`. Sorted ascending.
+    pub levels: Vec<Vec<u32>>,
+    /// All remote rows this device must receive before a block
+    /// (`delta^(d,1:s)` = concatenation of all levels), sorted.
+    pub need: Vec<u32>,
+    /// Local rows other devices need (sorted) — the "compress" set.
+    pub send: Vec<u32>,
+    /// nnz of the local block `A^(d)`.
+    pub local_nnz: usize,
+    /// nnz of each level's slice `A(levels[t-1], :)`.
+    pub level_nnz: Vec<usize>,
+}
+
+impl DevicePlan {
+    /// `nnz(A(delta^(d,k:s), :))` — the boundary rows still alive at MPK
+    /// step `k` (`delta^(d,k:s)` = levels `1..=s+1-k`).
+    pub fn boundary_nnz_from(&self, k: usize) -> usize {
+        let s = self.levels.len();
+        debug_assert!(k >= 1 && k <= s + 1);
+        self.level_nnz.iter().take(s + 1 - k).sum()
+    }
+
+    /// The paper's surface-to-volume ratio
+    /// `nnz(A(delta^(d,1:s), :)) / nnz(A^(d))` (Fig. 6).
+    pub fn surface_to_volume(&self) -> f64 {
+        if self.local_nnz == 0 {
+            0.0
+        } else {
+            self.boundary_nnz_from(1) as f64 / self.local_nnz as f64
+        }
+    }
+
+    /// The extra flops `W^(d,s) = 2 sum_k nnz(A(delta^(d,k:s), :))`
+    /// MPK performs beyond `s` plain SpMVs (Fig. 6's shaded area).
+    pub fn extra_work(&self) -> usize {
+        let s = self.levels.len();
+        (1..=s).map(|k| 2 * self.boundary_nnz_from(k)).sum()
+    }
+}
+
+/// Full MPK analysis for one matrix, layout, and step count `s`.
+#[derive(Debug, Clone)]
+pub struct MpkPlan {
+    /// Steps per block.
+    pub s: usize,
+    /// Per-device plans.
+    pub devs: Vec<DevicePlan>,
+    /// `|union_d delta^(d,1:s)|` — distinct rows gathered to the host per
+    /// block (first term of the paper's communication-volume formula, §IV-B).
+    pub gather_union: usize,
+}
+
+impl MpkPlan {
+    /// Analyze `a` (already reordered so each device's rows are the
+    /// contiguous `layout` blocks) for `s` MPK steps.
+    pub fn new(a: &Csr, layout: &Layout, s: usize) -> Self {
+        assert!(s >= 1);
+        assert_eq!(a.nrows(), layout.n());
+        let n = a.nrows();
+        let ndev = layout.ndev();
+        let mut devs = Vec::with_capacity(ndev);
+        let mut in_union = vec![false; n];
+        let mut gather_union = 0usize;
+
+        for d in 0..ndev {
+            let local = layout.range(d);
+            let mut visited = vec![false; n];
+            for r in local.clone() {
+                visited[r] = true;
+            }
+            let mut frontier: Vec<u32> = local.clone().map(|r| r as u32).collect();
+            let mut levels: Vec<Vec<u32>> = Vec::with_capacity(s);
+            for _t in 1..=s {
+                let mut next: Vec<u32> = Vec::new();
+                for &r in &frontier {
+                    for &c in a.row(r as usize).0 {
+                        if !visited[c as usize] {
+                            visited[c as usize] = true;
+                            next.push(c);
+                        }
+                    }
+                }
+                next.sort_unstable();
+                frontier = next.clone();
+                levels.push(next);
+            }
+            let mut need: Vec<u32> = levels.iter().flatten().copied().collect();
+            need.sort_unstable();
+            for &r in &need {
+                if !in_union[r as usize] {
+                    in_union[r as usize] = true;
+                    gather_union += 1;
+                }
+            }
+            let local_nnz = local.clone().map(|r| a.row_nnz(r)).sum();
+            let level_nnz = levels
+                .iter()
+                .map(|lv| lv.iter().map(|&r| a.row_nnz(r as usize)).sum())
+                .collect();
+            devs.push(DevicePlan { local, levels, need, send: Vec::new(), local_nnz, level_nnz });
+        }
+
+        // send sets: local rows of d requested by any other device
+        let mut requested = vec![false; n];
+        for dp in &devs {
+            for &r in &dp.need {
+                requested[r as usize] = true;
+            }
+        }
+        for dp in &mut devs {
+            dp.send = dp.local.clone().filter(|&r| requested[r]).map(|r| r as u32).collect();
+        }
+
+        Self { s, devs, gather_union }
+    }
+
+    /// Per-block communication volume `(gather, scatter)` in vector
+    /// elements: `(|union_d delta^(d,1:s)|, sum_d |delta^(d,1:s)|)`.
+    pub fn comm_volume_per_block(&self) -> (usize, usize) {
+        (self.gather_union, self.devs.iter().map(|d| d.need.len()).sum())
+    }
+
+    /// Total communication volume in elements to generate `m` vectors
+    /// (`ceil(m/s)` blocks) — the quantity plotted in Fig. 7.
+    pub fn comm_volume_total(&self, m: usize) -> usize {
+        let blocks = m.div_ceil(self.s);
+        let (g, sc) = self.comm_volume_per_block();
+        blocks * (g + sc)
+    }
+}
+
+/// Sparse storage format for the device slices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpmvFormat {
+    /// Plain ELLPACK (the paper's format; padding priced like real data).
+    Ell,
+    /// Hybrid ELL + COO with the width at the given row-length quantile —
+    /// robust to hub rows (CUSP-style).
+    Hyb {
+        /// Fraction of rows kept fully inside the ELL part.
+        quantile: f64,
+    },
+}
+
+impl SpmvFormat {
+    fn build(&self, csr: &Csr) -> SpStorage {
+        match *self {
+            SpmvFormat::Ell => SpStorage::Ell(Ell::from_csr(csr)),
+            SpmvFormat::Hyb { quantile } => SpStorage::Hyb(Hyb::from_csr(csr, quantile)),
+        }
+    }
+}
+
+/// Device-resident MPK data: slices loaded, work vectors allocated.
+#[derive(Debug)]
+pub struct MpkState {
+    /// The analysis this state realizes.
+    pub plan: MpkPlan,
+    local_slice: Vec<SpId>,
+    level_slices: Vec<Vec<SpId>>,
+    z: Vec<(VecId, VecId)>,
+    local_rows: Vec<Vec<u32>>,
+}
+
+impl MpkState {
+    /// Load slices and work vectors for `plan` onto the devices of `mg`
+    /// (ELLPACK storage, the paper's default).
+    ///
+    /// Levels `1..s-1` get compute slices (level `s` rows are inputs only,
+    /// never outputs, so no slice is needed for them); every device gets
+    /// two full-length work vectors (the Fig. 4 double buffer).
+    pub fn load(mg: &mut MultiGpu, a: &Csr, plan: MpkPlan) -> Self {
+        Self::load_with_format(mg, a, plan, SpmvFormat::Ell)
+    }
+
+    /// [`MpkState::load`] with an explicit sparse storage format.
+    pub fn load_with_format(
+        mg: &mut MultiGpu,
+        a: &Csr,
+        plan: MpkPlan,
+        format: SpmvFormat,
+    ) -> Self {
+        assert_eq!(mg.n_gpus(), plan.devs.len());
+        let n = a.nrows();
+        let s = plan.s;
+        let mut local_slice = Vec::with_capacity(plan.devs.len());
+        let mut level_slices = Vec::with_capacity(plan.devs.len());
+        let mut z = Vec::with_capacity(plan.devs.len());
+        let mut local_rows = Vec::with_capacity(plan.devs.len());
+        for (d, dp) in plan.devs.iter().enumerate() {
+            let dev = mg.device_mut(d);
+            let rows: Vec<usize> = dp.local.clone().collect();
+            let rows_u32: Vec<u32> = rows.iter().map(|&r| r as u32).collect();
+            let sl = dev
+                .load_slice_storage(format.build(&a.select_rows(&rows)), rows_u32.clone());
+            local_slice.push(sl);
+            let mut lv_slices = Vec::new();
+            for t in 1..s {
+                let lv = &dp.levels[t - 1];
+                let rows_usize: Vec<usize> = lv.iter().map(|&r| r as usize).collect();
+                let sp = dev
+                    .load_slice_storage(format.build(&a.select_rows(&rows_usize)), lv.clone());
+                lv_slices.push(sp);
+            }
+            level_slices.push(lv_slices);
+            z.push((dev.alloc_vec(n), dev.alloc_vec(n)));
+            local_rows.push(rows_u32);
+        }
+        Self { plan, local_slice, level_slices, z, local_rows }
+    }
+
+    /// Exchange phase (the Fig. 4 "Setup"): bring the start vector's value
+    /// at every needed remote row into each device's `z_cur` buffer.
+    /// `z_cur` must already hold the local values.
+    fn exchange(&self, mg: &mut MultiGpu, cur: usize) {
+        let ndev = mg.n_gpus();
+        if ndev == 1 {
+            return;
+        }
+        let n = self.plan.devs.iter().map(|d| d.local.end).max().unwrap_or(0);
+        // compress + async send to host (Fig. 4 setup, first two loops)
+        let payloads = mg.run_map(|d, dev| {
+            let z = [self.z[d].0, self.z[d].1][cur];
+            dev.compress(z, &self.plan.devs[d].send)
+        });
+        let bytes_up: Vec<usize> = self.plan.devs.iter().map(|d| d.send.len() * 8).collect();
+        mg.to_host(&bytes_up);
+        // host: expand into a full vector w (Fig. 4, third loop)
+        let mut w = vec![0.0f64; n];
+        let mut moved = 0usize;
+        for (dp, pl) in self.plan.devs.iter().zip(&payloads) {
+            for (&r, &v) in dp.send.iter().zip(pl) {
+                w[r as usize] = v;
+            }
+            moved += pl.len();
+        }
+        mg.host_compute(0.0, 16.0 * moved as f64);
+        // compress per-destination + send down (Fig. 4, fourth loop)
+        let vals: Vec<Vec<f64>> = self
+            .plan
+            .devs
+            .iter()
+            .map(|dp| dp.need.iter().map(|&r| w[r as usize]).collect())
+            .collect();
+        let bytes_down: Vec<usize> = self.plan.devs.iter().map(|d| d.need.len() * 8).collect();
+        mg.to_devices(&bytes_down);
+        mg.run(|d, dev| {
+            let z = [self.z[d].0, self.z[d].1][cur];
+            dev.expand(z, &self.plan.devs[d].need, &vals[d]);
+        });
+    }
+}
+
+/// Simulated-time split of one MPK block (Fig. 8's solid-vs-dashed lines).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MpkPhaseTimes {
+    /// Setup + halo exchange time (the communication the kernel batches).
+    pub exchange: f64,
+    /// Pure SpMV-step time (local + boundary multiplications).
+    pub steps: f64,
+}
+
+/// Execute one MPK block: starting from the basis column `start_col`
+/// (whose local values live in each device's `v[d]`), generate columns
+/// `start_col + 1 ..= start_col + spec.s()` of the basis. Returns the
+/// exchange/compute time split.
+///
+/// `spec.s()` may be smaller than the plan's `s` (the short final block of
+/// a restart cycle); it must never exceed it.
+pub fn mpk(
+    mg: &mut MultiGpu,
+    st: &MpkState,
+    v: &[MatId],
+    start_col: usize,
+    spec: &BasisSpec,
+) -> MpkPhaseTimes {
+    let s_run = spec.s();
+    let s_plan = st.plan.s;
+    assert!(s_run >= 1 && s_run <= s_plan, "block of {s_run} steps exceeds plan s = {s_plan}");
+    let mut phases = MpkPhaseTimes::default();
+    mg.sync();
+    let t0 = mg.time();
+
+    // Load the start column into z0's local rows and exchange halos.
+    mg.run(|d, dev| {
+        dev.scatter_col_to_vec(v[d], start_col, st.z[d].0, &st.local_rows[d]);
+    });
+    st.exchange(mg, 0);
+    mg.sync();
+    phases.exchange = mg.time() - t0;
+    let t1 = mg.time();
+
+    // Matrix-powers steps (Fig. 4, main loop), double-buffering z.
+    for k in 1..=s_run {
+        let step = spec.steps[k - 1];
+        let cur = (k - 1) % 2;
+        mg.run(|d, dev| {
+            let (z0, z1) = st.z[d];
+            let (zc, zn) = if cur == 0 { (z0, z1) } else { (z1, z0) };
+            // local block
+            dev.spmv_shift_scatter(st.local_slice[d], zc, zn, step.re, step.im2, step.scale);
+            // boundary levels still needed by later steps: t = 1..=s_plan-k,
+            // but only levels with loaded slices (1..s_plan-1) and only the
+            // ones whose rows feed the remaining s_run-k steps.
+            let t_max = s_run - k;
+            for t in 1..=t_max {
+                dev.spmv_shift_scatter(
+                    st.level_slices[d][t - 1],
+                    zc,
+                    zn,
+                    step.re,
+                    step.im2,
+                    step.scale,
+                );
+            }
+            // copy the local part into the basis (Fig. 4, last line)
+            dev.gather_vec_to_col(zn, &st.local_rows[d], v[d], start_col + k);
+        });
+    }
+    mg.sync();
+    phases.steps = mg.time() - t1;
+    phases
+}
+
+/// Distributed SpMV (the s = 1 path standard GMRES uses): computes
+/// `V[:, dst] := A V[:, src]` across all devices, one halo exchange.
+/// `st` must be built with `s = 1` (or larger; only level-1 halos are
+/// exchanged... a dedicated s = 1 plan keeps the halo minimal).
+pub fn dist_spmv(mg: &mut MultiGpu, st: &MpkState, v: &[MatId], src: usize, dst: usize) {
+    assert_eq!(st.plan.s, 1, "dist_spmv wants an s = 1 plan");
+    mg.run(|d, dev| {
+        dev.scatter_col_to_vec(v[d], src, st.z[d].0, &st.local_rows[d]);
+    });
+    st.exchange(mg, 0);
+    mg.run(|d, dev| {
+        dev.spmv_to_mat_col(st.local_slice[d], st.z[d].0, v[d], dst);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+    use ca_gpusim::MultiGpu;
+    use ca_sparse::gen::laplace2d;
+
+    fn setup(nx: usize, ny: usize, ndev: usize, s: usize) -> (Csr, Layout, MpkPlan) {
+        let a = laplace2d(nx, ny);
+        let layout = Layout::even(a.nrows(), ndev);
+        let plan = MpkPlan::new(&a, &layout, s);
+        (a, layout, plan)
+    }
+
+    #[test]
+    fn levels_are_grid_distances() {
+        // 2 devices on a 4x4 grid, natural order: device 0 owns rows 0..8
+        // (top two grid rows). Level 1 = rows 8..12, level 2 = rows 12..16.
+        let (_, _, plan) = setup(4, 4, 2, 2);
+        let d0 = &plan.devs[0];
+        assert_eq!(d0.levels[0], vec![8, 9, 10, 11]);
+        assert_eq!(d0.levels[1], vec![12, 13, 14, 15]);
+        assert_eq!(d0.need.len(), 8);
+    }
+
+    #[test]
+    fn single_device_needs_nothing() {
+        let (_, _, plan) = setup(5, 5, 1, 3);
+        assert!(plan.devs[0].need.is_empty());
+        assert!(plan.devs[0].send.is_empty());
+        assert_eq!(plan.gather_union, 0);
+    }
+
+    #[test]
+    fn need_grows_with_s() {
+        let (_, _, p1) = setup(10, 10, 2, 1);
+        let (_, _, p3) = setup(10, 10, 2, 3);
+        assert!(p3.devs[0].need.len() > p1.devs[0].need.len());
+        // and per-block volume grows while per-vector volume shrinks
+        let (g1, s1) = p1.comm_volume_per_block();
+        let (g3, s3) = p3.comm_volume_per_block();
+        assert!(g3 + s3 > g1 + s1);
+        assert!((g3 + s3) as f64 / 3.0 < (g1 + s1) as f64 + 1e-9);
+    }
+
+    #[test]
+    fn send_sets_cover_needs() {
+        let (_, layout, plan) = setup(8, 8, 3, 2);
+        for dp in &plan.devs {
+            for &r in &dp.need {
+                let owner = layout.owner(r as usize);
+                assert!(plan.devs[owner].send.contains(&r), "row {r} not in owner's send set");
+            }
+        }
+    }
+
+    #[test]
+    fn surface_to_volume_monotone_in_s() {
+        let a = laplace2d(12, 12);
+        let layout = Layout::even(144, 3);
+        let mut prev = 0.0;
+        for s in 1..=4 {
+            let plan = MpkPlan::new(&a, &layout, s);
+            let r = plan.devs[1].surface_to_volume();
+            assert!(r >= prev, "s={s}: {r} < {prev}");
+            prev = r;
+        }
+        assert!(prev > 0.0);
+    }
+
+    #[test]
+    fn mpk_matches_repeated_spmv_monomial() {
+        // MPK across 3 devices must equal s sequential SpMVs exactly at the
+        // local rows (same fp order per row: ELL slot order is identical).
+        let a = laplace2d(9, 7);
+        let n = a.nrows();
+        let layout = Layout::even(n, 3);
+        let s = 3;
+        let plan = MpkPlan::new(&a, &layout, s);
+        let mut mg = MultiGpu::with_defaults(3);
+        let st = MpkState::load(&mut mg, &a, plan);
+        // basis matrices, start col = unit-ish vector
+        let x0: Vec<f64> = (0..n).map(|i| ((i * 13 % 17) as f64) - 8.0).collect();
+        let v_ids: Vec<MatId> = (0..3)
+            .map(|d| {
+                let nl = layout.nlocal(d);
+                let dev = mg.device_mut(d);
+                let v = dev.alloc_mat(nl, s + 1);
+                let lo = layout.range(d).start;
+                dev.mat_mut(v).set_col(0, &x0[lo..lo + nl]);
+                v
+            })
+            .collect();
+        mpk(&mut mg, &st, &v_ids, 0, &BasisSpec::monomial(s));
+        // reference: repeated CSR spmv
+        let mut xk = x0.clone();
+        for k in 1..=s {
+            let mut y = vec![0.0; n];
+            ca_sparse::spmv::spmv(&a, &xk, &mut y);
+            for d in 0..3 {
+                let lo = layout.range(d).start;
+                let col = mg.device(d).mat(v_ids[d]).col(k);
+                for (i, &cv) in col.iter().enumerate() {
+                    assert!(
+                        (cv - y[lo + i]).abs() < 1e-12 * y[lo + i].abs().max(1.0),
+                        "k={k} dev={d} row={i}: {cv} vs {}",
+                        y[lo + i]
+                    );
+                }
+            }
+            xk = y;
+        }
+    }
+
+    #[test]
+    fn mpk_newton_real_shift_matches_reference() {
+        let a = laplace2d(6, 6);
+        let n = a.nrows();
+        let layout = Layout::even(n, 2);
+        let s = 2;
+        let plan = MpkPlan::new(&a, &layout, s);
+        let mut mg = MultiGpu::with_defaults(2);
+        let st = MpkState::load(&mut mg, &a, plan);
+        let x0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos()).collect();
+        let v_ids: Vec<MatId> = (0..2)
+            .map(|d| {
+                let nl = layout.nlocal(d);
+                let dev = mg.device_mut(d);
+                let v = dev.alloc_mat(nl, s + 1);
+                let lo = layout.range(d).start;
+                dev.mat_mut(v).set_col(0, &x0[lo..lo + nl]);
+                v
+            })
+            .collect();
+        let spec = crate::newton::BasisSpec::newton(&[(1.5, 0.0), (-0.5, 0.0)], 2);
+        mpk(&mut mg, &st, &v_ids, 0, &spec);
+        // reference v2 = (A - 1.5 I) x0; v3 = (A + 0.5 I) v2
+        let mut v2 = vec![0.0; n];
+        ca_sparse::spmv::spmv(&a, &x0, &mut v2);
+        for i in 0..n {
+            v2[i] -= 1.5 * x0[i];
+        }
+        let mut v3 = vec![0.0; n];
+        ca_sparse::spmv::spmv(&a, &v2, &mut v3);
+        for i in 0..n {
+            v3[i] += 0.5 * v2[i];
+        }
+        for d in 0..2 {
+            let lo = layout.range(d).start;
+            for (i, (&c1, &c2)) in mg
+                .device(d)
+                .mat(v_ids[d])
+                .col(1)
+                .iter()
+                .zip(mg.device(d).mat(v_ids[d]).col(2))
+                .enumerate()
+            {
+                assert!((c1 - v2[lo + i]).abs() < 1e-12);
+                assert!((c2 - v3[lo + i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn mpk_complex_pair_matches_reference() {
+        let a = laplace2d(5, 5);
+        let n = a.nrows();
+        let layout = Layout::even(n, 2);
+        let plan = MpkPlan::new(&a, &layout, 2);
+        let mut mg = MultiGpu::with_defaults(2);
+        let st = MpkState::load(&mut mg, &a, plan);
+        let x0: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let v_ids: Vec<MatId> = (0..2)
+            .map(|d| {
+                let nl = layout.nlocal(d);
+                let dev = mg.device_mut(d);
+                let v = dev.alloc_mat(nl, 3);
+                let lo = layout.range(d).start;
+                dev.mat_mut(v).set_col(0, &x0[lo..lo + nl]);
+                v
+            })
+            .collect();
+        // pair 2 +- 3i: v2 = (A-2)x; v3 = (A-2)v2 + 9x
+        let spec = crate::newton::BasisSpec::newton(&[(2.0, 3.0), (2.0, -3.0)], 2);
+        mpk(&mut mg, &st, &v_ids, 0, &spec);
+        let mut v2 = vec![0.0; n];
+        ca_sparse::spmv::spmv(&a, &x0, &mut v2);
+        for i in 0..n {
+            v2[i] -= 2.0 * x0[i];
+        }
+        let mut v3 = vec![0.0; n];
+        ca_sparse::spmv::spmv(&a, &v2, &mut v3);
+        for i in 0..n {
+            v3[i] = v3[i] - 2.0 * v2[i] + 9.0 * x0[i];
+        }
+        for d in 0..2 {
+            let lo = layout.range(d).start;
+            for (i, &c2) in mg.device(d).mat(v_ids[d]).col(2).iter().enumerate() {
+                assert!((c2 - v3[lo + i]).abs() < 1e-10, "row {i}: {c2} vs {}", v3[lo + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn mpk_chebyshev_matches_reference_recurrence() {
+        let a = laplace2d(6, 5);
+        let n = a.nrows();
+        let layout = Layout::even(n, 2);
+        let s = 3;
+        let plan = MpkPlan::new(&a, &layout, s);
+        let mut mg = MultiGpu::with_defaults(2);
+        let st = MpkState::load(&mut mg, &a, plan);
+        let x0: Vec<f64> = (0..n).map(|i| 0.5 + ((i * 5) % 7) as f64).collect();
+        let v_ids: Vec<MatId> = (0..2)
+            .map(|d| {
+                let nl = layout.nlocal(d);
+                let dev = mg.device_mut(d);
+                let v = dev.alloc_mat(nl, s + 1);
+                let lo = layout.range(d).start;
+                dev.mat_mut(v).set_col(0, &x0[lo..lo + nl]);
+                v
+            })
+            .collect();
+        let (c, delta) = (4.0, 3.5);
+        let spec = crate::newton::BasisSpec::chebyshev(c, delta, s);
+        mpk(&mut mg, &st, &v_ids, 0, &spec);
+        // reference: v1 = (1/d)(A-c)v0; v_{k+1} = (2/d)(A-c)v_k - v_{k-1}
+        let shift_mul = |x: &[f64]| {
+            let mut y = vec![0.0; n];
+            ca_sparse::spmv::spmv(&a, x, &mut y);
+            for i in 0..n {
+                y[i] -= c * x[i];
+            }
+            y
+        };
+        let mut vm1 = x0.clone();
+        let mut vk: Vec<f64> = shift_mul(&x0).iter().map(|v| v / delta).collect();
+        for k in 1..=s {
+            for d in 0..2 {
+                let lo = layout.range(d).start;
+                for (i, &cv) in mg.device(d).mat(v_ids[d]).col(k).iter().enumerate() {
+                    assert!(
+                        (cv - vk[lo + i]).abs() < 1e-10 * vk[lo + i].abs().max(1.0),
+                        "k={k} row {i}: {cv} vs {}",
+                        vk[lo + i]
+                    );
+                }
+            }
+            if k < s {
+                let av: Vec<f64> = shift_mul(&vk);
+                let next: Vec<f64> =
+                    (0..n).map(|i| 2.0 / delta * av[i] - vm1[i]).collect();
+                vm1 = vk;
+                vk = next;
+            }
+        }
+    }
+
+    #[test]
+    fn dist_spmv_matches_csr() {
+        let a = laplace2d(7, 6);
+        let n = a.nrows();
+        let layout = Layout::even(n, 3);
+        let plan = MpkPlan::new(&a, &layout, 1);
+        let mut mg = MultiGpu::with_defaults(3);
+        let st = MpkState::load(&mut mg, &a, plan);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sqrt()).collect();
+        let v_ids: Vec<MatId> = (0..3)
+            .map(|d| {
+                let nl = layout.nlocal(d);
+                let dev = mg.device_mut(d);
+                let v = dev.alloc_mat(nl, 2);
+                let lo = layout.range(d).start;
+                dev.mat_mut(v).set_col(0, &x[lo..lo + nl]);
+                v
+            })
+            .collect();
+        dist_spmv(&mut mg, &st, &v_ids, 0, 1);
+        let mut y = vec![0.0; n];
+        ca_sparse::spmv::spmv(&a, &x, &mut y);
+        for d in 0..3 {
+            let lo = layout.range(d).start;
+            for (i, &c) in mg.device(d).mat(v_ids[d]).col(1).iter().enumerate() {
+                assert!((c - y[lo + i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn mpk_charges_fewer_messages_than_repeated_spmv() {
+        let a = laplace2d(10, 10);
+        let n = a.nrows();
+        let layout = Layout::even(n, 2);
+        let s = 4;
+        // MPK path
+        let mut mg = MultiGpu::with_defaults(2);
+        let st = MpkState::load(&mut mg, &a, MpkPlan::new(&a, &layout, s));
+        let v_ids: Vec<MatId> = (0..2)
+            .map(|d| {
+                let nl = layout.nlocal(d);
+                let dev = mg.device_mut(d);
+                let v = dev.alloc_mat(nl, s + 1);
+                dev.mat_mut(v).set_col(0, &vec![1.0; nl]);
+                v
+            })
+            .collect();
+        mg.reset_counters();
+        mpk(&mut mg, &st, &v_ids, 0, &BasisSpec::monomial(s));
+        let mpk_msgs = mg.counters().total_msgs();
+
+        // repeated SpMV path
+        let mut mg2 = MultiGpu::with_defaults(2);
+        let st2 = MpkState::load(&mut mg2, &a, MpkPlan::new(&a, &layout, 1));
+        let v2: Vec<MatId> = (0..2)
+            .map(|d| {
+                let nl = layout.nlocal(d);
+                let dev = mg2.device_mut(d);
+                let v = dev.alloc_mat(nl, s + 1);
+                dev.mat_mut(v).set_col(0, &vec![1.0; nl]);
+                v
+            })
+            .collect();
+        mg2.reset_counters();
+        for k in 0..s {
+            dist_spmv(&mut mg2, &st2, &v2, k, k + 1);
+        }
+        let spmv_msgs = mg2.counters().total_msgs();
+        assert_eq!(spmv_msgs, s as u64 * mpk_msgs, "latency reduced by factor s");
+    }
+}

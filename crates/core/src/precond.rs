@@ -1,0 +1,298 @@
+//! Right preconditioning for (CA-)GMRES.
+//!
+//! Hoemmen's treatment of the matrix powers kernel (the paper's §II
+//! reference, ch. 2) covers MPK "with or without preconditioning"; for
+//! block-diagonal preconditioners the preconditioned operator `A M^{-1}`
+//! is still sparse with the same communication structure, so the entire
+//! CA machinery applies unchanged. We implement the two standard
+//! block-diagonal choices:
+//!
+//! * **Jacobi** — `M = diag(A)`; `A M^{-1}` is a column scaling.
+//! * **Block Jacobi** — `M = blockdiag(A; bs)`; `A M^{-1}` is computed
+//!   explicitly as a sparse product (fill-in confined to block columns).
+//!
+//! The solver sees only the preconditioned matrix: solve
+//! `(A M^{-1}) y = b`, then recover `x = M^{-1} y` via
+//! [`Applied::recover`]. This keeps the MPK/orthogonalization code paths
+//! untouched — exactly why right (rather than left) preconditioning is
+//! the natural CA choice (the residual norm is the true residual norm).
+
+use ca_dense::{qr::invert_via_qr, Mat};
+use ca_sparse::{Coo, Csr};
+
+/// Preconditioner selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precond {
+    /// No preconditioning.
+    None,
+    /// `M = diag(A)`.
+    Jacobi,
+    /// `M = blockdiag(A)` with the given block size.
+    BlockJacobi {
+        /// Diagonal block size (the last block may be smaller).
+        block: usize,
+    },
+}
+
+/// A built right preconditioner: the preconditioned operator plus the
+/// recovery transform.
+#[derive(Debug, Clone)]
+pub struct Applied {
+    /// The preconditioned matrix `A M^{-1}` to hand to the solver.
+    pub a_precond: Csr,
+    recover: Recover,
+}
+
+#[derive(Debug, Clone)]
+enum Recover {
+    Identity,
+    Diag(Vec<f64>),
+    Blocks { inv: Vec<Mat>, block: usize },
+}
+
+impl Applied {
+    /// Build `A M^{-1}` for the chosen preconditioner.
+    ///
+    /// Zero or singular diagonal (blocks) fall back to identity scaling
+    /// for the affected rows/blocks, so the operator is always defined.
+    pub fn build(a: &Csr, kind: Precond) -> Self {
+        match kind {
+            Precond::None => Self { a_precond: a.clone(), recover: Recover::Identity },
+            Precond::Jacobi => {
+                let n = a.nrows();
+                let mut dinv = vec![1.0f64; n];
+                for (i, di) in dinv.iter_mut().enumerate() {
+                    let d = a.get(i, i);
+                    if d != 0.0 {
+                        *di = 1.0 / d;
+                    }
+                }
+                // column scaling of A
+                let mut b = a.clone();
+                let cols = b.col_idx().to_vec();
+                for (p, &c) in cols.iter().enumerate() {
+                    b.values_mut()[p] *= dinv[c as usize];
+                }
+                Self { a_precond: b, recover: Recover::Diag(dinv) }
+            }
+            Precond::BlockJacobi { block } => {
+                assert!(block >= 1);
+                let n = a.nrows();
+                let nblocks = n.div_ceil(block);
+                // invert each diagonal block (dense, small)
+                let mut inv = Vec::with_capacity(nblocks);
+                for bidx in 0..nblocks {
+                    let lo = bidx * block;
+                    let hi = (lo + block).min(n);
+                    let bs = hi - lo;
+                    let dense = Mat::from_fn(bs, bs, |i, j| a.get(lo + i, lo + j));
+                    match invert_via_qr(&dense) {
+                        Ok(m) => inv.push(m),
+                        Err(_) => inv.push(Mat::identity(bs)), // singular block: skip it
+                    }
+                }
+                // A * M^{-1}: row i's entries in block b combine into (up
+                // to) bs entries — gather, multiply by inv[b], scatter.
+                let mut coo = Coo::new(n, a.ncols());
+                coo.reserve(a.nnz() * 2);
+                let mut gathered: Vec<(usize, Vec<f64>)> = Vec::new();
+                for i in 0..n {
+                    gathered.clear();
+                    let (cols, vals) = a.row(i);
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        let b = c as usize / block;
+                        let off = c as usize - b * block;
+                        match gathered.iter_mut().find(|(bb, _)| *bb == b) {
+                            Some((_, buf)) => buf[off] += v,
+                            None => {
+                                let bs = inv[b].nrows();
+                                let mut buf = vec![0.0; bs];
+                                buf[off] = v;
+                                gathered.push((b, buf));
+                            }
+                        }
+                    }
+                    for (b, buf) in &gathered {
+                        let minv = &inv[*b];
+                        let lo = b * block;
+                        for j in 0..minv.ncols() {
+                            // (row-vector buf) * minv, column j
+                            let mut s = 0.0;
+                            for (k, &bk) in buf.iter().enumerate() {
+                                s += bk * minv[(k, j)];
+                            }
+                            if s != 0.0 {
+                                coo.add(i, lo + j, s);
+                            }
+                        }
+                    }
+                }
+                Self { a_precond: coo.to_csr(), recover: Recover::Blocks { inv, block } }
+            }
+        }
+    }
+
+    /// Recover the original-system solution: `x = M^{-1} y`.
+    pub fn recover(&self, y: &[f64]) -> Vec<f64> {
+        match &self.recover {
+            Recover::Identity => y.to_vec(),
+            Recover::Diag(dinv) => y.iter().zip(dinv).map(|(v, d)| v * d).collect(),
+            Recover::Blocks { inv, block } => {
+                let mut x = vec![0.0; y.len()];
+                for (b, minv) in inv.iter().enumerate() {
+                    let lo = b * block;
+                    let bs = minv.nrows();
+                    for i in 0..bs {
+                        let mut s = 0.0;
+                        for j in 0..bs {
+                            s += minv[(i, j)] * y[lo + j];
+                        }
+                        x[lo + i] = s;
+                    }
+                }
+                x
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_sparse::{gen, spmv};
+
+    fn check_operator_identity(a: &Csr, kind: Precond) {
+        // (A M^{-1}) (M x) == A x for arbitrary x
+        let n = a.nrows();
+        let ap = Applied::build(a, kind);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        // y = M x: recover is M^{-1}, so invert by solving... instead use:
+        // (A M^{-1}) z  with z arbitrary, compare against A (M^{-1} z).
+        let z: Vec<f64> = x;
+        let minv_z = ap.recover(&z);
+        let mut lhs = vec![0.0; n];
+        spmv::spmv(&ap.a_precond, &z, &mut lhs);
+        let mut rhs = vec![0.0; n];
+        spmv::spmv(a, &minv_z, &mut rhs);
+        for i in 0..n {
+            assert!(
+                (lhs[i] - rhs[i]).abs() < 1e-10 * rhs[i].abs().max(1.0),
+                "{kind:?} row {i}: {} vs {}",
+                lhs[i],
+                rhs[i]
+            );
+        }
+    }
+
+    #[test]
+    fn jacobi_operator_identity() {
+        check_operator_identity(&gen::laplace2d(7, 6), Precond::Jacobi);
+        check_operator_identity(&gen::random_diag_dominant(50, 4, 3), Precond::Jacobi);
+    }
+
+    #[test]
+    fn block_jacobi_operator_identity() {
+        for bs in [1usize, 3, 4, 7] {
+            check_operator_identity(&gen::laplace2d(6, 7), Precond::BlockJacobi { block: bs });
+        }
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let a = gen::laplace2d(4, 4);
+        let ap = Applied::build(&a, Precond::None);
+        assert_eq!(ap.a_precond, a);
+        let y = vec![1.0, 2.0];
+        assert_eq!(ap.recover(&y), y);
+    }
+
+    #[test]
+    fn block_jacobi_block1_equals_jacobi() {
+        let a = gen::random_diag_dominant(30, 3, 9);
+        let j = Applied::build(&a, Precond::Jacobi);
+        let b1 = Applied::build(&a, Precond::BlockJacobi { block: 1 });
+        let y: Vec<f64> = (0..30).map(|i| i as f64 - 15.0).collect();
+        let xj = j.recover(&y);
+        let xb = b1.recover(&y);
+        for i in 0..30 {
+            assert!((xj[i] - xb[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn preconditioning_reduces_iterations_on_badly_scaled_system() {
+        // reaction-diffusion with wildly varying reaction coefficient:
+        // the raw spectrum spans six orders of magnitude, while A M^{-1}
+        // with M = diag(A) clusters it near 1 — the classic Jacobi win
+        let n = 400;
+        let base = gen::laplace2d(20, 20);
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            let (cols, vals) = base.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                coo.add(i, c as usize, v);
+            }
+            coo.add(i, i, 10f64.powi((i % 7) as i32 - 3));
+        }
+        let a = coo.to_csr();
+        let b: Vec<f64> = (0..n).map(|i| ((i % 11) as f64) - 5.0).collect();
+        let model = ca_gpusim::PerfModel::default();
+
+        let (_, plain) =
+            crate::cpu::gmres_cpu(&a, &b, 40, crate::orth::BorthKind::Cgs, 1e-8, 200, &model);
+
+        let ap = Applied::build(&a, Precond::Jacobi);
+        let (y, prec) = crate::cpu::gmres_cpu(
+            &ap.a_precond,
+            &b,
+            40,
+            crate::orth::BorthKind::Cgs,
+            1e-8,
+            200,
+            &model,
+        );
+        assert!(prec.converged);
+        assert!(
+            prec.total_iters < plain.total_iters || !plain.converged,
+            "Jacobi {} iters vs plain {} iters",
+            prec.total_iters,
+            plain.total_iters
+        );
+        // recovered solution solves the original system
+        let x = ap.recover(&y);
+        let mut r = vec![0.0; n];
+        spmv::spmv(&a, &x, &mut r);
+        for i in 0..n {
+            r[i] = b[i] - r[i];
+        }
+        let relres = ca_dense::blas1::nrm2(&r) / ca_dense::blas1::nrm2(&b);
+        assert!(relres <= 1e-8 * 1.01, "relres {relres}");
+    }
+
+    #[test]
+    fn block_jacobi_beats_jacobi_on_block_structured_matrix() {
+        // the cantilever has 3x3 node blocks: block Jacobi should capture
+        // the intra-node coupling that point Jacobi misses
+        let a = gen::cantilever(6, 6, 6);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 3 % 17) as f64) - 8.0).collect();
+        let model = ca_gpusim::PerfModel::default();
+        let run = |kind| {
+            let ap = Applied::build(&a, kind);
+            let (_, st) = crate::cpu::gmres_cpu(
+                &ap.a_precond,
+                &b,
+                60,
+                crate::orth::BorthKind::Cgs,
+                1e-8,
+                300,
+                &model,
+            );
+            assert!(st.converged, "{kind:?}");
+            st.total_iters
+        };
+        let j = run(Precond::Jacobi);
+        let bj = run(Precond::BlockJacobi { block: 3 });
+        assert!(bj <= j, "block-Jacobi {bj} iters vs Jacobi {j}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Solver instrumentation matching the columns of the paper's Fig. 14:
+//! restart counts, per-phase simulated times, and communication traffic.
+
+use serde::Serialize;
+
+/// Timing/convergence record for one solve.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct SolveStats {
+    /// Whether the residual reduction target was met.
+    pub converged: bool,
+    /// Restart cycles executed ("Rest." in Fig. 14).
+    pub restarts: usize,
+    /// Total Krylov dimensions built (≈ SpMV count).
+    pub total_iters: usize,
+    /// Simulated end-to-end solve time, seconds.
+    pub t_total: f64,
+    /// Simulated time in SpMV or MPK ("SpMV/Res" numerator).
+    pub t_spmv: f64,
+    /// Simulated time in all orthogonalization (BOrth + TSQR + Orth;
+    /// "Ortho. Total" numerator).
+    pub t_orth: f64,
+    /// Simulated time in TSQR only ("TSQR" column).
+    pub t_tsqr: f64,
+    /// Simulated host time in the small dense math (least squares,
+    /// Hessenberg reconstruction, shift computation).
+    pub t_small: f64,
+    /// Final residual norm relative to the initial one.
+    pub final_relres: f64,
+    /// Total PCIe messages (both directions).
+    pub comm_msgs: u64,
+    /// Total PCIe bytes (both directions).
+    pub comm_bytes: u64,
+    /// Breakdown reason when the solve aborted (e.g. CholQR failure).
+    pub breakdown: Option<String>,
+}
+
+impl SolveStats {
+    /// Average orthogonalization time per restart cycle, ms
+    /// (Fig. 14 "Ortho/Res").
+    pub fn orth_per_restart_ms(&self) -> f64 {
+        1e3 * self.t_orth / (self.restarts.max(1) as f64)
+    }
+
+    /// Average TSQR time per restart cycle, ms.
+    pub fn tsqr_per_restart_ms(&self) -> f64 {
+        1e3 * self.t_tsqr / (self.restarts.max(1) as f64)
+    }
+
+    /// Average SpMV/MPK time per restart cycle, ms (Fig. 14 "SpMV/Res").
+    pub fn spmv_per_restart_ms(&self) -> f64 {
+        1e3 * self.t_spmv / (self.restarts.max(1) as f64)
+    }
+
+    /// Average total time per restart cycle, ms (Fig. 14 "Total/Res").
+    pub fn total_per_restart_ms(&self) -> f64 {
+        1e3 * self.t_total / (self.restarts.max(1) as f64)
+    }
+}
+
+/// Phase timer: attributes simulated-time deltas to named phases. The
+/// caller brackets each phase with [`PhaseTimer::mark`] calls around a
+/// synced clock read.
+#[derive(Debug, Default)]
+pub struct PhaseTimer {
+    last: f64,
+}
+
+impl PhaseTimer {
+    /// Start timing from `now`.
+    pub fn start(now: f64) -> Self {
+        Self { last: now }
+    }
+
+    /// Return the delta since the previous mark and advance.
+    pub fn mark(&mut self, now: f64) -> f64 {
+        let dt = now - self.last;
+        debug_assert!(dt >= -1e-12, "clock went backwards: {dt}");
+        self.last = now;
+        dt.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_restart_averages() {
+        let s = SolveStats {
+            restarts: 4,
+            t_orth: 0.4,
+            t_tsqr: 0.2,
+            t_spmv: 0.08,
+            t_total: 1.0,
+            ..Default::default()
+        };
+        assert!((s.orth_per_restart_ms() - 100.0).abs() < 1e-12);
+        assert!((s.tsqr_per_restart_ms() - 50.0).abs() < 1e-12);
+        assert!((s.spmv_per_restart_ms() - 20.0).abs() < 1e-12);
+        assert!((s.total_per_restart_ms() - 250.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_restarts_does_not_divide_by_zero() {
+        let s = SolveStats { t_total: 1.0, ..Default::default() };
+        assert!(s.total_per_restart_ms().is_finite());
+    }
+
+    #[test]
+    fn phase_timer_accumulates() {
+        let mut t = PhaseTimer::start(1.0);
+        assert_eq!(t.mark(1.5), 0.5);
+        assert_eq!(t.mark(3.0), 1.5);
+    }
+}

@@ -1,0 +1,150 @@
+//! BLAS level-1: vector-vector operations.
+//!
+//! These are the primitives the paper's MGS implementation is built from
+//! (`xDOT` in Fig. 10). Loops are written to auto-vectorize; no `unsafe`.
+
+/// Dot product `x . y`.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    // 4-way unrolled accumulation: keeps the dependency chain short enough
+    // for the compiler to vectorize while staying deterministic.
+    let mut acc = [0.0f64; 4];
+    let chunks = x.len() / 4;
+    for c in 0..chunks {
+        let b = c * 4;
+        acc[0] += x[b] * y[b];
+        acc[1] += x[b + 1] * y[b + 1];
+        acc[2] += x[b + 2] * y[b + 2];
+        acc[3] += x[b + 3] * y[b + 3];
+    }
+    let mut tail = 0.0;
+    for i in chunks * 4..x.len() {
+        tail += x[i] * y[i];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Euclidean norm `||x||_2`, computed with scaling to avoid overflow.
+pub fn nrm2(x: &[f64]) -> f64 {
+    let mut scale = 0.0f64;
+    let mut ssq = 1.0f64;
+    for &v in x {
+        if v != 0.0 {
+            let a = v.abs();
+            if scale < a {
+                let r = scale / a;
+                ssq = 1.0 + ssq * r * r;
+                scale = a;
+            } else {
+                let r = a / scale;
+                ssq += r * r;
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha`.
+#[inline]
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// `y = x`.
+#[inline]
+pub fn copy(x: &[f64], y: &mut [f64]) {
+    y.copy_from_slice(x);
+}
+
+/// Index of the entry with maximum absolute value (0 for empty input).
+pub fn iamax(x: &[f64]) -> usize {
+    let mut best = 0usize;
+    let mut bv = f64::MIN;
+    for (i, &v) in x.iter().enumerate() {
+        if v.abs() > bv {
+            bv = v.abs();
+            best = i;
+        }
+    }
+    best
+}
+
+/// Sum of absolute values `||x||_1`.
+pub fn asum(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let x: Vec<f64> = (0..37).map(|i| i as f64 * 0.5).collect();
+        let y: Vec<f64> = (0..37).map(|i| (i as f64).sin()).collect();
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - naive).abs() < 1e-10 * naive.abs().max(1.0));
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn nrm2_is_sqrt_dot() {
+        let x = [3.0, 4.0];
+        assert!((nrm2(&x) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn nrm2_avoids_overflow() {
+        let x = [1e200, 1e200];
+        let n = nrm2(&x);
+        assert!(n.is_finite());
+        assert!((n - 1e200 * 2.0f64.sqrt()).abs() / n < 1e-14);
+    }
+
+    #[test]
+    fn nrm2_zero_vector() {
+        assert_eq!(nrm2(&[0.0; 5]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn scal_scales() {
+        let mut x = [1.0, -2.0];
+        scal(-3.0, &mut x);
+        assert_eq!(x, [-3.0, 6.0]);
+    }
+
+    #[test]
+    fn iamax_finds_largest_abs() {
+        assert_eq!(iamax(&[1.0, -7.0, 3.0]), 1);
+        assert_eq!(iamax(&[]), 0);
+    }
+
+    #[test]
+    fn asum_sums_abs() {
+        assert_eq!(asum(&[1.0, -2.0, 3.0]), 6.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! BLAS level-3: matrix-matrix operations.
+//!
+//! `syrk`/`gemm_tn` on tall-skinny operands form the Gram matrix in
+//! CholQR/SVQR (`xGEMM` in Fig. 10); `trsm_right_upper` applies `R^{-1}`
+//! to the basis block. A blocked `gemm_tn_batched` mirrors the paper's
+//! batched-DGEMM optimization: the tall matrix is cut into `h`-row panels,
+//! each panel's small product is computed independently, and the partial
+//! results are reduced — the exact structure of the CUBLAS-batched trick
+//! in §V-F (there it aligns GPU memory transactions; here it exposes
+//! cache-blocked panel products and is the hook the GPU simulator uses to
+//! model that kernel's higher throughput).
+
+use crate::Mat;
+
+/// `C := alpha * A^T B + beta * C`, with `A` `m x k`, `B` `m x n`,
+/// `C` `k x n`. This is the tall-skinny Gram-forming product.
+pub fn gemm_tn(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
+    assert_eq!(a.nrows(), b.nrows());
+    assert_eq!(c.nrows(), a.ncols());
+    assert_eq!(c.ncols(), b.ncols());
+    for j in 0..b.ncols() {
+        let bj = b.col(j);
+        for i in 0..a.ncols() {
+            let d = crate::blas1::dot(a.col(i), bj);
+            let cij = &mut c[(i, j)];
+            *cij = alpha * d + if beta == 0.0 { 0.0 } else { beta * *cij };
+        }
+    }
+}
+
+/// `C := alpha * A B + beta * C`, with `A` `m x k`, `B` `k x n`, `C` `m x n`.
+pub fn gemm_nn(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
+    assert_eq!(a.ncols(), b.nrows());
+    assert_eq!(c.nrows(), a.nrows());
+    assert_eq!(c.ncols(), b.ncols());
+    for j in 0..b.ncols() {
+        // c[:, j] = alpha * A * b[:, j] + beta * c[:, j]
+        let bj = b.col(j).to_vec();
+        let cj = c.col_mut(j);
+        if beta == 0.0 {
+            cj.iter_mut().for_each(|v| *v = 0.0);
+        } else if beta != 1.0 {
+            cj.iter_mut().for_each(|v| *v *= beta);
+        }
+        for (l, &blj) in bj.iter().enumerate() {
+            let f = alpha * blj;
+            if f != 0.0 {
+                let al = a.col(l);
+                for (ci, &ail) in cj.iter_mut().zip(al) {
+                    *ci += f * ail;
+                }
+            }
+        }
+    }
+}
+
+/// Symmetric rank-k update `C := alpha * A^T A + beta * C` storing the full
+/// (symmetric) matrix. `A` is `m x k`, `C` is `k x k`. Only the upper
+/// triangle is computed; the lower triangle is mirrored.
+pub fn syrk_tn(alpha: f64, a: &Mat, beta: f64, c: &mut Mat) {
+    let k = a.ncols();
+    assert_eq!(c.nrows(), k);
+    assert_eq!(c.ncols(), k);
+    for j in 0..k {
+        for i in 0..=j {
+            let d = crate::blas1::dot(a.col(i), a.col(j));
+            let v = alpha * d + if beta == 0.0 { 0.0 } else { beta * c[(i, j)] };
+            c[(i, j)] = v;
+            c[(j, i)] = v;
+        }
+    }
+}
+
+/// Batched/panelled variant of the Gram product `C := A^T A`:
+/// split the `m` rows into panels of height `h`, form each panel's
+/// `k x k` product independently, then reduce. Returns the number of
+/// panels used (the "batch count"), which the GPU simulator's cost model
+/// consumes. Results are bitwise-deterministic for a fixed `h`.
+pub fn syrk_tn_batched(a: &Mat, h: usize, c: &mut Mat) -> usize {
+    let k = a.ncols();
+    assert_eq!(c.nrows(), k);
+    assert_eq!(c.ncols(), k);
+    assert!(h > 0);
+    let m = a.nrows();
+    let nbatch = m.div_ceil(h);
+    c.fill(0.0);
+    let mut panel = Mat::zeros(k, k);
+    for b in 0..nbatch {
+        let r0 = b * h;
+        let r1 = (r0 + h).min(m);
+        for j in 0..k {
+            let cj = &a.col(j)[r0..r1];
+            for i in 0..=j {
+                let ci = &a.col(i)[r0..r1];
+                panel[(i, j)] = crate::blas1::dot(ci, cj);
+            }
+        }
+        for j in 0..k {
+            for i in 0..=j {
+                let v = c[(i, j)] + panel[(i, j)];
+                c[(i, j)] = v;
+                c[(j, i)] = v;
+            }
+        }
+    }
+    nbatch
+}
+
+/// Right triangular solve `B := B R^{-1}` with `R` upper triangular
+/// (`k x k`), `B` tall (`m x k`). Column-oriented forward sweep — this is
+/// the DTRSM that CholQR/SVQR apply to orthonormalize the basis block.
+pub fn trsm_right_upper(b: &mut Mat, r: &Mat) -> crate::Result<()> {
+    let k = r.ncols();
+    assert_eq!(r.nrows(), k);
+    assert_eq!(b.ncols(), k);
+    for j in 0..k {
+        // b[:, j] = (b[:, j] - sum_{l<j} b[:, l] * r[l, j]) / r[j, j]
+        for l in 0..j {
+            let rlj = r[(l, j)];
+            if rlj != 0.0 {
+                let (bl, bj) = b.two_cols_mut(l, j);
+                crate::blas1::axpy(-rlj, bl, bj);
+            }
+        }
+        let d = r[(j, j)];
+        if d == 0.0 {
+            return Err(crate::DenseError::SingularTriangular { index: j });
+        }
+        crate::blas1::scal(1.0 / d, b.col_mut(j));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tall(m: usize, k: usize) -> Mat {
+        Mat::from_fn(m, k, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0 + 0.1 * j as f64)
+    }
+
+    #[test]
+    fn gemm_tn_matches_naive() {
+        let a = tall(13, 3);
+        let b = tall(13, 4);
+        let mut c = Mat::zeros(3, 4);
+        gemm_tn(1.0, &a, &b, 0.0, &mut c);
+        for i in 0..3 {
+            for j in 0..4 {
+                let naive: f64 = (0..13).map(|l| a[(l, i)] * b[(l, j)]).sum();
+                assert!((c[(i, j)] - naive).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nn_matches_naive() {
+        let a = tall(5, 3);
+        let b = tall(3, 4);
+        let mut c = Mat::zeros(5, 4);
+        gemm_nn(2.0, &a, &b, 0.0, &mut c);
+        for i in 0..5 {
+            for j in 0..4 {
+                let naive: f64 = (0..3).map(|l| a[(i, l)] * b[(l, j)]).sum();
+                assert!((c[(i, j)] - 2.0 * naive).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_beta_accumulates() {
+        let a = Mat::identity(2);
+        let b = Mat::identity(2);
+        let mut c = Mat::from_fn(2, 2, |_, _| 1.0);
+        gemm_nn(1.0, &a, &b, 2.0, &mut c);
+        assert_eq!(c[(0, 0)], 3.0);
+        assert_eq!(c[(0, 1)], 2.0);
+    }
+
+    #[test]
+    fn syrk_is_gram() {
+        let a = tall(17, 4);
+        let mut c = Mat::zeros(4, 4);
+        syrk_tn(1.0, &a, 0.0, &mut c);
+        let mut g = Mat::zeros(4, 4);
+        gemm_tn(1.0, &a, &a, 0.0, &mut g);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((c[(i, j)] - g[(i, j)]).abs() < 1e-10);
+                assert_eq!(c[(i, j)], c[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_syrk_matches_syrk() {
+        let a = tall(100, 5);
+        let mut c1 = Mat::zeros(5, 5);
+        syrk_tn(1.0, &a, 0.0, &mut c1);
+        for h in [7, 32, 100, 1000] {
+            let mut c2 = Mat::zeros(5, 5);
+            let nb = syrk_tn_batched(&a, h, &mut c2);
+            assert_eq!(nb, 100usize.div_ceil(h));
+            for i in 0..5 {
+                for j in 0..5 {
+                    assert!((c1[(i, j)] - c2[(i, j)]).abs() < 1e-9 * c1[(i, j)].abs().max(1.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_inverts_r() {
+        // Build B = Q R with known R; then B R^{-1} should equal Q.
+        let q = tall(9, 3);
+        let mut r = Mat::zeros(3, 3);
+        r[(0, 0)] = 2.0;
+        r[(0, 1)] = 1.0;
+        r[(0, 2)] = -1.0;
+        r[(1, 1)] = 3.0;
+        r[(1, 2)] = 0.5;
+        r[(2, 2)] = 1.5;
+        let mut b = Mat::zeros(9, 3);
+        gemm_nn(1.0, &q, &r, 0.0, &mut b);
+        trsm_right_upper(&mut b, &r).unwrap();
+        for i in 0..9 {
+            for j in 0..3 {
+                assert!((b[(i, j)] - q[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_singular_detected() {
+        let r = Mat::zeros(2, 2);
+        let mut b = Mat::zeros(4, 2);
+        assert!(trsm_right_upper(&mut b, &r).is_err());
+    }
+}

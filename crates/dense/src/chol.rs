@@ -1,0 +1,160 @@
+//! Cholesky factorization of small symmetric positive-definite matrices.
+//!
+//! CholQR (paper §V-C) computes `R := chol(B)` of the `(s+1) x (s+1)` Gram
+//! matrix on the CPU. When the basis block is ill-conditioned the Gram
+//! matrix's condition number is squared and the factorization can encounter
+//! a non-positive pivot — the paper's motivation for SVQR. We therefore
+//! report the exact failure index and pivot instead of panicking, so the
+//! solver can fall back or reorthogonalize.
+
+use crate::{DenseError, Mat, Result};
+
+/// Compute the upper-triangular Cholesky factor `R` with `R^T R = B`.
+///
+/// `B` must be symmetric; only its upper triangle is read. Returns
+/// [`DenseError::NotPositiveDefinite`] with the failing pivot index when a
+/// diagonal entry becomes `<= 0` during elimination.
+pub fn cholesky_upper(b: &Mat) -> Result<Mat> {
+    let n = b.ncols();
+    assert_eq!(b.nrows(), n, "Cholesky needs a square matrix");
+    let mut r = Mat::zeros(n, n);
+    for j in 0..n {
+        // r[i, j] for i < j
+        for i in 0..j {
+            let mut s = b[(i, j)];
+            for k in 0..i {
+                s -= r[(k, i)] * r[(k, j)];
+            }
+            r[(i, j)] = s / r[(i, i)];
+        }
+        // pivot
+        let mut d = b[(j, j)];
+        for k in 0..j {
+            let rkj = r[(k, j)];
+            d -= rkj * rkj;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(DenseError::NotPositiveDefinite { index: j, pivot: d });
+        }
+        r[(j, j)] = d.sqrt();
+    }
+    Ok(r)
+}
+
+/// Solve `B x = rhs` for symmetric positive-definite `B` via Cholesky.
+pub fn solve_spd(b: &Mat, rhs: &[f64]) -> Result<Vec<f64>> {
+    let r = cholesky_upper(b)?;
+    let mut x = rhs.to_vec();
+    // R^T R x = rhs: forward solve with R^T (lower), then back solve with R.
+    let rt = r.transpose();
+    crate::blas2::trsv_lower(&rt, &mut x)?;
+    crate::blas2::trsv_upper(&r, &mut x)?;
+    Ok(x)
+}
+
+/// Estimate the 2-norm condition number of a small symmetric matrix via the
+/// Jacobi eigensolver (ratio of extreme |eigenvalues|). Used by the paper's
+/// Figure 12 column kappa(B).
+pub fn condition_number_sym(b: &Mat) -> f64 {
+    let (vals, _) = crate::jacobi::sym_eig(b, 200);
+    let mut lo = f64::INFINITY;
+    let mut hi = 0.0f64;
+    for &v in &vals {
+        let a = v.abs();
+        lo = lo.min(a);
+        hi = hi.max(a);
+    }
+    if lo == 0.0 {
+        f64::INFINITY
+    } else {
+        hi / lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::gemm_tn;
+
+    fn spd(n: usize) -> Mat {
+        // A^T A + n*I is SPD.
+        let a = Mat::from_fn(n + 3, n, |i, j| ((i * 5 + j * 11) % 13) as f64 / 13.0 - 0.4);
+        let mut b = Mat::zeros(n, n);
+        gemm_tn(1.0, &a, &a, 0.0, &mut b);
+        for i in 0..n {
+            b[(i, i)] += n as f64;
+        }
+        b
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let b = spd(6);
+        let r = cholesky_upper(&b).unwrap();
+        let mut rr = Mat::zeros(6, 6);
+        gemm_tn(1.0, &r, &r, 0.0, &mut rr);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!((rr[(i, j)] - b[(i, j)]).abs() < 1e-10);
+            }
+        }
+        // R upper triangular
+        for i in 1..6 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn indefinite_reports_index() {
+        let mut b = Mat::identity(3);
+        b[(2, 2)] = -1.0;
+        match cholesky_upper(&b) {
+            Err(DenseError::NotPositiveDefinite { index, pivot }) => {
+                assert_eq!(index, 2);
+                assert!(pivot <= 0.0);
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn semidefinite_fails() {
+        // rank-1 matrix: chol must fail at index 1
+        let mut b = Mat::zeros(2, 2);
+        b[(0, 0)] = 1.0;
+        b[(0, 1)] = 1.0;
+        b[(1, 0)] = 1.0;
+        b[(1, 1)] = 1.0;
+        assert!(matches!(
+            cholesky_upper(&b),
+            Err(DenseError::NotPositiveDefinite { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn solve_spd_roundtrip() {
+        let b = spd(5);
+        let xtrue: Vec<f64> = (0..5).map(|i| i as f64 - 2.0).collect();
+        let mut rhs = vec![0.0; 5];
+        crate::blas2::gemv_n(1.0, &b, &xtrue, 0.0, &mut rhs);
+        let x = solve_spd(&b, &rhs).unwrap();
+        for i in 0..5 {
+            assert!((x[i] - xtrue[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn condition_number_of_identity_is_one() {
+        let b = Mat::identity(4);
+        assert!((condition_number_sym(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn condition_number_scales() {
+        let mut b = Mat::identity(3);
+        b[(0, 0)] = 100.0;
+        assert!((condition_number_sym(&b) - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,419 @@
+//! Upper-Hessenberg utilities for GMRES.
+//!
+//! Two pieces of the paper live here:
+//!
+//! 1. [`GivensLsq`] — the incremental Givens-rotation QR of the
+//!    `(m+1) x m` Hessenberg matrix that solves GMRES's small least-squares
+//!    problem `y := argmin ||c - H z||` in O(m) per iteration and exposes
+//!    the current residual norm for free (§III: "the least-squares problem
+//!    can be efficiently solved, requiring only about 3(m+1)^2 flops").
+//! 2. [`hessenberg_eigenvalues`] — eigenvalues of the first restart's
+//!    Hessenberg matrix, which approximate extreme eigenvalues of `A` and
+//!    become the Newton-basis shifts theta_k (§IV-A, ref \[17\]).
+
+use crate::Mat;
+
+/// A complex number represented as a `(re, im)` pair; eigenvalues of real
+/// Hessenberg matrices come in conjugate pairs and we avoid pulling in a
+/// complex-arithmetic dependency for just this.
+pub type Complex = (f64, f64);
+
+/// Incremental Givens-rotation least-squares solver for the GMRES
+/// Hessenberg system.
+///
+/// Feed one Hessenberg column per iteration with [`GivensLsq::push_column`];
+/// query the implicitly-updated residual norm with
+/// [`GivensLsq::residual_norm`]; extract the solution `y` with
+/// [`GivensLsq::solve`].
+#[derive(Debug, Clone)]
+pub struct GivensLsq {
+    /// Triangularized Hessenberg columns (column j has j+1 live entries).
+    r: Vec<Vec<f64>>,
+    /// Accumulated Givens cosines/sines.
+    cs: Vec<(f64, f64)>,
+    /// Rotated right-hand side; g[k] for k < cols are solved components,
+    /// |g[cols]| is the residual norm.
+    g: Vec<f64>,
+}
+
+impl GivensLsq {
+    /// Start a solve with initial residual norm `beta` (the RHS is
+    /// `beta * e_1`).
+    pub fn new(beta: f64) -> Self {
+        Self { r: Vec::new(), cs: Vec::new(), g: vec![beta] }
+    }
+
+    /// Number of columns pushed so far.
+    pub fn ncols(&self) -> usize {
+        self.r.len()
+    }
+
+    /// Push Hessenberg column `j` = `[h(0,j) .. h(j+1,j)]` (length
+    /// `ncols() + 2`): apply all previous rotations, generate and apply the
+    /// new one, update the rotated RHS.
+    pub fn push_column(&mut self, h_col: &[f64]) {
+        let j = self.r.len();
+        assert_eq!(h_col.len(), j + 2, "Hessenberg column {j} must have {} entries", j + 2);
+        let mut col = h_col.to_vec();
+        // Apply existing rotations.
+        for (k, &(c, s)) in self.cs.iter().enumerate() {
+            let t0 = c * col[k] + s * col[k + 1];
+            let t1 = -s * col[k] + c * col[k + 1];
+            col[k] = t0;
+            col[k + 1] = t1;
+        }
+        // Generate a new rotation to annihilate col[j + 1].
+        let (c, s) = givens(col[j], col[j + 1]);
+        let t0 = c * col[j] + s * col[j + 1];
+        col[j] = t0;
+        col.truncate(j + 1);
+        self.cs.push((c, s));
+        // Rotate the RHS.
+        let gj = self.g[j];
+        self.g[j] = c * gj;
+        self.g.push(-s * gj);
+        self.r.push(col);
+    }
+
+    /// Current least-squares residual norm `||c - H y||`.
+    pub fn residual_norm(&self) -> f64 {
+        self.g.last().copied().unwrap_or(0.0).abs()
+    }
+
+    /// Solve the triangular system for the current `y` (length `ncols()`).
+    pub fn solve(&self) -> Vec<f64> {
+        let n = self.r.len();
+        let mut y = self.g[..n].to_vec();
+        for i in (0..n).rev() {
+            for k in i + 1..n {
+                y[i] -= self.r[k][i] * y[k];
+            }
+            y[i] /= self.r[i][i];
+        }
+        y
+    }
+}
+
+/// Construct a Givens rotation `(c, s)` with `c*a + s*b = r`, `-s*a + c*b = 0`.
+pub fn givens(a: f64, b: f64) -> (f64, f64) {
+    if b == 0.0 {
+        (1.0, 0.0)
+    } else if a == 0.0 {
+        (0.0, b.signum())
+    } else {
+        let r = (a * a + b * b).sqrt();
+        (a / r, b / r)
+    }
+}
+
+/// Eigenvalues of a small upper-Hessenberg matrix by the implicit
+/// double-shift (Francis) QR algorithm. Returns `m` eigenvalues as
+/// `(re, im)` pairs; complex eigenvalues appear in conjugate pairs.
+///
+/// Sizes here are tiny (m <= ~200: the GMRES restart length), so no
+/// balancing or aggressive deflation is needed.
+pub fn hessenberg_eigenvalues(h_in: &Mat) -> crate::Result<Vec<Complex>> {
+    let n = h_in.ncols();
+    assert_eq!(h_in.nrows(), n);
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let mut h = h_in.clone();
+    let mut eigs: Vec<Complex> = Vec::with_capacity(n);
+    let mut hi = n; // active block is h[0..hi, 0..hi]
+    let max_iter = 60 * n.max(1);
+    let mut iter = 0usize;
+
+    while hi > 0 {
+        if iter > max_iter {
+            return Err(crate::DenseError::NoConvergence { iterations: iter });
+        }
+        // Find deflation point: largest lo with negligible subdiagonal.
+        let mut lo = hi - 1;
+        while lo > 0 {
+            let s = h[(lo - 1, lo - 1)].abs() + h[(lo, lo)].abs();
+            let s = if s == 0.0 { 1.0 } else { s };
+            if h[(lo, lo - 1)].abs() <= f64::EPSILON * s {
+                h[(lo, lo - 1)] = 0.0;
+                break;
+            }
+            lo -= 1;
+        }
+
+        if lo == hi - 1 {
+            // 1x1 block deflated.
+            eigs.push((h[(hi - 1, hi - 1)], 0.0));
+            hi -= 1;
+            continue;
+        }
+        if lo == hi - 2 {
+            // 2x2 block deflated: closed-form eigenvalues.
+            let (a, b, c, d) =
+                (h[(hi - 2, hi - 2)], h[(hi - 2, hi - 1)], h[(hi - 1, hi - 2)], h[(hi - 1, hi - 1)]);
+            let tr = a + d;
+            let det = a * d - b * c;
+            let disc = tr * tr / 4.0 - det;
+            if disc >= 0.0 {
+                let sq = disc.sqrt();
+                eigs.push((tr / 2.0 + sq, 0.0));
+                eigs.push((tr / 2.0 - sq, 0.0));
+            } else {
+                let sq = (-disc).sqrt();
+                eigs.push((tr / 2.0, sq));
+                eigs.push((tr / 2.0, -sq));
+            }
+            hi -= 2;
+            continue;
+        }
+
+        // Francis implicit double-shift sweep on h[lo..hi, lo..hi].
+        iter += 1;
+        let m = hi - 1;
+        let (s, t) = {
+            // shift from the trailing 2x2: s = trace, t = det
+            let (a, b, c, d) = (h[(m - 1, m - 1)], h[(m - 1, m)], h[(m, m - 1)], h[(m, m)]);
+            (a + d, a * d - b * c)
+        };
+        // Exceptional shift every 10 iterations to break cycles.
+        let (s, t) = if iter.is_multiple_of(20) {
+            let e = h[(m, m - 1)].abs() + h[(m - 1, m - 2)].abs();
+            (1.5 * e, e * e)
+        } else {
+            (s, t)
+        };
+
+        // First column of (H - s1 I)(H - s2 I) restricted to 3 entries.
+        let h00 = h[(lo, lo)];
+        let h10 = h[(lo + 1, lo)];
+        let mut x = h00 * h00 + h[(lo, lo + 1)] * h10 - s * h00 + t;
+        let mut y = h10 * (h00 + h[(lo + 1, lo + 1)] - s);
+        let mut z = if lo + 2 < hi { h[(lo + 2, lo + 1)] * h10 } else { 0.0 };
+
+        for k in lo..hi - 2 {
+            // Householder on (x, y, z): P = I - 2 v v^T / v^T v
+            let (v, beta) = house3(x, y, z);
+            if beta != 0.0 {
+                let r0 = if k > lo { k - 1 } else { lo };
+                // Apply P from the left to rows k..k+3, cols r0..hi.
+                for c in r0.max(lo)..hi {
+                    let d0 = h[(k, c)];
+                    let d1 = h[(k + 1, c)];
+                    let d2 = if k + 2 < hi { h[(k + 2, c)] } else { 0.0 };
+                    let w = v[0] * d0 + v[1] * d1 + v[2] * d2;
+                    h[(k, c)] = d0 - beta * w * v[0];
+                    h[(k + 1, c)] = d1 - beta * w * v[1];
+                    if k + 2 < hi {
+                        h[(k + 2, c)] = d2 - beta * w * v[2];
+                    }
+                }
+                // Apply P from the right to cols k..k+3, rows lo..min(k+4, hi).
+                let rmax = (k + 4).min(hi);
+                for r in lo..rmax {
+                    let d0 = h[(r, k)];
+                    let d1 = h[(r, k + 1)];
+                    let d2 = if k + 2 < hi { h[(r, k + 2)] } else { 0.0 };
+                    let w = v[0] * d0 + v[1] * d1 + v[2] * d2;
+                    h[(r, k)] = d0 - beta * w * v[0];
+                    h[(r, k + 1)] = d1 - beta * w * v[1];
+                    if k + 2 < hi {
+                        h[(r, k + 2)] = d2 - beta * w * v[2];
+                    }
+                }
+            }
+            x = h[(k + 1, k)];
+            y = h[(k + 2, k)];
+            z = if k + 3 < hi { h[(k + 3, k)] } else { 0.0 };
+        }
+        // Final 2x2 rotation to restore Hessenberg form.
+        let k = hi - 2;
+        let (c, s2) = givens(x, y);
+        if s2 != 0.0 {
+            for cc in k.saturating_sub(1).max(lo)..hi {
+                let d0 = h[(k, cc)];
+                let d1 = h[(k + 1, cc)];
+                h[(k, cc)] = c * d0 + s2 * d1;
+                h[(k + 1, cc)] = -s2 * d0 + c * d1;
+            }
+            for r in lo..hi {
+                let d0 = h[(r, k)];
+                let d1 = h[(r, k + 1)];
+                h[(r, k)] = c * d0 + s2 * d1;
+                h[(r, k + 1)] = -s2 * d0 + c * d1;
+            }
+        }
+        // Clean sub-sub-diagonal fill-in.
+        for r in lo + 2..hi {
+            for cc in lo..r - 1 {
+                h[(r, cc)] = 0.0;
+            }
+        }
+    }
+
+    Ok(eigs)
+}
+
+/// Householder vector for a 3-vector: returns (v with v\[0\] = 1 implicit
+/// normalization folded in, beta) such that (I - beta v v^T)(x,y,z) is a
+/// multiple of e1.
+fn house3(x: f64, y: f64, z: f64) -> ([f64; 3], f64) {
+    let alpha = (x * x + y * y + z * z).sqrt();
+    if alpha == 0.0 {
+        return ([0.0; 3], 0.0);
+    }
+    let alpha = if x > 0.0 { -alpha } else { alpha };
+    let v0 = x - alpha;
+    let v = [v0, y, z];
+    let vtv = v0 * v0 + y * y + z * z;
+    if vtv == 0.0 {
+        ([0.0; 3], 0.0)
+    } else {
+        (v, 2.0 / vtv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn givens_annihilates() {
+        let (c, s) = givens(3.0, 4.0);
+        assert!((-s * 3.0 + c * 4.0).abs() < 1e-15);
+        assert!((c * 3.0 + s * 4.0 - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lsq_exact_small_system() {
+        // H = [[2],[1]] (2x1 Hessenberg), c = beta*e1 with beta = 5.
+        // minimize ||(5,0) - (2,1)^T y||: y = 10/5 = 2, residual = |5 - 2*2, -2| ... compute:
+        // normal eq: (4+1) y = 2*5 -> y = 2; r = (5-4, -2) = (1,-2), ||r|| = sqrt(5)
+        let mut lsq = GivensLsq::new(5.0);
+        lsq.push_column(&[2.0, 1.0]);
+        let y = lsq.solve();
+        assert!((y[0] - 2.0).abs() < 1e-14);
+        assert!((lsq.residual_norm() - 5f64.sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn lsq_matches_normal_equations() {
+        // Random 5x4 Hessenberg, compare against dense normal-equation solve.
+        let m = 4;
+        let mut h = Mat::zeros(m + 1, m);
+        let mut state = 99u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        for j in 0..m {
+            for i in 0..=(j + 1) {
+                h[(i, j)] = rnd() + if i == j { 2.0 } else { 0.0 };
+            }
+        }
+        let beta = 3.0;
+        let mut lsq = GivensLsq::new(beta);
+        for j in 0..m {
+            let col: Vec<f64> = (0..=j + 1).map(|i| h[(i, j)]).collect();
+            lsq.push_column(&col);
+        }
+        let y = lsq.solve();
+        // residual check: c - H y
+        let mut r = vec![0.0; m + 1];
+        r[0] = beta;
+        for j in 0..m {
+            for i in 0..=(j + 1) {
+                r[i] -= h[(i, j)] * y[j];
+            }
+        }
+        let rn = crate::blas1::nrm2(&r);
+        assert!((rn - lsq.residual_norm()).abs() < 1e-12);
+        // optimality: H^T r = 0
+        for j in 0..m {
+            let mut d = 0.0;
+            for i in 0..=(j + 1) {
+                d += h[(i, j)] * r[i];
+            }
+            assert!(d.abs() < 1e-11, "gradient {d}");
+        }
+    }
+
+    #[test]
+    fn residual_norm_monotone() {
+        let mut lsq = GivensLsq::new(1.0);
+        let mut prev = lsq.residual_norm();
+        let cols: [&[f64]; 3] = [&[0.5, 1.0], &[0.3, 0.7, 0.9], &[0.1, 0.2, 0.4, 0.8]];
+        for c in cols {
+            lsq.push_column(c);
+            let rn = lsq.residual_norm();
+            assert!(rn <= prev + 1e-15);
+            prev = rn;
+        }
+    }
+
+    #[test]
+    fn eig_diagonal_hessenberg() {
+        let mut h = Mat::zeros(3, 3);
+        h[(0, 0)] = 1.0;
+        h[(1, 1)] = 2.0;
+        h[(2, 2)] = 3.0;
+        let mut e = hessenberg_eigenvalues(&h).unwrap();
+        e.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        assert!((e[0].0 - 1.0).abs() < 1e-12);
+        assert!((e[2].0 - 3.0).abs() < 1e-12);
+        assert!(e.iter().all(|&(_, im)| im == 0.0));
+    }
+
+    #[test]
+    fn eig_rotation_block_is_complex() {
+        // [[0,-1],[1,0]] has eigenvalues +-i
+        let mut h = Mat::zeros(2, 2);
+        h[(0, 1)] = -1.0;
+        h[(1, 0)] = 1.0;
+        let e = hessenberg_eigenvalues(&h).unwrap();
+        assert_eq!(e.len(), 2);
+        for (re, im) in e {
+            assert!(re.abs() < 1e-12);
+            assert!((im.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn eig_matches_characteristic_poly_roots() {
+        // Companion matrix of x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3),
+        // which is upper Hessenberg.
+        let mut h = Mat::zeros(3, 3);
+        h[(0, 2)] = 6.0;
+        h[(1, 2)] = -11.0;
+        h[(2, 2)] = 6.0;
+        h[(1, 0)] = 1.0;
+        h[(2, 1)] = 1.0;
+        let mut e = hessenberg_eigenvalues(&h).unwrap();
+        e.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        assert!((e[0].0 - 1.0).abs() < 1e-9, "{e:?}");
+        assert!((e[1].0 - 2.0).abs() < 1e-9, "{e:?}");
+        assert!((e[2].0 - 3.0).abs() < 1e-9, "{e:?}");
+    }
+
+    #[test]
+    fn eig_larger_hessenberg_traces_match() {
+        // Trace and sum of eigenvalues must agree; complex parts cancel.
+        let n = 12;
+        let mut state = 5u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let mut h = Mat::zeros(n, n);
+        for j in 0..n {
+            for i in 0..=(j + 1).min(n - 1) {
+                h[(i, j)] = rnd();
+            }
+        }
+        let e = hessenberg_eigenvalues(&h).unwrap();
+        assert_eq!(e.len(), n);
+        let tr: f64 = (0..n).map(|i| h[(i, i)]).sum();
+        let es: f64 = e.iter().map(|&(re, _)| re).sum();
+        let ims: f64 = e.iter().map(|&(_, im)| im).sum();
+        assert!((tr - es).abs() < 1e-8 * tr.abs().max(1.0), "trace {tr} vs {es}");
+        assert!(ims.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,193 @@
+//! Leja ordering of Newton-basis shifts.
+//!
+//! The Newton basis `v_{k+1} = (A - theta_k I) v_k` is only well conditioned
+//! if consecutive shifts are far apart; the paper (§IV-A, following Bai, Hu
+//! & Reichel \[17\] and Hoemmen \[4, §7.3\]) orders the Ritz values in a *Leja
+//! ordering*: start from the point of largest modulus, then greedily pick
+//! the point maximizing the product of distances to all points already
+//! chosen. For real matrices, complex Ritz values come in conjugate pairs
+//! and the modified ordering keeps each pair adjacent so the matrix powers
+//! kernel can fuse the pair into one real quadratic step
+//! `(A - re I)^2 + im^2 I` (§IV-A: "we rearrange the arithmetics so that
+//! the complex arithmetic is avoided").
+
+use crate::hessenberg::Complex;
+
+fn dist2(a: Complex, b: Complex) -> f64 {
+    let dr = a.0 - b.0;
+    let di = a.1 - b.1;
+    dr * dr + di * di
+}
+
+/// Leja-order a set of (possibly complex) shifts.
+///
+/// Products of distances are accumulated in log space to avoid
+/// under/overflow for large shift sets. Conjugate pairs (detected as
+/// `im != 0`) are kept adjacent: whenever a point with positive imaginary
+/// part is selected, its conjugate follows immediately. Input conjugates
+/// are expected to be exact mirrors (as produced by
+/// [`crate::hessenberg::hessenberg_eigenvalues`]).
+pub fn leja_order(shifts: &[Complex]) -> Vec<Complex> {
+    let mut points: Vec<Complex> = Vec::with_capacity(shifts.len());
+    // Canonicalize: keep one representative (im >= 0) per conjugate pair,
+    // remembering pair multiplicity through presence of the mirror.
+    let mut remaining: Vec<Complex> = shifts.to_vec();
+    let mut ordered: Vec<Complex> = Vec::with_capacity(shifts.len());
+    if remaining.is_empty() {
+        return ordered;
+    }
+
+    // Seed: the point of maximum modulus (prefer im >= 0 representative).
+    let mut seed_idx = 0usize;
+    let mut seed_mod = -1.0f64;
+    for (i, &(re, im)) in remaining.iter().enumerate() {
+        let m = re * re + im * im;
+        if m > seed_mod || (m == seed_mod && im > remaining[seed_idx].1) {
+            seed_mod = m;
+            seed_idx = i;
+        }
+    }
+    take_with_conjugate(&mut remaining, seed_idx, &mut ordered, &mut points);
+
+    while !remaining.is_empty() {
+        // Greedy: maximize sum of log distances to chosen points.
+        let mut best_idx = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for (i, &cand) in remaining.iter().enumerate() {
+            let mut score = 0.0;
+            for &p in &points {
+                let d2 = dist2(cand, p);
+                score += if d2 > 0.0 { d2.ln() } else { -1e300 };
+            }
+            // Tie-break deterministically on coordinates.
+            if score > best_score
+                || (score == best_score
+                    && (cand.0, cand.1) > (remaining[best_idx].0, remaining[best_idx].1))
+            {
+                best_score = score;
+                best_idx = i;
+            }
+        }
+        take_with_conjugate(&mut remaining, best_idx, &mut ordered, &mut points);
+    }
+    ordered
+}
+
+/// Remove `idx` from `remaining` into `ordered`; if complex, also remove and
+/// append its conjugate so the pair stays adjacent.
+fn take_with_conjugate(
+    remaining: &mut Vec<Complex>,
+    idx: usize,
+    ordered: &mut Vec<Complex>,
+    points: &mut Vec<Complex>,
+) {
+    let (re, im) = remaining.swap_remove(idx);
+    // Normalize pair order: positive imaginary part first.
+    let (first, second) = if im >= 0.0 { ((re, im), (re, -im)) } else { ((re, -im), (re, im)) };
+    ordered.push(first);
+    points.push(first);
+    if im != 0.0 {
+        if let Some(ci) =
+            remaining.iter().position(|&(r2, i2)| r2 == re && (i2 + first.1).abs() == 0.0)
+        {
+            remaining.swap_remove(ci);
+        }
+        ordered.push(second);
+        points.push(second);
+    }
+}
+
+/// Check whether an ordering keeps conjugate pairs adjacent (used by tests
+/// and by the matrix powers kernel's debug assertions).
+pub fn conjugate_pairs_adjacent(ordered: &[Complex]) -> bool {
+    let mut i = 0;
+    while i < ordered.len() {
+        let (re, im) = ordered[i];
+        if im != 0.0 {
+            if i + 1 >= ordered.len() {
+                return false;
+            }
+            let (re2, im2) = ordered[i + 1];
+            if re2 != re || im2 != -im {
+                return false;
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        assert!(leja_order(&[]).is_empty());
+        let one = leja_order(&[(2.0, 0.0)]);
+        assert_eq!(one, vec![(2.0, 0.0)]);
+    }
+
+    #[test]
+    fn starts_with_max_modulus() {
+        let pts = [(1.0, 0.0), (-3.0, 0.0), (2.0, 0.0)];
+        let ord = leja_order(&pts);
+        assert_eq!(ord[0], (-3.0, 0.0));
+        assert_eq!(ord.len(), 3);
+    }
+
+    #[test]
+    fn is_permutation() {
+        let pts = [(1.0, 0.0), (5.0, 0.0), (2.0, 0.0), (4.0, 0.0), (3.0, 0.0)];
+        let mut ord = leja_order(&pts);
+        ord.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut sorted = pts.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(ord, sorted);
+    }
+
+    #[test]
+    fn second_point_is_farthest_from_first() {
+        // On [1..5] with seed 5, the farthest point is 1.
+        let pts = [(1.0, 0.0), (2.0, 0.0), (3.0, 0.0), (4.0, 0.0), (5.0, 0.0)];
+        let ord = leja_order(&pts);
+        assert_eq!(ord[0], (5.0, 0.0));
+        assert_eq!(ord[1], (1.0, 0.0));
+    }
+
+    #[test]
+    fn alternates_extremes_on_interval() {
+        // Classic Leja behaviour on an interval: 5, 1, ~3, then fills in.
+        let pts: Vec<Complex> = (1..=9).map(|i| (i as f64, 0.0)).collect();
+        let ord = leja_order(&pts);
+        assert_eq!(ord[0], (9.0, 0.0));
+        assert_eq!(ord[1], (1.0, 0.0));
+        // Third point maximizes |x-9|*|x-1| over {2..8}: x = 5.
+        assert_eq!(ord[2], (5.0, 0.0));
+    }
+
+    #[test]
+    fn conjugates_stay_adjacent() {
+        let pts = [(1.0, 2.0), (1.0, -2.0), (3.0, 0.0), (0.5, 1.0), (0.5, -1.0), (-2.0, 0.0)];
+        let ord = leja_order(&pts);
+        assert_eq!(ord.len(), 6);
+        assert!(conjugate_pairs_adjacent(&ord), "{ord:?}");
+        // positive-imag representative comes first in each pair
+        for w in ord.windows(2) {
+            if w[0].1 > 0.0 {
+                assert_eq!(w[1], (w[0].0, -w[0].1));
+            }
+        }
+    }
+
+    #[test]
+    fn no_underflow_with_many_points() {
+        // 100 clustered points would underflow a naive distance product.
+        let pts: Vec<Complex> = (0..100).map(|i| (1.0 + 1e-6 * i as f64, 0.0)).collect();
+        let ord = leja_order(&pts);
+        assert_eq!(ord.len(), 100);
+        assert!(conjugate_pairs_adjacent(&ord));
+    }
+}

@@ -1,0 +1,323 @@
+//! Column-major dense matrix type.
+//!
+//! Storage follows the LAPACK convention: entry `(i, j)` lives at
+//! `data[i + j * ld]` where `ld >= nrows` is the leading dimension. A
+//! leading dimension larger than the row count is exactly what the paper's
+//! batched-DGEMM trick needs (pad the column stride to a multiple of the
+//! batch height, zero-fill the tail), so `Mat` supports it natively.
+
+use crate::{DenseError, Result};
+
+/// A column-major, `f64` dense matrix with an explicit leading dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    nrows: usize,
+    ncols: usize,
+    ld: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Create an `nrows x ncols` matrix of zeros (leading dimension = nrows).
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self { nrows, ncols, ld: nrows.max(1), data: vec![0.0; nrows.max(1) * ncols] }
+    }
+
+    /// Create a zero matrix with an explicit leading dimension `ld >= nrows`.
+    ///
+    /// The padding rows (`nrows..ld`) are zero-filled and stay zero under all
+    /// routines in this crate, matching the zero-padding requirement of the
+    /// batched-GEMM kernel described in the paper (§V-F).
+    pub fn zeros_with_ld(nrows: usize, ncols: usize, ld: usize) -> Self {
+        assert!(ld >= nrows.max(1), "leading dimension {ld} < nrows {nrows}");
+        Self { nrows, ncols, ld, data: vec![0.0; ld * ncols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a closure over `(row, col)`.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(nrows, ncols);
+        for j in 0..ncols {
+            for i in 0..nrows {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Build a matrix from column-major data (ld == nrows).
+    pub fn from_col_major(nrows: usize, ncols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != nrows * ncols {
+            return Err(DenseError::DimensionMismatch {
+                expected: format!("{} elements", nrows * ncols),
+                got: format!("{}", data.len()),
+            });
+        }
+        Ok(Self { nrows, ncols, ld: nrows.max(1), data })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Leading dimension (column stride).
+    #[inline]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// Whether the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nrows == 0 || self.ncols == 0
+    }
+
+    /// Raw column-major storage (includes padding rows when `ld > nrows`).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow column `j` (only the live `nrows` entries, not the padding).
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        debug_assert!(j < self.ncols);
+        &self.data[j * self.ld..j * self.ld + self.nrows]
+    }
+
+    /// Mutably borrow column `j`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        debug_assert!(j < self.ncols);
+        &mut self.data[j * self.ld..j * self.ld + self.nrows]
+    }
+
+    /// Borrow two distinct columns simultaneously (`a < b`).
+    pub fn two_cols_mut(&mut self, a: usize, b: usize) -> (&mut [f64], &mut [f64]) {
+        assert!(a < b && b < self.ncols);
+        let (lo, hi) = self.data.split_at_mut(b * self.ld);
+        (&mut lo[a * self.ld..a * self.ld + self.nrows], &mut hi[..self.nrows])
+    }
+
+    /// Copy of column `j` as a `Vec`.
+    pub fn col_to_vec(&self, j: usize) -> Vec<f64> {
+        self.col(j).to_vec()
+    }
+
+    /// Set column `j` from a slice of length `nrows`.
+    pub fn set_col(&mut self, j: usize, v: &[f64]) {
+        assert_eq!(v.len(), self.nrows);
+        self.col_mut(j).copy_from_slice(v);
+    }
+
+    /// A copy of the contiguous submatrix of columns `j0..j1`.
+    pub fn cols_copy(&self, j0: usize, j1: usize) -> Mat {
+        assert!(j0 <= j1 && j1 <= self.ncols);
+        let mut out = Mat::zeros(self.nrows, j1 - j0);
+        for (dst, j) in (j0..j1).enumerate() {
+            out.set_col(dst, self.col(j));
+        }
+        out
+    }
+
+    /// A copy of the leading `r x c` block.
+    pub fn top_left(&self, r: usize, c: usize) -> Mat {
+        assert!(r <= self.nrows && c <= self.ncols);
+        Mat::from_fn(r, c, |i, j| self[(i, j)])
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Mat {
+        Mat::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)])
+    }
+
+    /// Fill every live entry with `v` (padding untouched except zeros stay).
+    pub fn fill(&mut self, v: f64) {
+        for j in 0..self.ncols {
+            for x in self.col_mut(j) {
+                *x = v;
+            }
+        }
+    }
+
+    /// In-place scale of all live entries.
+    pub fn scale(&mut self, alpha: f64) {
+        for j in 0..self.ncols {
+            for x in self.col_mut(j) {
+                *x *= alpha;
+            }
+        }
+    }
+
+    /// Elementwise `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f64, other: &Mat) {
+        assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
+        for j in 0..self.ncols {
+            let src = other.col(j);
+            for (d, s) in self.col_mut(j).iter_mut().zip(src) {
+                *d += alpha * s;
+            }
+        }
+    }
+
+    /// Grow or shrink to `ncols` columns in place, zero-filling new columns.
+    pub fn resize_cols(&mut self, ncols: usize) {
+        self.data.resize(self.ld * ncols, 0.0);
+        self.ncols = ncols;
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        let mut m = 0.0f64;
+        for j in 0..self.ncols {
+            for &x in self.col(j) {
+                m = m.max(x.abs());
+            }
+        }
+        m
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        let mut s = 0.0;
+        for j in 0..self.ncols {
+            for &x in self.col(j) {
+                s += x * x;
+            }
+        }
+        s.sqrt()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds");
+        &self.data[i + j * self.ld]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds");
+        &mut self.data[i + j * self.ld]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_index() {
+        let mut m = Mat::zeros(3, 2);
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 2);
+        assert_eq!(m[(2, 1)], 0.0);
+        m[(2, 1)] = 5.0;
+        assert_eq!(m[(2, 1)], 5.0);
+        assert_eq!(m.col(1), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let m = Mat::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn padded_ld_columns_are_isolated() {
+        let mut m = Mat::zeros_with_ld(3, 2, 8);
+        m.col_mut(0).copy_from_slice(&[1.0, 2.0, 3.0]);
+        m.col_mut(1).copy_from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(m.ld(), 8);
+        assert_eq!(m[(0, 1)], 4.0);
+        // padding stays zero
+        assert_eq!(m.as_slice()[3], 0.0);
+        assert_eq!(m.as_slice()[7], 0.0);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Mat::from_fn(3, 5, |i, j| (i * 10 + j) as f64);
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 5);
+        assert_eq!(t[(4, 2)], m[(2, 4)]);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn two_cols_mut_disjoint() {
+        let mut m = Mat::from_fn(4, 3, |i, j| (i + j) as f64);
+        let (a, b) = m.two_cols_mut(0, 2);
+        a[0] = 100.0;
+        b[3] = -1.0;
+        assert_eq!(m[(0, 0)], 100.0);
+        assert_eq!(m[(3, 2)], -1.0);
+    }
+
+    #[test]
+    fn cols_copy_extracts_block() {
+        let m = Mat::from_fn(3, 4, |i, j| (j * 3 + i) as f64);
+        let b = m.cols_copy(1, 3);
+        assert_eq!(b.ncols(), 2);
+        assert_eq!(b[(0, 0)], m[(0, 1)]);
+        assert_eq!(b[(2, 1)], m[(2, 2)]);
+    }
+
+    #[test]
+    fn from_col_major_checks_len() {
+        assert!(Mat::from_col_major(2, 2, vec![1.0; 3]).is_err());
+        let m = Mat::from_col_major(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m[(1, 0)], 2.0);
+        assert_eq!(m[(0, 1)], 3.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Mat::from_fn(2, 2, |i, j| (i + j) as f64);
+        let b = Mat::identity(2);
+        a.axpy(2.0, &b);
+        assert_eq!(a[(0, 0)], 2.0);
+        assert_eq!(a[(1, 1)], 4.0);
+        a.scale(0.5);
+        assert_eq!(a[(1, 1)], 2.0);
+    }
+
+    #[test]
+    fn resize_cols_zero_fills() {
+        let mut m = Mat::from_fn(2, 1, |_, _| 7.0);
+        m.resize_cols(3);
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m[(0, 0)], 7.0);
+        assert_eq!(m[(1, 2)], 0.0);
+    }
+}

@@ -1,0 +1,910 @@
+//! A simulated GPU device: private memory, real arithmetic, modeled time.
+//!
+//! A [`Device`] owns vectors ([`VecId`]), tall dense matrices ([`MatId`],
+//! used for the Krylov basis blocks) and sparse slices ([`SpId`], ELLPACK
+//! with *global* column indices plus the global row ids of the slice).
+//! Every kernel method performs the actual f64 computation (so numerics
+//! are real) and advances the device's private clock by the calibrated
+//! [`PerfModel`] cost. Host-side data plumbing (reading results, uploads)
+//! is free here; PCIe costs are charged by
+//! [`MultiGpu`](crate::multi::MultiGpu)'s transfer methods.
+
+use crate::model::{GemmVariant, GemvVariant, PerfModel};
+use ca_dense::{blas1, blas3, qr, Mat};
+use rayon::prelude::*;
+use ca_sparse::{Ell, Hyb};
+use std::sync::Arc;
+
+/// Handle to a device vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VecId(pub(crate) usize);
+
+/// Handle to a device dense matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatId(pub(crate) usize);
+
+/// Handle to a device sparse slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpId(pub(crate) usize);
+
+/// Sparse storage of a device slice: plain ELLPACK (the paper's GPU
+/// format) or hybrid ELL + COO (CUSP-style, robust to hub rows).
+#[derive(Debug, Clone)]
+pub enum SpStorage {
+    /// ELLPACK: width = longest row, padding priced like real data.
+    Ell(Ell),
+    /// Hybrid: bounded-width ELL part plus a COO tail.
+    Hyb(Hyb),
+}
+
+impl SpStorage {
+    /// Rows in the slice.
+    pub fn nrows(&self) -> usize {
+        match self {
+            SpStorage::Ell(e) => e.nrows(),
+            SpStorage::Hyb(h) => h.nrows(),
+        }
+    }
+
+    /// Device bytes occupied.
+    pub fn bytes(&self) -> usize {
+        match self {
+            SpStorage::Ell(e) => e.bytes(),
+            SpStorage::Hyb(h) => h.bytes(),
+        }
+    }
+
+    /// `y := A x`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        match self {
+            SpStorage::Ell(e) => e.spmv(x, y),
+            SpStorage::Hyb(h) => h.spmv(x, y),
+        }
+    }
+}
+
+/// A sparse slice: rows `rows[i]` (global ids) of some global matrix,
+/// stored with global column indices.
+#[derive(Debug, Clone)]
+pub struct SpSlice {
+    /// Sparse storage (ncols = global n).
+    pub storage: SpStorage,
+    /// Global row ids, one per local row.
+    pub rows: Vec<u32>,
+}
+
+/// One simulated GPU.
+#[derive(Debug)]
+pub struct Device {
+    id: usize,
+    clock: f64,
+    model: Arc<PerfModel>,
+    vecs: Vec<Vec<f64>>,
+    mats: Vec<Mat>,
+    slices: Vec<SpSlice>,
+    mem_bytes: usize,
+}
+
+impl Device {
+    pub(crate) fn new(id: usize, model: Arc<PerfModel>) -> Self {
+        Self { id, clock: 0.0, model, vecs: Vec::new(), mats: Vec::new(), slices: Vec::new(), mem_bytes: 0 }
+    }
+
+    /// Device index (0-based).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Simulated seconds this device has been busy.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    pub(crate) fn set_clock(&mut self, t: f64) {
+        self.clock = t;
+    }
+
+    pub(crate) fn advance(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0);
+        self.clock += dt;
+    }
+
+    /// Bytes of device memory currently allocated (the paper's MPK storage
+    /// overhead discussion, §IV-A).
+    pub fn mem_used(&self) -> usize {
+        self.mem_bytes
+    }
+
+    /// Bytes still available before the modeled capacity is exhausted.
+    pub fn mem_free(&self) -> usize {
+        self.model.dev_mem_capacity.saturating_sub(self.mem_bytes)
+    }
+
+    fn charge_mem(&mut self, bytes: usize) {
+        assert!(
+            self.mem_bytes + bytes <= self.model.dev_mem_capacity,
+            "device {} out of memory: {} used + {} requested > {} capacity \
+             (MPK boundary storage grows with s — see paper §IV-A; reduce s, \
+             use more GPUs, or raise PerfModel::dev_mem_capacity)",
+            self.id,
+            self.mem_bytes,
+            bytes,
+            self.model.dev_mem_capacity
+        );
+        self.mem_bytes += bytes;
+    }
+
+    // ---------- allocation (free: matches the paper excluding setup) ----------
+
+    /// Allocate a zeroed device vector.
+    ///
+    /// # Panics
+    /// When the modeled device memory capacity would be exceeded.
+    pub fn alloc_vec(&mut self, len: usize) -> VecId {
+        self.charge_mem(len * 8);
+        self.vecs.push(vec![0.0; len]);
+        VecId(self.vecs.len() - 1)
+    }
+
+    /// Allocate a zeroed `rows x cols` device matrix.
+    ///
+    /// # Panics
+    /// When the modeled device memory capacity would be exceeded.
+    pub fn alloc_mat(&mut self, rows: usize, cols: usize) -> MatId {
+        self.charge_mem(rows * cols * 8);
+        self.mats.push(Mat::zeros(rows, cols));
+        MatId(self.mats.len() - 1)
+    }
+
+    /// Load an ELLPACK sparse slice into device memory.
+    pub fn load_slice(&mut self, ell: Ell, rows: Vec<u32>) -> SpId {
+        self.load_slice_storage(SpStorage::Ell(ell), rows)
+    }
+
+    /// Load a sparse slice in any storage format.
+    ///
+    /// # Panics
+    /// When the modeled device memory capacity would be exceeded.
+    pub fn load_slice_storage(&mut self, storage: SpStorage, rows: Vec<u32>) -> SpId {
+        assert_eq!(storage.nrows(), rows.len());
+        self.charge_mem(storage.bytes() + rows.len() * 4);
+        self.slices.push(SpSlice { storage, rows });
+        SpId(self.slices.len() - 1)
+    }
+
+    fn spmv_cost(&self, s: SpId) -> f64 {
+        match &self.slices[s.0].storage {
+            SpStorage::Ell(e) => self.model.spmv_time(e.padded_nnz(), e.nrows()),
+            SpStorage::Hyb(h) => {
+                self.model.spmv_hyb_time(h.width() * h.nrows(), h.spilled(), h.nrows())
+            }
+        }
+    }
+
+    // ---------- host-side inspection (free) ----------
+
+    /// Read a device vector (host-side debugging/assembly; no cost — pair
+    /// with a `MultiGpu` transfer charge when modeling a real download).
+    pub fn vec(&self, v: VecId) -> &[f64] {
+        &self.vecs[v.0]
+    }
+
+    /// Mutable host-side access to a device vector.
+    pub fn vec_mut(&mut self, v: VecId) -> &mut Vec<f64> {
+        &mut self.vecs[v.0]
+    }
+
+    /// Read a device matrix.
+    pub fn mat(&self, m: MatId) -> &Mat {
+        &self.mats[m.0]
+    }
+
+    /// Mutable host-side access to a device matrix.
+    pub fn mat_mut(&mut self, m: MatId) -> &mut Mat {
+        &mut self.mats[m.0]
+    }
+
+    /// Read a sparse slice.
+    pub fn slice(&self, s: SpId) -> &SpSlice {
+        &self.slices[s.0]
+    }
+
+    // ---------- BLAS-1 kernels ----------
+
+    /// `V[:, dst] += alpha * V[:, src]`.
+    pub fn axpy_cols(&mut self, v: MatId, alpha: f64, src: usize, dst: usize) {
+        let rows = self.mats[v.0].nrows();
+        let (s, d) = if src < dst {
+            let (a, b) = self.mats[v.0].two_cols_mut(src, dst);
+            (a, b)
+        } else {
+            let (a, b) = self.mats[v.0].two_cols_mut(dst, src);
+            (b, a)
+        };
+        blas1::axpy(alpha, s, d);
+        self.advance(self.model.blas1_time(3 * rows));
+    }
+
+    /// `V[:, col] *= alpha`.
+    pub fn scal_col(&mut self, v: MatId, col: usize, alpha: f64) {
+        blas1::scal(alpha, self.mats[v.0].col_mut(col));
+        let rows = self.mats[v.0].nrows();
+        self.advance(self.model.blas1_time(2 * rows));
+    }
+
+    /// Local dot product `V[:, a] . V[:, b]` (the MGS building block).
+    pub fn dot_cols(&mut self, v: MatId, a: usize, b: usize) -> f64 {
+        let m = &self.mats[v.0];
+        let r = blas1::dot(m.col(a), m.col(b));
+        let rows = m.nrows();
+        self.advance(self.model.blas1_time(2 * rows));
+        r
+    }
+
+    /// Squared norm of `V[:, col]` (same cost as a dot).
+    pub fn norm2_sq_col(&mut self, v: MatId, col: usize) -> f64 {
+        self.dot_cols(v, col, col)
+    }
+
+    /// Copy `V[:, src]` to `V[:, dst]`.
+    pub fn copy_col(&mut self, v: MatId, src: usize, dst: usize) {
+        let data = self.mats[v.0].col_to_vec(src);
+        self.mats[v.0].set_col(dst, &data);
+        let rows = self.mats[v.0].nrows();
+        self.advance(self.model.blas1_time(2 * rows));
+    }
+
+    // ---------- BLAS-2 kernels ----------
+
+    /// `r := V[:, j0..j1]^T V[:, x]` — CGS's projection GEMV.
+    pub fn gemv_t_cols(
+        &mut self,
+        v: MatId,
+        j0: usize,
+        j1: usize,
+        x: usize,
+        variant: GemvVariant,
+    ) -> Vec<f64> {
+        let m = &self.mats[v.0];
+        let xcol = m.col(x);
+        let mut r = vec![0.0; j1 - j0];
+        for (k, j) in (j0..j1).enumerate() {
+            r[k] = blas1::dot(m.col(j), xcol);
+        }
+        self.advance(self.model.gemv_t_time(variant, m.nrows(), j1 - j0));
+        r
+    }
+
+    /// `V[:, dst] -= V[:, j0..j1] * coeffs` — the Gram-Schmidt update GEMV.
+    pub fn gemv_n_update(&mut self, v: MatId, j0: usize, j1: usize, coeffs: &[f64], dst: usize) {
+        assert_eq!(coeffs.len(), j1 - j0);
+        let m = &mut self.mats[v.0];
+        let rows = m.nrows();
+        for (k, j) in (j0..j1).enumerate() {
+            let c = coeffs[k];
+            if c != 0.0 {
+                let (s, d) = if j < dst {
+                    m.two_cols_mut(j, dst)
+                } else {
+                    let (a, b) = m.two_cols_mut(dst, j);
+                    (b, a)
+                };
+                blas1::axpy(-c, s, d);
+            }
+        }
+        // modeled as one fused GEMV-like streaming pass
+        self.advance(self.model.gemv_t_time(GemvVariant::MagmaTallSkinny, rows, j1 - j0));
+    }
+
+    /// Rank-1 update `V[:, c0..c1] -= V[:, src] * coeffs^T` — MGS-style
+    /// block orthogonalization against a single previous vector, charged
+    /// like one streaming GEMV pass.
+    pub fn rank1_update(&mut self, v: MatId, src: usize, c0: usize, c1: usize, coeffs: &[f64]) {
+        assert_eq!(coeffs.len(), c1 - c0);
+        let m = &mut self.mats[v.0];
+        let rows = m.nrows();
+        for (k, j) in (c0..c1).enumerate() {
+            let c = coeffs[k];
+            if c != 0.0 && j != src {
+                let (s, d) = if src < j {
+                    m.two_cols_mut(src, j)
+                } else {
+                    let (a, b) = m.two_cols_mut(j, src);
+                    (b, a)
+                };
+                blas1::axpy(-c, s, d);
+            }
+        }
+        self.advance(self.model.gemv_t_time(GemvVariant::MagmaTallSkinny, rows, c1 - c0));
+    }
+
+    // ---------- BLAS-3 kernels ----------
+
+    /// Gram matrix `B := V[:, j0..j1]^T V[:, j0..j1]` (CholQR/SVQR step 1).
+    /// The batched variant computes panel-partial sums in the batched
+    /// order — numerically distinct from the flat order, as on the GPU.
+    pub fn syrk_cols(&mut self, v: MatId, j0: usize, j1: usize, variant: GemmVariant) -> Mat {
+        let k = j1 - j0;
+        let m = &self.mats[v.0];
+        let rows = m.nrows();
+        let mut b = Mat::zeros(k, k);
+        // parallel over output columns (disjoint writes, deterministic
+        // inner panel order => bitwise-stable results)
+        let cols: Vec<Vec<f64>> = (0..k)
+            .into_par_iter()
+            .map(|jj| {
+                let cj_full = m.col(j0 + jj);
+                let mut out = vec![0.0f64; jj + 1];
+                match variant.panel_rows() {
+                    None => {
+                        for (ii, o) in out.iter_mut().enumerate() {
+                            *o = blas1::dot(m.col(j0 + ii), cj_full);
+                        }
+                    }
+                    Some(h) => {
+                        let nb = rows.div_ceil(h).max(1);
+                        for p in 0..nb {
+                            let r0 = p * h;
+                            let r1 = (r0 + h).min(rows);
+                            let cj = &cj_full[r0..r1];
+                            for (ii, o) in out.iter_mut().enumerate() {
+                                *o += blas1::dot(&m.col(j0 + ii)[r0..r1], cj);
+                            }
+                        }
+                    }
+                }
+                out
+            })
+            .collect();
+        for (jj, col) in cols.iter().enumerate() {
+            for (ii, &v) in col.iter().enumerate() {
+                b[(ii, jj)] = v;
+                b[(jj, ii)] = v;
+            }
+        }
+        self.advance(self.model.gemm_tn_time(variant, rows, k, k));
+        b
+    }
+
+    /// Gram matrix accumulated in **single precision** — the
+    /// mixed-precision CholQR variant of \[23\]: entries are rounded to f32
+    /// and the partial sums accumulate in f32, so the result carries
+    /// genuine single-precision rounding. About half the cost of the f64
+    /// kernel on Fermi-class hardware.
+    pub fn syrk_cols_f32(&mut self, v: MatId, j0: usize, j1: usize, variant: GemmVariant) -> Mat {
+        let k = j1 - j0;
+        let m = &self.mats[v.0];
+        let rows = m.nrows();
+        let mut b = Mat::zeros(k, k);
+        let h = variant.panel_rows().unwrap_or(rows.max(1));
+        let nb = rows.div_ceil(h).max(1);
+        for p in 0..nb {
+            let r0 = p * h;
+            let r1 = (r0 + h).min(rows);
+            for jj in 0..k {
+                let cj = &m.col(j0 + jj)[r0..r1];
+                for ii in 0..=jj {
+                    let ci = &m.col(j0 + ii)[r0..r1];
+                    let mut acc = 0.0f32;
+                    for (x, y) in ci.iter().zip(cj) {
+                        acc += (*x as f32) * (*y as f32);
+                    }
+                    b[(ii, jj)] += acc as f64; // panel sums reduced in f64
+                }
+            }
+        }
+        for jj in 0..k {
+            for ii in 0..jj {
+                b[(jj, ii)] = b[(ii, jj)];
+            }
+        }
+        self.advance(self.model.gemm_tn_time_f32(variant, rows, k, k));
+        b
+    }
+
+    /// `C := V[:, a0..a1]^T V[:, b0..b1]` — BOrth's block projection.
+    pub fn gemm_tn_cols(
+        &mut self,
+        v: MatId,
+        (a0, a1): (usize, usize),
+        (b0, b1): (usize, usize),
+        variant: GemmVariant,
+    ) -> Mat {
+        let (ka, kb) = (a1 - a0, b1 - b0);
+        let m = &self.mats[v.0];
+        let rows = m.nrows();
+        let mut c = Mat::zeros(ka, kb);
+        let cols: Vec<Vec<f64>> = (0..kb)
+            .into_par_iter()
+            .map(|jb| {
+                let cb_full = m.col(b0 + jb);
+                let mut out = vec![0.0f64; ka];
+                match variant.panel_rows() {
+                    None => {
+                        for (ja, o) in out.iter_mut().enumerate() {
+                            *o = blas1::dot(m.col(a0 + ja), cb_full);
+                        }
+                    }
+                    Some(h) => {
+                        let nb = rows.div_ceil(h).max(1);
+                        for p in 0..nb {
+                            let r0 = p * h;
+                            let r1 = (r0 + h).min(rows);
+                            let cb = &cb_full[r0..r1];
+                            for (ja, o) in out.iter_mut().enumerate() {
+                                *o += blas1::dot(&m.col(a0 + ja)[r0..r1], cb);
+                            }
+                        }
+                    }
+                }
+                out
+            })
+            .collect();
+        for (jb, col) in cols.iter().enumerate() {
+            for (ja, &v) in col.iter().enumerate() {
+                c[(ja, jb)] = v;
+            }
+        }
+        self.advance(self.model.gemm_tn_time(variant, rows, ka, kb));
+        c
+    }
+
+    /// `V[:, b0..b1] -= V[:, a0..a1] * C` — BOrth's block update.
+    pub fn gemm_nn_update(
+        &mut self,
+        v: MatId,
+        (a0, a1): (usize, usize),
+        (b0, b1): (usize, usize),
+        c: &Mat,
+        variant: GemmVariant,
+    ) {
+        assert_eq!(c.nrows(), a1 - a0);
+        assert_eq!(c.ncols(), b1 - b0);
+        let m = &mut self.mats[v.0];
+        let rows = m.nrows();
+        for jb in 0..(b1 - b0) {
+            for ja in 0..(a1 - a0) {
+                let coef = c[(ja, jb)];
+                if coef != 0.0 {
+                    let (src, dst) = if a0 + ja < b0 + jb {
+                        m.two_cols_mut(a0 + ja, b0 + jb)
+                    } else {
+                        let (x, y) = m.two_cols_mut(b0 + jb, a0 + ja);
+                        (y, x)
+                    };
+                    blas1::axpy(-coef, src, dst);
+                }
+            }
+        }
+        self.advance(self.model.gemm_nn_time(variant, rows, a1 - a0, b1 - b0));
+    }
+
+    /// `V[:, j0..j1] := V[:, j0..j1] R^{-1}` (CholQR/SVQR step 3, DTRSM).
+    pub fn trsm_cols(&mut self, v: MatId, j0: usize, j1: usize, r: &Mat) -> ca_dense::Result<()> {
+        let k = j1 - j0;
+        assert_eq!(r.ncols(), k);
+        let m = &mut self.mats[v.0];
+        let rows = m.nrows();
+        // column-oriented forward sweep, same as blas3::trsm_right_upper
+        for j in 0..k {
+            for l in 0..j {
+                let rlj = r[(l, j)];
+                if rlj != 0.0 {
+                    let (src, dst) = m.two_cols_mut(j0 + l, j0 + j);
+                    blas1::axpy(-rlj, src, dst);
+                }
+            }
+            let d = r[(j, j)];
+            if d == 0.0 {
+                return Err(ca_dense::DenseError::SingularTriangular { index: j });
+            }
+            blas1::scal(1.0 / d, m.col_mut(j0 + j));
+        }
+        self.advance(self.model.trsm_time(rows, k));
+        Ok(())
+    }
+
+    /// `V[:, j0..j1] := V[:, j0..j1] * Q` with small `k x k` `Q` (CAQR's
+    /// final local update). Charged like an NN gemm.
+    pub fn gemm_right_small(&mut self, v: MatId, j0: usize, j1: usize, q: &Mat) {
+        let k = j1 - j0;
+        assert_eq!(q.nrows(), k);
+        assert_eq!(q.ncols(), k);
+        let m = &mut self.mats[v.0];
+        let rows = m.nrows();
+        let block = m.cols_copy(j0, j1);
+        let mut out = Mat::zeros(rows, k);
+        blas3::gemm_nn(1.0, &block, q, 0.0, &mut out);
+        for j in 0..k {
+            m.set_col(j0 + j, out.col(j));
+        }
+        self.advance(self.model.gemm_nn_time(GemmVariant::Batched { h: 384 }, rows, k, k));
+    }
+
+    /// Local Householder QR of `V[:, j0..j1]`: Q replaces the columns, R is
+    /// returned (CAQR's per-device factorization; BLAS-1/2 cost).
+    pub fn local_qr_cols(&mut self, v: MatId, j0: usize, j1: usize) -> Mat {
+        let k = j1 - j0;
+        let m = &mut self.mats[v.0];
+        let rows = m.nrows();
+        let block = m.cols_copy(j0, j1);
+        let f = qr::householder_qr(&block);
+        for j in 0..k {
+            m.set_col(j0 + j, f.q.col(j));
+        }
+        self.advance(self.model.geqr2_time(rows, k));
+        f.r
+    }
+
+    /// Tree (batched-panel) local TSQR of `V[:, j0..j1]` — the paper's
+    /// footnote-6 "batched QRs on a GPU": factor `h`-row panels
+    /// independently (one batched launch in the model), QR the stacked
+    /// panel R's, and apply the small Q back per panel. Q replaces the
+    /// columns; R is returned. Numerically a genuine TSQR binary tree of
+    /// depth 2, so the result differs from [`Device::local_qr_cols`] at
+    /// the rounding level only.
+    pub fn local_qr_tree_cols(&mut self, v: MatId, j0: usize, j1: usize, h: usize) -> Mat {
+        let k = j1 - j0;
+        let m = &mut self.mats[v.0];
+        let rows = m.nrows();
+        let h = h.max(k).max(1);
+        let nb = rows.div_ceil(h).max(1);
+        let block = m.cols_copy(j0, j1);
+
+        // leaf panels
+        let mut panel_qs: Vec<Mat> = Vec::with_capacity(nb);
+        let mut stacked = Mat::zeros(nb * k, k);
+        for p in 0..nb {
+            let r0 = p * h;
+            let r1 = (r0 + h).min(rows);
+            let panel = Mat::from_fn(r1 - r0, k, |i, j| block[(r0 + i, j)]);
+            let f = qr::householder_qr(&panel);
+            for j in 0..k {
+                for i in 0..k.min(f.r.nrows()) {
+                    stacked[(p * k + i, j)] = f.r[(i, j)];
+                }
+            }
+            panel_qs.push(f.q);
+        }
+        // root
+        let froot = qr::householder_qr(&stacked);
+        // apply: Q panel_p := Q_p * Qroot[p*k..(p+1)*k, :]
+        for (p, qp) in panel_qs.iter().enumerate() {
+            let qroot_p = Mat::from_fn(k.min(qp.ncols()), k, |i, j| froot.q[(p * k + i, j)]);
+            let mut out = Mat::zeros(qp.nrows(), k);
+            blas3::gemm_nn(1.0, qp, &qroot_p, 0.0, &mut out);
+            let r0 = p * h;
+            for j in 0..k {
+                for i in 0..out.nrows() {
+                    m[(r0 + i, j0 + j)] = out[(i, j)];
+                }
+            }
+        }
+        self.advance(self.model.geqr2_batched_time(rows, k, h));
+        froot.r
+    }
+
+    // ---------- sparse kernels ----------
+
+    /// `V[:, col] := A_slice * x` where the slice's rows coincide 1:1 with
+    /// the matrix rows (the local diagonal block of SpMV/MPK).
+    pub fn spmv_to_mat_col(&mut self, s: SpId, x: VecId, v: MatId, col: usize) {
+        let y = {
+            let sl = &self.slices[s.0];
+            let mut y = vec![0.0; sl.storage.nrows()];
+            sl.storage.spmv(&self.vecs[x.0], &mut y);
+            y
+        };
+        assert_eq!(y.len(), self.mats[v.0].nrows());
+        self.mats[v.0].set_col(col, &y);
+        self.advance(self.spmv_cost(s));
+    }
+
+    /// `z[rows[i]] := (A_slice * x)_i` — MPK's compute-then-expand step for
+    /// one slice (local block or one boundary level).
+    pub fn spmv_scatter(&mut self, s: SpId, x: VecId, z: VecId) {
+        let (y, rows_v): (Vec<f64>, Vec<u32>) = {
+            let sl = &self.slices[s.0];
+            let mut y = vec![0.0; sl.storage.nrows()];
+            sl.storage.spmv(&self.vecs[x.0], &mut y);
+            (y, sl.rows.clone())
+        };
+        let zv = &mut self.vecs[z.0];
+        for (i, &r) in rows_v.iter().enumerate() {
+            zv[r as usize] = y[i];
+        }
+        self.advance(
+            self.spmv_cost(s) + self.model.blas1_time(2 * rows_v.len()) - self.model.launch_s, // fused expand
+        );
+    }
+
+    /// Fused basis-recurrence MPK step for one slice:
+    /// `z_next[r] := scale * ((A_slice * z_cur)_i - re * z_cur[r]) + im2 * z_next[r]`
+    /// for each slice row `r = rows[i]`.
+    ///
+    /// With `re = im2 = 0, scale = 1` this is the monomial step; a real
+    /// Newton shift `theta` uses `re = theta`; the second step of a
+    /// complex-conjugate shift pair passes `im2 = b^2` (the
+    /// real-arithmetic rearrangement of §IV-A / \[4, §7.3.2\]), reading the
+    /// two-steps-ago vector still resident in the `z_next` double buffer;
+    /// the Chebyshev recurrence uses `scale = 2/delta, im2 = -1`.
+    pub fn spmv_shift_scatter(
+        &mut self,
+        s: SpId,
+        z_cur: VecId,
+        z_next: VecId,
+        re: f64,
+        im2: f64,
+        scale: f64,
+    ) {
+        assert_ne!(z_cur.0, z_next.0, "MPK needs distinct double buffers");
+        let (y, rows_v): (Vec<f64>, Vec<u32>) = {
+            let sl = &self.slices[s.0];
+            let mut y = vec![0.0; sl.storage.nrows()];
+            sl.storage.spmv(&self.vecs[z_cur.0], &mut y);
+            (y, sl.rows.clone())
+        };
+        // borrow discipline: read z_cur values before mutating z_next
+        let shifted: Vec<f64> = if re != 0.0 || scale != 1.0 {
+            let zc = &self.vecs[z_cur.0];
+            rows_v
+                .iter()
+                .zip(&y)
+                .map(|(&r, &yi)| scale * (yi - re * zc[r as usize]))
+                .collect()
+        } else {
+            y
+        };
+        let zn = &mut self.vecs[z_next.0];
+        if im2 != 0.0 {
+            for (&r, &v) in rows_v.iter().zip(&shifted) {
+                let old = zn[r as usize];
+                zn[r as usize] = v + im2 * old;
+            }
+        } else {
+            for (&r, &v) in rows_v.iter().zip(&shifted) {
+                zn[r as usize] = v;
+            }
+        }
+        self.advance(
+            self.spmv_cost(s) + self.model.blas1_time(2 * rows_v.len())
+                - self.model.launch_s, // fused shift+expand
+        );
+    }
+
+    /// Copy `z[rows[i]]` into `V[i, col]` — MPK's "copy the local part of y
+    /// into v" step.
+    pub fn gather_vec_to_col(&mut self, z: VecId, rows: &[u32], v: MatId, col: usize) {
+        let vals: Vec<f64> = rows.iter().map(|&r| self.vecs[z.0][r as usize]).collect();
+        assert_eq!(vals.len(), self.mats[v.0].nrows());
+        self.mats[v.0].set_col(col, &vals);
+        self.advance(self.model.blas1_time(2 * rows.len()));
+    }
+
+    /// Scatter `V[i, col]` into `z[rows[i]]` — load a basis column into a
+    /// full-length work vector before SpMV/MPK.
+    pub fn scatter_col_to_vec(&mut self, v: MatId, col: usize, z: VecId, rows: &[u32]) {
+        let colv = self.mats[v.0].col_to_vec(col);
+        assert_eq!(colv.len(), rows.len());
+        let zv = &mut self.vecs[z.0];
+        for (i, &r) in rows.iter().enumerate() {
+            zv[r as usize] = colv[i];
+        }
+        self.advance(self.model.blas1_time(2 * rows.len()));
+    }
+
+    /// Compress selected entries of a device vector into a contiguous host
+    /// buffer (the "compress ... into w" kernel of Fig. 4). PCIe cost is
+    /// charged separately by the `MultiGpu` transfer that ships the result.
+    pub fn compress(&mut self, z: VecId, idxs: &[u32]) -> Vec<f64> {
+        let zv = &self.vecs[z.0];
+        let out: Vec<f64> = idxs.iter().map(|&i| zv[i as usize]).collect();
+        self.advance(self.model.blas1_time(2 * idxs.len()));
+        out
+    }
+
+    /// Expand host values into selected entries of a device vector (the
+    /// "expand w into a full vector" kernel of Fig. 4).
+    pub fn expand(&mut self, z: VecId, idxs: &[u32], vals: &[f64]) {
+        assert_eq!(idxs.len(), vals.len());
+        let zv = &mut self.vecs[z.0];
+        for (&i, &v) in idxs.iter().zip(vals) {
+            zv[i as usize] = v;
+        }
+        self.advance(self.model.blas1_time(2 * idxs.len()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_sparse::gen::laplace2d;
+
+    fn dev() -> Device {
+        Device::new(0, Arc::new(PerfModel::default()))
+    }
+
+    #[test]
+    fn clock_advances_on_kernels() {
+        let mut d = dev();
+        let v = d.alloc_mat(1000, 4);
+        assert_eq!(d.clock(), 0.0);
+        d.dot_cols(v, 0, 1);
+        let t1 = d.clock();
+        assert!(t1 > 0.0);
+        d.dot_cols(v, 0, 1);
+        assert!((d.clock() - 2.0 * t1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dot_and_axpy_compute() {
+        let mut d = dev();
+        let v = d.alloc_mat(3, 2);
+        d.mat_mut(v).set_col(0, &[1.0, 2.0, 3.0]);
+        d.mat_mut(v).set_col(1, &[4.0, 5.0, 6.0]);
+        assert_eq!(d.dot_cols(v, 0, 1), 32.0);
+        d.axpy_cols(v, 2.0, 0, 1);
+        assert_eq!(d.mat(v).col(1), &[6.0, 9.0, 12.0]);
+        d.scal_col(v, 0, -1.0);
+        assert_eq!(d.mat(v).col(0), &[-1.0, -2.0, -3.0]);
+    }
+
+    #[test]
+    fn gemv_t_matches_dots() {
+        let mut d = dev();
+        let v = d.alloc_mat(5, 3);
+        for j in 0..3 {
+            let col: Vec<f64> = (0..5).map(|i| (i + j) as f64).collect();
+            d.mat_mut(v).set_col(j, &col);
+        }
+        let r = d.gemv_t_cols(v, 0, 2, 2, GemvVariant::MagmaTallSkinny);
+        let m = d.mat(v);
+        assert_eq!(r[0], blas1::dot(m.col(0), m.col(2)));
+        assert_eq!(r[1], blas1::dot(m.col(1), m.col(2)));
+    }
+
+    #[test]
+    fn gemv_update_orthogonalizes() {
+        let mut d = dev();
+        let v = d.alloc_mat(4, 2);
+        d.mat_mut(v).set_col(0, &[1.0, 0.0, 0.0, 0.0]);
+        d.mat_mut(v).set_col(1, &[3.0, 1.0, 0.0, 0.0]);
+        let r = d.gemv_t_cols(v, 0, 1, 1, GemvVariant::Cublas);
+        d.gemv_n_update(v, 0, 1, &r, 1);
+        assert_eq!(d.mat(v).col(1), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn syrk_variants_agree_numerically() {
+        let mut d = dev();
+        let v = d.alloc_mat(100, 4);
+        for j in 0..4 {
+            let col: Vec<f64> = (0..100).map(|i| ((i * (j + 1)) as f64 * 0.01).sin()).collect();
+            d.mat_mut(v).set_col(j, &col);
+        }
+        let b1 = d.syrk_cols(v, 0, 4, GemmVariant::Cublas);
+        let b2 = d.syrk_cols(v, 0, 4, GemmVariant::Batched { h: 32 });
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((b1[(i, j)] - b2[(i, j)]).abs() < 1e-12);
+                assert_eq!(b2[(i, j)], b2[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_syrk_charges_less_time_than_cublas() {
+        let mut d = dev();
+        let v = d.alloc_mat(100_000, 8);
+        let t0 = d.clock();
+        d.syrk_cols(v, 0, 8, GemmVariant::Cublas);
+        let t_cublas = d.clock() - t0;
+        let t1 = d.clock();
+        d.syrk_cols(v, 0, 8, GemmVariant::Batched { h: 384 });
+        let t_batched = d.clock() - t1;
+        assert!(t_batched < t_cublas, "batched {t_batched} vs cublas {t_cublas}");
+    }
+
+    #[test]
+    fn trsm_applies_inverse() {
+        let mut d = dev();
+        let v = d.alloc_mat(3, 2);
+        d.mat_mut(v).set_col(0, &[2.0, 4.0, 6.0]);
+        d.mat_mut(v).set_col(1, &[3.0, 3.0, 3.0]);
+        let mut r = Mat::zeros(2, 2);
+        r[(0, 0)] = 2.0;
+        r[(0, 1)] = 1.0;
+        r[(1, 1)] = 3.0;
+        d.trsm_cols(v, 0, 2, &r).unwrap();
+        // col0 /= 2 -> [1,2,3]; col1 = (col1 - 1*col0_orig/2... forward sweep:
+        // col1 -= r01 * col0_new = [3,3,3] - [1,2,3] = [2,1,0]; /3 -> [2/3,1/3,0]
+        assert_eq!(d.mat(v).col(0), &[1.0, 2.0, 3.0]);
+        let c1 = d.mat(v).col(1);
+        assert!((c1[0] - 2.0 / 3.0).abs() < 1e-15);
+        assert!((c1[2] - 0.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn local_qr_leaves_orthonormal_q() {
+        let mut d = dev();
+        let v = d.alloc_mat(50, 3);
+        for j in 0..3 {
+            let col: Vec<f64> = (0..50).map(|i| ((i * 7 + j * 3) % 13) as f64 - 6.0).collect();
+            d.mat_mut(v).set_col(j, &col);
+        }
+        let orig = d.mat(v).cols_copy(0, 3);
+        let r = d.local_qr_cols(v, 0, 3);
+        let q = d.mat(v).cols_copy(0, 3);
+        assert!(ca_dense::norms::orthogonality_error(&q) < 1e-12);
+        assert!(ca_dense::norms::factorization_error(&orig, &q, &r) < 1e-13);
+    }
+
+    #[test]
+    fn spmv_scatter_places_rows() {
+        let mut d = dev();
+        let a = laplace2d(4, 4); // n = 16
+        let rows: Vec<u32> = vec![2, 5, 7];
+        let sl = a.select_rows(&[2, 5, 7]);
+        let s = d.load_slice(Ell::from_csr(&sl), rows);
+        let x = d.alloc_vec(16);
+        for (i, xv) in d.vec_mut(x).iter_mut().enumerate() {
+            *xv = i as f64;
+        }
+        let z = d.alloc_vec(16);
+        d.spmv_scatter(s, x, z);
+        // check z[5] = row 5 of A times x
+        let mut y = vec![0.0; 16];
+        let xs: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        ca_sparse::spmv::spmv(&a, &xs, &mut y);
+        assert_eq!(d.vec(z)[5], y[5]);
+        assert_eq!(d.vec(z)[2], y[2]);
+        assert_eq!(d.vec(z)[0], 0.0); // untouched
+    }
+
+    #[test]
+    fn compress_expand_roundtrip() {
+        let mut d = dev();
+        let z = d.alloc_vec(10);
+        for (i, v) in d.vec_mut(z).iter_mut().enumerate() {
+            *v = i as f64;
+        }
+        let idxs = vec![1u32, 3, 8];
+        let w = d.compress(z, &idxs);
+        assert_eq!(w, vec![1.0, 3.0, 8.0]);
+        let z2 = d.alloc_vec(10);
+        d.expand(z2, &idxs, &w);
+        assert_eq!(d.vec(z2)[3], 3.0);
+        assert_eq!(d.vec(z2)[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of memory")]
+    fn capacity_enforced() {
+        let model = PerfModel { dev_mem_capacity: 1 << 20, ..Default::default() }; // 1 MiB toy
+        let mut d = Device::new(0, Arc::new(model));
+        d.alloc_vec(100_000); // 800 KB fits
+        d.alloc_vec(100_000); // 1.6 MB total: must panic
+    }
+
+    #[test]
+    fn mem_free_reports_headroom() {
+        let model = PerfModel { dev_mem_capacity: 1 << 20, ..Default::default() };
+        let mut d = Device::new(0, Arc::new(model));
+        assert_eq!(d.mem_free(), 1 << 20);
+        d.alloc_vec(1000);
+        assert_eq!(d.mem_free(), (1 << 20) - 8000);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let mut d = dev();
+        let before = d.mem_used();
+        d.alloc_vec(100);
+        assert_eq!(d.mem_used() - before, 800);
+        let a = laplace2d(3, 3);
+        let e = Ell::from_csr(&a);
+        let bytes = e.bytes();
+        d.load_slice(e, (0..9).collect());
+        assert_eq!(d.mem_used() - before, 800 + bytes + 9 * 4);
+    }
+}

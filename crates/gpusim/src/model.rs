@@ -1,0 +1,433 @@
+//! Performance model of one NVIDIA M2090 (Fermi) GPU, its PCIe gen-2 link,
+//! and the host's 16 Sandy Bridge cores.
+//!
+//! Every simulated kernel charges
+//! `t = launches * launch_latency + flops / throughput + bytes / bandwidth`,
+//! with per-kernel-variant `(throughput, bandwidth)` pairs. The variants and
+//! their relative calibration reproduce the *shapes* of the paper's
+//! Figure 11:
+//!
+//! * CUBLAS 4.2 DGEMM is terrible on tall-skinny operands ("the performance
+//!   of CUBLAS DGEMM was lower than that of MKL or that of MAGMA DGEMV"),
+//! * the paper's batched DGEMM with h-row panels "outperforms the other
+//!   implementations",
+//! * CUBLAS DGEMV is similarly poor and the optimized MAGMA tall-skinny
+//!   DGEMV "improves the performance of DGEMV by a factor of about five",
+//! * DDOT sits between the two GEMV variants,
+//! * local Householder QR (xGEQR2, BLAS-1/2) "obtains only a fraction of
+//!   the BLAS-3 performance" — which is why CAQR tracks MGS in Fig. 11c.
+//!
+//! Absolute constants are the M2090's public specs (665 Gflop/s DP peak,
+//! 177 GB/s memory bandwidth) derated by typical achievable efficiencies,
+//! and PCIe gen 2 x16 (~6 GB/s effective, ~10 us end-to-end latency).
+
+/// Dense-kernel variants for the Gram-forming / projection GEMMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmVariant {
+    /// Plain CUBLAS 4.2-like DGEMM: poor on tall-skinny shapes.
+    Cublas,
+    /// The paper's batched DGEMM: the tall matrix is cut into panels of
+    /// `h` rows (rounded up to a multiple of 32), one small DGEMM per
+    /// panel, then a reduction.
+    Batched {
+        /// Panel height before rounding to a multiple of 32.
+        h: usize,
+    },
+}
+
+impl GemmVariant {
+    /// Panel height after the paper's round-up-to-32 alignment rule.
+    pub fn panel_rows(&self) -> Option<usize> {
+        match self {
+            GemmVariant::Cublas => None,
+            GemmVariant::Batched { h } => Some(h.div_ceil(32).max(1) * 32),
+        }
+    }
+}
+
+/// Dense-kernel variants for the tall-skinny matrix-vector product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemvVariant {
+    /// Plain CUBLAS 4.2-like DGEMV.
+    Cublas,
+    /// The paper's optimized MAGMA kernel: one thread block per column,
+    /// each computing a dot product (§V-F).
+    MagmaTallSkinny,
+}
+
+/// Which kernels an orthogonalization routine should use.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelConfig {
+    /// GEMM variant for Gram products and block updates.
+    pub gemm: GemmVariant,
+    /// GEMV variant for CGS's projections.
+    pub gemv: GemvVariant,
+}
+
+impl Default for KernelConfig {
+    /// The paper's optimized configuration: batched DGEMM (h = 384) and
+    /// the MAGMA tall-skinny DGEMV.
+    fn default() -> Self {
+        Self { gemm: GemmVariant::Batched { h: 384 }, gemv: GemvVariant::MagmaTallSkinny }
+    }
+}
+
+/// Calibrated machine constants (seconds, bytes, flop/s).
+#[derive(Debug, Clone)]
+pub struct PerfModel {
+    /// Kernel-launch latency per launch.
+    pub launch_s: f64,
+    /// PCIe per-message latency (one direction).
+    pub pcie_latency_s: f64,
+    /// PCIe effective bandwidth, bytes/s (per-GPU link; links overlap).
+    pub pcie_bw: f64,
+    /// Host-side per-message handling overhead (drives the benefit of
+    /// aggregating messages even when links overlap).
+    pub host_msg_s: f64,
+    /// Inter-node network per-message latency (the §VII outlook: "GPUs
+    /// distributed over multiple compute nodes, where the communication is
+    /// more expensive"). Applied on top of PCIe for devices off node 0.
+    pub net_latency_s: f64,
+    /// Inter-node network bandwidth, bytes/s.
+    pub net_bw: f64,
+
+    /// Device memory capacity in bytes (the M2090 carries 6 GiB; MPK's
+    /// boundary slices must fit alongside the basis, §IV-A).
+    pub dev_mem_capacity: usize,
+    /// Device DP peak, flop/s.
+    pub dev_peak_flops: f64,
+    /// Device memory bandwidth, bytes/s (peak).
+    pub dev_mem_bw: f64,
+
+    /// ELL SpMV streaming efficiency (fraction of dev_mem_bw).
+    pub eff_spmv: f64,
+    /// CUBLAS tall-skinny DGEMM: (flop/s cap, bytes/s cap).
+    pub gemm_cublas: (f64, f64),
+    /// Batched DGEMM: (flop/s cap, bytes/s cap).
+    pub gemm_batched: (f64, f64),
+    /// CUBLAS DGEMV bytes/s cap.
+    pub gemv_cublas_bw: f64,
+    /// MAGMA tall-skinny DGEMV bytes/s cap.
+    pub gemv_magma_bw: f64,
+    /// DDOT/AXPY/SCAL (BLAS-1) bytes/s cap.
+    pub blas1_bw: f64,
+    /// Local Householder QR (xGEQR2/xORGQR): (flop/s cap, bytes/s cap).
+    pub geqr2: (f64, f64),
+    /// Tall-skinny DTRSM bytes/s cap.
+    pub trsm_bw: f64,
+
+    /// Host (16-core Sandy Bridge + MKL): DP flop/s for small dense math.
+    pub host_flops: f64,
+    /// Host memory bandwidth, bytes/s.
+    pub host_mem_bw: f64,
+    /// Host MKL DGEMM throughput on tall-skinny shapes, flop/s.
+    pub host_gemm_flops: f64,
+    /// Host threaded-MKL SpMV bandwidth, bytes/s (the CPU baseline of Fig. 3).
+    pub host_spmv_bw: f64,
+}
+
+impl Default for PerfModel {
+    fn default() -> Self {
+        Self {
+            launch_s: 7e-6,
+            pcie_latency_s: 11e-6,
+            pcie_bw: 5.8e9,
+            host_msg_s: 1.5e-6,
+            net_latency_s: 25e-6,
+            net_bw: 4.5e9,
+
+            dev_mem_capacity: 6 * (1 << 30),
+            dev_peak_flops: 665e9,
+            dev_mem_bw: 177e9,
+
+            eff_spmv: 0.52,
+            gemm_cublas: (24e9, 45e9),
+            gemm_batched: (175e9, 132e9),
+            gemv_cublas_bw: 18e9,
+            gemv_magma_bw: 95e9,
+            blas1_bw: 58e9,
+            geqr2: (9e9, 26e9),
+            trsm_bw: 85e9,
+
+            host_flops: 120e9,
+            host_mem_bw: 55e9,
+            host_gemm_flops: 48e9,
+            host_spmv_bw: 28e9,
+        }
+    }
+}
+
+impl PerfModel {
+    /// Time of one device kernel with the given launch count, flops and
+    /// bytes against a `(throughput, bandwidth)` cap pair. Compute and
+    /// memory phases are charged additively (a pessimistic-but-stable
+    /// roofline; the fitted caps already fold in overlap).
+    #[inline]
+    pub fn kernel_time(&self, launches: usize, flops: f64, tput: f64, bytes: f64, bw: f64) -> f64 {
+        launches as f64 * self.launch_s + flops / tput + bytes / bw
+    }
+
+    /// ELL SpMV time: streams `padded_nnz` (value, index) slots, gathers
+    /// `padded_nnz` vector entries (half-efficiency random access), writes
+    /// `rows` results.
+    pub fn spmv_time(&self, padded_nnz: usize, rows: usize) -> f64 {
+        let stream = padded_nnz as f64 * 12.0 + rows as f64 * 8.0;
+        let gather = padded_nnz as f64 * 8.0 * 2.0; // random-access penalty x2
+        self.launch_s + (stream + gather) / (self.eff_spmv * self.dev_mem_bw)
+    }
+
+    /// HYB (ELL + COO) SpMV time: the regular part streams like ELL, the
+    /// COO tail pays scalar random access (16-byte triplets, atomic-update
+    /// flavored at 1/3 streaming efficiency) plus its own launch.
+    pub fn spmv_hyb_time(&self, ell_padded: usize, coo_nnz: usize, rows: usize) -> f64 {
+        let mut t = self.spmv_time(ell_padded, rows);
+        if coo_nnz > 0 {
+            t += self.launch_s
+                + coo_nnz as f64 * (16.0 + 8.0) / (self.eff_spmv * self.dev_mem_bw / 3.0);
+        }
+        t
+    }
+
+    /// Gram-product (`C := V1^T V2`, `m` rows, `k1 x k2` output) time for a
+    /// GEMM variant. Bytes modeled as one streaming read of both operands.
+    ///
+    /// A skinny-operand penalty (`k2/(k2+2)`) derates the achievable
+    /// bandwidth when the second operand has very few columns: GEMM tiles
+    /// run mostly empty. This is the effect behind the paper's observation
+    /// that CA-GMRES with s = 1 is much slower than GMRES — "these kernels
+    /// are not optimized for orthogonalizing one vector at a time" (§VI-B).
+    pub fn gemm_tn_time(&self, variant: GemmVariant, m: usize, k1: usize, k2: usize) -> f64 {
+        let flops = 2.0 * m as f64 * k1 as f64 * k2 as f64;
+        let skinny = k2 as f64 / (k2 as f64 + 2.0);
+        match variant {
+            GemmVariant::Cublas => {
+                let bytes = 8.0 * m as f64 * (k1 + k2) as f64;
+                let (t, b) = self.gemm_cublas;
+                self.kernel_time(1, flops, t, bytes, b * skinny)
+            }
+            GemmVariant::Batched { .. } => {
+                let rows = variant.panel_rows().unwrap();
+                let nbatch = m.div_ceil(rows).max(1);
+                // padded to a multiple of the panel height
+                let padded = (nbatch * rows) as f64;
+                let bytes = 8.0 * padded * (k1 + k2) as f64
+                    + 8.0 * (nbatch * k1 * k2) as f64; // partial-result traffic
+                let (t, b) = self.gemm_batched;
+                // batched call + reduction kernel
+                self.kernel_time(2, flops, t, bytes, b * skinny)
+            }
+        }
+    }
+
+    /// Single-precision Gram product (the \[23\] mixed-precision
+    /// orthogonalization): half the memory traffic and double the Fermi
+    /// arithmetic rate.
+    pub fn gemm_tn_time_f32(&self, variant: GemmVariant, m: usize, k1: usize, k2: usize) -> f64 {
+        let flops = 2.0 * m as f64 * k1 as f64 * k2 as f64;
+        let skinny = k2 as f64 / (k2 as f64 + 2.0);
+        match variant {
+            GemmVariant::Cublas => {
+                let bytes = 4.0 * m as f64 * (k1 + k2) as f64;
+                let (t, b) = self.gemm_cublas;
+                self.kernel_time(1, flops, 2.0 * t, bytes, b * skinny)
+            }
+            GemmVariant::Batched { .. } => {
+                let rows = variant.panel_rows().unwrap();
+                let nbatch = m.div_ceil(rows).max(1);
+                let padded = (nbatch * rows) as f64;
+                let bytes =
+                    4.0 * padded * (k1 + k2) as f64 + 4.0 * (nbatch * k1 * k2) as f64;
+                let (t, b) = self.gemm_batched;
+                self.kernel_time(2, flops, 2.0 * t, bytes, b * skinny)
+            }
+        }
+    }
+
+    /// Tall dense update `V2 -= V1 C` (`m` rows, `k1` source cols, `k2`
+    /// destination cols) with a GEMM variant.
+    pub fn gemm_nn_time(&self, variant: GemmVariant, m: usize, k1: usize, k2: usize) -> f64 {
+        // Same traffic pattern as the Gram product plus the destination write.
+        self.gemm_tn_time(variant, m, k1, k2) + 8.0 * m as f64 * k2 as f64 / self.dev_mem_bw
+    }
+
+    /// Tall-skinny GEMV (`y := V^T x`, `m` rows, `k` cols) for a variant.
+    pub fn gemv_t_time(&self, variant: GemvVariant, m: usize, k: usize) -> f64 {
+        let bytes = 8.0 * m as f64 * (k as f64 + 1.0);
+        let bw = match variant {
+            GemvVariant::Cublas => self.gemv_cublas_bw,
+            GemvVariant::MagmaTallSkinny => self.gemv_magma_bw,
+        };
+        self.launch_s + bytes / bw
+    }
+
+    /// BLAS-1 op over `words` f64 reads+writes total.
+    pub fn blas1_time(&self, words: usize) -> f64 {
+        self.launch_s + 8.0 * words as f64 / self.blas1_bw
+    }
+
+    /// Local Householder QR of an `m x k` block, explicit Q formed
+    /// (4 m k^2 flops, per the paper's Fig. 10 CAQR row).
+    pub fn geqr2_time(&self, m: usize, k: usize) -> f64 {
+        let flops = 4.0 * m as f64 * (k * k) as f64;
+        let bytes = 8.0 * m as f64 * k as f64 * (k as f64 / 2.0); // k/2 passes
+        let (t, b) = self.geqr2;
+        self.kernel_time(k, flops, t, bytes, b)
+    }
+
+    /// Batched panel Householder QR (the paper's footnote-6 idea: "the
+    /// potential of using batched QRs on a GPU"): `nb` independent `h x k`
+    /// panel factorizations launched together. Same flops as the monolithic
+    /// xGEQR2 but ~3x the throughput (panels saturate the SMs) and O(1)
+    /// launches instead of O(k).
+    pub fn geqr2_batched_time(&self, rows: usize, k: usize, h: usize) -> f64 {
+        let nb = rows.div_ceil(h.max(k)).max(1);
+        let flops = 4.0 * rows as f64 * (k * k) as f64;
+        let bytes = 8.0 * rows as f64 * k as f64 * (k as f64 / 2.0);
+        let (t, b) = self.geqr2;
+        // + the k x k tree reduction and the per-panel Q application
+        let tree_flops = 4.0 * (nb * k) as f64 * (k * k) as f64;
+        let apply = self.gemm_tn_time(GemmVariant::Batched { h: h.max(32) }, rows, k, k);
+        self.kernel_time(4, flops + tree_flops, 3.0 * t, bytes, 2.0 * b) + apply
+    }
+
+    /// Tall-skinny right triangular solve (`m x k` block, `k x k` factor).
+    pub fn trsm_time(&self, m: usize, k: usize) -> f64 {
+        let bytes = 8.0 * m as f64 * k as f64 * 2.0;
+        self.launch_s + bytes / self.trsm_bw
+    }
+
+    /// One PCIe message of `bytes` in either direction.
+    pub fn pcie_time(&self, bytes: usize) -> f64 {
+        self.pcie_latency_s + bytes as f64 / self.pcie_bw
+    }
+
+    /// One device<->root-host message when the device lives on a remote
+    /// compute node: PCIe hop plus a network hop.
+    pub fn remote_link_time(&self, bytes: usize) -> f64 {
+        self.pcie_time(bytes) + self.net_latency_s + bytes as f64 / self.net_bw
+    }
+
+    /// Host dense compute (Cholesky/QR/SVD of small matrices, reductions).
+    pub fn host_time(&self, flops: f64, bytes: f64) -> f64 {
+        flops / self.host_flops + bytes / self.host_mem_bw
+    }
+
+    /// Host threaded SpMV (the CPU GMRES baseline): CSR streaming.
+    pub fn host_spmv_time(&self, nnz: usize, rows: usize) -> f64 {
+        (nnz as f64 * 12.0 + rows as f64 * 16.0) / self.host_spmv_bw
+    }
+
+    /// Host tall-skinny GEMM (MKL line of Fig. 11a).
+    pub fn host_gemm_time(&self, m: usize, k1: usize, k2: usize) -> f64 {
+        let flops = 2.0 * m as f64 * k1 as f64 * k2 as f64;
+        let bytes = 8.0 * m as f64 * (k1 + k2) as f64;
+        flops / self.host_gemm_flops + bytes / self.host_mem_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batched_panel_rounds_to_32() {
+        assert_eq!(GemmVariant::Batched { h: 100 }.panel_rows(), Some(128));
+        assert_eq!(GemmVariant::Batched { h: 32 }.panel_rows(), Some(32));
+        assert_eq!(GemmVariant::Batched { h: 1 }.panel_rows(), Some(32));
+        assert_eq!(GemmVariant::Cublas.panel_rows(), None);
+    }
+
+    #[test]
+    fn fig11a_ordering_batched_beats_mkl_beats_cublas() {
+        // effective Gflop/s of the Gram product, n = 200k rows, s+1 = 30.
+        let m = PerfModel::default();
+        let (n, s1) = (200_000, 30);
+        let flops = 2.0 * n as f64 * (s1 * s1) as f64;
+        let g_cublas = flops / m.gemm_tn_time(GemmVariant::Cublas, n, s1, s1) / 1e9;
+        let g_batched = flops / m.gemm_tn_time(GemmVariant::Batched { h: 384 }, n, s1, s1) / 1e9;
+        let g_mkl = flops / m.host_gemm_time(n, s1, s1) / 1e9;
+        assert!(g_batched > g_mkl, "batched {g_batched} <= mkl {g_mkl}");
+        assert!(g_mkl > g_cublas, "mkl {g_mkl} <= cublas {g_cublas}");
+    }
+
+    #[test]
+    fn fig11b_magma_gemv_about_5x_cublas() {
+        let m = PerfModel::default();
+        let (n, k) = (500_000, 30);
+        let t_cublas = m.gemv_t_time(GemvVariant::Cublas, n, k);
+        let t_magma = m.gemv_t_time(GemvVariant::MagmaTallSkinny, n, k);
+        let ratio = t_cublas / t_magma;
+        assert!(ratio > 3.5 && ratio < 7.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn latency_dominates_small_transfers() {
+        let m = PerfModel::default();
+        let t_small = m.pcie_time(8);
+        assert!(t_small < 1.05 * m.pcie_latency_s);
+        // and bandwidth dominates big ones
+        let t_big = m.pcie_time(100_000_000);
+        assert!(t_big > 1_000.0 * m.pcie_latency_s);
+    }
+
+    #[test]
+    fn spmv_time_scales_with_nnz() {
+        let m = PerfModel::default();
+        let t1 = m.spmv_time(1_000_000, 100_000);
+        let t2 = m.spmv_time(2_000_000, 100_000);
+        assert!(t2 > 1.8 * t1);
+    }
+
+    #[test]
+    fn costs_monotone_in_problem_size() {
+        let m = PerfModel::default();
+        assert!(m.spmv_time(2_000_000, 100_000) > m.spmv_time(1_000_000, 100_000));
+        assert!(
+            m.gemm_tn_time(GemmVariant::Batched { h: 384 }, 200_000, 30, 30)
+                > m.gemm_tn_time(GemmVariant::Batched { h: 384 }, 100_000, 30, 30)
+        );
+        assert!(m.pcie_time(1000) > m.pcie_time(100));
+        assert!(m.remote_link_time(1000) > m.pcie_time(1000));
+        assert!(m.trsm_time(100_000, 30) > m.trsm_time(50_000, 30));
+    }
+
+    #[test]
+    fn skinny_gemm_penalty_hurts_single_column() {
+        // per-flop cost at k2 = 1 must exceed k2 = 30 (the §VI-B effect)
+        let m = PerfModel::default();
+        let per_flop = |k2: usize| {
+            let t = m.gemm_tn_time(GemmVariant::Batched { h: 384 }, 100_000, 30, k2);
+            t / (2.0 * 100_000.0 * 30.0 * k2 as f64)
+        };
+        assert!(per_flop(1) > 1.8 * per_flop(30));
+    }
+
+    #[test]
+    fn f32_gram_cheaper_than_f64() {
+        let m = PerfModel::default();
+        let t64 = m.gemm_tn_time(GemmVariant::Batched { h: 384 }, 200_000, 30, 30);
+        let t32 = m.gemm_tn_time_f32(GemmVariant::Batched { h: 384 }, 200_000, 30, 30);
+        assert!(t32 < 0.75 * t64, "f32 {t32} vs f64 {t64}");
+    }
+
+    #[test]
+    fn hyb_beats_ell_when_padding_dominates() {
+        let m = PerfModel::default();
+        // 100k rows, true width 5 but one hub row forces ELL width 200
+        let ell = m.spmv_time(200 * 100_000, 100_000);
+        let hyb = m.spmv_hyb_time(5 * 100_000, 200, 100_000);
+        assert!(hyb < ell / 5.0);
+    }
+
+    #[test]
+    fn geqr2_slower_than_batched_gemm_per_flop() {
+        // CAQR's local QR must be far off BLAS-3 speed (paper §V-E).
+        let m = PerfModel::default();
+        let (n, k) = (100_000, 30);
+        let qr_flops = 4.0 * n as f64 * (k * k) as f64;
+        let qr_gfs = qr_flops / m.geqr2_time(n, k) / 1e9;
+        let gemm_flops = 2.0 * n as f64 * (k * k) as f64;
+        let gemm_gfs = gemm_flops / m.gemm_tn_time(GemmVariant::Batched { h: 384 }, n, k, k) / 1e9;
+        assert!(gemm_gfs > 3.0 * qr_gfs, "gemm {gemm_gfs} vs qr {qr_gfs}");
+    }
+}

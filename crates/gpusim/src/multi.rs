@@ -1,0 +1,379 @@
+//! The multi-GPU executor: parallel device phases, PCIe transfers with
+//! overlap across per-GPU links, host compute, and communication counters.
+//!
+//! Timing semantics mirror the paper's execution model:
+//!
+//! * device kernels launched in a phase run concurrently across GPUs —
+//!   [`MultiGpu::run_map`] executes them on real host threads (rayon) and
+//!   advances each device's private clock independently;
+//! * device→host transfers are asynchronous per-GPU (each Keeneland GPU
+//!   has its own PCIe link): the host becomes ready at
+//!   `max_d(device_finish_d + transfer_d)` plus a per-message host
+//!   overhead — so aggregating messages still pays off, exactly the
+//!   latency effect CA methods exploit;
+//! * host→device transfers make each device wait for `host_ready +
+//!   transfer_d`;
+//! * nothing ever waits unless a transfer creates the dependency, so MPK's
+//!   communication-free flops genuinely overlap in the model.
+
+use crate::device::Device;
+use crate::model::{KernelConfig, PerfModel};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Counters for the traffic study (Fig. 7 and the "# GPU-CPU comm." column
+/// of Fig. 10).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommCounters {
+    /// Device→host messages.
+    pub msgs_to_host: u64,
+    /// Host→device messages.
+    pub msgs_to_dev: u64,
+    /// Device→host bytes.
+    pub bytes_to_host: u64,
+    /// Host→device bytes.
+    pub bytes_to_dev: u64,
+}
+
+impl CommCounters {
+    /// Total messages both directions.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs_to_host + self.msgs_to_dev
+    }
+
+    /// Total bytes both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_to_host + self.bytes_to_dev
+    }
+}
+
+/// A host plus `n` simulated GPUs, optionally spread over several compute
+/// nodes (the paper's §VII outlook). Devices on node 0 talk to the root
+/// host over PCIe only; devices on other nodes pay an additional network
+/// hop per message.
+#[derive(Debug)]
+pub struct MultiGpu {
+    devices: Vec<Device>,
+    host_time: f64,
+    model: Arc<PerfModel>,
+    /// Kernel variants orthogonalization routines should use.
+    pub config: KernelConfig,
+    counters: CommCounters,
+    /// Compute-node assignment per device (all zeros = single node).
+    node_of: Vec<usize>,
+}
+
+impl MultiGpu {
+    /// Create `n_gpus` devices with the given model and kernel config.
+    pub fn new(n_gpus: usize, model: PerfModel, config: KernelConfig) -> Self {
+        assert!(n_gpus >= 1);
+        let model = Arc::new(model);
+        let devices = (0..n_gpus).map(|i| Device::new(i, Arc::clone(&model))).collect();
+        Self {
+            devices,
+            host_time: 0.0,
+            model,
+            config,
+            counters: CommCounters::default(),
+            node_of: vec![0; n_gpus],
+        }
+    }
+
+    /// Create devices spread over compute nodes: `node_of[d]` is device
+    /// d's node; devices off node 0 pay a network hop per host message.
+    pub fn with_topology(node_of: Vec<usize>, model: PerfModel, config: KernelConfig) -> Self {
+        let mut mg = Self::new(node_of.len(), model, config);
+        mg.node_of = node_of;
+        mg
+    }
+
+    /// Node assignment of a device.
+    pub fn node_of(&self, d: usize) -> usize {
+        self.node_of[d]
+    }
+
+    fn link_time(&self, d: usize, bytes: usize) -> f64 {
+        if self.node_of[d] == 0 {
+            self.model.pcie_time(bytes)
+        } else {
+            self.model.remote_link_time(bytes)
+        }
+    }
+
+    /// Default model + default (optimized-kernel) config.
+    pub fn with_defaults(n_gpus: usize) -> Self {
+        Self::new(n_gpus, PerfModel::default(), KernelConfig::default())
+    }
+
+    /// Number of GPUs.
+    pub fn n_gpus(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The machine model.
+    pub fn model(&self) -> &PerfModel {
+        &self.model
+    }
+
+    /// Borrow a device (host-side inspection).
+    pub fn device(&self, d: usize) -> &Device {
+        &self.devices[d]
+    }
+
+    /// Mutably borrow a device (setup-time loading).
+    pub fn device_mut(&mut self, d: usize) -> &mut Device {
+        &mut self.devices[d]
+    }
+
+    // ---------- execution ----------
+
+    /// Run `f` on every device concurrently (real threads), collecting the
+    /// per-device results. Device clocks advance independently — no
+    /// implicit barrier.
+    pub fn run_map<R, F>(&mut self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &mut Device) -> R + Sync,
+    {
+        self.devices.par_iter_mut().enumerate().map(|(i, d)| f(i, d)).collect()
+    }
+
+    /// Run `f` on every device concurrently, discarding results.
+    pub fn run<F>(&mut self, f: F)
+    where
+        F: Fn(usize, &mut Device) + Sync,
+    {
+        self.devices.par_iter_mut().enumerate().for_each(|(i, d)| f(i, d));
+    }
+
+    // ---------- simulated time ----------
+
+    /// Current end-to-end simulated time (max over host and devices).
+    pub fn time(&self) -> f64 {
+        self.devices.iter().map(|d| d.clock()).fold(self.host_time, f64::max)
+    }
+
+    /// Host clock only.
+    pub fn host_time(&self) -> f64 {
+        self.host_time
+    }
+
+    /// Barrier: align every clock to the current max (used at phase
+    /// boundaries so per-phase timings attribute cleanly).
+    pub fn sync(&mut self) {
+        let t = self.time();
+        self.host_time = t;
+        for d in &mut self.devices {
+            d.set_clock(t);
+        }
+    }
+
+    /// Charge host compute (small dense factorizations, reductions).
+    pub fn host_compute(&mut self, flops: f64, bytes: f64) {
+        self.host_time += self.model.host_time(flops, bytes);
+    }
+
+    /// Advance the host clock by an explicit amount (CPU-side reference
+    /// kernels whose cost is computed by the caller).
+    pub fn advance_host(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0);
+        self.host_time += dt;
+    }
+
+    // ---------- transfers ----------
+
+    /// Device→host transfers, one message per device with `bytes[d]` bytes
+    /// (0 = no message from that device). Links overlap; the host is ready
+    /// once the slowest arrives, plus per-message host handling.
+    pub fn to_host(&mut self, bytes: &[usize]) {
+        assert_eq!(bytes.len(), self.devices.len());
+        let mut ready = self.host_time;
+        let mut msgs = 0u64;
+        for (i, (d, &b)) in self.devices.iter().zip(bytes).enumerate() {
+            if b == 0 {
+                continue;
+            }
+            ready = ready.max(d.clock() + self.link_time(i, b));
+            msgs += 1;
+            self.counters.msgs_to_host += 1;
+            self.counters.bytes_to_host += b as u64;
+        }
+        self.host_time = ready + msgs as f64 * self.model.host_msg_s;
+    }
+
+    /// Host→device transfers, one message per device. Each receiving
+    /// device waits for `host_time + its own transfer`.
+    pub fn to_devices(&mut self, bytes: &[usize]) {
+        assert_eq!(bytes.len(), self.devices.len());
+        let mut msgs = 0u64;
+        for i in 0..self.devices.len() {
+            let b = bytes[i];
+            if b == 0 {
+                continue;
+            }
+            let arrive = self.host_time + self.link_time(i, b);
+            let d = &mut self.devices[i];
+            d.set_clock(d.clock().max(arrive));
+            msgs += 1;
+            self.counters.msgs_to_dev += 1;
+            self.counters.bytes_to_dev += b as u64;
+        }
+        self.host_time += msgs as f64 * self.model.host_msg_s;
+    }
+
+    /// Broadcast the same payload to all devices.
+    pub fn broadcast(&mut self, bytes: usize) {
+        let v = vec![bytes; self.devices.len()];
+        self.to_devices(&v);
+    }
+
+    /// Gather the same-size payload from all devices.
+    pub fn gather(&mut self, bytes: usize) {
+        let v = vec![bytes; self.devices.len()];
+        self.to_host(&v);
+    }
+
+    // ---------- counters ----------
+
+    /// Snapshot of the communication counters.
+    pub fn counters(&self) -> CommCounters {
+        self.counters
+    }
+
+    /// Reset the communication counters (per-phase studies).
+    pub fn reset_counters(&mut self) {
+        self.counters = CommCounters::default();
+    }
+
+    /// Reset all clocks and counters (fresh timing run on loaded data).
+    pub fn reset_time(&mut self) {
+        self.host_time = 0.0;
+        for d in &mut self.devices {
+            d.set_clock(0.0);
+        }
+        self.reset_counters();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_map_touches_every_device() {
+        let mut mg = MultiGpu::with_defaults(3);
+        let ids = mg.run_map(|i, d| {
+            assert_eq!(i, d.id());
+            i * 10
+        });
+        assert_eq!(ids, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn device_clocks_independent_until_transfer() {
+        let mut mg = MultiGpu::with_defaults(2);
+        let v0 = mg.device_mut(0).alloc_mat(100_000, 2);
+        let v1 = mg.device_mut(1).alloc_mat(1_000, 2);
+        mg.run(|i, d| {
+            let v = if i == 0 { v0 } else { v1 };
+            d.dot_cols(v, 0, 1);
+        });
+        assert!(mg.device(0).clock() > mg.device(1).clock());
+        // a broadcast aligns the laggard to at least host + latency
+        mg.broadcast(8);
+        assert!(mg.device(1).clock() >= mg.model().pcie_latency_s);
+    }
+
+    #[test]
+    fn to_host_waits_for_slowest() {
+        let mut mg = MultiGpu::with_defaults(2);
+        let v0 = mg.device_mut(0).alloc_mat(1_000_000, 2);
+        mg.run(|i, d| {
+            if i == 0 {
+                d.dot_cols(v0, 0, 1);
+            }
+        });
+        let slow = mg.device(0).clock();
+        mg.to_host(&[8, 8]);
+        assert!(mg.host_time() > slow);
+        assert!(mg.host_time() >= slow + mg.model().pcie_latency_s);
+    }
+
+    #[test]
+    fn zero_byte_messages_skipped() {
+        let mut mg = MultiGpu::with_defaults(3);
+        mg.to_host(&[0, 0, 0]);
+        assert_eq!(mg.counters().msgs_to_host, 0);
+        assert_eq!(mg.host_time(), 0.0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut mg = MultiGpu::with_defaults(2);
+        mg.to_host(&[100, 50]);
+        mg.broadcast(8);
+        let c = mg.counters();
+        assert_eq!(c.msgs_to_host, 2);
+        assert_eq!(c.bytes_to_host, 150);
+        assert_eq!(c.msgs_to_dev, 2);
+        assert_eq!(c.bytes_to_dev, 16);
+        assert_eq!(c.total_msgs(), 4);
+        mg.reset_counters();
+        assert_eq!(mg.counters(), CommCounters::default());
+    }
+
+    #[test]
+    fn sync_aligns_clocks() {
+        let mut mg = MultiGpu::with_defaults(2);
+        let v = mg.device_mut(0).alloc_mat(100_000, 2);
+        mg.run(|i, d| {
+            if i == 0 {
+                d.dot_cols(v, 0, 1);
+            }
+        });
+        mg.sync();
+        assert_eq!(mg.device(0).clock(), mg.device(1).clock());
+        assert_eq!(mg.host_time(), mg.device(0).clock());
+    }
+
+    #[test]
+    fn transfers_overlap_across_links() {
+        // two devices sending the same payload should cost about one
+        // transfer, not two (separate links).
+        let mut mg1 = MultiGpu::with_defaults(1);
+        mg1.to_host(&[1_000_000]);
+        let t1 = mg1.host_time();
+        let mut mg2 = MultiGpu::with_defaults(2);
+        mg2.to_host(&[1_000_000, 1_000_000]);
+        let t2 = mg2.host_time();
+        assert!(t2 < 1.2 * t1, "no overlap: {t2} vs {t1}");
+    }
+
+    #[test]
+    fn remote_node_devices_pay_network_hop() {
+        use crate::model::KernelConfig;
+        let model = crate::model::PerfModel::default();
+        let expected_local = model.pcie_time(1000);
+        let expected_remote = model.remote_link_time(1000);
+        assert!(expected_remote > expected_local);
+        let mut mg = MultiGpu::with_topology(vec![0, 1], model, KernelConfig::default());
+        assert_eq!(mg.node_of(0), 0);
+        assert_eq!(mg.node_of(1), 1);
+        mg.to_host(&[1000, 0]);
+        let t_local = mg.host_time();
+        mg.reset_time();
+        mg.to_host(&[0, 1000]);
+        let t_remote = mg.host_time();
+        assert!(t_remote > t_local, "remote {t_remote} vs local {t_local}");
+    }
+
+    #[test]
+    fn reset_time_clears_everything() {
+        let mut mg = MultiGpu::with_defaults(2);
+        mg.to_host(&[8, 8]);
+        mg.host_compute(1e9, 1e6);
+        mg.reset_time();
+        assert_eq!(mg.time(), 0.0);
+        assert_eq!(mg.counters(), CommCounters::default());
+    }
+}

@@ -1,0 +1,156 @@
+//! Matrix balancing — the paper's pre-scaling (§VI): "before the iteration
+//! starts, the matrix is balanced; namely, the rows are first scaled by
+//! their norms, and then the columns are scaled by their norms."
+//!
+//! Balancing `A` into `B = D_r A D_c` changes the linear system
+//! `A x = b` into `B y = D_r b` with `x = D_c y`; [`Balancing`] carries the
+//! scalings needed to transform both directions.
+
+use crate::Csr;
+
+/// Row/column scalings produced by [`balance`].
+#[derive(Debug, Clone)]
+pub struct Balancing {
+    /// Row scale factors `d_r` (length nrows).
+    pub row_scale: Vec<f64>,
+    /// Column scale factors `d_c` (length ncols).
+    pub col_scale: Vec<f64>,
+}
+
+impl Balancing {
+    /// Transform a right-hand side: `b' = D_r b`.
+    pub fn scale_rhs(&self, b: &[f64]) -> Vec<f64> {
+        b.iter().zip(&self.row_scale).map(|(x, d)| x * d).collect()
+    }
+
+    /// Recover the original solution: `x = D_c y`.
+    pub fn unscale_solution(&self, y: &[f64]) -> Vec<f64> {
+        y.iter().zip(&self.col_scale).map(|(x, d)| x * d).collect()
+    }
+}
+
+/// Balance `a`: scale each row by the inverse of its 2-norm, then each
+/// column of the row-scaled matrix by the inverse of its 2-norm. Zero
+/// rows/columns keep scale 1. Returns the balanced matrix and the scalings.
+pub fn balance(a: &Csr) -> (Csr, Balancing) {
+    let mut b = a.clone();
+    let nrows = a.nrows();
+    let ncols = a.ncols();
+
+    // Row scaling.
+    let mut row_scale = vec![1.0f64; nrows];
+    for i in 0..nrows {
+        let (_, vals) = a.row(i);
+        let nrm = vals.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if nrm > 0.0 {
+            row_scale[i] = 1.0 / nrm;
+        }
+    }
+    {
+        let row_ptr = b.row_ptr().to_vec();
+        let vals = b.values_mut();
+        for i in 0..nrows {
+            for p in row_ptr[i]..row_ptr[i + 1] {
+                vals[p] *= row_scale[i];
+            }
+        }
+    }
+
+    // Column scaling of the row-scaled matrix.
+    let mut col_sq = vec![0.0f64; ncols];
+    {
+        let vals = b.values();
+        for (p, &c) in b.col_idx().iter().enumerate() {
+            col_sq[c as usize] += vals[p] * vals[p];
+        }
+    }
+    let col_scale: Vec<f64> =
+        col_sq.into_iter().map(|s| if s > 0.0 { 1.0 / s.sqrt() } else { 1.0 }).collect();
+    {
+        let col_idx = b.col_idx().to_vec();
+        let vals = b.values_mut();
+        for (p, &c) in col_idx.iter().enumerate() {
+            vals[p] *= col_scale[c as usize];
+        }
+    }
+
+    (b, Balancing { row_scale, col_scale })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    #[test]
+    fn rows_have_unit_norm_after_row_pass() {
+        // With a diagonal matrix, both passes together give exactly +-1 entries.
+        let mut c = Coo::new(3, 3);
+        c.add(0, 0, 10.0);
+        c.add(1, 1, -0.01);
+        c.add(2, 2, 1e6);
+        let (b, _) = balance(&c.to_csr());
+        assert!((b.get(0, 0) - 1.0).abs() < 1e-15);
+        assert!((b.get(1, 1) + 1.0).abs() < 1e-15);
+        assert!((b.get(2, 2) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn column_norms_are_unit() {
+        let a = crate::gen::laplace2d(5, 5);
+        let (b, _) = balance(&a);
+        let mut col_sq = vec![0.0; 25];
+        for i in 0..25 {
+            let (cols, vals) = b.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                col_sq[c as usize] += v * v;
+            }
+        }
+        for s in col_sq {
+            assert!((s.sqrt() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solution_recovery_roundtrip() {
+        // Solve the balanced system exactly on a diagonal matrix and verify
+        // unscale_solution recovers the true solution.
+        let mut c = Coo::new(2, 2);
+        c.add(0, 0, 4.0);
+        c.add(1, 1, 0.5);
+        let a = c.to_csr();
+        let (b, bal) = balance(&a);
+        let x_true = [3.0, -2.0];
+        let rhs = [4.0 * 3.0, 0.5 * -2.0];
+        let rhs_scaled = bal.scale_rhs(&rhs);
+        // diagonal solve of balanced system
+        let y = [rhs_scaled[0] / b.get(0, 0), rhs_scaled[1] / b.get(1, 1)];
+        let x = bal.unscale_solution(&y);
+        assert!((x[0] - x_true[0]).abs() < 1e-14);
+        assert!((x[1] - x_true[1]).abs() < 1e-14);
+    }
+
+    #[test]
+    fn zero_row_kept_finite() {
+        let mut c = Coo::new(2, 2);
+        c.add(0, 0, 2.0);
+        // row 1 empty
+        let (b, bal) = balance(&c.to_csr());
+        assert_eq!(bal.row_scale[1], 1.0);
+        assert!(b.values().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn balancing_reduces_condition_spread() {
+        // badly scaled 2x2: entries spanning 12 orders of magnitude become O(1)
+        let mut c = Coo::new(2, 2);
+        c.add(0, 0, 1e12);
+        c.add(0, 1, 1.0);
+        c.add(1, 0, 1.0);
+        c.add(1, 1, 1e-6);
+        let (b, _) = balance(&c.to_csr());
+        let maxv = b.values().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let minv = b.values().iter().fold(f64::MAX, |m, v| m.min(v.abs()));
+        assert!(maxv / minv < 1e8, "spread {}", maxv / minv);
+    }
+}

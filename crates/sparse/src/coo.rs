@@ -1,0 +1,160 @@
+//! Coordinate-format builder for sparse matrices.
+//!
+//! All generators and the Matrix Market reader assemble entries here;
+//! duplicates are summed on conversion to CSR (the FEM-assembly
+//! convention).
+
+use crate::{Csr, Result, SparseError};
+
+/// A coordinate-format (triplet) sparse matrix under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Coo {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl Coo {
+    /// New empty builder for an `nrows x ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        assert!(nrows < u32::MAX as usize && ncols < u32::MAX as usize);
+        Self { nrows, ncols, entries: Vec::new() }
+    }
+
+    /// Reserve space for `n` additional entries.
+    pub fn reserve(&mut self, n: usize) {
+        self.entries.reserve(n);
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of raw (possibly duplicate) entries pushed so far.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Add `value` at `(row, col)`; duplicates accumulate.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        if value != 0.0 {
+            self.entries.push((row as u32, col as u32, value));
+        }
+        Ok(())
+    }
+
+    /// Add `value` at `(row, col)`, panicking on out-of-bounds — convenient
+    /// inside generators whose indices are correct by construction.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        self.push(row, col, value).expect("generator produced out-of-bounds entry");
+    }
+
+    /// Convert to CSR, summing duplicates and dropping entries that cancel
+    /// to exactly zero. Column indices within each row are sorted.
+    pub fn to_csr(mut self) -> Csr {
+        // Sort by (row, col) then sum runs.
+        self.entries.sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+        let mut row_ptr = vec![0usize; self.nrows + 1];
+        let mut col_idx: Vec<u32> = Vec::with_capacity(self.entries.len());
+        let mut values: Vec<f64> = Vec::with_capacity(self.entries.len());
+
+        let mut i = 0usize;
+        while i < self.entries.len() {
+            let (r, c, mut v) = self.entries[i];
+            let mut j = i + 1;
+            while j < self.entries.len() && self.entries[j].0 == r && self.entries[j].1 == c {
+                v += self.entries[j].2;
+                j += 1;
+            }
+            if v != 0.0 {
+                col_idx.push(c);
+                values.push(v);
+                row_ptr[r as usize + 1] += 1;
+            }
+            i = j;
+        }
+        for r in 0..self.nrows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        Csr::from_raw(self.nrows, self.ncols, row_ptr, col_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple() {
+        let mut c = Coo::new(2, 3);
+        c.add(0, 0, 1.0);
+        c.add(1, 2, 2.0);
+        c.add(0, 1, 3.0);
+        let m = c.to_csr();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.get(1, 2), 2.0);
+        assert_eq!(m.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn duplicates_sum() {
+        let mut c = Coo::new(1, 1);
+        c.add(0, 0, 1.5);
+        c.add(0, 0, 2.5);
+        let m = c.to_csr();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn cancelling_duplicates_dropped() {
+        let mut c = Coo::new(1, 2);
+        c.add(0, 0, 1.0);
+        c.add(0, 0, -1.0);
+        c.add(0, 1, 2.0);
+        let m = c.to_csr();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn zero_pushes_ignored() {
+        let mut c = Coo::new(1, 1);
+        c.add(0, 0, 0.0);
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut c = Coo::new(2, 2);
+        assert!(c.push(2, 0, 1.0).is_err());
+        assert!(c.push(0, 5, 1.0).is_err());
+    }
+
+    #[test]
+    fn columns_sorted_within_rows() {
+        let mut c = Coo::new(1, 5);
+        for col in [4, 0, 2, 3, 1] {
+            c.add(0, col, col as f64 + 1.0);
+        }
+        let m = c.to_csr();
+        let (cols, vals) = m.row(0);
+        assert_eq!(cols, &[0, 1, 2, 3, 4]);
+        assert_eq!(vals, &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Hybrid ELL + COO format (the CUSP-style layout the paper's related
+//! work §II references).
+//!
+//! Pure ELLPACK pays for its padding: one hub row inflates every row's
+//! slot count. HYB stores the first `width` entries of each row in ELL
+//! (coalesced on a GPU) and spills the remainder to a COO tail; `width`
+//! is chosen so that at most a small fraction of entries spill.
+
+use crate::{Csr, Ell};
+
+/// A hybrid ELL + COO sparse matrix.
+#[derive(Debug, Clone)]
+pub struct Hyb {
+    /// The regular part (first `width` entries of each row).
+    ell: Ell,
+    /// Spilled entries as (row, col, value).
+    coo: Vec<(u32, u32, f64)>,
+}
+
+impl Hyb {
+    /// Convert from CSR with an explicit ELL width.
+    pub fn from_csr_with_width(a: &Csr, width: usize) -> Self {
+        let nrows = a.nrows();
+        // Build the truncated-CSR for the ELL part.
+        let mut row_ptr = vec![0usize; nrows + 1];
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        let mut coo = Vec::new();
+        for i in 0..nrows {
+            let (cols, vals) = a.row(i);
+            let keep = cols.len().min(width);
+            col_idx.extend_from_slice(&cols[..keep]);
+            values.extend_from_slice(&vals[..keep]);
+            row_ptr[i + 1] = col_idx.len();
+            for k in keep..cols.len() {
+                coo.push((i as u32, cols[k], vals[k]));
+            }
+        }
+        let ell_csr = Csr::from_raw(nrows, a.ncols(), row_ptr, col_idx, values);
+        Self { ell: Ell::from_csr(&ell_csr), coo }
+    }
+
+    /// Convert from CSR, choosing the width at the given row-length
+    /// quantile (e.g. `0.95` keeps 95% of rows fully in the ELL part —
+    /// a standard HYB heuristic).
+    pub fn from_csr(a: &Csr, quantile: f64) -> Self {
+        assert!((0.0..=1.0).contains(&quantile));
+        let mut lens: Vec<usize> = (0..a.nrows()).map(|i| a.row_nnz(i)).collect();
+        lens.sort_unstable();
+        let width = if lens.is_empty() {
+            0
+        } else {
+            let idx = ((lens.len() - 1) as f64 * quantile).round() as usize;
+            lens[idx].max(1)
+        };
+        Self::from_csr_with_width(a, width)
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.ell.nrows()
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ell.ncols()
+    }
+
+    /// ELL width of the regular part.
+    pub fn width(&self) -> usize {
+        self.ell.width()
+    }
+
+    /// Entries stored in the COO tail.
+    pub fn spilled(&self) -> usize {
+        self.coo.len()
+    }
+
+    /// Total stored nonzeros (both parts, excluding padding).
+    pub fn nnz(&self) -> usize {
+        self.ell.nnz() + self.coo.len()
+    }
+
+    /// Bytes occupied: padded ELL slots plus 16-byte COO triplets.
+    pub fn bytes(&self) -> usize {
+        self.ell.bytes() + self.coo.len() * 16
+    }
+
+    /// `y := A x`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        self.ell.spmv(x, y);
+        for &(r, c, v) in &self.coo {
+            y[r as usize] += v * x[c as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, Coo};
+
+    /// A matrix with one hub row that ruins pure ELL.
+    fn hubbed() -> Csr {
+        let mut c = Coo::new(50, 50);
+        for i in 0..50 {
+            c.add(i, i, 2.0);
+            if i + 1 < 50 {
+                c.add(i, i + 1, -1.0);
+            }
+        }
+        for j in 0..40 {
+            c.add(7, j, 0.1); // hub row with 40+ entries
+        }
+        c.to_csr()
+    }
+
+    #[test]
+    fn hyb_matches_csr_spmv() {
+        let a = hubbed();
+        let h = Hyb::from_csr(&a, 0.95);
+        let x: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut y1 = vec![0.0; 50];
+        let mut y2 = vec![0.0; 50];
+        crate::spmv::spmv(&a, &x, &mut y1);
+        h.spmv(&x, &mut y2);
+        for i in 0..50 {
+            assert!((y1[i] - y2[i]).abs() < 1e-13, "row {i}");
+        }
+        assert_eq!(h.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn hyb_shrinks_padding_on_hubbed_matrix() {
+        let a = hubbed();
+        let pure = Ell::from_csr(&a);
+        let hyb = Hyb::from_csr(&a, 0.95);
+        assert!(hyb.width() < pure.width());
+        assert!(hyb.bytes() < pure.bytes() / 2, "hyb {} vs ell {}", hyb.bytes(), pure.bytes());
+        assert!(hyb.spilled() > 0);
+    }
+
+    #[test]
+    fn width_quantile_extremes() {
+        let a = hubbed();
+        let all = Hyb::from_csr(&a, 1.0);
+        assert_eq!(all.spilled(), 0, "quantile 1.0 keeps everything in ELL");
+        let h0 = Hyb::from_csr(&a, 0.0);
+        assert!(h0.width() >= 1);
+        // spmv still exact at both extremes
+        let x = vec![1.0; 50];
+        let mut y1 = vec![0.0; 50];
+        let mut y2 = vec![0.0; 50];
+        all.spmv(&x, &mut y1);
+        h0.spmv(&x, &mut y2);
+        for i in 0..50 {
+            assert!((y1[i] - y2[i]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn regular_matrix_spills_nothing() {
+        let a = gen::laplace2d(8, 8);
+        let h = Hyb::from_csr(&a, 0.95);
+        // 5-point stencil: widths 3..5; the 95th percentile is 5 = max
+        assert_eq!(h.spilled(), 0);
+        assert_eq!(h.width(), 5);
+    }
+
+    #[test]
+    fn explicit_width_partition() {
+        let a = hubbed();
+        let h = Hyb::from_csr_with_width(&a, 2);
+        assert_eq!(h.width(), 2);
+        assert_eq!(h.nnz(), a.nnz());
+        let x = vec![1.0; 50];
+        let mut y1 = vec![0.0; 50];
+        let mut y2 = vec![0.0; 50];
+        crate::spmv::spmv(&a, &x, &mut y1);
+        h.spmv(&x, &mut y2);
+        for i in 0..50 {
+            assert!((y1[i] - y2[i]).abs() < 1e-13);
+        }
+    }
+}

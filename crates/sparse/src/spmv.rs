@@ -1,0 +1,103 @@
+//! Sparse matrix-vector products.
+//!
+//! [`spmv`] is the sequential CSR kernel; [`spmv_par`] is the
+//! rayon-threaded version standing in for the paper's threaded-MKL CPU
+//! baseline (Fig. 3's "CPU" line).
+
+use crate::Csr;
+use rayon::prelude::*;
+
+/// Sequential `y := A x` from CSR.
+pub fn spmv(a: &Csr, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    for i in 0..a.nrows() {
+        let (cols, vals) = a.row(i);
+        let mut s = 0.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            s += v * x[c as usize];
+        }
+        y[i] = s;
+    }
+}
+
+/// Rayon-parallel `y := A x` from CSR (row-parallel; each output row is
+/// owned by exactly one task, so results are deterministic).
+pub fn spmv_par(a: &Csr, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    y.par_iter_mut().enumerate().for_each(|(i, yi)| {
+        let (cols, vals) = a.row(i);
+        let mut s = 0.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            s += v * x[c as usize];
+        }
+        *yi = s;
+    });
+}
+
+/// `y := A^T x` (sequential; used by tests and the KKT generator).
+pub fn spmv_transpose(a: &Csr, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.nrows());
+    assert_eq!(y.len(), a.ncols());
+    y.iter_mut().for_each(|v| *v = 0.0);
+    for i in 0..a.nrows() {
+        let (cols, vals) = a.row(i);
+        let xi = x[i];
+        if xi != 0.0 {
+            for (&c, &v) in cols.iter().zip(vals) {
+                y[c as usize] += v * xi;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn sample() -> Csr {
+        let mut c = Coo::new(3, 3);
+        c.add(0, 0, 2.0);
+        c.add(0, 2, 1.0);
+        c.add(1, 1, -1.0);
+        c.add(2, 0, 3.0);
+        c.add(2, 2, 4.0);
+        c.to_csr()
+    }
+
+    #[test]
+    fn spmv_known_result() {
+        let a = sample();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        spmv(&a, &x, &mut y);
+        assert_eq!(y, [5.0, -2.0, 15.0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let a = crate::gen::laplace2d(20, 20);
+        let x: Vec<f64> = (0..400).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y1 = vec![0.0; 400];
+        let mut y2 = vec![0.0; 400];
+        spmv(&a, &x, &mut y1);
+        spmv_par(&a, &x, &mut y2);
+        assert_eq!(y1, y2); // bitwise: same per-row summation order
+    }
+
+    #[test]
+    fn transpose_spmv_matches_explicit_transpose() {
+        let a = sample();
+        let at = a.transpose();
+        let x = [1.0, -1.0, 0.5];
+        let mut y1 = [0.0; 3];
+        let mut y2 = [0.0; 3];
+        spmv_transpose(&a, &x, &mut y1);
+        spmv(&at, &x, &mut y2);
+        for i in 0..3 {
+            assert!((y1[i] - y2[i]).abs() < 1e-14);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+#![allow(clippy::needless_range_loop)]
+
+//! Compare the five TSQR orthogonalization algorithms (MGS, CGS, CholQR,
+//! SVQR, CAQR) on stability and simulated cost — a miniature of the
+//! paper's §V/§VI study, including the monomial-basis CholQR breakdown and
+//! the Newton-basis rescue.
+//!
+//! ```text
+//! cargo run --release --example orth_comparison
+//! ```
+
+use ca_gmres::newton::BasisSpec;
+use ca_gmres::orth::{tsqr, TsqrKind};
+use ca_gmres::prelude::*;
+use ca_gpusim::{MatId, MultiGpu};
+
+fn main() {
+    // --- Part 1: TSQR on a well-conditioned random tall block ---
+    println!("== TSQR of a well-conditioned 60000 x 20 block (3 GPUs) ==");
+    let (n, k, ndev) = (60_000usize, 20usize, 3usize);
+    for kind in [TsqrKind::Mgs, TsqrKind::Cgs, TsqrKind::CholQr, TsqrKind::SvQr, TsqrKind::Caqr] {
+        let mut mg = MultiGpu::with_defaults(ndev);
+        let ids: Vec<MatId> = (0..ndev)
+            .map(|d| {
+                let nl = n / ndev;
+                let dev = mg.device_mut(d);
+                let v = dev.alloc_mat(nl, k);
+                for j in 0..k {
+                    let col: Vec<f64> =
+                        (0..nl).map(|i| (((d * nl + i) * (2 * j + 1)) as f64 * 1e-4).sin()).collect();
+                    dev.mat_mut(v).set_col(j, &col);
+                }
+                v
+            })
+            .collect();
+        mg.reset_time();
+        let r = tsqr(&mut mg, &ids, 0, k, kind, true).expect("well-conditioned block");
+        mg.sync();
+        // measure orthogonality on the host
+        let mut q = ca_dense::Mat::zeros(n, k);
+        for d in 0..ndev {
+            let lo = d * (n / ndev);
+            let m = mg.device(d).mat(ids[d]);
+            for j in 0..k {
+                q.col_mut(j)[lo..lo + m.nrows()].copy_from_slice(m.col(j));
+            }
+        }
+        println!(
+            "  {kind:8}  ||I-Q'Q|| = {:.2e}   sim time = {:7.3} ms   msgs = {:4}   R[0,0] = {:.3}",
+            ca_dense::norms::orthogonality_error(&q),
+            1e3 * mg.time(),
+            mg.counters().total_msgs(),
+            r[(0, 0)]
+        );
+    }
+
+    // --- Part 2: basis conditioning — where CholQR dies and Newton saves ---
+    println!("\n== Gram-matrix conditioning of the s-step basis (monomial vs Newton) ==");
+    let a = ca_sparse::gen::laplace2d(60, 60);
+    let (a_ord, _, layout) = prepare(&a, Ordering::Natural, 2);
+    let nmat = a_ord.nrows();
+    let b: Vec<f64> = (0..nmat).map(|i| 1.0 + ((i * 7) % 13) as f64).collect();
+    for s in [5usize, 10, 15, 20] {
+        let mut mg = MultiGpu::with_defaults(2);
+        let sys = System::new(&mut mg, &a_ord, layout.clone(), 2 * s, Some(s));
+        sys.load_rhs(&mut mg, &b);
+        let kappa_mono =
+            ca_gmres::cagmres::probe_gram_condition(&mut mg, &sys, &BasisSpec::monomial(s));
+        // harvest Ritz shifts
+        let out = gmres(
+            &mut mg,
+            &sys,
+            &GmresConfig { m: 2 * s, rtol: 1e-30, max_restarts: 1, ..Default::default() },
+        );
+        let h = out.first_hessenberg.unwrap();
+        let shifts = ca_gmres::newton::newton_shifts_from_hessenberg(&h, s).unwrap();
+        sys.load_rhs(&mut mg, &b);
+        let kappa_newton =
+            ca_gmres::cagmres::probe_gram_condition(&mut mg, &sys, &BasisSpec::newton(&shifts, s));
+        println!(
+            "  s = {s:2}:  kappa(B) monomial = {kappa_mono:9.2e}   Newton+Leja = {kappa_newton:9.2e}"
+        );
+    }
+    println!("\n(The Gram matrix squares the basis condition number: once kappa(B)");
+    println!(" approaches 1e16, CholQR's Cholesky factorization breaks down — the");
+    println!(" paper's motivation for SVQR and the Newton basis.)");
+}

@@ -1,0 +1,57 @@
+//! Domain example: spectral analysis with the CA-Arnoldi eigensolver —
+//! the "impact beyond GMRES" the paper's conclusion claims. Estimates the
+//! dominant eigenvalues of two operators on the simulated multi-GPU
+//! machine and compares the communication cost against the plain-SpMV
+//! Arnoldi path.
+//!
+//! ```text
+//! cargo run --release --example spectral_analysis
+//! ```
+
+use ca_gmres::prelude::*;
+use ca_gpusim::MultiGpu;
+
+fn run(name: &str, a: &ca_sparse::Csr, s: usize) {
+    let n = a.nrows();
+    let ndev = 3;
+    let (a_ord, _, layout) = prepare(a, Ordering::Kway, ndev);
+    let mut mg = MultiGpu::with_defaults(ndev);
+    let cfg = ArnoldiConfig { m: 30, s, nev: 3, tol: 1e-5, max_restarts: 400, ..Default::default() };
+    let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(cfg.s));
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 3) % 7) as f64 * 0.3).collect();
+    sys.load_rhs(&mut mg, &b);
+    mg.reset_counters();
+    let out = arnoldi_eigs(&mut mg, &sys, &cfg);
+    println!(
+        "{name} (n = {n}, s = {s}): converged={} in {} restarts, {:.2} ms simulated, {} msgs",
+        out.converged,
+        out.restarts,
+        1e3 * out.t_total,
+        mg.counters().total_msgs()
+    );
+    for (i, p) in out.pairs.iter().enumerate() {
+        println!(
+            "   lambda_{i} = {:+.6} {:+.6}i   (rel. residual {:.1e})",
+            p.value.0, p.value.1, p.rel_residual
+        );
+    }
+}
+
+fn main() {
+    println!("== dominant eigenvalues via CA-Arnoldi (3 simulated GPUs) ==\n");
+    // SPD grid Laplacian: eigenvalues known in closed form
+    let a = ca_sparse::gen::laplace2d(40, 40);
+    let exact = 4.0 - 4.0 * (std::f64::consts::PI * 40.0 / 41.0).cos();
+    println!("2-D Laplacian 40x40 (exact dominant eigenvalue: {exact:.6})");
+    run("  laplace2d / CA (s=10)", &a, 10);
+    run("  laplace2d / plain (s=1)", &a, 1);
+
+    // nonsymmetric convection-diffusion
+    println!("\nconvection-diffusion 40x40 (nonsymmetric)");
+    let c = ca_sparse::gen::convection_diffusion(40, 40, 2.0);
+    run("  convdiff / CA (s=10)", &c, 10);
+    run("  convdiff / plain (s=1)", &c, 1);
+
+    println!("\n(The CA path finds the same Ritz values with far fewer PCIe messages —");
+    println!(" the paper's 'greater impact beyond GMRES' in action.)");
+}

@@ -1,0 +1,108 @@
+#![allow(clippy::needless_range_loop)]
+
+//! Determinism and device-count invariance of the whole stack — critical
+//! for a simulator whose claims rest on reproducible clocks.
+
+use ca_gmres_repro::gmres::prelude::*;
+use ca_gmres_repro::gpusim::MultiGpu;
+use ca_gmres_repro::sparse::{gen, perm};
+
+fn solve_once(ndev: usize, s: usize) -> (Vec<f64>, f64, u64, usize) {
+    let a = gen::convection_diffusion(14, 14, 1.5);
+    let (a_ord, p, layout) = prepare(&a, Ordering::Kway, ndev);
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| ((i * 31 % 17) as f64) - 8.0).collect();
+    let mut mg = MultiGpu::with_defaults(ndev);
+    let cfg = CaGmresConfig { s, m: 24, rtol: 1e-9, max_restarts: 300, ..Default::default() };
+    let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(s));
+    sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p));
+    let out = ca_gmres(&mut mg, &sys, &cfg);
+    assert!(out.stats.converged);
+    let x = perm::unpermute_vec(&sys.download_x(&mut mg), &p);
+    (x, out.stats.t_total, out.stats.comm_msgs, out.stats.total_iters)
+}
+
+#[test]
+fn repeated_solves_are_bitwise_identical() {
+    let (x1, t1, m1, i1) = solve_once(3, 6);
+    let (x2, t2, m2, i2) = solve_once(3, 6);
+    assert_eq!(x1, x2, "solutions must be bitwise identical");
+    assert_eq!(t1, t2, "simulated clocks must be deterministic");
+    assert_eq!(m1, m2);
+    assert_eq!(i1, i2);
+}
+
+#[test]
+fn simulated_time_independent_of_thread_scheduling() {
+    // run under different rayon parallelism by re-running; device clocks
+    // are computed analytically so wall-clock jitter must not leak in
+    let times: Vec<f64> = (0..3).map(|_| solve_once(2, 4).1).collect();
+    assert!(times.windows(2).all(|w| w[0] == w[1]), "{times:?}");
+}
+
+#[test]
+fn gmres_iteration_path_invariant_across_device_counts() {
+    // block-row split does not change per-row summation order, so the
+    // Krylov process is identical for 1, 2, 3 devices with natural order
+    let a = gen::laplace2d(12, 12);
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin()).collect();
+    let mut results = Vec::new();
+    for ndev in 1..=3usize {
+        let (a_ord, p, layout) = prepare(&a, Ordering::Natural, ndev);
+        let mut mg = MultiGpu::with_defaults(ndev);
+        let sys = System::new(&mut mg, &a_ord, layout, 20, None);
+        sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p));
+        let out = gmres(
+            &mut mg,
+            &sys,
+            &GmresConfig { m: 20, orth: BorthKind::Mgs, rtol: 1e-8, max_restarts: 200 },
+        );
+        assert!(out.stats.converged);
+        results.push((out.stats.total_iters, perm::unpermute_vec(&sys.download_x(&mut mg), &p)));
+    }
+    for w in results.windows(2) {
+        assert_eq!(w[0].0, w[1].0, "iteration counts must match across device counts");
+        for i in 0..n {
+            assert!((w[0].1[i] - w[1].1[i]).abs() < 1e-8);
+        }
+    }
+}
+
+#[test]
+fn more_devices_never_slow_down_large_spmv() {
+    // weak sanity on the cost model: a bandwidth-bound SpMV-heavy workload
+    // gets faster (simulated) with more devices
+    let a = gen::cantilever(10, 10, 10);
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| ((i % 23) as f64) - 11.0).collect();
+    let mut last = f64::INFINITY;
+    for ndev in 1..=3usize {
+        let (a_ord, p, layout) = prepare(&a, Ordering::Natural, ndev);
+        let mut mg = MultiGpu::with_defaults(ndev);
+        let sys = System::new(&mut mg, &a_ord, layout, 30, None);
+        sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p));
+        let out = gmres(
+            &mut mg,
+            &sys,
+            &GmresConfig { m: 30, orth: BorthKind::Cgs, rtol: 0.0, max_restarts: 2 },
+        );
+        assert!(out.stats.t_total < last * 1.02, "{ndev} devices slower: {} vs {last}", out.stats.t_total);
+        last = out.stats.t_total;
+    }
+}
+
+#[test]
+fn mem_accounting_grows_with_s() {
+    use ca_gmres_repro::gmres::mpk::{MpkPlan, MpkState};
+    let a = gen::laplace2d(20, 20);
+    let layout = Layout::even(a.nrows(), 2);
+    let mut prev = 0usize;
+    for s in [1usize, 3, 6] {
+        let mut mg = MultiGpu::with_defaults(2);
+        let _st = MpkState::load(&mut mg, &a, MpkPlan::new(&a, &layout, s));
+        let used: usize = (0..2).map(|d| mg.device(d).mem_used()).sum();
+        assert!(used > prev, "memory must grow with s");
+        prev = used;
+    }
+}
