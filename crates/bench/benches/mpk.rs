@@ -13,12 +13,12 @@ fn loaded_state(s: usize, ndev: usize) -> (MultiGpu, MpkState, Vec<MatId>, usize
     let n = a.nrows();
     let layout = Layout::even(n, ndev);
     let mut mg = MultiGpu::with_defaults(ndev);
-    let st = MpkState::load(&mut mg, &a, MpkPlan::new(&a, &layout, s));
+    let st = MpkState::load(&mut mg, &a, MpkPlan::new(&a, &layout, s)).unwrap();
     let v_ids: Vec<MatId> = (0..ndev)
         .map(|d| {
             let nl = layout.nlocal(d);
             let dev = mg.device_mut(d);
-            let v = dev.alloc_mat(nl, s + 1);
+            let v = dev.alloc_mat(nl, s + 1).unwrap();
             dev.mat_mut(v).set_col(0, &vec![1.0; nl]);
             v
         })

@@ -10,7 +10,7 @@ fn setup(n: usize, cols: usize, ndev: usize) -> (MultiGpu, Vec<MatId>) {
         .map(|d| {
             let nl = n / ndev;
             let dev = mg.device_mut(d);
-            let v = dev.alloc_mat(nl, cols);
+            let v = dev.alloc_mat(nl, cols).unwrap();
             let mut st = (d as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
             for j in 0..cols {
                 let col: Vec<f64> = (0..nl)
@@ -31,13 +31,17 @@ fn bench_tsqr(c: &mut Criterion) {
     let (n, k, ndev) = (60_000usize, 16usize, 3usize);
     let mut g = c.benchmark_group("tsqr_wallclock");
     for kind in [TsqrKind::Mgs, TsqrKind::Cgs, TsqrKind::CholQr, TsqrKind::SvQr, TsqrKind::Caqr] {
-        g.bench_with_input(BenchmarkId::new("60k_x16_3gpu", format!("{kind}")), &kind, |b, &kind| {
-            b.iter_batched(
-                || setup(n, k, ndev),
-                |(mut mg, ids)| tsqr(&mut mg, &ids, 0, k, kind, true).unwrap(),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        g.bench_with_input(
+            BenchmarkId::new("60k_x16_3gpu", format!("{kind}")),
+            &kind,
+            |b, &kind| {
+                b.iter_batched(
+                    || setup(n, k, ndev),
+                    |(mut mg, ids)| tsqr(&mut mg, &ids, 0, k, kind, true).unwrap(),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
     g.finish();
 }

@@ -30,9 +30,13 @@ fn bench_solvers(c: &mut Criterion) {
         let bp = ca_sparse::perm::permute_vec(&b, &perm);
         bch.iter(|| {
             let mut mg = MultiGpu::with_defaults(3);
-            let sys = System::new(&mut mg, &a_ord, layout.clone(), 30, None);
-            sys.load_rhs(&mut mg, &bp);
-            gmres(&mut mg, &sys, &GmresConfig { m: 30, rtol: 0.0, max_restarts: 2, ..Default::default() })
+            let sys = System::new(&mut mg, &a_ord, layout.clone(), 30, None).unwrap();
+            sys.load_rhs(&mut mg, &bp).unwrap();
+            gmres(
+                &mut mg,
+                &sys,
+                &GmresConfig { m: 30, rtol: 0.0, max_restarts: 2, ..Default::default() },
+            )
         })
     });
 
@@ -41,17 +45,16 @@ fn bench_solvers(c: &mut Criterion) {
         let bp = ca_sparse::perm::permute_vec(&b, &perm);
         bch.iter(|| {
             let mut mg = MultiGpu::with_defaults(3);
-            let sys = System::new(&mut mg, &a_ord, layout.clone(), 30, Some(10));
-            sys.load_rhs(&mut mg, &bp);
-            let cfg = CaGmresConfig { s: 10, m: 30, rtol: 0.0, max_restarts: 3, ..Default::default() };
+            let sys = System::new(&mut mg, &a_ord, layout.clone(), 30, Some(10)).unwrap();
+            sys.load_rhs(&mut mg, &bp).unwrap();
+            let cfg =
+                CaGmresConfig { s: 10, m: 30, rtol: 0.0, max_restarts: 3, ..Default::default() };
             ca_gmres(&mut mg, &sys, &cfg)
         })
     });
 
     g.bench_function("gmres30_cpu_reference_2cycles", |bch| {
-        bch.iter(|| {
-            gmres_cpu(&a, &b, 30, BorthKind::Cgs, 0.0, 2, &ca_gpusim::PerfModel::default())
-        })
+        bch.iter(|| gmres_cpu(&a, &b, 30, BorthKind::Cgs, 0.0, 2, &ca_gpusim::PerfModel::default()))
     });
     g.finish();
 }

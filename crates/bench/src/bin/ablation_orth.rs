@@ -31,7 +31,7 @@ fn setup(n: usize, cols: usize, ndev: usize, config: KernelConfig) -> (MultiGpu,
         .map(|d| {
             let nl = n / ndev;
             let dev = mg.device_mut(d);
-            let v = dev.alloc_mat(nl, cols);
+            let v = dev.alloc_mat(nl, cols).unwrap();
             let mut st = (d as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
             for j in 0..cols {
                 let col: Vec<f64> = (0..nl)
@@ -119,7 +119,10 @@ fn main() {
             config: format!("h = {h}"),
             time_ms: 1e3 * mg.time(),
             orth_err: orthogonality_error(&q),
-            extra: format!("{} panels", n / ndev / GemmVariant::Batched { h }.panel_rows().unwrap() + 1),
+            extra: format!(
+                "{} panels",
+                n / ndev / GemmVariant::Batched { h }.panel_rows().unwrap() + 1
+            ),
         });
     }
 
@@ -148,8 +151,8 @@ fn main() {
                 adaptive_s: adaptive,
                 ..Default::default()
             };
-            let sys = System::new(&mut mg, &a_ord, layout.clone(), cfg.m, Some(cfg.s));
-            sys.load_rhs(&mut mg, &b);
+            let sys = System::new(&mut mg, &a_ord, layout.clone(), cfg.m, Some(cfg.s)).unwrap();
+            sys.load_rhs(&mut mg, &b).unwrap();
             let out = ca_gmres(&mut mg, &sys, &cfg);
             rows.push(Row {
                 study: "adaptive-s".into(),
@@ -158,7 +161,9 @@ fn main() {
                 orth_err: f64::NAN,
                 extra: format!(
                     "converged={}, s_final={}, breakdown={:?}",
-                    out.stats.converged, out.s_final, out.stats.breakdown.is_some()
+                    out.stats.converged,
+                    out.s_final,
+                    out.stats.breakdown.is_some()
                 ),
             });
         }

@@ -35,8 +35,8 @@ fn main() {
         let b_perm = ca_sparse::perm::permute_vec(&b_bal, &perm);
 
         let mut mg = MultiGpu::with_defaults(ndev);
-        let sys = System::new(&mut mg, &a_ord, layout.clone(), m, None);
-        sys.load_rhs(&mut mg, &b_perm);
+        let sys = System::new(&mut mg, &a_ord, layout.clone(), m, None).unwrap();
+        sys.load_rhs(&mut mg, &b_perm).unwrap();
         let g = gmres(
             &mut mg,
             &sys,
@@ -49,8 +49,8 @@ fn main() {
                 continue;
             }
             let mut mg2 = MultiGpu::with_defaults(ndev);
-            let sys2 = System::new(&mut mg2, &a_ord, layout.clone(), m, Some(s));
-            sys2.load_rhs(&mut mg2, &b_perm);
+            let sys2 = System::new(&mut mg2, &a_ord, layout.clone(), m, Some(s)).unwrap();
+            sys2.load_rhs(&mut mg2, &b_perm).unwrap();
             let cfg = CaGmresConfig {
                 s,
                 m,
@@ -61,7 +61,13 @@ fn main() {
             };
             let c = ca_gmres(&mut mg2, &sys2, &cfg);
             let c_ms = c.ca_stats.total_per_restart_ms();
-            rows.push(Row { m, s, gmres_ms_per_res: g_ms, ca_ms_per_res: c_ms, speedup: g_ms / c_ms });
+            rows.push(Row {
+                m,
+                s,
+                gmres_ms_per_res: g_ms,
+                ca_ms_per_res: c_ms,
+                speedup: g_ms / c_ms,
+            });
         }
     }
 

@@ -39,9 +39,10 @@ fn main() {
             let (a_ord, perm, layout) = prepare(&a_bal, Ordering::Kway, gpus);
             let b_perm = ca_sparse::perm::permute_vec(&b_bal, &perm);
 
-            let mut mg = MultiGpu::with_topology(topo.clone(), model.clone(), KernelConfig::default());
-            let sys = System::new(&mut mg, &a_ord, layout.clone(), t.m, None);
-            sys.load_rhs(&mut mg, &b_perm);
+            let mut mg =
+                MultiGpu::with_topology(topo.clone(), model.clone(), KernelConfig::default());
+            let sys = System::new(&mut mg, &a_ord, layout.clone(), t.m, None).unwrap();
+            sys.load_rhs(&mut mg, &b_perm).unwrap();
             let g = gmres(
                 &mut mg,
                 &sys,
@@ -49,8 +50,8 @@ fn main() {
             );
 
             let mut mg2 = MultiGpu::with_topology(topo, model, KernelConfig::default());
-            let sys2 = System::new(&mut mg2, &a_ord, layout, t.m, Some(10));
-            sys2.load_rhs(&mut mg2, &b_perm);
+            let sys2 = System::new(&mut mg2, &a_ord, layout, t.m, Some(10)).unwrap();
+            sys2.load_rhs(&mut mg2, &b_perm).unwrap();
             let cfg = CaGmresConfig {
                 s: 10,
                 m: t.m,
@@ -90,7 +91,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        format_table(&["GPUs", "nodes", "net lat (us)", "GMRES ms/res", "CA ms/res", "speedup"], &table)
+        format_table(
+            &["GPUs", "nodes", "net lat (us)", "GMRES ms/res", "CA ms/res", "speedup"],
+            &table
+        )
     );
     write_json("ext_multinode", &rows);
 }

@@ -33,8 +33,13 @@ fn main() {
     for t in [g3_circuit(scale), cant(scale)] {
         let (a_bal, b_bal) = balanced_problem(&t.a);
         let hg = Hypergraph::column_net(&a_bal);
-        for ord in [Ordering::Natural, Ordering::Rcm, Ordering::Kway, Ordering::Bisection, Ordering::Hypergraph]
-        {
+        for ord in [
+            Ordering::Natural,
+            Ordering::Rcm,
+            Ordering::Kway,
+            Ordering::Bisection,
+            Ordering::Hypergraph,
+        ] {
             let (a_ord, perm, layout) = prepare(&a_bal, ord, ndev);
             // translate the block layout back to a partition vector on the
             // ORIGINAL row numbering for metric evaluation
@@ -42,20 +47,18 @@ fn main() {
             for (new, &old) in perm.iter().enumerate() {
                 part[old] = layout.owner(new) as u32;
             }
-            let partition =
-                ca_sparse::partition::Partition { part: part.clone(), nparts: ndev };
+            let partition = ca_sparse::partition::Partition { part: part.clone(), nparts: ndev };
             let edge_cut = partition.edge_cut(&a_bal);
             let lambda = hg.lambda_minus_one(&part, ndev);
             let imb = partition.imbalance();
             let plan = MpkPlan::new(&a_ord, &layout, 5);
-            let sv = plan.devs.iter().map(|d| d.surface_to_volume()).sum::<f64>()
-                / ndev as f64;
+            let sv = plan.devs.iter().map(|d| d.surface_to_volume()).sum::<f64>() / ndev as f64;
 
             // steady-state GMRES timing with this distribution
             let b_perm = ca_sparse::perm::permute_vec(&b_bal, &perm);
             let mut mg = MultiGpu::with_defaults(ndev);
-            let sys = System::new(&mut mg, &a_ord, layout, t.m, None);
-            sys.load_rhs(&mut mg, &b_perm);
+            let sys = System::new(&mut mg, &a_ord, layout, t.m, None).unwrap();
+            sys.load_rhs(&mut mg, &b_perm).unwrap();
             let g = gmres(
                 &mut mg,
                 &sys,
@@ -92,7 +95,15 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["matrix", "method", "edge cut", "lambda-1 vol", "imbal", "surf/vol s=5", "GMRES ms/res"],
+            &[
+                "matrix",
+                "method",
+                "edge cut",
+                "lambda-1 vol",
+                "imbal",
+                "surf/vol s=5",
+                "GMRES ms/res"
+            ],
             &table
         )
     );

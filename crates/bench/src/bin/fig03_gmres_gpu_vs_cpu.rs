@@ -30,15 +30,8 @@ fn main() {
         let (n, nnz, m) = (t.a.nrows(), t.a.nnz(), t.m);
 
         // CPU reference (threaded-MKL stand-in), CGS orthogonalization.
-        let (_, cpu) = gmres_cpu(
-            &t.a,
-            &b,
-            m,
-            BorthKind::Cgs,
-            1e-8,
-            1000,
-            &ca_gpusim::PerfModel::default(),
-        );
+        let (_, cpu) =
+            gmres_cpu(&t.a, &b, m, BorthKind::Cgs, 1e-8, 1000, &ca_gpusim::PerfModel::default());
         rows.push(Row {
             matrix: t.name.into(),
             config: "CPU (16 cores)".into(),
@@ -52,8 +45,8 @@ fn main() {
         for ng in 1..=3usize {
             let (a_ord, _, layout) = prepare(&t.a, Ordering::Natural, ng);
             let mut mg = MultiGpu::with_defaults(ng);
-            let sys = System::new(&mut mg, &a_ord, layout, m, None);
-            sys.load_rhs(&mut mg, &b);
+            let sys = System::new(&mut mg, &a_ord, layout, m, None).unwrap();
+            sys.load_rhs(&mut mg, &b).unwrap();
             let cfg = GmresConfig { m, orth: BorthKind::Cgs, rtol: 1e-8, max_restarts: 1000 };
             let out = gmres(&mut mg, &sys, &cfg);
             rows.push(Row {

@@ -39,13 +39,13 @@ fn main() {
         let mut t_s1 = f64::NAN;
         for &s in &s_values {
             let mut mg = MultiGpu::with_defaults(ndev);
-            let st = MpkState::load(&mut mg, &a_ord, MpkPlan::new(&a_ord, &layout, s));
+            let st = MpkState::load(&mut mg, &a_ord, MpkPlan::new(&a_ord, &layout, s)).unwrap();
             // basis storage: m+1 columns
             let v_ids: Vec<MatId> = (0..ndev)
                 .map(|d| {
                     let nl = layout.nlocal(d);
                     let dev = mg.device_mut(d);
-                    let v = dev.alloc_mat(nl, m + 1);
+                    let v = dev.alloc_mat(nl, m + 1).unwrap();
                     let lo = layout.range(d).start;
                     dev.mat_mut(v).set_col(0, &b[lo..lo + nl]);
                     v
@@ -57,7 +57,7 @@ fn main() {
             let mut col = 0usize;
             while col < m {
                 let blk = s.min(m - col);
-                let phases = mpk(&mut mg, &st, &v_ids, col, &BasisSpec::monomial(blk));
+                let phases = mpk(&mut mg, &st, &v_ids, col, &BasisSpec::monomial(blk)).unwrap();
                 t_exchange += phases.exchange;
                 t_steps += phases.steps;
                 col += blk;
@@ -97,7 +97,15 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["matrix", "ordering", "s", "total (ms)", "SpMV-only (ms)", "comm (ms)", "speedup vs s=1"],
+            &[
+                "matrix",
+                "ordering",
+                "s",
+                "total (ms)",
+                "SpMV-only (ms)",
+                "comm (ms)",
+                "speedup vs s=1"
+            ],
             &table
         )
     );

@@ -37,7 +37,7 @@ fn main() {
             .map(|d| {
                 let nl = n / ndev;
                 let dev = mg.device_mut(d);
-                let v = dev.alloc_mat(nl, s1);
+                let v = dev.alloc_mat(nl, s1).unwrap();
                 for j in 0..s1 {
                     let col: Vec<f64> =
                         (0..nl).map(|i| (((d * nl + i) * (j + 3)) as f64 * 1e-4).sin()).collect();

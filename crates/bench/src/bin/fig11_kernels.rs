@@ -29,7 +29,7 @@ fn fill_block(mg: &mut MultiGpu, n: usize, cols: usize) -> Vec<MatId> {
         .map(|d| {
             let nl = n / ndev;
             let dev = mg.device_mut(d);
-            let v = dev.alloc_mat(nl, cols);
+            let v = dev.alloc_mat(nl, cols).unwrap();
             let mut state = (d as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
             for j in 0..cols {
                 let col: Vec<f64> = (0..nl)

@@ -30,8 +30,8 @@ fn main() {
         let (a_ord, _, layout) = prepare(&a_bal, Ordering::Natural, 1);
         let mut mg = MultiGpu::with_defaults(1);
         let m_probe = t.m.min(60);
-        let sys = System::new(&mut mg, &a_ord, layout, m_probe, Some(s));
-        sys.load_rhs(&mut mg, &b);
+        let sys = System::new(&mut mg, &a_ord, layout, m_probe, Some(s)).unwrap();
+        sys.load_rhs(&mut mg, &b).unwrap();
 
         // Ritz values from one GMRES cycle.
         let out = gmres(
@@ -50,15 +50,16 @@ fn main() {
                 .collect()
         };
         moduli.sort_by(|a, b| b.partial_cmp(a).unwrap());
-        let theta_ratio = if moduli.len() >= 2 && moduli[1] > 0.0 { moduli[0] / moduli[1] } else { f64::NAN };
+        let theta_ratio =
+            if moduli.len() >= 2 && moduli[1] > 0.0 { moduli[0] / moduli[1] } else { f64::NAN };
 
-        sys.load_rhs(&mut mg, &b);
-        let kappa_mono = probe_gram_condition(&mut mg, &sys, &BasisSpec::monomial(s));
-        sys.load_rhs(&mut mg, &b);
+        sys.load_rhs(&mut mg, &b).unwrap();
+        let kappa_mono = probe_gram_condition(&mut mg, &sys, &BasisSpec::monomial(s)).unwrap();
+        sys.load_rhs(&mut mg, &b).unwrap();
         let kappa_newton = if shifts.is_empty() {
             f64::NAN
         } else {
-            probe_gram_condition(&mut mg, &sys, &BasisSpec::newton(&shifts, s))
+            probe_gram_condition(&mut mg, &sys, &BasisSpec::newton(&shifts, s)).unwrap()
         };
 
         rows.push(Row {

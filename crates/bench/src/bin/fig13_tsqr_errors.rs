@@ -83,8 +83,8 @@ fn main() {
                 capture_tsqr_errors: true,
                 ..Default::default()
             };
-            let sys = System::new(&mut mg, &a_ord, layout, m, Some(s));
-            sys.load_rhs(&mut mg, &b);
+            let sys = System::new(&mut mg, &a_ord, layout, m, Some(s)).unwrap();
+            sys.load_rhs(&mut mg, &b).unwrap();
             let out = ca_gmres(&mut mg, &sys, &cfg);
             for pass in [1u8, 2] {
                 let samples: Vec<&TsqrErrorSample> =

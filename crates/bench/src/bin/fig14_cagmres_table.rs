@@ -44,15 +44,15 @@ fn run_gmres(
     let b_perm = ca_sparse::perm::permute_vec(&b_bal, &perm);
     // convergence run: how many restarts to 1e-8 reduction
     let mut mg = MultiGpu::with_defaults(ng);
-    let sys = System::new(&mut mg, &a_ord, layout.clone(), t.m, None);
-    sys.load_rhs(&mut mg, &b_perm);
+    let sys = System::new(&mut mg, &a_ord, layout.clone(), t.m, None).unwrap();
+    sys.load_rhs(&mut mg, &b_perm).unwrap();
     let cfg = GmresConfig { m: t.m, orth, rtol: 1e-8, max_restarts: 300 };
     let conv = gmres(&mut mg, &sys, &cfg);
     // timing run: 3 full restart cycles, no early exit (the paper's
     // per-restart averages come from long steady-state runs)
     let mut mg = MultiGpu::with_defaults(ng);
-    let sys = System::new(&mut mg, &a_ord, layout, t.m, None);
-    sys.load_rhs(&mut mg, &b_perm);
+    let sys = System::new(&mut mg, &a_ord, layout, t.m, None).unwrap();
+    sys.load_rhs(&mut mg, &b_perm).unwrap();
     let out = gmres(&mut mg, &sys, &GmresConfig { m: t.m, orth, rtol: 0.0, max_restarts: 3 });
     let s = &out.stats;
     rows.push(Row {
@@ -87,8 +87,8 @@ fn run_ca(
     let b_perm = ca_sparse::perm::permute_vec(&b_bal, &perm);
     // convergence run
     let mut mg = MultiGpu::with_defaults(ng);
-    let sys = System::new(&mut mg, &a_ord, layout.clone(), t.m, Some(s_steps));
-    sys.load_rhs(&mut mg, &b_perm);
+    let sys = System::new(&mut mg, &a_ord, layout.clone(), t.m, Some(s_steps)).unwrap();
+    sys.load_rhs(&mut mg, &b_perm).unwrap();
     let cfg = CaGmresConfig {
         s: s_steps,
         m: t.m,
@@ -101,21 +101,12 @@ fn run_ca(
     let conv = ca_gmres(&mut mg, &sys, &cfg);
     // timing run: shift-harvest cycle + 3 full CA cycles, no early exit
     let mut mg = MultiGpu::with_defaults(ng);
-    let sys = System::new(&mut mg, &a_ord, layout, t.m, Some(s_steps));
-    sys.load_rhs(&mut mg, &b_perm);
-    let out = ca_gmres(
-        &mut mg,
-        &sys,
-        &CaGmresConfig { rtol: 0.0, max_restarts: 4, ..cfg },
-    );
+    let sys = System::new(&mut mg, &a_ord, layout, t.m, Some(s_steps)).unwrap();
+    sys.load_rhs(&mut mg, &b_perm).unwrap();
+    let out = ca_gmres(&mut mg, &sys, &CaGmresConfig { rtol: 0.0, max_restarts: 4, ..cfg });
     let st = &out.ca_stats; // CA cycles only; the shift-harvest cycle is
                             // amortized away in the paper's long runs
-    let label = format!(
-        "CA-GMRES({s_steps},{}) {}{}",
-        t.m,
-        if reorth { "2x" } else { "" },
-        tsqr
-    );
+    let label = format!("CA-GMRES({s_steps},{}) {}{}", t.m, if reorth { "2x" } else { "" }, tsqr);
     rows.push(Row {
         matrix: t.name.into(),
         solver: label,
@@ -206,7 +197,11 @@ fn main() {
                 r.ngpus.to_string(),
                 r.restarts.to_string(),
                 format!("{:.3}", r.ortho_per_res_ms),
-                if r.tsqr_per_res_ms > 0.0 { format!("{:.3}", r.tsqr_per_res_ms) } else { "-".into() },
+                if r.tsqr_per_res_ms > 0.0 {
+                    format!("{:.3}", r.tsqr_per_res_ms)
+                } else {
+                    "-".into()
+                },
                 format!("{:.3}", r.spmv_per_res_ms),
                 format!("{:.3}", r.total_per_res_ms),
                 r.speedup.map(|s| format!("{s:.2}")).unwrap_or_else(|| "-".into()),
@@ -218,8 +213,16 @@ fn main() {
         "{}",
         format_table(
             &[
-                "matrix", "solver", "g", "Rest.", "Ortho/Res", "TSQR/Res", "SpMV/Res",
-                "Total/Res", "SpdUp", "conv"
+                "matrix",
+                "solver",
+                "g",
+                "Rest.",
+                "Ortho/Res",
+                "TSQR/Res",
+                "SpMV/Res",
+                "Total/Res",
+                "SpdUp",
+                "conv"
             ],
             &table
         )

@@ -49,8 +49,8 @@ fn main() {
 
             // GMRES baseline (CGS): 3 full cycles, steady-state timing
             let mut mg = MultiGpu::with_defaults(ng);
-            let sys = System::new(&mut mg, &a_ord, layout.clone(), t.m, None);
-            sys.load_rhs(&mut mg, &b_perm);
+            let sys = System::new(&mut mg, &a_ord, layout.clone(), t.m, None).unwrap();
+            sys.load_rhs(&mut mg, &b_perm).unwrap();
             let g = gmres(
                 &mut mg,
                 &sys,
@@ -62,8 +62,8 @@ fn main() {
 
             // CA-GMRES with auto kernel selection
             let mut mg2 = MultiGpu::with_defaults(ng);
-            let sys2 = System::new(&mut mg2, &a_ord, layout, t.m, Some(s));
-            sys2.load_rhs(&mut mg2, &b_perm);
+            let sys2 = System::new(&mut mg2, &a_ord, layout, t.m, Some(s)).unwrap();
+            sys2.load_rhs(&mut mg2, &b_perm).unwrap();
             let cfg = CaGmresConfig {
                 s,
                 m: t.m,
@@ -109,7 +109,15 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["matrix", "g", "GMRES ms/res", "CA ms/res", "kernel", "speedup", "norm. vs 1-GPU GMRES"],
+            &[
+                "matrix",
+                "g",
+                "GMRES ms/res",
+                "CA ms/res",
+                "kernel",
+                "speedup",
+                "norm. vs 1-GPU GMRES"
+            ],
             &table
         )
     );

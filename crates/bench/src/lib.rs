@@ -206,6 +206,3 @@ mod tests {
         assert!(mean.abs() < 0.05, "mean {mean}");
     }
 }
-
-
-

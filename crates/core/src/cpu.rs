@@ -139,8 +139,7 @@ mod tests {
         let x_true: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
         let mut b = vec![0.0; n];
         ca_sparse::spmv::spmv(&a, &x_true, &mut b);
-        let (x, stats) =
-            gmres_cpu(&a, &b, 30, BorthKind::Mgs, 1e-8, 200, &PerfModel::default());
+        let (x, stats) = gmres_cpu(&a, &b, 30, BorthKind::Mgs, 1e-8, 200, &PerfModel::default());
         assert!(stats.converged);
         for i in 0..n {
             assert!((x[i] - x_true[i]).abs() < 1e-5);
@@ -169,8 +168,8 @@ mod tests {
 
         let layout = crate::layout::Layout::even(n, 2);
         let mut mg = ca_gpusim::MultiGpu::with_defaults(2);
-        let sys = crate::system::System::new(&mut mg, &a, layout, 20, None);
-        sys.load_rhs(&mut mg, &b);
+        let sys = crate::system::System::new(&mut mg, &a, layout, 20, None).unwrap();
+        sys.load_rhs(&mut mg, &b).unwrap();
         let out = crate::gmres::gmres(
             &mut mg,
             &sys,

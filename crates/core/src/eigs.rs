@@ -17,6 +17,7 @@ use crate::orth::{borth, orth_column, tsqr, OrthConfig, OrthError};
 use crate::system::System;
 use ca_dense::hessenberg::{hessenberg_eigenvalues, Complex};
 use ca_dense::{blas2, qr, Mat};
+use ca_gpusim::faults::Result as GpuResult;
 use ca_gpusim::MultiGpu;
 
 /// Configuration for the restarted Arnoldi eigensolver.
@@ -38,14 +39,7 @@ pub struct ArnoldiConfig {
 
 impl Default for ArnoldiConfig {
     fn default() -> Self {
-        Self {
-            m: 30,
-            s: 10,
-            nev: 1,
-            tol: 1e-8,
-            max_restarts: 200,
-            orth: OrthConfig::default(),
-        }
+        Self { m: 30, s: 10, nev: 1, tol: 1e-8, max_restarts: 200, orth: OrthConfig::default() }
     }
 }
 
@@ -101,7 +95,13 @@ fn ritz_vector(h: &Mat, theta_re: f64) -> Vec<f64> {
 /// Find the `cfg.nev` dominant eigenvalues of the operator held by `sys`
 /// (the matrix loaded into its SpMV/MPK plans). The start vector is
 /// whatever `b` was loaded via [`System::load_rhs`].
-pub fn arnoldi_eigs(mg: &mut MultiGpu, sys: &System, cfg: &ArnoldiConfig) -> EigsOutcome {
+/// # Errors
+/// Propagates simulated hardware faults ([`ca_gpusim::GpuSimError`]).
+pub fn arnoldi_eigs(
+    mg: &mut MultiGpu,
+    sys: &System,
+    cfg: &ArnoldiConfig,
+) -> GpuResult<EigsOutcome> {
     assert!(cfg.m >= 2 && cfg.m <= sys.m && cfg.nev >= 1 && cfg.nev < cfg.m);
     let use_mpk = cfg.s > 1 && sys.mpk.is_some();
     mg.sync();
@@ -110,9 +110,9 @@ pub fn arnoldi_eigs(mg: &mut MultiGpu, sys: &System, cfg: &ArnoldiConfig) -> Eig
     // seed: b / ||b||
     let bc = sys.b_col();
     let parts = mg.run_map(|d, dev| dev.dot_cols(sys.v[d], bc, bc));
-    mg.to_host(&vec![8; parts.len()]);
+    mg.to_host(&vec![8; parts.len()])?;
     let nb = parts.iter().sum::<f64>().sqrt().max(f64::MIN_POSITIVE);
-    mg.broadcast(8);
+    mg.broadcast(8)?;
     mg.run(|d, dev| {
         dev.copy_col(sys.v[d], bc, 0);
         dev.scal_col(sys.v[d], 0, 1.0 / nb);
@@ -131,9 +131,10 @@ pub fn arnoldi_eigs(mg: &mut MultiGpu, sys: &System, cfg: &ArnoldiConfig) -> Eig
             None => {
                 // standard Arnoldi (also harvests Newton shifts)
                 for j in 0..cfg.m {
-                    dist_spmv(mg, &sys.spmv, &sys.v, j, j + 1);
+                    dist_spmv(mg, &sys.spmv, &sys.v, j, j + 1)?;
                     match orth_column(mg, &sys.v, j + 1, cfg.orth.borth) {
                         Ok(h) => arn.push_arnoldi_column(h),
+                        Err(OrthError::Gpu(e)) => return Err(e),
                         Err(_) => {
                             failed = true;
                             break;
@@ -150,10 +151,10 @@ pub fn arnoldi_eigs(mg: &mut MultiGpu, sys: &System, cfg: &ArnoldiConfig) -> Eig
                     let bmat = blk.change_matrix();
                     let start = ncols - 1;
                     if use_mpk {
-                        mpk(mg, sys.mpk.as_ref().unwrap(), &sys.v, start, &blk);
+                        mpk(mg, sys.mpk.as_ref().unwrap(), &sys.v, start, &blk)?;
                     } else {
                         for (k, st) in blk.steps.iter().enumerate() {
-                            dist_spmv(mg, &sys.spmv, &sys.v, start + k, start + k + 1);
+                            dist_spmv(mg, &sys.spmv, &sys.v, start + k, start + k + 1)?;
                             if st.re != 0.0 || st.scale != 1.0 || st.im2 != 0.0 {
                                 let (re, im2, sc) = (st.re, st.im2, st.scale);
                                 let src = start + k;
@@ -172,13 +173,18 @@ pub fn arnoldi_eigs(mg: &mut MultiGpu, sys: &System, cfg: &ArnoldiConfig) -> Eig
                         }
                     }
                     let (c0, c1) = if first { (0, s_blk + 1) } else { (ncols, ncols + s_blk) };
-                    let c = borth(mg, &sys.v, c0, c1, cfg.orth.borth);
+                    let c = match borth(mg, &sys.v, c0, c1, cfg.orth.borth) {
+                        Ok(c) => c,
+                        Err(OrthError::Gpu(e)) => return Err(e),
+                        Err(_) => unreachable!("plain borth only fails on GPU faults"),
+                    };
                     match tsqr(mg, &sys.v, c0, c1, cfg.orth.tsqr, cfg.orth.svqr_scaled) {
                         Ok(r) => {
                             let c_eff = if first { Mat::zeros(0, 0) } else { c };
                             arn.extend_block(&c_eff, &r, &bmat);
                         }
-                        Err(OrthError::ZeroNorm { .. }) | Err(_) => {
+                        Err(OrthError::Gpu(e)) => return Err(e),
+                        Err(_) => {
                             failed = true;
                         }
                     }
@@ -248,7 +254,7 @@ pub fn arnoldi_eigs(mg: &mut MultiGpu, sys: &System, cfg: &ArnoldiConfig) -> Eig
         let nrm = ca_dense::blas1::nrm2(&restart_combo).max(f64::MIN_POSITIVE);
         let neg: Vec<f64> = restart_combo.iter().map(|v| -v / nrm).collect();
         let xc = sys.x_col();
-        mg.broadcast(8 * mm);
+        mg.broadcast(8 * mm)?;
         mg.run(|d, dev| {
             dev.scal_col(sys.v[d], xc, 0.0); // zero the scratch
             dev.gemv_n_update(sys.v[d], 0, mm, &neg, xc); // x = V y / ||y||
@@ -257,14 +263,14 @@ pub fn arnoldi_eigs(mg: &mut MultiGpu, sys: &System, cfg: &ArnoldiConfig) -> Eig
         // re-normalize exactly (the combo of orthonormal columns already
         // has unit norm up to rounding, but be safe)
         let parts = mg.run_map(|d, dev| dev.norm2_sq_col(sys.v[d], 0));
-        mg.to_host(&vec![8; parts.len()]);
+        mg.to_host(&vec![8; parts.len()])?;
         let n0 = parts.iter().sum::<f64>().sqrt().max(f64::MIN_POSITIVE);
-        mg.broadcast(8);
+        mg.broadcast(8)?;
         mg.run(|d, dev| dev.scal_col(sys.v[d], 0, 1.0 / n0));
     }
 
     mg.sync();
-    EigsOutcome { pairs: best, converged, restarts, t_total: mg.time() - t_begin }
+    Ok(EigsOutcome { pairs: best, converged, restarts, t_total: mg.time() - t_begin })
 }
 
 #[cfg(test)]
@@ -294,10 +300,10 @@ mod tests {
         let n = a.nrows();
         let layout = Layout::even(n, ndev);
         let mut mg = MultiGpu::with_defaults(ndev);
-        let sys = System::new(&mut mg, a, layout, cfg.m, Some(cfg.s));
+        let sys = System::new(&mut mg, a, layout, cfg.m, Some(cfg.s)).unwrap();
         let b: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 3) % 7) as f64 * 0.3).collect();
-        sys.load_rhs(&mut mg, &b);
-        arnoldi_eigs(&mut mg, &sys, cfg)
+        sys.load_rhs(&mut mg, &b).unwrap();
+        arnoldi_eigs(&mut mg, &sys, cfg).unwrap()
     }
 
     #[test]

@@ -1,0 +1,599 @@
+//! Fault-tolerant CA-GMRES driver.
+//!
+//! Wraps the CA-GMRES cycle structure with three protection layers
+//! against the faults [`ca_gpusim::FaultPlan`] can inject:
+//!
+//! 1. **ABFT detection** — every MPK/SpMV block is verified against the
+//!    checksum identity `1ᵀv_{k+1} = scale·(cᵀv_k − re·1ᵀv_k) +
+//!    im2·1ᵀv_{k-1}` with `c = Aᵀ1` precomputed on the host, and the
+//!    orthogonalization runs with the Gram/projection checksums of
+//!    [`crate::orth::borth_checked`]/[`crate::orth::tsqr_checked`]. The
+//!    detector kernels are real (they advance device clocks), so the
+//!    overhead of resilience is visible in the simulated times.
+//! 2. **Recompute on detection** — a block that fails a checksum is
+//!    regenerated from its (intact) source column. The regenerated
+//!    kernels draw fresh per-op fault decisions, so a *transient* SDC
+//!    does not repeat; a bounded retry budget keeps a persistent fault
+//!    from livelocking. An optional explicit-residual check per restart
+//!    cycle backstops anything the checksums miss: on disagreement with
+//!    the implicit least-squares residual the iterate is rolled back to
+//!    the last accepted checkpoint and the cycle redone.
+//! 3. **Graceful degradation** — when a device is lost mid-solve, the
+//!    driver rebuilds the distributed system on the survivors
+//!    ([`ca_gpusim::MultiGpu::fast_forward`] keeps the clock honest,
+//!    and re-uploading the matrix slices is charged), restores the
+//!    checkpointed iterate, and continues toward the same tolerance.
+//!
+//! Unsupported solver options (documented simplifications): the FT driver
+//! always resolves [`KernelMode::Auto`] to MPK-if-available, and ignores
+//! `adaptive_s` and `capture_tsqr_errors` — a *numerical* breakdown (as
+//! opposed to an injected fault) aborts with `stats.breakdown` set, like
+//! non-adaptive CA-GMRES.
+
+use crate::cagmres::{generate_block_spmv, orth_block, BasisChoice, CaGmresConfig, KernelMode};
+use crate::hess::BlockArnoldi;
+use crate::layout::Layout;
+use crate::mpk::mpk;
+use crate::newton::{newton_shifts_from_hessenberg, BasisSpec};
+use crate::orth::{checksums_agree, OrthError};
+use crate::stats::{BreakdownKind, SolveStats};
+use crate::system::System;
+use ca_dense::hessenberg::GivensLsq;
+use ca_gpusim::faults::Result as GpuResult;
+use ca_gpusim::{GpuSimError, MultiGpu, VecId};
+use ca_sparse::Csr;
+use serde::Serialize;
+
+/// Fault-tolerance configuration on top of a [`CaGmresConfig`].
+#[derive(Debug, Clone)]
+pub struct FtConfig {
+    /// The underlying solver parameters.
+    pub solver: CaGmresConfig,
+    /// Verify every generated basis block against the `c = Aᵀ1` SpMV
+    /// checksum identity (detects SDC in MPK/SpMV outputs).
+    pub abft_spmv: bool,
+    /// Run the orthogonalization with Gram/projection checksums
+    /// (detects SDC in the BOrth GEMM and TSQR SYRK/GEMM kernels).
+    pub abft_orth: bool,
+    /// Retry budget: how many times one block (or one cycle, for the
+    /// residual backstop) may be recomputed before the driver gives up
+    /// and accepts the possibly-corrupt result.
+    pub max_recompute: usize,
+    /// Compare the explicit residual against the implicit least-squares
+    /// one after every restart cycle; roll back to the checkpoint on
+    /// disagreement.
+    pub residual_check: bool,
+    /// Disagreement factor for `residual_check`: redo the cycle when
+    /// `beta_explicit > residual_slack * beta_implicit (+ noise floor)`.
+    pub residual_slack: f64,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        Self {
+            solver: CaGmresConfig::default(),
+            abft_spmv: true,
+            abft_orth: true,
+            max_recompute: 3,
+            residual_check: true,
+            residual_slack: 10.0,
+        }
+    }
+}
+
+/// What the fault-tolerance machinery observed and did during one solve.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct FtReport {
+    /// Checksum mismatches detected (SpMV identity or orth Gram checks).
+    pub sdc_detected: usize,
+    /// Basis blocks regenerated after a detection.
+    pub blocks_recomputed: usize,
+    /// Restart cycles rolled back and redone by the residual backstop.
+    pub cycles_redone: usize,
+    /// Transient transfer failures absorbed by the retry layer
+    /// (from [`ca_gpusim::CommCounters::transfer_retries`]).
+    pub transfer_retries: u64,
+    /// The device that was lost, if any.
+    pub device_lost: Option<usize>,
+    /// Whether the solve finished on fewer devices than it started with.
+    pub degraded: bool,
+    /// Devices the solve finished on.
+    pub ndev_final: usize,
+}
+
+/// Outcome of a fault-tolerant solve.
+#[derive(Debug)]
+pub struct FtOutcome {
+    /// Solver statistics (includes all detection/recovery overhead in
+    /// the phase times — resilience is priced, not free).
+    pub stats: SolveStats,
+    /// Fault-tolerance event counts.
+    pub report: FtReport,
+    /// The final iterate (on an unrecoverable fault: the last accepted
+    /// checkpoint, with `stats.breakdown` explaining the abort).
+    pub x: Vec<f64>,
+}
+
+/// Per-device slices of the ABFT checksum vector `c = Aᵀ1`, aligned with
+/// the row [`Layout`].
+struct AbftState {
+    cdev: Vec<VecId>,
+}
+
+impl AbftState {
+    /// Compute `c = Aᵀ1` on the host and upload each device's row slice
+    /// (both the host pass and the transfers are charged).
+    fn build(mg: &mut MultiGpu, a: &Csr, layout: &Layout) -> GpuResult<Self> {
+        let mut c = vec![0.0f64; a.ncols()];
+        for i in 0..a.nrows() {
+            let (cols, vals) = a.row(i);
+            for (j, v) in cols.iter().zip(vals) {
+                c[*j as usize] += v;
+            }
+        }
+        mg.host_compute(a.nnz() as f64, 12.0 * a.nnz() as f64);
+        let bytes: Vec<usize> = (0..layout.ndev()).map(|d| 8 * layout.nlocal(d)).collect();
+        mg.to_devices(&bytes)?;
+        let mut cdev = Vec::with_capacity(layout.ndev());
+        for d in 0..layout.ndev() {
+            let r = layout.range(d);
+            let id = mg.device_mut(d).alloc_vec(r.len())?;
+            mg.device_mut(d).vec_mut(id).copy_from_slice(&c[r]);
+            cdev.push(id);
+        }
+        Ok(Self { cdev })
+    }
+
+    /// Check the generated block `V[:, start+1 ..= start+s]` against the
+    /// recurrence checksums. Returns `true` when every column agrees.
+    fn verify_block(
+        &self,
+        mg: &mut MultiGpu,
+        sys: &System,
+        start: usize,
+        spec: &BasisSpec,
+    ) -> GpuResult<bool> {
+        let s = spec.s();
+        let ndev = sys.layout.ndev();
+        let reduce = |mg: &mut MultiGpu, parts: Vec<[f64; 2]>| -> GpuResult<[f64; 2]> {
+            mg.to_host(&vec![16usize; ndev])?;
+            Ok([parts.iter().map(|p| p[0]).sum(), parts.iter().map(|p| p[1]).sum()])
+        };
+        // 1ᵀv_j (and Σ|v_j|) for every column the recurrence touches
+        let mut colsum = Vec::with_capacity(s + 1);
+        for col in start..=start + s {
+            let parts = mg.run_map(|d, dev| dev.sum_col_abs(sys.v[d], col));
+            colsum.push(reduce(mg, parts)?);
+        }
+        // cᵀv_j for every source column
+        let mut cdot = Vec::with_capacity(s);
+        for col in start..start + s {
+            let parts = mg.run_map(|d, dev| dev.dot_vec_col_abs(self.cdev[d], sys.v[d], col));
+            cdot.push(reduce(mg, parts)?);
+        }
+        mg.host_compute((4 * s) as f64, 0.0);
+        for (k, step) in spec.steps.iter().enumerate() {
+            // v_{k+1} = scale (A v_k − re v_k) + im2 v_{k-1}; im2 ≠ 0 only
+            // on the second step of a conjugate pair, so k ≥ 1 there.
+            let prev = if step.im2 != 0.0 { colsum[k - 1] } else { [0.0, 0.0] };
+            let expected = step.scale * (cdot[k][0] - step.re * colsum[k][0]) + step.im2 * prev[0];
+            let got = colsum[k + 1][0];
+            let scale = step.scale.abs() * (cdot[k][1] + step.re.abs() * colsum[k][1])
+                + step.im2.abs() * prev[1]
+                + colsum[k + 1][1];
+            if !checksums_agree(expected, got, scale) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Derive the basis spec for `s` steps from harvested shifts, mirroring
+/// the choice logic in [`crate::cagmres::ca_gmres`].
+fn spec_from_shifts(
+    shifts: &Option<Vec<ca_dense::hessenberg::Complex>>,
+    basis: BasisChoice,
+    s: usize,
+) -> BasisSpec {
+    match (shifts, basis) {
+        (Some(sh), BasisChoice::Newton) => BasisSpec::newton(sh, s),
+        (Some(sh), BasisChoice::Chebyshev) if !sh.is_empty() => {
+            let lo = sh.iter().map(|&(re, _)| re).fold(f64::INFINITY, f64::min);
+            let hi = sh.iter().map(|&(re, _)| re).fold(f64::NEG_INFINITY, f64::max);
+            let center = 0.5 * (lo + hi);
+            let delta = (0.5 * (hi - lo)).max(1e-8 * center.abs()).max(1e-300);
+            BasisSpec::chebyshev(center, delta, s)
+        }
+        _ => BasisSpec::monomial(s),
+    }
+}
+
+/// Solve `A x = b` with fault-tolerant CA-GMRES, consuming the supplied
+/// multi-GPU context (device loss may force the driver to rebuild it on
+/// the survivors). `a` is distributed by [`Layout::even`] over however
+/// many devices `mg` holds.
+pub fn ca_gmres_ft(mg: MultiGpu, a: &Csr, b: &[f64], cfg: &FtConfig) -> FtOutcome {
+    assert_eq!(a.nrows(), b.len());
+    let mut mg = mg;
+    let mut stats = SolveStats::default();
+    let mut report = FtReport { ndev_final: mg.n_gpus(), ..Default::default() };
+    // last accepted iterate; also the rollback target for every recovery
+    let mut x_ckpt = vec![0.0f64; a.nrows()];
+    mg.sync();
+    let t_begin = mg.time();
+    let fatal = ca_gmres_ft_impl(&mut mg, a, b, cfg, &mut stats, &mut report, &mut x_ckpt).err();
+    if let Some(e) = fatal {
+        stats.breakdown = Some(BreakdownKind::from(e));
+        stats.converged = false;
+    }
+    mg.sync();
+    stats.t_total = mg.time() - t_begin;
+    let c = mg.counters();
+    stats.comm_msgs = c.total_msgs();
+    stats.comm_bytes = c.total_bytes();
+    report.transfer_retries = c.transfer_retries;
+    report.ndev_final = mg.n_gpus();
+    FtOutcome { stats, report, x: x_ckpt }
+}
+
+/// Fallible body: only *unrecoverable* faults escape (device loss with no
+/// survivor, loss during recovery itself, exhausted transfer retries,
+/// allocation failure). Everything else is absorbed and counted.
+#[allow(clippy::too_many_lines)]
+fn ca_gmres_ft_impl(
+    mg: &mut MultiGpu,
+    a: &Csr,
+    b: &[f64],
+    cfg: &FtConfig,
+    stats: &mut SolveStats,
+    report: &mut FtReport,
+    x_ckpt: &mut Vec<f64>,
+) -> GpuResult<()> {
+    let n = a.nrows();
+    let scfg = &cfg.solver;
+    assert!(scfg.s >= 1 && scfg.m >= scfg.s);
+    let s_opt = (scfg.s > 1 && !matches!(scfg.kernel, KernelMode::Spmv)).then_some(scfg.s);
+    let mut orth = scfg.orth;
+    orth.abft = cfg.abft_orth;
+
+    let mut sys = System::new(mg, a, Layout::even(n, mg.n_gpus()), scfg.m, s_opt)?;
+    sys.load_rhs(mg, b)?;
+    let mut abft = if cfg.abft_spmv { Some(AbftState::build(mg, a, &sys.layout)?) } else { None };
+
+    let mut beta0 = sys.residual_norm(mg)?;
+    let target = scfg.rtol * beta0;
+    let mut beta = beta0;
+    let mut shifts: Option<Vec<ca_dense::hessenberg::Complex>> = None;
+    let mut spec_full = BasisSpec::monomial(scfg.s);
+    let mut harvested = false;
+    let mut redo_budget = cfg.max_recompute;
+
+    while beta > target && stats.restarts < scfg.max_restarts {
+        let cycle = run_protected_cycle(
+            mg,
+            &sys,
+            cfg,
+            &orth,
+            abft.as_ref(),
+            &spec_full,
+            beta,
+            target,
+            harvested,
+            stats,
+            report,
+        );
+        match cycle {
+            Ok(CycleResult { implied, hessenberg, made_progress }) => {
+                if !harvested {
+                    // harvest shifts from the standard first cycle
+                    if let Some(h) = &hessenberg {
+                        if let Ok(sh) = newton_shifts_from_hessenberg(h, scfg.m.min(h.ncols())) {
+                            shifts = Some(sh);
+                        }
+                        mg.host_compute(30.0 * (scfg.m * scfg.m * scfg.m) as f64, 0.0);
+                    }
+                    spec_full = spec_from_shifts(&shifts, scfg.basis, scfg.s);
+                    harvested = true;
+                }
+                let beta_explicit = sys.residual_norm(mg)?;
+                let noise = 1e-12 * beta0;
+                if cfg.residual_check
+                    && beta_explicit > cfg.residual_slack * implied + noise
+                    && redo_budget > 0
+                {
+                    // undetected corruption reached x: roll back and redo
+                    report.cycles_redone += 1;
+                    redo_budget -= 1;
+                    sys.upload_x(mg, x_ckpt)?;
+                    beta = sys.residual_norm(mg)?;
+                    continue;
+                }
+                redo_budget = cfg.max_recompute;
+                beta = beta_explicit;
+                *x_ckpt = sys.download_x(mg)?; // checkpoint the accepted iterate
+                if stats.breakdown.is_some() || !made_progress {
+                    break; // numerical breakdown or stagnation: stop honestly
+                }
+            }
+            Err(GpuSimError::DeviceLost { device }) if mg.n_gpus() > 1 => {
+                // --- graceful degradation: rebuild on the survivors ---
+                report.device_lost = Some(device);
+                report.degraded = true;
+                let nsurv = mg.n_gpus() - 1;
+                let t_now = mg.time();
+                let plan = mg.fault_plan().cloned();
+                *mg = MultiGpu::new(nsurv, mg.model().clone(), mg.config);
+                mg.fast_forward(t_now);
+                if let Some(p) = plan {
+                    // the loss already happened; survivors keep the rest
+                    // of the plan (SDC, transfer faults) active
+                    mg.set_fault_plan(p.without_device_loss());
+                }
+                sys = System::new(mg, a, Layout::even(n, nsurv), scfg.m, s_opt)?;
+                sys.load_rhs(mg, b)?;
+                abft =
+                    if cfg.abft_spmv { Some(AbftState::build(mg, a, &sys.layout)?) } else { None };
+                sys.upload_x(mg, x_ckpt)?;
+                // same global problem, same target: recompute where we are
+                beta0 = beta0.max(f64::MIN_POSITIVE);
+                beta = sys.residual_norm(mg)?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    stats.converged = beta <= target;
+    stats.final_relres = if beta0 > 0.0 { beta / beta0 } else { 0.0 };
+    Ok(())
+}
+
+/// What one protected restart cycle reports back.
+struct CycleResult {
+    /// Implicit (least-squares) residual norm at the end of the cycle.
+    implied: f64,
+    /// Hessenberg of a standard (shift-harvest) cycle.
+    hessenberg: Option<ca_dense::Mat>,
+    /// Whether any Krylov dimension was built (guards against stalling).
+    made_progress: bool,
+}
+
+/// One restart cycle with ABFT verification and bounded block recompute.
+/// The first cycle (before shifts are harvested) runs standard GMRES,
+/// protected only by the caller's residual check.
+#[allow(clippy::too_many_arguments)]
+fn run_protected_cycle(
+    mg: &mut MultiGpu,
+    sys: &System,
+    cfg: &FtConfig,
+    orth: &crate::orth::OrthConfig,
+    abft: Option<&AbftState>,
+    spec_full: &BasisSpec,
+    beta: f64,
+    target: f64,
+    harvested: bool,
+    stats: &mut SolveStats,
+    report: &mut FtReport,
+) -> GpuResult<CycleResult> {
+    let scfg = &cfg.solver;
+    if !harvested {
+        let cycle = crate::gmres::gmres_cycle(mg, sys, scfg.m, orth.borth, beta, target, stats)?;
+        return Ok(CycleResult {
+            implied: if cycle.k_used > 0 {
+                let mut l = GivensLsq::new(beta);
+                for col in 0..cycle.k_used {
+                    let h = &cycle.hessenberg;
+                    let col: Vec<f64> = (0..=col + 1).map(|i| h[(i, col)]).collect();
+                    l.push_column(&col);
+                }
+                l.residual_norm()
+            } else {
+                beta
+            },
+            hessenberg: Some(cycle.hessenberg),
+            made_progress: cycle.k_used > 0,
+        });
+    }
+
+    let use_mpk = sys.mpk.is_some() && scfg.s > 1;
+    sys.seed_basis(mg, beta)?;
+    let mut lsq = GivensLsq::new(beta);
+    let mut arn = BlockArnoldi::new();
+    let mut ncols = 1usize;
+    let mut first_block = true;
+    let mut k_used = 0usize;
+
+    'blocks: while ncols - 1 < scfg.m {
+        let s_blk = scfg.s.min(scfg.m + 1 - ncols);
+        let spec_blk = spec_full.truncate(s_blk);
+        let bmat = spec_blk.change_matrix();
+        let start = ncols - 1;
+        let mut attempts = 0usize;
+
+        let (c_eff, r_eff) = loop {
+            // (re)generate the block; the source column `start` is never
+            // mutated by this block's orthogonalization (for the first
+            // block, re-seeding restores column 0 from the residual)
+            if attempts > 0 && first_block {
+                sys.seed_basis(mg, beta)?;
+            }
+            if use_mpk {
+                mpk(mg, sys.mpk.as_ref().unwrap(), &sys.v, start, &spec_blk)?;
+            } else {
+                generate_block_spmv(mg, sys, start, &spec_blk)?;
+            }
+            if let Some(ab) = abft {
+                if !ab.verify_block(mg, sys, start, &spec_blk)? {
+                    report.sdc_detected += 1;
+                    if attempts < cfg.max_recompute {
+                        attempts += 1;
+                        report.blocks_recomputed += 1;
+                        continue; // fresh op indices => fresh fault draws
+                    }
+                    // budget exhausted: accept; residual check backstops
+                }
+            }
+            let (c0, c1) = if first_block { (0, s_blk + 1) } else { (ncols, ncols + s_blk) };
+            match orth_block(mg, sys, &sys.v, c0, c1, orth, None, stats) {
+                Ok(cr) => break cr,
+                Err(OrthError::Gpu(e)) => return Err(e),
+                Err(OrthError::ChecksumMismatch { .. }) if attempts < cfg.max_recompute => {
+                    report.sdc_detected += 1;
+                    attempts += 1;
+                    report.blocks_recomputed += 1;
+                }
+                Err(e) => {
+                    // numerical breakdown (or persistent checksum failure)
+                    stats.breakdown = Some(BreakdownKind::Orthogonalization {
+                        column: c0,
+                        reason: e.to_string(),
+                    });
+                    break 'blocks;
+                }
+            }
+        };
+
+        let c_for_hess = if first_block { ca_dense::Mat::zeros(0, 0) } else { c_eff };
+        let new_cols = arn.extend_block(&c_for_hess, &r_eff, &bmat);
+        mg.host_compute(
+            2.0 * ((ncols + s_blk) * s_blk * s_blk) as f64 + (3 * scfg.m * s_blk) as f64,
+            (16 * (ncols + s_blk) * s_blk) as f64,
+        );
+        let mut hit_target = false;
+        for col in &new_cols {
+            lsq.push_column(col);
+            k_used += 1;
+            stats.total_iters += 1;
+            if lsq.residual_norm() <= target {
+                hit_target = true;
+                break;
+            }
+        }
+        ncols += s_blk;
+        first_block = false;
+        if hit_target {
+            break;
+        }
+    }
+
+    let implied = if k_used > 0 {
+        let (y, implied) = {
+            let mut l = GivensLsq::new(beta);
+            for col in arn.columns().iter().take(k_used) {
+                l.push_column(col);
+            }
+            (l.solve(), l.residual_norm())
+        };
+        mg.host_compute((3 * (k_used + 1) * (k_used + 1)) as f64, (16 * k_used) as f64);
+        sys.update_x(mg, &y)?;
+        implied
+    } else {
+        beta
+    };
+    stats.restarts += 1;
+    Ok(CycleResult { implied, hessenberg: None, made_progress: k_used > 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_gpusim::{FaultPlan, SdcTargets};
+    use ca_sparse::gen::laplace2d;
+
+    fn problem() -> (Csr, Vec<f64>, Vec<f64>) {
+        let a = laplace2d(12, 12);
+        let n = a.nrows();
+        let x_true: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 3) % 11) as f64 * 0.2).collect();
+        let mut b = vec![0.0; n];
+        ca_sparse::spmv::spmv(&a, &x_true, &mut b);
+        (a, b, x_true)
+    }
+
+    fn cfg() -> FtConfig {
+        FtConfig {
+            solver: CaGmresConfig {
+                s: 5,
+                m: 20,
+                rtol: 1e-6,
+                max_restarts: 300,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    fn check_solution(a: &Csr, b: &[f64], x: &[f64], rtol: f64) {
+        let mut r = vec![0.0; b.len()];
+        ca_sparse::spmv::spmv(a, x, &mut r);
+        for i in 0..b.len() {
+            r[i] = b[i] - r[i];
+        }
+        let relres = ca_dense::blas1::nrm2(&r) / ca_dense::blas1::nrm2(b);
+        assert!(relres <= rtol * 1.01, "relres {relres} > {rtol}");
+    }
+
+    #[test]
+    fn clean_run_converges() {
+        let (a, b, _) = problem();
+        let out = ca_gmres_ft(MultiGpu::with_defaults(2), &a, &b, &cfg());
+        assert!(out.stats.converged, "{:?}", out.stats.breakdown);
+        assert_eq!(out.report.sdc_detected, 0);
+        assert_eq!(out.report.blocks_recomputed, 0);
+        assert!(!out.report.degraded);
+        check_solution(&a, &b, &out.x, cfg().solver.rtol);
+    }
+
+    #[test]
+    fn spmv_sdc_detected_and_recovered() {
+        let (a, b, _) = problem();
+        let mut mg = MultiGpu::with_defaults(2);
+        mg.set_fault_plan(FaultPlan::new(7).with_sdc(5e-2, SdcTargets::spmv_only()));
+        let c = cfg();
+        let out = ca_gmres_ft(mg, &a, &b, &c);
+        assert!(out.stats.converged, "{:?}", out.stats.breakdown);
+        assert!(out.report.sdc_detected > 0, "fault rate high enough to hit SpMV");
+        assert!(out.report.blocks_recomputed > 0);
+        check_solution(&a, &b, &out.x, c.solver.rtol);
+    }
+
+    #[test]
+    fn device_loss_degrades_and_completes() {
+        let (a, b, _) = problem();
+        let mut mg = MultiGpu::with_defaults(3);
+        mg.set_fault_plan(FaultPlan::new(3).with_device_loss(1, 200));
+        let c = cfg();
+        let out = ca_gmres_ft(mg, &a, &b, &c);
+        assert!(out.stats.converged, "{:?}", out.stats.breakdown);
+        assert_eq!(out.report.device_lost, Some(1));
+        assert!(out.report.degraded);
+        assert_eq!(out.report.ndev_final, 2);
+        check_solution(&a, &b, &out.x, c.solver.rtol);
+    }
+
+    #[test]
+    fn transfer_faults_absorbed_by_retry() {
+        let (a, b, _) = problem();
+        let mut mg = MultiGpu::with_defaults(2);
+        mg.set_fault_plan(FaultPlan::new(11).with_transfer_faults(0.02));
+        mg.set_max_transfer_attempts(16);
+        let c = cfg();
+        let out = ca_gmres_ft(mg, &a, &b, &c);
+        assert!(out.stats.converged, "{:?}", out.stats.breakdown);
+        assert!(out.report.transfer_retries > 0);
+        check_solution(&a, &b, &out.x, c.solver.rtol);
+    }
+
+    #[test]
+    fn zero_rate_plan_matches_no_plan() {
+        let (a, b, _) = problem();
+        let clean = ca_gmres_ft(MultiGpu::with_defaults(2), &a, &b, &cfg());
+        let mut mg = MultiGpu::with_defaults(2);
+        mg.set_fault_plan(FaultPlan::new(99)); // all rates zero
+        let zeroed = ca_gmres_ft(mg, &a, &b, &cfg());
+        assert_eq!(clean.stats.total_iters, zeroed.stats.total_iters);
+        assert_eq!(clean.stats.t_total.to_bits(), zeroed.stats.t_total.to_bits());
+        for (u, v) in clean.x.iter().zip(&zeroed.x) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+}

@@ -5,10 +5,12 @@
 use crate::hess::BlockArnoldi;
 use crate::mpk::dist_spmv;
 use crate::orth::{orth_column, BorthKind, OrthError};
+use crate::stats::BreakdownKind;
 use crate::stats::{PhaseTimer, SolveStats};
 use crate::system::System;
 use ca_dense::hessenberg::GivensLsq;
 use ca_dense::Mat;
+use ca_gpusim::faults::Result as GpuResult;
 use ca_gpusim::MultiGpu;
 
 /// Configuration for standard GMRES(m).
@@ -63,8 +65,8 @@ pub(crate) fn gmres_cycle(
     beta: f64,
     target: f64,
     stats: &mut SolveStats,
-) -> CycleOutcome {
-    sys.seed_basis(mg, beta);
+) -> GpuResult<CycleOutcome> {
+    sys.seed_basis(mg, beta)?;
     let mut lsq = GivensLsq::new(beta);
     let mut arn = BlockArnoldi::new();
     let mut k_used = 0usize;
@@ -73,7 +75,7 @@ pub(crate) fn gmres_cycle(
     for j in 0..m {
         mg.sync();
         timer.mark(mg.time());
-        dist_spmv(mg, &sys.spmv, &sys.v, j, j + 1);
+        dist_spmv(mg, &sys.spmv, &sys.v, j, j + 1)?;
         mg.sync();
         stats.t_spmv += timer.mark(mg.time());
 
@@ -96,8 +98,10 @@ pub(crate) fn gmres_cycle(
                 stats.t_orth += timer.mark(mg.time());
                 break;
             }
+            Err(OrthError::Gpu(e)) => return Err(e),
             Err(e) => {
-                stats.breakdown = Some(e.to_string());
+                stats.breakdown =
+                    Some(BreakdownKind::Orthogonalization { column: j + 1, reason: e.to_string() });
                 break;
             }
         }
@@ -108,10 +112,10 @@ pub(crate) fn gmres_cycle(
         mg.host_compute((3 * (k_used + 1) * (k_used + 1)) as f64, (16 * k_used) as f64);
         mg.sync();
         stats.t_small += timer.mark(mg.time());
-        sys.update_x(mg, &y);
+        sys.update_x(mg, &y)?;
     }
     stats.restarts += 1;
-    CycleOutcome { k_used, hessenberg: arn.to_mat() }
+    Ok(CycleOutcome { k_used, hessenberg: arn.to_mat() })
 }
 
 /// Run GMRES(m) on a loaded [`System`]. The iterate starts from whatever
@@ -124,37 +128,17 @@ pub fn gmres(mg: &mut MultiGpu, sys: &System, cfg: &GmresConfig) -> GmresOutcome
     mg.sync();
     mg.reset_counters();
     let t_begin = mg.time();
-    let mut timer = PhaseTimer::start(t_begin);
 
-    let beta0 = sys.residual_norm(mg);
-    mg.sync();
-    stats.t_spmv += timer.mark(mg.time());
-    let target = cfg.rtol * beta0;
-    let mut beta = beta0;
-
-    while stats.restarts < cfg.max_restarts {
-        if beta <= target || beta == 0.0 {
-            stats.converged = true;
-            break;
+    let (beta0, beta) = match gmres_impl(mg, sys, cfg, &mut stats, &mut first_h, t_begin) {
+        Ok(betas) => betas,
+        Err(e) => {
+            // a simulated hardware fault aborted the solve: report it as a
+            // breakdown so every caller sees a well-formed outcome
+            stats.breakdown = Some(BreakdownKind::from(e));
+            (f64::NAN, f64::NAN)
         }
-        let cycle = gmres_cycle(mg, sys, cfg.m, cfg.orth, beta, target, &mut stats);
-        if first_h.is_none() {
-            first_h = Some(cycle.hessenberg);
-        }
-
-        mg.sync();
-        timer.mark(mg.time());
-        beta = sys.residual_norm(mg);
-        mg.sync();
-        stats.t_spmv += timer.mark(mg.time());
-        if stats.breakdown.is_some() {
-            break;
-        }
-        if cycle.k_used == 0 {
-            break; // no progress possible
-        }
-    }
-    if beta <= target {
+    };
+    if beta <= cfg.rtol * beta0 {
         stats.converged = true;
     }
 
@@ -165,6 +149,49 @@ pub fn gmres(mg: &mut MultiGpu, sys: &System, cfg: &GmresConfig) -> GmresOutcome
     stats.comm_msgs = c.total_msgs();
     stats.comm_bytes = c.total_bytes();
     GmresOutcome { stats, first_hessenberg: first_h }
+}
+
+/// Fallible body of [`gmres`]: returns `(beta0, beta)` on completion;
+/// [`GpuSimError`]s bubble up to the wrapper.
+fn gmres_impl(
+    mg: &mut MultiGpu,
+    sys: &System,
+    cfg: &GmresConfig,
+    stats: &mut SolveStats,
+    first_h: &mut Option<Mat>,
+    t_begin: f64,
+) -> GpuResult<(f64, f64)> {
+    let mut timer = PhaseTimer::start(t_begin);
+
+    let beta0 = sys.residual_norm(mg)?;
+    mg.sync();
+    stats.t_spmv += timer.mark(mg.time());
+    let target = cfg.rtol * beta0;
+    let mut beta = beta0;
+
+    while stats.restarts < cfg.max_restarts {
+        if beta <= target || beta == 0.0 {
+            stats.converged = true;
+            break;
+        }
+        let cycle = gmres_cycle(mg, sys, cfg.m, cfg.orth, beta, target, stats)?;
+        if first_h.is_none() {
+            *first_h = Some(cycle.hessenberg);
+        }
+
+        mg.sync();
+        timer.mark(mg.time());
+        beta = sys.residual_norm(mg)?;
+        mg.sync();
+        stats.t_spmv += timer.mark(mg.time());
+        if stats.breakdown.is_some() {
+            break;
+        }
+        if cycle.k_used == 0 {
+            break; // no progress possible
+        }
+    }
+    Ok((beta0, beta))
 }
 
 #[cfg(test)]
@@ -179,13 +206,13 @@ mod tests {
         let n = a.nrows();
         let layout = Layout::even(n, ndev);
         let mut mg = MultiGpu::with_defaults(ndev);
-        let sys = System::new(&mut mg, a, layout, cfg.m, None);
+        let sys = System::new(&mut mg, a, layout, cfg.m, None).unwrap();
         let x_true: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
         let mut b = vec![0.0; n];
         ca_sparse::spmv::spmv(a, &x_true, &mut b);
-        sys.load_rhs(&mut mg, &b);
+        sys.load_rhs(&mut mg, &b).unwrap();
         let out = gmres(&mut mg, &sys, cfg);
-        let x = sys.download_x(&mut mg);
+        let x = sys.download_x(&mut mg).unwrap();
         // verify the residual claim independently on the host
         let mut r = vec![0.0; n];
         ca_sparse::spmv::spmv(a, &x, &mut r);
@@ -193,11 +220,7 @@ mod tests {
             r[i] = b[i] - r[i];
         }
         let relres = ca_dense::blas1::nrm2(&r) / ca_dense::blas1::nrm2(&b);
-        assert!(
-            relres <= cfg.rtol * 1.01,
-            "host-verified relres {relres} exceeds {}",
-            cfg.rtol
-        );
+        assert!(relres <= cfg.rtol * 1.01, "host-verified relres {relres} exceeds {}", cfg.rtol);
         (x, out.stats)
     }
 
@@ -245,16 +268,16 @@ mod tests {
         let (b_mat, perm, layout) = prepare(&a, Ordering::Kway, 2);
         let n = a.nrows();
         let mut mg = MultiGpu::with_defaults(2);
-        let sys = System::new(&mut mg, &b_mat, layout, 30, None);
+        let sys = System::new(&mut mg, &b_mat, layout, 30, None).unwrap();
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).cos()).collect();
         let mut b = vec![0.0; n];
         ca_sparse::spmv::spmv(&a, &x_true, &mut b);
         let bp = ca_sparse::perm::permute_vec(&b, &perm);
-        sys.load_rhs(&mut mg, &bp);
+        sys.load_rhs(&mut mg, &bp).unwrap();
         let cfg = GmresConfig { m: 30, orth: BorthKind::Cgs, rtol: 1e-8, max_restarts: 200 };
         let out = gmres(&mut mg, &sys, &cfg);
         assert!(out.stats.converged);
-        let xp = sys.download_x(&mut mg);
+        let xp = sys.download_x(&mut mg).unwrap();
         let x = unpermute_vec(&xp, &perm);
         for i in 0..n {
             assert!((x[i] - x_true[i]).abs() < 1e-5, "x[{i}] = {} vs {}", x[i], x_true[i]);
@@ -266,9 +289,9 @@ mod tests {
         let a = laplace2d(8, 8);
         let layout = Layout::even(64, 1);
         let mut mg = MultiGpu::with_defaults(1);
-        let sys = System::new(&mut mg, &a, layout, 10, None);
+        let sys = System::new(&mut mg, &a, layout, 10, None).unwrap();
         let b = vec![1.0; 64];
-        sys.load_rhs(&mut mg, &b);
+        sys.load_rhs(&mut mg, &b).unwrap();
         let cfg = GmresConfig { m: 10, orth: BorthKind::Mgs, rtol: 1e-12, max_restarts: 3 };
         let out = gmres(&mut mg, &sys, &cfg);
         let h = out.first_hessenberg.unwrap();

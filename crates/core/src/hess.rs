@@ -205,7 +205,7 @@ mod tests {
 
         for blk in 0..nblocks {
             let j = blk * s; // index of start vector
-            // W: s+1 columns, w_0 = q_j
+                             // W: s+1 columns, w_0 = q_j
             let mut w = Mat::zeros(n, s + 1);
             w.set_col(0, qall.col(j));
             for k in 0..s {

@@ -27,9 +27,9 @@
 //! let (a, _perm, layout) = prepare(&a, Ordering::Natural, 2);
 //! let mut mg = ca_gpusim::MultiGpu::with_defaults(2);
 //! let cfg = CaGmresConfig { s: 5, m: 20, rtol: 1e-6, ..Default::default() };
-//! let sys = System::new(&mut mg, &a, layout, cfg.m, Some(cfg.s));
+//! let sys = System::new(&mut mg, &a, layout, cfg.m, Some(cfg.s)).unwrap();
 //! let b = vec![1.0; a.nrows()];
-//! sys.load_rhs(&mut mg, &b);
+//! sys.load_rhs(&mut mg, &b).unwrap();
 //! let out = ca_gmres(&mut mg, &sys, &cfg);
 //! assert!(out.stats.converged);
 //! ```
@@ -41,6 +41,7 @@
 pub mod cagmres;
 pub mod cpu;
 pub mod eigs;
+pub mod ft;
 pub mod gmres;
 pub mod hess;
 pub mod layout;
@@ -56,12 +57,13 @@ pub mod prelude {
     pub use crate::cagmres::{ca_gmres, BasisChoice, CaGmresConfig, CaGmresOutcome, KernelMode};
     pub use crate::cpu::gmres_cpu;
     pub use crate::eigs::{arnoldi_eigs, ArnoldiConfig, EigsOutcome, RitzPair};
+    pub use crate::ft::{ca_gmres_ft, FtConfig, FtOutcome, FtReport};
     pub use crate::gmres::{gmres, GmresConfig, GmresOutcome};
     pub use crate::layout::{prepare, Layout, Ordering};
     pub use crate::mpk::{MpkPlan, MpkState};
     pub use crate::newton::{Basis, BasisSpec};
     pub use crate::orth::{BorthKind, OrthConfig, TsqrKind};
     pub use crate::precond::{Applied as AppliedPrecond, Precond};
-    pub use crate::stats::SolveStats;
+    pub use crate::stats::{BreakdownKind, SolveStats};
     pub use crate::system::System;
 }

@@ -15,6 +15,7 @@
 
 use crate::layout::Layout;
 use crate::newton::BasisSpec;
+use ca_gpusim::faults::Result;
 use ca_gpusim::{device::SpStorage, MatId, MultiGpu, SpId, VecId};
 use ca_sparse::{Csr, Ell, Hyb};
 
@@ -120,10 +121,8 @@ impl MpkPlan {
                 }
             }
             let local_nnz = local.clone().map(|r| a.row_nnz(r)).sum();
-            let level_nnz = levels
-                .iter()
-                .map(|lv| lv.iter().map(|&r| a.row_nnz(r as usize)).sum())
-                .collect();
+            let level_nnz =
+                levels.iter().map(|lv| lv.iter().map(|&r| a.row_nnz(r as usize)).sum()).collect();
             devs.push(DevicePlan { local, levels, need, send: Vec::new(), local_nnz, level_nnz });
         }
 
@@ -196,17 +195,23 @@ impl MpkState {
     /// Levels `1..s-1` get compute slices (level `s` rows are inputs only,
     /// never outputs, so no slice is needed for them); every device gets
     /// two full-length work vectors (the Fig. 4 double buffer).
-    pub fn load(mg: &mut MultiGpu, a: &Csr, plan: MpkPlan) -> Self {
+    ///
+    /// # Errors
+    /// Propagates simulated allocation failures ([`ca_gpusim::GpuSimError`]).
+    pub fn load(mg: &mut MultiGpu, a: &Csr, plan: MpkPlan) -> Result<Self> {
         Self::load_with_format(mg, a, plan, SpmvFormat::Ell)
     }
 
     /// [`MpkState::load`] with an explicit sparse storage format.
+    ///
+    /// # Errors
+    /// Propagates simulated allocation failures ([`ca_gpusim::GpuSimError`]).
     pub fn load_with_format(
         mg: &mut MultiGpu,
         a: &Csr,
         plan: MpkPlan,
         format: SpmvFormat,
-    ) -> Self {
+    ) -> Result<Self> {
         assert_eq!(mg.n_gpus(), plan.devs.len());
         let n = a.nrows();
         let s = plan.s;
@@ -218,31 +223,31 @@ impl MpkState {
             let dev = mg.device_mut(d);
             let rows: Vec<usize> = dp.local.clone().collect();
             let rows_u32: Vec<u32> = rows.iter().map(|&r| r as u32).collect();
-            let sl = dev
-                .load_slice_storage(format.build(&a.select_rows(&rows)), rows_u32.clone());
+            let sl =
+                dev.load_slice_storage(format.build(&a.select_rows(&rows)), rows_u32.clone())?;
             local_slice.push(sl);
             let mut lv_slices = Vec::new();
             for t in 1..s {
                 let lv = &dp.levels[t - 1];
                 let rows_usize: Vec<usize> = lv.iter().map(|&r| r as usize).collect();
-                let sp = dev
-                    .load_slice_storage(format.build(&a.select_rows(&rows_usize)), lv.clone());
+                let sp =
+                    dev.load_slice_storage(format.build(&a.select_rows(&rows_usize)), lv.clone())?;
                 lv_slices.push(sp);
             }
             level_slices.push(lv_slices);
-            z.push((dev.alloc_vec(n), dev.alloc_vec(n)));
+            z.push((dev.alloc_vec(n)?, dev.alloc_vec(n)?));
             local_rows.push(rows_u32);
         }
-        Self { plan, local_slice, level_slices, z, local_rows }
+        Ok(Self { plan, local_slice, level_slices, z, local_rows })
     }
 
     /// Exchange phase (the Fig. 4 "Setup"): bring the start vector's value
     /// at every needed remote row into each device's `z_cur` buffer.
     /// `z_cur` must already hold the local values.
-    fn exchange(&self, mg: &mut MultiGpu, cur: usize) {
+    pub(crate) fn exchange(&self, mg: &mut MultiGpu, cur: usize) -> Result<()> {
         let ndev = mg.n_gpus();
         if ndev == 1 {
-            return;
+            return Ok(());
         }
         let n = self.plan.devs.iter().map(|d| d.local.end).max().unwrap_or(0);
         // compress + async send to host (Fig. 4 setup, first two loops)
@@ -251,7 +256,7 @@ impl MpkState {
             dev.compress(z, &self.plan.devs[d].send)
         });
         let bytes_up: Vec<usize> = self.plan.devs.iter().map(|d| d.send.len() * 8).collect();
-        mg.to_host(&bytes_up);
+        mg.to_host(&bytes_up)?;
         // host: expand into a full vector w (Fig. 4, third loop)
         let mut w = vec![0.0f64; n];
         let mut moved = 0usize;
@@ -270,11 +275,12 @@ impl MpkState {
             .map(|dp| dp.need.iter().map(|&r| w[r as usize]).collect())
             .collect();
         let bytes_down: Vec<usize> = self.plan.devs.iter().map(|d| d.need.len() * 8).collect();
-        mg.to_devices(&bytes_down);
+        mg.to_devices(&bytes_down)?;
         mg.run(|d, dev| {
             let z = [self.z[d].0, self.z[d].1][cur];
             dev.expand(z, &self.plan.devs[d].need, &vals[d]);
         });
+        Ok(())
     }
 }
 
@@ -294,13 +300,17 @@ pub struct MpkPhaseTimes {
 ///
 /// `spec.s()` may be smaller than the plan's `s` (the short final block of
 /// a restart cycle); it must never exceed it.
+///
+/// # Errors
+/// Propagates simulated transfer failures and device loss from the halo
+/// exchange ([`ca_gpusim::GpuSimError`]).
 pub fn mpk(
     mg: &mut MultiGpu,
     st: &MpkState,
     v: &[MatId],
     start_col: usize,
     spec: &BasisSpec,
-) -> MpkPhaseTimes {
+) -> Result<MpkPhaseTimes> {
     let s_run = spec.s();
     let s_plan = st.plan.s;
     assert!(s_run >= 1 && s_run <= s_plan, "block of {s_run} steps exceeds plan s = {s_plan}");
@@ -312,7 +322,7 @@ pub fn mpk(
     mg.run(|d, dev| {
         dev.scatter_col_to_vec(v[d], start_col, st.z[d].0, &st.local_rows[d]);
     });
-    st.exchange(mg, 0);
+    st.exchange(mg, 0)?;
     mg.sync();
     phases.exchange = mg.time() - t0;
     let t1 = mg.time();
@@ -346,22 +356,33 @@ pub fn mpk(
     }
     mg.sync();
     phases.steps = mg.time() - t1;
-    phases
+    Ok(phases)
 }
 
 /// Distributed SpMV (the s = 1 path standard GMRES uses): computes
 /// `V[:, dst] := A V[:, src]` across all devices, one halo exchange.
 /// `st` must be built with `s = 1` (or larger; only level-1 halos are
 /// exchanged... a dedicated s = 1 plan keeps the halo minimal).
-pub fn dist_spmv(mg: &mut MultiGpu, st: &MpkState, v: &[MatId], src: usize, dst: usize) {
+///
+/// # Errors
+/// Propagates simulated transfer failures and device loss from the halo
+/// exchange ([`ca_gpusim::GpuSimError`]).
+pub fn dist_spmv(
+    mg: &mut MultiGpu,
+    st: &MpkState,
+    v: &[MatId],
+    src: usize,
+    dst: usize,
+) -> Result<()> {
     assert_eq!(st.plan.s, 1, "dist_spmv wants an s = 1 plan");
     mg.run(|d, dev| {
         dev.scatter_col_to_vec(v[d], src, st.z[d].0, &st.local_rows[d]);
     });
-    st.exchange(mg, 0);
+    st.exchange(mg, 0)?;
     mg.run(|d, dev| {
         dev.spmv_to_mat_col(st.local_slice[d], st.z[d].0, v[d], dst);
     });
+    Ok(())
 }
 
 #[cfg(test)]
@@ -444,20 +465,20 @@ mod tests {
         let s = 3;
         let plan = MpkPlan::new(&a, &layout, s);
         let mut mg = MultiGpu::with_defaults(3);
-        let st = MpkState::load(&mut mg, &a, plan);
+        let st = MpkState::load(&mut mg, &a, plan).unwrap();
         // basis matrices, start col = unit-ish vector
         let x0: Vec<f64> = (0..n).map(|i| ((i * 13 % 17) as f64) - 8.0).collect();
         let v_ids: Vec<MatId> = (0..3)
             .map(|d| {
                 let nl = layout.nlocal(d);
                 let dev = mg.device_mut(d);
-                let v = dev.alloc_mat(nl, s + 1);
+                let v = dev.alloc_mat(nl, s + 1).unwrap();
                 let lo = layout.range(d).start;
                 dev.mat_mut(v).set_col(0, &x0[lo..lo + nl]);
                 v
             })
             .collect();
-        mpk(&mut mg, &st, &v_ids, 0, &BasisSpec::monomial(s));
+        mpk(&mut mg, &st, &v_ids, 0, &BasisSpec::monomial(s)).unwrap();
         // reference: repeated CSR spmv
         let mut xk = x0.clone();
         for k in 1..=s {
@@ -486,20 +507,20 @@ mod tests {
         let s = 2;
         let plan = MpkPlan::new(&a, &layout, s);
         let mut mg = MultiGpu::with_defaults(2);
-        let st = MpkState::load(&mut mg, &a, plan);
+        let st = MpkState::load(&mut mg, &a, plan).unwrap();
         let x0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos()).collect();
         let v_ids: Vec<MatId> = (0..2)
             .map(|d| {
                 let nl = layout.nlocal(d);
                 let dev = mg.device_mut(d);
-                let v = dev.alloc_mat(nl, s + 1);
+                let v = dev.alloc_mat(nl, s + 1).unwrap();
                 let lo = layout.range(d).start;
                 dev.mat_mut(v).set_col(0, &x0[lo..lo + nl]);
                 v
             })
             .collect();
         let spec = crate::newton::BasisSpec::newton(&[(1.5, 0.0), (-0.5, 0.0)], 2);
-        mpk(&mut mg, &st, &v_ids, 0, &spec);
+        mpk(&mut mg, &st, &v_ids, 0, &spec).unwrap();
         // reference v2 = (A - 1.5 I) x0; v3 = (A + 0.5 I) v2
         let mut v2 = vec![0.0; n];
         ca_sparse::spmv::spmv(&a, &x0, &mut v2);
@@ -534,13 +555,13 @@ mod tests {
         let layout = Layout::even(n, 2);
         let plan = MpkPlan::new(&a, &layout, 2);
         let mut mg = MultiGpu::with_defaults(2);
-        let st = MpkState::load(&mut mg, &a, plan);
+        let st = MpkState::load(&mut mg, &a, plan).unwrap();
         let x0: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
         let v_ids: Vec<MatId> = (0..2)
             .map(|d| {
                 let nl = layout.nlocal(d);
                 let dev = mg.device_mut(d);
-                let v = dev.alloc_mat(nl, 3);
+                let v = dev.alloc_mat(nl, 3).unwrap();
                 let lo = layout.range(d).start;
                 dev.mat_mut(v).set_col(0, &x0[lo..lo + nl]);
                 v
@@ -548,7 +569,7 @@ mod tests {
             .collect();
         // pair 2 +- 3i: v2 = (A-2)x; v3 = (A-2)v2 + 9x
         let spec = crate::newton::BasisSpec::newton(&[(2.0, 3.0), (2.0, -3.0)], 2);
-        mpk(&mut mg, &st, &v_ids, 0, &spec);
+        mpk(&mut mg, &st, &v_ids, 0, &spec).unwrap();
         let mut v2 = vec![0.0; n];
         ca_sparse::spmv::spmv(&a, &x0, &mut v2);
         for i in 0..n {
@@ -575,13 +596,13 @@ mod tests {
         let s = 3;
         let plan = MpkPlan::new(&a, &layout, s);
         let mut mg = MultiGpu::with_defaults(2);
-        let st = MpkState::load(&mut mg, &a, plan);
+        let st = MpkState::load(&mut mg, &a, plan).unwrap();
         let x0: Vec<f64> = (0..n).map(|i| 0.5 + ((i * 5) % 7) as f64).collect();
         let v_ids: Vec<MatId> = (0..2)
             .map(|d| {
                 let nl = layout.nlocal(d);
                 let dev = mg.device_mut(d);
-                let v = dev.alloc_mat(nl, s + 1);
+                let v = dev.alloc_mat(nl, s + 1).unwrap();
                 let lo = layout.range(d).start;
                 dev.mat_mut(v).set_col(0, &x0[lo..lo + nl]);
                 v
@@ -589,7 +610,7 @@ mod tests {
             .collect();
         let (c, delta) = (4.0, 3.5);
         let spec = crate::newton::BasisSpec::chebyshev(c, delta, s);
-        mpk(&mut mg, &st, &v_ids, 0, &spec);
+        mpk(&mut mg, &st, &v_ids, 0, &spec).unwrap();
         // reference: v1 = (1/d)(A-c)v0; v_{k+1} = (2/d)(A-c)v_k - v_{k-1}
         let shift_mul = |x: &[f64]| {
             let mut y = vec![0.0; n];
@@ -614,8 +635,7 @@ mod tests {
             }
             if k < s {
                 let av: Vec<f64> = shift_mul(&vk);
-                let next: Vec<f64> =
-                    (0..n).map(|i| 2.0 / delta * av[i] - vm1[i]).collect();
+                let next: Vec<f64> = (0..n).map(|i| 2.0 / delta * av[i] - vm1[i]).collect();
                 vm1 = vk;
                 vk = next;
             }
@@ -629,19 +649,19 @@ mod tests {
         let layout = Layout::even(n, 3);
         let plan = MpkPlan::new(&a, &layout, 1);
         let mut mg = MultiGpu::with_defaults(3);
-        let st = MpkState::load(&mut mg, &a, plan);
+        let st = MpkState::load(&mut mg, &a, plan).unwrap();
         let x: Vec<f64> = (0..n).map(|i| (i as f64).sqrt()).collect();
         let v_ids: Vec<MatId> = (0..3)
             .map(|d| {
                 let nl = layout.nlocal(d);
                 let dev = mg.device_mut(d);
-                let v = dev.alloc_mat(nl, 2);
+                let v = dev.alloc_mat(nl, 2).unwrap();
                 let lo = layout.range(d).start;
                 dev.mat_mut(v).set_col(0, &x[lo..lo + nl]);
                 v
             })
             .collect();
-        dist_spmv(&mut mg, &st, &v_ids, 0, 1);
+        dist_spmv(&mut mg, &st, &v_ids, 0, 1).unwrap();
         let mut y = vec![0.0; n];
         ca_sparse::spmv::spmv(&a, &x, &mut y);
         for d in 0..3 {
@@ -660,35 +680,35 @@ mod tests {
         let s = 4;
         // MPK path
         let mut mg = MultiGpu::with_defaults(2);
-        let st = MpkState::load(&mut mg, &a, MpkPlan::new(&a, &layout, s));
+        let st = MpkState::load(&mut mg, &a, MpkPlan::new(&a, &layout, s)).unwrap();
         let v_ids: Vec<MatId> = (0..2)
             .map(|d| {
                 let nl = layout.nlocal(d);
                 let dev = mg.device_mut(d);
-                let v = dev.alloc_mat(nl, s + 1);
+                let v = dev.alloc_mat(nl, s + 1).unwrap();
                 dev.mat_mut(v).set_col(0, &vec![1.0; nl]);
                 v
             })
             .collect();
         mg.reset_counters();
-        mpk(&mut mg, &st, &v_ids, 0, &BasisSpec::monomial(s));
+        mpk(&mut mg, &st, &v_ids, 0, &BasisSpec::monomial(s)).unwrap();
         let mpk_msgs = mg.counters().total_msgs();
 
         // repeated SpMV path
         let mut mg2 = MultiGpu::with_defaults(2);
-        let st2 = MpkState::load(&mut mg2, &a, MpkPlan::new(&a, &layout, 1));
+        let st2 = MpkState::load(&mut mg2, &a, MpkPlan::new(&a, &layout, 1)).unwrap();
         let v2: Vec<MatId> = (0..2)
             .map(|d| {
                 let nl = layout.nlocal(d);
                 let dev = mg2.device_mut(d);
-                let v = dev.alloc_mat(nl, s + 1);
+                let v = dev.alloc_mat(nl, s + 1).unwrap();
                 dev.mat_mut(v).set_col(0, &vec![1.0; nl]);
                 v
             })
             .collect();
         mg2.reset_counters();
         for k in 0..s {
-            dist_spmv(&mut mg2, &st2, &v2, k, k + 1);
+            dist_spmv(&mut mg2, &st2, &v2, k, k + 1).unwrap();
         }
         let spmv_msgs = mg2.counters().total_msgs();
         assert_eq!(spmv_msgs, s as u64 * mpk_msgs, "latency reduced by factor s");

@@ -10,7 +10,7 @@
 //! column of Fig. 10.
 
 use ca_dense::{blas3, chol, jacobi, qr, Mat};
-use ca_gpusim::{MatId, MultiGpu};
+use ca_gpusim::{GpuSimError, MatId, MultiGpu};
 
 /// TSQR algorithm selection (Fig. 9 / Fig. 10 rows).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,11 +80,22 @@ pub struct OrthConfig {
     pub reorth: bool,
     /// Apply the diagonal-scaling stabilization \[20\] inside SVQR.
     pub svqr_scaled: bool,
+    /// Verify the BOrth/TSQR block reductions against independently
+    /// computed scalar checksums (`1^T C 1` against `(V_a 1)^T (V_b 1)`,
+    /// `1^T B 1` against `||R 1||^2`), surfacing silent data corruption as
+    /// [`OrthError::ChecksumMismatch`].
+    pub abft: bool,
 }
 
 impl Default for OrthConfig {
     fn default() -> Self {
-        Self { tsqr: TsqrKind::CholQr, borth: BorthKind::Cgs, reorth: false, svqr_scaled: true }
+        Self {
+            tsqr: TsqrKind::CholQr,
+            borth: BorthKind::Cgs,
+            reorth: false,
+            svqr_scaled: true,
+            abft: false,
+        }
     }
 }
 
@@ -110,6 +121,25 @@ pub enum OrthError {
         /// Zero-diagonal index.
         index: usize,
     },
+    /// An ABFT scalar checksum disagreed with the block reduction it
+    /// verifies — silent data corruption in a GEMM/SYRK kernel.
+    ChecksumMismatch {
+        /// Which reduction failed ("borth" or "gram").
+        what: &'static str,
+        /// Checksum computed independently of the reduction.
+        expected: f64,
+        /// Checksum of the reduction's actual output.
+        got: f64,
+    },
+    /// A simulated GPU fault (transfer failure, device loss, allocation
+    /// failure) surfaced mid-orthogonalization.
+    Gpu(GpuSimError),
+}
+
+impl From<GpuSimError> for OrthError {
+    fn from(e: GpuSimError) -> Self {
+        OrthError::Gpu(e)
+    }
 }
 
 impl std::fmt::Display for OrthError {
@@ -120,6 +150,10 @@ impl std::fmt::Display for OrthError {
             }
             OrthError::ZeroNorm { column } => write!(f, "zero norm at block column {column}"),
             OrthError::SingularR { index } => write!(f, "singular R factor at index {index}"),
+            OrthError::ChecksumMismatch { what, expected, got } => {
+                write!(f, "ABFT checksum mismatch in {what}: expected {expected:e}, got {got:e}")
+            }
+            OrthError::Gpu(e) => write!(f, "{e}"),
         }
     }
 }
@@ -128,17 +162,17 @@ impl std::error::Error for OrthError {}
 
 // ---------- reduction helpers (host side of the butterfly) ----------
 
-fn reduce_scalar(mg: &mut MultiGpu, parts: &[f64]) -> f64 {
+fn reduce_scalar(mg: &mut MultiGpu, parts: &[f64]) -> Result<f64, OrthError> {
     let bytes = vec![8usize; parts.len()];
-    mg.to_host(&bytes);
+    mg.to_host(&bytes)?;
     mg.host_compute(parts.len() as f64, 16.0 * parts.len() as f64);
-    parts.iter().sum()
+    Ok(parts.iter().sum())
 }
 
-fn reduce_vec(mg: &mut MultiGpu, parts: &[Vec<f64>]) -> Vec<f64> {
+fn reduce_vec(mg: &mut MultiGpu, parts: &[Vec<f64>]) -> Result<Vec<f64>, OrthError> {
     let len = parts[0].len();
     let bytes = vec![8 * len; parts.len()];
-    mg.to_host(&bytes);
+    mg.to_host(&bytes)?;
     mg.host_compute((parts.len() * len) as f64, (16 * parts.len() * len) as f64);
     let mut out = vec![0.0; len];
     for p in parts {
@@ -146,19 +180,53 @@ fn reduce_vec(mg: &mut MultiGpu, parts: &[Vec<f64>]) -> Vec<f64> {
             *o += v;
         }
     }
-    out
+    Ok(out)
 }
 
-fn reduce_mat(mg: &mut MultiGpu, parts: &[Mat]) -> Mat {
+fn reduce_mat(mg: &mut MultiGpu, parts: &[Mat]) -> Result<Mat, OrthError> {
     let (r, c) = (parts[0].nrows(), parts[0].ncols());
     let bytes = vec![8 * r * c; parts.len()];
-    mg.to_host(&bytes);
+    mg.to_host(&bytes)?;
     mg.host_compute((parts.len() * r * c) as f64, (16 * parts.len() * r * c) as f64);
     let mut out = Mat::zeros(r, c);
     for p in parts {
         out.axpy(1.0, p);
     }
-    out
+    Ok(out)
+}
+
+// ---------- ABFT checksums ----------
+
+/// Relative tolerance for checksum verification: well above the `O(n eps)`
+/// rounding gap between the two evaluation orders, well below the change a
+/// mid-mantissa bit flip makes to any numerically significant entry.
+const ABFT_RTOL: f64 = 1e-10;
+
+/// Scalar checksum `(V[:, a0..a1] 1)^T (V[:, b0..b1] 1)` reduced across
+/// devices, with the magnitude scale its verification is relative to.
+/// Equals `1^T (V_a^T V_b) 1` in exact arithmetic — computed here without
+/// the GEMM it verifies.
+///
+/// # Errors
+/// Propagates simulated transfer failures and device loss.
+pub fn block_checksum(
+    mg: &mut MultiGpu,
+    v: &[MatId],
+    a: (usize, usize),
+    b: (usize, usize),
+) -> Result<(f64, f64), OrthError> {
+    let parts = mg.run_map(|d, dev| dev.block_sum_dot(v[d], a, b));
+    let bytes = vec![16usize; parts.len()];
+    mg.to_host(&bytes)?;
+    mg.host_compute(2.0 * parts.len() as f64, 32.0 * parts.len() as f64);
+    let dot = parts.iter().map(|p| p[0]).sum();
+    let scale = parts.iter().map(|p| p[1]).sum();
+    Ok((dot, scale))
+}
+
+/// Verify `got` against `expected` at [`ABFT_RTOL`] relative to `scale`.
+pub(crate) fn checksums_agree(expected: f64, got: f64, scale: f64) -> bool {
+    (expected - got).abs() <= ABFT_RTOL * scale.max(f64::MIN_POSITIVE)
 }
 
 // ---------- BOrth ----------
@@ -166,10 +234,19 @@ fn reduce_mat(mg: &mut MultiGpu, parts: &[Mat]) -> Mat {
 /// Orthogonalize basis columns `c0..c1` against columns `0..c0` on all
 /// devices, returning the projection coefficients `C = V_{0:c0}^T W`
 /// (`c0 x (c1-c0)`), which the Hessenberg reconstruction consumes.
-pub fn borth(mg: &mut MultiGpu, v: &[MatId], c0: usize, c1: usize, kind: BorthKind) -> Mat {
+///
+/// # Errors
+/// Propagates simulated transfer failures and device loss.
+pub fn borth(
+    mg: &mut MultiGpu,
+    v: &[MatId],
+    c0: usize,
+    c1: usize,
+    kind: BorthKind,
+) -> Result<Mat, OrthError> {
     assert!(c0 < c1);
     if c0 == 0 {
-        return Mat::zeros(0, c1);
+        return Ok(Mat::zeros(0, c1));
     }
     match kind {
         BorthKind::Mgs => {
@@ -178,25 +255,96 @@ pub fn borth(mg: &mut MultiGpu, v: &[MatId], c0: usize, c1: usize, kind: BorthKi
             for l in 0..c0 {
                 let gemv = mg.config.gemv;
                 let parts = mg.run_map(|d, dev| dev.gemv_t_cols(v[d], c0, c1, l, gemv));
-                let row = reduce_vec(mg, &parts);
-                mg.broadcast(8 * row.len());
+                let row = reduce_vec(mg, &parts)?;
+                mg.broadcast(8 * row.len())?;
                 mg.run(|d, dev| dev.rank1_update(v[d], l, c0, c1, &row));
                 for (k, &val) in row.iter().enumerate() {
                     c[(l, k)] = val;
                 }
             }
-            c
+            Ok(c)
         }
         BorthKind::Cgs => {
             // single block reduction (§V-B)
             let gemm = mg.config.gemm;
             let parts = mg.run_map(|d, dev| dev.gemm_tn_cols(v[d], (0, c0), (c0, c1), gemm));
-            let c = reduce_mat(mg, &parts);
-            mg.broadcast(8 * c0 * (c1 - c0));
+            let c = reduce_mat(mg, &parts)?;
+            mg.broadcast(8 * c0 * (c1 - c0))?;
             mg.run(|d, dev| dev.gemm_nn_update(v[d], (0, c0), (c0, c1), &c, gemm));
-            c
+            Ok(c)
         }
     }
+}
+
+/// [`borth`] with the projection reduction verified against an
+/// independently computed scalar checksum (CGS only — MGS's per-vector
+/// reductions are covered by the residual-replacement guard instead).
+///
+/// # Errors
+/// [`OrthError::ChecksumMismatch`] when the reduction disagrees with its
+/// checksum; otherwise as [`borth`].
+pub fn borth_checked(
+    mg: &mut MultiGpu,
+    v: &[MatId],
+    c0: usize,
+    c1: usize,
+    kind: BorthKind,
+) -> Result<Mat, OrthError> {
+    if c0 == 0 || kind != BorthKind::Cgs {
+        return borth(mg, v, c0, c1, kind);
+    }
+    // checksum of V_prev^T W must be read BEFORE the update subtracts the
+    // projection from W in place
+    let (expected, scale) = block_checksum(mg, v, (0, c0), (c0, c1))?;
+    let c = borth(mg, v, c0, c1, kind)?;
+    let mut got = 0.0;
+    for j in 0..c.ncols() {
+        for i in 0..c.nrows() {
+            got += c[(i, j)];
+        }
+    }
+    mg.host_compute((c.nrows() * c.ncols()) as f64, (8 * c.nrows() * c.ncols()) as f64);
+    if !checksums_agree(expected, got, scale) {
+        return Err(OrthError::ChecksumMismatch { what: "borth", expected, got });
+    }
+    Ok(c)
+}
+
+/// [`tsqr`] with the factorization verified against the Gram checksum
+/// `1^T (W^T W) 1 = ||R 1||^2` (any QR of W satisfies `W^T W = R^T R`).
+/// The checksum is computed from W before the in-place factorization.
+///
+/// # Errors
+/// [`OrthError::ChecksumMismatch`] when `R` disagrees with the checksum;
+/// otherwise as [`tsqr`].
+pub fn tsqr_checked(
+    mg: &mut MultiGpu,
+    v: &[MatId],
+    c0: usize,
+    c1: usize,
+    kind: TsqrKind,
+    svqr_scaled: bool,
+) -> Result<Mat, OrthError> {
+    let (expected, scale) = block_checksum(mg, v, (c0, c1), (c0, c1))?;
+    let r = tsqr(mg, v, c0, c1, kind, svqr_scaled)?;
+    let k = c1 - c0;
+    let mut got = 0.0;
+    for i in 0..k {
+        let mut row = 0.0;
+        for j in i..k {
+            row += r[(i, j)];
+        }
+        got += row * row;
+    }
+    mg.host_compute((k * k) as f64, (8 * k * k) as f64);
+    // mixed-precision Gram accumulates in f32: widen the tolerance to the
+    // f32 rounding scale so the checksum flags corruption, not precision
+    let tol_scale =
+        if kind == TsqrKind::CholQrMixed { scale * (f32::EPSILON as f64 / 1e-10) } else { scale };
+    if !checksums_agree(expected, got, tol_scale) {
+        return Err(OrthError::ChecksumMismatch { what: "gram", expected, got });
+    }
+    Ok(r)
 }
 
 // ---------- TSQR ----------
@@ -220,8 +368,8 @@ pub fn tsqr(
             for col in c0..c1 {
                 for prev in c0..col {
                     let parts = mg.run_map(|d, dev| dev.dot_cols(v[d], prev, col));
-                    let rho = reduce_scalar(mg, &parts);
-                    mg.broadcast(8);
+                    let rho = reduce_scalar(mg, &parts)?;
+                    mg.broadcast(8)?;
                     mg.run(|d, dev| dev.axpy_cols(v[d], -rho, prev, col));
                     r[(prev - c0, col - c0)] = rho;
                 }
@@ -235,8 +383,8 @@ pub fn tsqr(
                 if col > c0 {
                     let gemv = mg.config.gemv;
                     let parts = mg.run_map(|d, dev| dev.gemv_t_cols(v[d], c0, col, col, gemv));
-                    let coeffs = reduce_vec(mg, &parts);
-                    mg.broadcast(8 * coeffs.len());
+                    let coeffs = reduce_vec(mg, &parts)?;
+                    mg.broadcast(8 * coeffs.len())?;
                     mg.run(|d, dev| dev.gemv_n_update(v[d], c0, col, &coeffs, col));
                     for (i, &rho) in coeffs.iter().enumerate() {
                         r[(i, col - c0)] = rho;
@@ -260,7 +408,7 @@ pub fn tsqr(
                     p.push(dev.norm2_sq_col(v[d], col));
                     p
                 });
-                let mut fused = reduce_vec(mg, &parts);
+                let mut fused = reduce_vec(mg, &parts)?;
                 let vnorm_sq = fused.pop().expect("fused entry present");
                 let coeffs = fused;
                 for (i, &rho) in coeffs.iter().enumerate() {
@@ -278,7 +426,7 @@ pub fn tsqr(
                     if norm == 0.0 {
                         return Err(OrthError::ZeroNorm { column: col - c0 });
                     }
-                    mg.broadcast(8 * (coeffs.len() + 1));
+                    mg.broadcast(8 * (coeffs.len() + 1))?;
                     mg.run(|d, dev| {
                         dev.gemv_n_update(v[d], c0, col, &coeffs, col);
                         dev.scal_col(v[d], col, 1.0 / norm);
@@ -287,14 +435,14 @@ pub fn tsqr(
                 } else {
                     // stability fallback: the extra synchronization the
                     // paper's footnote 5 describes
-                    mg.broadcast(8 * coeffs.len());
+                    mg.broadcast(8 * coeffs.len())?;
                     mg.run(|d, dev| dev.gemv_n_update(v[d], c0, col, &coeffs, col));
                     let parts = mg.run_map(|d, dev| dev.norm2_sq_col(v[d], col));
-                    let norm = reduce_scalar(mg, &parts).max(0.0).sqrt();
+                    let norm = reduce_scalar(mg, &parts)?.max(0.0).sqrt();
                     if norm == 0.0 || !norm.is_finite() {
                         return Err(OrthError::ZeroNorm { column: col - c0 });
                     }
-                    mg.broadcast(8);
+                    mg.broadcast(8)?;
                     mg.run(|d, dev| dev.scal_col(v[d], col, 1.0 / norm));
                     r[(col - c0, col - c0)] = norm;
                 }
@@ -308,7 +456,7 @@ pub fn tsqr(
             } else {
                 mg.run_map(|d, dev| dev.syrk_cols(v[d], c0, c1, gemm))
             };
-            let b = reduce_mat(mg, &parts);
+            let b = reduce_mat(mg, &parts)?;
             let r = match chol::cholesky_upper(&b) {
                 Ok(r) => r,
                 Err(ca_dense::DenseError::NotPositiveDefinite { index, pivot }) => {
@@ -317,14 +465,14 @@ pub fn tsqr(
                 Err(_) => unreachable!("cholesky only fails with NotPositiveDefinite"),
             };
             mg.host_compute((k * k * k) as f64 / 3.0, (8 * k * k) as f64);
-            mg.broadcast(8 * k * k);
+            mg.broadcast(8 * k * k)?;
             apply_trsm(mg, v, c0, c1, &r)?;
             Ok(r)
         }
         TsqrKind::SvQr => {
             let gemm = mg.config.gemm;
             let parts = mg.run_map(|d, dev| dev.syrk_cols(v[d], c0, c1, gemm));
-            let b = reduce_mat(mg, &parts);
+            let b = reduce_mat(mg, &parts)?;
             // SVD of the Gram matrix (optionally after diagonal scaling,
             // the [20] stabilization), then R := qr(Sigma^{1/2} U^T D).
             let mut msvd = Mat::zeros(k, k);
@@ -351,7 +499,7 @@ pub fn tsqr(
             }
             let r = qr::householder_qr(&msvd).r;
             mg.host_compute(14.0 * (k * k * k) as f64, (24 * k * k) as f64);
-            mg.broadcast(8 * k * k);
+            mg.broadcast(8 * k * k)?;
             apply_trsm(mg, v, c0, c1, &r)?;
             Ok(r)
         }
@@ -363,7 +511,7 @@ pub fn tsqr(
                 mg.run_map(|d, dev| dev.local_qr_cols(v[d], c0, c1))
             };
             let bytes = vec![8 * k * k; local_rs.len()];
-            mg.to_host(&bytes);
+            mg.to_host(&bytes)?;
             // host: QR of the stacked R factors
             let ndev = local_rs.len();
             let mut stacked = Mat::zeros(ndev * k, k);
@@ -378,7 +526,7 @@ pub fn tsqr(
             mg.host_compute(4.0 * (ndev * k) as f64 * (k * k) as f64, (16 * ndev * k * k) as f64);
             // scatter per-device Q blocks, apply on devices
             let bytes_down = vec![8 * k * k; ndev];
-            mg.to_devices(&bytes_down);
+            mg.to_devices(&bytes_down)?;
             // rank deficiency shows up as a (near-)zero diagonal of R —
             // the other TSQR variants surface this via their own errors.
             // Threshold: numerical rank at ~100 eps relative to r_00.
@@ -389,9 +537,8 @@ pub fn tsqr(
                     return Err(OrthError::SingularR { index: jdiag });
                 }
             }
-            let qblocks: Vec<Mat> = (0..ndev)
-                .map(|d| Mat::from_fn(k, k, |i, j| f.q[(d * k + i, j)]))
-                .collect();
+            let qblocks: Vec<Mat> =
+                (0..ndev).map(|d| Mat::from_fn(k, k, |i, j| f.q[(d * k + i, j)])).collect();
             mg.run(|d, dev| dev.gemm_right_small(v[d], c0, c1, &qblocks[d]));
             Ok(f.r)
         }
@@ -408,12 +555,12 @@ fn normalize_col(
     c0: usize,
 ) -> Result<(), OrthError> {
     let parts = mg.run_map(|d, dev| dev.norm2_sq_col(v[d], col));
-    let nsq = reduce_scalar(mg, &parts);
+    let nsq = reduce_scalar(mg, &parts)?;
     let norm = nsq.max(0.0).sqrt();
     if norm == 0.0 || !norm.is_finite() {
         return Err(OrthError::ZeroNorm { column: col - c0 });
     }
-    mg.broadcast(8);
+    mg.broadcast(8)?;
     mg.run(|d, dev| dev.scal_col(v[d], col, 1.0 / norm));
     r[(col - c0, col - c0)] = norm;
     Ok(())
@@ -445,12 +592,12 @@ pub fn borth_tsqr(
     c1: usize,
     cfg: &OrthConfig,
 ) -> Result<(Mat, Mat), OrthError> {
-    let c1m = borth(mg, v, c0, c1, cfg.borth);
+    let c1m = borth(mg, v, c0, c1, cfg.borth)?;
     let r1 = tsqr(mg, v, c0, c1, cfg.tsqr, cfg.svqr_scaled)?;
     if !cfg.reorth {
         return Ok((c1m, r1));
     }
-    let c2 = borth(mg, v, c0, c1, cfg.borth);
+    let c2 = borth(mg, v, c0, c1, cfg.borth)?;
     let r2 = tsqr(mg, v, c0, c1, cfg.tsqr, cfg.svqr_scaled)?;
     // W = Qp C1 + W1,  W1 = Qp C2 R1?  Derivation (host, small):
     //   pass 1: W = Qp C1 + W1, W1 = Q1 R1
@@ -480,8 +627,8 @@ pub fn orth_column(
         BorthKind::Mgs => {
             for prev in 0..col {
                 let parts = mg.run_map(|d, dev| dev.dot_cols(v[d], prev, col));
-                let rho = reduce_scalar(mg, &parts);
-                mg.broadcast(8);
+                let rho = reduce_scalar(mg, &parts)?;
+                mg.broadcast(8)?;
                 mg.run(|d, dev| dev.axpy_cols(v[d], -rho, prev, col));
                 h.push(rho);
             }
@@ -489,19 +636,19 @@ pub fn orth_column(
         BorthKind::Cgs => {
             let gemv = mg.config.gemv;
             let parts = mg.run_map(|d, dev| dev.gemv_t_cols(v[d], 0, col, col, gemv));
-            let coeffs = reduce_vec(mg, &parts);
-            mg.broadcast(8 * coeffs.len());
+            let coeffs = reduce_vec(mg, &parts)?;
+            mg.broadcast(8 * coeffs.len())?;
             mg.run(|d, dev| dev.gemv_n_update(v[d], 0, col, &coeffs, col));
             h.extend_from_slice(&coeffs);
         }
     }
     let parts = mg.run_map(|d, dev| dev.norm2_sq_col(v[d], col));
-    let nsq = reduce_scalar(mg, &parts);
+    let nsq = reduce_scalar(mg, &parts)?;
     let norm = nsq.max(0.0).sqrt();
     if norm == 0.0 || !norm.is_finite() {
         return Err(OrthError::ZeroNorm { column: col });
     }
-    mg.broadcast(8);
+    mg.broadcast(8)?;
     mg.run(|d, dev| dev.scal_col(v[d], col, 1.0 / norm));
     h.push(norm);
     Ok(h)
@@ -526,7 +673,7 @@ mod tests {
             let lo = d * n / ndev;
             let hi = (d + 1) * n / ndev;
             let dev = mg.device_mut(d);
-            let v = dev.alloc_mat(hi - lo, cols);
+            let v = dev.alloc_mat(hi - lo, cols).unwrap();
             for j in 0..cols {
                 dev.mat_mut(v).set_col(j, &full.col(j)[lo..hi]);
             }
@@ -764,7 +911,7 @@ mod tests {
         for kind in [BorthKind::Mgs, BorthKind::Cgs] {
             let (mut mg2, ids2, _) = setup(n, cols, 3, 11);
             tsqr(&mut mg2, &ids2, 0, 3, TsqrKind::CholQr, true).unwrap();
-            let c = borth(&mut mg2, &ids2, 3, 6, kind);
+            let c = borth(&mut mg2, &ids2, 3, 6, kind).unwrap();
             assert_eq!(c.nrows(), 3);
             assert_eq!(c.ncols(), 3);
             let q = collect(&mg2, &ids2, n, cols);
@@ -784,7 +931,12 @@ mod tests {
         let (mut mg, ids, orig) = setup(n, cols, 2, 13);
         tsqr(&mut mg, &ids, 0, 3, TsqrKind::CholQr, true).unwrap();
         let qprev = collect(&mg, &ids, n, cols).cols_copy(0, 3);
-        let cfg = OrthConfig { tsqr: TsqrKind::CholQr, borth: BorthKind::Cgs, reorth: true, svqr_scaled: true };
+        let cfg = OrthConfig {
+            tsqr: TsqrKind::CholQr,
+            borth: BorthKind::Cgs,
+            reorth: true,
+            ..Default::default()
+        };
         let (c_eff, r_eff) = borth_tsqr(&mut mg, &ids, 3, 7, &cfg).unwrap();
         let qnew = collect(&mg, &ids, n, cols).cols_copy(3, 7);
         // W_orig = Qprev C_eff + Qnew R_eff

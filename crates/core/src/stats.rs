@@ -1,7 +1,67 @@
 //! Solver instrumentation matching the columns of the paper's Fig. 14:
 //! restart counts, per-phase simulated times, and communication traffic.
 
+use ca_gpusim::GpuSimError;
 use serde::Serialize;
+
+/// Why a solve stopped before reaching its tolerance — either a numerical
+/// breakdown in the orthogonalization or a (simulated) hardware fault that
+/// surfaced through [`GpuSimError`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum BreakdownKind {
+    /// Orthogonalization failure (CholQR pivot, zero norm, singular R,
+    /// ABFT checksum mismatch) at the block starting at `column`.
+    Orthogonalization {
+        /// First basis column of the failing block.
+        column: usize,
+        /// Human-readable reason from the orthogonalization layer.
+        reason: String,
+    },
+    /// A PCIe transfer exhausted its retry budget.
+    TransferFailed {
+        /// Device on the failing link.
+        device: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A device stopped responding (persistent loss).
+    DeviceLost {
+        /// The lost device.
+        device: usize,
+    },
+    /// A device allocation failed.
+    OutOfMemory {
+        /// The device that refused the allocation.
+        device: usize,
+    },
+}
+
+impl std::fmt::Display for BreakdownKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakdownKind::Orthogonalization { column, reason } => {
+                write!(f, "block at col {column}: {reason}")
+            }
+            BreakdownKind::TransferFailed { device, attempts } => {
+                write!(f, "transfer to/from device {device} failed after {attempts} attempts")
+            }
+            BreakdownKind::DeviceLost { device } => write!(f, "device {device} lost"),
+            BreakdownKind::OutOfMemory { device } => write!(f, "device {device} out of memory"),
+        }
+    }
+}
+
+impl From<GpuSimError> for BreakdownKind {
+    fn from(e: GpuSimError) -> Self {
+        match e {
+            GpuSimError::OutOfMemory { device, .. } => BreakdownKind::OutOfMemory { device },
+            GpuSimError::TransferFailed { device, attempts } => {
+                BreakdownKind::TransferFailed { device, attempts }
+            }
+            GpuSimError::DeviceLost { device } => BreakdownKind::DeviceLost { device },
+        }
+    }
+}
 
 /// Timing/convergence record for one solve.
 #[derive(Debug, Clone, Default, Serialize)]
@@ -30,8 +90,9 @@ pub struct SolveStats {
     pub comm_msgs: u64,
     /// Total PCIe bytes (both directions).
     pub comm_bytes: u64,
-    /// Breakdown reason when the solve aborted (e.g. CholQR failure).
-    pub breakdown: Option<String>,
+    /// Breakdown reason when the solve aborted (e.g. CholQR failure,
+    /// exhausted transfer retries, device loss).
+    pub breakdown: Option<BreakdownKind>,
 }
 
 impl SolveStats {

@@ -3,6 +3,7 @@
 
 use crate::layout::Layout;
 use crate::mpk::{dist_spmv, MpkPlan, MpkState, SpmvFormat};
+use ca_gpusim::faults::Result;
 use ca_gpusim::{MatId, MultiGpu};
 use ca_sparse::Csr;
 
@@ -31,12 +32,24 @@ impl System {
     /// Build the device state: allocate the basis, load the SpMV plan and
     /// (when `s > 1`) the MPK plan. `a` must already be reordered to match
     /// `layout` (see [`crate::layout::prepare`]).
-    pub fn new(mg: &mut MultiGpu, a: &Csr, layout: Layout, m: usize, s: Option<usize>) -> Self {
+    ///
+    /// # Errors
+    /// Propagates simulated allocation failures ([`ca_gpusim::GpuSimError`]).
+    pub fn new(
+        mg: &mut MultiGpu,
+        a: &Csr,
+        layout: Layout,
+        m: usize,
+        s: Option<usize>,
+    ) -> Result<Self> {
         Self::new_with_format(mg, a, layout, m, s, SpmvFormat::Ell)
     }
 
     /// [`System::new`] with an explicit sparse storage format for the
     /// SpMV/MPK slices (e.g. `SpmvFormat::Hyb` for hub-heavy matrices).
+    ///
+    /// # Errors
+    /// Propagates simulated allocation failures ([`ca_gpusim::GpuSimError`]).
     pub fn new_with_format(
         mg: &mut MultiGpu,
         a: &Csr,
@@ -44,18 +57,21 @@ impl System {
         m: usize,
         s: Option<usize>,
         format: SpmvFormat,
-    ) -> Self {
+    ) -> Result<Self> {
         assert_eq!(a.nrows(), layout.n());
         assert_eq!(mg.n_gpus(), layout.ndev());
         let n = a.nrows();
         let v: Vec<MatId> = (0..layout.ndev())
             .map(|d| mg.device_mut(d).alloc_mat(layout.nlocal(d), m + 4))
-            .collect();
-        let spmv = MpkState::load_with_format(mg, a, MpkPlan::new(a, &layout, 1), format);
-        let mpk = s
-            .filter(|&s| s > 1)
-            .map(|s| MpkState::load_with_format(mg, a, MpkPlan::new(a, &layout, s), format));
-        Self { layout, v, spmv, mpk, m, n }
+            .collect::<Result<_>>()?;
+        let spmv = MpkState::load_with_format(mg, a, MpkPlan::new(a, &layout, 1), format)?;
+        let mpk = match s.filter(|&s| s > 1) {
+            Some(s) => {
+                Some(MpkState::load_with_format(mg, a, MpkPlan::new(a, &layout, s), format)?)
+            }
+            None => None,
+        };
+        Ok(Self { layout, v, spmv, mpk, m, n })
     }
 
     /// Column index of the iterate `x`.
@@ -74,10 +90,14 @@ impl System {
     }
 
     /// Upload `b` (and zero `x`) to the devices, charging the transfers.
-    pub fn load_rhs(&self, mg: &mut MultiGpu, b: &[f64]) {
+    ///
+    /// # Errors
+    /// Propagates simulated transfer failures and device loss.
+    pub fn load_rhs(&self, mg: &mut MultiGpu, b: &[f64]) -> Result<()> {
         assert_eq!(b.len(), self.n);
-        let bytes: Vec<usize> = (0..self.layout.ndev()).map(|d| 8 * self.layout.nlocal(d)).collect();
-        mg.to_devices(&bytes);
+        let bytes: Vec<usize> =
+            (0..self.layout.ndev()).map(|d| 8 * self.layout.nlocal(d)).collect();
+        mg.to_devices(&bytes)?;
         let (bc, xc) = (self.b_col(), self.x_col());
         for d in 0..self.layout.ndev() {
             let lo = self.layout.range(d).start;
@@ -87,12 +107,36 @@ impl System {
             let zeros = vec![0.0; nl];
             dev.mat_mut(self.v[d]).set_col(xc, &zeros);
         }
+        Ok(())
+    }
+
+    /// Upload an explicit iterate `x` to the devices (checkpoint restore
+    /// for the fault-tolerant driver), charging the transfers.
+    ///
+    /// # Errors
+    /// Propagates simulated transfer failures and device loss.
+    pub fn upload_x(&self, mg: &mut MultiGpu, x: &[f64]) -> Result<()> {
+        assert_eq!(x.len(), self.n);
+        let bytes: Vec<usize> =
+            (0..self.layout.ndev()).map(|d| 8 * self.layout.nlocal(d)).collect();
+        mg.to_devices(&bytes)?;
+        let xc = self.x_col();
+        for d in 0..self.layout.ndev() {
+            let lo = self.layout.range(d).start;
+            let nl = self.layout.nlocal(d);
+            mg.device_mut(d).mat_mut(self.v[d]).set_col(xc, &x[lo..lo + nl]);
+        }
+        Ok(())
     }
 
     /// Download the iterate `x`, charging the transfers.
-    pub fn download_x(&self, mg: &mut MultiGpu) -> Vec<f64> {
-        let bytes: Vec<usize> = (0..self.layout.ndev()).map(|d| 8 * self.layout.nlocal(d)).collect();
-        mg.to_host(&bytes);
+    ///
+    /// # Errors
+    /// Propagates simulated transfer failures and device loss.
+    pub fn download_x(&self, mg: &mut MultiGpu) -> Result<Vec<f64>> {
+        let bytes: Vec<usize> =
+            (0..self.layout.ndev()).map(|d| 8 * self.layout.nlocal(d)).collect();
+        mg.to_host(&bytes)?;
         let mut x = vec![0.0; self.n];
         let xc = self.x_col();
         for d in 0..self.layout.ndev() {
@@ -100,45 +144,56 @@ impl System {
             let col = mg.device(d).mat(self.v[d]).col(xc);
             x[lo..lo + col.len()].copy_from_slice(col);
         }
-        x
+        Ok(x)
     }
 
     /// Compute the explicit residual `r := b - A x` into the scratch
     /// column and return its 2-norm.
-    pub fn residual_norm(&self, mg: &mut MultiGpu) -> f64 {
+    ///
+    /// # Errors
+    /// Propagates simulated transfer failures and device loss.
+    pub fn residual_norm(&self, mg: &mut MultiGpu) -> Result<f64> {
         let (xc, bc, rc) = (self.x_col(), self.b_col(), self.r_col());
-        dist_spmv(mg, &self.spmv, &self.v, xc, rc); // r = A x
+        dist_spmv(mg, &self.spmv, &self.v, xc, rc)?; // r = A x
         mg.run(|d, dev| {
             dev.scal_col(self.v[d], rc, -1.0); // r = -A x
             dev.axpy_cols(self.v[d], 1.0, bc, rc); // r += b
         });
         let parts = mg.run_map(|d, dev| dev.norm2_sq_col(self.v[d], rc));
         let bytes = vec![8usize; parts.len()];
-        mg.to_host(&bytes);
+        mg.to_host(&bytes)?;
         mg.host_compute(parts.len() as f64, 0.0);
-        parts.iter().sum::<f64>().max(0.0).sqrt()
+        Ok(parts.iter().sum::<f64>().max(0.0).sqrt())
     }
 
     /// Start a restart cycle: copy the residual into basis column 0 and
     /// normalize by `beta` (its norm, already reduced).
-    pub fn seed_basis(&self, mg: &mut MultiGpu, beta: f64) {
+    ///
+    /// # Errors
+    /// Propagates simulated transfer failures and device loss.
+    pub fn seed_basis(&self, mg: &mut MultiGpu, beta: f64) -> Result<()> {
         let rc = self.r_col();
-        mg.broadcast(8);
+        mg.broadcast(8)?;
         mg.run(|d, dev| {
             dev.copy_col(self.v[d], rc, 0);
             dev.scal_col(self.v[d], 0, 1.0 / beta);
         });
+        Ok(())
     }
 
     /// Apply the correction `x += V_{0..k} y` after the least-squares
     /// solve (broadcasts `y`, then one fused device GEMV).
-    pub fn update_x(&self, mg: &mut MultiGpu, y: &[f64]) {
+    ///
+    /// # Errors
+    /// Propagates simulated transfer failures and device loss.
+    pub fn update_x(&self, mg: &mut MultiGpu, y: &[f64]) -> Result<()> {
         let k = y.len();
         assert!(k <= self.m);
         let neg: Vec<f64> = y.iter().map(|v| -v).collect();
-        mg.broadcast(8 * k);
+        mg.broadcast(8 * k)?;
         let xc = self.x_col();
         mg.run(|d, dev| dev.gemv_n_update(self.v[d], 0, k, &neg, xc));
+        Ok(())
     }
 }
 
@@ -151,7 +206,7 @@ mod tests {
         let a = laplace2d(6, 6);
         let layout = Layout::even(36, 2);
         let mut mg = MultiGpu::with_defaults(2);
-        let sys = System::new(&mut mg, &a, layout, 5, Some(3));
+        let sys = System::new(&mut mg, &a, layout, 5, Some(3)).unwrap();
         (mg, sys, a)
     }
 
@@ -159,9 +214,9 @@ mod tests {
     fn rhs_roundtrip() {
         let (mut mg, sys, _) = setup();
         let b: Vec<f64> = (0..36).map(|i| i as f64).collect();
-        sys.load_rhs(&mut mg, &b);
+        sys.load_rhs(&mut mg, &b).unwrap();
         // x starts at zero
-        let x = sys.download_x(&mut mg);
+        let x = sys.download_x(&mut mg).unwrap();
         assert!(x.iter().all(|&v| v == 0.0));
     }
 
@@ -169,8 +224,8 @@ mod tests {
     fn residual_of_zero_x_is_norm_b() {
         let (mut mg, sys, _) = setup();
         let b: Vec<f64> = (0..36).map(|i| (i as f64 * 0.1).sin()).collect();
-        sys.load_rhs(&mut mg, &b);
-        let r = sys.residual_norm(&mut mg);
+        sys.load_rhs(&mut mg, &b).unwrap();
+        let r = sys.residual_norm(&mut mg).unwrap();
         let nb = ca_dense::blas1::nrm2(&b);
         assert!((r - nb).abs() < 1e-12 * nb);
     }
@@ -182,14 +237,14 @@ mod tests {
         let x_true: Vec<f64> = (0..36).map(|i| 1.0 + (i % 5) as f64).collect();
         let mut b = vec![0.0; 36];
         ca_sparse::spmv::spmv(&a, &x_true, &mut b);
-        sys.load_rhs(&mut mg, &b);
+        sys.load_rhs(&mut mg, &b).unwrap();
         let xc = sys.x_col();
         for d in 0..2 {
             let lo = sys.layout.range(d).start;
             let nl = sys.layout.nlocal(d);
             mg.device_mut(d).mat_mut(sys.v[d]).set_col(xc, &x_true[lo..lo + nl]);
         }
-        let r = sys.residual_norm(&mut mg);
+        let r = sys.residual_norm(&mut mg).unwrap();
         assert!(r < 1e-11, "residual {r}");
     }
 
@@ -197,9 +252,9 @@ mod tests {
     fn seed_and_update() {
         let (mut mg, sys, _) = setup();
         let b = vec![2.0; 36];
-        sys.load_rhs(&mut mg, &b);
-        let beta = sys.residual_norm(&mut mg);
-        sys.seed_basis(&mut mg, beta);
+        sys.load_rhs(&mut mg, &b).unwrap();
+        let beta = sys.residual_norm(&mut mg).unwrap();
+        sys.seed_basis(&mut mg, beta).unwrap();
         // basis col 0 should be unit: b / ||b||
         let expect = 2.0 / beta;
         for d in 0..2 {
@@ -208,8 +263,8 @@ mod tests {
             }
         }
         // x += V0 * 3 => x = 3 * expect everywhere
-        sys.update_x(&mut mg, &[3.0]);
-        let x = sys.download_x(&mut mg);
+        sys.update_x(&mut mg, &[3.0]).unwrap();
+        let x = sys.download_x(&mut mg).unwrap();
         for v in x {
             assert!((v - 3.0 * expect).abs() < 1e-13);
         }

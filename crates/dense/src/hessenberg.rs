@@ -148,8 +148,12 @@ pub fn hessenberg_eigenvalues(h_in: &Mat) -> crate::Result<Vec<Complex>> {
         }
         if lo == hi - 2 {
             // 2x2 block deflated: closed-form eigenvalues.
-            let (a, b, c, d) =
-                (h[(hi - 2, hi - 2)], h[(hi - 2, hi - 1)], h[(hi - 1, hi - 2)], h[(hi - 1, hi - 1)]);
+            let (a, b, c, d) = (
+                h[(hi - 2, hi - 2)],
+                h[(hi - 2, hi - 1)],
+                h[(hi - 1, hi - 2)],
+                h[(hi - 1, hi - 1)],
+            );
             let tr = a + d;
             let det = a * d - b * c;
             let disc = tr * tr / 4.0 - det;

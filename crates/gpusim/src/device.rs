@@ -9,10 +9,11 @@
 //! is free here; PCIe costs are charged by
 //! [`MultiGpu`](crate::multi::MultiGpu)'s transfer methods.
 
+use crate::faults::{FaultPlan, GpuSimError, Result, SdcKind};
 use crate::model::{GemmVariant, GemvVariant, PerfModel};
 use ca_dense::{blas1, blas3, qr, Mat};
-use rayon::prelude::*;
 use ca_sparse::{Ell, Hyb};
+use rayon::prelude::*;
 use std::sync::Arc;
 
 /// Handle to a device vector.
@@ -83,11 +84,35 @@ pub struct Device {
     mats: Vec<Mat>,
     slices: Vec<SpSlice>,
     mem_bytes: usize,
+    /// Kernel ops completed (fault-plan coordinate; counted always so a
+    /// zero-rate plan is bit-identical to no plan).
+    ops: u64,
+    /// Allocations attempted (fault-plan coordinate).
+    allocs: u64,
+    /// Installed fault schedule, if any.
+    faults: Option<Arc<FaultPlan>>,
+    /// Persistent device loss: clock frozen, transfers fail.
+    lost: bool,
+    /// Silent corruptions injected so far (study bookkeeping).
+    sdc_injected: u64,
 }
 
 impl Device {
     pub(crate) fn new(id: usize, model: Arc<PerfModel>) -> Self {
-        Self { id, clock: 0.0, model, vecs: Vec::new(), mats: Vec::new(), slices: Vec::new(), mem_bytes: 0 }
+        Self {
+            id,
+            clock: 0.0,
+            model,
+            vecs: Vec::new(),
+            mats: Vec::new(),
+            slices: Vec::new(),
+            mem_bytes: 0,
+            ops: 0,
+            allocs: 0,
+            faults: None,
+            lost: false,
+            sdc_injected: 0,
+        }
     }
 
     /// Device index (0-based).
@@ -101,12 +126,71 @@ impl Device {
     }
 
     pub(crate) fn set_clock(&mut self, t: f64) {
+        if self.lost {
+            return; // a dead device's clock stays frozen
+        }
         self.clock = t;
     }
 
     pub(crate) fn advance(&mut self, dt: f64) {
         debug_assert!(dt >= 0.0);
+        if self.lost {
+            return;
+        }
+        self.ops += 1;
+        if let Some(p) = &self.faults {
+            if p.loses_device(self.id, self.ops) {
+                self.lost = true;
+                return; // the op that kills the device never completes
+            }
+        }
         self.clock += dt;
+    }
+
+    /// Install (or clear) the fault schedule.
+    pub fn set_faults(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.faults = plan;
+    }
+
+    /// Has this device suffered persistent loss?
+    pub fn is_lost(&self) -> bool {
+        self.lost
+    }
+
+    /// Kernel ops completed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Silent corruptions injected into this device's kernel outputs.
+    pub fn sdc_injected(&self) -> u64 {
+        self.sdc_injected
+    }
+
+    /// Corrupt one element of a kernel output if the plan says this op is
+    /// hit. `self.ops` is the *current* op's index (advance() bumps after).
+    fn maybe_corrupt(&mut self, kind: SdcKind, data: &mut [f64]) {
+        if let Some(p) = &self.faults {
+            if let Some(e) = p.sdc_event(self.id, self.ops, kind) {
+                e.apply(data);
+                self.sdc_injected += 1;
+            }
+        }
+    }
+
+    /// [`Device::maybe_corrupt`] for a small dense output matrix.
+    fn maybe_corrupt_mat(&mut self, kind: SdcKind, m: &mut Mat) {
+        if let Some(p) = &self.faults {
+            if let Some(e) = p.sdc_event(self.id, self.ops, kind) {
+                let (r, c) = (m.nrows(), m.ncols());
+                if r * c > 0 {
+                    let idx = (e.lane % (r * c) as u64) as usize;
+                    let (i, j) = (idx % r, idx / r);
+                    m[(i, j)] = f64::from_bits(m[(i, j)].to_bits() ^ (1u64 << e.bit));
+                    self.sdc_injected += 1;
+                }
+            }
+        }
     }
 
     /// Bytes of device memory currently allocated (the paper's MPK storage
@@ -120,56 +204,67 @@ impl Device {
         self.model.dev_mem_capacity.saturating_sub(self.mem_bytes)
     }
 
-    fn charge_mem(&mut self, bytes: usize) {
-        assert!(
-            self.mem_bytes + bytes <= self.model.dev_mem_capacity,
-            "device {} out of memory: {} used + {} requested > {} capacity \
-             (MPK boundary storage grows with s — see paper §IV-A; reduce s, \
-             use more GPUs, or raise PerfModel::dev_mem_capacity)",
-            self.id,
-            self.mem_bytes,
-            bytes,
-            self.model.dev_mem_capacity
-        );
+    fn charge_mem(&mut self, bytes: usize) -> Result<()> {
+        let alloc_index = self.allocs;
+        self.allocs += 1;
+        if self.lost {
+            return Err(GpuSimError::DeviceLost { device: self.id });
+        }
+        let injected = self.faults.as_ref().is_some_and(|p| p.fails_alloc(self.id, alloc_index));
+        if injected || self.mem_bytes + bytes > self.model.dev_mem_capacity {
+            return Err(GpuSimError::OutOfMemory {
+                device: self.id,
+                requested: bytes,
+                free: self.mem_free(),
+            });
+        }
         self.mem_bytes += bytes;
+        Ok(())
     }
 
     // ---------- allocation (free: matches the paper excluding setup) ----------
 
     /// Allocate a zeroed device vector.
     ///
-    /// # Panics
-    /// When the modeled device memory capacity would be exceeded.
-    pub fn alloc_vec(&mut self, len: usize) -> VecId {
-        self.charge_mem(len * 8);
+    /// # Errors
+    /// [`GpuSimError::OutOfMemory`] when the modeled device memory capacity
+    /// would be exceeded (or an allocation fault is injected).
+    pub fn alloc_vec(&mut self, len: usize) -> Result<VecId> {
+        self.charge_mem(len * 8)?;
         self.vecs.push(vec![0.0; len]);
-        VecId(self.vecs.len() - 1)
+        Ok(VecId(self.vecs.len() - 1))
     }
 
     /// Allocate a zeroed `rows x cols` device matrix.
     ///
-    /// # Panics
-    /// When the modeled device memory capacity would be exceeded.
-    pub fn alloc_mat(&mut self, rows: usize, cols: usize) -> MatId {
-        self.charge_mem(rows * cols * 8);
+    /// # Errors
+    /// [`GpuSimError::OutOfMemory`] when the modeled device memory capacity
+    /// would be exceeded (or an allocation fault is injected).
+    pub fn alloc_mat(&mut self, rows: usize, cols: usize) -> Result<MatId> {
+        self.charge_mem(rows * cols * 8)?;
         self.mats.push(Mat::zeros(rows, cols));
-        MatId(self.mats.len() - 1)
+        Ok(MatId(self.mats.len() - 1))
     }
 
     /// Load an ELLPACK sparse slice into device memory.
-    pub fn load_slice(&mut self, ell: Ell, rows: Vec<u32>) -> SpId {
+    ///
+    /// # Errors
+    /// [`GpuSimError::OutOfMemory`] when the modeled device memory capacity
+    /// would be exceeded (or an allocation fault is injected).
+    pub fn load_slice(&mut self, ell: Ell, rows: Vec<u32>) -> Result<SpId> {
         self.load_slice_storage(SpStorage::Ell(ell), rows)
     }
 
     /// Load a sparse slice in any storage format.
     ///
-    /// # Panics
-    /// When the modeled device memory capacity would be exceeded.
-    pub fn load_slice_storage(&mut self, storage: SpStorage, rows: Vec<u32>) -> SpId {
+    /// # Errors
+    /// [`GpuSimError::OutOfMemory`] when the modeled device memory capacity
+    /// would be exceeded (or an allocation fault is injected).
+    pub fn load_slice_storage(&mut self, storage: SpStorage, rows: Vec<u32>) -> Result<SpId> {
         assert_eq!(storage.nrows(), rows.len());
-        self.charge_mem(storage.bytes() + rows.len() * 4);
+        self.charge_mem(storage.bytes() + rows.len() * 4)?;
         self.slices.push(SpSlice { storage, rows });
-        SpId(self.slices.len() - 1)
+        Ok(SpId(self.slices.len() - 1))
     }
 
     fn spmv_cost(&self, s: SpId) -> f64 {
@@ -237,8 +332,10 @@ impl Device {
         let m = &self.mats[v.0];
         let r = blas1::dot(m.col(a), m.col(b));
         let rows = m.nrows();
+        let mut out = [r];
+        self.maybe_corrupt(SdcKind::Dot, &mut out);
         self.advance(self.model.blas1_time(2 * rows));
-        r
+        out[0]
     }
 
     /// Squared norm of `V[:, col]` (same cost as a dot).
@@ -252,6 +349,68 @@ impl Device {
         self.mats[v.0].set_col(dst, &data);
         let rows = self.mats[v.0].nrows();
         self.advance(self.model.blas1_time(2 * rows));
+    }
+
+    // ---------- ABFT detector kernels ----------
+    //
+    // Checksum reductions used by the fault-tolerance layer. They are real
+    // kernels (they advance the clock, so detection overhead is priced) but
+    // they are never SDC-injection targets: a corrupted detector would turn
+    // every experiment into a study of the detector, not the solver.
+
+    /// `(sum V[:, col], sum |V[:, col]|)` — the `1^T v` checksum plus the
+    /// magnitude scale its verification tolerance is relative to.
+    pub fn sum_col_abs(&mut self, v: MatId, col: usize) -> [f64; 2] {
+        let c = self.mats[v.0].col(col);
+        let mut s = 0.0;
+        let mut a = 0.0;
+        for &x in c {
+            s += x;
+            a += x.abs();
+        }
+        self.advance(self.model.blas1_time(c.len()));
+        [s, a]
+    }
+
+    /// `(z[..rows] . V[:, col], sum |z_i * V[i, col]|)` — dot of a
+    /// device-resident checksum vector against a basis column.
+    pub fn dot_vec_col_abs(&mut self, z: VecId, v: MatId, col: usize) -> [f64; 2] {
+        let c = self.mats[v.0].col(col);
+        let zv = &self.vecs[z.0];
+        assert!(zv.len() >= c.len(), "checksum vector shorter than column");
+        let mut s = 0.0;
+        let mut a = 0.0;
+        for (&x, &y) in zv.iter().zip(c) {
+            s += x * y;
+            a += (x * y).abs();
+        }
+        self.advance(self.model.blas1_time(2 * c.len()));
+        [s, a]
+    }
+
+    /// `((V_a 1)^T (V_b 1), sum |(V_a 1)_i (V_b 1)_i|)` over the column
+    /// ranges `a` and `b` — the scalar checksum `1^T (V_a^T V_b) 1` of a
+    /// Gram/projection reduction, computed independently of the GEMM it
+    /// verifies.
+    pub fn block_sum_dot(&mut self, v: MatId, a: (usize, usize), b: (usize, usize)) -> [f64; 2] {
+        let m = &self.mats[v.0];
+        let rows = m.nrows();
+        let mut dot = 0.0;
+        let mut abs = 0.0;
+        for i in 0..rows {
+            let mut pa = 0.0;
+            for j in a.0..a.1 {
+                pa += m.col(j)[i];
+            }
+            let mut pb = 0.0;
+            for j in b.0..b.1 {
+                pb += m.col(j)[i];
+            }
+            dot += pa * pb;
+            abs += (pa * pb).abs();
+        }
+        self.advance(self.model.blas1_time(rows * ((a.1 - a.0) + (b.1 - b.0))));
+        [dot, abs]
     }
 
     // ---------- BLAS-2 kernels ----------
@@ -362,6 +521,7 @@ impl Device {
                 b[(jj, ii)] = v;
             }
         }
+        self.maybe_corrupt_mat(SdcKind::Gemm, &mut b);
         self.advance(self.model.gemm_tn_time(variant, rows, k, k));
         b
     }
@@ -398,6 +558,7 @@ impl Device {
                 b[(jj, ii)] = b[(ii, jj)];
             }
         }
+        self.maybe_corrupt_mat(SdcKind::Gemm, &mut b);
         self.advance(self.model.gemm_tn_time_f32(variant, rows, k, k));
         b
     }
@@ -445,6 +606,7 @@ impl Device {
                 c[(ja, jb)] = v;
             }
         }
+        self.maybe_corrupt_mat(SdcKind::Gemm, &mut c);
         self.advance(self.model.gemm_tn_time(variant, rows, ka, kb));
         c
     }
@@ -589,12 +751,13 @@ impl Device {
     /// `V[:, col] := A_slice * x` where the slice's rows coincide 1:1 with
     /// the matrix rows (the local diagonal block of SpMV/MPK).
     pub fn spmv_to_mat_col(&mut self, s: SpId, x: VecId, v: MatId, col: usize) {
-        let y = {
+        let mut y = {
             let sl = &self.slices[s.0];
             let mut y = vec![0.0; sl.storage.nrows()];
             sl.storage.spmv(&self.vecs[x.0], &mut y);
             y
         };
+        self.maybe_corrupt(SdcKind::Spmv, &mut y);
         assert_eq!(y.len(), self.mats[v.0].nrows());
         self.mats[v.0].set_col(col, &y);
         self.advance(self.spmv_cost(s));
@@ -603,12 +766,13 @@ impl Device {
     /// `z[rows[i]] := (A_slice * x)_i` — MPK's compute-then-expand step for
     /// one slice (local block or one boundary level).
     pub fn spmv_scatter(&mut self, s: SpId, x: VecId, z: VecId) {
-        let (y, rows_v): (Vec<f64>, Vec<u32>) = {
+        let (mut y, rows_v): (Vec<f64>, Vec<u32>) = {
             let sl = &self.slices[s.0];
             let mut y = vec![0.0; sl.storage.nrows()];
             sl.storage.spmv(&self.vecs[x.0], &mut y);
             (y, sl.rows.clone())
         };
+        self.maybe_corrupt(SdcKind::Spmv, &mut y);
         let zv = &mut self.vecs[z.0];
         for (i, &r) in rows_v.iter().enumerate() {
             zv[r as usize] = y[i];
@@ -638,20 +802,17 @@ impl Device {
         scale: f64,
     ) {
         assert_ne!(z_cur.0, z_next.0, "MPK needs distinct double buffers");
-        let (y, rows_v): (Vec<f64>, Vec<u32>) = {
+        let (mut y, rows_v): (Vec<f64>, Vec<u32>) = {
             let sl = &self.slices[s.0];
             let mut y = vec![0.0; sl.storage.nrows()];
             sl.storage.spmv(&self.vecs[z_cur.0], &mut y);
             (y, sl.rows.clone())
         };
+        self.maybe_corrupt(SdcKind::Spmv, &mut y);
         // borrow discipline: read z_cur values before mutating z_next
         let shifted: Vec<f64> = if re != 0.0 || scale != 1.0 {
             let zc = &self.vecs[z_cur.0];
-            rows_v
-                .iter()
-                .zip(&y)
-                .map(|(&r, &yi)| scale * (yi - re * zc[r as usize]))
-                .collect()
+            rows_v.iter().zip(&y).map(|(&r, &yi)| scale * (yi - re * zc[r as usize])).collect()
         } else {
             y
         };
@@ -667,8 +828,7 @@ impl Device {
             }
         }
         self.advance(
-            self.spmv_cost(s) + self.model.blas1_time(2 * rows_v.len())
-                - self.model.launch_s, // fused shift+expand
+            self.spmv_cost(s) + self.model.blas1_time(2 * rows_v.len()) - self.model.launch_s, // fused shift+expand
         );
     }
 
@@ -718,6 +878,7 @@ impl Device {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::SdcTargets;
     use ca_sparse::gen::laplace2d;
 
     fn dev() -> Device {
@@ -727,7 +888,7 @@ mod tests {
     #[test]
     fn clock_advances_on_kernels() {
         let mut d = dev();
-        let v = d.alloc_mat(1000, 4);
+        let v = d.alloc_mat(1000, 4).unwrap();
         assert_eq!(d.clock(), 0.0);
         d.dot_cols(v, 0, 1);
         let t1 = d.clock();
@@ -739,7 +900,7 @@ mod tests {
     #[test]
     fn dot_and_axpy_compute() {
         let mut d = dev();
-        let v = d.alloc_mat(3, 2);
+        let v = d.alloc_mat(3, 2).unwrap();
         d.mat_mut(v).set_col(0, &[1.0, 2.0, 3.0]);
         d.mat_mut(v).set_col(1, &[4.0, 5.0, 6.0]);
         assert_eq!(d.dot_cols(v, 0, 1), 32.0);
@@ -752,7 +913,7 @@ mod tests {
     #[test]
     fn gemv_t_matches_dots() {
         let mut d = dev();
-        let v = d.alloc_mat(5, 3);
+        let v = d.alloc_mat(5, 3).unwrap();
         for j in 0..3 {
             let col: Vec<f64> = (0..5).map(|i| (i + j) as f64).collect();
             d.mat_mut(v).set_col(j, &col);
@@ -766,7 +927,7 @@ mod tests {
     #[test]
     fn gemv_update_orthogonalizes() {
         let mut d = dev();
-        let v = d.alloc_mat(4, 2);
+        let v = d.alloc_mat(4, 2).unwrap();
         d.mat_mut(v).set_col(0, &[1.0, 0.0, 0.0, 0.0]);
         d.mat_mut(v).set_col(1, &[3.0, 1.0, 0.0, 0.0]);
         let r = d.gemv_t_cols(v, 0, 1, 1, GemvVariant::Cublas);
@@ -777,7 +938,7 @@ mod tests {
     #[test]
     fn syrk_variants_agree_numerically() {
         let mut d = dev();
-        let v = d.alloc_mat(100, 4);
+        let v = d.alloc_mat(100, 4).unwrap();
         for j in 0..4 {
             let col: Vec<f64> = (0..100).map(|i| ((i * (j + 1)) as f64 * 0.01).sin()).collect();
             d.mat_mut(v).set_col(j, &col);
@@ -795,7 +956,7 @@ mod tests {
     #[test]
     fn batched_syrk_charges_less_time_than_cublas() {
         let mut d = dev();
-        let v = d.alloc_mat(100_000, 8);
+        let v = d.alloc_mat(100_000, 8).unwrap();
         let t0 = d.clock();
         d.syrk_cols(v, 0, 8, GemmVariant::Cublas);
         let t_cublas = d.clock() - t0;
@@ -808,7 +969,7 @@ mod tests {
     #[test]
     fn trsm_applies_inverse() {
         let mut d = dev();
-        let v = d.alloc_mat(3, 2);
+        let v = d.alloc_mat(3, 2).unwrap();
         d.mat_mut(v).set_col(0, &[2.0, 4.0, 6.0]);
         d.mat_mut(v).set_col(1, &[3.0, 3.0, 3.0]);
         let mut r = Mat::zeros(2, 2);
@@ -827,7 +988,7 @@ mod tests {
     #[test]
     fn local_qr_leaves_orthonormal_q() {
         let mut d = dev();
-        let v = d.alloc_mat(50, 3);
+        let v = d.alloc_mat(50, 3).unwrap();
         for j in 0..3 {
             let col: Vec<f64> = (0..50).map(|i| ((i * 7 + j * 3) % 13) as f64 - 6.0).collect();
             d.mat_mut(v).set_col(j, &col);
@@ -845,12 +1006,12 @@ mod tests {
         let a = laplace2d(4, 4); // n = 16
         let rows: Vec<u32> = vec![2, 5, 7];
         let sl = a.select_rows(&[2, 5, 7]);
-        let s = d.load_slice(Ell::from_csr(&sl), rows);
-        let x = d.alloc_vec(16);
+        let s = d.load_slice(Ell::from_csr(&sl), rows).unwrap();
+        let x = d.alloc_vec(16).unwrap();
         for (i, xv) in d.vec_mut(x).iter_mut().enumerate() {
             *xv = i as f64;
         }
-        let z = d.alloc_vec(16);
+        let z = d.alloc_vec(16).unwrap();
         d.spmv_scatter(s, x, z);
         // check z[5] = row 5 of A times x
         let mut y = vec![0.0; 16];
@@ -864,26 +1025,106 @@ mod tests {
     #[test]
     fn compress_expand_roundtrip() {
         let mut d = dev();
-        let z = d.alloc_vec(10);
+        let z = d.alloc_vec(10).unwrap();
         for (i, v) in d.vec_mut(z).iter_mut().enumerate() {
             *v = i as f64;
         }
         let idxs = vec![1u32, 3, 8];
         let w = d.compress(z, &idxs);
         assert_eq!(w, vec![1.0, 3.0, 8.0]);
-        let z2 = d.alloc_vec(10);
+        let z2 = d.alloc_vec(10).unwrap();
         d.expand(z2, &idxs, &w);
         assert_eq!(d.vec(z2)[3], 3.0);
         assert_eq!(d.vec(z2)[0], 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "out of memory")]
     fn capacity_enforced() {
         let model = PerfModel { dev_mem_capacity: 1 << 20, ..Default::default() }; // 1 MiB toy
         let mut d = Device::new(0, Arc::new(model));
-        d.alloc_vec(100_000); // 800 KB fits
-        d.alloc_vec(100_000); // 1.6 MB total: must panic
+        d.alloc_vec(100_000).unwrap(); // 800 KB fits
+        let err = d.alloc_vec(100_000).unwrap_err(); // 1.6 MB total: typed error
+        assert_eq!(
+            err,
+            GpuSimError::OutOfMemory { device: 0, requested: 800_000, free: (1 << 20) - 800_000 }
+        );
+        assert!(err.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    fn injected_alloc_fault_fires_once() {
+        let mut d = dev();
+        d.set_faults(Some(Arc::new(crate::faults::FaultPlan::new(1).with_alloc_fault(0, 1))));
+        d.alloc_vec(10).unwrap(); // alloc 0 fine
+        let err = d.alloc_vec(10).unwrap_err(); // alloc 1 injected
+        assert!(matches!(err, GpuSimError::OutOfMemory { device: 0, .. }));
+        d.alloc_vec(10).unwrap(); // alloc 2 fine again
+    }
+
+    #[test]
+    fn sdc_perturbs_one_spmv_element() {
+        let a = laplace2d(4, 4);
+        let run = |faults: Option<Arc<crate::faults::FaultPlan>>| {
+            let mut d = dev();
+            d.set_faults(faults);
+            let s = d.load_slice(Ell::from_csr(&a), (0..16).collect()).unwrap();
+            let x = d.alloc_vec(16).unwrap();
+            for (i, xv) in d.vec_mut(x).iter_mut().enumerate() {
+                *xv = 1.0 + i as f64;
+            }
+            let z = d.alloc_vec(16).unwrap();
+            d.spmv_scatter(s, x, z);
+            (d.vec(z).to_vec(), d.sdc_injected(), d.clock())
+        };
+        let (clean, n0, t0) = run(None);
+        let plan = crate::faults::FaultPlan::new(9).with_sdc(1.0, SdcTargets::spmv_only());
+        let (dirty, n1, t1) = run(Some(Arc::new(plan)));
+        assert_eq!(n0, 0);
+        assert_eq!(n1, 1);
+        assert_eq!(t0, t1, "SDC must not change the clock");
+        let ndiff = clean.iter().zip(&dirty).filter(|(a, b)| a != b).count();
+        assert_eq!(ndiff, 1, "exactly one element corrupted");
+    }
+
+    #[test]
+    fn device_loss_freezes_clock_and_ops() {
+        let mut d = dev();
+        d.set_faults(Some(Arc::new(crate::faults::FaultPlan::new(0).with_device_loss(0, 2))));
+        let v = d.alloc_mat(100, 2).unwrap();
+        d.dot_cols(v, 0, 1); // op 1
+        d.dot_cols(v, 0, 1); // op 2 — completes
+        assert!(!d.is_lost());
+        let t = d.clock();
+        d.dot_cols(v, 0, 1); // op 3 — kills the device
+        assert!(d.is_lost());
+        assert_eq!(d.clock(), t, "dead device's clock is frozen");
+        d.dot_cols(v, 0, 1);
+        assert_eq!(d.clock(), t);
+    }
+
+    #[test]
+    fn zero_rate_plan_is_bit_identical() {
+        let run = |faults: Option<Arc<crate::faults::FaultPlan>>| {
+            let mut d = dev();
+            d.set_faults(faults);
+            let v = d.alloc_mat(500, 4).unwrap();
+            for j in 0..4 {
+                let col: Vec<f64> = (0..500).map(|i| ((i * (j + 2)) as f64 * 0.01).cos()).collect();
+                d.mat_mut(v).set_col(j, &col);
+            }
+            let r = d.dot_cols(v, 0, 1);
+            let b = d.syrk_cols(v, 0, 4, GemmVariant::Batched { h: 64 });
+            (r, b, d.clock())
+        };
+        let (r0, b0, t0) = run(None);
+        let (r1, b1, t1) = run(Some(Arc::new(crate::faults::FaultPlan::new(123))));
+        assert_eq!(r0.to_bits(), r1.to_bits());
+        assert_eq!(t0.to_bits(), t1.to_bits());
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(b0[(i, j)].to_bits(), b1[(i, j)].to_bits());
+            }
+        }
     }
 
     #[test]
@@ -891,7 +1132,7 @@ mod tests {
         let model = PerfModel { dev_mem_capacity: 1 << 20, ..Default::default() };
         let mut d = Device::new(0, Arc::new(model));
         assert_eq!(d.mem_free(), 1 << 20);
-        d.alloc_vec(1000);
+        d.alloc_vec(1000).unwrap();
         assert_eq!(d.mem_free(), (1 << 20) - 8000);
     }
 
@@ -899,12 +1140,12 @@ mod tests {
     fn memory_accounting() {
         let mut d = dev();
         let before = d.mem_used();
-        d.alloc_vec(100);
+        d.alloc_vec(100).unwrap();
         assert_eq!(d.mem_used() - before, 800);
         let a = laplace2d(3, 3);
         let e = Ell::from_csr(&a);
         let bytes = e.bytes();
-        d.load_slice(e, (0..9).collect());
+        d.load_slice(e, (0..9).collect()).unwrap();
         assert_eq!(d.mem_used() - before, 800 + bytes + 9 * 4);
     }
 }

@@ -1,0 +1,362 @@
+//! Deterministic fault injection for the simulated multi-GPU machine.
+//!
+//! A [`FaultPlan`] makes the simulator *hostile on demand*: silent data
+//! corruption in kernel outputs (SpMV, GEMM, DOT), transient transfer
+//! failures that stall the PCIe link, persistent device loss after a given
+//! op count, and allocation failures. Every decision is a pure hash of
+//! `(seed, device, op_index)` — no wall-clock randomness — so a faulty run
+//! is exactly reproducible and a plan with all rates at zero is bit-
+//! identical to running with no plan at all (clocks, counters, numerics).
+//!
+//! Failures surface as the typed [`GpuSimError`] instead of panics, so
+//! solver layers can retry transfers, recompute corrupted blocks, or
+//! redistribute a lost device's slice and keep going.
+
+use std::fmt;
+
+/// Typed failures of the simulated machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuSimError {
+    /// Allocation would exceed the modeled device memory capacity (or an
+    /// injected allocation fault fired).
+    OutOfMemory {
+        /// Device that refused the allocation.
+        device: usize,
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes still free before the request.
+        free: usize,
+    },
+    /// A transfer involving this device failed even after retries.
+    TransferFailed {
+        /// Device whose link failed.
+        device: usize,
+        /// Attempts made (including the first).
+        attempts: u32,
+    },
+    /// The device died (persistent loss) and can no longer be reached.
+    DeviceLost {
+        /// The lost device.
+        device: usize,
+    },
+}
+
+impl fmt::Display for GpuSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuSimError::OutOfMemory { device, requested, free } => write!(
+                f,
+                "device {device} out of memory: {requested} bytes requested, {free} free \
+                 (MPK boundary storage grows with s — see paper §IV-A; reduce s, \
+                 use more GPUs, or raise PerfModel::dev_mem_capacity)"
+            ),
+            GpuSimError::TransferFailed { device, attempts } => {
+                write!(f, "transfer on device {device} link failed after {attempts} attempts")
+            }
+            GpuSimError::DeviceLost { device } => write!(f, "device {device} lost"),
+        }
+    }
+}
+
+impl std::error::Error for GpuSimError {}
+
+/// Result alias for simulator operations.
+pub type Result<T> = std::result::Result<T, GpuSimError>;
+
+/// Which kernel classes are eligible for silent data corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SdcTargets {
+    /// Sparse matrix-vector kernels (SpMV / MPK steps).
+    pub spmv: bool,
+    /// Dense block products (SYRK / GEMM — the Gram matrices).
+    pub gemm: bool,
+    /// Scalar reductions (DOT / NRM2).
+    pub dot: bool,
+}
+
+impl SdcTargets {
+    /// Corrupt every eligible kernel class.
+    pub fn all() -> Self {
+        SdcTargets { spmv: true, gemm: true, dot: true }
+    }
+
+    /// Corrupt SpMV outputs only.
+    pub fn spmv_only() -> Self {
+        SdcTargets { spmv: true, ..Default::default() }
+    }
+
+    /// Corrupt GEMM/SYRK outputs only.
+    pub fn gemm_only() -> Self {
+        SdcTargets { gemm: true, ..Default::default() }
+    }
+
+    fn covers(&self, kind: SdcKind) -> bool {
+        match kind {
+            SdcKind::Spmv => self.spmv,
+            SdcKind::Gemm => self.gemm,
+            SdcKind::Dot => self.dot,
+        }
+    }
+}
+
+/// Kernel class of a corruption site (salts the hash so distinct kernel
+/// classes draw independent streams).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SdcKind {
+    /// SpMV / MPK step output.
+    Spmv,
+    /// SYRK / GEMM output.
+    Gemm,
+    /// DOT / reduction output.
+    Dot,
+}
+
+impl SdcKind {
+    fn salt(self) -> u64 {
+        match self {
+            SdcKind::Spmv => 0x5350_4d56,
+            SdcKind::Gemm => 0x4745_4d4d,
+            SdcKind::Dot => 0x0044_4f54,
+        }
+    }
+}
+
+/// One drawn corruption: which element of the kernel output to hit and
+/// which bit of its f64 representation to flip.
+#[derive(Debug, Clone, Copy)]
+pub struct SdcEvent {
+    /// Hash used to pick the element index (`lane % len`).
+    pub lane: u64,
+    /// Bit to flip (mantissa or low exponent; never the sign bit).
+    pub bit: u32,
+}
+
+impl SdcEvent {
+    /// Flip the planned bit of one element of `data`. No-op on empty data.
+    pub fn apply(&self, data: &mut [f64]) {
+        if data.is_empty() {
+            return;
+        }
+        let i = (self.lane % data.len() as u64) as usize;
+        data[i] = f64::from_bits(data[i].to_bits() ^ (1u64 << self.bit));
+    }
+}
+
+/// Persistent device loss: the device executes `after_op` kernel ops, then
+/// dies. Its clock freezes and any transfer touching it fails with
+/// [`GpuSimError::DeviceLost`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceLoss {
+    /// Device to kill.
+    pub device: usize,
+    /// Kernel ops the device completes before dying.
+    pub after_op: u64,
+}
+
+/// Injected allocation failure: the `at_alloc`-th allocation on `device`
+/// reports [`GpuSimError::OutOfMemory`] regardless of capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocFault {
+    /// Device whose allocation fails.
+    pub device: usize,
+    /// Zero-based allocation index that fails.
+    pub at_alloc: u64,
+}
+
+/// A seeded, deterministic fault schedule for one run.
+///
+/// The default plan (any seed, all rates zero, no loss) injects nothing
+/// and perturbs nothing: op counting happens whether or not a plan is
+/// installed, so `Some(FaultPlan::new(seed))` and `None` are bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed all decisions derive from.
+    pub seed: u64,
+    /// Per-eligible-kernel probability of corrupting one output element.
+    pub sdc_rate: f64,
+    /// Which kernel classes SDC may hit.
+    pub sdc_targets: SdcTargets,
+    /// Per-message probability that a transfer attempt fails.
+    pub transfer_fail_rate: f64,
+    /// Extra simulated seconds a failed transfer attempt costs (timeout +
+    /// reissue), on top of the wasted link time.
+    pub transfer_stall_s: f64,
+    /// Optional persistent device loss.
+    pub device_loss: Option<DeviceLoss>,
+    /// Optional injected allocation failure.
+    pub alloc_fault: Option<AllocFault>,
+}
+
+impl FaultPlan {
+    /// An inert plan: nothing fails until rates are raised.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            sdc_rate: 0.0,
+            sdc_targets: SdcTargets::default(),
+            transfer_fail_rate: 0.0,
+            transfer_stall_s: 200e-6,
+            device_loss: None,
+            alloc_fault: None,
+        }
+    }
+
+    /// Builder: corrupt `targets` kernels with probability `rate` per op.
+    pub fn with_sdc(mut self, rate: f64, targets: SdcTargets) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.sdc_rate = rate;
+        self.sdc_targets = targets;
+        self
+    }
+
+    /// Builder: fail transfer attempts with probability `rate` per message.
+    pub fn with_transfer_faults(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.transfer_fail_rate = rate;
+        self
+    }
+
+    /// Builder: kill `device` after it completes `after_op` kernel ops.
+    pub fn with_device_loss(mut self, device: usize, after_op: u64) -> Self {
+        self.device_loss = Some(DeviceLoss { device, after_op });
+        self
+    }
+
+    /// Builder: fail the `at_alloc`-th allocation on `device`.
+    pub fn with_alloc_fault(mut self, device: usize, at_alloc: u64) -> Self {
+        self.alloc_fault = Some(AllocFault { device, at_alloc });
+        self
+    }
+
+    /// Builder: drop any scheduled device loss — used when re-installing a
+    /// plan on the surviving devices after a degradation recovery (the
+    /// loss already happened; SDC and transfer faults stay active).
+    pub fn without_device_loss(mut self) -> Self {
+        self.device_loss = None;
+        self
+    }
+
+    /// SplitMix64 over the seed and the decision coordinates.
+    fn hash(&self, salt: u64, device: usize, index: u64) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(salt.wrapping_mul(0xbf58476d1ce4e5b9))
+            .wrapping_add((device as u64).wrapping_mul(0x94d049bb133111eb))
+            .wrapping_add(index);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn u01(h: u64) -> f64 {
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Does kernel op `op` of class `kind` on `device` get corrupted, and
+    /// if so, how?
+    pub fn sdc_event(&self, device: usize, op: u64, kind: SdcKind) -> Option<SdcEvent> {
+        if self.sdc_rate <= 0.0 || !self.sdc_targets.covers(kind) {
+            return None;
+        }
+        let h = self.hash(kind.salt(), device, op);
+        if Self::u01(h) >= self.sdc_rate {
+            return None;
+        }
+        let h2 = self.hash(kind.salt() ^ 0xface, device, op);
+        // bits 20..62: low-mantissa flips are harmless noise, high-exponent
+        // flips are catastrophic — both realistic SDC outcomes.
+        SdcEvent { lane: h, bit: 20 + (h2 % 42) as u32 }.into()
+    }
+
+    /// Does attempt `attempt` of transfer message `msg` on `device`'s link
+    /// fail?
+    pub fn transfer_fails(&self, device: usize, msg: u64, attempt: u32) -> bool {
+        if self.transfer_fail_rate <= 0.0 {
+            return false;
+        }
+        let h = self.hash(0x7866_6572 ^ ((attempt as u64) << 40), device, msg);
+        Self::u01(h) < self.transfer_fail_rate
+    }
+
+    /// Has `device` died by the time it has completed `ops_done` kernel ops?
+    pub fn loses_device(&self, device: usize, ops_done: u64) -> bool {
+        matches!(self.device_loss, Some(l) if l.device == device && ops_done > l.after_op)
+    }
+
+    /// Does allocation number `alloc_index` on `device` fail by injection?
+    pub fn fails_alloc(&self, device: usize, alloc_index: u64) -> bool {
+        matches!(self.alloc_fault, Some(a) if a.device == device && a.at_alloc == alloc_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let p = FaultPlan::new(42).with_sdc(0.5, SdcTargets::all()).with_transfer_faults(0.5);
+        for op in 0..64 {
+            let a = p.sdc_event(1, op, SdcKind::Spmv).map(|e| (e.lane, e.bit));
+            let b = p.sdc_event(1, op, SdcKind::Spmv).map(|e| (e.lane, e.bit));
+            assert_eq!(a, b);
+            assert_eq!(p.transfer_fails(0, op, 0), p.transfer_fails(0, op, 0));
+        }
+    }
+
+    #[test]
+    fn rate_extremes() {
+        let off = FaultPlan::new(7);
+        let on = FaultPlan::new(7).with_sdc(1.0, SdcTargets::all()).with_transfer_faults(1.0);
+        for op in 0..32 {
+            assert!(off.sdc_event(0, op, SdcKind::Gemm).is_none());
+            assert!(!off.transfer_fails(0, op, 0));
+            assert!(on.sdc_event(0, op, SdcKind::Gemm).is_some());
+            assert!(on.transfer_fails(0, op, 0));
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let a = FaultPlan::new(1).with_sdc(0.5, SdcTargets::all());
+        let b = FaultPlan::new(2).with_sdc(0.5, SdcTargets::all());
+        let hits_a: Vec<bool> =
+            (0..256).map(|op| a.sdc_event(0, op, SdcKind::Spmv).is_some()).collect();
+        let hits_b: Vec<bool> =
+            (0..256).map(|op| b.sdc_event(0, op, SdcKind::Spmv).is_some()).collect();
+        assert_ne!(hits_a, hits_b);
+        let frac = hits_a.iter().filter(|&&h| h).count() as f64 / 256.0;
+        assert!((0.3..0.7).contains(&frac), "rate 0.5 drew {frac}");
+    }
+
+    #[test]
+    fn sdc_flips_exactly_one_bit() {
+        let p = FaultPlan::new(3).with_sdc(1.0, SdcTargets::all());
+        let e = p.sdc_event(0, 0, SdcKind::Spmv).unwrap();
+        let mut data = vec![1.0, 2.0, 3.0, 4.0];
+        let before = data.clone();
+        e.apply(&mut data);
+        let changed: Vec<usize> =
+            (0..4).filter(|&i| data[i].to_bits() != before[i].to_bits()).collect();
+        assert_eq!(changed.len(), 1);
+        let i = changed[0];
+        assert_eq!((data[i].to_bits() ^ before[i].to_bits()).count_ones(), 1);
+        // sign bit never flips
+        assert_eq!(data[i].is_sign_negative(), before[i].is_sign_negative());
+    }
+
+    #[test]
+    fn device_loss_threshold() {
+        let p = FaultPlan::new(0).with_device_loss(2, 10);
+        assert!(!p.loses_device(2, 10));
+        assert!(p.loses_device(2, 11));
+        assert!(!p.loses_device(1, 1000));
+    }
+
+    #[test]
+    fn error_display_mentions_out_of_memory() {
+        let e = GpuSimError::OutOfMemory { device: 0, requested: 100, free: 10 };
+        assert!(e.to_string().contains("out of memory"));
+    }
+}

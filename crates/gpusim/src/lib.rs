@@ -29,26 +29,36 @@
 //! let ids: Vec<_> = (0..3)
 //!     .map(|d| {
 //!         let dev = mg.device_mut(d);
-//!         let v = dev.alloc_mat(1000, 2);
+//!         let v = dev.alloc_mat(1000, 2).unwrap();
 //!         dev.mat_mut(v).set_col(0, &vec![1.0; 1000]);
 //!         dev.mat_mut(v).set_col(1, &vec![2.0; 1000]);
 //!         v
 //!     })
 //!     .collect();
 //! let parts = mg.run_map(|d, dev| dev.dot_cols(ids[d], 0, 1));
-//! mg.to_host(&[8, 8, 8]); // charge the PCIe reduction
+//! mg.to_host(&[8, 8, 8]).unwrap(); // charge the PCIe reduction
 //! assert_eq!(parts.iter().sum::<f64>(), 6000.0);
 //! assert!(mg.time() > 0.0); // simulated, deterministic
 //! ```
+//!
+//! ## Fault injection
+//!
+//! [`faults::FaultPlan`] deterministically injects silent data corruption,
+//! transient transfer failures, device loss, and allocation failure, all
+//! derived from `(seed, device, op index)` — never wall-clock randomness —
+//! so every faulty run replays bit-identically. A plan with all rates zero
+//! is indistinguishable from no plan at all.
 
 // Numeric kernels index several parallel slices at once; iterator
 // rewrites would obscure the stride arithmetic the cost model mirrors.
 #![allow(clippy::needless_range_loop)]
 
 pub mod device;
+pub mod faults;
 pub mod model;
 pub mod multi;
 
 pub use device::{Device, MatId, SpId, SpSlice, VecId};
+pub use faults::{AllocFault, DeviceLoss, FaultPlan, GpuSimError, SdcKind, SdcTargets};
 pub use model::{GemmVariant, GemvVariant, KernelConfig, PerfModel};
 pub use multi::{CommCounters, MultiGpu};

@@ -210,8 +210,7 @@ impl PerfModel {
                 let nbatch = m.div_ceil(rows).max(1);
                 // padded to a multiple of the panel height
                 let padded = (nbatch * rows) as f64;
-                let bytes = 8.0 * padded * (k1 + k2) as f64
-                    + 8.0 * (nbatch * k1 * k2) as f64; // partial-result traffic
+                let bytes = 8.0 * padded * (k1 + k2) as f64 + 8.0 * (nbatch * k1 * k2) as f64; // partial-result traffic
                 let (t, b) = self.gemm_batched;
                 // batched call + reduction kernel
                 self.kernel_time(2, flops, t, bytes, b * skinny)
@@ -235,8 +234,7 @@ impl PerfModel {
                 let rows = variant.panel_rows().unwrap();
                 let nbatch = m.div_ceil(rows).max(1);
                 let padded = (nbatch * rows) as f64;
-                let bytes =
-                    4.0 * padded * (k1 + k2) as f64 + 4.0 * (nbatch * k1 * k2) as f64;
+                let bytes = 4.0 * padded * (k1 + k2) as f64 + 4.0 * (nbatch * k1 * k2) as f64;
                 let (t, b) = self.gemm_batched;
                 self.kernel_time(2, flops, 2.0 * t, bytes, b * skinny)
             }

@@ -17,6 +17,7 @@
 //!   communication-free flops genuinely overlap in the model.
 
 use crate::device::Device;
+use crate::faults::{FaultPlan, GpuSimError, Result};
 use crate::model::{KernelConfig, PerfModel};
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -33,6 +34,9 @@ pub struct CommCounters {
     pub bytes_to_host: u64,
     /// Host→device bytes.
     pub bytes_to_dev: u64,
+    /// Transfer attempts repeated after an injected transient fault (each
+    /// retry also paid link time + stall, so resilience cost is visible).
+    pub transfer_retries: u64,
 }
 
 impl CommCounters {
@@ -61,6 +65,12 @@ pub struct MultiGpu {
     counters: CommCounters,
     /// Compute-node assignment per device (all zeros = single node).
     node_of: Vec<usize>,
+    /// Installed fault schedule (None = perfect machine).
+    faults: Option<Arc<FaultPlan>>,
+    /// Monotone transfer-message counter (fault-plan coordinate).
+    msg_counter: u64,
+    /// Bounded attempts per transfer message before giving up.
+    max_transfer_attempts: u32,
 }
 
 impl MultiGpu {
@@ -76,7 +86,80 @@ impl MultiGpu {
             config,
             counters: CommCounters::default(),
             node_of: vec![0; n_gpus],
+            faults: None,
+            msg_counter: 0,
+            max_transfer_attempts: 4,
         }
+    }
+
+    /// Install a fault schedule, shared by the executor (transfer faults)
+    /// and every device (SDC, loss, allocation faults). A plan with all
+    /// rates at zero is bit-identical to no plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        let plan = Arc::new(plan);
+        for d in &mut self.devices {
+            d.set_faults(Some(Arc::clone(&plan)));
+        }
+        self.faults = Some(plan);
+    }
+
+    /// Remove the fault schedule (future ops run on the perfect machine;
+    /// an already-lost device stays lost).
+    pub fn clear_fault_plan(&mut self) {
+        for d in &mut self.devices {
+            d.set_faults(None);
+        }
+        self.faults = None;
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_deref()
+    }
+
+    /// Bound the attempts per transfer message (first try + retries).
+    pub fn set_max_transfer_attempts(&mut self, attempts: u32) {
+        assert!(attempts >= 1);
+        self.max_transfer_attempts = attempts;
+    }
+
+    /// Devices that are still alive (not lost).
+    pub fn alive_devices(&self) -> Vec<usize> {
+        (0..self.devices.len()).filter(|&d| !self.devices[d].is_lost()).collect()
+    }
+
+    /// Index of the first lost device, if any.
+    pub fn lost_device(&self) -> Option<usize> {
+        (0..self.devices.len()).find(|&d| self.devices[d].is_lost())
+    }
+
+    /// One transfer message on device `d`'s link: draw transient faults,
+    /// retry up to the attempt bound, and return the simulated duration the
+    /// message occupied the link (successful attempt plus every failed one,
+    /// each failed attempt costing the wasted link time plus the stall).
+    fn message_time(&mut self, d: usize, bytes: usize) -> Result<f64> {
+        if self.devices[d].is_lost() {
+            return Err(GpuSimError::DeviceLost { device: d });
+        }
+        let base = self.link_time(d, bytes);
+        let msg = self.msg_counter;
+        self.msg_counter += 1;
+        let Some(plan) = self.faults.as_ref() else {
+            return Ok(base);
+        };
+        let mut elapsed = 0.0;
+        for attempt in 0..self.max_transfer_attempts {
+            if !plan.transfer_fails(d, msg, attempt) {
+                return Ok(elapsed + base);
+            }
+            elapsed += base + plan.transfer_stall_s;
+            self.counters.transfer_retries += 1;
+        }
+        // the final drawn attempt failed too: the message is abandoned, but
+        // the wasted attempts still happened in simulated time
+        self.counters.transfer_retries -= 1; // last attempt was not retried
+        self.host_time += elapsed;
+        Err(GpuSimError::TransferFailed { device: d, attempts: self.max_transfer_attempts })
     }
 
     /// Create devices spread over compute nodes: `node_of[d]` is device
@@ -168,6 +251,17 @@ impl MultiGpu {
         }
     }
 
+    /// Advance every clock to at least `t`. Used when a degraded executor
+    /// (rebuilt on the surviving devices after a loss) inherits the
+    /// simulated time already spent on its predecessor, so end-to-end
+    /// timing stays honest across the recovery.
+    pub fn fast_forward(&mut self, t: f64) {
+        self.host_time = self.host_time.max(t);
+        for d in &mut self.devices {
+            d.set_clock(d.clock().max(t));
+        }
+    }
+
     /// Charge host compute (small dense factorizations, reductions).
     pub fn host_compute(&mut self, flops: f64, bytes: f64) {
         self.host_time += self.model.host_time(flops, bytes);
@@ -185,25 +279,38 @@ impl MultiGpu {
     /// Device→host transfers, one message per device with `bytes[d]` bytes
     /// (0 = no message from that device). Links overlap; the host is ready
     /// once the slowest arrives, plus per-message host handling.
-    pub fn to_host(&mut self, bytes: &[usize]) {
+    ///
+    /// # Errors
+    /// [`GpuSimError::DeviceLost`] if a sending device has died;
+    /// [`GpuSimError::TransferFailed`] if a message keeps failing past the
+    /// retry bound. Retries pay simulated link time + stall.
+    pub fn to_host(&mut self, bytes: &[usize]) -> Result<()> {
         assert_eq!(bytes.len(), self.devices.len());
         let mut ready = self.host_time;
         let mut msgs = 0u64;
-        for (i, (d, &b)) in self.devices.iter().zip(bytes).enumerate() {
+        for i in 0..self.devices.len() {
+            let b = bytes[i];
             if b == 0 {
                 continue;
             }
-            ready = ready.max(d.clock() + self.link_time(i, b));
+            let t = self.message_time(i, b)?;
+            ready = ready.max(self.devices[i].clock() + t);
             msgs += 1;
             self.counters.msgs_to_host += 1;
             self.counters.bytes_to_host += b as u64;
         }
         self.host_time = ready + msgs as f64 * self.model.host_msg_s;
+        Ok(())
     }
 
     /// Host→device transfers, one message per device. Each receiving
     /// device waits for `host_time + its own transfer`.
-    pub fn to_devices(&mut self, bytes: &[usize]) {
+    ///
+    /// # Errors
+    /// [`GpuSimError::DeviceLost`] if a receiving device has died;
+    /// [`GpuSimError::TransferFailed`] if a message keeps failing past the
+    /// retry bound. Retries pay simulated link time + stall.
+    pub fn to_devices(&mut self, bytes: &[usize]) -> Result<()> {
         assert_eq!(bytes.len(), self.devices.len());
         let mut msgs = 0u64;
         for i in 0..self.devices.len() {
@@ -211,7 +318,8 @@ impl MultiGpu {
             if b == 0 {
                 continue;
             }
-            let arrive = self.host_time + self.link_time(i, b);
+            let t = self.message_time(i, b)?;
+            let arrive = self.host_time + t;
             let d = &mut self.devices[i];
             d.set_clock(d.clock().max(arrive));
             msgs += 1;
@@ -219,18 +327,25 @@ impl MultiGpu {
             self.counters.bytes_to_dev += b as u64;
         }
         self.host_time += msgs as f64 * self.model.host_msg_s;
+        Ok(())
     }
 
     /// Broadcast the same payload to all devices.
-    pub fn broadcast(&mut self, bytes: usize) {
+    ///
+    /// # Errors
+    /// See [`MultiGpu::to_devices`].
+    pub fn broadcast(&mut self, bytes: usize) -> Result<()> {
         let v = vec![bytes; self.devices.len()];
-        self.to_devices(&v);
+        self.to_devices(&v)
     }
 
     /// Gather the same-size payload from all devices.
-    pub fn gather(&mut self, bytes: usize) {
+    ///
+    /// # Errors
+    /// See [`MultiGpu::to_host`].
+    pub fn gather(&mut self, bytes: usize) -> Result<()> {
         let v = vec![bytes; self.devices.len()];
-        self.to_host(&v);
+        self.to_host(&v)
     }
 
     // ---------- counters ----------
@@ -272,29 +387,29 @@ mod tests {
     #[test]
     fn device_clocks_independent_until_transfer() {
         let mut mg = MultiGpu::with_defaults(2);
-        let v0 = mg.device_mut(0).alloc_mat(100_000, 2);
-        let v1 = mg.device_mut(1).alloc_mat(1_000, 2);
+        let v0 = mg.device_mut(0).alloc_mat(100_000, 2).unwrap();
+        let v1 = mg.device_mut(1).alloc_mat(1_000, 2).unwrap();
         mg.run(|i, d| {
             let v = if i == 0 { v0 } else { v1 };
             d.dot_cols(v, 0, 1);
         });
         assert!(mg.device(0).clock() > mg.device(1).clock());
         // a broadcast aligns the laggard to at least host + latency
-        mg.broadcast(8);
+        mg.broadcast(8).unwrap();
         assert!(mg.device(1).clock() >= mg.model().pcie_latency_s);
     }
 
     #[test]
     fn to_host_waits_for_slowest() {
         let mut mg = MultiGpu::with_defaults(2);
-        let v0 = mg.device_mut(0).alloc_mat(1_000_000, 2);
+        let v0 = mg.device_mut(0).alloc_mat(1_000_000, 2).unwrap();
         mg.run(|i, d| {
             if i == 0 {
                 d.dot_cols(v0, 0, 1);
             }
         });
         let slow = mg.device(0).clock();
-        mg.to_host(&[8, 8]);
+        mg.to_host(&[8, 8]).unwrap();
         assert!(mg.host_time() > slow);
         assert!(mg.host_time() >= slow + mg.model().pcie_latency_s);
     }
@@ -302,7 +417,7 @@ mod tests {
     #[test]
     fn zero_byte_messages_skipped() {
         let mut mg = MultiGpu::with_defaults(3);
-        mg.to_host(&[0, 0, 0]);
+        mg.to_host(&[0, 0, 0]).unwrap();
         assert_eq!(mg.counters().msgs_to_host, 0);
         assert_eq!(mg.host_time(), 0.0);
     }
@@ -310,8 +425,8 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let mut mg = MultiGpu::with_defaults(2);
-        mg.to_host(&[100, 50]);
-        mg.broadcast(8);
+        mg.to_host(&[100, 50]).unwrap();
+        mg.broadcast(8).unwrap();
         let c = mg.counters();
         assert_eq!(c.msgs_to_host, 2);
         assert_eq!(c.bytes_to_host, 150);
@@ -325,7 +440,7 @@ mod tests {
     #[test]
     fn sync_aligns_clocks() {
         let mut mg = MultiGpu::with_defaults(2);
-        let v = mg.device_mut(0).alloc_mat(100_000, 2);
+        let v = mg.device_mut(0).alloc_mat(100_000, 2).unwrap();
         mg.run(|i, d| {
             if i == 0 {
                 d.dot_cols(v, 0, 1);
@@ -341,10 +456,10 @@ mod tests {
         // two devices sending the same payload should cost about one
         // transfer, not two (separate links).
         let mut mg1 = MultiGpu::with_defaults(1);
-        mg1.to_host(&[1_000_000]);
+        mg1.to_host(&[1_000_000]).unwrap();
         let t1 = mg1.host_time();
         let mut mg2 = MultiGpu::with_defaults(2);
-        mg2.to_host(&[1_000_000, 1_000_000]);
+        mg2.to_host(&[1_000_000, 1_000_000]).unwrap();
         let t2 = mg2.host_time();
         assert!(t2 < 1.2 * t1, "no overlap: {t2} vs {t1}");
     }
@@ -359,10 +474,10 @@ mod tests {
         let mut mg = MultiGpu::with_topology(vec![0, 1], model, KernelConfig::default());
         assert_eq!(mg.node_of(0), 0);
         assert_eq!(mg.node_of(1), 1);
-        mg.to_host(&[1000, 0]);
+        mg.to_host(&[1000, 0]).unwrap();
         let t_local = mg.host_time();
         mg.reset_time();
-        mg.to_host(&[0, 1000]);
+        mg.to_host(&[0, 1000]).unwrap();
         let t_remote = mg.host_time();
         assert!(t_remote > t_local, "remote {t_remote} vs local {t_local}");
     }
@@ -370,10 +485,84 @@ mod tests {
     #[test]
     fn reset_time_clears_everything() {
         let mut mg = MultiGpu::with_defaults(2);
-        mg.to_host(&[8, 8]);
+        mg.to_host(&[8, 8]).unwrap();
         mg.host_compute(1e9, 1e6);
         mg.reset_time();
         assert_eq!(mg.time(), 0.0);
         assert_eq!(mg.counters(), CommCounters::default());
+    }
+
+    #[test]
+    fn transfer_retries_pay_time_and_count() {
+        // clean run vs. fault run over the same messages: the faulty run
+        // must be strictly slower and must record retries.
+        let mut clean = MultiGpu::with_defaults(2);
+        for _ in 0..50 {
+            clean.to_host(&[1000, 1000]).unwrap();
+        }
+        let t_clean = clean.host_time();
+
+        let mut faulty = MultiGpu::with_defaults(2);
+        faulty.set_fault_plan(FaultPlan::new(11).with_transfer_faults(0.3));
+        faulty.set_max_transfer_attempts(12); // never exhaust at rate 0.3
+        for _ in 0..50 {
+            faulty.to_host(&[1000, 1000]).unwrap();
+        }
+        let c = faulty.counters();
+        assert!(c.transfer_retries > 0, "rate 0.3 over 100 messages must retry");
+        assert!(faulty.host_time() > t_clean, "retries must cost simulated time");
+        // message/byte counters count logical messages, not attempts
+        assert_eq!(c.msgs_to_host, clean.counters().msgs_to_host);
+        assert_eq!(c.bytes_to_host, clean.counters().bytes_to_host);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_typed_error() {
+        let mut mg = MultiGpu::with_defaults(1);
+        mg.set_fault_plan(FaultPlan::new(5).with_transfer_faults(1.0));
+        mg.set_max_transfer_attempts(3);
+        let err = mg.to_host(&[8]).unwrap_err();
+        assert_eq!(err, GpuSimError::TransferFailed { device: 0, attempts: 3 });
+    }
+
+    #[test]
+    fn lost_device_fails_transfers_but_not_others() {
+        let mut mg = MultiGpu::with_defaults(2);
+        mg.set_fault_plan(FaultPlan::new(0).with_device_loss(1, 0));
+        let v = mg.device_mut(1).alloc_mat(10, 2).unwrap();
+        mg.run(|i, d| {
+            if i == 1 {
+                d.dot_cols(v, 0, 1); // first op kills device 1
+            }
+        });
+        assert!(mg.device(1).is_lost());
+        assert_eq!(mg.alive_devices(), vec![0]);
+        assert_eq!(mg.lost_device(), Some(1));
+        // messages touching only device 0 still work
+        mg.to_host(&[8, 0]).unwrap();
+        // any message touching device 1 fails typed
+        let err = mg.to_host(&[8, 8]).unwrap_err();
+        assert_eq!(err, GpuSimError::DeviceLost { device: 1 });
+        let err = mg.broadcast(8).unwrap_err();
+        assert_eq!(err, GpuSimError::DeviceLost { device: 1 });
+    }
+
+    #[test]
+    fn zero_rate_plan_transfers_bit_identical() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut mg = MultiGpu::with_defaults(3);
+            if let Some(p) = plan {
+                mg.set_fault_plan(p);
+            }
+            mg.to_host(&[64, 128, 256]).unwrap();
+            mg.broadcast(32).unwrap();
+            mg.gather(16).unwrap();
+            (mg.time(), mg.host_time(), mg.counters())
+        };
+        let (t0, h0, c0) = run(None);
+        let (t1, h1, c1) = run(Some(FaultPlan::new(999)));
+        assert_eq!(t0.to_bits(), t1.to_bits());
+        assert_eq!(h0.to_bits(), h1.to_bits());
+        assert_eq!(c0, c1);
     }
 }

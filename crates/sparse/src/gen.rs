@@ -107,7 +107,6 @@ pub fn convection_diffusion(nx: usize, ny: usize, peclet: f64) -> Csr {
     c.to_csr()
 }
 
-
 /// Deterministic log-uniform "material coefficient" for the edge (u, w):
 /// spans about two orders of magnitude. Heterogeneous element stiffness is
 /// what makes real FEM matrices hard for unpreconditioned Krylov methods —
@@ -153,8 +152,7 @@ pub fn cantilever(nx: usize, ny: usize, nz: usize) -> Csr {
                             if di == 0 && dj == 0 && dk == 0 {
                                 continue;
                             }
-                            let (ni, nj, nk) =
-                                (i as i64 + di, j as i64 + dj, k as i64 + dk);
+                            let (ni, nj, nk) = (i as i64 + di, j as i64 + dj, k as i64 + dk);
                             if ni < 0
                                 || nj < 0
                                 || nk < 0
@@ -170,8 +168,8 @@ pub fn cantilever(nx: usize, ny: usize, nz: usize) -> Csr {
                             // stiffer along its axis than across it, which
                             // packs the low spectrum densely (slow Krylov
                             // convergence, like the real cant matrix)
-                            let aniso = 0.03f64.powi(di.abs() as i32)
-                                * 0.2f64.powi(dj.abs() as i32);
+                            let aniso =
+                                0.03f64.powi(di.abs() as i32) * 0.2f64.powi(dj.abs() as i32);
                             let coeff = aniso * edge_coeff(u, w);
                             for a in 0..3usize {
                                 for b in 0..3usize {
@@ -218,16 +216,17 @@ pub fn circuit(n: usize, seed: u64) -> Csr {
     // SpMV cost loses the real matrix's character.
     let mut conn = vec![0u8; n];
     const MAX_DEG: u8 = 7;
-    let add_edge = |c: &mut Coo, degree: &mut [f64], conn: &mut [u8], a: usize, b: usize, w: f64| {
-        if a != b && conn[a] < MAX_DEG && conn[b] < MAX_DEG {
-            c.add(label[a] as usize, label[b] as usize, -w);
-            c.add(label[b] as usize, label[a] as usize, -w);
-            degree[a] += w;
-            degree[b] += w;
-            conn[a] += 1;
-            conn[b] += 1;
-        }
-    };
+    let add_edge =
+        |c: &mut Coo, degree: &mut [f64], conn: &mut [u8], a: usize, b: usize, w: f64| {
+            if a != b && conn[a] < MAX_DEG && conn[b] < MAX_DEG {
+                c.add(label[a] as usize, label[b] as usize, -w);
+                c.add(label[b] as usize, label[a] as usize, -w);
+                degree[a] += w;
+                degree[b] += w;
+                conn[a] += 1;
+                conn[b] += 1;
+            }
+        };
     for v in 0..n {
         // ~1.6 local nets per node (gives ~4.8 nnz/row with both directions
         // plus the diagonal).

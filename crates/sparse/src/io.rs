@@ -38,7 +38,10 @@ pub fn read_matrix_market_from(reader: impl BufRead) -> Result<Csr> {
         return Err(SparseError::Parse(format!("bad header: {header}")));
     }
     if tokens[2] != "coordinate" {
-        return Err(SparseError::Parse(format!("only coordinate format supported, got {}", tokens[2])));
+        return Err(SparseError::Parse(format!(
+            "only coordinate format supported, got {}",
+            tokens[2]
+        )));
     }
     let field = tokens[3];
     if !matches!(field, "real" | "integer" | "pattern") {
@@ -145,7 +148,8 @@ mod tests {
 
     #[test]
     fn parse_general() {
-        let data = "%%MatrixMarket matrix coordinate real general\n% a comment\n3 3 2\n1 1 2.5\n3 2 -1\n";
+        let data =
+            "%%MatrixMarket matrix coordinate real general\n% a comment\n3 3 2\n1 1 2.5\n3 2 -1\n";
         let m = read_matrix_market_from(Cursor::new(data)).unwrap();
         assert_eq!(m.nrows(), 3);
         assert_eq!(m.nnz(), 2);

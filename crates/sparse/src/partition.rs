@@ -23,11 +23,7 @@ pub struct Partition {
 impl Partition {
     /// Rows owned by part `p`, in ascending order.
     pub fn rows_of(&self, p: usize) -> Vec<usize> {
-        self.part
-            .iter()
-            .enumerate()
-            .filter_map(|(v, &q)| (q as usize == p).then_some(v))
-            .collect()
+        self.part.iter().enumerate().filter_map(|(v, &q)| (q as usize == p).then_some(v)).collect()
     }
 
     /// Sizes of all parts.
@@ -190,7 +186,8 @@ pub fn kway_partition(a: &Csr, nparts: usize, refine_passes: usize) -> Partition
             for (q, &c) in counts.iter().enumerate() {
                 if q != pv && sizes[q] < max_size {
                     let gain = c - home;
-                    if gain > best_gain || (gain == best_gain && gain > 0 && sizes[q] < sizes[best_p])
+                    if gain > best_gain
+                        || (gain == best_gain && gain > 0 && sizes[q] < sizes[best_p])
                     {
                         best_gain = gain;
                         best_p = q;

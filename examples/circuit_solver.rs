@@ -35,8 +35,8 @@ fn main() {
     //    used m = 30.
     let mut mg = MultiGpu::with_defaults(ndev);
     let cfg = CaGmresConfig { s: 10, m: 30, rtol: 1e-8, max_restarts: 2000, ..Default::default() };
-    let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(cfg.s));
-    sys.load_rhs(&mut mg, &b_ord);
+    let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(cfg.s)).unwrap();
+    sys.load_rhs(&mut mg, &b_ord).unwrap();
     let out = ca_gmres(&mut mg, &sys, &cfg);
     println!(
         "CA-GMRES(10,30): converged={} iters={} restarts={} simulated {:.1} ms",
@@ -47,7 +47,7 @@ fn main() {
     );
 
     // 5. Undo permutation and balancing to get node voltages.
-    let y = ca_sparse::perm::unpermute_vec(&sys.download_x(&mut mg), &perm);
+    let y = ca_sparse::perm::unpermute_vec(&sys.download_x(&mut mg).unwrap(), &perm);
     let v_node = bal.unscale_solution(&y);
 
     // 6. Validate: residual of the ORIGINAL system.
@@ -58,10 +58,7 @@ fn main() {
     }
     let relres = ca_dense::blas1::nrm2(&r) / ca_dense::blas1::nrm2(&b);
     println!("original-system relative residual: {relres:.2e}");
-    println!(
-        "voltage drop across the injection: {:.4} V",
-        v_node[0] - v_node[n - 1]
-    );
+    println!("voltage drop across the injection: {:.4} V", v_node[0] - v_node[n - 1]);
     assert!(out.stats.converged);
     assert!(relres < 1e-6, "solution must satisfy the unbalanced system too");
 }

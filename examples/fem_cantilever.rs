@@ -47,8 +47,8 @@ fn main() {
         adaptive_s: true,
         ..Default::default()
     };
-    let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(cfg.s));
-    sys.load_rhs(&mut mg, &f_ord);
+    let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(cfg.s)).unwrap();
+    sys.load_rhs(&mut mg, &f_ord).unwrap();
     let out = ca_gmres(&mut mg, &sys, &cfg);
     println!(
         "CA-GMRES(10,60) 2xCholQR-f32: converged={} iters={} restarts={} sim {:.1} ms ({} msgs)",
@@ -60,7 +60,7 @@ fn main() {
     );
 
     // 5. Recover displacements and report the deflection profile.
-    let y = ca_sparse::perm::unpermute_vec(&sys.download_x(&mut mg), &perm);
+    let y = ca_sparse::perm::unpermute_vec(&sys.download_x(&mut mg).unwrap(), &perm);
     let u = prec.recover(&bal.unscale_solution(&y));
 
     // verify against the original system

@@ -22,15 +22,18 @@ fn main() {
         })
         .collect();
     println!("matrix: cantilever analog, {} rows, {} nnz", n, a.nnz());
-    println!("\n{:>4} {:>12} {:>14} {:>12} {:>14} {:>10}", "GPUs", "GMRES (ms)", "GMRES msgs", "CA (ms)", "CA msgs", "speedup");
+    println!(
+        "\n{:>4} {:>12} {:>14} {:>12} {:>14} {:>10}",
+        "GPUs", "GMRES (ms)", "GMRES msgs", "CA (ms)", "CA msgs", "speedup"
+    );
 
     for ndev in 1..=3usize {
         let (a_ord, perm, layout) = prepare(&a, Ordering::Natural, ndev);
         let b_ord = ca_sparse::perm::permute_vec(&b, &perm);
 
         let mut mg = MultiGpu::with_defaults(ndev);
-        let sys = System::new(&mut mg, &a_ord, layout.clone(), 60, None);
-        sys.load_rhs(&mut mg, &b_ord);
+        let sys = System::new(&mut mg, &a_ord, layout.clone(), 60, None).unwrap();
+        sys.load_rhs(&mut mg, &b_ord).unwrap();
         let g = gmres(
             &mut mg,
             &sys,
@@ -38,9 +41,10 @@ fn main() {
         );
 
         let mut mg2 = MultiGpu::with_defaults(ndev);
-        let cfg = CaGmresConfig { s: 10, m: 60, rtol: 1e-8, max_restarts: 500, ..Default::default() };
-        let sys2 = System::new(&mut mg2, &a_ord, layout, cfg.m, Some(cfg.s));
-        sys2.load_rhs(&mut mg2, &b_ord);
+        let cfg =
+            CaGmresConfig { s: 10, m: 60, rtol: 1e-8, max_restarts: 500, ..Default::default() };
+        let sys2 = System::new(&mut mg2, &a_ord, layout, cfg.m, Some(cfg.s)).unwrap();
+        sys2.load_rhs(&mut mg2, &b_ord).unwrap();
         let c = ca_gmres(&mut mg2, &sys2, &cfg);
 
         assert!(g.stats.converged && c.stats.converged);
@@ -60,8 +64,11 @@ fn main() {
     for s in [1usize, 5, 10] {
         let mut mg = MultiGpu::with_defaults(3);
         let before: usize = (0..3).map(|d| mg.device(d).mem_used()).sum();
-        let _st = MpkState::load(&mut mg, &a_ord, MpkPlan::new(&a_ord, &layout, s));
+        let _st = MpkState::load(&mut mg, &a_ord, MpkPlan::new(&a_ord, &layout, s)).unwrap();
         let after: usize = (0..3).map(|d| mg.device(d).mem_used()).sum();
-        println!("  s = {s:2}: slices + work vectors = {:.2} MiB", (after - before) as f64 / (1 << 20) as f64);
+        println!(
+            "  s = {s:2}: slices + work vectors = {:.2} MiB",
+            (after - before) as f64 / (1 << 20) as f64
+        );
     }
 }

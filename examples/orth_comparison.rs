@@ -24,10 +24,11 @@ fn main() {
             .map(|d| {
                 let nl = n / ndev;
                 let dev = mg.device_mut(d);
-                let v = dev.alloc_mat(nl, k);
+                let v = dev.alloc_mat(nl, k).unwrap();
                 for j in 0..k {
-                    let col: Vec<f64> =
-                        (0..nl).map(|i| (((d * nl + i) * (2 * j + 1)) as f64 * 1e-4).sin()).collect();
+                    let col: Vec<f64> = (0..nl)
+                        .map(|i| (((d * nl + i) * (2 * j + 1)) as f64 * 1e-4).sin())
+                        .collect();
                     dev.mat_mut(v).set_col(j, &col);
                 }
                 v
@@ -62,10 +63,11 @@ fn main() {
     let b: Vec<f64> = (0..nmat).map(|i| 1.0 + ((i * 7) % 13) as f64).collect();
     for s in [5usize, 10, 15, 20] {
         let mut mg = MultiGpu::with_defaults(2);
-        let sys = System::new(&mut mg, &a_ord, layout.clone(), 2 * s, Some(s));
-        sys.load_rhs(&mut mg, &b);
+        let sys = System::new(&mut mg, &a_ord, layout.clone(), 2 * s, Some(s)).unwrap();
+        sys.load_rhs(&mut mg, &b).unwrap();
         let kappa_mono =
-            ca_gmres::cagmres::probe_gram_condition(&mut mg, &sys, &BasisSpec::monomial(s));
+            ca_gmres::cagmres::probe_gram_condition(&mut mg, &sys, &BasisSpec::monomial(s))
+                .unwrap();
         // harvest Ritz shifts
         let out = gmres(
             &mut mg,
@@ -74,9 +76,10 @@ fn main() {
         );
         let h = out.first_hessenberg.unwrap();
         let shifts = ca_gmres::newton::newton_shifts_from_hessenberg(&h, s).unwrap();
-        sys.load_rhs(&mut mg, &b);
+        sys.load_rhs(&mut mg, &b).unwrap();
         let kappa_newton =
-            ca_gmres::cagmres::probe_gram_condition(&mut mg, &sys, &BasisSpec::newton(&shifts, s));
+            ca_gmres::cagmres::probe_gram_condition(&mut mg, &sys, &BasisSpec::newton(&shifts, s))
+                .unwrap();
         println!(
             "  s = {s:2}:  kappa(B) monomial = {kappa_mono:9.2e}   Newton+Leja = {kappa_newton:9.2e}"
         );

@@ -30,16 +30,12 @@ fn main() {
     //    powers kernel.
     let mut mg = MultiGpu::with_defaults(ndev);
     let cfg = CaGmresConfig { s: 10, m: 60, rtol: 1e-8, ..Default::default() };
-    let sys = System::new(&mut mg, &a_ord, layout.clone(), cfg.m, Some(cfg.s));
-    sys.load_rhs(&mut mg, &b_ord);
+    let sys = System::new(&mut mg, &a_ord, layout.clone(), cfg.m, Some(cfg.s)).unwrap();
+    sys.load_rhs(&mut mg, &b_ord).unwrap();
     let out = ca_gmres(&mut mg, &sys, &cfg);
-    let x = ca_sparse::perm::unpermute_vec(&sys.download_x(&mut mg), &perm);
+    let x = ca_sparse::perm::unpermute_vec(&sys.download_x(&mut mg).unwrap(), &perm);
 
-    let err = x
-        .iter()
-        .zip(&x_true)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let err = x.iter().zip(&x_true).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     println!(
         "CA-GMRES(10,60): converged={} iters={} restarts={} sim-time={:.3} ms  max|x-x*|={:.2e}",
         out.stats.converged,
@@ -51,8 +47,8 @@ fn main() {
 
     // 5. Same solve with standard GMRES(60) for comparison.
     let mut mg2 = MultiGpu::with_defaults(ndev);
-    let sys2 = System::new(&mut mg2, &a_ord, layout, 60, None);
-    sys2.load_rhs(&mut mg2, &b_ord);
+    let sys2 = System::new(&mut mg2, &a_ord, layout, 60, None).unwrap();
+    sys2.load_rhs(&mut mg2, &b_ord).unwrap();
     let g = gmres(
         &mut mg2,
         &sys2,
@@ -69,9 +65,6 @@ fn main() {
         "CA-GMRES speedup over GMRES (simulated): {:.2}x",
         g.stats.t_total / out.stats.t_total
     );
-    println!(
-        "PCIe messages: GMRES {} vs CA-GMRES {}",
-        g.stats.comm_msgs, out.stats.comm_msgs
-    );
+    println!("PCIe messages: GMRES {} vs CA-GMRES {}", g.stats.comm_msgs, out.stats.comm_msgs);
     assert!(out.stats.converged && err < 1e-5, "quickstart must produce the right answer");
 }

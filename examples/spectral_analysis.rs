@@ -16,12 +16,13 @@ fn run(name: &str, a: &ca_sparse::Csr, s: usize) {
     let ndev = 3;
     let (a_ord, _, layout) = prepare(a, Ordering::Kway, ndev);
     let mut mg = MultiGpu::with_defaults(ndev);
-    let cfg = ArnoldiConfig { m: 30, s, nev: 3, tol: 1e-5, max_restarts: 400, ..Default::default() };
-    let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(cfg.s));
+    let cfg =
+        ArnoldiConfig { m: 30, s, nev: 3, tol: 1e-5, max_restarts: 400, ..Default::default() };
+    let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(cfg.s)).unwrap();
     let b: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 3) % 7) as f64 * 0.3).collect();
-    sys.load_rhs(&mut mg, &b);
+    sys.load_rhs(&mut mg, &b).unwrap();
     mg.reset_counters();
-    let out = arnoldi_eigs(&mut mg, &sys, &cfg);
+    let out = arnoldi_eigs(&mut mg, &sys, &cfg).unwrap();
     println!(
         "{name} (n = {n}, s = {s}): converged={} in {} restarts, {:.2} ms simulated, {} msgs",
         out.converged,

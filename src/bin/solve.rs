@@ -9,9 +9,9 @@
 //! cargo run --release --bin solve -- --gen circuit:50000 --tsqr svqr --ordering kway
 //! ```
 
+use ca_gmres_repro::gmres::precond::{Applied, Precond};
 use ca_gmres_repro::gmres::prelude::*;
 use ca_gmres_repro::gpusim::MultiGpu;
-use ca_gmres_repro::gmres::precond::{Applied, Precond};
 use ca_gmres_repro::sparse::{balance, gen, io, perm as permute, Csr};
 
 #[derive(Debug)]
@@ -111,9 +111,9 @@ fn parse_args() -> Args {
                     "none" => Precond::None,
                     "jacobi" => Precond::Jacobi,
                     other => match other.strip_prefix("block:") {
-                        Some(bs) => Precond::BlockJacobi {
-                            block: bs.parse().unwrap_or_else(|_| usage()),
-                        },
+                        Some(bs) => {
+                            Precond::BlockJacobi { block: bs.parse().unwrap_or_else(|_| usage()) }
+                        }
                         None => usage(),
                     },
                 };
@@ -223,8 +223,8 @@ fn main() {
     let label;
     let sys;
     if args.gmres {
-        sys = System::new(&mut mg, &a_ord, layout, args.m, None);
-        sys.load_rhs(&mut mg, &b_ord);
+        sys = System::new(&mut mg, &a_ord, layout, args.m, None).unwrap();
+        sys.load_rhs(&mut mg, &b_ord).unwrap();
         let out = gmres(
             &mut mg,
             &sys,
@@ -233,8 +233,8 @@ fn main() {
         stats = out.stats;
         label = format!("GMRES({})", args.m);
     } else {
-        sys = System::new(&mut mg, &a_ord, layout, args.m, Some(args.s));
-        sys.load_rhs(&mut mg, &b_ord);
+        sys = System::new(&mut mg, &a_ord, layout, args.m, Some(args.s)).unwrap();
+        sys.load_rhs(&mut mg, &b_ord).unwrap();
         let cfg = CaGmresConfig {
             s: args.s,
             m: args.m,
@@ -253,7 +253,11 @@ fn main() {
             if args.reorth { "2x" } else { "" },
             args.tsqr,
             out.kernel_used,
-            if out.s_final != args.s { format!(", s adapted to {}", out.s_final) } else { String::new() }
+            if out.s_final != args.s {
+                format!(", s adapted to {}", out.s_final)
+            } else {
+                String::new()
+            }
         );
         stats = out.stats;
     }
@@ -274,7 +278,7 @@ fn main() {
     println!("PCIe bytes:       {:.2} MiB", stats.comm_bytes as f64 / (1 << 20) as f64);
 
     // verify on the original system
-    let y = permute::unpermute_vec(&sys.download_x(&mut mg), &pvec);
+    let y = permute::unpermute_vec(&sys.download_x(&mut mg).unwrap(), &pvec);
     let y = match &bal {
         Some(bl) => bl.unscale_solution(&y),
         None => y,

@@ -4,7 +4,7 @@
 //! for a simulator whose claims rest on reproducible clocks.
 
 use ca_gmres_repro::gmres::prelude::*;
-use ca_gmres_repro::gpusim::MultiGpu;
+use ca_gmres_repro::gpusim::{FaultPlan, MultiGpu, SdcTargets};
 use ca_gmres_repro::sparse::{gen, perm};
 
 fn solve_once(ndev: usize, s: usize) -> (Vec<f64>, f64, u64, usize) {
@@ -14,11 +14,11 @@ fn solve_once(ndev: usize, s: usize) -> (Vec<f64>, f64, u64, usize) {
     let b: Vec<f64> = (0..n).map(|i| ((i * 31 % 17) as f64) - 8.0).collect();
     let mut mg = MultiGpu::with_defaults(ndev);
     let cfg = CaGmresConfig { s, m: 24, rtol: 1e-9, max_restarts: 300, ..Default::default() };
-    let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(s));
-    sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p));
+    let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(s)).unwrap();
+    sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p)).unwrap();
     let out = ca_gmres(&mut mg, &sys, &cfg);
     assert!(out.stats.converged);
-    let x = perm::unpermute_vec(&sys.download_x(&mut mg), &p);
+    let x = perm::unpermute_vec(&sys.download_x(&mut mg).unwrap(), &p);
     (x, out.stats.t_total, out.stats.comm_msgs, out.stats.total_iters)
 }
 
@@ -51,15 +51,18 @@ fn gmres_iteration_path_invariant_across_device_counts() {
     for ndev in 1..=3usize {
         let (a_ord, p, layout) = prepare(&a, Ordering::Natural, ndev);
         let mut mg = MultiGpu::with_defaults(ndev);
-        let sys = System::new(&mut mg, &a_ord, layout, 20, None);
-        sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p));
+        let sys = System::new(&mut mg, &a_ord, layout, 20, None).unwrap();
+        sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p)).unwrap();
         let out = gmres(
             &mut mg,
             &sys,
             &GmresConfig { m: 20, orth: BorthKind::Mgs, rtol: 1e-8, max_restarts: 200 },
         );
         assert!(out.stats.converged);
-        results.push((out.stats.total_iters, perm::unpermute_vec(&sys.download_x(&mut mg), &p)));
+        results.push((
+            out.stats.total_iters,
+            perm::unpermute_vec(&sys.download_x(&mut mg).unwrap(), &p),
+        ));
     }
     for w in results.windows(2) {
         assert_eq!(w[0].0, w[1].0, "iteration counts must match across device counts");
@@ -80,14 +83,18 @@ fn more_devices_never_slow_down_large_spmv() {
     for ndev in 1..=3usize {
         let (a_ord, p, layout) = prepare(&a, Ordering::Natural, ndev);
         let mut mg = MultiGpu::with_defaults(ndev);
-        let sys = System::new(&mut mg, &a_ord, layout, 30, None);
-        sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p));
+        let sys = System::new(&mut mg, &a_ord, layout, 30, None).unwrap();
+        sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p)).unwrap();
         let out = gmres(
             &mut mg,
             &sys,
             &GmresConfig { m: 30, orth: BorthKind::Cgs, rtol: 0.0, max_restarts: 2 },
         );
-        assert!(out.stats.t_total < last * 1.02, "{ndev} devices slower: {} vs {last}", out.stats.t_total);
+        assert!(
+            out.stats.t_total < last * 1.02,
+            "{ndev} devices slower: {} vs {last}",
+            out.stats.t_total
+        );
         last = out.stats.t_total;
     }
 }
@@ -100,9 +107,53 @@ fn mem_accounting_grows_with_s() {
     let mut prev = 0usize;
     for s in [1usize, 3, 6] {
         let mut mg = MultiGpu::with_defaults(2);
-        let _st = MpkState::load(&mut mg, &a, MpkPlan::new(&a, &layout, s));
+        let _st = MpkState::load(&mut mg, &a, MpkPlan::new(&a, &layout, s)).unwrap();
         let used: usize = (0..2).map(|d| mg.device(d).mem_used()).sum();
         assert!(used > prev, "memory must grow with s");
         prev = used;
     }
+}
+
+/// Run the full CA-GMRES solve with an optional fault plan installed and
+/// return everything observable: solution bits, clock bits, counters.
+fn solve_with_plan(plan: Option<FaultPlan>) -> (Vec<u64>, u64, u64, u64, usize) {
+    let a = gen::convection_diffusion(14, 14, 1.5);
+    let (a_ord, p, layout) = prepare(&a, Ordering::Kway, 3);
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| ((i * 31 % 17) as f64) - 8.0).collect();
+    let mut mg = MultiGpu::with_defaults(3);
+    if let Some(plan) = plan {
+        mg.set_fault_plan(plan);
+    }
+    let cfg = CaGmresConfig { s: 6, m: 24, rtol: 1e-9, max_restarts: 300, ..Default::default() };
+    let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(cfg.s)).unwrap();
+    sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p)).unwrap();
+    let out = ca_gmres(&mut mg, &sys, &cfg);
+    assert!(out.stats.converged);
+    let x = perm::unpermute_vec(&sys.download_x(&mut mg).unwrap(), &p);
+    (
+        x.iter().map(|v| v.to_bits()).collect(),
+        out.stats.t_total.to_bits(),
+        out.stats.comm_msgs,
+        out.stats.comm_bytes,
+        out.stats.total_iters,
+    )
+}
+
+/// Property (fault-injection substrate): a plan with every rate at zero is
+/// observationally identical to running with no plan installed — same
+/// solution bits, same simulated clock bits, same traffic counters.
+#[test]
+fn zero_rate_fault_plan_is_bit_identical_to_baseline() {
+    let baseline = solve_with_plan(None);
+    // several seeds: the seed must be irrelevant when no fault can fire
+    for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+        let zeroed = solve_with_plan(Some(FaultPlan::new(seed)));
+        assert_eq!(baseline, zeroed, "seed {seed} perturbed a zero-rate run");
+    }
+    // rate-0 SDC with all targets enabled is still a zero-rate plan
+    let explicit = solve_with_plan(Some(
+        FaultPlan::new(7).with_sdc(0.0, SdcTargets::all()).with_transfer_faults(0.0),
+    ));
+    assert_eq!(baseline, explicit);
 }

@@ -56,11 +56,11 @@ fn ca_gmres_matches_direct_solve_all_tsqr_kinds() {
                 max_restarts: 400,
                 ..Default::default()
             };
-            let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(cfg.s));
-            sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p));
+            let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(cfg.s)).unwrap();
+            sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p)).unwrap();
             let out = ca_gmres(&mut mg, &sys, &cfg);
             assert!(out.stats.converged, "{kind} x {ndev} devs: {:?}", out.stats.breakdown);
-            let x = perm::unpermute_vec(&sys.download_x(&mut mg), &p);
+            let x = perm::unpermute_vec(&sys.download_x(&mut mg).unwrap(), &p);
             for i in 0..x.len() {
                 assert!(
                     (x[i] - x_direct[i]).abs() < 1e-6,
@@ -83,8 +83,8 @@ fn gmres_and_ca_gmres_agree_on_nonsymmetric() {
     let bp = perm::permute_vec(&b, &p);
 
     let mut mg1 = MultiGpu::with_defaults(ndev);
-    let sys1 = System::new(&mut mg1, &a_ord, layout.clone(), 25, None);
-    sys1.load_rhs(&mut mg1, &bp);
+    let sys1 = System::new(&mut mg1, &a_ord, layout.clone(), 25, None).unwrap();
+    sys1.load_rhs(&mut mg1, &bp).unwrap();
     let g = gmres(
         &mut mg1,
         &sys1,
@@ -93,13 +93,13 @@ fn gmres_and_ca_gmres_agree_on_nonsymmetric() {
 
     let mut mg2 = MultiGpu::with_defaults(ndev);
     let cfg = CaGmresConfig { s: 5, m: 25, rtol: 1e-9, max_restarts: 400, ..Default::default() };
-    let sys2 = System::new(&mut mg2, &a_ord, layout, 25, Some(5));
-    sys2.load_rhs(&mut mg2, &bp);
+    let sys2 = System::new(&mut mg2, &a_ord, layout, 25, Some(5)).unwrap();
+    sys2.load_rhs(&mut mg2, &bp).unwrap();
     let c = ca_gmres(&mut mg2, &sys2, &cfg);
 
     assert!(g.stats.converged && c.stats.converged);
-    let xg = perm::unpermute_vec(&sys1.download_x(&mut mg1), &p);
-    let xc = perm::unpermute_vec(&sys2.download_x(&mut mg2), &p);
+    let xg = perm::unpermute_vec(&sys1.download_x(&mut mg1).unwrap(), &p);
+    let xc = perm::unpermute_vec(&sys2.download_x(&mut mg2).unwrap(), &p);
     assert!(residual_of(&a, &xg, &b) <= 1e-9 * 1.01);
     assert!(residual_of(&a, &xc, &b) <= 1e-9 * 1.01);
     for i in 0..n {
@@ -131,12 +131,13 @@ fn every_ordering_gives_same_solution() {
     for ord in [Ordering::Natural, Ordering::Rcm, Ordering::Kway] {
         let (a_ord, p, layout) = prepare(&a, ord, 3);
         let mut mg = MultiGpu::with_defaults(3);
-        let cfg = CaGmresConfig { s: 4, m: 16, rtol: 1e-10, max_restarts: 400, ..Default::default() };
-        let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(cfg.s));
-        sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p));
+        let cfg =
+            CaGmresConfig { s: 4, m: 16, rtol: 1e-10, max_restarts: 400, ..Default::default() };
+        let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(cfg.s)).unwrap();
+        sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p)).unwrap();
         let out = ca_gmres(&mut mg, &sys, &cfg);
         assert!(out.stats.converged, "{ord}");
-        let x = perm::unpermute_vec(&sys.download_x(&mut mg), &p);
+        let x = perm::unpermute_vec(&sys.download_x(&mut mg).unwrap(), &p);
         for i in 0..x.len() {
             assert!((x[i] - x_direct[i]).abs() < 1e-6, "{ord}: x[{i}]");
         }
@@ -154,11 +155,11 @@ fn balanced_system_solution_maps_back() {
     let (a_ord, p, layout) = prepare(&ab, Ordering::Kway, 2);
     let mut mg = MultiGpu::with_defaults(2);
     let cfg = CaGmresConfig { s: 5, m: 30, rtol: 1e-10, max_restarts: 600, ..Default::default() };
-    let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(cfg.s));
-    sys.load_rhs(&mut mg, &perm::permute_vec(&bb, &p));
+    let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(cfg.s)).unwrap();
+    sys.load_rhs(&mut mg, &perm::permute_vec(&bb, &p)).unwrap();
     let out = ca_gmres(&mut mg, &sys, &cfg);
     assert!(out.stats.converged);
-    let y = perm::unpermute_vec(&sys.download_x(&mut mg), &p);
+    let y = perm::unpermute_vec(&sys.download_x(&mut mg).unwrap(), &p);
     let x = bal.unscale_solution(&y);
     assert!(residual_of(&a, &x, &b) < 1e-7, "relres {}", residual_of(&a, &x, &b));
 }
@@ -170,8 +171,8 @@ fn hessenberg_least_squares_reduces_residual_monotonically() {
     let (a, b, _) = test_problem();
     let (a_ord, p, layout) = prepare(&a, Ordering::Natural, 2);
     let mut mg = MultiGpu::with_defaults(2);
-    let sys = System::new(&mut mg, &a_ord, layout, 8, None);
-    sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p));
+    let sys = System::new(&mut mg, &a_ord, layout, 8, None).unwrap();
+    sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p)).unwrap();
     let mut prev = f64::INFINITY;
     for cycle in 0..6 {
         let out = gmres(
@@ -179,7 +180,7 @@ fn hessenberg_least_squares_reduces_residual_monotonically() {
             &sys,
             &GmresConfig { m: 8, orth: BorthKind::Mgs, rtol: 1e-30, max_restarts: 1 },
         );
-        let x = perm::unpermute_vec(&sys.download_x(&mut mg), &p);
+        let x = perm::unpermute_vec(&sys.download_x(&mut mg).unwrap(), &p);
         let r = residual_of(&a, &x, &b);
         assert!(r <= prev * (1.0 + 1e-10), "residual increased: {r} > {prev}");
         if cycle == 0 {
@@ -206,12 +207,13 @@ fn preconditioned_ca_gmres_full_pipeline() {
         let bb = bal.scale_rhs(&b);
         let (a_ord, p, layout) = prepare(&ab, Ordering::Kway, 2);
         let mut mg = MultiGpu::with_defaults(2);
-        let cfg = CaGmresConfig { s: 6, m: 24, rtol: 1e-9, max_restarts: 400, ..Default::default() };
-        let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(cfg.s));
-        sys.load_rhs(&mut mg, &perm::permute_vec(&bb, &p));
+        let cfg =
+            CaGmresConfig { s: 6, m: 24, rtol: 1e-9, max_restarts: 400, ..Default::default() };
+        let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(cfg.s)).unwrap();
+        sys.load_rhs(&mut mg, &perm::permute_vec(&bb, &p)).unwrap();
         let out = ca_gmres(&mut mg, &sys, &cfg);
         assert!(out.stats.converged, "{kind:?}: {:?}", out.stats.breakdown);
-        let y = perm::unpermute_vec(&sys.download_x(&mut mg), &p);
+        let y = perm::unpermute_vec(&sys.download_x(&mut mg).unwrap(), &p);
         let y = bal.unscale_solution(&y);
         let x = prec.recover(&y);
         let r = residual_of(&a, &x, &b);
@@ -230,12 +232,14 @@ fn hyb_format_same_solution_as_ellpack() {
     let bp = perm::permute_vec(&b, &p);
     let solve = |format| {
         let mut mg = MultiGpu::with_defaults(2);
-        let sys = System::new_with_format(&mut mg, &a_ord, layout.clone(), 30, Some(10), format);
-        sys.load_rhs(&mut mg, &bp);
-        let cfg = CaGmresConfig { s: 10, m: 30, rtol: 1e-8, max_restarts: 400, ..Default::default() };
+        let sys =
+            System::new_with_format(&mut mg, &a_ord, layout.clone(), 30, Some(10), format).unwrap();
+        sys.load_rhs(&mut mg, &bp).unwrap();
+        let cfg =
+            CaGmresConfig { s: 10, m: 30, rtol: 1e-8, max_restarts: 400, ..Default::default() };
         let out = ca_gmres(&mut mg, &sys, &cfg);
         assert!(out.stats.converged);
-        (sys.download_x(&mut mg), out.stats.t_total)
+        (sys.download_x(&mut mg).unwrap(), out.stats.t_total)
     };
     let (x_ell, t_ell) = solve(SpmvFormat::Ell);
     let (x_hyb, t_hyb) = solve(SpmvFormat::Hyb { quantile: 0.97 });
@@ -260,12 +264,13 @@ fn matrix_market_pipeline_roundtrip() {
     let solve = |m: &Csr| {
         let (a_ord, p, layout) = prepare(m, Ordering::Kway, 2);
         let mut mg = MultiGpu::with_defaults(2);
-        let cfg = CaGmresConfig { s: 5, m: 20, rtol: 1e-10, max_restarts: 300, ..Default::default() };
-        let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(cfg.s));
-        sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p));
+        let cfg =
+            CaGmresConfig { s: 5, m: 20, rtol: 1e-10, max_restarts: 300, ..Default::default() };
+        let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(cfg.s)).unwrap();
+        sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p)).unwrap();
         let out = ca_gmres(&mut mg, &sys, &cfg);
         assert!(out.stats.converged);
-        perm::unpermute_vec(&sys.download_x(&mut mg), &p)
+        perm::unpermute_vec(&sys.download_x(&mut mg).unwrap(), &p)
     };
     let x1 = solve(&a);
     let x2 = solve(&a2);
@@ -279,9 +284,9 @@ fn gmres_respects_restart_budget() {
     let a = gen::laplace2d(10, 10);
     let (a_ord, p, layout) = prepare(&a, Ordering::Natural, 2);
     let mut mg = MultiGpu::with_defaults(2);
-    let sys = System::new(&mut mg, &a_ord, layout, 10, None);
+    let sys = System::new(&mut mg, &a_ord, layout, 10, None).unwrap();
     let b: Vec<f64> = (0..100).map(|i| (i as f64 * 0.31).sin()).collect();
-    sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p));
+    sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p)).unwrap();
     // rtol 0 can never be met: exactly max_restarts cycles, not converged
     let out = gmres(
         &mut mg,
@@ -298,9 +303,9 @@ fn ca_gmres_respects_restart_budget() {
     let a = gen::laplace2d(10, 10);
     let (a_ord, p, layout) = prepare(&a, Ordering::Natural, 2);
     let mut mg = MultiGpu::with_defaults(2);
-    let sys = System::new(&mut mg, &a_ord, layout, 12, Some(4));
+    let sys = System::new(&mut mg, &a_ord, layout, 12, Some(4)).unwrap();
     let b: Vec<f64> = (0..100).map(|i| (i as f64 * 0.31).sin()).collect();
-    sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p));
+    sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p)).unwrap();
     let cfg = CaGmresConfig { s: 4, m: 12, rtol: 0.0, max_restarts: 5, ..Default::default() };
     let out = ca_gmres(&mut mg, &sys, &cfg);
     assert!(!out.stats.converged);

@@ -148,22 +148,19 @@ fn multinode_slows_gmres_but_ca_less() {
     let run = |topo: Vec<usize>| {
         let mut mg1 =
             MultiGpu::with_topology(topo.clone(), PerfModel::default(), KernelConfig::default());
-        let sys1 = System::new(&mut mg1, &a_ord, layout.clone(), 30, None);
-        sys1.load_rhs(&mut mg1, &bp);
+        let sys1 = System::new(&mut mg1, &a_ord, layout.clone(), 30, None).unwrap();
+        sys1.load_rhs(&mut mg1, &bp).unwrap();
         let g = gmres(
             &mut mg1,
             &sys1,
             &GmresConfig { m: 30, rtol: 0.0, max_restarts: 2, ..Default::default() },
         );
         let mut mg2 = MultiGpu::with_topology(topo, PerfModel::default(), KernelConfig::default());
-        let sys2 = System::new(&mut mg2, &a_ord, layout.clone(), 30, Some(10));
-        sys2.load_rhs(&mut mg2, &bp);
+        let sys2 = System::new(&mut mg2, &a_ord, layout.clone(), 30, Some(10)).unwrap();
+        sys2.load_rhs(&mut mg2, &bp).unwrap();
         let cfg = CaGmresConfig { s: 10, m: 30, rtol: 0.0, max_restarts: 3, ..Default::default() };
         let c = ca_gmres(&mut mg2, &sys2, &cfg);
-        (
-            g.stats.t_total / g.stats.restarts as f64,
-            c.ca_stats.t_total / c.ca_stats.restarts as f64,
-        )
+        (g.stats.t_total / g.stats.restarts as f64, c.ca_stats.t_total / c.ca_stats.restarts as f64)
     };
     let (g1, c1) = run(vec![0, 0, 0, 0]); // single node
     let (g2, c2) = run(vec![0, 1, 2, 3]); // one GPU per node
@@ -188,7 +185,7 @@ fn fused_cgs_bitwise_matches_cgs_projections() {
         let ids = (0..ndev)
             .map(|d| {
                 let dev = mg.device_mut(d);
-                let v = dev.alloc_mat(n / ndev, k);
+                let v = dev.alloc_mat(n / ndev, k).unwrap();
                 let mut st = (d as u64 + 5).wrapping_mul(0x9E3779B97F4A7C15) | 1;
                 for j in 0..k {
                     let col: Vec<f64> = (0..n / ndev)

@@ -91,8 +91,8 @@ fn monomial_breaks_cholqr_newton_rescues() {
             max_restarts: 6,
             ..Default::default()
         };
-        let sys = System::new(&mut mg, &a_ord, layout.clone(), cfg.m, Some(cfg.s));
-        sys.load_rhs(&mut mg, &b);
+        let sys = System::new(&mut mg, &a_ord, layout.clone(), cfg.m, Some(cfg.s)).unwrap();
+        sys.load_rhs(&mut mg, &b).unwrap();
         ca_gmres(&mut mg, &sys, &cfg)
     };
     let mono = run(BasisChoice::Monomial);
@@ -102,7 +102,11 @@ fn monomial_breaks_cholqr_newton_rescues() {
         "monomial basis at s = 24 must break CholQR (got {} restarts)",
         mono.stats.restarts
     );
-    assert!(newton.stats.breakdown.is_none(), "Newton basis must survive: {:?}", newton.stats.breakdown);
+    assert!(
+        newton.stats.breakdown.is_none(),
+        "Newton basis must survive: {:?}",
+        newton.stats.breakdown
+    );
 }
 
 /// §IV-A claim: Leja-ordered Newton shifts keep the basis condition number
@@ -115,10 +119,14 @@ fn newton_gram_condition_far_below_monomial() {
     let b = perm::permute_vec(&flat_rhs(3000), &p);
     let s = 12;
     let mut mg = MultiGpu::with_defaults(1);
-    let sys = System::new(&mut mg, &a_ord, layout, 24, Some(s));
-    sys.load_rhs(&mut mg, &b);
-    let kappa_mono =
-        ca_gmres_repro::gmres::cagmres::probe_gram_condition(&mut mg, &sys, &BasisSpec::monomial(s));
+    let sys = System::new(&mut mg, &a_ord, layout, 24, Some(s)).unwrap();
+    sys.load_rhs(&mut mg, &b).unwrap();
+    let kappa_mono = ca_gmres_repro::gmres::cagmres::probe_gram_condition(
+        &mut mg,
+        &sys,
+        &BasisSpec::monomial(s),
+    )
+    .unwrap();
     let out = gmres(
         &mut mg,
         &sys,
@@ -129,12 +137,13 @@ fn newton_gram_condition_far_below_monomial() {
         s,
     )
     .unwrap();
-    sys.load_rhs(&mut mg, &b);
+    sys.load_rhs(&mut mg, &b).unwrap();
     let kappa_newton = ca_gmres_repro::gmres::cagmres::probe_gram_condition(
         &mut mg,
         &sys,
         &BasisSpec::newton(&shifts, s),
-    );
+    )
+    .unwrap();
     assert!(
         kappa_newton * 100.0 < kappa_mono,
         "kappa Newton {kappa_newton:e} not well below monomial {kappa_mono:e}"
@@ -153,7 +162,7 @@ fn tsqr_message_phases_match_fig10() {
         let ids: Vec<ca_gmres_repro::gpusim::MatId> = (0..ndev)
             .map(|d| {
                 let dev = mg.device_mut(d);
-                let v = dev.alloc_mat(50, k);
+                let v = dev.alloc_mat(50, k).unwrap();
                 let mut st = (d as u64 + 3).wrapping_mul(0x9E3779B97F4A7C15);
                 for j in 0..k {
                     let col: Vec<f64> = (0..50)
@@ -193,8 +202,8 @@ fn ca_gmres_orthogonalization_speedup() {
     let b = perm::permute_vec(&flat_rhs(20_000), &p);
 
     let mut mg1 = MultiGpu::with_defaults(3);
-    let sys1 = System::new(&mut mg1, &a_ord, layout.clone(), 30, None);
-    sys1.load_rhs(&mut mg1, &b);
+    let sys1 = System::new(&mut mg1, &a_ord, layout.clone(), 30, None).unwrap();
+    sys1.load_rhs(&mut mg1, &b).unwrap();
     let g = gmres(
         &mut mg1,
         &sys1,
@@ -203,8 +212,8 @@ fn ca_gmres_orthogonalization_speedup() {
 
     let mut mg2 = MultiGpu::with_defaults(3);
     let cfg = CaGmresConfig { s: 15, m: 30, rtol: 0.0, max_restarts: 3, ..Default::default() };
-    let sys2 = System::new(&mut mg2, &a_ord, layout, 30, Some(15));
-    sys2.load_rhs(&mut mg2, &b);
+    let sys2 = System::new(&mut mg2, &a_ord, layout, 30, Some(15)).unwrap();
+    sys2.load_rhs(&mut mg2, &b).unwrap();
     let c = ca_gmres(&mut mg2, &sys2, &cfg);
 
     let g_orth = g.stats.t_orth / g.stats.restarts as f64;
@@ -227,8 +236,8 @@ fn ca_gmres_s1_slower_than_gmres() {
     let b = perm::permute_vec(&flat_rhs(20_000), &p);
 
     let mut mg1 = MultiGpu::with_defaults(1);
-    let sys1 = System::new(&mut mg1, &a_ord, layout.clone(), 30, None);
-    sys1.load_rhs(&mut mg1, &b);
+    let sys1 = System::new(&mut mg1, &a_ord, layout.clone(), 30, None).unwrap();
+    sys1.load_rhs(&mut mg1, &b).unwrap();
     let g = gmres(
         &mut mg1,
         &sys1,
@@ -237,8 +246,8 @@ fn ca_gmres_s1_slower_than_gmres() {
 
     let mut mg2 = MultiGpu::with_defaults(1);
     let cfg = CaGmresConfig { s: 1, m: 30, rtol: 0.0, max_restarts: 3, ..Default::default() };
-    let sys2 = System::new(&mut mg2, &a_ord, layout, 30, Some(1));
-    sys2.load_rhs(&mut mg2, &b);
+    let sys2 = System::new(&mut mg2, &a_ord, layout, 30, Some(1)).unwrap();
+    sys2.load_rhs(&mut mg2, &b).unwrap();
     let c = ca_gmres(&mut mg2, &sys2, &cfg);
 
     let g_t = g.stats.t_total / g.stats.restarts as f64;
@@ -257,8 +266,8 @@ fn restart_counts_comparable() {
     let b = perm::permute_vec(&flat_rhs(8000), &p);
 
     let mut mg1 = MultiGpu::with_defaults(2);
-    let sys1 = System::new(&mut mg1, &a_ord, layout.clone(), 30, None);
-    sys1.load_rhs(&mut mg1, &b);
+    let sys1 = System::new(&mut mg1, &a_ord, layout.clone(), 30, None).unwrap();
+    sys1.load_rhs(&mut mg1, &b).unwrap();
     let g = gmres(
         &mut mg1,
         &sys1,
@@ -266,8 +275,8 @@ fn restart_counts_comparable() {
     );
     let mut mg2 = MultiGpu::with_defaults(2);
     let cfg = CaGmresConfig { s: 10, m: 30, rtol: 1e-8, max_restarts: 500, ..Default::default() };
-    let sys2 = System::new(&mut mg2, &a_ord, layout, 30, Some(10));
-    sys2.load_rhs(&mut mg2, &b);
+    let sys2 = System::new(&mut mg2, &a_ord, layout, 30, Some(10)).unwrap();
+    sys2.load_rhs(&mut mg2, &b).unwrap();
     let c = ca_gmres(&mut mg2, &sys2, &cfg);
     assert!(g.stats.converged && c.stats.converged);
     let (rg, rc) = (g.stats.restarts as f64, c.stats.restarts as f64);

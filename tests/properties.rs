@@ -20,7 +20,7 @@ fn distribute(mg: &mut MultiGpu, full: &Mat) -> Vec<MatId> {
             let lo = d * n / ndev;
             let hi = (d + 1) * n / ndev;
             let dev = mg.device_mut(d);
-            let v = dev.alloc_mat(hi - lo, cols);
+            let v = dev.alloc_mat(hi - lo, cols).unwrap();
             for j in 0..cols {
                 dev.mat_mut(v).set_col(j, &full.col(j)[lo..hi]);
             }
@@ -92,19 +92,19 @@ proptest! {
         let layout = Layout::even(n, ndev);
         let plan = MpkPlan::new(&a, &layout, s);
         let mut mg = MultiGpu::with_defaults(ndev);
-        let st = MpkState::load(&mut mg, &a, plan);
+        let st = MpkState::load(&mut mg, &a, plan).unwrap();
         let x0: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
         let v_ids: Vec<MatId> = (0..ndev)
             .map(|d| {
                 let nl = layout.nlocal(d);
                 let dev = mg.device_mut(d);
-                let v = dev.alloc_mat(nl, s + 1);
+                let v = dev.alloc_mat(nl, s + 1).unwrap();
                 let lo = layout.range(d).start;
                 dev.mat_mut(v).set_col(0, &x0[lo..lo + nl]);
                 v
             })
             .collect();
-        mpk(&mut mg, &st, &v_ids, 0, &BasisSpec::monomial(s));
+        mpk(&mut mg, &st, &v_ids, 0, &BasisSpec::monomial(s)).unwrap();
         let mut xk = x0;
         for k in 1..=s {
             let mut y = vec![0.0; n];
