@@ -323,7 +323,9 @@ fn ca_gmres_ft_impl(
                 let nsurv = mg.n_gpus() - 1;
                 let t_now = mg.time();
                 let plan = mg.fault_plan().cloned();
+                let schedule = mg.schedule();
                 *mg = MultiGpu::new(nsurv, mg.model().clone(), mg.config);
+                mg.set_schedule(schedule); // degraded executor keeps the policy
                 mg.fast_forward(t_now);
                 if let Some(p) = plan {
                     // the loss already happened; survivors keep the rest
@@ -434,7 +436,7 @@ fn run_protected_cycle(
                 }
             }
             let (c0, c1) = if first_block { (0, s_blk + 1) } else { (ncols, ncols + s_blk) };
-            match orth_block(mg, sys, &sys.v, c0, c1, orth, None, stats) {
+            match orth_block(mg, sys, &sys.v, c0, c1, orth, None, stats, None) {
                 Ok(cr) => break cr,
                 Err(OrthError::Gpu(e)) => return Err(e),
                 Err(OrthError::ChecksumMismatch { .. }) if attempts < cfg.max_recompute => {

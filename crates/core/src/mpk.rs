@@ -244,10 +244,29 @@ impl MpkState {
     /// Exchange phase (the Fig. 4 "Setup"): bring the start vector's value
     /// at every needed remote row into each device's `z_cur` buffer.
     /// `z_cur` must already hold the local values.
+    ///
+    /// Expressed as explicit stream dependencies: per-link async uploads
+    /// whose events the host waits on before expanding `w`, then per-link
+    /// async downloads with each device waiting only on *its own* arrival
+    /// event before expanding — so under `Schedule::EventDriven` a device
+    /// whose halo lands early resumes its MPK steps while slower links are
+    /// still draining.
     pub(crate) fn exchange(&self, mg: &mut MultiGpu, cur: usize) -> Result<()> {
+        match self.exchange_issue(mg, cur)? {
+            Some(inflight) => self.exchange_consume(mg, cur, inflight),
+            None => Ok(()),
+        }
+    }
+
+    /// Issue half of the exchange: compress, uplink, host-side expand into
+    /// `w`, and start the per-link downloads. Returns the in-flight halos
+    /// (`None` on a single device, where there is nothing to exchange).
+    /// The caller may enqueue arbitrary device work before consuming —
+    /// that work is what the transfers hide under.
+    fn exchange_issue(&self, mg: &mut MultiGpu, cur: usize) -> Result<Option<InflightHalo>> {
         let ndev = mg.n_gpus();
         if ndev == 1 {
-            return Ok(());
+            return Ok(None);
         }
         let n = self.plan.devs.iter().map(|d| d.local.end).max().unwrap_or(0);
         // compress + async send to host (Fig. 4 setup, first two loops)
@@ -256,8 +275,9 @@ impl MpkState {
             dev.compress(z, &self.plan.devs[d].send)
         });
         let bytes_up: Vec<usize> = self.plan.devs.iter().map(|d| d.send.len() * 8).collect();
-        mg.to_host(&bytes_up)?;
-        // host: expand into a full vector w (Fig. 4, third loop)
+        let up = mg.to_host_async(&bytes_up)?;
+        mg.host_wait_all(&up); // the host needs every payload to build w
+                               // host: expand into a full vector w (Fig. 4, third loop)
         let mut w = vec![0.0f64; n];
         let mut moved = 0usize;
         for (dp, pl) in self.plan.devs.iter().zip(&payloads) {
@@ -275,13 +295,75 @@ impl MpkState {
             .map(|dp| dp.need.iter().map(|&r| w[r as usize]).collect())
             .collect();
         let bytes_down: Vec<usize> = self.plan.devs.iter().map(|d| d.need.len() * 8).collect();
-        mg.to_devices(&bytes_down)?;
+        let down = mg.to_devices_async(&bytes_down)?;
+        let msgs = down.iter().flatten().count() as u64;
+        mg.advance_host(msgs as f64 * mg.model().host_msg_s);
+        Ok(Some(InflightHalo { events: down, vals }))
+    }
+
+    /// Consume half of the exchange: each device waits on *its own*
+    /// arrival event only, then expands the halo values into `z`.
+    fn exchange_consume(
+        &self,
+        mg: &mut MultiGpu,
+        cur: usize,
+        inflight: InflightHalo,
+    ) -> Result<()> {
+        for (d, ev) in inflight.events.iter().enumerate() {
+            if let Some(ev) = ev {
+                mg.wait_event(d, *ev); // each queue waits for its own halo only
+            }
+        }
         mg.run(|d, dev| {
             let z = [self.z[d].0, self.z[d].1][cur];
-            dev.expand(z, &self.plan.devs[d].need, &vals[d]);
+            dev.expand(z, &self.plan.devs[d].need, &inflight.vals[d]);
         });
         Ok(())
     }
+}
+
+/// Downloads in flight from an issued-but-not-consumed halo exchange.
+#[derive(Debug)]
+struct InflightHalo {
+    events: Vec<Option<ca_gpusim::Event>>,
+    vals: Vec<Vec<f64>>,
+}
+
+/// A halo exchange issued *ahead* of its MPK block — the Fig. 14 overlap
+/// mechanism. [`mpk_prefetch`] scatters the block's start column (which
+/// must already hold its final values), compresses and uplinks the
+/// boundary entries, expands them on the host, and starts the per-link
+/// downloads; [`mpk_with_prefetch`] later consumes the token, waiting
+/// only on each device's own arrival event. Every enqueued device command
+/// and host computation in between is time the transfers hide under.
+#[derive(Debug)]
+pub struct PrefetchedHalo {
+    start_col: usize,
+    inflight: Option<InflightHalo>,
+}
+
+/// Issue the halo exchange for the MPK block that will start from basis
+/// column `start_col` (its local values must be final in `v`). Pass the
+/// returned token to [`mpk_with_prefetch`] for the matching block.
+///
+/// The transfers are counted when issued, so a token that is never
+/// consumed (e.g. the solver converged first) leaves the communication
+/// counters showing one speculative exchange — exactly what a real
+/// prefetch would have cost.
+///
+/// # Errors
+/// Propagates simulated transfer failures ([`ca_gpusim::GpuSimError`]).
+pub fn mpk_prefetch(
+    mg: &mut MultiGpu,
+    st: &MpkState,
+    v: &[MatId],
+    start_col: usize,
+) -> Result<PrefetchedHalo> {
+    mg.run(|d, dev| {
+        dev.scatter_col_to_vec(v[d], start_col, st.z[d].0, &st.local_rows[d]);
+    });
+    let inflight = st.exchange_issue(mg, 0)?;
+    Ok(PrefetchedHalo { start_col, inflight })
 }
 
 /// Simulated-time split of one MPK block (Fig. 8's solid-vs-dashed lines).
@@ -298,6 +380,11 @@ pub struct MpkPhaseTimes {
 /// `start_col + 1 ..= start_col + spec.s()` of the basis. Returns the
 /// exchange/compute time split.
 ///
+/// Under `Schedule::Barrier` (default) the split is exact — the `sync()`
+/// boundaries align every clock. Under `Schedule::EventDriven` the syncs
+/// are no-ops, phases genuinely overlap, and the split reported is the
+/// growth of end-to-end time per phase (totals stay exact).
+///
 /// `spec.s()` may be smaller than the plan's `s` (the short final block of
 /// a restart cycle); it must never exceed it.
 ///
@@ -311,6 +398,26 @@ pub fn mpk(
     start_col: usize,
     spec: &BasisSpec,
 ) -> Result<MpkPhaseTimes> {
+    mpk_with_prefetch(mg, st, v, start_col, spec, None)
+}
+
+/// [`mpk`] with an optionally prefetched halo exchange: when `halo` is a
+/// token from [`mpk_prefetch`] for the same `start_col`, the setup phase
+/// reduces to waiting on each device's own (long-issued) arrival event
+/// and expanding — the transfer time itself was overlapped with whatever
+/// ran since the issue.
+///
+/// # Errors
+/// Propagates simulated transfer failures and device loss from the halo
+/// exchange ([`ca_gpusim::GpuSimError`]).
+pub fn mpk_with_prefetch(
+    mg: &mut MultiGpu,
+    st: &MpkState,
+    v: &[MatId],
+    start_col: usize,
+    spec: &BasisSpec,
+    halo: Option<PrefetchedHalo>,
+) -> Result<MpkPhaseTimes> {
     let s_run = spec.s();
     let s_plan = st.plan.s;
     assert!(s_run >= 1 && s_run <= s_plan, "block of {s_run} steps exceeds plan s = {s_plan}");
@@ -318,11 +425,22 @@ pub fn mpk(
     mg.sync();
     let t0 = mg.time();
 
-    // Load the start column into z0's local rows and exchange halos.
-    mg.run(|d, dev| {
-        dev.scatter_col_to_vec(v[d], start_col, st.z[d].0, &st.local_rows[d]);
-    });
-    st.exchange(mg, 0)?;
+    match halo {
+        Some(h) => {
+            // start column already scattered and halos in flight
+            assert_eq!(h.start_col, start_col, "prefetched halo is for a different block");
+            if let Some(inflight) = h.inflight {
+                st.exchange_consume(mg, 0, inflight)?;
+            }
+        }
+        None => {
+            // Load the start column into z0's local rows and exchange halos.
+            mg.run(|d, dev| {
+                dev.scatter_col_to_vec(v[d], start_col, st.z[d].0, &st.local_rows[d]);
+            });
+            st.exchange(mg, 0)?;
+        }
+    }
     mg.sync();
     phases.exchange = mg.time() - t0;
     let t1 = mg.time();

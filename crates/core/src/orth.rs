@@ -161,10 +161,17 @@ impl std::fmt::Display for OrthError {
 impl std::error::Error for OrthError {}
 
 // ---------- reduction helpers (host side of the butterfly) ----------
+//
+// Each reduce is an async per-link upload of the per-device partials; the
+// host waits on the arrival events (the real dependency of its summation)
+// and combines them. Device queues never block here — under
+// `Schedule::EventDriven` the devices keep running whatever is next in
+// their streams while the reduction drains over PCIe.
 
 fn reduce_scalar(mg: &mut MultiGpu, parts: &[f64]) -> Result<f64, OrthError> {
     let bytes = vec![8usize; parts.len()];
-    mg.to_host(&bytes)?;
+    let up = mg.to_host_async(&bytes)?;
+    mg.host_wait_all(&up);
     mg.host_compute(parts.len() as f64, 16.0 * parts.len() as f64);
     Ok(parts.iter().sum())
 }
@@ -172,7 +179,8 @@ fn reduce_scalar(mg: &mut MultiGpu, parts: &[f64]) -> Result<f64, OrthError> {
 fn reduce_vec(mg: &mut MultiGpu, parts: &[Vec<f64>]) -> Result<Vec<f64>, OrthError> {
     let len = parts[0].len();
     let bytes = vec![8 * len; parts.len()];
-    mg.to_host(&bytes)?;
+    let up = mg.to_host_async(&bytes)?;
+    mg.host_wait_all(&up);
     mg.host_compute((parts.len() * len) as f64, (16 * parts.len() * len) as f64);
     let mut out = vec![0.0; len];
     for p in parts {
@@ -186,7 +194,8 @@ fn reduce_vec(mg: &mut MultiGpu, parts: &[Vec<f64>]) -> Result<Vec<f64>, OrthErr
 fn reduce_mat(mg: &mut MultiGpu, parts: &[Mat]) -> Result<Mat, OrthError> {
     let (r, c) = (parts[0].nrows(), parts[0].ncols());
     let bytes = vec![8 * r * c; parts.len()];
-    mg.to_host(&bytes)?;
+    let up = mg.to_host_async(&bytes)?;
+    mg.host_wait_all(&up);
     mg.host_compute((parts.len() * r * c) as f64, (16 * parts.len() * r * c) as f64);
     let mut out = Mat::zeros(r, c);
     for p in parts {
@@ -349,6 +358,18 @@ pub fn tsqr_checked(
 
 // ---------- TSQR ----------
 
+/// Callback opening the CAQR overlap window: invoked by
+/// [`tsqr_with_hook`] after the block's *last* output column holds its
+/// final values but before the remaining columns are updated. The hook
+/// typically issues the next MPK block's halo exchange
+/// ([`crate::mpk::mpk_prefetch`]); the remaining column updates — and
+/// everything up to the next block's first halo use — then hide the
+/// transfer time. Only the CAQR kinds can open the window: their final
+/// update computes output columns independently, whereas the triangular
+/// solve of CholQR/SVQR and the column recurrences of MGS/CGS finalize
+/// the last column last.
+pub type PrefetchHook<'a> = &'a mut dyn FnMut(&mut MultiGpu) -> Result<(), GpuSimError>;
+
 /// Orthonormalize basis columns `c0..c1` in place across all devices and
 /// return the `(c1-c0) x (c1-c0)` upper-triangular `R` with
 /// `W_old = W_new R`.
@@ -359,6 +380,22 @@ pub fn tsqr(
     c1: usize,
     kind: TsqrKind,
     svqr_scaled: bool,
+) -> Result<Mat, OrthError> {
+    tsqr_with_hook(mg, v, c0, c1, kind, svqr_scaled, None)
+}
+
+/// [`tsqr`] with an optional prefetch hook (see [`PrefetchHook`]). The
+/// hook fires at most once, only on the CAQR paths, and only after the
+/// rank check — once it fires, the factorization can no longer fail, so
+/// a speculatively issued exchange is never orphaned by a TSQR breakdown.
+pub fn tsqr_with_hook(
+    mg: &mut MultiGpu,
+    v: &[MatId],
+    c0: usize,
+    c1: usize,
+    kind: TsqrKind,
+    svqr_scaled: bool,
+    prefetch: Option<PrefetchHook<'_>>,
 ) -> Result<Mat, OrthError> {
     assert!(c0 < c1);
     let k = c1 - c0;
@@ -539,7 +576,21 @@ pub fn tsqr(
             }
             let qblocks: Vec<Mat> =
                 (0..ndev).map(|d| Mat::from_fn(k, k, |i, j| f.q[(d * k + i, j)])).collect();
-            mg.run(|d, dev| dev.gemm_right_small(v[d], c0, c1, &qblocks[d]));
+            match prefetch {
+                Some(hook) => {
+                    // Overlap window (Fig. 14 mechanism): finalize the
+                    // block's last basis column first, let the hook issue
+                    // the next block's halo exchange, then update the
+                    // remaining columns — flops the transfers hide under.
+                    let origs =
+                        mg.run_map(|d, dev| dev.gemm_right_small_last(v[d], c0, c1, &qblocks[d]));
+                    hook(mg)?;
+                    mg.run(|d, dev| {
+                        dev.gemm_right_small_rest(v[d], c0, c1, &qblocks[d], &origs[d]);
+                    });
+                }
+                None => mg.run(|d, dev| dev.gemm_right_small(v[d], c0, c1, &qblocks[d])),
+            }
             Ok(f.r)
         }
     }

@@ -86,6 +86,10 @@ pub struct SolveStats {
     pub t_small: f64,
     /// Final residual norm relative to the initial one.
     pub final_relres: f64,
+    /// Halo exchanges issued asynchronously ahead of their MPK block by
+    /// the overlap path (0 unless `CaGmresConfig::prefetch` is armed and
+    /// the schedule is event-driven).
+    pub prefetches: u64,
     /// Total PCIe messages (both directions).
     pub comm_msgs: u64,
     /// Total PCIe bytes (both directions).

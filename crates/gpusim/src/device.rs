@@ -11,6 +11,7 @@
 
 use crate::faults::{FaultPlan, GpuSimError, Result, SdcKind};
 use crate::model::{GemmVariant, GemvVariant, PerfModel};
+use crate::stream::{Cmd, Event, StreamTrace};
 use ca_dense::{blas1, blas3, qr, Mat};
 use ca_sparse::{Ell, Hyb};
 use rayon::prelude::*;
@@ -95,6 +96,8 @@ pub struct Device {
     lost: bool,
     /// Silent corruptions injected so far (study bookkeeping).
     sdc_injected: u64,
+    /// Optional command-queue trace (off by default).
+    stream: StreamTrace,
 }
 
 impl Device {
@@ -112,6 +115,7 @@ impl Device {
             faults: None,
             lost: false,
             sdc_injected: 0,
+            stream: StreamTrace::default(),
         }
     }
 
@@ -145,6 +149,43 @@ impl Device {
             }
         }
         self.clock += dt;
+        if self.stream.is_enabled() {
+            self.stream.push(Cmd::Kernel { dur: dt });
+        }
+    }
+
+    /// Make this queue wait for an event: the next command starts no
+    /// earlier than `t` (the `waited_events` term of the start-time rule).
+    /// No-op on a lost device — its clock stays frozen.
+    pub(crate) fn wait_until(&mut self, t: f64, ev: Event) {
+        if self.lost {
+            return;
+        }
+        self.clock = self.clock.max(t);
+        if self.stream.is_enabled() {
+            self.stream.push(Cmd::WaitEvent { event: ev, until: self.clock });
+        }
+    }
+
+    pub(crate) fn log_cmd(&mut self, cmd: Cmd) {
+        if self.stream.is_enabled() {
+            self.stream.push(cmd);
+        }
+    }
+
+    /// Start recording commands issued to this device's stream.
+    pub fn enable_trace(&mut self) {
+        self.stream.enable();
+    }
+
+    /// Commands recorded since trace enablement.
+    pub fn trace(&self) -> &[Cmd] {
+        self.stream.cmds()
+    }
+
+    /// Drain the recorded command trace.
+    pub fn take_trace(&mut self) -> Vec<Cmd> {
+        self.stream.take()
     }
 
     /// Install (or clear) the fault schedule.
@@ -305,9 +346,21 @@ impl Device {
     }
 
     // ---------- BLAS-1 kernels ----------
+    //
+    // Every kernel entry point is a command issued to this device's
+    // stream: it performs the real arithmetic immediately (issue order =
+    // program order) and advances the queue tail (`clock`) by the modeled
+    // cost. A lost device accepts no commands — the same liveness rule
+    // transfers enforce. Transfers fail typed; kernels are fire-and-forget
+    // launches, so they return neutral values without computing or
+    // mutating device state, and the first transfer that touches the
+    // device surfaces the loss as `GpuSimError::DeviceLost`.
 
     /// `V[:, dst] += alpha * V[:, src]`.
     pub fn axpy_cols(&mut self, v: MatId, alpha: f64, src: usize, dst: usize) {
+        if self.lost {
+            return;
+        }
         let rows = self.mats[v.0].nrows();
         let (s, d) = if src < dst {
             let (a, b) = self.mats[v.0].two_cols_mut(src, dst);
@@ -322,6 +375,9 @@ impl Device {
 
     /// `V[:, col] *= alpha`.
     pub fn scal_col(&mut self, v: MatId, col: usize, alpha: f64) {
+        if self.lost {
+            return;
+        }
         blas1::scal(alpha, self.mats[v.0].col_mut(col));
         let rows = self.mats[v.0].nrows();
         self.advance(self.model.blas1_time(2 * rows));
@@ -329,6 +385,9 @@ impl Device {
 
     /// Local dot product `V[:, a] . V[:, b]` (the MGS building block).
     pub fn dot_cols(&mut self, v: MatId, a: usize, b: usize) -> f64 {
+        if self.lost {
+            return 0.0;
+        }
         let m = &self.mats[v.0];
         let r = blas1::dot(m.col(a), m.col(b));
         let rows = m.nrows();
@@ -345,6 +404,9 @@ impl Device {
 
     /// Copy `V[:, src]` to `V[:, dst]`.
     pub fn copy_col(&mut self, v: MatId, src: usize, dst: usize) {
+        if self.lost {
+            return;
+        }
         let data = self.mats[v.0].col_to_vec(src);
         self.mats[v.0].set_col(dst, &data);
         let rows = self.mats[v.0].nrows();
@@ -361,6 +423,9 @@ impl Device {
     /// `(sum V[:, col], sum |V[:, col]|)` — the `1^T v` checksum plus the
     /// magnitude scale its verification tolerance is relative to.
     pub fn sum_col_abs(&mut self, v: MatId, col: usize) -> [f64; 2] {
+        if self.lost {
+            return [0.0; 2];
+        }
         let c = self.mats[v.0].col(col);
         let mut s = 0.0;
         let mut a = 0.0;
@@ -375,6 +440,9 @@ impl Device {
     /// `(z[..rows] . V[:, col], sum |z_i * V[i, col]|)` — dot of a
     /// device-resident checksum vector against a basis column.
     pub fn dot_vec_col_abs(&mut self, z: VecId, v: MatId, col: usize) -> [f64; 2] {
+        if self.lost {
+            return [0.0; 2];
+        }
         let c = self.mats[v.0].col(col);
         let zv = &self.vecs[z.0];
         assert!(zv.len() >= c.len(), "checksum vector shorter than column");
@@ -393,6 +461,9 @@ impl Device {
     /// Gram/projection reduction, computed independently of the GEMM it
     /// verifies.
     pub fn block_sum_dot(&mut self, v: MatId, a: (usize, usize), b: (usize, usize)) -> [f64; 2] {
+        if self.lost {
+            return [0.0; 2];
+        }
         let m = &self.mats[v.0];
         let rows = m.nrows();
         let mut dot = 0.0;
@@ -424,6 +495,9 @@ impl Device {
         x: usize,
         variant: GemvVariant,
     ) -> Vec<f64> {
+        if self.lost {
+            return vec![0.0; j1 - j0];
+        }
         let m = &self.mats[v.0];
         let xcol = m.col(x);
         let mut r = vec![0.0; j1 - j0];
@@ -436,6 +510,9 @@ impl Device {
 
     /// `V[:, dst] -= V[:, j0..j1] * coeffs` — the Gram-Schmidt update GEMV.
     pub fn gemv_n_update(&mut self, v: MatId, j0: usize, j1: usize, coeffs: &[f64], dst: usize) {
+        if self.lost {
+            return;
+        }
         assert_eq!(coeffs.len(), j1 - j0);
         let m = &mut self.mats[v.0];
         let rows = m.nrows();
@@ -459,6 +536,9 @@ impl Device {
     /// block orthogonalization against a single previous vector, charged
     /// like one streaming GEMV pass.
     pub fn rank1_update(&mut self, v: MatId, src: usize, c0: usize, c1: usize, coeffs: &[f64]) {
+        if self.lost {
+            return;
+        }
         assert_eq!(coeffs.len(), c1 - c0);
         let m = &mut self.mats[v.0];
         let rows = m.nrows();
@@ -483,6 +563,9 @@ impl Device {
     /// The batched variant computes panel-partial sums in the batched
     /// order — numerically distinct from the flat order, as on the GPU.
     pub fn syrk_cols(&mut self, v: MatId, j0: usize, j1: usize, variant: GemmVariant) -> Mat {
+        if self.lost {
+            return Mat::zeros(j1 - j0, j1 - j0);
+        }
         let k = j1 - j0;
         let m = &self.mats[v.0];
         let rows = m.nrows();
@@ -532,6 +615,9 @@ impl Device {
     /// genuine single-precision rounding. About half the cost of the f64
     /// kernel on Fermi-class hardware.
     pub fn syrk_cols_f32(&mut self, v: MatId, j0: usize, j1: usize, variant: GemmVariant) -> Mat {
+        if self.lost {
+            return Mat::zeros(j1 - j0, j1 - j0);
+        }
         let k = j1 - j0;
         let m = &self.mats[v.0];
         let rows = m.nrows();
@@ -571,6 +657,9 @@ impl Device {
         (b0, b1): (usize, usize),
         variant: GemmVariant,
     ) -> Mat {
+        if self.lost {
+            return Mat::zeros(a1 - a0, b1 - b0);
+        }
         let (ka, kb) = (a1 - a0, b1 - b0);
         let m = &self.mats[v.0];
         let rows = m.nrows();
@@ -620,6 +709,9 @@ impl Device {
         c: &Mat,
         variant: GemmVariant,
     ) {
+        if self.lost {
+            return;
+        }
         assert_eq!(c.nrows(), a1 - a0);
         assert_eq!(c.ncols(), b1 - b0);
         let m = &mut self.mats[v.0];
@@ -643,6 +735,9 @@ impl Device {
 
     /// `V[:, j0..j1] := V[:, j0..j1] R^{-1}` (CholQR/SVQR step 3, DTRSM).
     pub fn trsm_cols(&mut self, v: MatId, j0: usize, j1: usize, r: &Mat) -> ca_dense::Result<()> {
+        if self.lost {
+            return Ok(());
+        }
         let k = j1 - j0;
         assert_eq!(r.ncols(), k);
         let m = &mut self.mats[v.0];
@@ -669,6 +764,9 @@ impl Device {
     /// `V[:, j0..j1] := V[:, j0..j1] * Q` with small `k x k` `Q` (CAQR's
     /// final local update). Charged like an NN gemm.
     pub fn gemm_right_small(&mut self, v: MatId, j0: usize, j1: usize, q: &Mat) {
+        if self.lost {
+            return;
+        }
         let k = j1 - j0;
         assert_eq!(q.nrows(), k);
         assert_eq!(q.ncols(), k);
@@ -683,9 +781,67 @@ impl Device {
         self.advance(self.model.gemm_nn_time(GemmVariant::Batched { h: 384 }, rows, k, k));
     }
 
+    /// First half of the split CAQR update used by the async-prefetch
+    /// path: compute only the *last* output column of `V[:, j0..j1] * Q`,
+    /// write it in place, and return the overwritten original column so
+    /// [`Device::gemm_right_small_rest`] can reconstruct the input block.
+    ///
+    /// One output column of the product is a tall-skinny mat-vec
+    /// (`V_block * q_last`), so it is charged as one; `gemm_nn` computes
+    /// every output column independently in the same accumulation order,
+    /// so splitting the update is bitwise-invisible to the numerics.
+    pub fn gemm_right_small_last(&mut self, v: MatId, j0: usize, j1: usize, q: &Mat) -> Vec<f64> {
+        if self.lost {
+            return Vec::new();
+        }
+        let k = j1 - j0;
+        assert_eq!(q.nrows(), k);
+        assert_eq!(q.ncols(), k);
+        let m = &mut self.mats[v.0];
+        let rows = m.nrows();
+        let block = m.cols_copy(j0, j1);
+        let qlast = q.cols_copy(k - 1, k);
+        let mut out = Mat::zeros(rows, 1);
+        blas3::gemm_nn(1.0, &block, &qlast, 0.0, &mut out);
+        let orig = m.col(j0 + k - 1).to_vec();
+        m.set_col(j0 + k - 1, out.col(0));
+        self.advance(self.model.gemv_t_time(GemvVariant::MagmaTallSkinny, rows, k));
+        orig
+    }
+
+    /// Second half of the split CAQR update: the remaining `k - 1` output
+    /// columns of `V[:, j0..j1] * Q`, reading the original last column
+    /// from `last` (its slot already holds the new value written by
+    /// [`Device::gemm_right_small_last`]).
+    pub fn gemm_right_small_rest(&mut self, v: MatId, j0: usize, j1: usize, q: &Mat, last: &[f64]) {
+        if self.lost {
+            return;
+        }
+        let k = j1 - j0;
+        assert_eq!(q.nrows(), k);
+        assert_eq!(q.ncols(), k);
+        if k == 1 {
+            return;
+        }
+        let m = &mut self.mats[v.0];
+        let rows = m.nrows();
+        let mut block = m.cols_copy(j0, j1);
+        block.set_col(k - 1, last);
+        let qrest = q.cols_copy(0, k - 1);
+        let mut out = Mat::zeros(rows, k - 1);
+        blas3::gemm_nn(1.0, &block, &qrest, 0.0, &mut out);
+        for j in 0..k - 1 {
+            m.set_col(j0 + j, out.col(j));
+        }
+        self.advance(self.model.gemm_nn_time(GemmVariant::Batched { h: 384 }, rows, k, k - 1));
+    }
+
     /// Local Householder QR of `V[:, j0..j1]`: Q replaces the columns, R is
     /// returned (CAQR's per-device factorization; BLAS-1/2 cost).
     pub fn local_qr_cols(&mut self, v: MatId, j0: usize, j1: usize) -> Mat {
+        if self.lost {
+            return Mat::zeros(j1 - j0, j1 - j0);
+        }
         let k = j1 - j0;
         let m = &mut self.mats[v.0];
         let rows = m.nrows();
@@ -706,6 +862,9 @@ impl Device {
     /// depth 2, so the result differs from [`Device::local_qr_cols`] at
     /// the rounding level only.
     pub fn local_qr_tree_cols(&mut self, v: MatId, j0: usize, j1: usize, h: usize) -> Mat {
+        if self.lost {
+            return Mat::zeros(j1 - j0, j1 - j0);
+        }
         let k = j1 - j0;
         let m = &mut self.mats[v.0];
         let rows = m.nrows();
@@ -751,6 +910,9 @@ impl Device {
     /// `V[:, col] := A_slice * x` where the slice's rows coincide 1:1 with
     /// the matrix rows (the local diagonal block of SpMV/MPK).
     pub fn spmv_to_mat_col(&mut self, s: SpId, x: VecId, v: MatId, col: usize) {
+        if self.lost {
+            return;
+        }
         let mut y = {
             let sl = &self.slices[s.0];
             let mut y = vec![0.0; sl.storage.nrows()];
@@ -766,6 +928,9 @@ impl Device {
     /// `z[rows[i]] := (A_slice * x)_i` — MPK's compute-then-expand step for
     /// one slice (local block or one boundary level).
     pub fn spmv_scatter(&mut self, s: SpId, x: VecId, z: VecId) {
+        if self.lost {
+            return;
+        }
         let (mut y, rows_v): (Vec<f64>, Vec<u32>) = {
             let sl = &self.slices[s.0];
             let mut y = vec![0.0; sl.storage.nrows()];
@@ -801,6 +966,9 @@ impl Device {
         im2: f64,
         scale: f64,
     ) {
+        if self.lost {
+            return;
+        }
         assert_ne!(z_cur.0, z_next.0, "MPK needs distinct double buffers");
         let (mut y, rows_v): (Vec<f64>, Vec<u32>) = {
             let sl = &self.slices[s.0];
@@ -835,6 +1003,9 @@ impl Device {
     /// Copy `z[rows[i]]` into `V[i, col]` — MPK's "copy the local part of y
     /// into v" step.
     pub fn gather_vec_to_col(&mut self, z: VecId, rows: &[u32], v: MatId, col: usize) {
+        if self.lost {
+            return;
+        }
         let vals: Vec<f64> = rows.iter().map(|&r| self.vecs[z.0][r as usize]).collect();
         assert_eq!(vals.len(), self.mats[v.0].nrows());
         self.mats[v.0].set_col(col, &vals);
@@ -844,6 +1015,9 @@ impl Device {
     /// Scatter `V[i, col]` into `z[rows[i]]` — load a basis column into a
     /// full-length work vector before SpMV/MPK.
     pub fn scatter_col_to_vec(&mut self, v: MatId, col: usize, z: VecId, rows: &[u32]) {
+        if self.lost {
+            return;
+        }
         let colv = self.mats[v.0].col_to_vec(col);
         assert_eq!(colv.len(), rows.len());
         let zv = &mut self.vecs[z.0];
@@ -857,6 +1031,9 @@ impl Device {
     /// buffer (the "compress ... into w" kernel of Fig. 4). PCIe cost is
     /// charged separately by the `MultiGpu` transfer that ships the result.
     pub fn compress(&mut self, z: VecId, idxs: &[u32]) -> Vec<f64> {
+        if self.lost {
+            return Vec::new();
+        }
         let zv = &self.vecs[z.0];
         let out: Vec<f64> = idxs.iter().map(|&i| zv[i as usize]).collect();
         self.advance(self.model.blas1_time(2 * idxs.len()));
@@ -866,6 +1043,9 @@ impl Device {
     /// Expand host values into selected entries of a device vector (the
     /// "expand w into a full vector" kernel of Fig. 4).
     pub fn expand(&mut self, z: VecId, idxs: &[u32], vals: &[f64]) {
+        if self.lost {
+            return;
+        }
         assert_eq!(idxs.len(), vals.len());
         let zv = &mut self.vecs[z.0];
         for (&i, &v) in idxs.iter().zip(vals) {
@@ -1100,6 +1280,32 @@ mod tests {
         assert_eq!(d.clock(), t, "dead device's clock is frozen");
         d.dot_cols(v, 0, 1);
         assert_eq!(d.clock(), t);
+    }
+
+    #[test]
+    fn lost_device_kernels_are_inert() {
+        let mut d = dev();
+        d.set_faults(Some(Arc::new(crate::faults::FaultPlan::new(0).with_device_loss(0, 0))));
+        let v = d.alloc_mat(16, 3).unwrap();
+        d.mat_mut(v).set_col(0, &[2.0; 16]);
+        d.mat_mut(v).set_col(1, &[3.0; 16]);
+        d.scal_col(v, 0, 1.0); // first op kills the device
+        assert!(d.is_lost());
+        let ops = d.ops();
+        // a dead device accepts no commands: neutral returns, no mutation
+        assert_eq!(d.dot_cols(v, 0, 1), 0.0);
+        assert_eq!(d.sum_col_abs(v, 0), [0.0; 2]);
+        assert_eq!(d.gemv_t_cols(v, 0, 2, 1, GemvVariant::Cublas), vec![0.0; 2]);
+        let b = d.syrk_cols(v, 0, 2, GemmVariant::Cublas);
+        assert_eq!((b.nrows(), b.ncols()), (2, 2));
+        assert_eq!(b[(0, 0)], 0.0);
+        d.axpy_cols(v, 5.0, 0, 1);
+        d.copy_col(v, 0, 2);
+        assert_eq!(d.mat(v).col(1), &[3.0; 16], "no mutation after loss");
+        assert_eq!(d.mat(v).col(2), &[0.0; 16]);
+        assert!(d.compress(VecId(0), &[0]).is_empty());
+        assert_eq!(d.ops(), ops, "op counter frozen after loss");
+        assert_eq!(d.clock(), 0.0, "clock frozen after loss");
     }
 
     #[test]

@@ -17,7 +17,15 @@
 //! * **true concurrency** — device phases execute on real threads
 //!   ([`MultiGpu::run_map`]) and device clocks advance independently, so
 //!   communication-free MPK flops genuinely overlap while transfers create
-//!   the only synchronization points.
+//!   the only synchronization points;
+//! * **streams and events** — each device clock is the tail of an in-order
+//!   command queue (a CUDA stream); copies occupy per-link copy engines
+//!   and record [`stream::Event`]s other queues can wait on, and the
+//!   scheduler resolves every command's start time as
+//!   `max(queue_predecessor_finish, waited_events)`. Under
+//!   [`stream::Schedule::EventDriven`] global barriers vanish and
+//!   end-to-end time emerges from the dependency graph alone (see
+//!   [`stream`]).
 //!
 //! See `DESIGN.md` (repo root) for the substitution argument.
 //!
@@ -57,8 +65,10 @@ pub mod device;
 pub mod faults;
 pub mod model;
 pub mod multi;
+pub mod stream;
 
 pub use device::{Device, MatId, SpId, SpSlice, VecId};
 pub use faults::{AllocFault, DeviceLoss, FaultPlan, GpuSimError, SdcKind, SdcTargets};
 pub use model::{GemmVariant, GemvVariant, KernelConfig, PerfModel};
 pub use multi::{CommCounters, MultiGpu};
+pub use stream::{Cmd, CopyEngine, Event, EventTable, Schedule, StreamTrace};

@@ -4,7 +4,7 @@
 //! for a simulator whose claims rest on reproducible clocks.
 
 use ca_gmres_repro::gmres::prelude::*;
-use ca_gmres_repro::gpusim::{FaultPlan, MultiGpu, SdcTargets};
+use ca_gmres_repro::gpusim::{Cmd, FaultPlan, MultiGpu, Schedule, SdcTargets};
 use ca_gmres_repro::sparse::{gen, perm};
 
 fn solve_once(ndev: usize, s: usize) -> (Vec<f64>, f64, u64, usize) {
@@ -156,4 +156,47 @@ fn zero_rate_fault_plan_is_bit_identical_to_baseline() {
         FaultPlan::new(7).with_sdc(0.0, SdcTargets::all()).with_transfer_faults(0.0),
     ));
     assert_eq!(baseline, explicit);
+}
+
+/// Event-driven CA-GMRES under a fault plan, with per-device command
+/// traces recorded: everything observable, including the scheduled queues.
+#[allow(clippy::type_complexity)]
+fn solve_event_driven_traced() -> (Vec<u64>, u64, u64, u64, usize, Vec<Vec<Cmd>>) {
+    let a = gen::convection_diffusion(14, 14, 1.5);
+    let (a_ord, p, layout) = prepare(&a, Ordering::Kway, 3);
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| ((i * 31 % 17) as f64) - 8.0).collect();
+    let mut mg = MultiGpu::with_defaults(3);
+    mg.set_schedule(Schedule::EventDriven);
+    mg.set_fault_plan(FaultPlan::new(1234).with_transfer_faults(0.02));
+    mg.enable_trace();
+    let cfg = CaGmresConfig { s: 6, m: 24, rtol: 1e-9, max_restarts: 300, ..Default::default() };
+    let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(cfg.s)).unwrap();
+    sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p)).unwrap();
+    let out = ca_gmres(&mut mg, &sys, &cfg);
+    let x = perm::unpermute_vec(&sys.download_x(&mut mg).unwrap(), &p);
+    (
+        x.iter().map(|v| v.to_bits()).collect(),
+        out.stats.t_total.to_bits(),
+        out.stats.comm_msgs,
+        out.stats.comm_bytes,
+        out.stats.total_iters,
+        mg.take_traces(),
+    )
+}
+
+/// Property (stream executor): replaying the queues with the same
+/// `FaultPlan` seed is bit-identical — same solution bits, same clock
+/// bits, same counters, and command-for-command identical per-device
+/// traces (timestamps included).
+#[test]
+fn event_driven_queue_replay_with_fault_plan_is_bit_identical() {
+    let r1 = solve_event_driven_traced();
+    let r2 = solve_event_driven_traced();
+    assert_eq!(r1.0, r2.0, "solution bits diverged across replays");
+    assert_eq!(r1.1, r2.1, "simulated clock bits diverged across replays");
+    assert_eq!((r1.2, r1.3, r1.4), (r2.2, r2.3, r2.4), "counters diverged");
+    assert_eq!(r1.5.len(), r2.5.len());
+    assert!(r1.5.iter().all(|t| !t.is_empty()), "traces must be non-trivial");
+    assert!(r1.5 == r2.5, "per-device command traces diverged across replays");
 }
