@@ -23,6 +23,17 @@
 //!    ([`ca_gpusim::MultiGpu::fast_forward`] keeps the clock honest,
 //!    and re-uploading the matrix slices is charged), restores the
 //!    checkpointed iterate, and continues toward the same tolerance.
+//! 4. **Fail-slow response** — at every restart boundary the driver can
+//!    poll a watchdog ([`FtConfig::watchdog_timeout_s`]) that escalates a
+//!    hung device (single-command latency overshooting its model by more
+//!    than the timeout) into the same degradation path, and a rebalancer
+//!    ([`FtConfig::rebalance`]) that repartitions rows proportionally to
+//!    each device's measured throughput when the observed slowdown
+//!    imbalance crosses [`FtConfig::rebalance_threshold`], charging the
+//!    row migration over the (possibly degraded) links. The watchdog only
+//!    acts between cycles, so one cycle's worth of stall time is paid
+//!    before a hung device is cut loose — the price of coarse-grained
+//!    health polling.
 //!
 //! Unsupported solver options (documented simplifications): the FT driver
 //! always resolves [`KernelMode::Auto`] to MPK-if-available, and ignores
@@ -66,6 +77,19 @@ pub struct FtConfig {
     /// Disagreement factor for `residual_check`: redo the cycle when
     /// `beta_explicit > residual_slack * beta_implicit (+ noise floor)`.
     pub residual_slack: f64,
+    /// Repartition rows proportionally to measured per-device throughput
+    /// ([`ca_gpusim::HealthReport::throughput_weights`]) at restart
+    /// boundaries whenever the observed slowdown imbalance exceeds
+    /// `rebalance_threshold`. Migration traffic is charged in simulated
+    /// time over the (possibly degraded) links.
+    pub rebalance: bool,
+    /// Max/min EWMA-slowdown ratio above which a rebalance is attempted.
+    pub rebalance_threshold: f64,
+    /// Watchdog: when set, any device whose single-command latency
+    /// overshot its model by more than this many simulated seconds is
+    /// declared lost at the next restart boundary and the solve degrades
+    /// onto the survivors (same path as hard device loss).
+    pub watchdog_timeout_s: Option<f64>,
 }
 
 impl Default for FtConfig {
@@ -77,6 +101,9 @@ impl Default for FtConfig {
             max_recompute: 3,
             residual_check: true,
             residual_slack: 10.0,
+            rebalance: false,
+            rebalance_threshold: 1.5,
+            watchdog_timeout_s: None,
         }
     }
 }
@@ -95,6 +122,11 @@ pub struct FtReport {
     pub transfer_retries: u64,
     /// The device that was lost, if any.
     pub device_lost: Option<usize>,
+    /// Device the watchdog declared hung (a fail-slow fault escalated to
+    /// loss), if any. Also recorded in `device_lost`.
+    pub hung_device: Option<usize>,
+    /// Throughput-proportional repartitions performed.
+    pub rebalances: usize,
     /// Whether the solve finished on fewer devices than it started with.
     pub degraded: bool,
     /// Devices the solve finished on.
@@ -232,6 +264,7 @@ pub fn ca_gmres_ft(mg: MultiGpu, a: &Csr, b: &[f64], cfg: &FtConfig) -> FtOutcom
     let c = mg.counters();
     stats.comm_msgs = c.total_msgs();
     stats.comm_bytes = c.total_bytes();
+    stats.record_device_times((0..mg.n_gpus()).map(|d| mg.device(d).busy_time()).collect());
     report.transfer_retries = c.transfer_retries;
     report.ndev_final = mg.n_gpus();
     FtOutcome { stats, report, x: x_ckpt }
@@ -321,33 +354,133 @@ fn ca_gmres_ft_impl(
                 report.device_lost = Some(device);
                 report.degraded = true;
                 let nsurv = mg.n_gpus() - 1;
-                let t_now = mg.time();
-                let plan = mg.fault_plan().cloned();
-                let schedule = mg.schedule();
-                *mg = MultiGpu::new(nsurv, mg.model().clone(), mg.config);
-                mg.set_schedule(schedule); // degraded executor keeps the policy
-                mg.fast_forward(t_now);
-                if let Some(p) = plan {
-                    // the loss already happened; survivors keep the rest
-                    // of the plan (SDC, transfer faults) active
-                    mg.set_fault_plan(p.without_device_loss());
-                }
-                sys = System::new(mg, a, Layout::even(n, nsurv), scfg.m, s_opt)?;
-                sys.load_rhs(mg, b)?;
-                abft =
-                    if cfg.abft_spmv { Some(AbftState::build(mg, a, &sys.layout)?) } else { None };
+                (sys, abft) =
+                    rebuild_system(mg, a, b, Layout::even(n, nsurv), cfg, s_opt, &[device])?;
                 sys.upload_x(mg, x_ckpt)?;
                 // same global problem, same target: recompute where we are
                 beta0 = beta0.max(f64::MIN_POSITIVE);
                 beta = sys.residual_norm(mg)?;
+                continue;
             }
             Err(e) => return Err(e),
+        }
+
+        // --- restart-boundary health actions (watchdog, rebalance) ---
+        if let Some(timeout) = cfg.watchdog_timeout_s {
+            let hung = mg.watchdog(timeout);
+            if !hung.is_empty() {
+                report.hung_device = Some(hung[0]);
+                report.device_lost = Some(hung[0]);
+                let alive = mg.n_gpus() - hung.len();
+                if alive == 0 {
+                    return Err(GpuSimError::DeviceLost { device: hung[0] });
+                }
+                report.degraded = true;
+                (sys, abft) = rebuild_system(mg, a, b, Layout::even(n, alive), cfg, s_opt, &hung)?;
+                sys.upload_x(mg, x_ckpt)?;
+                beta0 = beta0.max(f64::MIN_POSITIVE);
+                beta = sys.residual_norm(mg)?;
+                continue; // re-enter on the survivors before rebalancing
+            }
+        }
+        if cfg.rebalance {
+            let health = mg.health_report();
+            if health.imbalance() > cfg.rebalance_threshold {
+                // weight = achieved nonzeros per busy second. Unlike the
+                // raw EWMA slowdown this folds in every per-device
+                // overhead (ghost work, halo sizes, row density), and
+                // iterating it is a fixpoint scheme whose fixpoint
+                // equalizes busy time; the nnz-aware split handles
+                // saddle-point/hub matrices where rows are not equal work.
+                let weights: Vec<f64> = (0..mg.n_gpus())
+                    .map(|d| {
+                        let busy = mg.device(d).busy_time();
+                        let nnz: usize = sys.layout.range(d).map(|i| a.row(i).0.len()).sum();
+                        if busy > 0.0 {
+                            nnz as f64 / busy
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                let new_layout = Layout::proportional_nnz(a, &weights);
+                // migration payload: matrix entries (8 B value + 4 B col
+                // index) plus 16 B/row of vector state (x, b) for every
+                // row arriving at a new owner
+                let mut bytes = vec![0usize; new_layout.ndev()];
+                let mut rows_moved = 0usize;
+                for d in 0..new_layout.ndev() {
+                    let old = sys.layout.range(d);
+                    let (mut nnz, mut arriving) = (0usize, 0usize);
+                    for i in new_layout.range(d) {
+                        if !old.contains(&i) {
+                            nnz += a.row(i).0.len();
+                            arriving += 1;
+                        }
+                    }
+                    bytes[d] = 12 * nnz + 16 * arriving;
+                    rows_moved += arriving;
+                }
+                // hysteresis: repartitioning resets the health EWMAs, so
+                // only migrate when ownership shifts materially (> 2%)
+                if rows_moved * 50 > n {
+                    report.rebalances += 1;
+                    (sys, abft) = rebuild_system(mg, a, b, new_layout, cfg, s_opt, &[])?;
+                    mg.to_devices(&bytes)?; // charge the row migration
+                    sys.upload_x(mg, x_ckpt)?;
+                    beta = sys.residual_norm(mg)?;
+                }
+            }
         }
     }
 
     stats.converged = beta <= target;
     stats.final_relres = if beta0 > 0.0 { beta / beta0 } else { 0.0 };
     Ok(())
+}
+
+/// Rebuild the executor and distributed system on `layout`, preserving
+/// simulated time, schedule policy, and accumulated traffic counters.
+/// Shared by the device-loss degradation path (`lost` names the dead
+/// devices, whose pending loss and perf faults are stripped from the
+/// reinstalled plan) and the throughput rebalancer (`lost` empty: the
+/// plan is reinstalled verbatim). A fresh executor also resets the op
+/// counters and health EWMAs, so post-rebuild health reflects the new
+/// partition rather than stale history.
+fn rebuild_system(
+    mg: &mut MultiGpu,
+    a: &Csr,
+    b: &[f64],
+    layout: Layout,
+    cfg: &FtConfig,
+    s_opt: Option<usize>,
+    lost: &[usize],
+) -> GpuResult<(System, Option<AbftState>)> {
+    let t_now = mg.time();
+    let plan = mg.fault_plan().cloned();
+    let schedule = mg.schedule();
+    let prior = mg.counters();
+    *mg = MultiGpu::new(layout.ndev(), mg.model().clone(), mg.config);
+    mg.set_schedule(schedule); // rebuilt executor keeps the policy
+    mg.fast_forward(t_now);
+    mg.absorb_counters(prior);
+    if let Some(p) = plan {
+        mg.set_fault_plan(if lost.is_empty() {
+            p
+        } else {
+            // the loss already happened; survivors keep the rest of the
+            // plan (SDC, transfer faults) active
+            let mut p = p.without_device_loss();
+            for &d in lost {
+                p = p.without_perf_faults_on(d);
+            }
+            p
+        });
+    }
+    let sys = System::new(mg, a, layout, cfg.solver.m, s_opt)?;
+    sys.load_rhs(mg, b)?;
+    let abft = if cfg.abft_spmv { Some(AbftState::build(mg, a, &sys.layout)?) } else { None };
+    Ok((sys, abft))
 }
 
 /// What one protected restart cycle reports back.
@@ -583,6 +716,52 @@ mod tests {
         assert!(out.stats.converged, "{:?}", out.stats.breakdown);
         assert!(out.report.transfer_retries > 0);
         check_solution(&a, &b, &out.x, c.solver.rtol);
+    }
+
+    #[test]
+    fn watchdog_escalates_hung_device_to_loss() {
+        // a permanently stalled device never errors on its own — only the
+        // watchdog can convert it into the device-loss degradation path
+        let (a, b, _) = problem();
+        let mut mg = MultiGpu::with_defaults(3);
+        mg.set_fault_plan(FaultPlan::new(21).with_stalls(1, 1.0, 30.0));
+        let c = FtConfig { watchdog_timeout_s: Some(0.5), ..cfg() };
+        let out = ca_gmres_ft(mg, &a, &b, &c);
+        assert!(out.stats.converged, "{:?}", out.stats.breakdown);
+        assert_eq!(out.report.hung_device, Some(1));
+        assert_eq!(out.report.device_lost, Some(1));
+        assert!(out.report.degraded);
+        assert_eq!(out.report.ndev_final, 2);
+        check_solution(&a, &b, &out.x, c.solver.rtol);
+    }
+
+    #[test]
+    fn rebalance_shrinks_slow_device_share() {
+        let (a, b, _) = problem();
+        let mut mg = MultiGpu::with_defaults(3);
+        mg.set_fault_plan(FaultPlan::new(13).with_slowdown(1, 4.0, 0));
+        let c = FtConfig { rebalance: true, ..cfg() };
+        let out = ca_gmres_ft(mg, &a, &b, &c);
+        assert!(out.stats.converged, "{:?}", out.stats.breakdown);
+        assert!(out.report.rebalances > 0, "4x slowdown must trip the 1.5x threshold");
+        assert!(!out.report.degraded);
+        check_solution(&a, &b, &out.x, c.solver.rtol);
+    }
+
+    #[test]
+    fn rebalance_is_inert_without_faults() {
+        // zero-fault plan: imbalance stays exactly 1.0, so the rebalanced
+        // solve is bit-identical to the static one
+        let (a, b, _) = problem();
+        let stat = ca_gmres_ft(MultiGpu::with_defaults(3), &a, &b, &cfg());
+        let c = FtConfig { rebalance: true, watchdog_timeout_s: Some(1.0), ..cfg() };
+        let reb = ca_gmres_ft(MultiGpu::with_defaults(3), &a, &b, &c);
+        assert_eq!(reb.report.rebalances, 0);
+        assert_eq!(stat.stats.total_iters, reb.stats.total_iters);
+        assert_eq!(stat.stats.t_total.to_bits(), reb.stats.t_total.to_bits());
+        for (u, v) in stat.x.iter().zip(&reb.x) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
     }
 
     #[test]

@@ -67,6 +67,93 @@ impl Layout {
         Self { starts }
     }
 
+    /// Block-row layout proportional to per-device throughput weights
+    /// (e.g. [`ca_gpusim::HealthReport::throughput_weights`]): device `d`
+    /// gets `≈ n · w_d / Σw` rows, rounded by cumulative-weight splitting
+    /// so the shares are deterministic and exactly cover `n`. Every device
+    /// with a positive weight keeps at least one row when `n` allows, so
+    /// a merely-slow device is shrunk, never evicted.
+    ///
+    /// # Panics
+    /// When `weights` is empty or no weight is positive.
+    pub fn proportional(n: usize, weights: &[f64]) -> Self {
+        let ndev = weights.len();
+        assert!(ndev >= 1, "at least one device");
+        let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        assert!(total > 0.0, "at least one positive weight");
+        let mut starts = Vec::with_capacity(ndev + 1);
+        starts.push(0usize);
+        let mut cum = 0.0f64;
+        for (d, &w) in weights.iter().enumerate() {
+            if w.is_finite() && w > 0.0 {
+                cum += w;
+            }
+            let mut next = if d + 1 == ndev {
+                n // the last boundary is exact regardless of rounding
+            } else {
+                ((n as f64) * cum / total).round() as usize
+            };
+            let prev = *starts.last().unwrap();
+            // keep positive-weight devices non-empty when rows remain
+            if w.is_finite() && w > 0.0 && next == prev && prev < n {
+                next = prev + 1;
+            }
+            starts.push(next.clamp(prev, n));
+        }
+        Self { starts }
+    }
+
+    /// Like [`Layout::proportional`], but splitting by cumulative
+    /// *nonzeros* instead of rows: device `d` gets a contiguous block
+    /// whose nnz is `≈ nnz(a) · w_d / Σw`. On matrices with non-uniform
+    /// row density (saddle-point blocks, hub rows) this is the split that
+    /// actually equalizes SpMV work; for uniform rows it reduces to the
+    /// row-proportional one.
+    ///
+    /// # Panics
+    /// When `weights` is empty or no weight is positive.
+    pub fn proportional_nnz(a: &Csr, weights: &[f64]) -> Self {
+        let n = a.nrows();
+        let ndev = weights.len();
+        assert!(ndev >= 1, "at least one device");
+        let total_w: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        assert!(total_w > 0.0, "at least one positive weight");
+        let total_nnz = a.nnz() as f64;
+        let mut starts = Vec::with_capacity(ndev + 1);
+        starts.push(0usize);
+        let mut cum_w = 0.0f64;
+        let mut row = 0usize;
+        let mut cum_nnz = 0usize;
+        for (d, &w) in weights.iter().enumerate() {
+            if w.is_finite() && w > 0.0 {
+                cum_w += w;
+            }
+            let prev = *starts.last().unwrap();
+            let mut next = if d + 1 == ndev {
+                n
+            } else {
+                // advance to the first row where the prefix nnz reaches
+                // this device's cumulative share
+                let target = total_nnz * cum_w / total_w;
+                while row < n && (cum_nnz as f64) < target {
+                    cum_nnz += a.row(row).0.len();
+                    row += 1;
+                }
+                row
+            };
+            if w.is_finite() && w > 0.0 && next == prev && prev < n {
+                next = prev + 1; // keep slow-but-alive devices non-empty
+            }
+            // resync the prefix scan past any bumped boundary
+            while row < next {
+                cum_nnz += a.row(row).0.len();
+                row += 1;
+            }
+            starts.push(next.clamp(prev, n));
+        }
+        Self { starts }
+    }
+
     /// Number of devices.
     pub fn ndev(&self) -> usize {
         self.starts.len() - 1
@@ -166,6 +253,60 @@ mod tests {
         assert_eq!(l.owner(2), 0);
         assert_eq!(l.owner(3), 2);
         assert_eq!(l.owner(6), 2);
+    }
+
+    #[test]
+    fn proportional_tracks_weights() {
+        // a device running 4x slow gets ~1/9 of the rows (weights 1, 1/4, 1)
+        let l = Layout::proportional(900, &[1.0, 0.25, 1.0]);
+        assert_eq!(l.ndev(), 3);
+        assert_eq!(l.n(), 900);
+        assert_eq!(l.nlocal(0), 400);
+        assert_eq!(l.nlocal(1), 100);
+        assert_eq!(l.nlocal(2), 400);
+    }
+
+    #[test]
+    fn proportional_handles_extremes() {
+        // zero-weight (lost) devices get nothing; others cover n
+        let l = Layout::proportional(10, &[1.0, 0.0, 1.0]);
+        assert_eq!(l.nlocal(1), 0);
+        assert_eq!(l.nlocal(0) + l.nlocal(2), 10);
+        // a tiny positive weight still keeps one row
+        let l2 = Layout::proportional(100, &[1.0, 1e-9, 1.0]);
+        assert!(l2.nlocal(1) >= 1);
+        assert_eq!(l2.n(), 100);
+        // boundaries stay monotone even with wild weights
+        let l3 = Layout::proportional(7, &[1e9, 1.0, 1e9, 1.0]);
+        for d in 0..4 {
+            assert!(l3.starts[d] <= l3.starts[d + 1]);
+        }
+        assert_eq!(l3.n(), 7);
+    }
+
+    #[test]
+    fn proportional_nnz_equalizes_work_not_rows() {
+        // uniform weights on a uniform-density matrix ≈ even rows
+        let a = laplace2d(30, 30);
+        let l = Layout::proportional_nnz(&a, &[1.0, 1.0, 1.0]);
+        assert_eq!(l.n(), 900);
+        for d in 0..3 {
+            assert!((l.nlocal(d) as i64 - 300).abs() < 40, "dev {d}: {}", l.nlocal(d));
+        }
+        // equal nnz shares, not equal row shares
+        let nnz_of =
+            |l: &Layout, d: usize| -> usize { l.range(d).map(|i| a.row(i).0.len()).sum::<usize>() };
+        let l2 = Layout::proportional_nnz(&a, &[1.0, 0.25, 1.0]);
+        let total = a.nnz() as f64;
+        assert!((nnz_of(&l2, 1) as f64 / total - 1.0 / 9.0).abs() < 0.02);
+        assert!((nnz_of(&l2, 0) as f64 / total - 4.0 / 9.0).abs() < 0.02);
+        // a zero-weight device gets nothing; a tiny one keeps a row
+        let l3 = Layout::proportional_nnz(&a, &[1.0, 0.0, 1.0]);
+        assert_eq!(l3.nlocal(1), 0);
+        assert_eq!(l3.n(), 900);
+        let l4 = Layout::proportional_nnz(&a, &[1.0, 1e-12, 1.0]);
+        assert!(l4.nlocal(1) >= 1);
+        assert_eq!(l4.n(), 900);
     }
 
     #[test]

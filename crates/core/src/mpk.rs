@@ -311,7 +311,7 @@ impl MpkState {
     ) -> Result<()> {
         for (d, ev) in inflight.events.iter().enumerate() {
             if let Some(ev) = ev {
-                mg.wait_event(d, *ev); // each queue waits for its own halo only
+                mg.wait_event(d, *ev)?; // each queue waits for its own halo only
             }
         }
         mg.run(|d, dev| {

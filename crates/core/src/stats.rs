@@ -97,9 +97,30 @@ pub struct SolveStats {
     /// Breakdown reason when the solve aborted (e.g. CholQR failure,
     /// exhausted transfer retries, device loss).
     pub breakdown: Option<BreakdownKind>,
+    /// Observed busy seconds per device (kernel time including any
+    /// injected fail-slow perturbation), indexed by device of the final
+    /// executor. Load imbalance is measurable here without a trace viewer.
+    pub device_busy_s: Vec<f64>,
+    /// Max/min of `device_busy_s` over the devices that did any work
+    /// (1.0 = perfectly balanced; 0.0 when unrecorded).
+    pub device_imbalance: f64,
 }
 
 impl SolveStats {
+    /// Record per-device observed busy times and derive the imbalance
+    /// ratio (max/min over devices with nonzero busy time).
+    pub fn record_device_times(&mut self, busy: Vec<f64>) {
+        let worked: Vec<f64> = busy.iter().copied().filter(|&b| b > 0.0).collect();
+        self.device_imbalance = if worked.is_empty() {
+            0.0
+        } else {
+            let max = worked.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let min = worked.iter().cloned().fold(f64::INFINITY, f64::min);
+            max / min
+        };
+        self.device_busy_s = busy;
+    }
+
     /// Average orthogonalization time per restart cycle, ms
     /// (Fig. 14 "Ortho/Res").
     pub fn orth_per_restart_ms(&self) -> f64 {
@@ -169,6 +190,20 @@ mod tests {
     fn zero_restarts_does_not_divide_by_zero() {
         let s = SolveStats { t_total: 1.0, ..Default::default() };
         assert!(s.total_per_restart_ms().is_finite());
+    }
+
+    #[test]
+    fn device_times_and_imbalance() {
+        let mut s = SolveStats::default();
+        s.record_device_times(vec![2.0, 1.0, 4.0]);
+        assert_eq!(s.device_busy_s, vec![2.0, 1.0, 4.0]);
+        assert!((s.device_imbalance - 4.0).abs() < 1e-15);
+        // idle devices (e.g. freshly degraded) don't zero the ratio
+        s.record_device_times(vec![3.0, 0.0, 3.0]);
+        assert!((s.device_imbalance - 1.0).abs() < 1e-15);
+        // nothing recorded
+        s.record_device_times(vec![0.0, 0.0]);
+        assert_eq!(s.device_imbalance, 0.0);
     }
 
     #[test]

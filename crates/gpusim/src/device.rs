@@ -98,7 +98,20 @@ pub struct Device {
     sdc_injected: u64,
     /// Optional command-queue trace (off by default).
     stream: StreamTrace,
+    /// Observed kernel seconds (includes injected fail-slow perturbation).
+    busy_s: f64,
+    /// Modeled kernel seconds (what a healthy device would have taken).
+    modeled_busy_s: f64,
+    /// EWMA of per-command observed/modeled latency (1.0 = healthy).
+    ewma_slowdown: f64,
+    /// Worst single-command overshoot (observed − modeled seconds) — the
+    /// hang detector's evidence.
+    max_overshoot_s: f64,
 }
+
+/// EWMA smoothing for the per-command latency ratio: small enough to ride
+/// out one noisy command, large enough to converge within a few dozen ops.
+const EWMA_ALPHA: f64 = 0.125;
 
 impl Device {
     pub(crate) fn new(id: usize, model: Arc<PerfModel>) -> Self {
@@ -116,6 +129,10 @@ impl Device {
             lost: false,
             sdc_injected: 0,
             stream: StreamTrace::default(),
+            busy_s: 0.0,
+            modeled_busy_s: 0.0,
+            ewma_slowdown: 1.0,
+            max_overshoot_s: 0.0,
         }
     }
 
@@ -148,9 +165,32 @@ impl Device {
                 return; // the op that kills the device never completes
             }
         }
-        self.clock += dt;
+        // fail-slow perturbation: a pure function of (seed, device, op).
+        // Both branches are gated on a non-neutral draw so a zero-rate
+        // plan leaves `actual` bit-identical to `dt`.
+        let mut actual = dt;
+        if let Some(p) = &self.faults {
+            let m = p.compute_multiplier(self.id, self.ops);
+            if m != 1.0 {
+                actual *= m;
+            }
+            let stall = p.stall_time(self.id, self.ops);
+            if stall > 0.0 {
+                actual += stall;
+            }
+        }
+        let start = self.clock;
+        self.clock += actual;
+        self.busy_s += actual;
+        self.modeled_busy_s += dt;
+        if actual > dt {
+            self.max_overshoot_s = self.max_overshoot_s.max(actual - dt);
+        }
+        if dt > 0.0 {
+            self.ewma_slowdown += EWMA_ALPHA * (actual / dt - self.ewma_slowdown);
+        }
         if self.stream.is_enabled() {
-            self.stream.push(Cmd::Kernel { dur: dt });
+            self.stream.push(Cmd::Kernel { start, dur: actual });
         }
     }
 
@@ -198,9 +238,38 @@ impl Device {
         self.lost
     }
 
+    /// Declare this device lost (watchdog verdict): the clock freezes and
+    /// every subsequent command or transfer is refused, exactly as if the
+    /// fault plan had killed it.
+    pub(crate) fn mark_lost(&mut self) {
+        self.lost = true;
+    }
+
     /// Kernel ops completed so far.
     pub fn ops(&self) -> u64 {
         self.ops
+    }
+
+    /// Observed kernel seconds, including injected fail-slow time.
+    pub fn busy_time(&self) -> f64 {
+        self.busy_s
+    }
+
+    /// Modeled kernel seconds (what a healthy device would have taken).
+    pub fn modeled_busy_time(&self) -> f64 {
+        self.modeled_busy_s
+    }
+
+    /// EWMA of per-command observed/modeled latency. 1.0 on a healthy
+    /// device; converges toward the slowdown factor on a degraded one.
+    pub fn ewma_slowdown(&self) -> f64 {
+        self.ewma_slowdown
+    }
+
+    /// Worst single-command overshoot (observed − modeled seconds) seen so
+    /// far — what the watchdog compares against its hang timeout.
+    pub fn max_overshoot(&self) -> f64 {
+        self.max_overshoot_s
     }
 
     /// Silent corruptions injected into this device's kernel outputs.

@@ -163,6 +163,46 @@ pub struct AllocFault {
     pub at_alloc: u64,
 }
 
+/// Sustained compute slowdown (fail-slow): every kernel on `device` from
+/// op `after_op + 1` on takes `factor` times its modeled duration. The
+/// arithmetic is untouched — only the clock runs slow, the signature of a
+/// thermally throttled or partially degraded part.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slowdown {
+    /// Device that runs slow.
+    pub device: usize,
+    /// Duration multiplier (≥ 1 models degradation; 1.0 is inert).
+    pub factor: f64,
+    /// Kernel ops the device completes at full speed before degrading.
+    pub after_op: u64,
+}
+
+/// Degraded PCIe/NIC link (fail-slow): every transfer message touching
+/// `device`'s link takes `factor` times its modeled duration — a flaky
+/// riser, a renegotiated lane width, a congested NIC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkDegrade {
+    /// Device whose link is degraded.
+    pub device: usize,
+    /// Transfer-duration multiplier (≥ 1; 1.0 is inert).
+    pub factor: f64,
+}
+
+/// Intermittent queue stalls (fail-slow): each kernel op on `device`
+/// independently freezes the queue for `stall_s` extra seconds with
+/// probability `rate` (drawn from the seeded hash, so replays are
+/// bit-identical). `rate = 1.0` with a large `stall_s` models a hung
+/// device the watchdog must convert into a loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StallPlan {
+    /// Device whose queue stalls.
+    pub device: usize,
+    /// Per-op stall probability.
+    pub rate: f64,
+    /// Fixed duration of each stall, seconds.
+    pub stall_s: f64,
+}
+
 /// A seeded, deterministic fault schedule for one run.
 ///
 /// The default plan (any seed, all rates zero, no loss) injects nothing
@@ -185,6 +225,12 @@ pub struct FaultPlan {
     pub device_loss: Option<DeviceLoss>,
     /// Optional injected allocation failure.
     pub alloc_fault: Option<AllocFault>,
+    /// Optional sustained compute slowdown (fail-slow).
+    pub slowdown: Option<Slowdown>,
+    /// Optional degraded transfer link (fail-slow).
+    pub link_degrade: Option<LinkDegrade>,
+    /// Optional intermittent queue stalls (fail-slow).
+    pub stalls: Option<StallPlan>,
 }
 
 impl FaultPlan {
@@ -198,6 +244,9 @@ impl FaultPlan {
             transfer_stall_s: 200e-6,
             device_loss: None,
             alloc_fault: None,
+            slowdown: None,
+            link_degrade: None,
+            stalls: None,
         }
     }
 
@@ -228,11 +277,54 @@ impl FaultPlan {
         self
     }
 
+    /// Builder: slow `device`'s kernels by `factor` after it completes
+    /// `after_op` ops at full speed. `factor = 1.0` is inert.
+    pub fn with_slowdown(mut self, device: usize, factor: f64, after_op: u64) -> Self {
+        assert!(factor >= 1.0, "a slowdown factor below 1 would be a speedup");
+        self.slowdown = Some(Slowdown { device, factor, after_op });
+        self
+    }
+
+    /// Builder: multiply every transfer duration on `device`'s link by
+    /// `factor`. `factor = 1.0` is inert.
+    pub fn with_link_degrade(mut self, device: usize, factor: f64) -> Self {
+        assert!(factor >= 1.0, "a link factor below 1 would be a speedup");
+        self.link_degrade = Some(LinkDegrade { device, factor });
+        self
+    }
+
+    /// Builder: freeze `device`'s queue for `stall_s` extra seconds on
+    /// each kernel op with probability `rate`.
+    pub fn with_stalls(mut self, device: usize, rate: f64, stall_s: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        assert!(stall_s >= 0.0);
+        self.stalls = Some(StallPlan { device, rate, stall_s });
+        self
+    }
+
     /// Builder: drop any scheduled device loss — used when re-installing a
     /// plan on the surviving devices after a degradation recovery (the
     /// loss already happened; SDC and transfer faults stay active).
     pub fn without_device_loss(mut self) -> Self {
         self.device_loss = None;
+        self
+    }
+
+    /// Builder: drop the performance faults (slowdown, link degradation,
+    /// stalls) targeting `device` — used when that device has been
+    /// declared lost and a rebuilt executor renumbers the survivors (a
+    /// fault aimed at the dead device must not land on whichever survivor
+    /// inherits its index).
+    pub fn without_perf_faults_on(mut self, device: usize) -> Self {
+        if matches!(self.slowdown, Some(s) if s.device == device) {
+            self.slowdown = None;
+        }
+        if matches!(self.link_degrade, Some(l) if l.device == device) {
+            self.link_degrade = None;
+        }
+        if matches!(self.stalls, Some(s) if s.device == device) {
+            self.stalls = None;
+        }
         self
     }
 
@@ -287,6 +379,41 @@ impl FaultPlan {
     /// Does allocation number `alloc_index` on `device` fail by injection?
     pub fn fails_alloc(&self, device: usize, alloc_index: u64) -> bool {
         matches!(self.alloc_fault, Some(a) if a.device == device && a.at_alloc == alloc_index)
+    }
+
+    /// Compute-duration multiplier for kernel op `op` on `device`
+    /// (1.0 = full speed). Pure in `(seed, device, op)`.
+    pub fn compute_multiplier(&self, device: usize, op: u64) -> f64 {
+        match self.slowdown {
+            Some(s) if s.device == device && op > s.after_op => s.factor,
+            _ => 1.0,
+        }
+    }
+
+    /// Transfer-duration multiplier for a message on `device`'s link
+    /// (1.0 = healthy link).
+    pub fn link_multiplier(&self, device: usize) -> f64 {
+        match self.link_degrade {
+            Some(l) if l.device == device => l.factor,
+            _ => 1.0,
+        }
+    }
+
+    /// Extra queue-freeze seconds kernel op `op` on `device` suffers
+    /// (0.0 = no stall). Pure in `(seed, device, op)`.
+    pub fn stall_time(&self, device: usize, op: u64) -> f64 {
+        let Some(st) = self.stalls else {
+            return 0.0;
+        };
+        if st.device != device || st.rate <= 0.0 || st.stall_s <= 0.0 {
+            return 0.0;
+        }
+        let h = self.hash(0x5354_414c, device, op);
+        if Self::u01(h) < st.rate {
+            st.stall_s
+        } else {
+            0.0
+        }
     }
 }
 
@@ -358,5 +485,52 @@ mod tests {
     fn error_display_mentions_out_of_memory() {
         let e = GpuSimError::OutOfMemory { device: 0, requested: 100, free: 10 };
         assert!(e.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    fn slowdown_applies_after_threshold_on_target_only() {
+        let p = FaultPlan::new(1).with_slowdown(1, 4.0, 10);
+        assert_eq!(p.compute_multiplier(1, 10), 1.0);
+        assert_eq!(p.compute_multiplier(1, 11), 4.0);
+        assert_eq!(p.compute_multiplier(0, 1000), 1.0);
+        assert_eq!(p.compute_multiplier(2, 1000), 1.0);
+    }
+
+    #[test]
+    fn link_degrade_targets_one_link() {
+        let p = FaultPlan::new(1).with_link_degrade(2, 3.0);
+        assert_eq!(p.link_multiplier(2), 3.0);
+        assert_eq!(p.link_multiplier(0), 1.0);
+    }
+
+    #[test]
+    fn stalls_are_deterministic_and_rate_faithful() {
+        let p = FaultPlan::new(9).with_stalls(0, 0.5, 1e-3);
+        let a: Vec<f64> = (0..256).map(|op| p.stall_time(0, op)).collect();
+        let b: Vec<f64> = (0..256).map(|op| p.stall_time(0, op)).collect();
+        assert_eq!(a, b);
+        let frac = a.iter().filter(|&&s| s > 0.0).count() as f64 / 256.0;
+        assert!((0.3..0.7).contains(&frac), "rate 0.5 drew {frac}");
+        // other devices never stall
+        assert!((0..256).all(|op| p.stall_time(1, op) == 0.0));
+        // zero rate and unit factors are inert
+        let inert = FaultPlan::new(9).with_stalls(0, 0.0, 1.0);
+        assert!((0..64).all(|op| inert.stall_time(0, op) == 0.0));
+        assert_eq!(FaultPlan::new(9).with_slowdown(0, 1.0, 0).compute_multiplier(0, 5), 1.0);
+    }
+
+    #[test]
+    fn perf_faults_cleared_per_device() {
+        let p = FaultPlan::new(3)
+            .with_slowdown(1, 2.0, 0)
+            .with_link_degrade(1, 2.0)
+            .with_stalls(2, 1.0, 1.0);
+        let q = p.clone().without_perf_faults_on(1);
+        assert_eq!(q.compute_multiplier(1, 5), 1.0);
+        assert_eq!(q.link_multiplier(1), 1.0);
+        assert!(q.stall_time(2, 0) > 0.0, "faults on other devices survive");
+        let r = p.without_perf_faults_on(2);
+        assert_eq!(r.compute_multiplier(1, 5), 2.0);
+        assert_eq!(r.stall_time(2, 0), 0.0);
     }
 }

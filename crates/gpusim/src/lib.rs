@@ -52,10 +52,16 @@
 //! ## Fault injection
 //!
 //! [`faults::FaultPlan`] deterministically injects silent data corruption,
-//! transient transfer failures, device loss, and allocation failure, all
-//! derived from `(seed, device, op index)` — never wall-clock randomness —
-//! so every faulty run replays bit-identically. A plan with all rates zero
-//! is indistinguishable from no plan at all.
+//! transient transfer failures, device loss, allocation failure, and
+//! fail-*slow* performance faults (sustained compute slowdown, degraded
+//! links, intermittent queue stalls), all derived from `(seed, device,
+//! op index)` — never wall-clock randomness — so every faulty run replays
+//! bit-identically. A plan with all rates zero is indistinguishable from
+//! no plan at all. [`MultiGpu::health_report`](multi::MultiGpu) and the
+//! [`MultiGpu::watchdog`](multi::MultiGpu) convert the observed-vs-modeled
+//! latency drift back into driver-visible health state, and
+//! [`trace::export_chrome_trace`] renders recorded command queues as a
+//! Perfetto/`chrome://tracing` timeline.
 
 // Numeric kernels index several parallel slices at once; iterator
 // rewrites would obscure the stride arithmetic the cost model mirrors.
@@ -66,9 +72,14 @@ pub mod faults;
 pub mod model;
 pub mod multi;
 pub mod stream;
+pub mod trace;
 
 pub use device::{Device, MatId, SpId, SpSlice, VecId};
-pub use faults::{AllocFault, DeviceLoss, FaultPlan, GpuSimError, SdcKind, SdcTargets};
+pub use faults::{
+    AllocFault, DeviceLoss, FaultPlan, GpuSimError, LinkDegrade, SdcKind, SdcTargets, Slowdown,
+    StallPlan,
+};
 pub use model::{GemmVariant, GemvVariant, KernelConfig, PerfModel};
-pub use multi::{CommCounters, MultiGpu};
+pub use multi::{CommCounters, DeviceHealth, HealthReport, MultiGpu};
 pub use stream::{Cmd, CopyEngine, Event, EventTable, Schedule, StreamTrace};
+pub use trace::export_chrome_trace;

@@ -60,6 +60,75 @@ impl CommCounters {
     pub fn total_bytes(&self) -> u64 {
         self.bytes_to_host + self.bytes_to_dev
     }
+
+    /// Element-wise sum — used to carry traffic totals across an executor
+    /// rebuild (degradation, rebalancing) so a solve's counters stay
+    /// end-to-end.
+    pub fn merged(self, other: CommCounters) -> CommCounters {
+        CommCounters {
+            msgs_to_host: self.msgs_to_host + other.msgs_to_host,
+            msgs_to_dev: self.msgs_to_dev + other.msgs_to_dev,
+            bytes_to_host: self.bytes_to_host + other.bytes_to_host,
+            bytes_to_dev: self.bytes_to_dev + other.bytes_to_dev,
+            transfer_retries: self.transfer_retries + other.transfer_retries,
+        }
+    }
+}
+
+/// One device's entry in a [`HealthReport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceHealth {
+    /// Device index.
+    pub device: usize,
+    /// Whether the device is still reachable (not lost).
+    pub alive: bool,
+    /// Kernel ops retired.
+    pub ops: u64,
+    /// Observed kernel seconds (includes fail-slow perturbation).
+    pub busy_s: f64,
+    /// Modeled kernel seconds (healthy-device cost of the same commands).
+    pub modeled_busy_s: f64,
+    /// EWMA of per-command observed/modeled latency (1.0 = healthy).
+    pub ewma_slowdown: f64,
+    /// Worst single-command overshoot, seconds.
+    pub max_overshoot_s: f64,
+}
+
+/// Per-device health snapshot the driver consults at restart boundaries:
+/// who is alive, how far each device's observed command latency has
+/// drifted from the model, and the relative throughput weights a
+/// row-rebalancing step should use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// One entry per device, in device order.
+    pub devices: Vec<DeviceHealth>,
+}
+
+impl HealthReport {
+    /// Relative throughput per device: the reciprocal of the latency EWMA
+    /// for alive devices, 0.0 for lost ones. A row partition proportional
+    /// to these weights equalizes per-device compute time.
+    pub fn throughput_weights(&self) -> Vec<f64> {
+        self.devices
+            .iter()
+            .map(|d| if d.alive { 1.0 / d.ewma_slowdown.max(f64::MIN_POSITIVE) } else { 0.0 })
+            .collect()
+    }
+
+    /// Max/min latency EWMA over alive devices (1.0 = perfectly even;
+    /// grows toward the slowdown factor as one device degrades).
+    pub fn imbalance(&self) -> f64 {
+        let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+        for d in self.devices.iter().filter(|d| d.alive) {
+            lo = lo.min(d.ewma_slowdown);
+            hi = hi.max(d.ewma_slowdown);
+        }
+        if lo > 0.0 && lo.is_finite() {
+            hi / lo
+        } else {
+            1.0
+        }
+    }
 }
 
 /// A host plus `n` simulated GPUs, optionally spread over several compute
@@ -166,6 +235,62 @@ impl MultiGpu {
         (0..self.devices.len()).find(|&d| self.devices[d].is_lost())
     }
 
+    // ---------- health monitoring ----------
+
+    /// Snapshot every device's health: observed vs. modeled busy time and
+    /// the per-command latency EWMA the devices maintain as commands
+    /// retire (the same observed/modeled ratio a host-side monitor would
+    /// extract from `StreamTrace` timestamps, kept incrementally so it is
+    /// available without enabling the trace).
+    pub fn health_report(&self) -> HealthReport {
+        let devices = self
+            .devices
+            .iter()
+            .map(|d| DeviceHealth {
+                device: d.id(),
+                alive: !d.is_lost(),
+                ops: d.ops(),
+                busy_s: d.busy_time(),
+                modeled_busy_s: d.modeled_busy_time(),
+                ewma_slowdown: d.ewma_slowdown(),
+                max_overshoot_s: d.max_overshoot(),
+            })
+            .collect();
+        HealthReport { devices }
+    }
+
+    /// Watchdog sweep: any alive device whose worst single-command
+    /// overshoot (observed − modeled latency) exceeds `hang_timeout_s` is
+    /// declared hung and marked lost, feeding the same skip-lost-devices
+    /// degradation path a fault-plan device loss takes. The hung device's
+    /// frozen clock is set to the instant the watchdog gave up — the rest
+    /// of the machine's progress plus the timeout — not the (possibly
+    /// enormous) stalled queue tail, so end-to-end time stays honest.
+    /// Returns the devices newly declared lost.
+    pub fn watchdog(&mut self, hang_timeout_s: f64) -> Vec<usize> {
+        assert!(hang_timeout_s > 0.0);
+        let hung: Vec<usize> = (0..self.devices.len())
+            .filter(|&d| {
+                !self.devices[d].is_lost() && self.devices[d].max_overshoot() > hang_timeout_s
+            })
+            .collect();
+        if hung.is_empty() {
+            return hung;
+        }
+        // progress of everything that is not hung, at the moment of detection
+        let t_rest = self
+            .devices
+            .iter()
+            .filter(|d| !d.is_lost() && !hung.contains(&d.id()))
+            .map(|d| d.clock())
+            .fold(self.host_time, f64::max);
+        for &d in &hung {
+            self.devices[d].set_clock(t_rest + hang_timeout_s);
+            self.devices[d].mark_lost();
+        }
+        hung
+    }
+
     /// One transfer message on device `d`'s link: draw transient faults,
     /// retry up to the attempt bound, and return the simulated duration the
     /// message occupied the link (successful attempt plus every failed one,
@@ -174,12 +299,18 @@ impl MultiGpu {
         if self.devices[d].is_lost() {
             return Err(GpuSimError::DeviceLost { device: d });
         }
-        let base = self.link_time(d, bytes);
+        let mut base = self.link_time(d, bytes);
         let msg = self.msg_counter;
         self.msg_counter += 1;
         let Some(plan) = self.faults.as_ref() else {
             return Ok(base);
         };
+        // degraded link (fail-slow): every attempt on this link runs slow.
+        // Gated on a non-unit factor so a zero-rate plan stays bit-identical.
+        let lm = plan.link_multiplier(d);
+        if lm != 1.0 {
+            base *= lm;
+        }
         let mut elapsed = 0.0;
         for attempt in 0..self.max_transfer_attempts {
             if !plan.transfer_fails(d, msg, attempt) {
@@ -344,10 +475,20 @@ impl MultiGpu {
 
     /// Make device `d`'s queue wait for an event: its next command starts
     /// no earlier than the event's timestamp (the `waited_events` term of
-    /// the start-time rule). No-op on a lost device.
-    pub fn wait_event(&mut self, d: usize, e: Event) {
+    /// the start-time rule).
+    ///
+    /// # Errors
+    /// [`GpuSimError::DeviceLost`] if the device has died — including
+    /// *after* the copy that recorded the event was issued. An in-flight
+    /// transfer to a device that is lost mid-flight resolves typed here
+    /// instead of leaving the consumer stuck on a dangling event.
+    pub fn wait_event(&mut self, d: usize, e: Event) -> Result<()> {
+        if self.devices[d].is_lost() {
+            return Err(GpuSimError::DeviceLost { device: d });
+        }
         let t = self.events.time(e);
         self.devices[d].wait_until(t, e);
+        Ok(())
     }
 
     /// Make the host clock wait for an event (no per-message charge; use
@@ -475,7 +616,7 @@ impl MultiGpu {
         let mut msgs = 0u64;
         for (i, e) in events.iter().enumerate() {
             if let Some(e) = e {
-                self.wait_event(i, *e);
+                self.wait_event(i, *e)?;
                 msgs += 1;
             }
         }
@@ -511,6 +652,13 @@ impl MultiGpu {
     /// Reset the communication counters (per-phase studies).
     pub fn reset_counters(&mut self) {
         self.counters = CommCounters::default();
+    }
+
+    /// Fold a predecessor executor's counters into this one, so a rebuild
+    /// (degradation onto survivors, row rebalancing) reports end-to-end
+    /// traffic instead of forgetting everything before the rebuild.
+    pub fn absorb_counters(&mut self, prior: CommCounters) {
+        self.counters = self.counters.merged(prior);
     }
 
     /// Reset all clocks, link timelines, events, and counters (fresh
@@ -806,7 +954,7 @@ mod tests {
             d.dot_cols(v, 0, 1);
         });
         let tail = mg.device(0).clock();
-        mg.wait_event(0, e);
+        mg.wait_event(0, e).unwrap();
         assert_eq!(mg.device(0).clock(), tail);
     }
 
@@ -844,7 +992,7 @@ mod tests {
         ev_mg.run(|_, d| {
             d.dot_cols(v2, 0, 1);
         });
-        ev_mg.wait_event(0, e);
+        ev_mg.wait_event(0, e).unwrap();
         let t_event = ev_mg.time();
         assert!(t_event < t_sync, "overlap must hide transfer: {t_event} vs {t_sync}");
         assert!(t_event >= ev_mg.event_time(e), "the dependency is still honored");
@@ -866,7 +1014,7 @@ mod tests {
             let mut msgs = 0u64;
             for (d, e) in down.iter().enumerate() {
                 if let Some(e) = e {
-                    mg.wait_event(d, *e);
+                    mg.wait_event(d, *e).unwrap();
                     msgs += 1;
                 }
             }
@@ -892,6 +1040,141 @@ mod tests {
         assert!(traces[0].iter().any(|c| matches!(c, Cmd::WaitEvent { .. })));
         assert!(traces[0].iter().any(|c| matches!(c, Cmd::CopyToHost { bytes: 32, .. })));
         assert!(traces[1].iter().all(|c| !matches!(c, Cmd::CopyToHost { .. })));
+    }
+
+    #[test]
+    fn midflight_copy_to_lost_device_resolves_typed() {
+        // regression: a copy issued while the device was alive must not
+        // leave a silently-ignored dangling event if the device dies
+        // before the consumer waits — the wait resolves to DeviceLost.
+        let mut mg = MultiGpu::with_defaults(2);
+        mg.set_fault_plan(FaultPlan::new(0).with_device_loss(1, 1));
+        let v = mg.device_mut(1).alloc_mat(10, 2).unwrap();
+        let e = mg.copy_to_device_async(1, 4096).unwrap(); // issued alive
+        mg.run(|i, d| {
+            if i == 1 {
+                d.dot_cols(v, 0, 1); // op 1 survives...
+                d.dot_cols(v, 0, 1); // ...op 2 kills device 1 mid-flight
+            }
+        });
+        assert!(mg.device(1).is_lost());
+        let err = mg.wait_event(1, e).unwrap_err();
+        assert_eq!(err, GpuSimError::DeviceLost { device: 1 });
+        // the other device's waits are unaffected
+        let e0 = mg.copy_to_device_async(0, 64).unwrap();
+        mg.wait_event(0, e0).unwrap();
+    }
+
+    #[test]
+    fn slowdown_scales_clock_but_not_results() {
+        let work = |mg: &mut MultiGpu| {
+            let v = mg.device_mut(0).alloc_mat(50_000, 2).unwrap();
+            mg.device_mut(0).mat_mut(v).set_col(0, &vec![2.0; 50_000]);
+            mg.device_mut(0).mat_mut(v).set_col(1, &vec![3.0; 50_000]);
+            mg.run_map(|_, d| d.dot_cols(v, 0, 1))[0]
+        };
+        let mut clean = MultiGpu::with_defaults(1);
+        let r0 = work(&mut clean);
+        let mut slow = MultiGpu::with_defaults(1);
+        slow.set_fault_plan(FaultPlan::new(1).with_slowdown(0, 4.0, 0));
+        let r1 = work(&mut slow);
+        assert_eq!(r0.to_bits(), r1.to_bits(), "slowdown must not touch arithmetic");
+        let (tc, ts) = (clean.device(0).clock(), slow.device(0).clock());
+        assert!((ts - 4.0 * tc).abs() < 1e-12 * ts, "4x slowdown: {ts} vs {tc}");
+        assert!(slow.device(0).ewma_slowdown() > 1.0);
+        assert_eq!(clean.device(0).ewma_slowdown(), 1.0);
+    }
+
+    #[test]
+    fn link_degrade_scales_transfers() {
+        let mut clean = MultiGpu::with_defaults(2);
+        clean.to_host(&[1_000_000, 1_000_000]).unwrap();
+        let mut deg = MultiGpu::with_defaults(2);
+        deg.set_fault_plan(FaultPlan::new(1).with_link_degrade(1, 3.0));
+        deg.to_host(&[1_000_000, 1_000_000]).unwrap();
+        assert!(deg.host_time() > clean.host_time());
+        // counters unchanged: degradation is time, not traffic
+        assert_eq!(deg.counters(), clean.counters());
+    }
+
+    #[test]
+    fn zero_rate_perf_plan_bit_identical() {
+        // unit factors and zero stall rate must be indistinguishable from
+        // no plan at all: clocks, health accounting, counters.
+        let run = |plan: Option<FaultPlan>| {
+            let mut mg = MultiGpu::with_defaults(2);
+            if let Some(p) = plan {
+                mg.set_fault_plan(p);
+            }
+            let v = mg.device_mut(0).alloc_mat(10_000, 2).unwrap();
+            mg.run(|i, d| {
+                if i == 0 {
+                    d.dot_cols(v, 0, 1);
+                }
+            });
+            mg.to_host(&[64, 128]).unwrap();
+            mg.broadcast(32).unwrap();
+            (
+                mg.time().to_bits(),
+                mg.device(0).clock().to_bits(),
+                mg.device(0).busy_time().to_bits(),
+                mg.device(0).ewma_slowdown().to_bits(),
+                mg.counters(),
+            )
+        };
+        let a = run(None);
+        let b = run(Some(
+            FaultPlan::new(77)
+                .with_slowdown(0, 1.0, 0)
+                .with_link_degrade(1, 1.0)
+                .with_stalls(0, 0.0, 5.0),
+        ));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn watchdog_declares_hung_device_lost_with_honest_clock() {
+        let mut mg = MultiGpu::with_defaults(2);
+        // device 1 hangs 50 s on every op; device 0 is healthy
+        mg.set_fault_plan(FaultPlan::new(4).with_stalls(1, 1.0, 50.0));
+        let v0 = mg.device_mut(0).alloc_mat(10_000, 2).unwrap();
+        let v1 = mg.device_mut(1).alloc_mat(10_000, 2).unwrap();
+        mg.run(|i, d| {
+            let v = if i == 0 { v0 } else { v1 };
+            d.dot_cols(v, 0, 1);
+        });
+        // nothing hung yet by the 100 s standard, everything by 1 s
+        assert!(mg.watchdog(100.0).is_empty());
+        let hr = mg.health_report();
+        assert!(hr.devices[1].max_overshoot_s > 1.0);
+        assert!(hr.imbalance() > 1.0);
+        let newly = mg.watchdog(1.0);
+        assert_eq!(newly, vec![1]);
+        assert!(mg.device(1).is_lost());
+        // the frozen clock is detection time, not the 50 s queue tail
+        let healthy = mg.device(0).clock();
+        assert!((mg.device(1).clock() - (healthy + 1.0)).abs() < 1e-12);
+        // idempotent: a second sweep finds nothing new
+        assert!(mg.watchdog(1.0).is_empty());
+        // weights: lost device gets zero
+        let w = mg.health_report().throughput_weights();
+        assert_eq!(w[1], 0.0);
+        assert!(w[0] > 0.0);
+    }
+
+    #[test]
+    fn absorb_counters_merges() {
+        let mut a = MultiGpu::with_defaults(1);
+        a.to_host(&[100]).unwrap();
+        let prior = a.counters();
+        let mut b = MultiGpu::with_defaults(1);
+        b.broadcast(50).unwrap();
+        b.absorb_counters(prior);
+        let c = b.counters();
+        assert_eq!(c.msgs_to_host, 1);
+        assert_eq!(c.bytes_to_host, 100);
+        assert_eq!(c.msgs_to_dev, 1);
+        assert_eq!(c.bytes_to_dev, 50);
     }
 
     #[test]

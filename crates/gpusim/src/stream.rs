@@ -64,7 +64,10 @@ impl Event {
 pub enum Cmd {
     /// A compute kernel occupying the device queue for `dur` seconds.
     Kernel {
-        /// Modeled kernel duration (seconds).
+        /// Queue-tail timestamp the kernel started at.
+        start: f64,
+        /// Modeled kernel duration (seconds), including any injected
+        /// fail-slow perturbation (slowdown multiplier, queue stall).
         dur: f64,
     },
     /// A device→host copy on this device's link.
@@ -239,14 +242,14 @@ mod tests {
     #[test]
     fn trace_records_only_when_enabled() {
         let mut tr = StreamTrace::default();
-        tr.push(Cmd::Kernel { dur: 1.0 });
+        tr.push(Cmd::Kernel { start: 0.0, dur: 1.0 });
         // pushes land regardless; callers gate on is_enabled()
         assert_eq!(tr.cmds().len(), 1);
         assert!(!tr.is_enabled());
         tr.enable();
         assert!(tr.is_enabled());
         let drained = tr.take();
-        assert_eq!(drained, vec![Cmd::Kernel { dur: 1.0 }]);
+        assert_eq!(drained, vec![Cmd::Kernel { start: 0.0, dur: 1.0 }]);
         assert!(tr.cmds().is_empty());
     }
 

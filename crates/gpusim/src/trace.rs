@@ -1,0 +1,177 @@
+//! Perfetto / `chrome://tracing` export of recorded [`crate::StreamTrace`]s.
+//!
+//! [`export_chrome_trace`] turns the per-device command queues drained by
+//! [`MultiGpu::take_traces`](crate::MultiGpu::take_traces) into the Trace
+//! Event JSON format both `chrome://tracing` and [ui.perfetto.dev]
+//! understand: one named track per device compute queue, one per copy
+//! engine (PCIe link), and one host track marking device→host arrivals.
+//! Kernel and copy commands become complete (`"ph": "X"`) slices with
+//! microsecond timestamps; event records and waits become instants, so a
+//! straggling device — a queue whose slices are stretched by a fail-slow
+//! fault — is visible at a glance.
+//!
+//! The export is a pure function of the recorded commands: two runs with
+//! the same seeds and fault plan serialize byte-identically, so a trace
+//! file doubles as a determinism artifact.
+//!
+//! [ui.perfetto.dev]: https://ui.perfetto.dev
+
+use crate::stream::Cmd;
+use std::fmt::Write as _;
+
+/// Track ids within one device's group: queue, link, and the shared host
+/// track. `tid`s are numeric in the trace format; names are attached with
+/// `thread_name` metadata events.
+fn queue_tid(d: usize) -> usize {
+    2 * d + 1
+}
+
+fn link_tid(d: usize) -> usize {
+    2 * d + 2
+}
+
+const HOST_TID: usize = 0;
+
+fn push_meta(out: &mut String, tid: usize, name: &str) {
+    let _ = write!(
+        out,
+        "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":{tid},\
+         \"args\":{{\"name\":\"{name}\"}}}}"
+    );
+}
+
+fn push_slice(out: &mut String, tid: usize, name: &str, start_s: f64, dur_s: f64) {
+    let _ = write!(
+        out,
+        ",\n{{\"ph\":\"X\",\"name\":\"{name}\",\"pid\":0,\"tid\":{tid},\
+         \"ts\":{:.3},\"dur\":{:.3}}}",
+        start_s * 1e6,
+        dur_s * 1e6
+    );
+}
+
+fn push_instant(out: &mut String, tid: usize, name: &str, at_s: f64) {
+    let _ = write!(
+        out,
+        ",\n{{\"ph\":\"i\",\"s\":\"t\",\"name\":\"{name}\",\"pid\":0,\"tid\":{tid},\
+         \"ts\":{:.3}}}",
+        at_s * 1e6
+    );
+}
+
+/// Serialize per-device command traces (one `Vec<Cmd>` per device, as
+/// returned by [`MultiGpu::take_traces`](crate::MultiGpu::take_traces))
+/// into Trace Event JSON. Load the result in `chrome://tracing` or
+/// Perfetto. Timestamps are microseconds of simulated time.
+pub fn export_chrome_trace(traces: &[Vec<Cmd>]) -> String {
+    let mut out = String::from("[\n");
+    push_meta(&mut out, HOST_TID, "host");
+    for d in 0..traces.len() {
+        out.push_str(",\n");
+        push_meta(&mut out, queue_tid(d), &format!("gpu{d} queue"));
+        out.push_str(",\n");
+        push_meta(&mut out, link_tid(d), &format!("gpu{d} copy engine"));
+    }
+    for (d, cmds) in traces.iter().enumerate() {
+        for cmd in cmds {
+            match *cmd {
+                Cmd::Kernel { start, dur } => {
+                    push_slice(&mut out, queue_tid(d), "kernel", start, dur);
+                }
+                Cmd::CopyToHost { bytes, start, finish } => {
+                    let name = format!("D2H {bytes} B");
+                    push_slice(&mut out, link_tid(d), &name, start, finish - start);
+                    push_instant(&mut out, HOST_TID, &format!("gpu{d} arrival"), finish);
+                }
+                Cmd::CopyToDevice { bytes, start, finish } => {
+                    let name = format!("H2D {bytes} B");
+                    push_slice(&mut out, link_tid(d), &name, start, finish - start);
+                }
+                Cmd::EventRecord { event, at } => {
+                    push_instant(&mut out, queue_tid(d), &format!("record e{}", event.index()), at);
+                }
+                Cmd::WaitEvent { event, until } => {
+                    push_instant(
+                        &mut out,
+                        queue_tid(d),
+                        &format!("wait e{}", event.index()),
+                        until,
+                    );
+                }
+            }
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultPlan, MultiGpu};
+
+    fn traced_run(plan: Option<FaultPlan>) -> Vec<Vec<Cmd>> {
+        let mut mg = MultiGpu::with_defaults(2);
+        if let Some(p) = plan {
+            mg.set_fault_plan(p);
+        }
+        mg.enable_trace();
+        let v0 = mg.device_mut(0).alloc_mat(20_000, 2).unwrap();
+        let v1 = mg.device_mut(1).alloc_mat(20_000, 2).unwrap();
+        mg.to_devices(&[640, 640]).unwrap();
+        mg.run(|i, d| {
+            let v = if i == 0 { v0 } else { v1 };
+            d.dot_cols(v, 0, 1);
+        });
+        mg.to_host(&[64, 64]).unwrap();
+        mg.take_traces()
+    }
+
+    #[test]
+    fn exports_all_tracks_and_valid_json_shape() {
+        let json = export_chrome_trace(&traced_run(None));
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        for name in ["\"host\"", "gpu0 queue", "gpu1 queue", "gpu0 copy engine", "gpu1 copy engine"]
+        {
+            assert!(json.contains(name), "missing track {name}");
+        }
+        assert!(json.contains("\"kernel\""));
+        assert!(json.contains("H2D 640 B"));
+        assert!(json.contains("D2H 64 B"));
+        assert!(json.contains("arrival"));
+        // balanced braces: every event object closes
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = export_chrome_trace(&traced_run(Some(FaultPlan::new(5))));
+        let b = export_chrome_trace(&traced_run(Some(FaultPlan::new(5))));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn straggler_slices_stretch() {
+        // the slowed device's kernel slices must be visibly longer
+        let clean = export_chrome_trace(&traced_run(None));
+        let slow =
+            export_chrome_trace(&traced_run(Some(FaultPlan::new(5).with_slowdown(1, 8.0, 0))));
+        assert_ne!(clean, slow);
+        let dur_of = |json: &str| -> f64 {
+            // last kernel slice duration in the file
+            json.lines()
+                .filter(|l| l.contains("\"kernel\""))
+                .filter_map(|l| {
+                    l.split("\"dur\":").nth(1).and_then(|s| {
+                        s.trim_end_matches(['}', ',', '\n'])
+                            .trim_end_matches('}')
+                            .parse::<f64>()
+                            .ok()
+                    })
+                })
+                .fold(0.0, f64::max)
+        };
+        assert!(dur_of(&slow) > 4.0 * dur_of(&clean));
+    }
+}

@@ -132,7 +132,7 @@ fn async_prefetch_is_hidden_under_independent_work() {
     let compute_only = mg.device(0).clock();
     for (d, e) in events.iter().enumerate() {
         if let Some(e) = e {
-            mg.wait_event(d, *e);
+            mg.wait_event(d, *e).unwrap();
         }
     }
     let t_overlapped = mg.time();
