@@ -147,18 +147,93 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// The PCG stream constant behind [`rhs_for`] — the de-facto seed of
+/// every suite run, stamped into result envelopes unless overridden.
+pub const SUITE_SEED: u64 = 0x853c49e6748fea9b;
+
+/// Per-run metadata stamped into every JSON artifact's envelope.
+#[derive(Debug, Clone)]
+pub struct RunMeta {
+    /// RNG seed the run's inputs were generated from.
+    pub seed: u64,
+    /// `MachineProfile::hash_hex()` of the calibrated profile in use,
+    /// if the study tunes against one.
+    pub profile_hash: Option<String>,
+}
+
+impl Default for RunMeta {
+    fn default() -> Self {
+        Self { seed: SUITE_SEED, profile_hash: None }
+    }
+}
+
+static RUN_META: std::sync::Mutex<Option<RunMeta>> = std::sync::Mutex::new(None);
+
+/// Override the metadata stamped by subsequent [`write_json`] calls
+/// (e.g. a tuning study records its profile hash before writing).
+pub fn set_run_meta(meta: RunMeta) {
+    *RUN_META.lock().unwrap() = Some(meta);
+}
+
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// Write a JSON result blob under `bench_results/` (repo root when run via
-/// cargo; cwd otherwise).
+/// cargo; cwd otherwise). Every figure and extension study shares this
+/// writer, so every artifact carries the same envelope: schema version,
+/// figure name, seed, thread count, `git describe`, and — for tuned
+/// runs — the machine-profile hash. The payload is the serialized
+/// `value`; the envelope fields are composed directly so they stay
+/// faithful even when `serde_json` is the offline dev stub.
 pub fn write_json<T: Serialize>(figure: &str, value: &T) {
     let dir = std::path::Path::new("bench_results");
     if std::fs::create_dir_all(dir).is_err() {
         return;
     }
     let path = dir.join(format!("{figure}.json"));
-    if let Ok(s) = serde_json::to_string_pretty(value) {
-        let _ = std::fs::write(&path, s);
-        eprintln!("[ca-bench] wrote {}", path.display());
-    }
+    let Ok(payload) = serde_json::to_string_pretty(value) else {
+        return;
+    };
+    let meta = RUN_META.lock().unwrap().clone().unwrap_or_default();
+    let profile = match &meta.profile_hash {
+        Some(h) => json_str(h),
+        None => "null".into(),
+    };
+    let envelope = format!(
+        "{{\n  \"schema\": \"ca-bench/result\",\n  \"schema_version\": 1,\n  \
+         \"figure\": {figure},\n  \"git\": {git},\n  \"threads\": {threads},\n  \
+         \"seed\": {seed},\n  \"profile_hash\": {profile},\n  \"payload\": {payload}\n}}\n",
+        figure = json_str(figure),
+        git = json_str(&git_describe()),
+        threads = rayon::current_num_threads(),
+        seed = meta.seed,
+    );
+    let _ = std::fs::write(&path, envelope);
+    eprintln!("[ca-bench] wrote {}", path.display());
 }
 
 /// GMRES flop count for effective-Gflop/s reporting (Fig. 3/11 style):

@@ -127,10 +127,65 @@ pub struct FtReport {
     pub hung_device: Option<usize>,
     /// Throughput-proportional repartitions performed.
     pub rebalances: usize,
+    /// Restart-boundary re-plans applied by the [`RestartTuner`] hook
+    /// (each one may change the step size, the row layout, or both).
+    pub retunes: usize,
+    /// Step size in effect at the end of the solve (differs from
+    /// `solver.s` only when a retune changed it).
+    pub s_final: usize,
     /// Whether the solve finished on fewer devices than it started with.
     pub degraded: bool,
     /// Devices the solve finished on.
     pub ndev_final: usize,
+    /// Block boundaries of the row layout in effect at the end of the
+    /// solve (`Layout::starts`; differs from the even split only when a
+    /// retune, rebalance, or device loss moved rows).
+    pub layout_final: Vec<usize>,
+}
+
+/// A re-planning decision returned by a [`RestartTuner`]: the step size
+/// and row layout the next restart cycles should run with. The layout
+/// must cover the same device count the solve currently runs on — the
+/// runtime hook re-shapes work across the surviving devices; it does not
+/// add or drop executors (device loss has its own degradation path).
+#[derive(Debug, Clone)]
+pub struct RetuneDecision {
+    /// New MPK step size (`1 ..= m`; `1` degenerates to plain SpMV
+    /// blocks).
+    pub s: usize,
+    /// New row partition.
+    pub layout: Layout,
+}
+
+/// Restart-boundary re-planning hook (tentpole layer 3 of the `ca-tune`
+/// subsystem, which provides the cost-model-driven implementation).
+///
+/// When [`CaGmresConfig::autotune`] is set and a tuner is passed to
+/// [`ca_gmres_ft_with_tuner`], the driver calls `replan` at every restart
+/// boundary (after the watchdog, instead of the throughput rebalancer)
+/// with the live health telemetry. Returning `None` — which any
+/// implementation must do while the report shows a perfectly healthy
+/// machine, to preserve the fault-plan invisibility contract — leaves the
+/// solve untouched. Returning a [`RetuneDecision`] that differs from the
+/// current `(s, layout)` makes the driver rebuild the distributed system,
+/// charge the row-migration traffic over the (possibly degraded) links,
+/// and re-derive the basis spec for the new step size from the already
+/// harvested shifts.
+///
+/// The planning computation itself is *not* charged to simulated time:
+/// the tuner runs on the host from a previously fitted machine profile
+/// (an offline artifact), and the paper's machine overlaps such
+/// bookkeeping with device work.
+pub trait RestartTuner {
+    /// Re-plan for the observed health. `s_cur` and `layout` describe the
+    /// configuration currently in effect (which already includes earlier
+    /// retunes).
+    fn replan(
+        &mut self,
+        health: &ca_gpusim::HealthReport,
+        s_cur: usize,
+        layout: &Layout,
+    ) -> Option<RetuneDecision>;
 }
 
 /// Outcome of a fault-tolerant solve.
@@ -246,15 +301,30 @@ fn spec_from_shifts(
 /// the survivors). `a` is distributed by [`Layout::even`] over however
 /// many devices `mg` holds.
 pub fn ca_gmres_ft(mg: MultiGpu, a: &Csr, b: &[f64], cfg: &FtConfig) -> FtOutcome {
+    ca_gmres_ft_with_tuner(mg, a, b, cfg, None)
+}
+
+/// [`ca_gmres_ft`] with an optional restart-boundary [`RestartTuner`].
+/// The tuner is consulted only when [`CaGmresConfig::autotune`] is also
+/// set; `ca_gmres_ft(..)` is exactly `ca_gmres_ft_with_tuner(.., None)`.
+pub fn ca_gmres_ft_with_tuner(
+    mg: MultiGpu,
+    a: &Csr,
+    b: &[f64],
+    cfg: &FtConfig,
+    tuner: Option<&mut dyn RestartTuner>,
+) -> FtOutcome {
     assert_eq!(a.nrows(), b.len());
     let mut mg = mg;
     let mut stats = SolveStats::default();
-    let mut report = FtReport { ndev_final: mg.n_gpus(), ..Default::default() };
+    let mut report =
+        FtReport { ndev_final: mg.n_gpus(), s_final: cfg.solver.s, ..Default::default() };
     // last accepted iterate; also the rollback target for every recovery
     let mut x_ckpt = vec![0.0f64; a.nrows()];
     mg.sync();
     let t_begin = mg.time();
-    let fatal = ca_gmres_ft_impl(&mut mg, a, b, cfg, &mut stats, &mut report, &mut x_ckpt).err();
+    let fatal =
+        ca_gmres_ft_impl(&mut mg, a, b, cfg, tuner, &mut stats, &mut report, &mut x_ckpt).err();
     if let Some(e) = fatal {
         stats.breakdown = Some(BreakdownKind::from(e));
         stats.converged = false;
@@ -273,12 +343,13 @@ pub fn ca_gmres_ft(mg: MultiGpu, a: &Csr, b: &[f64], cfg: &FtConfig) -> FtOutcom
 /// Fallible body: only *unrecoverable* faults escape (device loss with no
 /// survivor, loss during recovery itself, exhausted transfer retries,
 /// allocation failure). Everything else is absorbed and counted.
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn ca_gmres_ft_impl(
     mg: &mut MultiGpu,
     a: &Csr,
     b: &[f64],
     cfg: &FtConfig,
+    mut tuner: Option<&mut dyn RestartTuner>,
     stats: &mut SolveStats,
     report: &mut FtReport,
     x_ckpt: &mut Vec<f64>,
@@ -286,7 +357,9 @@ fn ca_gmres_ft_impl(
     let n = a.nrows();
     let scfg = &cfg.solver;
     assert!(scfg.s >= 1 && scfg.m >= scfg.s);
-    let s_opt = (scfg.s > 1 && !matches!(scfg.kernel, KernelMode::Spmv)).then_some(scfg.s);
+    // step size currently in effect; a retune may change it mid-solve
+    let mut s_cur = scfg.s;
+    let mut s_opt = (s_cur > 1 && !matches!(scfg.kernel, KernelMode::Spmv)).then_some(s_cur);
     let mut orth = scfg.orth;
     orth.abft = cfg.abft_orth;
 
@@ -298,7 +371,7 @@ fn ca_gmres_ft_impl(
     let target = scfg.rtol * beta0;
     let mut beta = beta0;
     let mut shifts: Option<Vec<ca_dense::hessenberg::Complex>> = None;
-    let mut spec_full = BasisSpec::monomial(scfg.s);
+    let mut spec_full = BasisSpec::monomial(s_cur);
     let mut harvested = false;
     let mut redo_budget = cfg.max_recompute;
 
@@ -307,6 +380,7 @@ fn ca_gmres_ft_impl(
             mg,
             &sys,
             cfg,
+            s_cur,
             &orth,
             abft.as_ref(),
             &spec_full,
@@ -326,7 +400,7 @@ fn ca_gmres_ft_impl(
                         }
                         mg.host_compute(30.0 * (scfg.m * scfg.m * scfg.m) as f64, 0.0);
                     }
-                    spec_full = spec_from_shifts(&shifts, scfg.basis, scfg.s);
+                    spec_full = spec_from_shifts(&shifts, scfg.basis, s_cur);
                     harvested = true;
                 }
                 let beta_explicit = sys.residual_norm(mg)?;
@@ -383,6 +457,54 @@ fn ca_gmres_ft_impl(
                 continue; // re-enter on the survivors before rebalancing
             }
         }
+        if scfg.autotune {
+            if let Some(t) = tuner.as_deref_mut() {
+                let health = mg.health_report();
+                if let Some(d) = t.replan(&health, s_cur, &sys.layout) {
+                    assert!(
+                        d.s >= 1 && d.s <= scfg.m,
+                        "retune step size {} outside 1..={}",
+                        d.s,
+                        scfg.m
+                    );
+                    assert_eq!(
+                        d.layout.ndev(),
+                        sys.layout.ndev(),
+                        "retune layout must keep the surviving device count"
+                    );
+                    let layout_changed = d.layout.starts != sys.layout.starts;
+                    if d.s != s_cur || layout_changed {
+                        // migration payload: same accounting as the
+                        // rebalance path below
+                        let mut bytes = vec![0usize; d.layout.ndev()];
+                        for dev in 0..d.layout.ndev() {
+                            let old = sys.layout.range(dev);
+                            let (mut nnz, mut arriving) = (0usize, 0usize);
+                            for i in d.layout.range(dev) {
+                                if !old.contains(&i) {
+                                    nnz += a.row(i).0.len();
+                                    arriving += 1;
+                                }
+                            }
+                            bytes[dev] = 12 * nnz + 16 * arriving;
+                        }
+                        report.retunes += 1;
+                        s_cur = d.s;
+                        report.s_final = s_cur;
+                        s_opt = (s_cur > 1 && !matches!(scfg.kernel, KernelMode::Spmv))
+                            .then_some(s_cur);
+                        (sys, abft) = rebuild_system(mg, a, b, d.layout, cfg, s_opt, &[])?;
+                        if layout_changed {
+                            mg.to_devices(&bytes)?; // charge the row migration
+                        }
+                        sys.upload_x(mg, x_ckpt)?;
+                        spec_full = spec_from_shifts(&shifts, scfg.basis, s_cur);
+                        beta = sys.residual_norm(mg)?;
+                        continue; // re-enter with the new plan; skip rebalance
+                    }
+                }
+            }
+        }
         if cfg.rebalance {
             let health = mg.health_report();
             if health.imbalance() > cfg.rebalance_threshold {
@@ -436,6 +558,7 @@ fn ca_gmres_ft_impl(
 
     stats.converged = beta <= target;
     stats.final_relres = if beta0 > 0.0 { beta / beta0 } else { 0.0 };
+    report.layout_final = sys.layout.starts.clone();
     Ok(())
 }
 
@@ -501,6 +624,7 @@ fn run_protected_cycle(
     mg: &mut MultiGpu,
     sys: &System,
     cfg: &FtConfig,
+    s_cur: usize,
     orth: &crate::orth::OrthConfig,
     abft: Option<&AbftState>,
     spec_full: &BasisSpec,
@@ -530,7 +654,7 @@ fn run_protected_cycle(
         });
     }
 
-    let use_mpk = sys.mpk.is_some() && scfg.s > 1;
+    let use_mpk = sys.mpk.is_some() && s_cur > 1;
     sys.seed_basis(mg, beta)?;
     let mut lsq = GivensLsq::new(beta);
     let mut arn = BlockArnoldi::new();
@@ -539,7 +663,7 @@ fn run_protected_cycle(
     let mut k_used = 0usize;
 
     'blocks: while ncols - 1 < scfg.m {
-        let s_blk = scfg.s.min(scfg.m + 1 - ncols);
+        let s_blk = s_cur.min(scfg.m + 1 - ncols);
         let spec_blk = spec_full.truncate(s_blk);
         let bmat = spec_blk.change_matrix();
         let start = ncols - 1;

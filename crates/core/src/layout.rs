@@ -119,6 +119,15 @@ impl Layout {
         let total_w: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
         assert!(total_w > 0.0, "at least one positive weight");
         let total_nnz = a.nnz() as f64;
+        // Rows past the prefix-nnz scan's stopping point (trailing empty
+        // rows) must land on a device that can actually work on them: the
+        // closing `next = n` boundary goes to the last *positive*-weight
+        // device, so a zero-throughput (just-escalated) trailing device
+        // stays empty instead of inheriting the tail.
+        let last_pos = weights
+            .iter()
+            .rposition(|w| w.is_finite() && *w > 0.0)
+            .expect("at least one positive weight");
         let mut starts = Vec::with_capacity(ndev + 1);
         starts.push(0usize);
         let mut cum_w = 0.0f64;
@@ -129,7 +138,7 @@ impl Layout {
                 cum_w += w;
             }
             let prev = *starts.last().unwrap();
-            let mut next = if d + 1 == ndev {
+            let mut next = if d >= last_pos {
                 n
             } else {
                 // advance to the first row where the prefix nnz reaches
@@ -307,6 +316,42 @@ mod tests {
         let l4 = Layout::proportional_nnz(&a, &[1.0, 1e-12, 1.0]);
         assert!(l4.nlocal(1) >= 1);
         assert_eq!(l4.n(), 900);
+    }
+
+    #[test]
+    fn proportional_nnz_zero_weight_last_device_stays_empty() {
+        // A matrix whose trailing rows are empty: the prefix-nnz scan
+        // stops before row n, and the closing boundary used to hand the
+        // tail to the last device even at weight zero (a just-escalated
+        // straggler). The split must route the tail to the last *working*
+        // device instead.
+        let n = 12;
+        let mut row_ptr = vec![0usize; n + 1];
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..8 {
+            // rows 0..8 hold one diagonal entry; rows 8..12 are empty
+            col_idx.push(i as u32);
+            values.push(1.0);
+            row_ptr[i + 1] = col_idx.len();
+        }
+        for i in 8..n {
+            row_ptr[i + 1] = col_idx.len();
+        }
+        let a = Csr::from_raw(n, n, row_ptr, col_idx, values);
+        let l = Layout::proportional_nnz(&a, &[1.0, 1.0, 0.0]);
+        assert_eq!(l.n(), n, "layout must still cover every row");
+        assert_eq!(l.nlocal(2), 0, "zero-weight device got rows {:?}", l.range(2));
+        assert_eq!(l.nlocal(0) + l.nlocal(1), n);
+        // same story with the zero weight in the middle and at the end
+        let l2 = Layout::proportional_nnz(&a, &[1.0, 0.0, 0.0]);
+        assert_eq!(l2.nlocal(0), n);
+        assert_eq!(l2.nlocal(1), 0);
+        assert_eq!(l2.nlocal(2), 0);
+        // healthy weights still split the work evenly and cover the tail
+        let l3 = Layout::proportional_nnz(&a, &[1.0, 1.0, 1.0]);
+        assert_eq!(l3.n(), n);
+        assert!(l3.nlocal(2) >= 1, "last healthy device keeps the tail");
     }
 
     #[test]

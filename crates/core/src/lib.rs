@@ -57,7 +57,10 @@ pub mod prelude {
     pub use crate::cagmres::{ca_gmres, BasisChoice, CaGmresConfig, CaGmresOutcome, KernelMode};
     pub use crate::cpu::gmres_cpu;
     pub use crate::eigs::{arnoldi_eigs, ArnoldiConfig, EigsOutcome, RitzPair};
-    pub use crate::ft::{ca_gmres_ft, FtConfig, FtOutcome, FtReport};
+    pub use crate::ft::{
+        ca_gmres_ft, ca_gmres_ft_with_tuner, FtConfig, FtOutcome, FtReport, RestartTuner,
+        RetuneDecision,
+    };
     pub use crate::gmres::{gmres, GmresConfig, GmresOutcome};
     pub use crate::layout::{prepare, Layout, Ordering};
     pub use crate::mpk::{MpkPlan, MpkState};

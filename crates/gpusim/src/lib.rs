@@ -1,3 +1,4 @@
+#![cfg_attr(test, recursion_limit = "256")] // proptest! bodies in model.rs
 //! # ca-gpusim — simulated multi-GPU substrate
 //!
 //! The paper runs on three NVIDIA M2090 (Fermi) GPUs attached to a 16-core
@@ -79,7 +80,7 @@ pub use faults::{
     AllocFault, DeviceLoss, FaultPlan, GpuSimError, LinkDegrade, SdcKind, SdcTargets, Slowdown,
     StallPlan,
 };
-pub use model::{GemmVariant, GemvVariant, KernelConfig, PerfModel};
+pub use model::{EffCurve, GemmVariant, GemvVariant, KernelConfig, PerfModel, PARAM_NAMES};
 pub use multi::{CommCounters, DeviceHealth, HealthReport, MultiGpu};
 pub use stream::{Cmd, CopyEngine, Event, EventTable, Schedule, StreamTrace};
 pub use trace::export_chrome_trace;

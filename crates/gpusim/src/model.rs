@@ -73,7 +73,13 @@ impl Default for KernelConfig {
 }
 
 /// Calibrated machine constants (seconds, bytes, flop/s).
-#[derive(Debug, Clone)]
+///
+/// A fitted machine profile (see the `ca-tune` crate) persists these
+/// constants by name and reloads them bit-identically; use
+/// [`PerfModel::param`] / [`PerfModel::set_param`] /
+/// [`PerfModel::apply_overrides`] to introspect or replace individual
+/// constants without depending on the struct layout.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct PerfModel {
     /// Kernel-launch latency per launch.
     pub launch_s: f64,
@@ -323,6 +329,169 @@ impl PerfModel {
     }
 }
 
+/// Names accepted by [`PerfModel::param`] / [`PerfModel::set_param`].
+/// Tuple-valued constants are flattened as `name.tput` / `name.bw`.
+pub const PARAM_NAMES: &[&str] = &[
+    "launch_s",
+    "pcie_latency_s",
+    "pcie_bw",
+    "host_msg_s",
+    "net_latency_s",
+    "net_bw",
+    "dev_mem_capacity",
+    "dev_peak_flops",
+    "dev_mem_bw",
+    "eff_spmv",
+    "gemm_cublas.tput",
+    "gemm_cublas.bw",
+    "gemm_batched.tput",
+    "gemm_batched.bw",
+    "gemv_cublas_bw",
+    "gemv_magma_bw",
+    "blas1_bw",
+    "geqr2.tput",
+    "geqr2.bw",
+    "trsm_bw",
+    "host_flops",
+    "host_mem_bw",
+    "host_gemm_flops",
+    "host_spmv_bw",
+];
+
+impl PerfModel {
+    /// Read one named constant (see [`PARAM_NAMES`]); `None` for an
+    /// unknown name. `dev_mem_capacity` is reported in bytes as `f64`.
+    pub fn param(&self, name: &str) -> Option<f64> {
+        Some(match name {
+            "launch_s" => self.launch_s,
+            "pcie_latency_s" => self.pcie_latency_s,
+            "pcie_bw" => self.pcie_bw,
+            "host_msg_s" => self.host_msg_s,
+            "net_latency_s" => self.net_latency_s,
+            "net_bw" => self.net_bw,
+            "dev_mem_capacity" => self.dev_mem_capacity as f64,
+            "dev_peak_flops" => self.dev_peak_flops,
+            "dev_mem_bw" => self.dev_mem_bw,
+            "eff_spmv" => self.eff_spmv,
+            "gemm_cublas.tput" => self.gemm_cublas.0,
+            "gemm_cublas.bw" => self.gemm_cublas.1,
+            "gemm_batched.tput" => self.gemm_batched.0,
+            "gemm_batched.bw" => self.gemm_batched.1,
+            "gemv_cublas_bw" => self.gemv_cublas_bw,
+            "gemv_magma_bw" => self.gemv_magma_bw,
+            "blas1_bw" => self.blas1_bw,
+            "geqr2.tput" => self.geqr2.0,
+            "geqr2.bw" => self.geqr2.1,
+            "trsm_bw" => self.trsm_bw,
+            "host_flops" => self.host_flops,
+            "host_mem_bw" => self.host_mem_bw,
+            "host_gemm_flops" => self.host_gemm_flops,
+            "host_spmv_bw" => self.host_spmv_bw,
+            _ => return None,
+        })
+    }
+
+    /// Overwrite one named constant; returns whether the name was known.
+    pub fn set_param(&mut self, name: &str, value: f64) -> bool {
+        match name {
+            "launch_s" => self.launch_s = value,
+            "pcie_latency_s" => self.pcie_latency_s = value,
+            "pcie_bw" => self.pcie_bw = value,
+            "host_msg_s" => self.host_msg_s = value,
+            "net_latency_s" => self.net_latency_s = value,
+            "net_bw" => self.net_bw = value,
+            "dev_mem_capacity" => self.dev_mem_capacity = value as usize,
+            "dev_peak_flops" => self.dev_peak_flops = value,
+            "dev_mem_bw" => self.dev_mem_bw = value,
+            "eff_spmv" => self.eff_spmv = value,
+            "gemm_cublas.tput" => self.gemm_cublas.0 = value,
+            "gemm_cublas.bw" => self.gemm_cublas.1 = value,
+            "gemm_batched.tput" => self.gemm_batched.0 = value,
+            "gemm_batched.bw" => self.gemm_batched.1 = value,
+            "gemv_cublas_bw" => self.gemv_cublas_bw = value,
+            "gemv_magma_bw" => self.gemv_magma_bw = value,
+            "blas1_bw" => self.blas1_bw = value,
+            "geqr2.tput" => self.geqr2.0 = value,
+            "geqr2.bw" => self.geqr2.1 = value,
+            "trsm_bw" => self.trsm_bw = value,
+            "host_flops" => self.host_flops = value,
+            "host_mem_bw" => self.host_mem_bw = value,
+            "host_gemm_flops" => self.host_gemm_flops = value,
+            "host_spmv_bw" => self.host_spmv_bw = value,
+            _ => return false,
+        }
+        true
+    }
+
+    /// Snapshot every named constant in [`PARAM_NAMES`] order.
+    pub fn params(&self) -> Vec<(&'static str, f64)> {
+        PARAM_NAMES.iter().map(|&n| (n, self.param(n).unwrap())).collect()
+    }
+
+    /// Apply `(name, value)` overrides in order (a loaded machine profile
+    /// replacing the built-in constants); returns how many names matched.
+    pub fn apply_overrides<'a, I>(&mut self, overrides: I) -> usize
+    where
+        I: IntoIterator<Item = (&'a str, f64)>,
+    {
+        overrides.into_iter().filter(|(n, v)| self.set_param(n, *v)).count()
+    }
+}
+
+/// A fitted efficiency curve: achieved rate as a piecewise-linear function
+/// of a shape parameter (rows, column count, message size, ...).
+///
+/// Knots are kept sorted by shape. Evaluation interpolates linearly between
+/// adjacent knots and **clamps** outside the fitted range — an out-of-range
+/// shape returns the nearest endpoint's rate rather than extrapolating
+/// (which could go negative and turn a predicted time into nonsense).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct EffCurve {
+    knots: Vec<(f64, f64)>,
+}
+
+impl EffCurve {
+    /// Build a curve from `(shape, rate)` knots (sorted internally).
+    ///
+    /// # Panics
+    /// If `knots` is empty or any coordinate is not finite.
+    pub fn from_knots(mut knots: Vec<(f64, f64)>) -> Self {
+        assert!(!knots.is_empty(), "EffCurve needs at least one knot");
+        assert!(
+            knots.iter().all(|&(x, y)| x.is_finite() && y.is_finite()),
+            "EffCurve knots must be finite"
+        );
+        knots.sort_by(|a, b| a.0.total_cmp(&b.0));
+        Self { knots }
+    }
+
+    /// The fitted `(shape, rate)` knots, sorted by shape.
+    pub fn knots(&self) -> &[(f64, f64)] {
+        &self.knots
+    }
+
+    /// Rate at `x`: linear interpolation between the surrounding knots,
+    /// clamped to the endpoint rates outside the fitted range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let k = &self.knots;
+        let (first, last) = (k[0], k[k.len() - 1]);
+        if x <= first.0 {
+            return first.1;
+        }
+        if x >= last.0 {
+            return last.1;
+        }
+        // First knot strictly right of x; x < last.0 guarantees it exists.
+        let i = k.partition_point(|&(kx, _)| kx <= x);
+        let (x0, y0) = k[i - 1];
+        let (x1, y1) = k[i];
+        if x1 == x0 {
+            return y0;
+        }
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,5 +596,134 @@ mod tests {
         let gemm_flops = 2.0 * n as f64 * (k * k) as f64;
         let gemm_gfs = gemm_flops / m.gemm_tn_time(GemmVariant::Batched { h: 384 }, n, k, k) / 1e9;
         assert!(gemm_gfs > 3.0 * qr_gfs, "gemm {gemm_gfs} vs qr {qr_gfs}");
+    }
+
+    #[test]
+    fn param_introspection_roundtrips_every_name() {
+        let mut m = PerfModel::default();
+        for &name in PARAM_NAMES {
+            let v = m.param(name).unwrap_or_else(|| panic!("unknown param {name}"));
+            assert!(m.set_param(name, v * 2.0), "set_param rejected {name}");
+            assert_eq!(m.param(name).unwrap(), v * 2.0, "{name} did not stick");
+            m.set_param(name, v);
+        }
+        assert_eq!(m, PerfModel::default());
+        assert!(m.param("no_such_param").is_none());
+        assert!(!m.set_param("no_such_param", 1.0));
+        let n = m.apply_overrides([("eff_spmv", 0.4), ("bogus", 1.0)]);
+        assert_eq!(n, 1);
+        assert_eq!(m.eff_spmv, 0.4);
+    }
+
+    fn sample_times(m: &PerfModel) -> Vec<f64> {
+        vec![
+            m.spmv_time(1_234_567, 98_765),
+            m.spmv_hyb_time(543_210, 777, 98_765),
+            m.gemm_tn_time(GemmVariant::Cublas, 200_000, 30, 30),
+            m.gemm_tn_time(GemmVariant::Batched { h: 384 }, 200_000, 31, 11),
+            m.gemm_tn_time_f32(GemmVariant::Batched { h: 384 }, 200_000, 30, 30),
+            m.gemm_nn_time(GemmVariant::Batched { h: 384 }, 150_000, 20, 10),
+            m.gemv_t_time(GemvVariant::Cublas, 500_000, 30),
+            m.gemv_t_time(GemvVariant::MagmaTallSkinny, 500_000, 30),
+            m.blas1_time(300_000),
+            m.geqr2_time(100_000, 30),
+            m.geqr2_batched_time(100_000, 30, 256),
+            m.trsm_time(100_000, 30),
+            m.pcie_time(1_000_000),
+            m.remote_link_time(1_000_000),
+            m.host_time(1e9, 1e8),
+            m.host_spmv_time(4_000_000, 100_000),
+            m.host_gemm_time(200_000, 30, 30),
+        ]
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Profile round-trip: every constant rendered as its shortest
+        /// decimal form (what the machine-profile JSON stores) and parsed
+        /// back must leave every predicted time bit-identical, even after
+        /// perturbing the constants.
+        #[test]
+        fn profile_roundtrip_bit_identical(
+            scales in proptest::collection::vec(0.25f64..4.0, PARAM_NAMES.len()..PARAM_NAMES.len() + 1),
+        ) {
+            let mut m = PerfModel::default();
+            for (&name, &sc) in PARAM_NAMES.iter().zip(&scales) {
+                let v = m.param(name).unwrap();
+                m.set_param(name, v * sc);
+            }
+            let mut m2 = PerfModel::default();
+            for (name, v) in m.params() {
+                let text = format!("{v:?}");
+                let back: f64 = text.parse().unwrap();
+                m2.set_param(name, back);
+            }
+            prop_assert_eq!(&m, &m2);
+            for (a, b) in sample_times(&m).iter().zip(sample_times(&m2).iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// Between two adjacent knots the interpolant must stay inside the
+    /// interval spanned by the knot rates and be monotone in x.
+    fn check_monotone_between_knots(mut xs: Vec<f64>, ys: Vec<f64>, t0: f64, t1: f64) {
+        xs.sort_by(f64::total_cmp);
+        xs.dedup();
+        let knots: Vec<(f64, f64)> = xs.iter().zip(&ys).map(|(&x, &y)| (x, y)).collect();
+        let c = EffCurve::from_knots(knots);
+        for w in c.knots().windows(2) {
+            let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+            if x1 == x0 {
+                continue;
+            }
+            let (ta, tb) = if t0 <= t1 { (t0, t1) } else { (t1, t0) };
+            let xa = x0 + ta * (x1 - x0);
+            let xb = x0 + tb * (x1 - x0);
+            let (ya, yb) = (c.eval(xa), c.eval(xb));
+            let (lo, hi) = (y0.min(y1), y0.max(y1));
+            let tol = 1e-9 * hi.max(1.0);
+            assert!(ya >= lo - tol && ya <= hi + tol, "eval escaped knot interval");
+            // monotone along the segment, in the direction of the knots
+            if y1 >= y0 {
+                assert!(yb >= ya - tol, "not increasing: {ya} -> {yb}");
+            } else {
+                assert!(yb <= ya + tol, "not decreasing: {ya} -> {yb}");
+            }
+        }
+    }
+
+    /// Out-of-range shapes must clamp to the endpoint rates — never
+    /// negative, never an extrapolated overshoot.
+    fn check_clamps_out_of_range(mut xs: Vec<f64>, ys: Vec<f64>, probe: f64) {
+        xs.sort_by(f64::total_cmp);
+        let knots: Vec<(f64, f64)> = xs.iter().zip(&ys).map(|(&x, &y)| (x, y)).collect();
+        let c = EffCurve::from_knots(knots);
+        let k = c.knots();
+        let (first, last) = (k[0], k[k.len() - 1]);
+        assert_eq!(c.eval(first.0 - 1.0), first.1);
+        assert_eq!(c.eval(last.0 + 1.0), last.1);
+        assert!(c.eval(probe) >= 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn eff_curve_monotone_between_knots(
+            xs in proptest::collection::vec(0.0f64..1e7, 3..8),
+            ys in proptest::collection::vec(0.0f64..1e12, 8..9),
+            t0 in 0.0f64..1.0, t1 in 0.0f64..1.0,
+        ) {
+            check_monotone_between_knots(xs, ys, t0, t1);
+        }
+
+        #[test]
+        fn eff_curve_clamps_out_of_range(
+            xs in proptest::collection::vec(-1e6f64..1e6, 2..6),
+            ys in proptest::collection::vec(0.0f64..1e12, 6..7),
+            probe in -1e9f64..1e9,
+        ) {
+            check_clamps_out_of_range(xs, ys, probe);
+        }
     }
 }

@@ -1,0 +1,69 @@
+//! # ca-tune — calibration and cost-model-driven autotuning for CA-GMRES
+//!
+//! The paper's Figure 12 table is the product of hand-tuning: for every
+//! matrix the authors searched over the step size `s`, the basis, the
+//! orthogonalization strategy, and the device count until the
+//! time-per-restart-cycle stopped improving. This crate automates that
+//! search against the simulated machine, in three layers:
+//!
+//! * [`calibrate()`] — replay a fixed set of micro-kernel shapes (the
+//!   Figure 11 GEMM sweep plus, optionally, the target matrix's actual
+//!   MPK/BOrth/TSQR shapes) through the simulator and fit per-kernel
+//!   efficiency parameters and achieved-rate curves. The result is a
+//!   versioned, deterministically serialized [`profile::MachineProfile`];
+//!   loading one onto a [`ca_gpusim::PerfModel`] (via
+//!   [`profile::MachineProfile::to_model`]) replaces the built-in
+//!   constants with the fitted ones.
+//! * [`plan`] — a pruned search over `(s, basis, TSQR kind, device
+//!   count, partitioner)` that predicts the time of one restart cycle
+//!   *without running the solve*: a closed-form roll-up of exactly the
+//!   charges `ca_gmres::mpk` / `ca_gmres::orth` / `ca_gmres::system`
+//!   issue, walked on a flattened clock per device. Stability
+//!   constraints (the paper's §IV monomial-basis step cap and the
+//!   CholQR condition-number guard) prune the space before it is
+//!   scored; the top pick can be cross-validated against one real
+//!   simulated run ([`plan::Planner::cross_validate`]).
+//! * [`retune`] — runtime adaptation: [`retune::Retuner`] implements
+//!   [`ca_gmres::ft::RestartTuner`], so a fault-tolerant solve with
+//!   `CaGmresConfig::autotune` set re-plans `(s, layout)` at restart
+//!   boundaries from the live [`ca_gpusim::HealthReport`]. On a healthy
+//!   machine it returns `None` without touching the solver state, so a
+//!   tuned run replays an untuned run bit for bit.
+
+pub mod calibrate;
+pub mod plan;
+pub mod profile;
+pub mod retune;
+
+pub use calibrate::{calibrate, calibrate_with_target, TargetShapes};
+pub use plan::{
+    Candidate, CandidateSpace, CrossCheck, Plan, Planner, PlannerLimits, RankedCandidate,
+};
+pub use profile::{MachineProfile, NamedCurve, ParamSource, ProfileParam};
+pub use retune::Retuner;
+
+/// FNV-1a over a byte string — the digest primitive the bench harness
+/// uses; profiles hash their canonical JSON with it so a profile hash in
+/// run metadata pins exactly which calibration produced a result.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fnv1a64;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,524 @@
+//! Versioned machine profiles: the persistent artifact of calibration.
+//!
+//! A profile is a list of fitted [`ca_gpusim::PerfModel`] parameters plus
+//! named achieved-rate curves ([`ca_gpusim::EffCurve`]). It serializes to
+//! a deterministic JSON document — same profile, same bytes — so CI can
+//! assert that re-running calibration reproduces the committed profile
+//! bit for bit, and so the FNV-1a hash of the document identifies the
+//! calibration in bench-run metadata.
+//!
+//! The JSON reader/writer here is deliberately hand-rolled: floating
+//! point values are written with Rust's shortest round-trip formatting
+//! (`{:?}`) and read back with `str::parse::<f64>`, which restores the
+//! exact bit pattern for every finite value.
+
+use crate::fnv1a64;
+use ca_gpusim::{EffCurve, PerfModel};
+
+/// Identifies the document type in the JSON header.
+pub const PROFILE_SCHEMA: &str = "ca-tune/machine-profile";
+/// Bumped when the document layout changes incompatibly.
+pub const PROFILE_VERSION: u64 = 1;
+
+/// Where a parameter value came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamSource {
+    /// Fitted from replayed micro-kernels.
+    Fit,
+    /// Copied from the hint model (not identifiable from replay alone —
+    /// e.g. `net_bw` on a single-node machine, or one factor of a
+    /// product of two parameters that only ever appears as the product).
+    Hint,
+}
+
+impl ParamSource {
+    fn as_str(self) -> &'static str {
+        match self {
+            ParamSource::Fit => "fit",
+            ParamSource::Hint => "hint",
+        }
+    }
+}
+
+/// One `(name, value)` override for [`PerfModel::apply_overrides`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileParam {
+    /// A name from [`ca_gpusim::PARAM_NAMES`].
+    pub name: String,
+    /// Fitted (or carried-over) value.
+    pub value: f64,
+    /// Provenance.
+    pub source: ParamSource,
+}
+
+/// A named achieved-rate curve (the Figure 11 analog: e.g. batched-GEMM
+/// GFLOP/s as a function of the block width `k`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedCurve {
+    /// Kernel family, e.g. `"gemm_batched"`.
+    pub name: String,
+    /// Unit of the knot ordinates, e.g. `"GFLOP/s"`.
+    pub unit: String,
+    /// The fitted curve.
+    pub curve: EffCurve,
+}
+
+/// A fitted machine profile: parameter overrides plus efficiency curves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineProfile {
+    /// Free-form machine label, e.g. `"sim-m2090-x3"`.
+    pub machine: String,
+    /// Parameter overrides in [`ca_gpusim::PARAM_NAMES`] order.
+    pub params: Vec<ProfileParam>,
+    /// Achieved-rate curves per kernel family.
+    pub curves: Vec<NamedCurve>,
+}
+
+impl MachineProfile {
+    /// Look up a parameter override by name.
+    #[must_use]
+    pub fn param(&self, name: &str) -> Option<f64> {
+        self.params.iter().find(|p| p.name == name).map(|p| p.value)
+    }
+
+    /// Look up a curve by kernel-family name.
+    #[must_use]
+    pub fn curve(&self, name: &str) -> Option<&EffCurve> {
+        self.curves.iter().find(|c| c.name == name).map(|c| &c.curve)
+    }
+
+    /// Materialize a [`PerfModel`]: clone `hint`, then apply every
+    /// parameter override — the loaded profile replaces the built-in
+    /// constants. Returns the model and how many overrides matched.
+    #[must_use]
+    pub fn to_model(&self, hint: &PerfModel) -> (PerfModel, usize) {
+        let mut m = hint.clone();
+        let n = m.apply_overrides(self.params.iter().map(|p| (p.name.as_str(), p.value)));
+        (m, n)
+    }
+
+    /// Deterministic canonical JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": {},\n", quote(PROFILE_SCHEMA)));
+        s.push_str(&format!("  \"version\": {PROFILE_VERSION},\n"));
+        s.push_str(&format!("  \"machine\": {},\n", quote(&self.machine)));
+        s.push_str("  \"params\": [\n");
+        for (i, p) in self.params.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": {}, \"value\": {:?}, \"source\": {}}}{}\n",
+                quote(&p.name),
+                p.value,
+                quote(p.source.as_str()),
+                if i + 1 < self.params.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n  \"curves\": [\n");
+        for (i, c) in self.curves.iter().enumerate() {
+            let knots: Vec<String> =
+                c.curve.knots().iter().map(|&(x, y)| format!("[{x:?}, {y:?}]")).collect();
+            s.push_str(&format!(
+                "    {{\"name\": {}, \"unit\": {}, \"knots\": [{}]}}{}\n",
+                quote(&c.name),
+                quote(&c.unit),
+                knots.join(", "),
+                if i + 1 < self.curves.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse a profile from its JSON document.
+    ///
+    /// # Errors
+    /// A human-readable message when the document is malformed, has the
+    /// wrong schema tag, or a version this build does not understand.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text)?;
+        let obj = v.as_obj().ok_or("profile: top level is not an object")?;
+        let schema = get(obj, "schema")?.as_str().ok_or("profile: schema is not a string")?;
+        if schema != PROFILE_SCHEMA {
+            return Err(format!("profile: unexpected schema {schema:?}"));
+        }
+        let version = get(obj, "version")?.as_f64().ok_or("profile: version is not a number")?;
+        if version != PROFILE_VERSION as f64 {
+            return Err(format!("profile: unsupported version {version}"));
+        }
+        let machine =
+            get(obj, "machine")?.as_str().ok_or("profile: machine is not a string")?.to_string();
+        let mut params = Vec::new();
+        for pv in get(obj, "params")?.as_arr().ok_or("profile: params is not an array")? {
+            let po = pv.as_obj().ok_or("profile: param entry is not an object")?;
+            let source = match get(po, "source")?.as_str() {
+                Some("fit") => ParamSource::Fit,
+                Some("hint") => ParamSource::Hint,
+                other => return Err(format!("profile: bad param source {other:?}")),
+            };
+            params.push(ProfileParam {
+                name: get(po, "name")?
+                    .as_str()
+                    .ok_or("profile: param name is not a string")?
+                    .to_string(),
+                value: get(po, "value")?.as_f64().ok_or("profile: param value is not a number")?,
+                source,
+            });
+        }
+        let mut curves = Vec::new();
+        for cv in get(obj, "curves")?.as_arr().ok_or("profile: curves is not an array")? {
+            let co = cv.as_obj().ok_or("profile: curve entry is not an object")?;
+            let mut knots = Vec::new();
+            for kv in get(co, "knots")?.as_arr().ok_or("profile: knots is not an array")? {
+                let pair = kv.as_arr().ok_or("profile: knot is not a pair")?;
+                if pair.len() != 2 {
+                    return Err("profile: knot is not a pair".into());
+                }
+                let x = pair[0].as_f64().ok_or("profile: knot x is not a number")?;
+                let y = pair[1].as_f64().ok_or("profile: knot y is not a number")?;
+                knots.push((x, y));
+            }
+            if knots.is_empty() {
+                return Err("profile: curve has no knots".into());
+            }
+            curves.push(NamedCurve {
+                name: get(co, "name")?
+                    .as_str()
+                    .ok_or("profile: curve name is not a string")?
+                    .to_string(),
+                unit: get(co, "unit")?
+                    .as_str()
+                    .ok_or("profile: curve unit is not a string")?
+                    .to_string(),
+                curve: EffCurve::from_knots(knots),
+            });
+        }
+        Ok(Self { machine, params, curves })
+    }
+
+    /// FNV-1a hash of the canonical JSON document.
+    #[must_use]
+    pub fn hash(&self) -> u64 {
+        fnv1a64(self.to_json().as_bytes())
+    }
+
+    /// [`MachineProfile::hash`] as the fixed-width hex string bench
+    /// metadata embeds.
+    #[must_use]
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", self.hash())
+    }
+}
+
+fn get<'a>(obj: &'a [(String, json::Jv)], key: &str) -> Result<&'a json::Jv, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("profile: missing key {key:?}"))
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal recursive-descent JSON reader. The offline serde_json stand-in
+/// this workspace builds against has no deserializer, and profiles must
+/// round-trip bit-exactly anyway, so the few dozen lines here are the
+/// whole dependency.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Jv {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Jv>),
+        Obj(Vec<(String, Jv)>),
+    }
+
+    impl Jv {
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Jv::Num(v) => Some(*v),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Jv::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn as_arr(&self) -> Option<&[Jv]> {
+            match self {
+                Jv::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+        pub fn as_obj(&self) -> Option<&[(String, Jv)]> {
+            match self {
+                Jv::Obj(o) => Some(o),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Jv, String> {
+        let b = text.as_bytes();
+        let mut pos = 0usize;
+        let v = value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("json: trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if *pos < b.len() && b[*pos] == ch {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("json: expected {:?} at byte {}", ch as char, pos))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Jv, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("json: unexpected end of input".into()),
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Jv::Obj(fields));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = string(b, pos)?;
+                    expect(b, pos, b':')?;
+                    fields.push((key, value(b, pos)?));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Jv::Obj(fields));
+                        }
+                        _ => return Err(format!("json: expected ',' or '}}' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Jv::Arr(items));
+                }
+                loop {
+                    items.push(value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Jv::Arr(items));
+                        }
+                        _ => return Err(format!("json: expected ',' or ']' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Jv::Str(string(b, pos)?)),
+            Some(b't') if b[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(Jv::Bool(true))
+            }
+            Some(b'f') if b[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(Jv::Bool(false))
+            }
+            Some(b'n') if b[*pos..].starts_with(b"null") => {
+                *pos += 4;
+                Ok(Jv::Null)
+            }
+            Some(_) => {
+                let start = *pos;
+                while *pos < b.len()
+                    && matches!(b[*pos], b'0'..=b'9' | b'+' | b'-' | b'.' | b'e' | b'E')
+                {
+                    *pos += 1;
+                }
+                let tok = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+                tok.parse::<f64>()
+                    .map(Jv::Num)
+                    .map_err(|e| format!("json: bad number {tok:?}: {e}"))
+            }
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("json: expected string at byte {pos}"));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err("json: unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or("json: truncated \\u escape")
+                                .and_then(|h| {
+                                    std::str::from_utf8(h).map_err(|_| "json: bad \\u escape")
+                                })?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "json: bad \\u escape".to_string())?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "json: bad \\u codepoint".to_string())?,
+                            );
+                            *pos += 4;
+                        }
+                        other => return Err(format!("json: bad escape {other:?}")),
+                    }
+                    *pos += 1;
+                }
+                Some(&c) => {
+                    // copy a full UTF-8 sequence
+                    let s = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                    let ch = s.chars().next().ok_or("json: unterminated string")?;
+                    out.push(ch);
+                    *pos += ch.len_utf8();
+                    let _ = c;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MachineProfile {
+        MachineProfile {
+            machine: "sim-test".to_string(),
+            params: vec![
+                ProfileParam { name: "launch_s".into(), value: 7.125e-6, source: ParamSource::Fit },
+                ProfileParam { name: "net_bw".into(), value: 4.5e9, source: ParamSource::Hint },
+            ],
+            curves: vec![NamedCurve {
+                name: "gemm_batched".into(),
+                unit: "GFLOP/s".into(),
+                curve: EffCurve::from_knots(vec![(2.0, 11.5), (16.0, 98.0), (31.0, 141.25)]),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_identical() {
+        let p = sample();
+        let text = p.to_json();
+        let q = MachineProfile::from_json(&text).unwrap();
+        assert_eq!(p, q);
+        // canonical: serializing the parse reproduces the exact bytes
+        assert_eq!(text, q.to_json());
+        assert_eq!(p.hash(), q.hash());
+    }
+
+    #[test]
+    fn awkward_f64_values_survive_round_trip() {
+        // values whose decimal expansions exercise the shortest-repr
+        // printer: subnormals, ulp-separated neighbors, huge magnitudes
+        let vals =
+            [f64::MIN_POSITIVE, 1.0 + f64::EPSILON, 0.1, 1e308, 5e-324, std::f64::consts::PI, -0.0];
+        let p = MachineProfile {
+            machine: "bits".into(),
+            params: vals
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| ProfileParam {
+                    name: format!("p{i}"),
+                    value: v,
+                    source: ParamSource::Fit,
+                })
+                .collect(),
+            curves: vec![],
+        };
+        let q = MachineProfile::from_json(&p.to_json()).unwrap();
+        for (a, b) in p.params.iter().zip(&q.params) {
+            assert_eq!(a.value.to_bits(), b.value.to_bits(), "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn to_model_applies_overrides() {
+        let hint = PerfModel::default();
+        let mut p = sample();
+        p.params[0].value = 1.5e-5; // launch_s
+        let (m, matched) = p.to_model(&hint);
+        assert_eq!(matched, 2);
+        assert_eq!(m.param("launch_s"), Some(1.5e-5));
+        // untouched parameters come from the hint
+        assert_eq!(m.param("blas1_bw"), hint.param("blas1_bw"));
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_version() {
+        let good = sample().to_json();
+        let bad = good.replace("ca-tune/machine-profile", "something-else");
+        assert!(MachineProfile::from_json(&bad).is_err());
+        let bad = good.replace("\"version\": 1", "\"version\": 99");
+        assert!(MachineProfile::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for text in ["", "{", "{\"schema\": }", "[1,2", "{\"a\": 1} x"] {
+            assert!(MachineProfile::from_json(text).is_err(), "{text:?}");
+        }
+    }
+}

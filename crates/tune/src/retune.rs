@@ -1,0 +1,216 @@
+//! Restart-boundary re-planning: the bridge between the planner and the
+//! fault-tolerant driver's `AutoTune` hook.
+//!
+//! [`Retuner`] implements [`ca_gmres::ft::RestartTuner`]. At each
+//! restart boundary the driver hands it the watchdog's
+//! [`ca_gpusim::HealthReport`]; on a healthy machine the retuner
+//! returns `None` without evaluating anything, so an armed-but-idle
+//! autotune run replays the untuned run bit for bit. When devices have
+//! slowed or died it re-scores a small `(s, layout)` grid with the
+//! closed-form walker — feeding each device's latency EWMA in as a
+//! kernel slowdown multiplier — and proposes the winner.
+
+use crate::plan::{Candidate, Planner};
+use ca_gmres::prelude::*;
+use ca_gpusim::{HealthReport, KernelConfig, PerfModel};
+use ca_sparse::Csr;
+
+/// Re-planner for one fault-tolerant solve.
+///
+/// Borrows the *prepared* (permuted) matrix the solve runs on — layout
+/// candidates are produced directly against it, no re-ordering happens
+/// at a restart boundary (re-permuting mid-solve would cost a full
+/// matrix re-upload; re-slicing only moves the rows that change owner).
+#[derive(Debug)]
+pub struct Retuner<'a> {
+    planner: Planner<'a>,
+    base: Candidate,
+    /// Step sizes considered when re-planning (the planner's static
+    /// caps still apply on top).
+    pub s_grid: Vec<usize>,
+    /// EWMA-slowdown spread below which the machine counts as healthy
+    /// and the retuner stays inert.
+    pub imbalance_threshold: f64,
+}
+
+impl<'a> Retuner<'a> {
+    /// A retuner for a solve of `a` (already permuted/distributed) with
+    /// restart length `m`, whose fixed choices (basis, orth, kernel)
+    /// are described by `base`. `base.s` is only the starting point —
+    /// the live `s` arrives through the hook.
+    #[must_use]
+    pub fn new(
+        a: &'a Csr,
+        m: usize,
+        model: PerfModel,
+        config: KernelConfig,
+        base: Candidate,
+    ) -> Self {
+        Self {
+            planner: Planner::new(a, m, model, config),
+            base,
+            s_grid: vec![2, 3, 5, 8, 10, 15, 20],
+            imbalance_threshold: 1.05,
+        }
+    }
+
+    /// Access the underlying planner (e.g. to tighten its limits).
+    #[must_use]
+    pub fn planner_mut(&mut self) -> &mut Planner<'a> {
+        &mut self.planner
+    }
+
+    /// Score one `(s, layout)` under the given slowdown multipliers.
+    fn score(&self, a: &Csr, layout: &Layout, s: usize, slow: &[f64]) -> f64 {
+        let cand = Candidate { s, ndev: layout.ndev(), ..self.base };
+        self.planner.predict_for_layout(a, layout, &cand, slow)
+    }
+}
+
+impl RestartTuner for Retuner<'_> {
+    fn replan(
+        &mut self,
+        health: &HealthReport,
+        s_cur: usize,
+        layout: &Layout,
+    ) -> Option<RetuneDecision> {
+        let all_alive = health.devices.iter().all(|d| d.alive);
+        if all_alive && health.imbalance() <= self.imbalance_threshold {
+            return None; // healthy: stay invisible
+        }
+        let weights = health.throughput_weights();
+        if weights.iter().all(|&w| w <= 0.0) {
+            return None; // nothing left to run on; let the driver fail
+        }
+        let a = self.planner.matrix();
+        // Kernel slowdown multipliers: a dead device keeps multiplier
+        // 1.0 — the rebalanced layout gives it zero rows, so its
+        // charges are launch-only either way.
+        let slow: Vec<f64> = health
+            .devices
+            .iter()
+            .map(|d| if d.alive { d.ewma_slowdown.max(1.0) } else { 1.0 })
+            .collect();
+
+        let rebalanced = Layout::proportional_nnz(a, &weights);
+        let layouts: Vec<&Layout> = if rebalanced.starts == layout.starts {
+            vec![layout]
+        } else {
+            vec![layout, &rebalanced]
+        };
+        let mut s_opts: Vec<usize> = self
+            .s_grid
+            .iter()
+            .copied()
+            .chain(std::iter::once(s_cur))
+            .filter(|&s| {
+                s >= 1 && s <= self.planner.m() && {
+                    let c = Candidate { s, ..self.base };
+                    self.planner.prune_reason(&c).is_none()
+                }
+            })
+            .collect();
+        s_opts.sort_unstable();
+        s_opts.dedup();
+
+        // Deterministic argmin; the incumbent (s_cur, current layout) is
+        // scored first and ties keep it, so a re-plan only fires when a
+        // strictly better point exists.
+        let mut best_s = s_cur;
+        let mut best_layout = 0usize;
+        let mut best_t = self.score(a, layout, s_cur, &slow);
+        for (li, lay) in layouts.iter().enumerate() {
+            for &s in &s_opts {
+                if li == 0 && s == s_cur {
+                    continue;
+                }
+                let t = self.score(a, lay, s, &slow);
+                if t < best_t {
+                    best_t = t;
+                    best_s = s;
+                    best_layout = li;
+                }
+            }
+        }
+        if best_s == s_cur && best_layout == 0 {
+            return None;
+        }
+        Some(RetuneDecision { s: best_s, layout: layouts[best_layout].clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_gpusim::DeviceHealth;
+    use ca_sparse::gen::laplace2d;
+
+    fn health(ewma: &[f64], alive: &[bool]) -> HealthReport {
+        HealthReport {
+            devices: ewma
+                .iter()
+                .zip(alive)
+                .enumerate()
+                .map(|(d, (&e, &a))| DeviceHealth {
+                    device: d,
+                    alive: a,
+                    ops: 100,
+                    busy_s: e,
+                    modeled_busy_s: 1.0,
+                    ewma_slowdown: e,
+                    max_overshoot_s: 0.0,
+                })
+                .collect(),
+        }
+    }
+
+    fn base() -> Candidate {
+        Candidate {
+            s: 5,
+            basis: BasisChoice::Newton,
+            tsqr: TsqrKind::CholQr,
+            borth: BorthKind::Cgs,
+            kernel: KernelMode::Mpk,
+            ndev: 3,
+            ordering: Ordering::Natural,
+            reorth: false,
+        }
+    }
+
+    #[test]
+    fn healthy_report_is_a_no_op() {
+        let a = laplace2d(16, 16);
+        let mut r = Retuner::new(&a, 20, PerfModel::default(), KernelConfig::default(), base());
+        let layout = Layout::even(a.nrows(), 3);
+        let h = health(&[1.0, 1.0, 1.0], &[true, true, true]);
+        assert!(r.replan(&h, 5, &layout).is_none());
+    }
+
+    #[test]
+    fn slowdown_triggers_a_rebalanced_layout() {
+        let a = laplace2d(16, 16);
+        let mut r = Retuner::new(&a, 20, PerfModel::default(), KernelConfig::default(), base());
+        let layout = Layout::even(a.nrows(), 3);
+        let h = health(&[1.0, 1.0, 4.0], &[true, true, true]);
+        let d = r.replan(&h, 5, &layout).expect("4x straggler must trigger a re-plan");
+        // the straggler must own fewer rows than an even share
+        let even = a.nrows() / 3;
+        assert!(
+            d.layout.nlocal(2) < even,
+            "straggler share {} not below even {}",
+            d.layout.nlocal(2),
+            even
+        );
+    }
+
+    #[test]
+    fn dead_device_gets_zero_rows() {
+        let a = laplace2d(16, 16);
+        let mut r = Retuner::new(&a, 20, PerfModel::default(), KernelConfig::default(), base());
+        let layout = Layout::even(a.nrows(), 3);
+        let h = health(&[1.0, 1.0, 1.0], &[true, false, true]);
+        let d = r.replan(&h, 5, &layout).expect("device loss must trigger a re-plan");
+        assert_eq!(d.layout.nlocal(1), 0);
+        assert_eq!(d.layout.n(), a.nrows());
+    }
+}

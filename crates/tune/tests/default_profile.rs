@@ -1,0 +1,23 @@
+//! The committed machine profile is pinned to the calibration code: a
+//! fresh fit must reproduce `bench_results/profiles/default.json` byte
+//! for byte. If a calibration change is intentional, regenerate the
+//! artifact with `cargo run --release -p ca-bench --bin ext_autotune`.
+
+use ca_gpusim::{KernelConfig, PerfModel};
+use ca_tune::{calibrate, MachineProfile};
+
+#[test]
+fn committed_default_profile_refits_bit_identically() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../bench_results/profiles/default.json");
+    let committed =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let parsed = MachineProfile::from_json(&committed).expect("committed profile parses");
+    let refit = calibrate(&PerfModel::default(), KernelConfig::default(), "m2090-sim");
+    assert_eq!(
+        refit.hash_hex(),
+        parsed.hash_hex(),
+        "re-fitted profile drifted from the committed artifact"
+    );
+    assert_eq!(refit.to_json(), committed, "byte-level drift from the committed artifact");
+}

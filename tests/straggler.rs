@@ -72,12 +72,8 @@ fn rebalancing_is_identical_to_static_without_faults() {
     let run = |rebalance: bool| {
         let mut mg = MultiGpu::with_defaults(3);
         mg.set_fault_plan(FaultPlan::new(3)); // all rates zero
-        let cfg = FtConfig {
-            solver,
-            rebalance,
-            watchdog_timeout_s: Some(1.0),
-            ..Default::default()
-        };
+        let cfg =
+            FtConfig { solver, rebalance, watchdog_timeout_s: Some(1.0), ..Default::default() };
         ca_gmres_ft(mg, &a, &b, &cfg)
     };
     let stat = run(false);
