@@ -159,11 +159,15 @@ pub struct RunMeta {
     /// `MachineProfile::hash_hex()` of the calibrated profile in use,
     /// if the study tunes against one.
     pub profile_hash: Option<String>,
+    /// `MetricsSnapshot::hash_hex()` of the observability metrics the run
+    /// recorded, if it ran under a `ca-obs` session — ties the artifact to
+    /// the exact counter/gauge/histogram state that produced it.
+    pub metrics_hash: Option<String>,
 }
 
 impl Default for RunMeta {
     fn default() -> Self {
-        Self { seed: SUITE_SEED, profile_hash: None }
+        Self { seed: SUITE_SEED, profile_hash: None, metrics_hash: None }
     }
 }
 
@@ -223,10 +227,15 @@ pub fn write_json<T: Serialize>(figure: &str, value: &T) {
         Some(h) => json_str(h),
         None => "null".into(),
     };
+    let metrics = match &meta.metrics_hash {
+        Some(h) => json_str(h),
+        None => "null".into(),
+    };
     let envelope = format!(
         "{{\n  \"schema\": \"ca-bench/result\",\n  \"schema_version\": 1,\n  \
          \"figure\": {figure},\n  \"git\": {git},\n  \"threads\": {threads},\n  \
-         \"seed\": {seed},\n  \"profile_hash\": {profile},\n  \"payload\": {payload}\n}}\n",
+         \"seed\": {seed},\n  \"profile_hash\": {profile},\n  \
+         \"metrics_hash\": {metrics},\n  \"payload\": {payload}\n}}\n",
         figure = json_str(figure),
         git = json_str(&git_describe()),
         threads = rayon::current_num_threads(),

@@ -52,7 +52,9 @@ use crate::system::System;
 use ca_dense::hessenberg::GivensLsq;
 use ca_gpusim::faults::Result as GpuResult;
 use ca_gpusim::{GpuSimError, MultiGpu, VecId};
+use ca_obs as obs;
 use ca_sparse::Csr;
+use obs::Track::Host as HOST;
 use serde::Serialize;
 
 /// Fault-tolerance configuration on top of a [`CaGmresConfig`].
@@ -337,6 +339,14 @@ pub fn ca_gmres_ft_with_tuner(
     stats.record_device_times((0..mg.n_gpus()).map(|d| mg.device(d).busy_time()).collect());
     report.transfer_retries = c.transfer_retries;
     report.ndev_final = mg.n_gpus();
+    stats.debug_check_phases();
+    if obs::enabled() {
+        obs::close_open(mg.time()); // a fatal abort may have left spans open
+        obs::gauge_set("solve.t_total_s", stats.t_total);
+        obs::gauge_set("solve.final_relres", stats.final_relres);
+        obs::gauge_set("ft.s_final", report.s_final as f64);
+        obs::gauge_set("ft.ndev_final", report.ndev_final as f64);
+    }
     FtOutcome { stats, report, x: x_ckpt }
 }
 
@@ -412,6 +422,19 @@ fn ca_gmres_ft_impl(
                     // undetected corruption reached x: roll back and redo
                     report.cycles_redone += 1;
                     redo_budget -= 1;
+                    if obs::enabled() {
+                        obs::instant_cause(
+                            "ft.rollback",
+                            HOST,
+                            mg.time(),
+                            &format!(
+                                "explicit residual {beta_explicit:.3e} > {} x implied \
+                                 {implied:.3e}; iterate rolled back to checkpoint",
+                                cfg.residual_slack
+                            ),
+                        );
+                        obs::counter_add("ft.cycles_redone", 1);
+                    }
                     sys.upload_x(mg, x_ckpt)?;
                     beta = sys.residual_norm(mg)?;
                     continue;
@@ -428,6 +451,16 @@ fn ca_gmres_ft_impl(
                 report.device_lost = Some(device);
                 report.degraded = true;
                 let nsurv = mg.n_gpus() - 1;
+                if obs::enabled() {
+                    obs::close_open(mg.time()); // seal spans the abort left open
+                    obs::instant_cause(
+                        "ft.degrade",
+                        HOST,
+                        mg.time(),
+                        &format!("device {device} lost; rebuilding on {nsurv} survivors"),
+                    );
+                    obs::counter_add("ft.device_losses", 1);
+                }
                 (sys, abft) =
                     rebuild_system(mg, a, b, Layout::even(n, nsurv), cfg, s_opt, &[device])?;
                 sys.upload_x(mg, x_ckpt)?;
@@ -450,6 +483,19 @@ fn ca_gmres_ft_impl(
                     return Err(GpuSimError::DeviceLost { device: hung[0] });
                 }
                 report.degraded = true;
+                if obs::enabled() {
+                    obs::close_open(mg.time());
+                    obs::instant_cause(
+                        "ft.degrade",
+                        HOST,
+                        mg.time(),
+                        &format!(
+                            "watchdog declared device {} hung; rebuilding on {alive} survivors",
+                            hung[0]
+                        ),
+                    );
+                    obs::counter_add("ft.device_losses", hung.len() as u64);
+                }
                 (sys, abft) = rebuild_system(mg, a, b, Layout::even(n, alive), cfg, s_opt, &hung)?;
                 sys.upload_x(mg, x_ckpt)?;
                 beta0 = beta0.max(f64::MIN_POSITIVE);
@@ -489,6 +535,19 @@ fn ca_gmres_ft_impl(
                             bytes[dev] = 12 * nnz + 16 * arriving;
                         }
                         report.retunes += 1;
+                        if obs::enabled() {
+                            obs::instant_cause(
+                                "ft.retune",
+                                HOST,
+                                mg.time(),
+                                &format!(
+                                    "restart tuner replanned: s {s_cur} -> {}, layout {}",
+                                    d.s,
+                                    if layout_changed { "changed" } else { "kept" }
+                                ),
+                            );
+                            obs::counter_add("ft.retunes", 1);
+                        }
                         s_cur = d.s;
                         report.s_final = s_cur;
                         s_opt = (s_cur > 1 && !matches!(scfg.kernel, KernelMode::Spmv))
@@ -547,6 +606,20 @@ fn ca_gmres_ft_impl(
                 // only migrate when ownership shifts materially (> 2%)
                 if rows_moved * 50 > n {
                     report.rebalances += 1;
+                    if obs::enabled() {
+                        obs::instant_cause(
+                            "ft.rebalance",
+                            HOST,
+                            mg.time(),
+                            &format!(
+                                "imbalance {:.3} > {:.3}; {rows_moved} rows migrating",
+                                health.imbalance(),
+                                cfg.rebalance_threshold
+                            ),
+                        );
+                        obs::counter_add("ft.rebalances", 1);
+                        obs::counter_add("ft.rebalance.rows_moved", rows_moved as u64);
+                    }
                     (sys, abft) = rebuild_system(mg, a, b, new_layout, cfg, s_opt, &[])?;
                     mg.to_devices(&bytes)?; // charge the row migration
                     sys.upload_x(mg, x_ckpt)?;
@@ -684,9 +757,22 @@ fn run_protected_cycle(
             if let Some(ab) = abft {
                 if !ab.verify_block(mg, sys, start, &spec_blk)? {
                     report.sdc_detected += 1;
+                    if obs::enabled() {
+                        obs::instant_cause(
+                            "ft.sdc",
+                            HOST,
+                            mg.time(),
+                            &format!(
+                                "SpMV checksum mismatch in block at column {start} \
+                                 (attempt {attempts})"
+                            ),
+                        );
+                        obs::counter_add("ft.sdc_detected", 1);
+                    }
                     if attempts < cfg.max_recompute {
                         attempts += 1;
                         report.blocks_recomputed += 1;
+                        obs::counter_add("ft.blocks_recomputed", 1);
                         continue; // fresh op indices => fresh fault draws
                     }
                     // budget exhausted: accept; residual check backstops
@@ -700,6 +786,22 @@ fn run_protected_cycle(
                     report.sdc_detected += 1;
                     attempts += 1;
                     report.blocks_recomputed += 1;
+                    if obs::enabled() {
+                        // the failed orth pass returned through `?`, leaving
+                        // its borth/tsqr spans open: seal them before retrying
+                        obs::close_open(mg.time());
+                        obs::instant_cause(
+                            "ft.sdc",
+                            HOST,
+                            mg.time(),
+                            &format!(
+                                "orthogonalization checksum mismatch at column {c0} \
+                                 (attempt {attempts})"
+                            ),
+                        );
+                        obs::counter_add("ft.sdc_detected", 1);
+                        obs::counter_add("ft.blocks_recomputed", 1);
+                    }
                 }
                 Err(e) => {
                     // numerical breakdown (or persistent checksum failure)
@@ -707,6 +809,7 @@ fn run_protected_cycle(
                         column: c0,
                         reason: e.to_string(),
                     });
+                    obs::close_open(mg.time());
                     break 'blocks;
                 }
             }

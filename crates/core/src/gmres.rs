@@ -12,6 +12,8 @@ use ca_dense::hessenberg::GivensLsq;
 use ca_dense::Mat;
 use ca_gpusim::faults::Result as GpuResult;
 use ca_gpusim::MultiGpu;
+use ca_obs as obs;
+use obs::Track::Host as HOST;
 
 /// Configuration for standard GMRES(m).
 #[derive(Debug, Clone, Copy)]
@@ -66,6 +68,7 @@ pub(crate) fn gmres_cycle(
     target: f64,
     stats: &mut SolveStats,
 ) -> GpuResult<CycleOutcome> {
+    let sp_cycle = obs::span_begin("cycle", HOST, mg.time());
     sys.seed_basis(mg, beta)?;
     let mut lsq = GivensLsq::new(beta);
     let mut arn = BlockArnoldi::new();
@@ -74,15 +77,22 @@ pub(crate) fn gmres_cycle(
 
     for j in 0..m {
         mg.sync();
-        timer.mark(mg.time());
+        let now = mg.time();
+        timer.mark(now);
+        let sp_spmv = obs::span_begin("spmv", HOST, now);
         dist_spmv(mg, &sys.spmv, &sys.v, j, j + 1)?;
         mg.sync();
-        stats.t_spmv += timer.mark(mg.time());
+        let now = mg.time();
+        obs::span_end(sp_spmv, now);
+        stats.t_spmv += timer.mark(now);
 
+        let sp_orth = obs::span_begin("orth", HOST, now);
         match orth_column(mg, &sys.v, j + 1, orth) {
             Ok(h) => {
                 mg.sync();
-                stats.t_orth += timer.mark(mg.time());
+                let now = mg.time();
+                obs::span_end(sp_orth, now);
+                stats.t_orth += timer.mark(now);
                 lsq.push_column(&h);
                 arn.push_arnoldi_column(h);
                 k_used = j + 1;
@@ -95,13 +105,16 @@ pub(crate) fn gmres_cycle(
                 // lucky breakdown: exact solution lives in the current
                 // subspace; use what we have
                 mg.sync();
-                stats.t_orth += timer.mark(mg.time());
+                let now = mg.time();
+                obs::span_end(sp_orth, now);
+                stats.t_orth += timer.mark(now);
                 break;
             }
             Err(OrthError::Gpu(e)) => return Err(e),
             Err(e) => {
                 stats.breakdown =
                     Some(BreakdownKind::Orthogonalization { column: j + 1, reason: e.to_string() });
+                obs::span_end(sp_orth, mg.time());
                 break;
             }
         }
@@ -109,12 +122,16 @@ pub(crate) fn gmres_cycle(
 
     if k_used > 0 {
         let y = lsq.solve();
+        let sp_small = obs::span_begin("small", HOST, mg.time());
         mg.host_compute((3 * (k_used + 1) * (k_used + 1)) as f64, (16 * k_used) as f64);
         mg.sync();
-        stats.t_small += timer.mark(mg.time());
+        let now = mg.time();
+        obs::span_end(sp_small, now);
+        stats.t_small += timer.mark(now);
         sys.update_x(mg, &y)?;
     }
     stats.restarts += 1;
+    obs::span_end(sp_cycle, mg.time());
     Ok(CycleOutcome { k_used, hessenberg: arn.to_mat() })
 }
 
@@ -148,6 +165,7 @@ pub fn gmres(mg: &mut MultiGpu, sys: &System, cfg: &GmresConfig) -> GmresOutcome
     let c = mg.counters();
     stats.comm_msgs = c.total_msgs();
     stats.comm_bytes = c.total_bytes();
+    stats.debug_check_phases();
     GmresOutcome { stats, first_hessenberg: first_h }
 }
 
@@ -163,9 +181,13 @@ fn gmres_impl(
 ) -> GpuResult<(f64, f64)> {
     let mut timer = PhaseTimer::start(t_begin);
 
+    let sp_res = obs::span_begin("spmv", HOST, t_begin);
     let beta0 = sys.residual_norm(mg)?;
     mg.sync();
-    stats.t_spmv += timer.mark(mg.time());
+    let now = mg.time();
+    obs::span_end(sp_res, now);
+    stats.t_spmv += timer.mark(now);
+    obs::sample("relres", now, 1.0);
     let target = cfg.rtol * beta0;
     let mut beta = beta0;
 
@@ -180,10 +202,17 @@ fn gmres_impl(
         }
 
         mg.sync();
-        timer.mark(mg.time());
+        let now = mg.time();
+        timer.mark(now);
+        let sp_res = obs::span_begin("spmv", HOST, now);
         beta = sys.residual_norm(mg)?;
         mg.sync();
-        stats.t_spmv += timer.mark(mg.time());
+        let now = mg.time();
+        obs::span_end(sp_res, now);
+        stats.t_spmv += timer.mark(now);
+        if beta0 > 0.0 {
+            obs::sample("relres", now, beta / beta0);
+        }
         if stats.breakdown.is_some() {
             break;
         }

@@ -17,7 +17,9 @@ use crate::layout::Layout;
 use crate::newton::BasisSpec;
 use ca_gpusim::faults::Result;
 use ca_gpusim::{device::SpStorage, MatId, MultiGpu, SpId, VecId};
+use ca_obs as obs;
 use ca_sparse::{Csr, Ell, Hyb};
+use obs::Track::Host as HOST;
 
 /// Per-device MPK analysis.
 #[derive(Debug, Clone)]
@@ -363,6 +365,15 @@ pub fn mpk_prefetch(
         dev.scatter_col_to_vec(v[d], start_col, st.z[d].0, &st.local_rows[d]);
     });
     let inflight = st.exchange_issue(mg, 0)?;
+    if obs::enabled() {
+        obs::instant_cause(
+            "mpk.prefetch_issue",
+            HOST,
+            mg.time(),
+            &format!("halo exchange issued ahead of block at column {start_col}"),
+        );
+        obs::counter_add("mpk.prefetches", 1);
+    }
     Ok(PrefetchedHalo { start_col, inflight })
 }
 
@@ -444,6 +455,7 @@ pub fn mpk_with_prefetch(
     mg.sync();
     phases.exchange = mg.time() - t0;
     let t1 = mg.time();
+    obs::span("mpk.exchange", HOST, t0, t1);
 
     // Matrix-powers steps (Fig. 4, main loop), double-buffering z.
     for k in 1..=s_run {
@@ -473,7 +485,9 @@ pub fn mpk_with_prefetch(
         });
     }
     mg.sync();
-    phases.steps = mg.time() - t1;
+    let t2 = mg.time();
+    phases.steps = t2 - t1;
+    obs::span("mpk.steps", HOST, t1, t2);
     Ok(phases)
 }
 
@@ -493,6 +507,7 @@ pub fn dist_spmv(
     dst: usize,
 ) -> Result<()> {
     assert_eq!(st.plan.s, 1, "dist_spmv wants an s = 1 plan");
+    let sp = obs::span_begin("dist_spmv", HOST, mg.time());
     mg.run(|d, dev| {
         dev.scatter_col_to_vec(v[d], src, st.z[d].0, &st.local_rows[d]);
     });
@@ -500,6 +515,7 @@ pub fn dist_spmv(
     mg.run(|d, dev| {
         dev.spmv_to_mat_col(st.local_slice[d], st.z[d].0, v[d], dst);
     });
+    obs::span_end(sp, mg.time());
     Ok(())
 }
 

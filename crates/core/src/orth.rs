@@ -11,6 +11,7 @@
 
 use ca_dense::{blas3, chol, jacobi, qr, Mat};
 use ca_gpusim::{GpuSimError, MatId, MultiGpu};
+use ca_obs as obs;
 
 /// TSQR algorithm selection (Fig. 9 / Fig. 10 rows).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -313,7 +314,16 @@ pub fn borth_checked(
         }
     }
     mg.host_compute((c.nrows() * c.ncols()) as f64, (8 * c.nrows() * c.ncols()) as f64);
+    obs::counter_add("abft.borth_checks", 1);
     if !checksums_agree(expected, got, scale) {
+        if obs::enabled() {
+            obs::instant_cause(
+                "abft.checksum_mismatch",
+                obs::Track::Host,
+                mg.time(),
+                &format!("borth projection checksum: expected {expected:.6e}, got {got:.6e}"),
+            );
+        }
         return Err(OrthError::ChecksumMismatch { what: "borth", expected, got });
     }
     Ok(c)
@@ -350,7 +360,16 @@ pub fn tsqr_checked(
     // f32 rounding scale so the checksum flags corruption, not precision
     let tol_scale =
         if kind == TsqrKind::CholQrMixed { scale * (f32::EPSILON as f64 / 1e-10) } else { scale };
+    obs::counter_add("abft.gram_checks", 1);
     if !checksums_agree(expected, got, tol_scale) {
+        if obs::enabled() {
+            obs::instant_cause(
+                "abft.checksum_mismatch",
+                obs::Track::Host,
+                mg.time(),
+                &format!("TSQR Gram checksum: expected {expected:.6e}, got {got:.6e}"),
+            );
+        }
         return Err(OrthError::ChecksumMismatch { what: "gram", expected, got });
     }
     Ok(r)

@@ -141,6 +141,93 @@ impl SolveStats {
     pub fn total_per_restart_ms(&self) -> f64 {
         1e3 * self.t_total / (self.restarts.max(1) as f64)
     }
+
+    /// Consistency of the phase attribution: every phase time is
+    /// non-negative, TSQR time is contained in orthogonalization time, and
+    /// the disjoint phases (`t_spmv + t_orth + t_small`; `t_tsqr` is a
+    /// subset of `t_orth`) sum to at most `t_total` up to float-
+    /// accumulation slack. `PhaseTimer` attributes mark-to-mark deltas, so
+    /// a missing mark double-counts an interval into two phases — the bug
+    /// class this catches.
+    pub fn phases_consistent(&self) -> bool {
+        let slack = 1e-9 * self.t_total.abs().max(1.0);
+        self.t_spmv >= 0.0
+            && self.t_orth >= 0.0
+            && self.t_tsqr >= 0.0
+            && self.t_small >= 0.0
+            && self.t_tsqr <= self.t_orth + slack
+            && self.t_spmv + self.t_orth + self.t_small <= self.t_total + slack
+    }
+
+    /// Debug-mode assertion of [`SolveStats::phases_consistent`]; compiled
+    /// out in release builds. Drivers call this once per finished solve.
+    pub fn debug_check_phases(&self) {
+        debug_assert!(
+            self.phases_consistent(),
+            "phase times inconsistent: spmv={} orth={} (tsqr={}) small={} total={}",
+            self.t_spmv,
+            self.t_orth,
+            self.t_tsqr,
+            self.t_small,
+            self.t_total
+        );
+    }
+}
+
+/// Figure 15-style phase breakdown derived **purely from spans** recorded
+/// by `ca-obs` during an instrumented solve — no `PhaseTimer` involved.
+///
+/// The drivers bracket every phase with host-track spans named `spmv`,
+/// `borth`, `tsqr`, `orth` (standard GMRES), and `small`; this summer maps
+/// them back onto the `SolveStats` buckets (`t_orth` accumulates BOrth,
+/// TSQR, and standard-GMRES orthogonalization; `t_tsqr` only the TSQR
+/// spans), so the two attributions can be cross-validated: they must agree
+/// to float-accumulation precision (≤ 1e-9 s) or one of the two
+/// instrumentation paths is lying.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanBreakdown {
+    /// Σ host `spmv` span durations (SpMV/MPK phase).
+    pub spmv: f64,
+    /// Σ host `borth` + `tsqr` + `orth` span durations.
+    pub orth: f64,
+    /// Σ host `tsqr` span durations only.
+    pub tsqr: f64,
+    /// Σ host `small` span durations (host dense math).
+    pub small: f64,
+    /// Number of `cycle` spans (restart cycles observed).
+    pub cycles: usize,
+}
+
+impl SpanBreakdown {
+    /// Sum the host-track phase spans of a recording.
+    pub fn from_recording(rec: &ca_obs::Recording) -> Self {
+        let mut out = Self::default();
+        for s in rec.spans.iter().filter(|s| s.track == ca_obs::Track::Host) {
+            let dur = (s.t1 - s.t0).max(0.0);
+            match s.name.as_str() {
+                "spmv" => out.spmv += dur,
+                "borth" | "orth" => out.orth += dur,
+                "tsqr" => {
+                    out.orth += dur;
+                    out.tsqr += dur;
+                }
+                "small" => out.small += dur,
+                "cycle" => out.cycles += 1,
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Largest absolute disagreement (seconds) against a
+    /// `PhaseTimer`-accumulated [`SolveStats`].
+    pub fn max_abs_diff(&self, stats: &SolveStats) -> f64 {
+        (self.spmv - stats.t_spmv)
+            .abs()
+            .max((self.orth - stats.t_orth).abs())
+            .max((self.tsqr - stats.t_tsqr).abs())
+            .max((self.small - stats.t_small).abs())
+    }
 }
 
 /// Phase timer: attributes simulated-time deltas to named phases. The
@@ -211,5 +298,69 @@ mod tests {
         let mut t = PhaseTimer::start(1.0);
         assert_eq!(t.mark(1.5), 0.5);
         assert_eq!(t.mark(3.0), 1.5);
+    }
+
+    #[test]
+    fn phases_consistent_accepts_valid_attribution() {
+        let s = SolveStats {
+            t_total: 1.0,
+            t_spmv: 0.3,
+            t_orth: 0.5,
+            t_tsqr: 0.2,
+            t_small: 0.2,
+            ..Default::default()
+        };
+        assert!(s.phases_consistent());
+        s.debug_check_phases();
+    }
+
+    #[test]
+    fn phases_consistent_rejects_double_counting() {
+        // the PhaseTimer bug class: a missing mark attributes one interval
+        // to two phases, pushing the sum past the end-to-end time
+        let s = SolveStats {
+            t_total: 1.0,
+            t_spmv: 0.7,
+            t_orth: 0.5,
+            t_small: 0.2,
+            ..Default::default()
+        };
+        assert!(!s.phases_consistent());
+        // TSQR exceeding its containing orthogonalization bucket
+        let s = SolveStats { t_total: 1.0, t_orth: 0.1, t_tsqr: 0.4, ..Default::default() };
+        assert!(!s.phases_consistent());
+        // negative phase time
+        let s = SolveStats { t_total: 1.0, t_spmv: -0.1, ..Default::default() };
+        assert!(!s.phases_consistent());
+    }
+
+    #[test]
+    fn span_breakdown_sums_host_phase_spans() {
+        ca_obs::start();
+        let c = ca_obs::span_begin("cycle", ca_obs::Track::Host, 0.0);
+        ca_obs::span("spmv", ca_obs::Track::Host, 0.0, 0.3);
+        ca_obs::span("borth", ca_obs::Track::Host, 0.3, 0.5);
+        ca_obs::span("tsqr", ca_obs::Track::Host, 0.5, 0.8);
+        ca_obs::span("small", ca_obs::Track::Host, 0.8, 0.9);
+        // device spans and unknown names are ignored
+        ca_obs::span("spmv", ca_obs::Track::Device(0), 0.0, 0.25);
+        ca_obs::span("mpk.exchange", ca_obs::Track::Host, 0.0, 0.1);
+        ca_obs::span_end(c, 1.0);
+        let rec = ca_obs::finish();
+        let b = SpanBreakdown::from_recording(&rec);
+        assert!((b.spmv - 0.3).abs() < 1e-15);
+        assert!((b.orth - 0.5).abs() < 1e-15);
+        assert!((b.tsqr - 0.3).abs() < 1e-15);
+        assert!((b.small - 0.1).abs() < 1e-15);
+        assert_eq!(b.cycles, 1);
+        let stats = SolveStats {
+            t_total: 1.0,
+            t_spmv: 0.3,
+            t_orth: 0.5,
+            t_tsqr: 0.3,
+            t_small: 0.1,
+            ..Default::default()
+        };
+        assert!(b.max_abs_diff(&stats) < 1e-15);
     }
 }

@@ -153,7 +153,7 @@ impl Device {
         self.clock = t;
     }
 
-    pub(crate) fn advance(&mut self, dt: f64) {
+    pub(crate) fn advance(&mut self, name: &'static str, dt: f64) {
         debug_assert!(dt >= 0.0);
         if self.lost {
             return;
@@ -190,7 +190,7 @@ impl Device {
             self.ewma_slowdown += EWMA_ALPHA * (actual / dt - self.ewma_slowdown);
         }
         if self.stream.is_enabled() {
-            self.stream.push(Cmd::Kernel { start, dur: actual });
+            self.stream.push(Cmd::Kernel { name, start, dur: actual });
         }
     }
 
@@ -226,6 +226,11 @@ impl Device {
     /// Drain the recorded command trace.
     pub fn take_trace(&mut self) -> Vec<Cmd> {
         self.stream.take()
+    }
+
+    /// Drop buffered trace commands (recording stays on).
+    pub fn clear_trace(&mut self) {
+        self.stream.clear();
     }
 
     /// Install (or clear) the fault schedule.
@@ -439,7 +444,7 @@ impl Device {
             (b, a)
         };
         blas1::axpy(alpha, s, d);
-        self.advance(self.model.blas1_time(3 * rows));
+        self.advance("axpy", self.model.blas1_time(3 * rows));
     }
 
     /// `V[:, col] *= alpha`.
@@ -449,7 +454,7 @@ impl Device {
         }
         blas1::scal(alpha, self.mats[v.0].col_mut(col));
         let rows = self.mats[v.0].nrows();
-        self.advance(self.model.blas1_time(2 * rows));
+        self.advance("scal", self.model.blas1_time(2 * rows));
     }
 
     /// Local dot product `V[:, a] . V[:, b]` (the MGS building block).
@@ -462,7 +467,7 @@ impl Device {
         let rows = m.nrows();
         let mut out = [r];
         self.maybe_corrupt(SdcKind::Dot, &mut out);
-        self.advance(self.model.blas1_time(2 * rows));
+        self.advance("dot", self.model.blas1_time(2 * rows));
         out[0]
     }
 
@@ -479,7 +484,7 @@ impl Device {
         let data = self.mats[v.0].col_to_vec(src);
         self.mats[v.0].set_col(dst, &data);
         let rows = self.mats[v.0].nrows();
-        self.advance(self.model.blas1_time(2 * rows));
+        self.advance("copy_col", self.model.blas1_time(2 * rows));
     }
 
     // ---------- ABFT detector kernels ----------
@@ -502,7 +507,7 @@ impl Device {
             s += x;
             a += x.abs();
         }
-        self.advance(self.model.blas1_time(c.len()));
+        self.advance("abft_colsum", self.model.blas1_time(c.len()));
         [s, a]
     }
 
@@ -521,7 +526,7 @@ impl Device {
             s += x * y;
             a += (x * y).abs();
         }
-        self.advance(self.model.blas1_time(2 * c.len()));
+        self.advance("abft_dot", self.model.blas1_time(2 * c.len()));
         [s, a]
     }
 
@@ -549,7 +554,7 @@ impl Device {
             dot += pa * pb;
             abs += (pa * pb).abs();
         }
-        self.advance(self.model.blas1_time(rows * ((a.1 - a.0) + (b.1 - b.0))));
+        self.advance("abft_block_dot", self.model.blas1_time(rows * ((a.1 - a.0) + (b.1 - b.0))));
         [dot, abs]
     }
 
@@ -573,7 +578,7 @@ impl Device {
         for (k, j) in (j0..j1).enumerate() {
             r[k] = blas1::dot(m.col(j), xcol);
         }
-        self.advance(self.model.gemv_t_time(variant, m.nrows(), j1 - j0));
+        self.advance("gemv_t", self.model.gemv_t_time(variant, m.nrows(), j1 - j0));
         r
     }
 
@@ -598,7 +603,7 @@ impl Device {
             }
         }
         // modeled as one fused GEMV-like streaming pass
-        self.advance(self.model.gemv_t_time(GemvVariant::MagmaTallSkinny, rows, j1 - j0));
+        self.advance("gemv_n", self.model.gemv_t_time(GemvVariant::MagmaTallSkinny, rows, j1 - j0));
     }
 
     /// Rank-1 update `V[:, c0..c1] -= V[:, src] * coeffs^T` — MGS-style
@@ -623,7 +628,10 @@ impl Device {
                 blas1::axpy(-c, s, d);
             }
         }
-        self.advance(self.model.gemv_t_time(GemvVariant::MagmaTallSkinny, rows, c1 - c0));
+        self.advance(
+            "rank1_update",
+            self.model.gemv_t_time(GemvVariant::MagmaTallSkinny, rows, c1 - c0),
+        );
     }
 
     // ---------- BLAS-3 kernels ----------
@@ -674,7 +682,7 @@ impl Device {
             }
         }
         self.maybe_corrupt_mat(SdcKind::Gemm, &mut b);
-        self.advance(self.model.gemm_tn_time(variant, rows, k, k));
+        self.advance("syrk", self.model.gemm_tn_time(variant, rows, k, k));
         b
     }
 
@@ -714,7 +722,7 @@ impl Device {
             }
         }
         self.maybe_corrupt_mat(SdcKind::Gemm, &mut b);
-        self.advance(self.model.gemm_tn_time_f32(variant, rows, k, k));
+        self.advance("syrk_f32", self.model.gemm_tn_time_f32(variant, rows, k, k));
         b
     }
 
@@ -765,7 +773,7 @@ impl Device {
             }
         }
         self.maybe_corrupt_mat(SdcKind::Gemm, &mut c);
-        self.advance(self.model.gemm_tn_time(variant, rows, ka, kb));
+        self.advance("gemm_tn", self.model.gemm_tn_time(variant, rows, ka, kb));
         c
     }
 
@@ -799,7 +807,7 @@ impl Device {
                 }
             }
         }
-        self.advance(self.model.gemm_nn_time(variant, rows, a1 - a0, b1 - b0));
+        self.advance("gemm_nn", self.model.gemm_nn_time(variant, rows, a1 - a0, b1 - b0));
     }
 
     /// `V[:, j0..j1] := V[:, j0..j1] R^{-1}` (CholQR/SVQR step 3, DTRSM).
@@ -826,7 +834,7 @@ impl Device {
             }
             blas1::scal(1.0 / d, m.col_mut(j0 + j));
         }
-        self.advance(self.model.trsm_time(rows, k));
+        self.advance("trsm", self.model.trsm_time(rows, k));
         Ok(())
     }
 
@@ -847,7 +855,10 @@ impl Device {
         for j in 0..k {
             m.set_col(j0 + j, out.col(j));
         }
-        self.advance(self.model.gemm_nn_time(GemmVariant::Batched { h: 384 }, rows, k, k));
+        self.advance(
+            "gemm_q_small",
+            self.model.gemm_nn_time(GemmVariant::Batched { h: 384 }, rows, k, k),
+        );
     }
 
     /// First half of the split CAQR update used by the async-prefetch
@@ -874,7 +885,7 @@ impl Device {
         blas3::gemm_nn(1.0, &block, &qlast, 0.0, &mut out);
         let orig = m.col(j0 + k - 1).to_vec();
         m.set_col(j0 + k - 1, out.col(0));
-        self.advance(self.model.gemv_t_time(GemvVariant::MagmaTallSkinny, rows, k));
+        self.advance("gemm_q_last", self.model.gemv_t_time(GemvVariant::MagmaTallSkinny, rows, k));
         orig
     }
 
@@ -902,7 +913,10 @@ impl Device {
         for j in 0..k - 1 {
             m.set_col(j0 + j, out.col(j));
         }
-        self.advance(self.model.gemm_nn_time(GemmVariant::Batched { h: 384 }, rows, k, k - 1));
+        self.advance(
+            "gemm_q_rest",
+            self.model.gemm_nn_time(GemmVariant::Batched { h: 384 }, rows, k, k - 1),
+        );
     }
 
     /// Local Householder QR of `V[:, j0..j1]`: Q replaces the columns, R is
@@ -919,7 +933,7 @@ impl Device {
         for j in 0..k {
             m.set_col(j0 + j, f.q.col(j));
         }
-        self.advance(self.model.geqr2_time(rows, k));
+        self.advance("geqr2", self.model.geqr2_time(rows, k));
         f.r
     }
 
@@ -970,7 +984,7 @@ impl Device {
                 }
             }
         }
-        self.advance(self.model.geqr2_batched_time(rows, k, h));
+        self.advance("geqr2_tree", self.model.geqr2_batched_time(rows, k, h));
         froot.r
     }
 
@@ -991,7 +1005,7 @@ impl Device {
         self.maybe_corrupt(SdcKind::Spmv, &mut y);
         assert_eq!(y.len(), self.mats[v.0].nrows());
         self.mats[v.0].set_col(col, &y);
-        self.advance(self.spmv_cost(s));
+        self.advance("spmv", self.spmv_cost(s));
     }
 
     /// `z[rows[i]] := (A_slice * x)_i` — MPK's compute-then-expand step for
@@ -1012,6 +1026,7 @@ impl Device {
             zv[r as usize] = y[i];
         }
         self.advance(
+            "spmv",
             self.spmv_cost(s) + self.model.blas1_time(2 * rows_v.len()) - self.model.launch_s, // fused expand
         );
     }
@@ -1065,6 +1080,7 @@ impl Device {
             }
         }
         self.advance(
+            "mpk_step",
             self.spmv_cost(s) + self.model.blas1_time(2 * rows_v.len()) - self.model.launch_s, // fused shift+expand
         );
     }
@@ -1078,7 +1094,7 @@ impl Device {
         let vals: Vec<f64> = rows.iter().map(|&r| self.vecs[z.0][r as usize]).collect();
         assert_eq!(vals.len(), self.mats[v.0].nrows());
         self.mats[v.0].set_col(col, &vals);
-        self.advance(self.model.blas1_time(2 * rows.len()));
+        self.advance("gather_col", self.model.blas1_time(2 * rows.len()));
     }
 
     /// Scatter `V[i, col]` into `z[rows[i]]` — load a basis column into a
@@ -1093,7 +1109,7 @@ impl Device {
         for (i, &r) in rows.iter().enumerate() {
             zv[r as usize] = colv[i];
         }
-        self.advance(self.model.blas1_time(2 * rows.len()));
+        self.advance("scatter_col", self.model.blas1_time(2 * rows.len()));
     }
 
     /// Compress selected entries of a device vector into a contiguous host
@@ -1105,7 +1121,7 @@ impl Device {
         }
         let zv = &self.vecs[z.0];
         let out: Vec<f64> = idxs.iter().map(|&i| zv[i as usize]).collect();
-        self.advance(self.model.blas1_time(2 * idxs.len()));
+        self.advance("halo_pack", self.model.blas1_time(2 * idxs.len()));
         out
     }
 
@@ -1120,7 +1136,7 @@ impl Device {
         for (&i, &v) in idxs.iter().zip(vals) {
             zv[i as usize] = v;
         }
-        self.advance(self.model.blas1_time(2 * idxs.len()));
+        self.advance("halo_unpack", self.model.blas1_time(2 * idxs.len()));
     }
 }
 

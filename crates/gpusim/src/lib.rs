@@ -83,4 +83,4 @@ pub use faults::{
 pub use model::{EffCurve, GemmVariant, GemvVariant, KernelConfig, PerfModel, PARAM_NAMES};
 pub use multi::{CommCounters, DeviceHealth, HealthReport, MultiGpu};
 pub use stream::{Cmd, CopyEngine, Event, EventTable, Schedule, StreamTrace};
-pub use trace::export_chrome_trace;
+pub use trace::{export_chrome_trace, obs_ingest_traces};

@@ -30,6 +30,7 @@ use crate::device::Device;
 use crate::faults::{FaultPlan, GpuSimError, Result};
 use crate::model::{KernelConfig, PerfModel};
 use crate::stream::{Cmd, CopyEngine, Event, EventTable, Schedule};
+use ca_obs as obs;
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -285,8 +286,21 @@ impl MultiGpu {
             .map(|d| d.clock())
             .fold(self.host_time, f64::max);
         for &d in &hung {
+            let overshoot = self.devices[d].max_overshoot();
             self.devices[d].set_clock(t_rest + hang_timeout_s);
             self.devices[d].mark_lost();
+            if obs::enabled() {
+                obs::instant_cause(
+                    "watchdog.hang",
+                    obs::Track::Device(d as u32),
+                    t_rest + hang_timeout_s,
+                    &format!(
+                        "overshoot {overshoot:.6}s > timeout {hang_timeout_s:.6}s; \
+                         device {d} marked lost"
+                    ),
+                );
+                obs::counter_add("watchdog.escalations", 1);
+            }
         }
         hung
     }
@@ -314,6 +328,9 @@ impl MultiGpu {
         let mut elapsed = 0.0;
         for attempt in 0..self.max_transfer_attempts {
             if !plan.transfer_fails(d, msg, attempt) {
+                if attempt > 0 {
+                    obs::counter_add("comm.transfer_retries", u64::from(attempt));
+                }
                 return Ok(elapsed + base);
             }
             elapsed += base + plan.transfer_stall_s;
@@ -323,6 +340,10 @@ impl MultiGpu {
         // the wasted attempts still happened in simulated time
         self.counters.transfer_retries -= 1; // last attempt was not retried
         self.host_time += elapsed;
+        if obs::enabled() {
+            obs::counter_add("comm.transfer_retries", u64::from(self.max_transfer_attempts - 1));
+            obs::counter_add("comm.transfers_abandoned", 1);
+        }
         Err(GpuSimError::TransferFailed { device: d, attempts: self.max_transfer_attempts })
     }
 
@@ -526,6 +547,11 @@ impl MultiGpu {
         let (start, finish) = self.links[d].occupy(self.devices[d].clock(), dur);
         self.counters.msgs_to_host += 1;
         self.counters.bytes_to_host += bytes as u64;
+        if obs::enabled() {
+            obs::counter_add("comm.d2h.msgs", 1);
+            obs::counter_add("comm.d2h.bytes", bytes as u64);
+            obs::counter_add(&format!("comm.link{d}.d2h_bytes"), bytes as u64);
+        }
         let ev = self.events.record(finish);
         self.devices[d].log_cmd(Cmd::CopyToHost { bytes, start, finish });
         self.devices[d].log_cmd(Cmd::EventRecord { event: ev, at: finish });
@@ -546,6 +572,11 @@ impl MultiGpu {
         let (start, finish) = self.links[d].occupy(self.host_time, dur);
         self.counters.msgs_to_dev += 1;
         self.counters.bytes_to_dev += bytes as u64;
+        if obs::enabled() {
+            obs::counter_add("comm.h2d.msgs", 1);
+            obs::counter_add("comm.h2d.bytes", bytes as u64);
+            obs::counter_add(&format!("comm.link{d}.h2d_bytes"), bytes as u64);
+        }
         let ev = self.events.record(finish);
         self.devices[d].log_cmd(Cmd::CopyToDevice { bytes, start, finish });
         self.devices[d].log_cmd(Cmd::EventRecord { event: ev, at: finish });
@@ -675,6 +706,9 @@ impl MultiGpu {
         }
         for l in &mut self.links {
             l.reset();
+        }
+        for d in &mut self.devices {
+            d.clear_trace();
         }
         self.events.clear();
         self.reset_counters();

@@ -64,6 +64,8 @@ impl Event {
 pub enum Cmd {
     /// A compute kernel occupying the device queue for `dur` seconds.
     Kernel {
+        /// Kernel name (BLAS-style mnemonic, e.g. `spmv`, `syrk`, `trsm`).
+        name: &'static str,
         /// Queue-tail timestamp the kernel started at.
         start: f64,
         /// Modeled kernel duration (seconds), including any injected
@@ -202,6 +204,13 @@ impl StreamTrace {
     pub fn take(&mut self) -> Vec<Cmd> {
         std::mem::take(&mut self.cmds)
     }
+
+    /// Drop buffered commands without disabling recording (used when the
+    /// executor's clocks are reset: stale pre-reset timestamps would break
+    /// the monotone-timeline invariant of the trace).
+    pub fn clear(&mut self) {
+        self.cmds.clear();
+    }
 }
 
 #[cfg(test)]
@@ -242,14 +251,14 @@ mod tests {
     #[test]
     fn trace_records_only_when_enabled() {
         let mut tr = StreamTrace::default();
-        tr.push(Cmd::Kernel { start: 0.0, dur: 1.0 });
+        tr.push(Cmd::Kernel { name: "spmv", start: 0.0, dur: 1.0 });
         // pushes land regardless; callers gate on is_enabled()
         assert_eq!(tr.cmds().len(), 1);
         assert!(!tr.is_enabled());
         tr.enable();
         assert!(tr.is_enabled());
         let drained = tr.take();
-        assert_eq!(drained, vec![Cmd::Kernel { start: 0.0, dur: 1.0 }]);
+        assert_eq!(drained, vec![Cmd::Kernel { name: "spmv", start: 0.0, dur: 1.0 }]);
         assert!(tr.cmds().is_empty());
     }
 

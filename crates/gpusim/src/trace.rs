@@ -17,6 +17,7 @@
 //! [ui.perfetto.dev]: https://ui.perfetto.dev
 
 use crate::stream::Cmd;
+use ca_obs as obs;
 use std::fmt::Write as _;
 
 /// Track ids within one device's group: queue, link, and the shared host
@@ -32,11 +33,26 @@ fn link_tid(d: usize) -> usize {
 
 const HOST_TID: usize = 0;
 
+/// Thread-name metadata plus a `thread_sort_index` so Perfetto renders the
+/// rows in a stable order (host, then each device's queue and copy engine)
+/// instead of by first-event time.
 fn push_meta(out: &mut String, tid: usize, name: &str) {
     let _ = write!(
         out,
         "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":{tid},\
-         \"args\":{{\"name\":\"{name}\"}}}}"
+         \"args\":{{\"name\":\"{name}\"}}}},\n\
+         {{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":0,\"tid\":{tid},\
+         \"args\":{{\"sort_index\":{tid}}}}}"
+    );
+}
+
+fn push_process_meta(out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,\"tid\":0,\
+         \"args\":{{\"name\":\"ca-gmres simulated timeline\"}}}},\n\
+         {{\"ph\":\"M\",\"name\":\"process_sort_index\",\"pid\":0,\"tid\":0,\
+         \"args\":{{\"sort_index\":0}}}},\n"
     );
 }
 
@@ -65,6 +81,7 @@ fn push_instant(out: &mut String, tid: usize, name: &str, at_s: f64) {
 /// Perfetto. Timestamps are microseconds of simulated time.
 pub fn export_chrome_trace(traces: &[Vec<Cmd>]) -> String {
     let mut out = String::from("[\n");
+    push_process_meta(&mut out);
     push_meta(&mut out, HOST_TID, "host");
     for d in 0..traces.len() {
         out.push_str(",\n");
@@ -75,8 +92,8 @@ pub fn export_chrome_trace(traces: &[Vec<Cmd>]) -> String {
     for (d, cmds) in traces.iter().enumerate() {
         for cmd in cmds {
             match *cmd {
-                Cmd::Kernel { start, dur } => {
-                    push_slice(&mut out, queue_tid(d), "kernel", start, dur);
+                Cmd::Kernel { name, start, dur } => {
+                    push_slice(&mut out, queue_tid(d), name, start, dur);
                 }
                 Cmd::CopyToHost { bytes, start, finish } => {
                     let name = format!("D2H {bytes} B");
@@ -103,6 +120,51 @@ pub fn export_chrome_trace(traces: &[Vec<Cmd>]) -> String {
     }
     out.push_str("\n]\n");
     out
+}
+
+/// Ingest drained per-device command traces into the active `ca-obs`
+/// recording: kernels become named spans on the device's
+/// [`obs::Track::Device`] timeline (plus `kernel.<name>.s` histograms and
+/// `kernel.<name>.calls` counters), copies become spans on the
+/// [`obs::Track::Link`] timeline with `copy.{h2d,d2h}.s` histograms, and
+/// event records/waits become instants. No-op when no obs session is
+/// active. Byte/message counters are *not* emitted here — the transfer
+/// paths in [`MultiGpu`](crate::MultiGpu) count those live — so ingesting
+/// a trace never double-counts.
+///
+/// Commands carry already-resolved simulated timestamps, so ingestion after
+/// the run observes the exact timeline the run computed.
+pub fn obs_ingest_traces(traces: &[Vec<Cmd>]) {
+    if !obs::enabled() {
+        return;
+    }
+    for (d, cmds) in traces.iter().enumerate() {
+        let dev = obs::Track::Device(d as u32);
+        let link = obs::Track::Link(d as u32);
+        for cmd in cmds {
+            match *cmd {
+                Cmd::Kernel { name, start, dur } => {
+                    obs::span(name, dev, start, start + dur);
+                    obs::observe(&format!("kernel.{name}.s"), dur);
+                    obs::counter_add(&format!("kernel.{name}.calls"), 1);
+                }
+                Cmd::CopyToHost { bytes, start, finish } => {
+                    obs::span(&format!("D2H {bytes} B"), link, start, finish);
+                    obs::observe("copy.d2h.s", finish - start);
+                }
+                Cmd::CopyToDevice { bytes, start, finish } => {
+                    obs::span(&format!("H2D {bytes} B"), link, start, finish);
+                    obs::observe("copy.h2d.s", finish - start);
+                }
+                Cmd::EventRecord { event, at } => {
+                    obs::instant(&format!("record e{}", event.index()), dev, at);
+                }
+                Cmd::WaitEvent { event, until } => {
+                    obs::instant(&format!("wait e{}", event.index()), dev, until);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -136,7 +198,9 @@ mod tests {
         {
             assert!(json.contains(name), "missing track {name}");
         }
-        assert!(json.contains("\"kernel\""));
+        assert!(json.contains("\"dot\""), "kernel slices carry their name");
+        assert!(json.contains("thread_sort_index"));
+        assert!(json.contains("process_name"));
         assert!(json.contains("H2D 640 B"));
         assert!(json.contains("D2H 64 B"));
         assert!(json.contains("arrival"));
@@ -161,7 +225,7 @@ mod tests {
         let dur_of = |json: &str| -> f64 {
             // last kernel slice duration in the file
             json.lines()
-                .filter(|l| l.contains("\"kernel\""))
+                .filter(|l| l.contains("\"dot\""))
                 .filter_map(|l| {
                     l.split("\"dur\":").nth(1).and_then(|s| {
                         s.trim_end_matches(['}', ',', '\n'])

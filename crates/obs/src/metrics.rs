@@ -1,0 +1,226 @@
+//! Typed metric registry with a deterministic JSON encoding.
+//!
+//! Three metric kinds: monotone `u64` counters, last-write-wins `f64`
+//! gauges, and summary histograms (count/sum/min/max). The snapshot
+//! serializes to hand-rolled JSON (the workspace `serde_json` is an offline
+//! stub) with `BTreeMap`-sorted keys and Rust's shortest-roundtrip float
+//! formatting, so the same run always produces byte-identical output; an
+//! FNV-1a hash of those bytes ties bench artifacts to the exact run.
+
+use std::collections::BTreeMap;
+
+/// Summary statistics of an observed distribution.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistogramData {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value (0 when `count == 0`).
+    pub min: f64,
+    /// Largest observed value (0 when `count == 0`).
+    pub max: f64,
+}
+
+impl HistogramData {
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One typed metric value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotone accumulator.
+    Counter(u64),
+    /// Last written value.
+    Gauge(f64),
+    /// Distribution summary.
+    Histogram(HistogramData),
+}
+
+/// Mutable metric store used inside the recorder.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Registry {
+    values: BTreeMap<String, MetricValue>,
+}
+
+impl Registry {
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        match self.values.entry(name.to_string()).or_insert(MetricValue::Counter(0)) {
+            MetricValue::Counter(c) => *c += delta,
+            other => panic!("metric '{name}' is {other:?}, not a counter"),
+        }
+    }
+
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        match self.values.entry(name.to_string()).or_insert(MetricValue::Gauge(0.0)) {
+            MetricValue::Gauge(g) => *g = value,
+            other => panic!("metric '{name}' is {other:?}, not a gauge"),
+        }
+    }
+
+    pub fn observe(&mut self, name: &str, value: f64) {
+        match self
+            .values
+            .entry(name.to_string())
+            .or_insert_with(|| MetricValue::Histogram(HistogramData::default()))
+        {
+            MetricValue::Histogram(h) => h.observe(value),
+            other => panic!("metric '{name}' is {other:?}, not a histogram"),
+        }
+    }
+
+    pub fn snapshot(self) -> MetricsSnapshot {
+        MetricsSnapshot { values: self.values }
+    }
+}
+
+/// Immutable snapshot of the registry at [`crate::finish`] time.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Metric name → value, sorted by name.
+    pub values: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// Deterministic JSON encoding: sorted keys, stable float formatting.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut first = true;
+        for (name, value) in &self.values {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str("  ");
+            out.push_str(&json_string(name));
+            out.push_str(": ");
+            match value {
+                MetricValue::Counter(c) => {
+                    out.push_str(&format!("{{\"type\":\"counter\",\"value\":{c}}}"));
+                }
+                MetricValue::Gauge(g) => {
+                    out.push_str(&format!("{{\"type\":\"gauge\",\"value\":{}}}", json_f64(*g)));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                        h.count,
+                        json_f64(h.sum),
+                        json_f64(h.min),
+                        json_f64(h.max)
+                    ));
+                }
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// FNV-1a (64-bit) hash of [`Self::to_json`], as 16 lowercase hex digits.
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", fnv1a(self.to_json().as_bytes()))
+    }
+}
+
+/// FNV-1a 64-bit hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// JSON-escape and quote a string.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format a float as a JSON value (`null` for non-finite).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_json_is_sorted_and_stable() {
+        let mut reg = Registry::default();
+        reg.counter_add("z.count", 7);
+        reg.gauge_set("a.gauge", 2.5);
+        reg.observe("m.hist", 1.0);
+        reg.observe("m.hist", 2.0);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        let a = json.find("a.gauge").unwrap();
+        let m = json.find("m.hist").unwrap();
+        let z = json.find("z.count").unwrap();
+        assert!(a < m && m < z, "keys must be sorted: {json}");
+        assert_eq!(json, snap.to_json());
+        assert_eq!(snap.hash_hex().len(), 16);
+    }
+
+    #[test]
+    fn empty_snapshot_hashes() {
+        let snap = MetricsSnapshot::default();
+        assert_eq!(snap.to_json(), "{\n\n}\n");
+        assert_eq!(snap.hash_hex(), format!("{:016x}", fnv1a(b"{\n\n}\n")));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(3.0), "3");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn type_confusion_panics() {
+        let mut reg = Registry::default();
+        reg.gauge_set("x", 1.0);
+        reg.counter_add("x", 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! Aggregation helpers: phase totals derived purely from spans.
+
+use crate::{Recording, Track};
+use std::collections::BTreeMap;
+
+/// Sum of span durations per name across all tracks, in simulated seconds.
+pub fn totals_by_name(rec: &Recording) -> BTreeMap<String, f64> {
+    let mut totals = BTreeMap::new();
+    for s in &rec.spans {
+        *totals.entry(s.name.clone()).or_insert(0.0) += (s.t1 - s.t0).max(0.0);
+    }
+    totals
+}
+
+/// Sum of span durations per name restricted to one track.
+pub fn totals_on_track(rec: &Recording, track: Track) -> BTreeMap<String, f64> {
+    let mut totals = BTreeMap::new();
+    for s in rec.spans.iter().filter(|s| s.track == track) {
+        *totals.entry(s.name.clone()).or_insert(0.0) += (s.t1 - s.t0).max(0.0);
+    }
+    totals
+}
+
+/// Number of spans with the given name.
+pub fn count_by_name(rec: &Recording, name: &str) -> usize {
+    rec.spans.iter().filter(|s| s.name == name).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MetricsSnapshot, Span};
+
+    #[test]
+    fn totals_sum_durations() {
+        let rec = Recording {
+            spans: vec![
+                Span { name: "spmv".into(), track: Track::Host, t0: 0.0, t1: 1.0, depth: 0 },
+                Span { name: "spmv".into(), track: Track::Host, t0: 2.0, t1: 2.5, depth: 0 },
+                Span { name: "spmv".into(), track: Track::Device(0), t0: 0.0, t1: 0.25, depth: 0 },
+            ],
+            instants: vec![],
+            samples: vec![],
+            metrics: MetricsSnapshot::default(),
+        };
+        let all = totals_by_name(&rec);
+        assert_eq!(all["spmv"], 1.75);
+        let host = totals_on_track(&rec, Track::Host);
+        assert_eq!(host["spmv"], 1.5);
+        assert_eq!(count_by_name(&rec, "spmv"), 3);
+    }
+}

@@ -185,6 +185,67 @@ fn solve_event_driven_traced() -> (Vec<u64>, u64, u64, u64, usize, Vec<Vec<Cmd>>
     )
 }
 
+/// The full CA-GMRES solve, optionally under a `ca-obs` recording session
+/// with device command tracing — the maximal instrumentation load.
+#[allow(clippy::type_complexity)]
+fn solve_maybe_instrumented(instrument: bool) -> (Vec<u64>, [u64; 5], u64, u64, usize) {
+    use ca_gmres_repro::gpusim::obs_ingest_traces;
+    use ca_gmres_repro::obs;
+    let a = gen::convection_diffusion(14, 14, 1.5);
+    let (a_ord, p, layout) = prepare(&a, Ordering::Kway, 3);
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| ((i * 31 % 17) as f64) - 8.0).collect();
+    let mut mg = MultiGpu::with_defaults(3);
+    if instrument {
+        obs::start();
+        mg.enable_trace();
+    }
+    let cfg = CaGmresConfig { s: 6, m: 24, rtol: 1e-9, max_restarts: 300, ..Default::default() };
+    let sys = System::new(&mut mg, &a_ord, layout, cfg.m, Some(cfg.s)).unwrap();
+    sys.load_rhs(&mut mg, &perm::permute_vec(&b, &p)).unwrap();
+    let out = ca_gmres(&mut mg, &sys, &cfg);
+    assert!(out.stats.converged);
+    let x = perm::unpermute_vec(&sys.download_x(&mut mg).unwrap(), &p);
+    if instrument {
+        obs_ingest_traces(&mg.take_traces());
+        let rec = obs::finish();
+        assert!(!rec.is_empty(), "instrumented run must actually record");
+        rec.check_well_nested().unwrap_or_else(|e| panic!("not well-nested: {e}"));
+    }
+    let s = &out.stats;
+    (
+        x.iter().map(|v| v.to_bits()).collect(),
+        [
+            s.t_total.to_bits(),
+            s.t_spmv.to_bits(),
+            s.t_orth.to_bits(),
+            s.t_tsqr.to_bits(),
+            s.t_small.to_bits(),
+        ],
+        s.comm_msgs,
+        s.comm_bytes,
+        s.total_iters,
+    )
+}
+
+/// Property (observability layer): recording is pure observation. A solve
+/// under a full obs session — host spans, metric registry, device command
+/// tracing, post-hoc trace ingestion — is bit-identical to the same solve
+/// with no recorder attached: same solution bits, same clock bits for
+/// every phase bucket, same traffic counters, same iteration count.
+#[test]
+fn instrumented_run_is_bit_identical_to_uninstrumented() {
+    let plain = solve_maybe_instrumented(false);
+    let recorded = solve_maybe_instrumented(true);
+    assert_eq!(plain.0, recorded.0, "recording perturbed the solution bits");
+    assert_eq!(plain.1, recorded.1, "recording perturbed the simulated phase clocks");
+    assert_eq!(
+        (plain.2, plain.3, plain.4),
+        (recorded.2, recorded.3, recorded.4),
+        "recording perturbed traffic or iteration counters"
+    );
+}
+
 /// Property (stream executor): replaying the queues with the same
 /// `FaultPlan` seed is bit-identical — same solution bits, same clock
 /// bits, same counters, and command-for-command identical per-device
