@@ -1,0 +1,42 @@
+//! # ca-chaos — deterministic chaos campaigns for the FT driver
+//!
+//! The fault-tolerant driver survives each fault class in isolation (its
+//! unit tests inject one fault at a time). Real machines do not fail one
+//! fault at a time: a straggling GPU drops packets while a neighbor
+//! flips a bit, *then* hangs. This crate attacks the driver with seeded,
+//! deterministic **campaigns** of adversarial fault schedules composing
+//! silent data corruption, transient transfer faults, device loss,
+//! sustained slowdown, degraded links, and queue stalls concurrently
+//! over the [`ca_gpusim::FaultPlan`] API — the validation posture
+//! MGSim/MGMark argues multi-GPU systems need.
+//!
+//! Every schedule derives from `(campaign_seed, index)` through a
+//! SplitMix64 stream, so any failure reproduces bit-identically from two
+//! integers, and [`shrink`](shrink::shrink) reduces a failing schedule
+//! to a minimal reproducer by dropping fault components and halving
+//! rates to a fixpoint.
+//!
+//! Invariants checked on every run ([`runner::run_schedule`]):
+//!
+//! * **typed outcome** — the solve converges (and the returned iterate
+//!   *actually* satisfies the tolerance, re-verified on the host), or
+//!   reports a typed breakdown / honest non-convergence; it never
+//!   panics (panics are caught and counted as violations).
+//! * **bounded simulated time** — `t_total` is finite, non-negative
+//!   (clock monotonicity), and under a generous budget; a hang would
+//!   show up here as a runaway or non-finite clock.
+//! * **zero-rate invisibility** — a schedule whose every rate is zero
+//!   must replay the plan-free baseline bit for bit (iterate hash and
+//!   total-time bits).
+//! * **well-nested spans** — a sequential sub-campaign runs under an
+//!   `ca-obs` recording and checks the span forest nests per track.
+
+pub mod campaign;
+pub mod runner;
+pub mod schedule;
+pub mod shrink;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, Violation};
+pub use runner::{run_schedule, RunOutcome};
+pub use schedule::ChaosSchedule;
+pub use shrink::shrink;

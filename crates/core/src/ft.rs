@@ -30,10 +30,24 @@
 //!    ([`FtConfig::rebalance`]) that repartitions rows proportionally to
 //!    each device's measured throughput when the observed slowdown
 //!    imbalance crosses [`FtConfig::rebalance_threshold`], charging the
-//!    row migration over the (possibly degraded) links. The watchdog only
-//!    acts between cycles, so one cycle's worth of stall time is paid
-//!    before a hung device is cut loose — the price of coarse-grained
-//!    health polling.
+//!    row migration over the (possibly degraded) links.
+//! 5. **In-cycle detection and block-granular recovery** — arming
+//!    [`FtConfig::probe`] moves health polling *inside* the cycle: the
+//!    MPK/SpMV block generators and the BOrth pass call
+//!    [`HealthProbe::poll`] at every block boundary (gated on a
+//!    thread-local like the obs layer — zero cost when disarmed,
+//!    bit-invisible on a healthy machine), so a hung device or fail-slow
+//!    straggler is caught within one block instead of one restart cycle.
+//!    After every verified block the driver snapshots the orthonormal
+//!    basis prefix and the Gram/Hessenberg state ([`CycleCkpt`] — the
+//!    host-side read overlaps device compute on the copy engines and is
+//!    not charged; the *restore* re-upload after a failure is charged in
+//!    full), so recovery rolls the cycle back to the failed block, not
+//!    its start. A straggler caught mid-flight triggers an immediate
+//!    repartition of the remaining rows ([`Layout::proportional_nnz`],
+//!    or the [`RestartTuner::replan_midcycle`] hook when autotuning).
+//!    Detection latency and work lost to rollback are recorded in
+//!    [`FtReport`] and the `ft.detection_latency_s` histogram.
 //!
 //! Unsupported solver options (documented simplifications): the FT driver
 //! always resolves [`KernelMode::Auto`] to MPK-if-available, and ignores
@@ -51,11 +65,12 @@ use crate::stats::{BreakdownKind, SolveStats};
 use crate::system::System;
 use ca_dense::hessenberg::GivensLsq;
 use ca_gpusim::faults::Result as GpuResult;
-use ca_gpusim::{GpuSimError, MultiGpu, VecId};
+use ca_gpusim::{GpuSimError, MultiGpu, RetryPolicy, VecId};
 use ca_obs as obs;
 use ca_sparse::Csr;
 use obs::Track::Host as HOST;
 use serde::Serialize;
+use std::cell::RefCell;
 
 /// Fault-tolerance configuration on top of a [`CaGmresConfig`].
 #[derive(Debug, Clone)]
@@ -68,10 +83,14 @@ pub struct FtConfig {
     /// Run the orthogonalization with Gram/projection checksums
     /// (detects SDC in the BOrth GEMM and TSQR SYRK/GEMM kernels).
     pub abft_orth: bool,
-    /// Retry budget: how many times one block (or one cycle, for the
-    /// residual backstop) may be recomputed before the driver gives up
-    /// and accepts the possibly-corrupt result.
-    pub max_recompute: usize,
+    /// Retry policy for ABFT block recompute (and the per-cycle residual
+    /// backstop): `recompute.retries()` bounds how many times one block
+    /// (or one cycle) may be regenerated before the driver gives up and
+    /// accepts the possibly-corrupt result; a nonzero backoff spaces the
+    /// recompute attempts out in simulated time. Shares the
+    /// [`RetryPolicy`] type with the executor's transfer retry
+    /// ([`MultiGpu::set_transfer_retry`]).
+    pub recompute: RetryPolicy,
     /// Compare the explicit residual against the implicit least-squares
     /// one after every restart cycle; roll back to the checkpoint on
     /// disagreement.
@@ -92,6 +111,12 @@ pub struct FtConfig {
     /// declared lost at the next restart boundary and the solve degrades
     /// onto the survivors (same path as hard device loss).
     pub watchdog_timeout_s: Option<f64>,
+    /// In-cycle health probe: when set, every MPK/SpMV block boundary and
+    /// BOrth pass polls device health, block-granular checkpoints are
+    /// taken after each verified block, and recovery resumes from the
+    /// failed block instead of redoing the cycle. `None` (the default)
+    /// reproduces the restart-boundary-only driver bit for bit.
+    pub probe: Option<HealthProbe>,
 }
 
 impl Default for FtConfig {
@@ -100,12 +125,13 @@ impl Default for FtConfig {
             solver: CaGmresConfig::default(),
             abft_spmv: true,
             abft_orth: true,
-            max_recompute: 3,
+            recompute: RetryPolicy::default(),
             residual_check: true,
             residual_slack: 10.0,
             rebalance: false,
             rebalance_threshold: 1.5,
             watchdog_timeout_s: None,
+            probe: None,
         }
     }
 }
@@ -143,6 +169,27 @@ pub struct FtReport {
     /// solve (`Layout::starts`; differs from the even split only when a
     /// retune, rebalance, or device loss moved rows).
     pub layout_final: Vec<usize>,
+    /// In-cycle health polls executed (probe armed; each MPK/SpMV block
+    /// boundary and BOrth pass counts one).
+    pub in_cycle_polls: u64,
+    /// Hung devices the in-cycle probe escalated to loss at a poll point
+    /// (instead of waiting for the restart-boundary watchdog).
+    pub in_cycle_escalations: usize,
+    /// Mid-cycle throughput repartitions (straggler caught by the probe
+    /// and the remaining rows of the cycle re-split; also counted in
+    /// `rebalances`).
+    pub mid_cycle_rebalances: usize,
+    /// Cycles resumed from a block-granular checkpoint after a mid-cycle
+    /// interruption (device down or rebalance).
+    pub block_resumes: usize,
+    /// Detection latency of every escalation, in simulated seconds: the
+    /// gap between the last health observation (previous poll, or cycle
+    /// entry for restart-boundary detections) and the detection instant.
+    /// Also exported as the `ft.detection_latency_s` histogram.
+    pub detection_latency_s: Vec<f64>,
+    /// Simulated seconds of verified work discarded by rollbacks (cycle
+    /// redo on the legacy path, block rollback on the probe path).
+    pub work_lost_s: f64,
 }
 
 /// A re-planning decision returned by a [`RestartTuner`]: the step size
@@ -188,6 +235,23 @@ pub trait RestartTuner {
         s_cur: usize,
         layout: &Layout,
     ) -> Option<RetuneDecision>;
+
+    /// Mid-cycle re-plan: called when the in-cycle probe catches a
+    /// fail-slow straggler between blocks, with the live health report.
+    /// Only the row layout may change — the step size is pinned until the
+    /// next restart boundary because the basis spec (and the ABFT
+    /// recurrence checksums derived from it) are fixed for the cycle in
+    /// flight. The default keeps the driver's own throughput-proportional
+    /// split; implementations may return a model-scored layout instead.
+    /// The same invisibility contract applies: a healthy report must
+    /// return `None`.
+    fn replan_midcycle(
+        &mut self,
+        _health: &ca_gpusim::HealthReport,
+        _layout: &Layout,
+    ) -> Option<Layout> {
+        None
+    }
 }
 
 /// Outcome of a fault-tolerant solve.
@@ -201,6 +265,248 @@ pub struct FtOutcome {
     /// The final iterate (on an unrecoverable fault: the last accepted
     /// checkpoint, with `stats.breakdown` explaining the abort).
     pub x: Vec<f64>,
+}
+
+/// Where an in-cycle health poll fired (for cause annotation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollPoint {
+    /// End of an MPK block (one halo exchange + `s` fused steps).
+    MpkBlock,
+    /// End of a shifted-SpMV basis step/block (the non-MPK path, and the
+    /// standard-GMRES first cycle).
+    SpmvBlock,
+    /// End of the BOrth projection pass (between BOrth and TSQR).
+    Orth,
+}
+
+impl PollPoint {
+    fn label(self) -> &'static str {
+        match self {
+            PollPoint::MpkBlock => "mpk block boundary",
+            PollPoint::SpmvBlock => "spmv block boundary",
+            PollPoint::Orth => "borth/tsqr stage boundary",
+        }
+    }
+}
+
+/// In-cycle health-probe configuration ([`FtConfig::probe`]).
+///
+/// The probe piggybacks on the kernel call sites: [`crate::mpk::mpk`],
+/// the shifted-SpMV block generator, and the BOrth pass each call
+/// [`HealthProbe::poll`] when they finish. The poll is gated on a
+/// thread-local armed only for the duration of a fault-tolerant solve —
+/// the same zero-cost-when-disabled discipline as `ca_obs` — and reads
+/// health telemetry without advancing any simulated clock, so an armed
+/// probe on a healthy machine replays the unprobed solve bit for bit.
+#[derive(Debug, Clone)]
+pub struct HealthProbe {
+    /// Escalate a device whose worst single-command overshoot exceeds
+    /// this many simulated seconds at the next poll point (the in-cycle
+    /// analog of [`FtConfig::watchdog_timeout_s`]).
+    pub watchdog_timeout_s: Option<f64>,
+    /// EWMA-slowdown imbalance above which the probe requests a
+    /// mid-cycle repartition of the remaining rows. `None` leaves
+    /// fail-slow response to the restart boundary.
+    pub straggler_threshold: Option<f64>,
+}
+
+impl Default for HealthProbe {
+    fn default() -> Self {
+        Self { watchdog_timeout_s: Some(0.5), straggler_threshold: None }
+    }
+}
+
+/// Live state of an armed probe (thread-local: the solve drives every
+/// poll point from the host thread, exactly like the obs recorder).
+#[derive(Debug, Default)]
+struct ProbeState {
+    watchdog_timeout_s: Option<f64>,
+    straggler_threshold: Option<f64>,
+    polls: u64,
+    /// Machine time at the previous poll — the left edge of the latency
+    /// bracket for anything detected at the next poll.
+    last_poll_t: f64,
+    escalations: usize,
+    escalated: Vec<usize>,
+    latencies: Vec<f64>,
+    straggler_pending: Option<(usize, f64)>,
+    /// One straggler signal per rebuild: set when signalled, cleared by
+    /// the driver after it acts (or at the next fresh cycle).
+    straggler_latched: bool,
+}
+
+/// What an armed probe observed over one solve (folded into [`FtReport`]).
+struct ProbeSummary {
+    polls: u64,
+    escalations: usize,
+    latencies: Vec<f64>,
+}
+
+thread_local! {
+    static PROBE: RefCell<Option<ProbeState>> = const { RefCell::new(None) };
+}
+
+impl HealthProbe {
+    /// Install (or clear, with `cfg == None`) the thread-local probe for
+    /// one solve. Always called by the driver — also with `None` — so a
+    /// probe left armed by a panicked solve can never leak into the next.
+    fn arm(cfg: Option<&HealthProbe>, t0: f64) {
+        PROBE.with(|p| {
+            *p.borrow_mut() = cfg.map(|c| ProbeState {
+                watchdog_timeout_s: c.watchdog_timeout_s,
+                straggler_threshold: c.straggler_threshold,
+                last_poll_t: t0,
+                ..ProbeState::default()
+            });
+        });
+    }
+
+    /// Tear down the probe and return what it saw.
+    fn disarm() -> Option<ProbeSummary> {
+        PROBE.with(|p| p.borrow_mut().take()).map(|s| ProbeSummary {
+            polls: s.polls,
+            escalations: s.escalations,
+            latencies: s.latencies,
+        })
+    }
+
+    /// Force-clear any armed probe on this thread. Harness code (e.g. the
+    /// chaos runner) calls this after catching a panic out of a solve, so
+    /// a poisoned probe cannot outlive the solve that armed it.
+    pub fn reset_thread() {
+        PROBE.with(|p| *p.borrow_mut() = None);
+    }
+
+    /// One health observation, called by the kernel layers at block/stage
+    /// boundaries. Disarmed (the default, and every non-FT solver): a
+    /// single thread-local read, nothing else. Armed: runs the watchdog
+    /// sweep and, when configured, the straggler imbalance check — pure
+    /// reads of device telemetry that advance no clock, so a healthy
+    /// machine stays bit-identical. A hung device is marked lost on the
+    /// spot (honest clock: rest-of-machine progress plus the timeout) and
+    /// surfaces as [`GpuSimError::DeviceLost`] into the caller's existing
+    /// error path; a straggler only sets a pending flag the driver
+    /// consumes at the next block boundary.
+    ///
+    /// # Errors
+    /// [`GpuSimError::DeviceLost`] when the in-cycle watchdog escalates a
+    /// hung device.
+    pub(crate) fn poll(mg: &mut MultiGpu, point: PollPoint) -> GpuResult<()> {
+        let Some((timeout, straggler, latched)) = PROBE.with(|p| {
+            p.borrow()
+                .as_ref()
+                .map(|s| (s.watchdog_timeout_s, s.straggler_threshold, s.straggler_latched))
+        }) else {
+            return Ok(());
+        };
+        if let Some(t) = timeout {
+            let hung = mg.watchdog(t);
+            if !hung.is_empty() {
+                let t_det = mg.time(); // rest-of-machine progress + timeout
+                let (latency, n) = PROBE.with(|p| {
+                    let mut b = p.borrow_mut();
+                    let s = b.as_mut().expect("probe vanished mid-poll");
+                    let latency = (t_det - s.last_poll_t).max(0.0);
+                    s.polls += 1;
+                    s.last_poll_t = t_det;
+                    for &d in &hung {
+                        s.escalations += 1;
+                        s.escalated.push(d);
+                        s.latencies.push(latency);
+                    }
+                    (latency, hung.len())
+                });
+                if obs::enabled() {
+                    for &d in &hung {
+                        obs::instant_cause(
+                            "ft.detect",
+                            HOST,
+                            t_det,
+                            &format!(
+                                "in-cycle probe at {} caught hung device {d}; \
+                                 detection latency {latency:.6}s",
+                                point.label()
+                            ),
+                        );
+                        obs::observe("ft.detection_latency_s", latency);
+                    }
+                    obs::counter_add("ft.in_cycle_escalations", n as u64);
+                }
+                return Err(GpuSimError::DeviceLost { device: hung[0] });
+            }
+        }
+        let now = mg.time();
+        if let Some(threshold) = straggler {
+            if !latched {
+                let health = mg.health_report();
+                let imbalance = health.imbalance();
+                if imbalance > threshold {
+                    // slowest alive device by latency EWMA
+                    let worst = health
+                        .devices
+                        .iter()
+                        .filter(|d| d.alive)
+                        .max_by(|a, b| a.ewma_slowdown.total_cmp(&b.ewma_slowdown))
+                        .map(|d| d.device);
+                    if let Some(device) = worst {
+                        let latency = PROBE.with(|p| {
+                            let mut b = p.borrow_mut();
+                            let s = b.as_mut().expect("probe vanished mid-poll");
+                            let latency = (now - s.last_poll_t).max(0.0);
+                            s.straggler_pending = Some((device, imbalance));
+                            s.straggler_latched = true;
+                            s.latencies.push(latency);
+                            latency
+                        });
+                        if obs::enabled() {
+                            obs::instant_cause(
+                                "ft.detect",
+                                HOST,
+                                now,
+                                &format!(
+                                    "in-cycle probe at {} flagged straggler device {device} \
+                                     (imbalance {imbalance:.3} > {threshold:.3}); \
+                                     detection latency {latency:.6}s",
+                                    point.label()
+                                ),
+                            );
+                            obs::observe("ft.detection_latency_s", latency);
+                        }
+                    }
+                }
+            }
+        }
+        PROBE.with(|p| {
+            let mut b = p.borrow_mut();
+            if let Some(s) = b.as_mut() {
+                s.polls += 1;
+                s.last_poll_t = now;
+            }
+        });
+        Ok(())
+    }
+
+    /// Consume a pending straggler signal (driver, at a block boundary).
+    fn take_straggler() -> Option<(usize, f64)> {
+        PROBE.with(|p| p.borrow_mut().as_mut().and_then(|s| s.straggler_pending.take()))
+    }
+
+    /// Re-enable straggler signalling (driver, after a rebuild reset the
+    /// health EWMAs or at a fresh cycle).
+    fn unlatch_straggler() {
+        PROBE.with(|p| {
+            if let Some(s) = p.borrow_mut().as_mut() {
+                s.straggler_latched = false;
+                s.straggler_pending = None;
+            }
+        });
+    }
+
+    /// Whether the probe (not the fault plan) escalated `device` to loss
+    /// during this solve — distinguishes a hang from a hard loss.
+    fn was_escalated(device: usize) -> bool {
+        PROBE.with(|p| p.borrow().as_ref().is_some_and(|s| s.escalated.contains(&device)))
+    }
 }
 
 /// Per-device slices of the ABFT checksum vector `c = Aᵀ1`, aligned with
@@ -325,8 +631,16 @@ pub fn ca_gmres_ft_with_tuner(
     let mut x_ckpt = vec![0.0f64; a.nrows()];
     mg.sync();
     let t_begin = mg.time();
+    // install (or clear) the in-cycle health probe for this solve; always
+    // called so a probe leaked by an aborted solve cannot carry over
+    HealthProbe::arm(cfg.probe.as_ref(), t_begin);
     let fatal =
         ca_gmres_ft_impl(&mut mg, a, b, cfg, tuner, &mut stats, &mut report, &mut x_ckpt).err();
+    if let Some(ps) = HealthProbe::disarm() {
+        report.in_cycle_polls = ps.polls;
+        report.in_cycle_escalations = ps.escalations;
+        report.detection_latency_s.extend(ps.latencies);
+    }
     if let Some(e) = fatal {
         stats.breakdown = Some(BreakdownKind::from(e));
         stats.converged = false;
@@ -383,9 +697,17 @@ fn ca_gmres_ft_impl(
     let mut shifts: Option<Vec<ca_dense::hessenberg::Complex>> = None;
     let mut spec_full = BasisSpec::monomial(s_cur);
     let mut harvested = false;
-    let mut redo_budget = cfg.max_recompute;
+    let mut redo_budget = cfg.recompute.retries();
+    // hand-back state for re-entering an interrupted cycle at its last
+    // verified block (None: start the next cycle fresh)
+    let mut resume: Option<ResumeState> = None;
 
     while beta > target && stats.restarts < scfg.max_restarts {
+        let t_cycle_entry = mg.time();
+        if resume.is_none() {
+            // fresh cycle: let the probe raise a new straggler signal
+            HealthProbe::unlatch_straggler();
+        }
         let cycle = run_protected_cycle(
             mg,
             &sys,
@@ -397,11 +719,12 @@ fn ca_gmres_ft_impl(
             beta,
             target,
             harvested,
+            resume.take(),
             stats,
             report,
         );
         match cycle {
-            Ok(CycleResult { implied, hessenberg, made_progress }) => {
+            Ok(CycleOutcome::Done(CycleResult { implied, hessenberg, made_progress })) => {
                 if !harvested {
                     // harvest shifts from the standard first cycle
                     if let Some(h) = &hessenberg {
@@ -420,8 +743,13 @@ fn ca_gmres_ft_impl(
                     && redo_budget > 0
                 {
                     // undetected corruption reached x: roll back and redo
+                    let retry = (cfg.recompute.retries() - redo_budget) as u32 + 1;
                     report.cycles_redone += 1;
                     redo_budget -= 1;
+                    let wait = cfg.recompute.backoff_s(retry);
+                    if wait > 0.0 {
+                        mg.fast_forward(mg.time() + wait); // space the redo out
+                    }
                     if obs::enabled() {
                         obs::instant_cause(
                             "ft.rollback",
@@ -439,16 +767,121 @@ fn ca_gmres_ft_impl(
                     beta = sys.residual_norm(mg)?;
                     continue;
                 }
-                redo_budget = cfg.max_recompute;
+                redo_budget = cfg.recompute.retries();
                 beta = beta_explicit;
                 *x_ckpt = sys.download_x(mg)?; // checkpoint the accepted iterate
                 if stats.breakdown.is_some() || !made_progress {
                     break; // numerical breakdown or stagnation: stop honestly
                 }
             }
+            Ok(CycleOutcome::Interrupted { action: MidCycleAction::DeviceDown(device), ck }) => {
+                // --- block-granular degradation: the probe (or a plan
+                // fault) killed a device mid-cycle, but every block up to
+                // the checkpoint is verified — rebuild on the survivors
+                // and resume the cycle there instead of redoing it ---
+                report.device_lost = Some(device);
+                if HealthProbe::was_escalated(device) {
+                    report.hung_device = Some(device); // hang, not hard loss
+                }
+                report.work_lost_s += (mg.time() - ck.t_ckpt).max(0.0);
+                let nsurv = mg.n_gpus() - 1;
+                if nsurv == 0 {
+                    return Err(GpuSimError::DeviceLost { device });
+                }
+                report.degraded = true;
+                if obs::enabled() {
+                    obs::close_open(mg.time()); // seal spans the abort left open
+                    obs::instant_cause(
+                        "ft.degrade",
+                        HOST,
+                        mg.time(),
+                        &format!(
+                            "device {device} lost mid-cycle; resuming from block \
+                             checkpoint ({} verified columns) on {nsurv} survivors",
+                            ck.ncols
+                        ),
+                    );
+                    obs::counter_add("ft.device_losses", 1);
+                }
+                (sys, abft) =
+                    rebuild_system(mg, a, b, Layout::even(n, nsurv), cfg, s_opt, &[device])?;
+                sys.upload_x(mg, x_ckpt)?;
+                HealthProbe::unlatch_straggler(); // rebuild reset the EWMAs
+                resume = Some(ResumeState { ck, reupload: true });
+                continue;
+            }
+            Ok(CycleOutcome::Interrupted {
+                action: MidCycleAction::Rebalance { device, imbalance },
+                ck,
+            }) => {
+                // --- mid-flight rebalance: split the *remaining* rows of
+                // this cycle across the devices by measured throughput ---
+                let health = mg.health_report();
+                let planned = if scfg.autotune {
+                    tuner.as_deref_mut().and_then(|t| t.replan_midcycle(&health, &sys.layout))
+                } else {
+                    None
+                };
+                let new_layout = planned
+                    .unwrap_or_else(|| Layout::proportional_nnz(a, &health.throughput_weights()));
+                assert_eq!(
+                    new_layout.ndev(),
+                    sys.layout.ndev(),
+                    "mid-cycle rebalance must keep the device count"
+                );
+                // migration payload: same accounting as the restart-
+                // boundary rebalance below
+                let mut bytes = vec![0usize; new_layout.ndev()];
+                let mut rows_moved = 0usize;
+                for d in 0..new_layout.ndev() {
+                    let old = sys.layout.range(d);
+                    let (mut nnz, mut arriving) = (0usize, 0usize);
+                    for i in new_layout.range(d) {
+                        if !old.contains(&i) {
+                            nnz += a.row(i).0.len();
+                            arriving += 1;
+                        }
+                    }
+                    bytes[d] = 12 * nnz + 16 * arriving;
+                    rows_moved += arriving;
+                }
+                if rows_moved * 50 > n {
+                    report.mid_cycle_rebalances += 1;
+                    report.rebalances += 1;
+                    if obs::enabled() {
+                        obs::instant_cause(
+                            "ft.rebalance",
+                            HOST,
+                            mg.time(),
+                            &format!(
+                                "mid-cycle: straggler device {device} (imbalance \
+                                 {imbalance:.3}); {rows_moved} rows migrating before \
+                                 resuming at the block checkpoint"
+                            ),
+                        );
+                        obs::counter_add("ft.rebalances", 1);
+                        obs::counter_add("ft.rebalance.rows_moved", rows_moved as u64);
+                    }
+                    (sys, abft) = rebuild_system(mg, a, b, new_layout, cfg, s_opt, &[])?;
+                    mg.to_devices(&bytes)?; // charge the row migration
+                    sys.upload_x(mg, x_ckpt)?;
+                    HealthProbe::unlatch_straggler(); // rebuild reset the EWMAs
+                    resume = Some(ResumeState { ck, reupload: true });
+                } else {
+                    // ownership barely shifts: not worth the migration.
+                    // Resume in place; the latch keeps the probe from
+                    // re-signalling the same imbalance this cycle.
+                    resume = Some(ResumeState { ck, reupload: false });
+                }
+                continue;
+            }
             Err(GpuSimError::DeviceLost { device }) if mg.n_gpus() > 1 => {
                 // --- graceful degradation: rebuild on the survivors ---
                 report.device_lost = Some(device);
+                if HealthProbe::was_escalated(device) {
+                    report.hung_device = Some(device); // probe hang escalation
+                }
+                report.work_lost_s += (mg.time() - t_cycle_entry).max(0.0);
                 report.degraded = true;
                 let nsurv = mg.n_gpus() - 1;
                 if obs::enabled() {
@@ -478,12 +911,32 @@ fn ca_gmres_ft_impl(
             if !hung.is_empty() {
                 report.hung_device = Some(hung[0]);
                 report.device_lost = Some(hung[0]);
+                // boundary-granularity detection: the hang happened some
+                // time during the cycle we just finished, so the latency
+                // bracket is the whole cycle — the baseline the in-cycle
+                // probe is measured against
+                let latency = (mg.time() - t_cycle_entry).max(0.0);
+                for _ in &hung {
+                    report.detection_latency_s.push(latency);
+                }
                 let alive = mg.n_gpus() - hung.len();
                 if alive == 0 {
                     return Err(GpuSimError::DeviceLost { device: hung[0] });
                 }
                 report.degraded = true;
                 if obs::enabled() {
+                    for &d in &hung {
+                        obs::instant_cause(
+                            "ft.detect",
+                            HOST,
+                            mg.time(),
+                            &format!(
+                                "restart-boundary watchdog caught hung device {d}; \
+                                 detection latency {latency:.6}s"
+                            ),
+                        );
+                        obs::observe("ft.detection_latency_s", latency);
+                    }
                     obs::close_open(mg.time());
                     obs::instant_cause(
                         "ft.degrade",
@@ -679,6 +1132,114 @@ fn rebuild_system(
     Ok((sys, abft))
 }
 
+/// Partial-cycle checkpoint: everything needed to resume an interrupted
+/// CA-GMRES cycle from its last *verified* block boundary instead of
+/// redoing the whole cycle. The basis columns are held layout-agnostic
+/// (full-length host vectors), so the same checkpoint restores onto a
+/// repartitioned or degraded executor.
+struct CycleCkpt {
+    /// Verified, orthonormalized basis columns `V[:, 0..ncols]`, gathered
+    /// to host. Kept full-length so restore works under any row layout.
+    vhost: Vec<Vec<f64>>,
+    /// Block-Arnoldi recurrence state at the checkpoint.
+    arn: BlockArnoldi,
+    /// Basis columns built so far (`V` has `ncols` verified columns).
+    ncols: usize,
+    /// Hessenberg columns pushed through the least-squares recurrence.
+    k_used: usize,
+    /// Cycle-start residual norm that seeded the basis (and the lsq).
+    beta: f64,
+    /// Machine time when the checkpoint was taken — the left edge of the
+    /// work-lost bracket for anything that fails after it.
+    t_ckpt: f64,
+}
+
+/// Why a protected cycle handed control back mid-flight.
+enum MidCycleAction {
+    /// A device was lost (or probe-escalated from hung to lost) after at
+    /// least one verified block; resume from the checkpoint on survivors.
+    DeviceDown(usize),
+    /// The probe flagged a fail-slow straggler; repartition the remaining
+    /// work and resume from the checkpoint.
+    Rebalance { device: usize, imbalance: f64 },
+}
+
+/// Outcome of one protected cycle: ran to the restart boundary, or was
+/// interrupted at a block boundary with a checkpoint to resume from.
+enum CycleOutcome {
+    Done(CycleResult),
+    Interrupted { action: MidCycleAction, ck: CycleCkpt },
+}
+
+/// Hand-back state for resuming an interrupted cycle. `reupload` is false
+/// when the executor survived untouched (e.g. a hysteresis-rejected
+/// rebalance): device-resident basis columns are still valid, so the
+/// resume is free.
+struct ResumeState {
+    ck: CycleCkpt,
+    reupload: bool,
+}
+
+/// Extend (or create) the partial-cycle checkpoint with the newly
+/// verified basis columns `old_ncols..ncols`. Earlier columns are never
+/// mutated by later blocks (BOrth projects the *new* panel against them;
+/// TSQR factors only the new panel), so the capture is incremental.
+///
+/// The host read is deliberately **uncharged**: checkpoint drains are
+/// modeled as overlapped with the next block's compute on the per-link
+/// copy engines, and — decisively — the capture only happens when the
+/// probe is armed, so charging it would break the armed-on-healthy
+/// bit-invisibility contract. The restore path, which only runs after a
+/// real fault, is charged in full.
+fn update_ckpt(
+    ckpt: &mut Option<CycleCkpt>,
+    mg: &MultiGpu,
+    sys: &System,
+    ncols: usize,
+    arn: &BlockArnoldi,
+    k_used: usize,
+    beta: f64,
+) {
+    let ck = ckpt.get_or_insert_with(|| CycleCkpt {
+        vhost: Vec::new(),
+        arn: arn.clone(),
+        ncols: 0,
+        k_used: 0,
+        beta,
+        t_ckpt: mg.time(),
+    });
+    for c in ck.vhost.len()..ncols {
+        let mut col = vec![0.0f64; sys.n];
+        for d in 0..sys.layout.ndev() {
+            let r = sys.layout.range(d);
+            col[r].copy_from_slice(mg.device(d).mat(sys.v[d]).col(c));
+        }
+        ck.vhost.push(col);
+    }
+    ck.arn = arn.clone();
+    ck.ncols = ncols;
+    ck.k_used = k_used;
+    ck.beta = beta;
+    ck.t_ckpt = mg.time();
+}
+
+/// Scatter the checkpointed basis columns back onto the (possibly
+/// rebuilt, possibly repartitioned) executor and charge the re-upload
+/// like any other host→device staging.
+fn restore_ckpt(mg: &mut MultiGpu, sys: &System, ck: &CycleCkpt) -> GpuResult<()> {
+    let ndev = sys.layout.ndev();
+    let mut bytes = vec![0usize; ndev];
+    for d in 0..ndev {
+        let r = sys.layout.range(d);
+        for (c, col) in ck.vhost.iter().enumerate() {
+            mg.device_mut(d).mat_mut(sys.v[d]).set_col(c, &col[r.clone()]);
+        }
+        bytes[d] = 8 * r.len() * ck.vhost.len();
+    }
+    mg.to_devices(&bytes)?;
+    Ok(())
+}
+
 /// What one protected restart cycle reports back.
 struct CycleResult {
     /// Implicit (least-squares) residual norm at the end of the cycle.
@@ -692,7 +1253,13 @@ struct CycleResult {
 /// One restart cycle with ABFT verification and bounded block recompute.
 /// The first cycle (before shifts are harvested) runs standard GMRES,
 /// protected only by the caller's residual check.
-#[allow(clippy::too_many_arguments)]
+///
+/// With [`FtConfig::probe`] armed the cycle also snapshots a
+/// [`CycleCkpt`] after every verified block and, on a mid-cycle device
+/// loss or straggler signal, returns [`CycleOutcome::Interrupted`]
+/// instead of an error so the driver can recover at block granularity;
+/// `resume` re-enters an interrupted cycle from such a checkpoint.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
 fn run_protected_cycle(
     mg: &mut MultiGpu,
     sys: &System,
@@ -704,13 +1271,15 @@ fn run_protected_cycle(
     beta: f64,
     target: f64,
     harvested: bool,
+    resume: Option<ResumeState>,
     stats: &mut SolveStats,
     report: &mut FtReport,
-) -> GpuResult<CycleResult> {
+) -> GpuResult<CycleOutcome> {
     let scfg = &cfg.solver;
     if !harvested {
+        debug_assert!(resume.is_none(), "block checkpoints exist only in CA cycles");
         let cycle = crate::gmres::gmres_cycle(mg, sys, scfg.m, orth.borth, beta, target, stats)?;
-        return Ok(CycleResult {
+        return Ok(CycleOutcome::Done(CycleResult {
             implied: if cycle.k_used > 0 {
                 let mut l = GivensLsq::new(beta);
                 for col in 0..cycle.k_used {
@@ -724,16 +1293,61 @@ fn run_protected_cycle(
             },
             hessenberg: Some(cycle.hessenberg),
             made_progress: cycle.k_used > 0,
-        });
+        }));
     }
 
     let use_mpk = sys.mpk.is_some() && s_cur > 1;
-    sys.seed_basis(mg, beta)?;
-    let mut lsq = GivensLsq::new(beta);
-    let mut arn = BlockArnoldi::new();
-    let mut ncols = 1usize;
-    let mut first_block = true;
-    let mut k_used = 0usize;
+    let mut ckpt: Option<CycleCkpt> = None;
+    let (mut lsq, mut arn, mut ncols, mut first_block, mut k_used, beta_cycle);
+    if let Some(rs) = resume {
+        // re-enter an interrupted cycle from its last verified block
+        let ck = rs.ck;
+        if rs.reupload {
+            restore_ckpt(mg, sys, &ck)?;
+        }
+        // rebuild the least-squares recurrence from the preserved
+        // Hessenberg columns; these Givens updates are host work we pay
+        // again, but the columns were already counted as iterations
+        lsq = GivensLsq::new(ck.beta);
+        for col in ck.arn.columns().iter().take(ck.k_used) {
+            lsq.push_column(col);
+        }
+        mg.host_compute((3 * (ck.k_used + 1) * (ck.k_used + 1)) as f64, (16 * ck.k_used) as f64);
+        arn = ck.arn.clone();
+        ncols = ck.ncols;
+        k_used = ck.k_used;
+        beta_cycle = ck.beta;
+        first_block = false;
+        report.block_resumes += 1;
+        obs::counter_add("ft.block_resumes", 1);
+        ckpt = Some(ck);
+    } else {
+        sys.seed_basis(mg, beta)?;
+        lsq = GivensLsq::new(beta);
+        arn = BlockArnoldi::new();
+        ncols = 1;
+        first_block = true;
+        k_used = 0;
+        beta_cycle = beta;
+    }
+
+    // Intercept a mid-cycle device loss: with a verified-block checkpoint
+    // in hand, hand control back for block-granular recovery instead of
+    // bubbling the error up to the cycle-redo path.
+    macro_rules! intercept {
+        ($res:expr) => {
+            match $res {
+                Ok(v) => v,
+                Err(GpuSimError::DeviceLost { device }) if ckpt.is_some() => {
+                    return Ok(CycleOutcome::Interrupted {
+                        action: MidCycleAction::DeviceDown(device),
+                        ck: ckpt.take().expect("checked is_some"),
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        };
+    }
 
     'blocks: while ncols - 1 < scfg.m {
         let s_blk = s_cur.min(scfg.m + 1 - ncols);
@@ -747,15 +1361,15 @@ fn run_protected_cycle(
             // mutated by this block's orthogonalization (for the first
             // block, re-seeding restores column 0 from the residual)
             if attempts > 0 && first_block {
-                sys.seed_basis(mg, beta)?;
+                intercept!(sys.seed_basis(mg, beta_cycle));
             }
             if use_mpk {
-                mpk(mg, sys.mpk.as_ref().unwrap(), &sys.v, start, &spec_blk)?;
+                intercept!(mpk(mg, sys.mpk.as_ref().unwrap(), &sys.v, start, &spec_blk));
             } else {
-                generate_block_spmv(mg, sys, start, &spec_blk)?;
+                intercept!(generate_block_spmv(mg, sys, start, &spec_blk));
             }
             if let Some(ab) = abft {
-                if !ab.verify_block(mg, sys, start, &spec_blk)? {
+                if !intercept!(ab.verify_block(mg, sys, start, &spec_blk)) {
                     report.sdc_detected += 1;
                     if obs::enabled() {
                         obs::instant_cause(
@@ -769,8 +1383,12 @@ fn run_protected_cycle(
                         );
                         obs::counter_add("ft.sdc_detected", 1);
                     }
-                    if attempts < cfg.max_recompute {
+                    if attempts < cfg.recompute.retries() {
                         attempts += 1;
+                        let wait = cfg.recompute.backoff_s(attempts as u32);
+                        if wait > 0.0 {
+                            mg.fast_forward(mg.time() + wait); // space the retry out
+                        }
                         report.blocks_recomputed += 1;
                         obs::counter_add("ft.blocks_recomputed", 1);
                         continue; // fresh op indices => fresh fault draws
@@ -781,10 +1399,20 @@ fn run_protected_cycle(
             let (c0, c1) = if first_block { (0, s_blk + 1) } else { (ncols, ncols + s_blk) };
             match orth_block(mg, sys, &sys.v, c0, c1, orth, None, stats, None) {
                 Ok(cr) => break cr,
+                Err(OrthError::Gpu(GpuSimError::DeviceLost { device })) if ckpt.is_some() => {
+                    return Ok(CycleOutcome::Interrupted {
+                        action: MidCycleAction::DeviceDown(device),
+                        ck: ckpt.take().expect("checked is_some"),
+                    });
+                }
                 Err(OrthError::Gpu(e)) => return Err(e),
-                Err(OrthError::ChecksumMismatch { .. }) if attempts < cfg.max_recompute => {
+                Err(OrthError::ChecksumMismatch { .. }) if attempts < cfg.recompute.retries() => {
                     report.sdc_detected += 1;
                     attempts += 1;
+                    let wait = cfg.recompute.backoff_s(attempts as u32);
+                    if wait > 0.0 {
+                        mg.fast_forward(mg.time() + wait); // space the retry out
+                    }
                     report.blocks_recomputed += 1;
                     if obs::enabled() {
                         // the failed orth pass returned through `?`, leaving
@@ -833,6 +1461,20 @@ fn run_protected_cycle(
         }
         ncols += s_blk;
         first_block = false;
+        if cfg.probe.is_some() && stats.breakdown.is_none() {
+            // this block is verified: refresh the partial-cycle checkpoint
+            update_ckpt(&mut ckpt, mg, sys, ncols, &arn, k_used, beta_cycle);
+            if !hit_target && ncols - 1 < scfg.m {
+                if let Some((device, imbalance)) = HealthProbe::take_straggler() {
+                    // more blocks to go on a lopsided machine: hand back
+                    // for a mid-flight repartition of the remaining rows
+                    return Ok(CycleOutcome::Interrupted {
+                        action: MidCycleAction::Rebalance { device, imbalance },
+                        ck: ckpt.take().expect("just updated"),
+                    });
+                }
+            }
+        }
         if hit_target {
             break;
         }
@@ -840,7 +1482,7 @@ fn run_protected_cycle(
 
     let implied = if k_used > 0 {
         let (y, implied) = {
-            let mut l = GivensLsq::new(beta);
+            let mut l = GivensLsq::new(beta_cycle);
             for col in arn.columns().iter().take(k_used) {
                 l.push_column(col);
             }
@@ -850,10 +1492,10 @@ fn run_protected_cycle(
         sys.update_x(mg, &y)?;
         implied
     } else {
-        beta
+        beta_cycle
     };
     stats.restarts += 1;
-    Ok(CycleResult { implied, hessenberg: None, made_progress: k_used > 0 })
+    Ok(CycleOutcome::Done(CycleResult { implied, hessenberg: None, made_progress: k_used > 0 }))
 }
 
 #[cfg(test)]
@@ -1003,5 +1645,109 @@ mod tests {
         for (u, v) in clean.x.iter().zip(&zeroed.x) {
             assert_eq!(u.to_bits(), v.to_bits());
         }
+    }
+
+    #[test]
+    fn probe_is_bit_invisible_on_healthy_run() {
+        // armed probe on a healthy machine: polls happen, checkpoints are
+        // captured, and none of it may perturb numerics or the clock
+        let (a, b, _) = problem();
+        let base = ca_gmres_ft(MultiGpu::with_defaults(3), &a, &b, &cfg());
+        let c = FtConfig { probe: Some(HealthProbe::default()), ..cfg() };
+        let probed = ca_gmres_ft(MultiGpu::with_defaults(3), &a, &b, &c);
+        assert!(probed.report.in_cycle_polls > 0, "probe armed but never polled");
+        assert_eq!(probed.report.in_cycle_escalations, 0);
+        assert_eq!(probed.report.block_resumes, 0);
+        assert_eq!(base.stats.total_iters, probed.stats.total_iters);
+        assert_eq!(base.stats.t_total.to_bits(), probed.stats.t_total.to_bits());
+        for (u, v) in base.x.iter().zip(&probed.x) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn probe_detects_hang_within_a_block() {
+        // permanently stalled device: the boundary watchdog eats the whole
+        // stalled cycle before escalating; the probe escalates at the
+        // first block boundary, so its detection latency is a fraction
+        let (a, b, _) = problem();
+        let plan = FaultPlan::new(21).with_stalls(1, 1.0, 30.0);
+        let mut mg = MultiGpu::with_defaults(3);
+        mg.set_fault_plan(plan.clone());
+        let cb = FtConfig { watchdog_timeout_s: Some(0.5), ..cfg() };
+        let base = ca_gmres_ft(mg, &a, &b, &cb);
+        let mut mg = MultiGpu::with_defaults(3);
+        mg.set_fault_plan(plan);
+        let cp = FtConfig {
+            watchdog_timeout_s: Some(0.5),
+            probe: Some(HealthProbe::default()),
+            ..cfg()
+        };
+        let probed = ca_gmres_ft(mg, &a, &b, &cp);
+        assert!(base.stats.converged && probed.stats.converged);
+        assert_eq!(base.report.hung_device, Some(1));
+        assert_eq!(probed.report.hung_device, Some(1));
+        assert_eq!(probed.report.in_cycle_escalations, 1);
+        let lb = base.report.detection_latency_s[0];
+        let lp = probed.report.detection_latency_s[0];
+        assert!(
+            lp <= 0.5 * lb,
+            "in-cycle latency {lp:.3}s not well under boundary latency {lb:.3}s"
+        );
+        assert!(probed.stats.t_total <= base.stats.t_total, "earlier detection must not cost time");
+        check_solution(&a, &b, &probed.x, cp.solver.rtol);
+    }
+
+    #[test]
+    fn device_loss_mid_cycle_resumes_from_block() {
+        // scan injection points: wherever the loss lands after a verified
+        // block, recovery must roll back to that block (not the cycle),
+        // and every run must still converge on the survivors
+        let (a, b, _) = problem();
+        let c = FtConfig { probe: Some(HealthProbe::default()), ..cfg() };
+        let mut resumed = 0;
+        for after_op in [60, 120, 200, 280, 360] {
+            let mut mg = MultiGpu::with_defaults(3);
+            mg.set_fault_plan(FaultPlan::new(3).with_device_loss(1, after_op));
+            let out = ca_gmres_ft(mg, &a, &b, &c);
+            assert!(out.stats.converged, "after_op={after_op}: {:?}", out.stats.breakdown);
+            check_solution(&a, &b, &out.x, c.solver.rtol);
+            if out.report.device_lost.is_some() {
+                // the loss fired before the solve finished
+                assert!(out.report.degraded, "after_op={after_op}");
+                assert_eq!(out.report.ndev_final, 2, "after_op={after_op}");
+            }
+            if out.report.block_resumes > 0 {
+                resumed += 1;
+                assert!(
+                    out.report.work_lost_s > 0.0,
+                    "after_op={after_op}: rollback must record lost work"
+                );
+            }
+        }
+        assert!(resumed >= 1, "no injection point exercised the block-resume path");
+    }
+
+    #[test]
+    fn probe_rebalances_straggler_mid_cycle() {
+        // 4x fail-slow device with only the in-cycle responder armed: the
+        // EWMA imbalance trips the probe threshold at a block boundary and
+        // the remaining rows are repartitioned without waiting for the
+        // restart boundary
+        let (a, b, _) = problem();
+        let mut mg = MultiGpu::with_defaults(3);
+        mg.set_fault_plan(FaultPlan::new(13).with_slowdown(1, 4.0, 0));
+        let c = FtConfig {
+            probe: Some(HealthProbe {
+                watchdog_timeout_s: Some(0.5),
+                straggler_threshold: Some(1.5),
+            }),
+            ..cfg()
+        };
+        let out = ca_gmres_ft(mg, &a, &b, &c);
+        assert!(out.stats.converged, "{:?}", out.stats.breakdown);
+        assert!(out.report.mid_cycle_rebalances >= 1, "straggler never rebalanced in-cycle");
+        assert!(!out.report.degraded);
+        check_solution(&a, &b, &out.x, c.solver.rtol);
     }
 }

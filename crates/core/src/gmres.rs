@@ -85,6 +85,9 @@ pub(crate) fn gmres_cycle(
         let now = mg.time();
         obs::span_end(sp_spmv, now);
         stats.t_spmv += timer.mark(now);
+        // in-cycle health poll per SpMV step (no-op unless an FT solve
+        // armed the probe; bit-invisible on a healthy machine)
+        crate::ft::HealthProbe::poll(mg, crate::ft::PollPoint::SpmvBlock)?;
 
         let sp_orth = obs::span_begin("orth", HOST, now);
         match orth_column(mg, &sys.v, j + 1, orth) {

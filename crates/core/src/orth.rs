@@ -258,7 +258,7 @@ pub fn borth(
     if c0 == 0 {
         return Ok(Mat::zeros(0, c1));
     }
-    match kind {
+    let c = match kind {
         BorthKind::Mgs => {
             // one reduction per previous vector (still j reductions, §V-A)
             let mut c = Mat::zeros(c0, c1 - c0);
@@ -272,7 +272,7 @@ pub fn borth(
                     c[(l, k)] = val;
                 }
             }
-            Ok(c)
+            c
         }
         BorthKind::Cgs => {
             // single block reduction (§V-B)
@@ -281,9 +281,13 @@ pub fn borth(
             let c = reduce_mat(mg, &parts)?;
             mg.broadcast(8 * c0 * (c1 - c0))?;
             mg.run(|d, dev| dev.gemm_nn_update(v[d], (0, c0), (c0, c1), &c, gemm));
-            Ok(c)
+            c
         }
-    }
+    };
+    // in-cycle health poll between the BOrth and TSQR stages (no-op
+    // unless an FT solve armed the probe; bit-invisible when healthy)
+    crate::ft::HealthProbe::poll(mg, crate::ft::PollPoint::Orth).map_err(OrthError::Gpu)?;
+    Ok(c)
 }
 
 /// [`borth`] with the projection reduction verified against an

@@ -72,6 +72,7 @@ pub mod device;
 pub mod faults;
 pub mod model;
 pub mod multi;
+pub mod retry;
 pub mod stream;
 pub mod trace;
 
@@ -82,5 +83,6 @@ pub use faults::{
 };
 pub use model::{EffCurve, GemmVariant, GemvVariant, KernelConfig, PerfModel, PARAM_NAMES};
 pub use multi::{CommCounters, DeviceHealth, HealthReport, MultiGpu};
+pub use retry::RetryPolicy;
 pub use stream::{Cmd, CopyEngine, Event, EventTable, Schedule, StreamTrace};
 pub use trace::{export_chrome_trace, obs_ingest_traces};

@@ -29,6 +29,7 @@
 use crate::device::Device;
 use crate::faults::{FaultPlan, GpuSimError, Result};
 use crate::model::{KernelConfig, PerfModel};
+use crate::retry::RetryPolicy;
 use crate::stream::{Cmd, CopyEngine, Event, EventTable, Schedule};
 use ca_obs as obs;
 use rayon::prelude::*;
@@ -150,8 +151,9 @@ pub struct MultiGpu {
     faults: Option<Arc<FaultPlan>>,
     /// Monotone transfer-message counter (fault-plan coordinate).
     msg_counter: u64,
-    /// Bounded attempts per transfer message before giving up.
-    max_transfer_attempts: u32,
+    /// Bounded attempts (plus optional simulated-time backoff) per
+    /// transfer message before giving up.
+    transfer_retry: RetryPolicy,
     /// Scheduling policy: `Barrier` (default) or `EventDriven`.
     schedule: Schedule,
     /// Recorded event timestamps (copies, explicit records).
@@ -175,7 +177,7 @@ impl MultiGpu {
             node_of: vec![0; n_gpus],
             faults: None,
             msg_counter: 0,
-            max_transfer_attempts: 4,
+            transfer_retry: RetryPolicy::default(),
             schedule: Schedule::default(),
             events: EventTable::default(),
             links: vec![CopyEngine::default(); n_gpus],
@@ -221,9 +223,23 @@ impl MultiGpu {
     }
 
     /// Bound the attempts per transfer message (first try + retries).
+    /// Convenience wrapper over [`MultiGpu::set_transfer_retry`] that
+    /// keeps the attempt-count-only shape of the old knob (no backoff).
     pub fn set_max_transfer_attempts(&mut self, attempts: u32) {
+        self.transfer_retry = RetryPolicy { max_attempts: attempts, ..self.transfer_retry };
         assert!(attempts >= 1);
-        self.max_transfer_attempts = attempts;
+    }
+
+    /// Install the transfer retry policy (attempt bound plus optional
+    /// capped exponential simulated-time backoff between attempts).
+    pub fn set_transfer_retry(&mut self, policy: RetryPolicy) {
+        assert!(policy.max_attempts >= 1);
+        self.transfer_retry = policy;
+    }
+
+    /// The transfer retry policy in effect.
+    pub fn transfer_retry(&self) -> RetryPolicy {
+        self.transfer_retry
     }
 
     /// Devices that are still alive (not lost).
@@ -326,7 +342,14 @@ impl MultiGpu {
             base *= lm;
         }
         let mut elapsed = 0.0;
-        for attempt in 0..self.max_transfer_attempts {
+        let policy = self.transfer_retry;
+        for attempt in 0..policy.max_attempts {
+            // backoff before re-try `attempt`; zero (the default) adds
+            // nothing, keeping pre-backoff runs bit-identical
+            let wait = policy.backoff_s(attempt);
+            if wait > 0.0 {
+                elapsed += wait;
+            }
             if !plan.transfer_fails(d, msg, attempt) {
                 if attempt > 0 {
                     obs::counter_add("comm.transfer_retries", u64::from(attempt));
@@ -341,10 +364,10 @@ impl MultiGpu {
         self.counters.transfer_retries -= 1; // last attempt was not retried
         self.host_time += elapsed;
         if obs::enabled() {
-            obs::counter_add("comm.transfer_retries", u64::from(self.max_transfer_attempts - 1));
+            obs::counter_add("comm.transfer_retries", u64::from(policy.max_attempts - 1));
             obs::counter_add("comm.transfers_abandoned", 1);
         }
-        Err(GpuSimError::TransferFailed { device: d, attempts: self.max_transfer_attempts })
+        Err(GpuSimError::TransferFailed { device: d, attempts: policy.max_attempts })
     }
 
     /// Create devices spread over compute nodes: `node_of[d]` is device

@@ -137,6 +137,25 @@ impl RestartTuner for Retuner<'_> {
         }
         Some(RetuneDecision { s: best_s, layout: layouts[best_layout].clone() })
     }
+
+    /// Mid-cycle hook: the basis spec and ABFT checksums of the cycle in
+    /// flight pin `s`, so only the row layout may change. The same
+    /// healthy-machine gate keeps this bit-invisible; past it, the
+    /// remaining rows are simply split proportionally to measured
+    /// throughput — the walker's `(s, layout)` grid search is a restart-
+    /// boundary luxury, not worth re-scoring inside a cycle.
+    fn replan_midcycle(&mut self, health: &HealthReport, layout: &Layout) -> Option<Layout> {
+        let all_alive = health.devices.iter().all(|d| d.alive);
+        if all_alive && health.imbalance() <= self.imbalance_threshold {
+            return None; // healthy: stay invisible
+        }
+        let weights = health.throughput_weights();
+        if weights.iter().all(|&w| w <= 0.0) {
+            return None; // nothing left to run on; let the driver fail
+        }
+        let rebalanced = Layout::proportional_nnz(self.planner.matrix(), &weights);
+        (rebalanced.starts != layout.starts).then_some(rebalanced)
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +219,26 @@ mod tests {
             "straggler share {} not below even {}",
             d.layout.nlocal(2),
             even
+        );
+    }
+
+    #[test]
+    fn midcycle_replan_rebalances_layout_only() {
+        let a = laplace2d(16, 16);
+        let mut r = Retuner::new(&a, 20, PerfModel::default(), KernelConfig::default(), base());
+        let layout = Layout::even(a.nrows(), 3);
+        // healthy: bit-invisible
+        let h = health(&[1.0, 1.0, 1.0], &[true, true, true]);
+        assert!(r.replan_midcycle(&h, &layout).is_none());
+        // 4x straggler: the remaining rows are repartitioned away from it
+        let h = health(&[1.0, 1.0, 4.0], &[true, true, true]);
+        let lay = r.replan_midcycle(&h, &layout).expect("straggler must trigger a repartition");
+        assert_eq!(lay.ndev(), 3, "mid-cycle replan must keep the device count");
+        assert!(
+            lay.nlocal(2) < a.nrows() / 3,
+            "straggler share {} not below even {}",
+            lay.nlocal(2),
+            a.nrows() / 3
         );
     }
 

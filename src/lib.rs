@@ -1,4 +1,5 @@
 //! Workspace facade: re-exports the member crates for examples and integration tests.
+pub use ca_chaos as chaos;
 pub use ca_dense as dense;
 pub use ca_gmres as gmres;
 pub use ca_gpusim as gpusim;

@@ -1,0 +1,143 @@
+//! Chaos-harness integration tests: the fault-tolerant driver survives
+//! an enumerated single-fault grid (fault kind × injection phase) and a
+//! small seeded campaign of composed adversarial schedules, panicking
+//! never, converging or failing typed, inside a simulated-time budget.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ca_gmres_repro::chaos::{run_campaign, CampaignConfig, ChaosSchedule};
+use ca_gmres_repro::gmres::prelude::*;
+use ca_gmres_repro::gpusim::{FaultPlan, MultiGpu, SdcTargets};
+use ca_gmres_repro::sparse::{gen, spmv};
+
+const NDEV: usize = 3;
+const FAULT_DEV: usize = 1;
+const TIME_BUDGET_S: f64 = 1.0e6;
+
+fn problem() -> (ca_gmres_repro::sparse::Csr, Vec<f64>) {
+    let a = gen::laplace2d(12, 12);
+    let n = a.nrows();
+    let x_true: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 3) % 11) as f64 * 0.2).collect();
+    let mut b = vec![0.0; n];
+    spmv::spmv(&a, &x_true, &mut b);
+    (a, b)
+}
+
+fn ft_cfg() -> FtConfig {
+    let mut cfg = FtConfig {
+        watchdog_timeout_s: Some(0.5),
+        probe: Some(HealthProbe { watchdog_timeout_s: Some(0.5), straggler_threshold: Some(2.0) }),
+        ..Default::default()
+    };
+    cfg.solver.s = 5;
+    cfg.solver.m = 20;
+    cfg.solver.rtol = 1e-6;
+    cfg.solver.max_restarts = 300;
+    cfg
+}
+
+/// One fault kind at one injection phase. `after_op` staggers when the
+/// persistent faults (loss, slowdown, stalls) bite; the rate faults use
+/// `seed` to decorrelate which ops get hit across phases.
+fn single_fault_plan(kind: &str, after_op: u64, seed: u64) -> FaultPlan {
+    let p = FaultPlan::new(seed);
+    match kind {
+        "sdc" => p.with_sdc(2e-3, SdcTargets::all()),
+        "transfer" => p.with_transfer_faults(1e-2),
+        "loss" => p.with_device_loss(FAULT_DEV, after_op),
+        "slowdown" => p.with_slowdown(FAULT_DEV, 4.0, after_op),
+        "stalls" => p.with_stalls(FAULT_DEV, 1e-3, 0.8),
+        "hang" => p.with_stalls(FAULT_DEV, 1.0, 30.0),
+        "link" => p.with_link_degrade(FAULT_DEV, 3.0),
+        "alloc" => p.with_alloc_fault(FAULT_DEV, 2 + after_op / 50),
+        other => panic!("unknown fault kind {other}"),
+    }
+}
+
+/// Every (fault kind × injection phase) cell: the probe-armed driver
+/// must converge (host-verified) or fail with a typed breakdown (or
+/// honest restart exhaustion) — never panic, never run past the
+/// simulated-time budget.
+#[test]
+fn single_fault_grid_converges_or_fails_typed() {
+    let (a, b) = problem();
+    let cfg = ft_cfg();
+    let kinds = ["sdc", "transfer", "loss", "slowdown", "stalls", "hang", "link", "alloc"];
+    let phases: [(u64, u64); 3] = [(0, 101), (300, 202), (1500, 303)];
+    for kind in kinds {
+        for (after_op, seed) in phases {
+            let plan = single_fault_plan(kind, after_op, seed);
+            let cell = format!("{kind}@{after_op}/seed{seed}");
+            let res = catch_unwind(AssertUnwindSafe(|| {
+                let mut mg = MultiGpu::with_defaults(NDEV);
+                mg.set_fault_plan(plan.clone());
+                ca_gmres_ft(mg, &a, &b, &cfg)
+            }));
+            let out = match res {
+                Ok(out) => out,
+                Err(_) => {
+                    HealthProbe::reset_thread();
+                    panic!("{cell}: driver panicked");
+                }
+            };
+            assert!(
+                out.stats.t_total.is_finite()
+                    && out.stats.t_total >= 0.0
+                    && out.stats.t_total <= TIME_BUDGET_S,
+                "{cell}: simulated time {} out of budget",
+                out.stats.t_total
+            );
+            if out.stats.converged {
+                let mut ax = vec![0.0; b.len()];
+                spmv::spmv(&a, &out.x, &mut ax);
+                let rr: f64 = b.iter().zip(&ax).map(|(x, y)| (x - y) * (x - y)).sum();
+                let bb: f64 = b.iter().map(|x| x * x).sum();
+                let relres = (rr / bb).sqrt();
+                assert!(
+                    relres <= cfg.solver.rtol * 10.0,
+                    "{cell}: claimed convergence but relres = {relres:.3e}"
+                );
+            } else {
+                assert!(
+                    out.stats.breakdown.is_some() || out.stats.restarts >= cfg.solver.max_restarts,
+                    "{cell}: non-convergence with no typed breakdown"
+                );
+            }
+        }
+    }
+}
+
+/// A small composed-fault campaign end to end: every invariant green,
+/// no panics, zero-rate schedules verified bit-identical, and the
+/// campaign digest reproducible run to run.
+#[test]
+fn composed_campaign_is_green_and_reproducible() {
+    let cfg = CampaignConfig { seed: 77, schedules: 48, obs_checked: 4, ..Default::default() };
+    let a = run_campaign(&cfg);
+    assert!(a.ok(), "violations: {:#?} span nesting: {:?}", a.violations, a.span_nesting_error);
+    assert_eq!(a.passed, 48);
+    assert_eq!(a.panics, 0);
+    assert!(a.converged > 0, "nothing converged in 48 schedules");
+    assert!(a.probe_armed > 0, "probe never armed in 48 schedules");
+    let b = run_campaign(&cfg);
+    assert_eq!(a.digest, b.digest, "campaign digest must be reproducible");
+}
+
+/// Schedules synthesize deterministically and their fault plans honor
+/// the zero-rate contract (no component armed when `is_zero_rate`).
+#[test]
+fn schedules_are_deterministic_and_zero_rate_honest() {
+    let mut saw_zero = false;
+    for i in 0..300 {
+        let s1 = ChaosSchedule::generate(9, i);
+        let s2 = ChaosSchedule::generate(9, i);
+        assert_eq!(format!("{s1:?}"), format!("{s2:?}"), "schedule #{i} not deterministic");
+        if s1.is_zero_rate() {
+            saw_zero = true;
+            let p = s1.plan();
+            assert_eq!(p.sdc_rate, 0.0);
+            assert!(p.device_loss.is_none());
+        }
+    }
+    assert!(saw_zero, "no zero-rate schedule in 300 draws");
+}
