@@ -69,6 +69,7 @@ fn paper_default() -> Candidate {
         ndev: NDEV,
         ordering: Ordering::Natural,
         reorth: d.orth.reorth,
+        prec: d.mpk_prec,
     }
 }
 

@@ -7,9 +7,20 @@
 //! flattens; for `s > ~5` MPK moves more total data than plain SpMV but in
 //! s-times fewer messages. KWY beats RCM on the irregular circuit matrix
 //! and loses to it on the naturally banded cant.
+//!
+//! The analytic table counts *elements*; a trailing executed-run section
+//! cross-checks the *byte* accounting against the simulator's
+//! precision-labelled counters: a fixed-budget mixed-precision solve
+//! (`mpk_prec = f32`) must move the identical message count as the f64
+//! solve while every f32-tagged byte is exactly half its f64 width —
+//! `bytes_f64_run - bytes_mixed_run == bytes_f32_tagged` holds as an
+//! integer identity, not a tolerance.
 
-use ca_bench::{cant, format_table, g3_circuit, write_json, Scale};
+use ca_bench::{balanced_problem, cant, format_table, g3_circuit, write_json, Scale};
+use ca_gmres::mpk::SpmvFormat;
 use ca_gmres::prelude::*;
+use ca_gpusim::MultiGpu;
+use ca_scalar::Precision;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -21,6 +32,75 @@ struct Row {
     scatter_elems: usize,
     total_for_m100: usize,
     relative_to_spmv: f64,
+}
+
+/// One executed f64-vs-mixed counter comparison (same plan, same message
+/// schedule; only the payload width differs).
+#[derive(Serialize)]
+struct HaloCheck {
+    matrix: String,
+    s: usize,
+    msgs: u64,
+    bytes_f64_run: u64,
+    bytes_mixed_run: u64,
+    bytes_f32_tagged: u64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    rows: Vec<Row>,
+    halo_check: Vec<HaloCheck>,
+}
+
+/// Run a fixed two-cycle budget at `prec` and return the machine-wide
+/// transfer counters. Two cycles because the first restart of a Newton
+/// solve is the f64 shift-harvest cycle — only the second executes the
+/// s-step MPK whose halos carry the precision under test.
+fn counted_run(t: &ca_bench::TestMatrix, s: usize, prec: Precision) -> ca_gpusim::CommCounters {
+    let ndev = 3;
+    let (a, b) = balanced_problem(&t.a);
+    let (a_ord, p, layout) = prepare(&a, Ordering::Natural, ndev);
+    let bp = ca_sparse::perm::permute_vec(&b, &p);
+    let cfg = CaGmresConfig {
+        s,
+        m: 30,
+        rtol: 0.0,
+        max_restarts: 2,
+        mpk_prec: prec,
+        ..Default::default()
+    };
+    let mut mg = MultiGpu::with_defaults(ndev);
+    let out = ca_gmres_mixed(&mut mg, &a_ord, &bp, layout, &cfg, SpmvFormat::Ell)
+        .expect("simulated solve failed");
+    assert!(!out.escalated, "{}: f32 basis broke down inside the fixed budget", t.name);
+    mg.counters()
+}
+
+fn halo_check(t: &ca_bench::TestMatrix, s: usize, checks: &mut Vec<HaloCheck>) {
+    let k64 = counted_run(t, s, Precision::F64);
+    let k32 = counted_run(t, s, Precision::F32);
+    assert_eq!(
+        k32.total_msgs(),
+        k64.total_msgs(),
+        "{}: precision must not change the message count",
+        t.name
+    );
+    assert_eq!(k64.total_bytes_f32(), 0, "{}: f64 run moved f32-tagged bytes", t.name);
+    assert!(k32.total_bytes_f32() > 0, "{}: mixed run moved no f32-tagged bytes", t.name);
+    assert_eq!(
+        k64.total_bytes() - k32.total_bytes(),
+        k32.total_bytes_f32(),
+        "{}: f32 halo bytes not exactly half their f64 width",
+        t.name
+    );
+    checks.push(HaloCheck {
+        matrix: t.name.into(),
+        s,
+        msgs: k64.total_msgs(),
+        bytes_f64_run: k64.total_bytes(),
+        bytes_mixed_run: k32.total_bytes(),
+        bytes_f32_tagged: k32.total_bytes_f32(),
+    });
 }
 
 fn main() {
@@ -73,5 +153,34 @@ fn main() {
             &table
         )
     );
-    write_json("fig07_comm_volume", &rows);
+
+    // executed cross-check: f32 halos are exactly half-width on the wire
+    let mut checks = Vec::new();
+    for t in [cant(scale), g3_circuit(scale)] {
+        halo_check(&t, 6, &mut checks);
+    }
+    println!("\nExecuted cross-check — f64 vs mixed (f32 basis), two cycles, natural ordering:\n");
+    let check_table: Vec<Vec<String>> = checks
+        .iter()
+        .map(|c| {
+            vec![
+                c.matrix.clone(),
+                c.s.to_string(),
+                c.msgs.to_string(),
+                c.bytes_f64_run.to_string(),
+                c.bytes_mixed_run.to_string(),
+                c.bytes_f32_tagged.to_string(),
+                (c.bytes_f64_run - c.bytes_mixed_run).to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["matrix", "s", "msgs", "bytes f64", "bytes mixed", "f32-tagged", "saved"],
+            &check_table
+        )
+    );
+
+    write_json("fig07_comm_volume", &Output { rows, halo_check: checks });
 }

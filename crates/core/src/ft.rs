@@ -687,7 +687,15 @@ fn ca_gmres_ft_impl(
     let mut orth = scfg.orth;
     orth.abft = cfg.abft_orth;
 
-    let mut sys = System::new(mg, a, Layout::even(n, mg.n_gpus()), scfg.m, s_opt)?;
+    let mut sys = System::new_with_format_prec(
+        mg,
+        a,
+        Layout::even(n, mg.n_gpus()),
+        scfg.m,
+        s_opt,
+        crate::mpk::SpmvFormat::Ell,
+        scfg.mpk_prec,
+    )?;
     sys.load_rhs(mg, b)?;
     let mut abft = if cfg.abft_spmv { Some(AbftState::build(mg, a, &sys.layout)?) } else { None };
 
@@ -1126,7 +1134,15 @@ fn rebuild_system(
             p
         });
     }
-    let sys = System::new(mg, a, layout, cfg.solver.m, s_opt)?;
+    let sys = System::new_with_format_prec(
+        mg,
+        a,
+        layout,
+        cfg.solver.m,
+        s_opt,
+        crate::mpk::SpmvFormat::Ell,
+        cfg.solver.mpk_prec,
+    )?;
     sys.load_rhs(mg, b)?;
     let abft = if cfg.abft_spmv { Some(AbftState::build(mg, a, &sys.layout)?) } else { None };
     Ok((sys, abft))

@@ -45,6 +45,7 @@ pub mod ft;
 pub mod gmres;
 pub mod hess;
 pub mod layout;
+pub mod mixed;
 pub mod mpk;
 pub mod newton;
 pub mod orth;
@@ -63,6 +64,7 @@ pub mod prelude {
     };
     pub use crate::gmres::{gmres, GmresConfig, GmresOutcome};
     pub use crate::layout::{prepare, Layout, Ordering};
+    pub use crate::mixed::{ca_gmres_mixed, MixedOutcome};
     pub use crate::mpk::{MpkPlan, MpkState};
     pub use crate::newton::{Basis, BasisSpec};
     pub use crate::orth::{BorthKind, OrthConfig, TsqrKind};

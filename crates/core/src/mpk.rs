@@ -18,6 +18,7 @@ use crate::newton::BasisSpec;
 use ca_gpusim::faults::Result;
 use ca_gpusim::{device::SpStorage, MatId, MultiGpu, SpId, VecId};
 use ca_obs as obs;
+use ca_scalar::Precision;
 use ca_sparse::{Csr, Ell, Hyb};
 use obs::Track::Host as HOST;
 
@@ -171,10 +172,18 @@ pub enum SpmvFormat {
 }
 
 impl SpmvFormat {
-    fn build(&self, csr: &Csr) -> SpStorage {
-        match *self {
-            SpmvFormat::Ell => SpStorage::Ell(Ell::from_csr(csr)),
-            SpmvFormat::Hyb { quantile } => SpStorage::Hyb(Hyb::from_csr(csr, quantile)),
+    fn build(&self, csr: &Csr, prec: Precision) -> SpStorage {
+        match (*self, prec) {
+            (SpmvFormat::Ell, Precision::F64) => SpStorage::Ell(Ell::from_csr(csr)),
+            (SpmvFormat::Hyb { quantile }, Precision::F64) => {
+                SpStorage::Hyb(Hyb::from_csr(csr, quantile))
+            }
+            (SpmvFormat::Ell, Precision::F32) => {
+                SpStorage::EllF32(Ell::from_csr(&csr.cast::<f32>()))
+            }
+            (SpmvFormat::Hyb { quantile }, Precision::F32) => {
+                SpStorage::HybF32(Hyb::from_csr(&csr.cast::<f32>(), quantile))
+            }
         }
     }
 }
@@ -184,6 +193,8 @@ impl SpmvFormat {
 pub struct MpkState {
     /// The analysis this state realizes.
     pub plan: MpkPlan,
+    /// Precision the slices are stored at (and the halos travel at).
+    pub prec: Precision,
     local_slice: Vec<SpId>,
     level_slices: Vec<Vec<SpId>>,
     z: Vec<(VecId, VecId)>,
@@ -214,6 +225,24 @@ impl MpkState {
         plan: MpkPlan,
         format: SpmvFormat,
     ) -> Result<Self> {
+        Self::load_with_format_prec(mg, a, plan, format, Precision::F64)
+    }
+
+    /// [`MpkState::load_with_format`] at an explicit slice precision. With
+    /// [`Precision::F32`] the operator is cast element-wise to f32 before
+    /// conversion to the device format: the MPK steps then run genuine
+    /// single-precision arithmetic and the halo exchange moves 4-byte
+    /// elements. [`Precision::F64`] is exactly [`MpkState::load_with_format`].
+    ///
+    /// # Errors
+    /// Propagates simulated allocation failures ([`ca_gpusim::GpuSimError`]).
+    pub fn load_with_format_prec(
+        mg: &mut MultiGpu,
+        a: &Csr,
+        plan: MpkPlan,
+        format: SpmvFormat,
+        prec: Precision,
+    ) -> Result<Self> {
         assert_eq!(mg.n_gpus(), plan.devs.len());
         let n = a.nrows();
         let s = plan.s;
@@ -225,22 +254,24 @@ impl MpkState {
             let dev = mg.device_mut(d);
             let rows: Vec<usize> = dp.local.clone().collect();
             let rows_u32: Vec<u32> = rows.iter().map(|&r| r as u32).collect();
-            let sl =
-                dev.load_slice_storage(format.build(&a.select_rows(&rows)), rows_u32.clone())?;
+            let sl = dev
+                .load_slice_storage(format.build(&a.select_rows(&rows), prec), rows_u32.clone())?;
             local_slice.push(sl);
             let mut lv_slices = Vec::new();
             for t in 1..s {
                 let lv = &dp.levels[t - 1];
                 let rows_usize: Vec<usize> = lv.iter().map(|&r| r as usize).collect();
-                let sp =
-                    dev.load_slice_storage(format.build(&a.select_rows(&rows_usize)), lv.clone())?;
+                let sp = dev.load_slice_storage(
+                    format.build(&a.select_rows(&rows_usize), prec),
+                    lv.clone(),
+                )?;
                 lv_slices.push(sp);
             }
             level_slices.push(lv_slices);
             z.push((dev.alloc_vec(n)?, dev.alloc_vec(n)?));
             local_rows.push(rows_u32);
         }
-        Ok(Self { plan, local_slice, level_slices, z, local_rows })
+        Ok(Self { plan, prec, local_slice, level_slices, z, local_rows })
     }
 
     /// Exchange phase (the Fig. 4 "Setup"): bring the start vector's value
@@ -274,10 +305,11 @@ impl MpkState {
         // compress + async send to host (Fig. 4 setup, first two loops)
         let payloads = mg.run_map(|d, dev| {
             let z = [self.z[d].0, self.z[d].1][cur];
-            dev.compress(z, &self.plan.devs[d].send)
+            dev.compress_p(z, &self.plan.devs[d].send, self.prec)
         });
-        let bytes_up: Vec<usize> = self.plan.devs.iter().map(|d| d.send.len() * 8).collect();
-        let up = mg.to_host_async(&bytes_up)?;
+        let bytes_up: Vec<usize> =
+            self.plan.devs.iter().map(|d| d.send.len() * self.prec.bytes()).collect();
+        let up = mg.to_host_async_prec(&bytes_up, self.prec)?;
         mg.host_wait_all(&up); // the host needs every payload to build w
                                // host: expand into a full vector w (Fig. 4, third loop)
         let mut w = vec![0.0f64; n];
@@ -288,7 +320,7 @@ impl MpkState {
             }
             moved += pl.len();
         }
-        mg.host_compute(0.0, 16.0 * moved as f64);
+        mg.host_compute(0.0, 2.0 * self.prec.bytes() as f64 * moved as f64);
         // compress per-destination + send down (Fig. 4, fourth loop)
         let vals: Vec<Vec<f64>> = self
             .plan
@@ -296,8 +328,9 @@ impl MpkState {
             .iter()
             .map(|dp| dp.need.iter().map(|&r| w[r as usize]).collect())
             .collect();
-        let bytes_down: Vec<usize> = self.plan.devs.iter().map(|d| d.need.len() * 8).collect();
-        let down = mg.to_devices_async(&bytes_down)?;
+        let bytes_down: Vec<usize> =
+            self.plan.devs.iter().map(|d| d.need.len() * self.prec.bytes()).collect();
+        let down = mg.to_devices_async_prec(&bytes_down, self.prec)?;
         let msgs = down.iter().flatten().count() as u64;
         mg.advance_host(msgs as f64 * mg.model().host_msg_s);
         Ok(Some(InflightHalo { events: down, vals }))
@@ -318,7 +351,7 @@ impl MpkState {
         }
         mg.run(|d, dev| {
             let z = [self.z[d].0, self.z[d].1][cur];
-            dev.expand(z, &self.plan.devs[d].need, &inflight.vals[d]);
+            dev.expand_p(z, &self.plan.devs[d].need, &inflight.vals[d], self.prec);
         });
         Ok(())
     }
@@ -362,7 +395,7 @@ pub fn mpk_prefetch(
     start_col: usize,
 ) -> Result<PrefetchedHalo> {
     mg.run(|d, dev| {
-        dev.scatter_col_to_vec(v[d], start_col, st.z[d].0, &st.local_rows[d]);
+        dev.scatter_col_to_vec_p(v[d], start_col, st.z[d].0, &st.local_rows[d], st.prec);
     });
     let inflight = st.exchange_issue(mg, 0)?;
     if obs::enabled() {
@@ -447,7 +480,7 @@ pub fn mpk_with_prefetch(
         None => {
             // Load the start column into z0's local rows and exchange halos.
             mg.run(|d, dev| {
-                dev.scatter_col_to_vec(v[d], start_col, st.z[d].0, &st.local_rows[d]);
+                dev.scatter_col_to_vec_p(v[d], start_col, st.z[d].0, &st.local_rows[d], st.prec);
             });
             st.exchange(mg, 0)?;
         }
@@ -512,7 +545,7 @@ pub fn dist_spmv(
     assert_eq!(st.plan.s, 1, "dist_spmv wants an s = 1 plan");
     let sp = obs::span_begin("dist_spmv", HOST, mg.time());
     mg.run(|d, dev| {
-        dev.scatter_col_to_vec(v[d], src, st.z[d].0, &st.local_rows[d]);
+        dev.scatter_col_to_vec_p(v[d], src, st.z[d].0, &st.local_rows[d], st.prec);
     });
     st.exchange(mg, 0)?;
     mg.run(|d, dev| {
@@ -634,6 +667,54 @@ mod tests {
             }
             xk = y;
         }
+    }
+
+    #[test]
+    fn mpk_f32_close_to_f64_and_halo_bytes_exactly_halved() {
+        let a = laplace2d(9, 7);
+        let n = a.nrows();
+        let layout = Layout::even(n, 3);
+        let s = 3;
+        let x0: Vec<f64> = (0..n).map(|i| ((i * 13 % 17) as f64) - 8.0).collect();
+        let run = |prec: Precision| {
+            let plan = MpkPlan::new(&a, &layout, s);
+            let mut mg = MultiGpu::with_defaults(3);
+            let st =
+                MpkState::load_with_format_prec(&mut mg, &a, plan, SpmvFormat::Ell, prec).unwrap();
+            let v_ids: Vec<MatId> = (0..3)
+                .map(|d| {
+                    let nl = layout.nlocal(d);
+                    let dev = mg.device_mut(d);
+                    let v = dev.alloc_mat(nl, s + 1).unwrap();
+                    let lo = layout.range(d).start;
+                    dev.mat_mut(v).set_col(0, &x0[lo..lo + nl]);
+                    v
+                })
+                .collect();
+            mg.reset_counters();
+            mpk(&mut mg, &st, &v_ids, 0, &BasisSpec::monomial(s)).unwrap();
+            let cols: Vec<Vec<f64>> = (0..3)
+                .flat_map(|d| (1..=s).map(move |k| (d, k)))
+                .map(|(d, k)| mg.device(d).mat(v_ids[d]).col(k).to_vec())
+                .collect();
+            (cols, mg.counters())
+        };
+        let (c64, n64) = run(Precision::F64);
+        let (c32, n32) = run(Precision::F32);
+        // f32 basis stays within single-precision distance of the f64 one
+        for (a64, a32) in c64.iter().zip(&c32) {
+            for (&v64, &v32) in a64.iter().zip(a32) {
+                assert!(
+                    (v64 - v32).abs() <= 1e-3 * v64.abs().max(1.0),
+                    "f32 basis too far from f64: {v32} vs {v64}"
+                );
+            }
+        }
+        // same message pattern, exactly half the halo bytes, all tagged f32
+        assert_eq!(n32.total_msgs(), n64.total_msgs());
+        assert_eq!(2 * n32.total_bytes(), n64.total_bytes());
+        assert_eq!(n32.total_bytes_f32(), n32.total_bytes());
+        assert_eq!(n64.total_bytes_f32(), 0);
     }
 
     #[test]

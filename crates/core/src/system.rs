@@ -5,6 +5,7 @@ use crate::layout::Layout;
 use crate::mpk::{dist_spmv, MpkPlan, MpkState, SpmvFormat};
 use ca_gpusim::faults::Result;
 use ca_gpusim::{MatId, MultiGpu};
+use ca_scalar::Precision;
 use ca_sparse::Csr;
 
 /// Everything a solver needs on the devices for `A x = b`.
@@ -58,6 +59,26 @@ impl System {
         s: Option<usize>,
         format: SpmvFormat,
     ) -> Result<Self> {
+        Self::new_with_format_prec(mg, a, layout, m, s, format, Precision::F64)
+    }
+
+    /// [`System::new_with_format`] with an explicit precision for the
+    /// *MPK* slices and halos. The s = 1 SpMV plan — used for explicit
+    /// residuals and the refinement anchor — always stays f64; only the
+    /// basis-generation operator (and its halo traffic) is demoted when
+    /// `mpk_prec` is [`Precision::F32`].
+    ///
+    /// # Errors
+    /// Propagates simulated allocation failures ([`ca_gpusim::GpuSimError`]).
+    pub fn new_with_format_prec(
+        mg: &mut MultiGpu,
+        a: &Csr,
+        layout: Layout,
+        m: usize,
+        s: Option<usize>,
+        format: SpmvFormat,
+        mpk_prec: Precision,
+    ) -> Result<Self> {
         assert_eq!(a.nrows(), layout.n());
         assert_eq!(mg.n_gpus(), layout.ndev());
         let n = a.nrows();
@@ -66,9 +87,13 @@ impl System {
             .collect::<Result<_>>()?;
         let spmv = MpkState::load_with_format(mg, a, MpkPlan::new(a, &layout, 1), format)?;
         let mpk = match s.filter(|&s| s > 1) {
-            Some(s) => {
-                Some(MpkState::load_with_format(mg, a, MpkPlan::new(a, &layout, s), format)?)
-            }
+            Some(s) => Some(MpkState::load_with_format_prec(
+                mg,
+                a,
+                MpkPlan::new(a, &layout, s),
+                format,
+                mpk_prec,
+            )?),
             None => None,
         };
         Ok(Self { layout, v, spmv, mpk, m, n })

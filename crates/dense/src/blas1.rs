@@ -2,14 +2,21 @@
 //!
 //! These are the primitives the paper's MGS implementation is built from
 //! (`xDOT` in Fig. 10). Loops are written to auto-vectorize; no `unsafe`.
+//!
+//! All routines are generic over [`Scalar`]; the `f64` instantiation
+//! performs exactly the operation sequence of the original hand-written
+//! `f64` kernels (same 4-way unrolled accumulation in [`dot`], same
+//! scaled-ssq recurrence in [`nrm2`]), so results are bit-identical.
+
+use ca_scalar::Scalar;
 
 /// Dot product `x . y`.
 #[inline]
-pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
     debug_assert_eq!(x.len(), y.len());
     // 4-way unrolled accumulation: keeps the dependency chain short enough
     // for the compiler to vectorize while staying deterministic.
-    let mut acc = [0.0f64; 4];
+    let mut acc = [T::ZERO; 4];
     let chunks = x.len() / 4;
     for c in 0..chunks {
         let b = c * 4;
@@ -18,7 +25,7 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
         acc[2] += x[b + 2] * y[b + 2];
         acc[3] += x[b + 3] * y[b + 3];
     }
-    let mut tail = 0.0;
+    let mut tail = T::ZERO;
     for i in chunks * 4..x.len() {
         tail += x[i] * y[i];
     }
@@ -26,15 +33,15 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 }
 
 /// Euclidean norm `||x||_2`, computed with scaling to avoid overflow.
-pub fn nrm2(x: &[f64]) -> f64 {
-    let mut scale = 0.0f64;
-    let mut ssq = 1.0f64;
+pub fn nrm2<T: Scalar>(x: &[T]) -> T {
+    let mut scale = T::ZERO;
+    let mut ssq = T::ONE;
     for &v in x {
-        if v != 0.0 {
+        if v != T::ZERO {
             let a = v.abs();
             if scale < a {
                 let r = scale / a;
-                ssq = 1.0 + ssq * r * r;
+                ssq = T::ONE + ssq * r * r;
                 scale = a;
             } else {
                 let r = a / scale;
@@ -47,16 +54,16 @@ pub fn nrm2(x: &[f64]) -> f64 {
 
 /// `y += alpha * x`.
 #[inline]
-pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
+    for (yi, &xi) in y.iter_mut().zip(x) {
         *yi += alpha * xi;
     }
 }
 
 /// `x *= alpha`.
 #[inline]
-pub fn scal(alpha: f64, x: &mut [f64]) {
+pub fn scal<T: Scalar>(alpha: T, x: &mut [T]) {
     for xi in x {
         *xi *= alpha;
     }
@@ -64,17 +71,17 @@ pub fn scal(alpha: f64, x: &mut [f64]) {
 
 /// `y = x`.
 #[inline]
-pub fn copy(x: &[f64], y: &mut [f64]) {
+pub fn copy<T: Scalar>(x: &[T], y: &mut [T]) {
     y.copy_from_slice(x);
 }
 
 /// Index of the entry with maximum absolute value (0 for empty input).
-pub fn iamax(x: &[f64]) -> usize {
+pub fn iamax<T: Scalar>(x: &[T]) -> usize {
     let mut best = 0usize;
     let mut bv = f64::MIN;
     for (i, &v) in x.iter().enumerate() {
-        if v.abs() > bv {
-            bv = v.abs();
+        if v.abs().to_f64() > bv {
+            bv = v.abs().to_f64();
             best = i;
         }
     }
@@ -82,8 +89,12 @@ pub fn iamax(x: &[f64]) -> usize {
 }
 
 /// Sum of absolute values `||x||_1`.
-pub fn asum(x: &[f64]) -> f64 {
-    x.iter().map(|v| v.abs()).sum()
+pub fn asum<T: Scalar>(x: &[T]) -> T {
+    let mut s = T::ZERO;
+    for &v in x {
+        s += v.abs();
+    }
+    s
 }
 
 #[cfg(test)]
@@ -100,7 +111,28 @@ mod tests {
 
     #[test]
     fn dot_empty_is_zero() {
-        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(dot::<f64>(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn dot_f32_matches_f32_naive_accumulation() {
+        let x: Vec<f32> = (0..23).map(|i| i as f32 * 0.25).collect();
+        let y: Vec<f32> = (0..23).map(|i| 1.0 - i as f32 * 0.125).collect();
+        // reference: the same unrolled schedule written directly in f32
+        let mut acc = [0.0f32; 4];
+        let chunks = x.len() / 4;
+        for c in 0..chunks {
+            let b = c * 4;
+            for l in 0..4 {
+                acc[l] += x[b + l] * y[b + l];
+            }
+        }
+        let mut tail = 0.0f32;
+        for i in chunks * 4..x.len() {
+            tail += x[i] * y[i];
+        }
+        let reference = (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail;
+        assert_eq!(dot(&x, &y).to_bits(), reference.to_bits());
     }
 
     #[test]
@@ -119,7 +151,16 @@ mod tests {
 
     #[test]
     fn nrm2_zero_vector() {
-        assert_eq!(nrm2(&[0.0; 5]), 0.0);
+        assert_eq!(nrm2(&[0.0f64; 5]), 0.0);
+    }
+
+    #[test]
+    fn nrm2_f32_avoids_overflow() {
+        // naive sum-of-squares would overflow f32 (4e76), the norm itself fits
+        let x = [2e38f32, 1e38f32];
+        let n = nrm2(&x);
+        assert!(n.is_finite());
+        assert!((n.to_f64() - (5.0f64.sqrt() * 1e38)).abs() / n.to_f64() < 1e-6);
     }
 
     #[test]
@@ -139,12 +180,13 @@ mod tests {
 
     #[test]
     fn iamax_finds_largest_abs() {
-        assert_eq!(iamax(&[1.0, -7.0, 3.0]), 1);
-        assert_eq!(iamax(&[]), 0);
+        assert_eq!(iamax(&[1.0f64, -7.0, 3.0]), 1);
+        assert_eq!(iamax::<f64>(&[]), 0);
+        assert_eq!(iamax(&[1.0f32, -7.0, 3.0]), 1);
     }
 
     #[test]
     fn asum_sums_abs() {
-        assert_eq!(asum(&[1.0, -2.0, 3.0]), 6.0);
+        assert_eq!(asum(&[1.0f64, -2.0, 3.0]), 6.0);
     }
 }

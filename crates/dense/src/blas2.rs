@@ -5,21 +5,22 @@
 //! update `v -= V r`.
 
 use crate::Mat;
+use ca_scalar::Scalar;
 
 /// `y := alpha * A x + beta * y` (no transpose). `A` is `m x n`, `x` has
 /// length `n`, `y` has length `m`.
-pub fn gemv_n(alpha: f64, a: &Mat, x: &[f64], beta: f64, y: &mut [f64]) {
+pub fn gemv_n<T: Scalar>(alpha: T, a: &Mat<T>, x: &[T], beta: T, y: &mut [T]) {
     assert_eq!(a.ncols(), x.len());
     assert_eq!(a.nrows(), y.len());
-    if beta == 0.0 {
-        y.iter_mut().for_each(|v| *v = 0.0);
-    } else if beta != 1.0 {
+    if beta == T::ZERO {
+        y.iter_mut().for_each(|v| *v = T::ZERO);
+    } else if beta != T::ONE {
         y.iter_mut().for_each(|v| *v *= beta);
     }
     // column-major: stream each column once, rank-1 update of y.
     for j in 0..a.ncols() {
         let axj = alpha * x[j];
-        if axj != 0.0 {
+        if axj != T::ZERO {
             let col = a.col(j);
             for (yi, &aij) in y.iter_mut().zip(col) {
                 *yi += axj * aij;
@@ -32,22 +33,22 @@ pub fn gemv_n(alpha: f64, a: &Mat, x: &[f64], beta: f64, y: &mut [f64]) {
 /// `y` has length `n`. Each output entry is a dot product with a column —
 /// this is exactly the "one thread block per column" decomposition the paper
 /// uses for its optimized tall-skinny MAGMA DGEMV (§V-F).
-pub fn gemv_t(alpha: f64, a: &Mat, x: &[f64], beta: f64, y: &mut [f64]) {
+pub fn gemv_t<T: Scalar>(alpha: T, a: &Mat<T>, x: &[T], beta: T, y: &mut [T]) {
     assert_eq!(a.nrows(), x.len());
     assert_eq!(a.ncols(), y.len());
     for j in 0..a.ncols() {
         let d = crate::blas1::dot(a.col(j), x);
-        y[j] = alpha * d + if beta == 0.0 { 0.0 } else { beta * y[j] };
+        y[j] = alpha * d + if beta == T::ZERO { T::ZERO } else { beta * y[j] };
     }
 }
 
 /// Rank-1 update `A += alpha * x y^T`.
-pub fn ger(alpha: f64, x: &[f64], y: &[f64], a: &mut Mat) {
+pub fn ger<T: Scalar>(alpha: T, x: &[T], y: &[T], a: &mut Mat<T>) {
     assert_eq!(a.nrows(), x.len());
     assert_eq!(a.ncols(), y.len());
     for j in 0..a.ncols() {
         let ayj = alpha * y[j];
-        if ayj != 0.0 {
+        if ayj != T::ZERO {
             let col = a.col_mut(j);
             for (aij, &xi) in col.iter_mut().zip(x) {
                 *aij += ayj * xi;
@@ -58,13 +59,13 @@ pub fn ger(alpha: f64, x: &[f64], y: &[f64], a: &mut Mat) {
 
 /// Triangular solve `x := R^{-1} x` with `R` upper triangular (`n x n`),
 /// i.e. back substitution. Returns the index of a zero diagonal on failure.
-pub fn trsv_upper(r: &Mat, x: &mut [f64]) -> crate::Result<()> {
+pub fn trsv_upper<T: Scalar>(r: &Mat<T>, x: &mut [T]) -> crate::Result<()> {
     let n = r.ncols();
     assert_eq!(r.nrows(), n);
     assert_eq!(x.len(), n);
     for i in (0..n).rev() {
         let d = r[(i, i)];
-        if d == 0.0 {
+        if d == T::ZERO {
             return Err(crate::DenseError::SingularTriangular { index: i });
         }
         let mut s = x[i];
@@ -78,13 +79,13 @@ pub fn trsv_upper(r: &Mat, x: &mut [f64]) -> crate::Result<()> {
 
 /// Triangular solve `x := L^{-1} x` with `L` lower triangular, forward
 /// substitution.
-pub fn trsv_lower(l: &Mat, x: &mut [f64]) -> crate::Result<()> {
+pub fn trsv_lower<T: Scalar>(l: &Mat<T>, x: &mut [T]) -> crate::Result<()> {
     let n = l.ncols();
     assert_eq!(l.nrows(), n);
     assert_eq!(x.len(), n);
     for i in 0..n {
         let d = l[(i, i)];
-        if d == 0.0 {
+        if d == T::ZERO {
             return Err(crate::DenseError::SingularTriangular { index: i });
         }
         let mut s = x[i];

@@ -11,10 +11,11 @@
 //! model that kernel's higher throughput).
 
 use crate::Mat;
+use ca_scalar::Scalar;
 
 /// `C := alpha * A^T B + beta * C`, with `A` `m x k`, `B` `m x n`,
 /// `C` `k x n`. This is the tall-skinny Gram-forming product.
-pub fn gemm_tn(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
+pub fn gemm_tn<T: Scalar>(alpha: T, a: &Mat<T>, b: &Mat<T>, beta: T, c: &mut Mat<T>) {
     assert_eq!(a.nrows(), b.nrows());
     assert_eq!(c.nrows(), a.ncols());
     assert_eq!(c.ncols(), b.ncols());
@@ -23,13 +24,13 @@ pub fn gemm_tn(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
         for i in 0..a.ncols() {
             let d = crate::blas1::dot(a.col(i), bj);
             let cij = &mut c[(i, j)];
-            *cij = alpha * d + if beta == 0.0 { 0.0 } else { beta * *cij };
+            *cij = alpha * d + if beta == T::ZERO { T::ZERO } else { beta * *cij };
         }
     }
 }
 
 /// `C := alpha * A B + beta * C`, with `A` `m x k`, `B` `k x n`, `C` `m x n`.
-pub fn gemm_nn(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
+pub fn gemm_nn<T: Scalar>(alpha: T, a: &Mat<T>, b: &Mat<T>, beta: T, c: &mut Mat<T>) {
     assert_eq!(a.ncols(), b.nrows());
     assert_eq!(c.nrows(), a.nrows());
     assert_eq!(c.ncols(), b.ncols());
@@ -37,14 +38,14 @@ pub fn gemm_nn(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
         // c[:, j] = alpha * A * b[:, j] + beta * c[:, j]
         let bj = b.col(j).to_vec();
         let cj = c.col_mut(j);
-        if beta == 0.0 {
-            cj.iter_mut().for_each(|v| *v = 0.0);
-        } else if beta != 1.0 {
+        if beta == T::ZERO {
+            cj.iter_mut().for_each(|v| *v = T::ZERO);
+        } else if beta != T::ONE {
             cj.iter_mut().for_each(|v| *v *= beta);
         }
         for (l, &blj) in bj.iter().enumerate() {
             let f = alpha * blj;
-            if f != 0.0 {
+            if f != T::ZERO {
                 let al = a.col(l);
                 for (ci, &ail) in cj.iter_mut().zip(al) {
                     *ci += f * ail;
@@ -57,14 +58,14 @@ pub fn gemm_nn(alpha: f64, a: &Mat, b: &Mat, beta: f64, c: &mut Mat) {
 /// Symmetric rank-k update `C := alpha * A^T A + beta * C` storing the full
 /// (symmetric) matrix. `A` is `m x k`, `C` is `k x k`. Only the upper
 /// triangle is computed; the lower triangle is mirrored.
-pub fn syrk_tn(alpha: f64, a: &Mat, beta: f64, c: &mut Mat) {
+pub fn syrk_tn<T: Scalar>(alpha: T, a: &Mat<T>, beta: T, c: &mut Mat<T>) {
     let k = a.ncols();
     assert_eq!(c.nrows(), k);
     assert_eq!(c.ncols(), k);
     for j in 0..k {
         for i in 0..=j {
             let d = crate::blas1::dot(a.col(i), a.col(j));
-            let v = alpha * d + if beta == 0.0 { 0.0 } else { beta * c[(i, j)] };
+            let v = alpha * d + if beta == T::ZERO { T::ZERO } else { beta * c[(i, j)] };
             c[(i, j)] = v;
             c[(j, i)] = v;
         }
@@ -76,14 +77,14 @@ pub fn syrk_tn(alpha: f64, a: &Mat, beta: f64, c: &mut Mat) {
 /// `k x k` product independently, then reduce. Returns the number of
 /// panels used (the "batch count"), which the GPU simulator's cost model
 /// consumes. Results are bitwise-deterministic for a fixed `h`.
-pub fn syrk_tn_batched(a: &Mat, h: usize, c: &mut Mat) -> usize {
+pub fn syrk_tn_batched<T: Scalar>(a: &Mat<T>, h: usize, c: &mut Mat<T>) -> usize {
     let k = a.ncols();
     assert_eq!(c.nrows(), k);
     assert_eq!(c.ncols(), k);
     assert!(h > 0);
     let m = a.nrows();
     let nbatch = m.div_ceil(h);
-    c.fill(0.0);
+    c.fill(T::ZERO);
     let mut panel = Mat::zeros(k, k);
     for b in 0..nbatch {
         let r0 = b * h;
@@ -109,7 +110,7 @@ pub fn syrk_tn_batched(a: &Mat, h: usize, c: &mut Mat) -> usize {
 /// Right triangular solve `B := B R^{-1}` with `R` upper triangular
 /// (`k x k`), `B` tall (`m x k`). Column-oriented forward sweep — this is
 /// the DTRSM that CholQR/SVQR apply to orthonormalize the basis block.
-pub fn trsm_right_upper(b: &mut Mat, r: &Mat) -> crate::Result<()> {
+pub fn trsm_right_upper<T: Scalar>(b: &mut Mat<T>, r: &Mat<T>) -> crate::Result<()> {
     let k = r.ncols();
     assert_eq!(r.nrows(), k);
     assert_eq!(b.ncols(), k);
@@ -117,16 +118,16 @@ pub fn trsm_right_upper(b: &mut Mat, r: &Mat) -> crate::Result<()> {
         // b[:, j] = (b[:, j] - sum_{l<j} b[:, l] * r[l, j]) / r[j, j]
         for l in 0..j {
             let rlj = r[(l, j)];
-            if rlj != 0.0 {
+            if rlj != T::ZERO {
                 let (bl, bj) = b.two_cols_mut(l, j);
                 crate::blas1::axpy(-rlj, bl, bj);
             }
         }
         let d = r[(j, j)];
-        if d == 0.0 {
+        if d == T::ZERO {
             return Err(crate::DenseError::SingularTriangular { index: j });
         }
-        crate::blas1::scal(1.0 / d, b.col_mut(j));
+        crate::blas1::scal(T::ONE / d, b.col_mut(j));
     }
     Ok(())
 }
@@ -232,7 +233,7 @@ mod tests {
 
     #[test]
     fn trsm_singular_detected() {
-        let r = Mat::zeros(2, 2);
+        let r: Mat = Mat::zeros(2, 2);
         let mut b = Mat::zeros(4, 2);
         assert!(trsm_right_upper(&mut b, &r).is_err());
     }

@@ -5,22 +5,27 @@
 //! leading dimension larger than the row count is exactly what the paper's
 //! batched-DGEMM trick needs (pad the column stride to a multiple of the
 //! batch height, zero-fill the tail), so `Mat` supports it natively.
+//!
+//! `Mat` is generic over the element type ([`Scalar`]), defaulting to
+//! `f64` so existing call sites read and compile exactly as before.
 
 use crate::{DenseError, Result};
+use ca_scalar::Scalar;
 
-/// A column-major, `f64` dense matrix with an explicit leading dimension.
+/// A column-major dense matrix with an explicit leading dimension,
+/// generic over the scalar type (default `f64`).
 #[derive(Debug, Clone, PartialEq)]
-pub struct Mat {
+pub struct Mat<T: Scalar = f64> {
     nrows: usize,
     ncols: usize,
     ld: usize,
-    data: Vec<f64>,
+    data: Vec<T>,
 }
 
-impl Mat {
+impl<T: Scalar> Mat<T> {
     /// Create an `nrows x ncols` matrix of zeros (leading dimension = nrows).
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        Self { nrows, ncols, ld: nrows.max(1), data: vec![0.0; nrows.max(1) * ncols] }
+        Self { nrows, ncols, ld: nrows.max(1), data: vec![T::ZERO; nrows.max(1) * ncols] }
     }
 
     /// Create a zero matrix with an explicit leading dimension `ld >= nrows`.
@@ -30,20 +35,20 @@ impl Mat {
     /// batched-GEMM kernel described in the paper (§V-F).
     pub fn zeros_with_ld(nrows: usize, ncols: usize, ld: usize) -> Self {
         assert!(ld >= nrows.max(1), "leading dimension {ld} < nrows {nrows}");
-        Self { nrows, ncols, ld, data: vec![0.0; ld * ncols] }
+        Self { nrows, ncols, ld, data: vec![T::ZERO; ld * ncols] }
     }
 
     /// Identity matrix of order `n`.
     pub fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n, n);
         for i in 0..n {
-            m[(i, i)] = 1.0;
+            m[(i, i)] = T::ONE;
         }
         m
     }
 
     /// Build from a closure over `(row, col)`.
-    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
         let mut m = Self::zeros(nrows, ncols);
         for j in 0..ncols {
             for i in 0..nrows {
@@ -54,7 +59,7 @@ impl Mat {
     }
 
     /// Build a matrix from column-major data (ld == nrows).
-    pub fn from_col_major(nrows: usize, ncols: usize, data: Vec<f64>) -> Result<Self> {
+    pub fn from_col_major(nrows: usize, ncols: usize, data: Vec<T>) -> Result<Self> {
         if data.len() != nrows * ncols {
             return Err(DenseError::DimensionMismatch {
                 expected: format!("{} elements", nrows * ncols),
@@ -90,50 +95,50 @@ impl Mat {
 
     /// Raw column-major storage (includes padding rows when `ld > nrows`).
     #[inline]
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[T] {
         &self.data
     }
 
     /// Mutable raw storage.
     #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
         &mut self.data
     }
 
     /// Borrow column `j` (only the live `nrows` entries, not the padding).
     #[inline]
-    pub fn col(&self, j: usize) -> &[f64] {
+    pub fn col(&self, j: usize) -> &[T] {
         debug_assert!(j < self.ncols);
         &self.data[j * self.ld..j * self.ld + self.nrows]
     }
 
     /// Mutably borrow column `j`.
     #[inline]
-    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
         debug_assert!(j < self.ncols);
         &mut self.data[j * self.ld..j * self.ld + self.nrows]
     }
 
     /// Borrow two distinct columns simultaneously (`a < b`).
-    pub fn two_cols_mut(&mut self, a: usize, b: usize) -> (&mut [f64], &mut [f64]) {
+    pub fn two_cols_mut(&mut self, a: usize, b: usize) -> (&mut [T], &mut [T]) {
         assert!(a < b && b < self.ncols);
         let (lo, hi) = self.data.split_at_mut(b * self.ld);
         (&mut lo[a * self.ld..a * self.ld + self.nrows], &mut hi[..self.nrows])
     }
 
     /// Copy of column `j` as a `Vec`.
-    pub fn col_to_vec(&self, j: usize) -> Vec<f64> {
+    pub fn col_to_vec(&self, j: usize) -> Vec<T> {
         self.col(j).to_vec()
     }
 
     /// Set column `j` from a slice of length `nrows`.
-    pub fn set_col(&mut self, j: usize, v: &[f64]) {
+    pub fn set_col(&mut self, j: usize, v: &[T]) {
         assert_eq!(v.len(), self.nrows);
         self.col_mut(j).copy_from_slice(v);
     }
 
     /// A copy of the contiguous submatrix of columns `j0..j1`.
-    pub fn cols_copy(&self, j0: usize, j1: usize) -> Mat {
+    pub fn cols_copy(&self, j0: usize, j1: usize) -> Mat<T> {
         assert!(j0 <= j1 && j1 <= self.ncols);
         let mut out = Mat::zeros(self.nrows, j1 - j0);
         for (dst, j) in (j0..j1).enumerate() {
@@ -143,18 +148,18 @@ impl Mat {
     }
 
     /// A copy of the leading `r x c` block.
-    pub fn top_left(&self, r: usize, c: usize) -> Mat {
+    pub fn top_left(&self, r: usize, c: usize) -> Mat<T> {
         assert!(r <= self.nrows && c <= self.ncols);
         Mat::from_fn(r, c, |i, j| self[(i, j)])
     }
 
     /// Transposed copy.
-    pub fn transpose(&self) -> Mat {
+    pub fn transpose(&self) -> Mat<T> {
         Mat::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)])
     }
 
     /// Fill every live entry with `v` (padding untouched except zeros stay).
-    pub fn fill(&mut self, v: f64) {
+    pub fn fill(&mut self, v: T) {
         for j in 0..self.ncols {
             for x in self.col_mut(j) {
                 *x = v;
@@ -163,7 +168,7 @@ impl Mat {
     }
 
     /// In-place scale of all live entries.
-    pub fn scale(&mut self, alpha: f64) {
+    pub fn scale(&mut self, alpha: T) {
         for j in 0..self.ncols {
             for x in self.col_mut(j) {
                 *x *= alpha;
@@ -172,11 +177,11 @@ impl Mat {
     }
 
     /// Elementwise `self += alpha * other`.
-    pub fn axpy(&mut self, alpha: f64, other: &Mat) {
+    pub fn axpy(&mut self, alpha: T, other: &Mat<T>) {
         assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
         for j in 0..self.ncols {
             let src = other.col(j);
-            for (d, s) in self.col_mut(j).iter_mut().zip(src) {
+            for (d, &s) in self.col_mut(j).iter_mut().zip(src) {
                 *d += alpha * s;
             }
         }
@@ -184,13 +189,13 @@ impl Mat {
 
     /// Grow or shrink to `ncols` columns in place, zero-filling new columns.
     pub fn resize_cols(&mut self, ncols: usize) {
-        self.data.resize(self.ld * ncols, 0.0);
+        self.data.resize(self.ld * ncols, T::ZERO);
         self.ncols = ncols;
     }
 
     /// Maximum absolute entry.
-    pub fn max_abs(&self) -> f64 {
-        let mut m = 0.0f64;
+    pub fn max_abs(&self) -> T {
+        let mut m = T::ZERO;
         for j in 0..self.ncols {
             for &x in self.col(j) {
                 m = m.max(x.abs());
@@ -200,8 +205,8 @@ impl Mat {
     }
 
     /// Frobenius norm.
-    pub fn fro_norm(&self) -> f64 {
-        let mut s = 0.0;
+    pub fn fro_norm(&self) -> T {
+        let mut s = T::ZERO;
         for j in 0..self.ncols {
             for &x in self.col(j) {
                 s += x * x;
@@ -209,20 +214,26 @@ impl Mat {
         }
         s.sqrt()
     }
+
+    /// A copy cast element-by-element into another scalar type (`as`
+    /// semantics: round to nearest even on narrowing, exact on widening).
+    pub fn cast<U: Scalar>(&self) -> Mat<U> {
+        Mat::from_fn(self.nrows, self.ncols, |i, j| U::from_f64(self[(i, j)].to_f64()))
+    }
 }
 
-impl std::ops::Index<(usize, usize)> for Mat {
-    type Output = f64;
+impl<T: Scalar> std::ops::Index<(usize, usize)> for Mat<T> {
+    type Output = T;
     #[inline]
-    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+    fn index(&self, (i, j): (usize, usize)) -> &T {
         debug_assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds");
         &self.data[i + j * self.ld]
     }
 }
 
-impl std::ops::IndexMut<(usize, usize)> for Mat {
+impl<T: Scalar> std::ops::IndexMut<(usize, usize)> for Mat<T> {
     #[inline]
-    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
         debug_assert!(i < self.nrows && j < self.ncols, "index ({i},{j}) out of bounds");
         &mut self.data[i + j * self.ld]
     }
@@ -245,7 +256,7 @@ mod tests {
 
     #[test]
     fn identity_is_identity() {
-        let m = Mat::identity(4);
+        let m: Mat = Mat::identity(4);
         for i in 0..4 {
             for j in 0..4 {
                 assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
@@ -255,7 +266,7 @@ mod tests {
 
     #[test]
     fn padded_ld_columns_are_isolated() {
-        let mut m = Mat::zeros_with_ld(3, 2, 8);
+        let mut m: Mat = Mat::zeros_with_ld(3, 2, 8);
         m.col_mut(0).copy_from_slice(&[1.0, 2.0, 3.0]);
         m.col_mut(1).copy_from_slice(&[4.0, 5.0, 6.0]);
         assert_eq!(m.ld(), 8);
@@ -295,7 +306,7 @@ mod tests {
 
     #[test]
     fn from_col_major_checks_len() {
-        assert!(Mat::from_col_major(2, 2, vec![1.0; 3]).is_err());
+        assert!(Mat::from_col_major(2, 2, vec![1.0f64; 3]).is_err());
         let m = Mat::from_col_major(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         assert_eq!(m[(1, 0)], 2.0);
         assert_eq!(m[(0, 1)], 3.0);
@@ -319,5 +330,26 @@ mod tests {
         assert_eq!(m.ncols(), 3);
         assert_eq!(m[(0, 0)], 7.0);
         assert_eq!(m[(1, 2)], 0.0);
+    }
+
+    #[test]
+    fn f32_instantiation_and_cast() {
+        let m32 = Mat::<f32>::from_fn(3, 2, |i, j| (i as f32) + 0.5 * (j as f32));
+        assert_eq!(m32[(2, 1)], 2.5f32);
+        assert_eq!(m32.fro_norm(), {
+            let mut s = 0.0f32;
+            for j in 0..2 {
+                for &x in m32.col(j) {
+                    s += x * x;
+                }
+            }
+            s.sqrt()
+        });
+        // f64 -> f32 -> f64 round-trips exactly for f32-representable data
+        let m64: Mat = m32.cast::<f64>();
+        assert_eq!(m64.cast::<f32>(), m32);
+        // narrowing quantizes through round-to-nearest-even
+        let w = Mat::<f64>::from_fn(1, 1, |_, _| 0.1);
+        assert_eq!(w.cast::<f32>()[(0, 0)], 0.1f32);
     }
 }

@@ -3,16 +3,20 @@
 //! A [`Device`] owns vectors ([`VecId`]), tall dense matrices ([`MatId`],
 //! used for the Krylov basis blocks) and sparse slices ([`SpId`], ELLPACK
 //! with *global* column indices plus the global row ids of the slice).
-//! Every kernel method performs the actual f64 computation (so numerics
-//! are real) and advances the device's private clock by the calibrated
-//! [`PerfModel`] cost. Host-side data plumbing (reading results, uploads)
-//! is free here; PCIe costs are charged by
-//! [`MultiGpu`](crate::multi::MultiGpu)'s transfer methods.
+//! Every kernel method performs the actual arithmetic (so numerics are
+//! real) and advances the device's private clock by the calibrated
+//! [`PerfModel`] cost. Dense containers are `f64`; a sparse slice carries
+//! its own [`Precision`] — an f32 slice runs its SpMV genuinely in single
+//! precision (operands rounded to f32, f32 accumulation, result widened
+//! back to f64) and is charged the f32 kernel cost. Host-side data
+//! plumbing (reading results, uploads) is free here; PCIe costs are
+//! charged by [`MultiGpu`](crate::multi::MultiGpu)'s transfer methods.
 
 use crate::faults::{FaultPlan, GpuSimError, Result, SdcKind};
 use crate::model::{GemmVariant, GemvVariant, PerfModel};
 use crate::stream::{Cmd, Event, StreamTrace};
 use ca_dense::{blas1, blas3, qr, Mat};
+use ca_scalar::Precision;
 use ca_sparse::{Ell, Hyb};
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -30,13 +34,21 @@ pub struct MatId(pub(crate) usize);
 pub struct SpId(pub(crate) usize);
 
 /// Sparse storage of a device slice: plain ELLPACK (the paper's GPU
-/// format) or hybrid ELL + COO (CUSP-style, robust to hub rows).
+/// format) or hybrid ELL + COO (CUSP-style, robust to hub rows), each at
+/// either supported precision. The interface stays `f64`-valued: an f32
+/// slice rounds its input vector to f32 per gathered element, accumulates
+/// in f32, and widens the finished rows back to f64 — genuine
+/// single-precision arithmetic behind a double-precision data plane.
 #[derive(Debug, Clone)]
 pub enum SpStorage {
     /// ELLPACK: width = longest row, padding priced like real data.
     Ell(Ell),
     /// Hybrid: bounded-width ELL part plus a COO tail.
     Hyb(Hyb),
+    /// Single-precision ELLPACK (the mixed-precision MPK operator).
+    EllF32(Ell<f32>),
+    /// Single-precision hybrid.
+    HybF32(Hyb<f32>),
 }
 
 impl SpStorage {
@@ -45,6 +57,8 @@ impl SpStorage {
         match self {
             SpStorage::Ell(e) => e.nrows(),
             SpStorage::Hyb(h) => h.nrows(),
+            SpStorage::EllF32(e) => e.nrows(),
+            SpStorage::HybF32(h) => h.nrows(),
         }
     }
 
@@ -53,15 +67,40 @@ impl SpStorage {
         match self {
             SpStorage::Ell(e) => e.bytes(),
             SpStorage::Hyb(h) => h.bytes(),
+            SpStorage::EllF32(e) => e.bytes(),
+            SpStorage::HybF32(h) => h.bytes(),
         }
     }
 
-    /// `y := A x`.
+    /// Precision the slice's arithmetic runs at.
+    pub fn prec(&self) -> Precision {
+        match self {
+            SpStorage::Ell(_) | SpStorage::Hyb(_) => Precision::F64,
+            SpStorage::EllF32(_) | SpStorage::HybF32(_) => Precision::F32,
+        }
+    }
+
+    /// `y := A x`. For f32 storage the product is computed entirely in
+    /// f32 (input rounded, f32 accumulation) and widened on output.
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         match self {
             SpStorage::Ell(e) => e.spmv(x, y),
             SpStorage::Hyb(h) => h.spmv(x, y),
+            SpStorage::EllF32(e) => spmv_f32(|xt, yt| e.spmv(xt, yt), x, y),
+            SpStorage::HybF32(h) => spmv_f32(|xt, yt| h.spmv(xt, yt), x, y),
         }
+    }
+}
+
+/// Run a single-precision SpMV kernel against `f64` endpoints: demote the
+/// input once, multiply in f32, widen the result. The demotion is the
+/// explicit rounding point of the mixed-precision path.
+fn spmv_f32(kernel: impl Fn(&[f32], &mut [f32]), x: &[f64], y: &mut [f64]) {
+    let xt: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+    let mut yt = vec![0.0f32; y.len()];
+    kernel(&xt, &mut yt);
+    for (yo, &yi) in y.iter_mut().zip(&yt) {
+        *yo = yi as f64;
     }
 }
 
@@ -388,6 +427,20 @@ impl Device {
             SpStorage::Hyb(h) => {
                 self.model.spmv_hyb_time(h.width() * h.nrows(), h.spilled(), h.nrows())
             }
+            SpStorage::EllF32(e) => self.model.spmv_time_f32(e.padded_nnz(), e.nrows()),
+            SpStorage::HybF32(h) => {
+                self.model.spmv_hyb_time_f32(h.width() * h.nrows(), h.spilled(), h.nrows())
+            }
+        }
+    }
+
+    /// Per-word BLAS-1 streaming cost at the precision of slice `s` — the
+    /// fused expand/shift add-on of the MPK kernels moves data at the
+    /// slice's width.
+    fn blas1_cost_at(&self, prec: Precision, words: usize) -> f64 {
+        match prec {
+            Precision::F64 => self.model.blas1_time(words),
+            Precision::F32 => self.model.blas1_time_f32(words),
         }
     }
 
@@ -1014,11 +1067,11 @@ impl Device {
         if self.lost {
             return;
         }
-        let (mut y, rows_v): (Vec<f64>, Vec<u32>) = {
+        let (mut y, rows_v, prec): (Vec<f64>, Vec<u32>, Precision) = {
             let sl = &self.slices[s.0];
             let mut y = vec![0.0; sl.storage.nrows()];
             sl.storage.spmv(&self.vecs[x.0], &mut y);
-            (y, sl.rows.clone())
+            (y, sl.rows.clone(), sl.storage.prec())
         };
         self.maybe_corrupt(SdcKind::Spmv, &mut y);
         let zv = &mut self.vecs[z.0];
@@ -1027,7 +1080,7 @@ impl Device {
         }
         self.advance(
             "spmv",
-            self.spmv_cost(s) + self.model.blas1_time(2 * rows_v.len()) - self.model.launch_s, // fused expand
+            self.spmv_cost(s) + self.blas1_cost_at(prec, 2 * rows_v.len()) - self.model.launch_s, // fused expand
         );
     }
 
@@ -1054,25 +1107,50 @@ impl Device {
             return;
         }
         assert_ne!(z_cur.0, z_next.0, "MPK needs distinct double buffers");
-        let (mut y, rows_v): (Vec<f64>, Vec<u32>) = {
+        let (mut y, rows_v, prec): (Vec<f64>, Vec<u32>, Precision) = {
             let sl = &self.slices[s.0];
             let mut y = vec![0.0; sl.storage.nrows()];
             sl.storage.spmv(&self.vecs[z_cur.0], &mut y);
-            (y, sl.rows.clone())
+            (y, sl.rows.clone(), sl.storage.prec())
         };
         self.maybe_corrupt(SdcKind::Spmv, &mut y);
-        // borrow discipline: read z_cur values before mutating z_next
+        // borrow discipline: read z_cur values before mutating z_next.
+        // On an f32 slice the fused shift/recurrence arithmetic also runs
+        // in f32 — the recurrence is part of the same kernel as the SpMV.
         let shifted: Vec<f64> = if re != 0.0 || scale != 1.0 {
             let zc = &self.vecs[z_cur.0];
-            rows_v.iter().zip(&y).map(|(&r, &yi)| scale * (yi - re * zc[r as usize])).collect()
+            match prec {
+                Precision::F64 => rows_v
+                    .iter()
+                    .zip(&y)
+                    .map(|(&r, &yi)| scale * (yi - re * zc[r as usize]))
+                    .collect(),
+                Precision::F32 => rows_v
+                    .iter()
+                    .zip(&y)
+                    .map(|(&r, &yi)| {
+                        (scale as f32 * (yi as f32 - re as f32 * zc[r as usize] as f32)) as f64
+                    })
+                    .collect(),
+            }
         } else {
             y
         };
         let zn = &mut self.vecs[z_next.0];
         if im2 != 0.0 {
-            for (&r, &v) in rows_v.iter().zip(&shifted) {
-                let old = zn[r as usize];
-                zn[r as usize] = v + im2 * old;
+            match prec {
+                Precision::F64 => {
+                    for (&r, &v) in rows_v.iter().zip(&shifted) {
+                        let old = zn[r as usize];
+                        zn[r as usize] = v + im2 * old;
+                    }
+                }
+                Precision::F32 => {
+                    for (&r, &v) in rows_v.iter().zip(&shifted) {
+                        let old = zn[r as usize];
+                        zn[r as usize] = (v as f32 + im2 as f32 * old as f32) as f64;
+                    }
+                }
             }
         } else {
             for (&r, &v) in rows_v.iter().zip(&shifted) {
@@ -1081,7 +1159,7 @@ impl Device {
         }
         self.advance(
             "mpk_step",
-            self.spmv_cost(s) + self.model.blas1_time(2 * rows_v.len()) - self.model.launch_s, // fused shift+expand
+            self.spmv_cost(s) + self.blas1_cost_at(prec, 2 * rows_v.len()) - self.model.launch_s, // fused shift+expand
         );
     }
 
@@ -1137,6 +1215,81 @@ impl Device {
             zv[i as usize] = v;
         }
         self.advance("halo_unpack", self.model.blas1_time(2 * idxs.len()));
+    }
+
+    // ---------- precision-tagged kernel variants ----------
+    //
+    // The mixed-precision MPK path moves its working data at reduced
+    // width: pack/unpack and column-load kernels take a `Precision`,
+    // quantize the values through it (explicit rounding point; identity
+    // for `F64`), and charge the narrower streaming cost. The `F64`
+    // instantiation delegates to the plain kernel, so the double-precision
+    // solver is bit-identical with or without these entry points.
+
+    /// [`Device::compress`] at a given precision: values are rounded to
+    /// `prec` as they are packed (the halo buffer is `prec`-wide on the
+    /// wire) and the kernel is charged at that width.
+    pub fn compress_p(&mut self, z: VecId, idxs: &[u32], prec: Precision) -> Vec<f64> {
+        match prec {
+            Precision::F64 => self.compress(z, idxs),
+            Precision::F32 => {
+                if self.lost {
+                    return Vec::new();
+                }
+                let zv = &self.vecs[z.0];
+                let out: Vec<f64> = idxs.iter().map(|&i| prec.quantize(zv[i as usize])).collect();
+                self.advance("halo_pack", self.model.blas1_time_f32(2 * idxs.len()));
+                out
+            }
+        }
+    }
+
+    /// [`Device::expand`] at a given precision: incoming values are
+    /// rounded to `prec` before landing in the device vector.
+    pub fn expand_p(&mut self, z: VecId, idxs: &[u32], vals: &[f64], prec: Precision) {
+        match prec {
+            Precision::F64 => self.expand(z, idxs, vals),
+            Precision::F32 => {
+                if self.lost {
+                    return;
+                }
+                assert_eq!(idxs.len(), vals.len());
+                let zv = &mut self.vecs[z.0];
+                for (&i, &v) in idxs.iter().zip(vals) {
+                    zv[i as usize] = prec.quantize(v);
+                }
+                self.advance("halo_unpack", self.model.blas1_time_f32(2 * idxs.len()));
+            }
+        }
+    }
+
+    /// [`Device::scatter_col_to_vec`] at a given precision: the basis
+    /// column is rounded to `prec` as it is loaded into the MPK work
+    /// vector (the rounding point where the f64 basis enters the f32
+    /// recurrence).
+    pub fn scatter_col_to_vec_p(
+        &mut self,
+        v: MatId,
+        col: usize,
+        z: VecId,
+        rows: &[u32],
+        prec: Precision,
+    ) {
+        match prec {
+            Precision::F64 => self.scatter_col_to_vec(v, col, z, rows),
+            Precision::F32 => {
+                if self.lost {
+                    return;
+                }
+                let colv = self.mats[v.0].col_to_vec(col);
+                assert_eq!(colv.len(), rows.len());
+                let zv = &mut self.vecs[z.0];
+                for (i, &r) in rows.iter().enumerate() {
+                    zv[r as usize] = prec.quantize(colv[i]);
+                }
+                self.advance("scatter_col", self.model.blas1_time_f32(2 * rows.len()));
+            }
+        }
     }
 }
 
@@ -1415,6 +1568,128 @@ mod tests {
             for j in 0..4 {
                 assert_eq!(b0[(i, j)].to_bits(), b1[(i, j)].to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn f32_slice_spmv_matches_f32_reference_and_costs_less() {
+        let a = laplace2d(6, 6); // n = 36
+        let xs: Vec<f64> = (0..36).map(|i| (1.0 + i as f64 * 0.37).sin()).collect();
+
+        let run = |storage: SpStorage| {
+            let mut d = dev();
+            let s = d.load_slice_storage(storage, (0..36).collect()).unwrap();
+            let x = d.alloc_vec(36).unwrap();
+            d.vec_mut(x).copy_from_slice(&xs);
+            let z = d.alloc_vec(36).unwrap();
+            d.spmv_scatter(s, x, z);
+            (d.vec(z).to_vec(), d.clock())
+        };
+        let (y64, t64) = run(SpStorage::Ell(Ell::from_csr(&a)));
+        let (y32, t32) = run(SpStorage::EllF32(Ell::from_csr(&a.cast::<f32>())));
+
+        // reference: same kernel written directly in f32
+        let e32: Ell<f32> = Ell::from_csr(&a.cast::<f32>());
+        let xf: Vec<f32> = xs.iter().map(|&v| v as f32).collect();
+        let mut yf = vec![0.0f32; 36];
+        e32.spmv(&xf, &mut yf);
+        for i in 0..36 {
+            assert_eq!(y32[i].to_bits(), (yf[i] as f64).to_bits(), "row {i}");
+            assert!((y32[i] - y64[i]).abs() < 1e-5 * y64[i].abs().max(1.0));
+        }
+        assert!(t32 < t64, "f32 SpMV must be cheaper: {t32} vs {t64}");
+    }
+
+    #[test]
+    fn f32_storage_is_half_the_value_bytes() {
+        let a = laplace2d(5, 5);
+        let e64 = SpStorage::Ell(Ell::from_csr(&a));
+        let e32 = SpStorage::EllF32(Ell::from_csr(&a.cast::<f32>()));
+        assert_eq!(e64.prec(), Precision::F64);
+        assert_eq!(e32.prec(), Precision::F32);
+        let slots = Ell::from_csr(&a).padded_nnz();
+        assert_eq!(e64.bytes(), slots * 12);
+        assert_eq!(e32.bytes(), slots * 8);
+        assert_eq!(e64.bytes() - e32.bytes(), slots * 4);
+    }
+
+    #[test]
+    fn shift_scatter_f32_quantizes_recurrence() {
+        let a = laplace2d(4, 4);
+        let xs: Vec<f64> = (0..16).map(|i| (0.3 + i as f64 * 0.21).cos()).collect();
+        let (re, im2, scale) = (0.125f64, 0.5f64, 1.5f64);
+
+        let run = |storage: SpStorage| {
+            let mut d = dev();
+            let s = d.load_slice_storage(storage, (0..16).collect()).unwrap();
+            let zc = d.alloc_vec(16).unwrap();
+            d.vec_mut(zc).copy_from_slice(&xs);
+            let zn = d.alloc_vec(16).unwrap();
+            for (i, v) in d.vec_mut(zn).iter_mut().enumerate() {
+                *v = 0.01 * i as f64;
+            }
+            d.spmv_shift_scatter(s, zc, zn, re, im2, scale);
+            d.vec(zn).to_vec()
+        };
+        let z32 = run(SpStorage::EllF32(Ell::from_csr(&a.cast::<f32>())));
+
+        // reference computed explicitly in f32
+        let e32: Ell<f32> = Ell::from_csr(&a.cast::<f32>());
+        let xf: Vec<f32> = xs.iter().map(|&v| v as f32).collect();
+        let mut yf = vec![0.0f32; 16];
+        e32.spmv(&xf, &mut yf);
+        for i in 0..16 {
+            let shifted = scale as f32 * (yf[i] - re as f32 * xs[i] as f32);
+            let expect = shifted + im2 as f32 * (0.01 * i as f64) as f32;
+            assert_eq!(z32[i].to_bits(), (expect as f64).to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn precision_tagged_kernels_delegate_on_f64_and_quantize_on_f32() {
+        let vals: Vec<f64> = (0..12).map(|i| 0.1 + i as f64 * 0.07).collect();
+        let idxs: Vec<u32> = vec![0, 3, 7, 11];
+
+        // F64 variants are the plain kernels: same data, same clock
+        let run64 = |tagged: bool| {
+            let mut d = dev();
+            let z = d.alloc_vec(12).unwrap();
+            d.vec_mut(z).copy_from_slice(&vals);
+            let w =
+                if tagged { d.compress_p(z, &idxs, Precision::F64) } else { d.compress(z, &idxs) };
+            let z2 = d.alloc_vec(12).unwrap();
+            if tagged {
+                d.expand_p(z2, &idxs, &w, Precision::F64);
+            } else {
+                d.expand(z2, &idxs, &w);
+            }
+            (d.vec(z2).to_vec(), d.clock())
+        };
+        let (a, ta) = run64(false);
+        let (b, tb) = run64(true);
+        assert_eq!(a, b);
+        assert_eq!(ta.to_bits(), tb.to_bits());
+
+        // F32 variants quantize through f32 and charge less
+        let mut d = dev();
+        let z = d.alloc_vec(12).unwrap();
+        d.vec_mut(z).copy_from_slice(&vals);
+        let w = d.compress_p(z, &idxs, Precision::F32);
+        let t32 = d.clock();
+        for (k, &i) in idxs.iter().enumerate() {
+            assert_eq!(w[k].to_bits(), (vals[i as usize] as f32 as f64).to_bits());
+        }
+        assert!(t32 < ta, "f32 pack cheaper than f64: {t32} vs {ta}");
+
+        // scatter_col_to_vec_p rounds the basis column on load
+        let mut d = dev();
+        let v = d.alloc_mat(4, 1).unwrap();
+        d.mat_mut(v).set_col(0, &vals[..4]);
+        let z = d.alloc_vec(8).unwrap();
+        let rows: Vec<u32> = vec![1, 3, 5, 7];
+        d.scatter_col_to_vec_p(v, 0, z, &rows, Precision::F32);
+        for (i, &r) in rows.iter().enumerate() {
+            assert_eq!(d.vec(z)[r as usize].to_bits(), (vals[i] as f32 as f64).to_bits());
         }
     }
 

@@ -107,6 +107,10 @@ pub struct PerfModel {
 
     /// ELL SpMV streaming efficiency (fraction of dev_mem_bw).
     pub eff_spmv: f64,
+    /// Single-precision ELL SpMV streaming efficiency (fraction of
+    /// dev_mem_bw). Slightly above `eff_spmv`: the 8-byte (value, index)
+    /// slots coalesce better than the 12-byte DP ones on Fermi.
+    pub eff_spmv_f32: f64,
     /// CUBLAS tall-skinny DGEMM: (flop/s cap, bytes/s cap).
     pub gemm_cublas: (f64, f64),
     /// Batched DGEMM: (flop/s cap, bytes/s cap).
@@ -147,6 +151,7 @@ impl Default for PerfModel {
             dev_mem_bw: 177e9,
 
             eff_spmv: 0.52,
+            eff_spmv_f32: 0.54,
             gemm_cublas: (24e9, 45e9),
             gemm_batched: (175e9, 132e9),
             gemv_cublas_bw: 18e9,
@@ -182,6 +187,16 @@ impl PerfModel {
         self.launch_s + (stream + gather) / (self.eff_spmv * self.dev_mem_bw)
     }
 
+    /// Single-precision ELL SpMV time: same access pattern as
+    /// [`PerfModel::spmv_time`] with 4-byte values — 8-byte (value, index)
+    /// slots, 4-byte gathers (still a x2 random-access penalty), 4-byte
+    /// results — against the `eff_spmv_f32` efficiency.
+    pub fn spmv_time_f32(&self, padded_nnz: usize, rows: usize) -> f64 {
+        let stream = padded_nnz as f64 * 8.0 + rows as f64 * 4.0;
+        let gather = padded_nnz as f64 * 4.0 * 2.0;
+        self.launch_s + (stream + gather) / (self.eff_spmv_f32 * self.dev_mem_bw)
+    }
+
     /// HYB (ELL + COO) SpMV time: the regular part streams like ELL, the
     /// COO tail pays scalar random access (16-byte triplets, atomic-update
     /// flavored at 1/3 streaming efficiency) plus its own launch.
@@ -190,6 +205,17 @@ impl PerfModel {
         if coo_nnz > 0 {
             t += self.launch_s
                 + coo_nnz as f64 * (16.0 + 8.0) / (self.eff_spmv * self.dev_mem_bw / 3.0);
+        }
+        t
+    }
+
+    /// Single-precision HYB SpMV time: f32 ELL part plus a COO tail whose
+    /// triplets shrink to 12 bytes (8-byte coordinates, 4-byte value).
+    pub fn spmv_hyb_time_f32(&self, ell_padded: usize, coo_nnz: usize, rows: usize) -> f64 {
+        let mut t = self.spmv_time_f32(ell_padded, rows);
+        if coo_nnz > 0 {
+            t += self.launch_s
+                + coo_nnz as f64 * (12.0 + 4.0) / (self.eff_spmv_f32 * self.dev_mem_bw / 3.0);
         }
         t
     }
@@ -269,6 +295,13 @@ impl PerfModel {
         self.launch_s + 8.0 * words as f64 / self.blas1_bw
     }
 
+    /// BLAS-1 op over `words` f32 reads+writes total: half the traffic of
+    /// the f64 variant against the same bandwidth cap (BLAS-1 is purely
+    /// streaming, so no separate efficiency constant is warranted).
+    pub fn blas1_time_f32(&self, words: usize) -> f64 {
+        self.launch_s + 4.0 * words as f64 / self.blas1_bw
+    }
+
     /// Local Householder QR of an `m x k` block, explicit Q formed
     /// (4 m k^2 flops, per the paper's Fig. 10 CAQR row).
     pub fn geqr2_time(&self, m: usize, k: usize) -> f64 {
@@ -342,6 +375,7 @@ pub const PARAM_NAMES: &[&str] = &[
     "dev_peak_flops",
     "dev_mem_bw",
     "eff_spmv",
+    "eff_spmv_f32",
     "gemm_cublas.tput",
     "gemm_cublas.bw",
     "gemm_batched.tput",
@@ -373,6 +407,7 @@ impl PerfModel {
             "dev_peak_flops" => self.dev_peak_flops,
             "dev_mem_bw" => self.dev_mem_bw,
             "eff_spmv" => self.eff_spmv,
+            "eff_spmv_f32" => self.eff_spmv_f32,
             "gemm_cublas.tput" => self.gemm_cublas.0,
             "gemm_cublas.bw" => self.gemm_cublas.1,
             "gemm_batched.tput" => self.gemm_batched.0,
@@ -404,6 +439,7 @@ impl PerfModel {
             "dev_peak_flops" => self.dev_peak_flops = value,
             "dev_mem_bw" => self.dev_mem_bw = value,
             "eff_spmv" => self.eff_spmv = value,
+            "eff_spmv_f32" => self.eff_spmv_f32 = value,
             "gemm_cublas.tput" => self.gemm_cublas.0 = value,
             "gemm_cublas.bw" => self.gemm_cublas.1 = value,
             "gemm_batched.tput" => self.gemm_batched.0 = value,
@@ -578,6 +614,20 @@ mod tests {
     }
 
     #[test]
+    fn f32_spmv_cheaper_than_f64() {
+        // the Fig. 12 lever: halved value traffic must show up as a
+        // strictly faster basis-generation kernel at every scale
+        let m = PerfModel::default();
+        for (nnz, rows) in [(100_000, 10_000), (1_000_000, 100_000), (20_000_000, 1_500_000)] {
+            assert!(m.spmv_time_f32(nnz, rows) < m.spmv_time(nnz, rows));
+            assert!(
+                m.spmv_hyb_time_f32(nnz, rows / 10, rows) < m.spmv_hyb_time(nnz, rows / 10, rows)
+            );
+        }
+        assert!(m.blas1_time_f32(300_000) < m.blas1_time(300_000));
+    }
+
+    #[test]
     fn hyb_beats_ell_when_padding_dominates() {
         let m = PerfModel::default();
         // 100k rows, true width 5 but one hub row forces ELL width 200
@@ -618,7 +668,9 @@ mod tests {
     fn sample_times(m: &PerfModel) -> Vec<f64> {
         vec![
             m.spmv_time(1_234_567, 98_765),
+            m.spmv_time_f32(1_234_567, 98_765),
             m.spmv_hyb_time(543_210, 777, 98_765),
+            m.spmv_hyb_time_f32(543_210, 777, 98_765),
             m.gemm_tn_time(GemmVariant::Cublas, 200_000, 30, 30),
             m.gemm_tn_time(GemmVariant::Batched { h: 384 }, 200_000, 31, 11),
             m.gemm_tn_time_f32(GemmVariant::Batched { h: 384 }, 200_000, 30, 30),
@@ -626,6 +678,7 @@ mod tests {
             m.gemv_t_time(GemvVariant::Cublas, 500_000, 30),
             m.gemv_t_time(GemvVariant::MagmaTallSkinny, 500_000, 30),
             m.blas1_time(300_000),
+            m.blas1_time_f32(300_000),
             m.geqr2_time(100_000, 30),
             m.geqr2_batched_time(100_000, 30, 256),
             m.trsm_time(100_000, 30),

@@ -32,11 +32,15 @@ use crate::model::{KernelConfig, PerfModel};
 use crate::retry::RetryPolicy;
 use crate::stream::{Cmd, CopyEngine, Event, EventTable, Schedule};
 use ca_obs as obs;
+use ca_scalar::Precision;
 use rayon::prelude::*;
 use std::sync::Arc;
 
 /// Counters for the traffic study (Fig. 7 and the "# GPU-CPU comm." column
-/// of Fig. 10).
+/// of Fig. 10). Totals cover all traffic regardless of precision; the
+/// `*_f32` fields count the subset of messages the caller tagged as
+/// single-precision payloads (mixed-precision halos), so a study can
+/// assert what fraction of the wire traffic moved at half width.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CommCounters {
     /// Device→host messages.
@@ -47,6 +51,14 @@ pub struct CommCounters {
     pub bytes_to_host: u64,
     /// Host→device bytes.
     pub bytes_to_dev: u64,
+    /// Device→host messages carrying f32 payloads (subset of the total).
+    pub msgs_to_host_f32: u64,
+    /// Host→device messages carrying f32 payloads (subset of the total).
+    pub msgs_to_dev_f32: u64,
+    /// Device→host bytes in f32 payloads (subset of the total).
+    pub bytes_to_host_f32: u64,
+    /// Host→device bytes in f32 payloads (subset of the total).
+    pub bytes_to_dev_f32: u64,
     /// Transfer attempts repeated after an injected transient fault (each
     /// retry also paid link time + stall, so resilience cost is visible).
     pub transfer_retries: u64,
@@ -63,6 +75,12 @@ impl CommCounters {
         self.bytes_to_host + self.bytes_to_dev
     }
 
+    /// Total f32-tagged bytes both directions (subset of
+    /// [`CommCounters::total_bytes`]).
+    pub fn total_bytes_f32(&self) -> u64 {
+        self.bytes_to_host_f32 + self.bytes_to_dev_f32
+    }
+
     /// Element-wise sum — used to carry traffic totals across an executor
     /// rebuild (degradation, rebalancing) so a solve's counters stay
     /// end-to-end.
@@ -72,6 +90,10 @@ impl CommCounters {
             msgs_to_dev: self.msgs_to_dev + other.msgs_to_dev,
             bytes_to_host: self.bytes_to_host + other.bytes_to_host,
             bytes_to_dev: self.bytes_to_dev + other.bytes_to_dev,
+            msgs_to_host_f32: self.msgs_to_host_f32 + other.msgs_to_host_f32,
+            msgs_to_dev_f32: self.msgs_to_dev_f32 + other.msgs_to_dev_f32,
+            bytes_to_host_f32: self.bytes_to_host_f32 + other.bytes_to_host_f32,
+            bytes_to_dev_f32: self.bytes_to_dev_f32 + other.bytes_to_dev_f32,
             transfer_retries: self.transfer_retries + other.transfer_retries,
         }
     }
@@ -566,14 +588,39 @@ impl MultiGpu {
     /// [`GpuSimError::DeviceLost`] if the sending device has died;
     /// [`GpuSimError::TransferFailed`] past the retry bound.
     pub fn copy_to_host_async(&mut self, d: usize, bytes: usize) -> Result<Event> {
+        self.copy_to_host_async_prec(d, bytes, Precision::F64)
+    }
+
+    /// [`MultiGpu::copy_to_host_async`] with the payload tagged by
+    /// precision. `bytes` is the actual wire size (already computed at the
+    /// payload's width by the caller); an `F32` tag additionally books the
+    /// message into the f32-split counters and metrics. `F64` is exactly
+    /// the plain call.
+    ///
+    /// # Errors
+    /// See [`MultiGpu::copy_to_host_async`].
+    pub fn copy_to_host_async_prec(
+        &mut self,
+        d: usize,
+        bytes: usize,
+        prec: Precision,
+    ) -> Result<Event> {
         let dur = self.message_time(d, bytes)?;
         let (start, finish) = self.links[d].occupy(self.devices[d].clock(), dur);
         self.counters.msgs_to_host += 1;
         self.counters.bytes_to_host += bytes as u64;
+        if prec == Precision::F32 {
+            self.counters.msgs_to_host_f32 += 1;
+            self.counters.bytes_to_host_f32 += bytes as u64;
+        }
         if obs::enabled() {
             obs::counter_add("comm.d2h.msgs", 1);
             obs::counter_add("comm.d2h.bytes", bytes as u64);
             obs::counter_add(&format!("comm.link{d}.d2h_bytes"), bytes as u64);
+            if prec == Precision::F32 {
+                obs::counter_add("comm.d2h.bytes_f32", bytes as u64);
+                obs::counter_add(&format!("comm.link{d}.d2h_bytes_f32"), bytes as u64);
+            }
         }
         let ev = self.events.record(finish);
         self.devices[d].log_cmd(Cmd::CopyToHost { bytes, start, finish });
@@ -591,14 +638,36 @@ impl MultiGpu {
     /// [`GpuSimError::DeviceLost`] if the receiving device has died;
     /// [`GpuSimError::TransferFailed`] past the retry bound.
     pub fn copy_to_device_async(&mut self, d: usize, bytes: usize) -> Result<Event> {
+        self.copy_to_device_async_prec(d, bytes, Precision::F64)
+    }
+
+    /// [`MultiGpu::copy_to_device_async`] with the payload tagged by
+    /// precision (see [`MultiGpu::copy_to_host_async_prec`]).
+    ///
+    /// # Errors
+    /// See [`MultiGpu::copy_to_device_async`].
+    pub fn copy_to_device_async_prec(
+        &mut self,
+        d: usize,
+        bytes: usize,
+        prec: Precision,
+    ) -> Result<Event> {
         let dur = self.message_time(d, bytes)?;
         let (start, finish) = self.links[d].occupy(self.host_time, dur);
         self.counters.msgs_to_dev += 1;
         self.counters.bytes_to_dev += bytes as u64;
+        if prec == Precision::F32 {
+            self.counters.msgs_to_dev_f32 += 1;
+            self.counters.bytes_to_dev_f32 += bytes as u64;
+        }
         if obs::enabled() {
             obs::counter_add("comm.h2d.msgs", 1);
             obs::counter_add("comm.h2d.bytes", bytes as u64);
             obs::counter_add(&format!("comm.link{d}.h2d_bytes"), bytes as u64);
+            if prec == Precision::F32 {
+                obs::counter_add("comm.h2d.bytes_f32", bytes as u64);
+                obs::counter_add(&format!("comm.link{d}.h2d_bytes_f32"), bytes as u64);
+            }
         }
         let ev = self.events.record(finish);
         self.devices[d].log_cmd(Cmd::CopyToDevice { bytes, start, finish });
@@ -615,10 +684,26 @@ impl MultiGpu {
     /// # Errors
     /// See [`MultiGpu::copy_to_host_async`].
     pub fn to_host_async(&mut self, bytes: &[usize]) -> Result<Vec<Option<Event>>> {
+        self.to_host_async_prec(bytes, Precision::F64)
+    }
+
+    /// [`MultiGpu::to_host_async`] with every message tagged by precision.
+    ///
+    /// # Errors
+    /// See [`MultiGpu::copy_to_host_async`].
+    pub fn to_host_async_prec(
+        &mut self,
+        bytes: &[usize],
+        prec: Precision,
+    ) -> Result<Vec<Option<Event>>> {
         assert_eq!(bytes.len(), self.devices.len());
         let mut events = Vec::with_capacity(bytes.len());
         for (i, &b) in bytes.iter().enumerate() {
-            events.push(if b == 0 { None } else { Some(self.copy_to_host_async(i, b)?) });
+            events.push(if b == 0 {
+                None
+            } else {
+                Some(self.copy_to_host_async_prec(i, b, prec)?)
+            });
         }
         Ok(events)
     }
@@ -632,10 +717,27 @@ impl MultiGpu {
     /// # Errors
     /// See [`MultiGpu::copy_to_device_async`].
     pub fn to_devices_async(&mut self, bytes: &[usize]) -> Result<Vec<Option<Event>>> {
+        self.to_devices_async_prec(bytes, Precision::F64)
+    }
+
+    /// [`MultiGpu::to_devices_async`] with every message tagged by
+    /// precision.
+    ///
+    /// # Errors
+    /// See [`MultiGpu::copy_to_device_async`].
+    pub fn to_devices_async_prec(
+        &mut self,
+        bytes: &[usize],
+        prec: Precision,
+    ) -> Result<Vec<Option<Event>>> {
         assert_eq!(bytes.len(), self.devices.len());
         let mut events = Vec::with_capacity(bytes.len());
         for (i, &b) in bytes.iter().enumerate() {
-            events.push(if b == 0 { None } else { Some(self.copy_to_device_async(i, b)?) });
+            events.push(if b == 0 {
+                None
+            } else {
+                Some(self.copy_to_device_async_prec(i, b, prec)?)
+            });
         }
         Ok(events)
     }
@@ -819,6 +921,54 @@ mod tests {
         assert_eq!(c.total_msgs(), 4);
         mg.reset_counters();
         assert_eq!(mg.counters(), CommCounters::default());
+    }
+
+    #[test]
+    fn f32_tagged_transfers_split_counters() {
+        let mut mg = MultiGpu::with_defaults(2);
+        // f64-tagged traffic leaves the f32 split at zero
+        mg.to_host(&[100, 60]).unwrap();
+        assert_eq!(mg.counters().bytes_to_host_f32, 0);
+        assert_eq!(mg.counters().msgs_to_host_f32, 0);
+        // f32-tagged traffic lands in both the totals and the split
+        let up = mg.to_host_async_prec(&[40, 0], Precision::F32).unwrap();
+        mg.host_wait_all(&up);
+        let down = mg.to_devices_async_prec(&[0, 24], Precision::F32).unwrap();
+        for (d, e) in down.iter().enumerate() {
+            if let Some(e) = e {
+                mg.wait_event(d, *e).unwrap();
+            }
+        }
+        let c = mg.counters();
+        assert_eq!(c.bytes_to_host, 200);
+        assert_eq!(c.bytes_to_host_f32, 40);
+        assert_eq!(c.msgs_to_host_f32, 1);
+        assert_eq!(c.bytes_to_dev, 24);
+        assert_eq!(c.bytes_to_dev_f32, 24);
+        assert_eq!(c.msgs_to_dev_f32, 1);
+        assert_eq!(c.total_bytes_f32(), 64);
+        // the split survives merges
+        let m = c.merged(c);
+        assert_eq!(m.bytes_to_host_f32, 80);
+        assert_eq!(m.msgs_to_dev_f32, 2);
+    }
+
+    #[test]
+    fn prec_f64_transfers_bit_identical_to_plain() {
+        let run = |tagged: bool| {
+            let mut mg = MultiGpu::with_defaults(2);
+            if tagged {
+                let up = mg.to_host_async_prec(&[64, 256], Precision::F64).unwrap();
+                mg.host_wait_all(&up);
+            } else {
+                mg.to_host(&[64, 256]).unwrap();
+            }
+            (mg.host_time().to_bits(), mg.counters())
+        };
+        let (h0, c0) = run(false);
+        let (h1, c1) = run(true);
+        assert_eq!(h0, h1);
+        assert_eq!(c0, c1);
     }
 
     #[test]

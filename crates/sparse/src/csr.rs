@@ -6,35 +6,20 @@
 //! boundary blocks.
 
 use crate::Coo;
+use ca_scalar::Scalar;
 
-/// An immutable CSR sparse matrix with `u32` column indices.
+/// An immutable CSR sparse matrix with `u32` column indices, generic over
+/// the value type (default `f64`).
 #[derive(Debug, Clone, PartialEq)]
-pub struct Csr {
+pub struct Csr<T: Scalar = f64> {
     nrows: usize,
     ncols: usize,
     row_ptr: Vec<usize>,
     col_idx: Vec<u32>,
-    values: Vec<f64>,
+    values: Vec<T>,
 }
 
 impl Csr {
-    /// Assemble from raw CSR arrays. Invariants (monotone `row_ptr`,
-    /// in-bounds columns) are checked with debug assertions.
-    pub fn from_raw(
-        nrows: usize,
-        ncols: usize,
-        row_ptr: Vec<usize>,
-        col_idx: Vec<u32>,
-        values: Vec<f64>,
-    ) -> Self {
-        debug_assert_eq!(row_ptr.len(), nrows + 1);
-        debug_assert_eq!(*row_ptr.last().unwrap_or(&0), col_idx.len());
-        debug_assert_eq!(col_idx.len(), values.len());
-        debug_assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]));
-        debug_assert!(col_idx.iter().all(|&c| (c as usize) < ncols));
-        Self { nrows, ncols, row_ptr, col_idx, values }
-    }
-
     /// Identity matrix of order `n`.
     pub fn identity(n: usize) -> Self {
         let mut coo = Coo::new(n, n);
@@ -42,6 +27,25 @@ impl Csr {
             coo.add(i, i, 1.0);
         }
         coo.to_csr()
+    }
+}
+
+impl<T: Scalar> Csr<T> {
+    /// Assemble from raw CSR arrays. Invariants (monotone `row_ptr`,
+    /// in-bounds columns) are checked with debug assertions.
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<T>,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), nrows + 1);
+        debug_assert_eq!(*row_ptr.last().unwrap_or(&0), col_idx.len());
+        debug_assert_eq!(col_idx.len(), values.len());
+        debug_assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(col_idx.iter().all(|&c| (c as usize) < ncols));
+        Self { nrows, ncols, row_ptr, col_idx, values }
     }
 
     /// Number of rows.
@@ -76,20 +80,20 @@ impl Csr {
 
     /// Value array.
     #[inline]
-    pub fn values(&self) -> &[f64] {
+    pub fn values(&self) -> &[T] {
         &self.values
     }
 
     /// Mutable value array (structure is fixed; scaling/balancing edits
     /// values in place).
     #[inline]
-    pub fn values_mut(&mut self) -> &mut [f64] {
+    pub fn values_mut(&mut self) -> &mut [T] {
         &mut self.values
     }
 
     /// The column indices and values of row `i`.
     #[inline]
-    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+    pub fn row(&self, i: usize) -> (&[u32], &[T]) {
         let lo = self.row_ptr[i];
         let hi = self.row_ptr[i + 1];
         (&self.col_idx[lo..hi], &self.values[lo..hi])
@@ -102,11 +106,11 @@ impl Csr {
     }
 
     /// Entry `(i, j)` by binary search over the (sorted) row.
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> T {
         let (cols, vals) = self.row(i);
         match cols.binary_search(&(j as u32)) {
             Ok(p) => vals[p],
-            Err(_) => 0.0,
+            Err(_) => T::ZERO,
         }
     }
 
@@ -138,7 +142,7 @@ impl Csr {
     /// Extract the submatrix consisting of the given rows (all columns
     /// kept, column indices unchanged) — `A(i, :)` in the paper's MPK
     /// notation. Rows appear in the order given.
-    pub fn select_rows(&self, rows: &[usize]) -> Csr {
+    pub fn select_rows(&self, rows: &[usize]) -> Csr<T> {
         let mut row_ptr = Vec::with_capacity(rows.len() + 1);
         row_ptr.push(0usize);
         let mut nnz = 0usize;
@@ -160,7 +164,7 @@ impl Csr {
     /// column) producing a matrix with `new_ncols` columns. Entries whose
     /// column maps to `u32::MAX` are dropped. Used to compress a device's
     /// matrix onto its locally-stored vector entries.
-    pub fn remap_cols(&self, map: &[u32], new_ncols: usize) -> Csr {
+    pub fn remap_cols(&self, map: &[u32], new_ncols: usize) -> Csr<T> {
         assert_eq!(map.len(), self.ncols);
         let mut row_ptr = vec![0usize; self.nrows + 1];
         let mut col_idx = Vec::with_capacity(self.nnz());
@@ -181,7 +185,7 @@ impl Csr {
     }
 
     /// Transpose (exact, sorts columns implicitly via counting).
-    pub fn transpose(&self) -> Csr {
+    pub fn transpose(&self) -> Csr<T> {
         let mut cnt = vec![0usize; self.ncols + 1];
         for &c in &self.col_idx {
             cnt[c as usize + 1] += 1;
@@ -191,7 +195,7 @@ impl Csr {
         }
         let row_ptr = cnt.clone();
         let mut col_idx = vec![0u32; self.nnz()];
-        let mut values = vec![0.0f64; self.nnz()];
+        let mut values = vec![T::ZERO; self.nnz()];
         let mut next = cnt;
         for i in 0..self.nrows {
             let (cols, vals) = self.row(i);
@@ -215,8 +219,26 @@ impl Csr {
     }
 
     /// Frobenius norm of the matrix.
-    pub fn fro_norm(&self) -> f64 {
-        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    pub fn fro_norm(&self) -> T {
+        let mut s = T::ZERO;
+        for &v in &self.values {
+            s += v * v;
+        }
+        s.sqrt()
+    }
+
+    /// A copy cast element-by-element into another scalar type (`as`
+    /// semantics; structure shared verbatim). This is how the
+    /// mixed-precision path derives its `f32` operator from the `f64`
+    /// source matrix.
+    pub fn cast<U: Scalar>(&self) -> Csr<U> {
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            values: self.values.iter().map(|&v| U::from_f64(v.to_f64())).collect(),
+        }
     }
 }
 

@@ -8,11 +8,12 @@
 //! vectorization-friendly inner loop.
 
 use crate::Csr;
+use ca_scalar::Scalar;
 use rayon::prelude::*;
 
-/// An ELLPACK sparse matrix.
+/// An ELLPACK sparse matrix, generic over the value type (default `f64`).
 #[derive(Debug, Clone)]
-pub struct Ell {
+pub struct Ell<T: Scalar = f64> {
     nrows: usize,
     ncols: usize,
     width: usize,
@@ -21,17 +22,17 @@ pub struct Ell {
     /// zero value (a standard trick that keeps gathers in-bounds).
     col_idx: Vec<u32>,
     /// Values in the same layout.
-    values: Vec<f64>,
+    values: Vec<T>,
     nnz: usize,
 }
 
-impl Ell {
+impl<T: Scalar> Ell<T> {
     /// Convert from CSR. `width` becomes the maximum row length.
-    pub fn from_csr(a: &Csr) -> Self {
+    pub fn from_csr(a: &Csr<T>) -> Self {
         let nrows = a.nrows();
         let width = a.max_row_nnz();
         let mut col_idx = vec![0u32; width * nrows];
-        let mut values = vec![0.0f64; width * nrows];
+        let mut values = vec![T::ZERO; width * nrows];
         for i in 0..nrows {
             let (cols, vals) = a.row(i);
             for k in 0..width {
@@ -42,7 +43,7 @@ impl Ell {
                 } else {
                     // in-bounds padding: self column (or 0 for empty matrices)
                     col_idx[p] = if a.ncols() > 0 { (i % a.ncols()) as u32 } else { 0 };
-                    values[p] = 0.0;
+                    values[p] = T::ZERO;
                 }
             }
         }
@@ -79,10 +80,10 @@ impl Ell {
         self.width * self.nrows
     }
 
-    /// Bytes the format occupies (used by the simulator's memory accounting:
-    /// 8-byte value + 4-byte index per slot).
+    /// Bytes the format occupies (used by the simulator's memory
+    /// accounting: one `T::BYTES` value + 4-byte index per slot).
     pub fn bytes(&self) -> usize {
-        self.padded_nnz() * (8 + 4)
+        self.padded_nnz() * (T::BYTES + 4)
     }
 
     /// `y := A x` streaming slot-by-slot (the coalesced GPU order).
@@ -91,7 +92,7 @@ impl Ell {
     /// output row is owned by exactly one task and the slot order within a
     /// chunk is unchanged, so results are bitwise identical to the
     /// sequential path.
-    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+    pub fn spmv(&self, x: &[T], y: &mut [T]) {
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
         const PAR_THRESHOLD: usize = 200_000; // padded slots
@@ -106,8 +107,8 @@ impl Ell {
     }
 
     /// Slot-major SpMV over the row range `[r0, r0 + y.len())`.
-    fn spmv_rows(&self, x: &[f64], y: &mut [f64], r0: usize) {
-        y.iter_mut().for_each(|v| *v = 0.0);
+    fn spmv_rows(&self, x: &[T], y: &mut [T], r0: usize) {
+        y.iter_mut().for_each(|v| *v = T::ZERO);
         let rows = y.len();
         for k in 0..self.width {
             let base = k * self.nrows + r0;

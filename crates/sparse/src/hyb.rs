@@ -7,19 +7,21 @@
 //! is chosen so that at most a small fraction of entries spill.
 
 use crate::{Csr, Ell};
+use ca_scalar::Scalar;
 
-/// A hybrid ELL + COO sparse matrix.
+/// A hybrid ELL + COO sparse matrix, generic over the value type
+/// (default `f64`).
 #[derive(Debug, Clone)]
-pub struct Hyb {
+pub struct Hyb<T: Scalar = f64> {
     /// The regular part (first `width` entries of each row).
-    ell: Ell,
+    ell: Ell<T>,
     /// Spilled entries as (row, col, value).
-    coo: Vec<(u32, u32, f64)>,
+    coo: Vec<(u32, u32, T)>,
 }
 
-impl Hyb {
+impl<T: Scalar> Hyb<T> {
     /// Convert from CSR with an explicit ELL width.
-    pub fn from_csr_with_width(a: &Csr, width: usize) -> Self {
+    pub fn from_csr_with_width(a: &Csr<T>, width: usize) -> Self {
         let nrows = a.nrows();
         // Build the truncated-CSR for the ELL part.
         let mut row_ptr = vec![0usize; nrows + 1];
@@ -43,7 +45,7 @@ impl Hyb {
     /// Convert from CSR, choosing the width at the given row-length
     /// quantile (e.g. `0.95` keeps 95% of rows fully in the ELL part —
     /// a standard HYB heuristic).
-    pub fn from_csr(a: &Csr, quantile: f64) -> Self {
+    pub fn from_csr(a: &Csr<T>, quantile: f64) -> Self {
         assert!((0.0..=1.0).contains(&quantile));
         let mut lens: Vec<usize> = (0..a.nrows()).map(|i| a.row_nnz(i)).collect();
         lens.sort_unstable();
@@ -81,13 +83,14 @@ impl Hyb {
         self.ell.nnz() + self.coo.len()
     }
 
-    /// Bytes occupied: padded ELL slots plus 16-byte COO triplets.
+    /// Bytes occupied: padded ELL slots plus COO triplets (one `T::BYTES`
+    /// value + two 4-byte indices each).
     pub fn bytes(&self) -> usize {
-        self.ell.bytes() + self.coo.len() * 16
+        self.ell.bytes() + self.coo.len() * (8 + T::BYTES)
     }
 
     /// `y := A x`.
-    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+    pub fn spmv(&self, x: &[T], y: &mut [T]) {
         self.ell.spmv(x, y);
         for &(r, c, v) in &self.coo {
             y[r as usize] += v * x[c as usize];

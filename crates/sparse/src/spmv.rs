@@ -5,15 +5,16 @@
 //! baseline (Fig. 3's "CPU" line).
 
 use crate::Csr;
+use ca_scalar::Scalar;
 use rayon::prelude::*;
 
 /// Sequential `y := A x` from CSR.
-pub fn spmv(a: &Csr, x: &[f64], y: &mut [f64]) {
+pub fn spmv<T: Scalar>(a: &Csr<T>, x: &[T], y: &mut [T]) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     for i in 0..a.nrows() {
         let (cols, vals) = a.row(i);
-        let mut s = 0.0;
+        let mut s = T::ZERO;
         for (&c, &v) in cols.iter().zip(vals) {
             s += v * x[c as usize];
         }
@@ -23,12 +24,12 @@ pub fn spmv(a: &Csr, x: &[f64], y: &mut [f64]) {
 
 /// Rayon-parallel `y := A x` from CSR (row-parallel; each output row is
 /// owned by exactly one task, so results are deterministic).
-pub fn spmv_par(a: &Csr, x: &[f64], y: &mut [f64]) {
+pub fn spmv_par<T: Scalar>(a: &Csr<T>, x: &[T], y: &mut [T]) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     y.par_iter_mut().enumerate().for_each(|(i, yi)| {
         let (cols, vals) = a.row(i);
-        let mut s = 0.0;
+        let mut s = T::ZERO;
         for (&c, &v) in cols.iter().zip(vals) {
             s += v * x[c as usize];
         }
@@ -37,14 +38,14 @@ pub fn spmv_par(a: &Csr, x: &[f64], y: &mut [f64]) {
 }
 
 /// `y := A^T x` (sequential; used by tests and the KKT generator).
-pub fn spmv_transpose(a: &Csr, x: &[f64], y: &mut [f64]) {
+pub fn spmv_transpose<T: Scalar>(a: &Csr<T>, x: &[T], y: &mut [T]) {
     assert_eq!(x.len(), a.nrows());
     assert_eq!(y.len(), a.ncols());
-    y.iter_mut().for_each(|v| *v = 0.0);
+    y.iter_mut().for_each(|v| *v = T::ZERO);
     for i in 0..a.nrows() {
         let (cols, vals) = a.row(i);
         let xi = x[i];
-        if xi != 0.0 {
+        if xi != T::ZERO {
             for (&c, &v) in cols.iter().zip(vals) {
                 y[c as usize] += v * xi;
             }

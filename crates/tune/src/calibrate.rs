@@ -262,6 +262,25 @@ pub fn calibrate_with_target(
         });
     }
 
+    // ---- f32 SpMV: the same probe on an f32 ELL slice recovers the
+    // single-precision efficiency against the hint's memory bandwidth
+    // (the per-precision curve the mixed-precision planner evaluates) ----
+    {
+        let mut knots = Vec::new();
+        let mut last_rate = 0.0;
+        for &g in &SPMV_GRIDS {
+            let (rows, rate) = spmv_probe_f32(&mut mg, &ca_sparse::gen::laplace2d(g, g));
+            knots.push((rows as f64, rate / 1e9));
+            last_rate = rate;
+        }
+        fit.push(("eff_spmv_f32", last_rate / hint.param("dev_mem_bw").expect("known param")));
+        curves.push(NamedCurve {
+            name: "spmv_f32".into(),
+            unit: "GB/s".into(),
+            curve: EffCurve::from_knots(knots),
+        });
+    }
+
     // ---- target-matrix shapes: knots exactly where the planner will
     // evaluate this profile ----
     if let Some(tg) = target {
@@ -374,6 +393,24 @@ fn spmv_probe(mg: &mut MultiGpu, a: &Csr) -> (usize, f64) {
     (n, bytes / (t - mg.model().param("launch_s").unwrap_or(0.0)))
 }
 
+/// [`spmv_probe`] on an f32 ELL slice: 8-byte (value, index) slots,
+/// 4-byte results and gathers — the byte model of
+/// [`ca_gpusim::PerfModel::spmv_time_f32`].
+fn spmv_probe_f32(mg: &mut MultiGpu, a: &Csr) -> (usize, f64) {
+    let n = a.nrows();
+    let dev = mg.device_mut(0);
+    let ell = Ell::<f32>::from_csr(&a.cast::<f32>());
+    let padded = ell.padded_nnz();
+    let sp = dev
+        .load_slice_storage(ca_gpusim::device::SpStorage::EllF32(ell), (0..n as u32).collect())
+        .expect("calibration alloc");
+    let x = dev.alloc_vec(n).expect("calibration alloc");
+    let y = dev.alloc_mat(n, 1).expect("calibration alloc");
+    let t = probe(mg, |dev| dev.spmv_to_mat_col(sp, x, y, 0));
+    let bytes = (padded * 8 + n * 4 + padded * 8) as f64;
+    (n, bytes / (t - mg.model().param("launch_s").unwrap_or(0.0)))
+}
+
 /// Deterministic full-rank filler for the shared measurement panel.
 fn fill_panel(dev: &mut Device, panel: ca_gpusim::MatId, cols: usize) {
     let rows = dev.mat(panel).nrows();
@@ -472,6 +509,7 @@ mod tests {
             "geqr2.tput",
             "trsm_bw",
             "eff_spmv",
+            "eff_spmv_f32",
             "pcie_bw",
             "pcie_latency_s",
             "host_msg_s",

@@ -22,8 +22,10 @@
 //! the prediction error.
 
 use crate::profile::MachineProfile;
+use ca_gmres::mpk::SpmvFormat;
 use ca_gmres::prelude::*;
 use ca_gpusim::{GemmVariant, KernelConfig, MultiGpu, PerfModel};
+use ca_scalar::Precision;
 use ca_sparse::Csr;
 
 /// Stability and feasibility caps that prune the search space (the
@@ -39,6 +41,14 @@ pub struct PlannerLimits {
     pub cholqr_s_cap_monomial: usize,
     /// Max `s` for CholQR on shifted bases.
     pub cholqr_s_cap_shifted: usize,
+    /// Max `s` for a monomial basis generated in f32: the same
+    /// `kappa^s` growth eats the 2^-24 unit roundoff roughly twice as
+    /// fast as it eats 2^-53, so the cap tightens well below
+    /// [`PlannerLimits::s_cap_monomial`].
+    pub s_cap_monomial_f32: usize,
+    /// Max `s` for CholQR on an f32-generated monomial basis (the
+    /// squared Gram condition meets the halved mantissa).
+    pub cholqr_s_cap_monomial_f32: usize,
     /// Fraction of device memory a candidate may plan to use.
     pub mem_frac: f64,
 }
@@ -50,6 +60,8 @@ impl Default for PlannerLimits {
             s_cap_shifted: 20,
             cholqr_s_cap_monomial: 5,
             cholqr_s_cap_shifted: 12,
+            s_cap_monomial_f32: 6,
+            cholqr_s_cap_monomial_f32: 3,
             mem_frac: 0.9,
         }
     }
@@ -74,6 +86,9 @@ pub struct Candidate {
     pub ordering: Ordering,
     /// The "2x" reorthogonalization wrapper.
     pub reorth: bool,
+    /// Precision of MPK basis generation (`F32` demotes the s-step
+    /// slices and halo traffic; the s = 1 residual path stays f64).
+    pub prec: Precision,
 }
 
 impl Candidate {
@@ -100,6 +115,7 @@ impl Candidate {
             },
             rtol,
             max_restarts,
+            mpk_prec: self.prec,
             ..CaGmresConfig::default()
         }
     }
@@ -126,9 +142,15 @@ impl Candidate {
             BorthKind::Cgs => "bcgs",
             BorthKind::Mgs => "bmgs",
         };
+        // f64 labels keep their historical spelling so committed digests
+        // survive the precision dimension; f32 candidates are marked.
+        let prec = match self.prec {
+            Precision::F64 => "",
+            Precision::F32 => " f32",
+        };
         format!(
-            "s={} {} {}+{}{} {} d={} {}",
-            self.s, basis, self.tsqr, borth, reorth, kernel, self.ndev, ordering
+            "s={} {} {}+{}{} {}{} d={} {}",
+            self.s, basis, self.tsqr, borth, reorth, kernel, prec, self.ndev, ordering
         )
     }
 }
@@ -152,6 +174,10 @@ pub struct CandidateSpace {
     pub orderings: Vec<Ordering>,
     /// Whether to also arm the "2x" reorthogonalization wrapper.
     pub reorth: bool,
+    /// MPK basis-generation precisions to try. `F32` points are skipped
+    /// for candidates that do not run MPK (the s = 1 / pure-SpMV path
+    /// always stays f64, so those spellings would be duplicates).
+    pub precisions: Vec<Precision>,
 }
 
 impl CandidateSpace {
@@ -175,7 +201,15 @@ impl CandidateSpace {
             ndevs: (1..=max_ndev.max(1)).collect(),
             orderings: vec![Ordering::Natural],
             reorth: false,
+            precisions: vec![Precision::F64],
         }
+    }
+
+    /// [`CandidateSpace::paper`] widened with the mixed-precision basis:
+    /// every MPK candidate is also scored with f32 slices and halos.
+    #[must_use]
+    pub fn mixed(max_ndev: usize) -> Self {
+        Self { precisions: vec![Precision::F64, Precision::F32], ..Self::paper(max_ndev) }
     }
 
     /// A small smoke grid for CI.
@@ -190,6 +224,7 @@ impl CandidateSpace {
             ndevs: vec![ndev.max(1)],
             orderings: vec![Ordering::Natural],
             reorth: false,
+            precisions: vec![Precision::F64],
         }
     }
 }
@@ -324,42 +359,57 @@ impl<'a> Planner<'a> {
                             for &tsqr in &space.tsqrs {
                                 for &borth in &space.borths {
                                     for &reorth in reorths {
-                                        let cand = Candidate {
-                                            s,
-                                            basis,
-                                            tsqr,
-                                            borth,
-                                            kernel,
-                                            ndev,
-                                            ordering,
-                                            reorth,
-                                        };
-                                        // `Mpk` at s = 1 collapses to `Spmv`:
-                                        // keep only the canonical spelling
-                                        if s == 1 && !matches!(kernel, KernelMode::Spmv) {
-                                            continue;
+                                        for &prec in &space.precisions {
+                                            let cand = Candidate {
+                                                s,
+                                                basis,
+                                                tsqr,
+                                                borth,
+                                                kernel,
+                                                ndev,
+                                                ordering,
+                                                reorth,
+                                                prec,
+                                            };
+                                            // `Mpk` at s = 1 collapses to `Spmv`:
+                                            // keep only the canonical spelling
+                                            if s == 1 && !matches!(kernel, KernelMode::Spmv) {
+                                                continue;
+                                            }
+                                            // f32 only touches the MPK path;
+                                            // non-MPK candidates stay in their
+                                            // canonical f64 spelling
+                                            if prec == Precision::F32 && !cand.uses_mpk() {
+                                                continue;
+                                            }
+                                            if let Some(reason) = self.prune_reason(&cand) {
+                                                pruned.push((cand, reason));
+                                                continue;
+                                            }
+                                            let mpkc = if cand.uses_mpk() {
+                                                Some(
+                                                    mpk_shapes
+                                                        .get_or_insert_with(|| {
+                                                            shapes(&ap, &layout, s)
+                                                        })
+                                                        .as_slice(),
+                                                )
+                                            } else {
+                                                None
+                                            };
+                                            if let Some(reason) =
+                                                self.mem_infeasible(&cand, &s1, mpkc)
+                                            {
+                                                pruned.push((cand, reason));
+                                                continue;
+                                            }
+                                            let slow = vec![1.0; ndev];
+                                            let t = self.predict_on(&s1, mpkc, &cand, &slow);
+                                            ranked.push(RankedCandidate {
+                                                cand,
+                                                predicted_cycle_s: t,
+                                            });
                                         }
-                                        if let Some(reason) = self.prune_reason(&cand) {
-                                            pruned.push((cand, reason));
-                                            continue;
-                                        }
-                                        let mpkc = if cand.uses_mpk() {
-                                            Some(
-                                                mpk_shapes
-                                                    .get_or_insert_with(|| shapes(&ap, &layout, s))
-                                                    .as_slice(),
-                                            )
-                                        } else {
-                                            None
-                                        };
-                                        if let Some(reason) = self.mem_infeasible(&cand, &s1, mpkc)
-                                        {
-                                            pruned.push((cand, reason));
-                                            continue;
-                                        }
-                                        let slow = vec![1.0; ndev];
-                                        let t = self.predict_on(&s1, mpkc, &cand, &slow);
-                                        ranked.push(RankedCandidate { cand, predicted_cycle_s: t });
                                     }
                                 }
                             }
@@ -412,8 +462,16 @@ impl<'a> Planner<'a> {
         let bp = ca_sparse::perm::permute_vec(b, &perm);
         let mut mg = MultiGpu::new(cand.ndev, self.model.clone(), self.config);
         let cfg = cand.solver_config(self.m, 0.0, restarts);
-        let sys = System::new(&mut mg, &ap, layout, cfg.m, Some(cfg.s))
-            .expect("validation system fits device memory");
+        let sys = System::new_with_format_prec(
+            &mut mg,
+            &ap,
+            layout,
+            cfg.m,
+            Some(cfg.s),
+            SpmvFormat::Ell,
+            cand.prec,
+        )
+        .expect("validation system fits device memory");
         sys.load_rhs(&mut mg, &bp).expect("no faults installed");
         let out = ca_gmres(&mut mg, &sys, &cfg);
         let actual = if out.ca_stats.restarts > 0 {
@@ -437,8 +495,13 @@ impl<'a> Planner<'a> {
             return Some(format!("s={} exceeds restart length m={}", c.s, self.m));
         }
         let l = &self.limits;
-        let (cap, cholqr_cap, basis) = match c.basis {
-            BasisChoice::Monomial => (l.s_cap_monomial, l.cholqr_s_cap_monomial, "monomial"),
+        let (cap, cholqr_cap, basis) = match (c.basis, c.prec) {
+            (BasisChoice::Monomial, Precision::F32) => {
+                (l.s_cap_monomial_f32, l.cholqr_s_cap_monomial_f32, "f32 monomial")
+            }
+            (BasisChoice::Monomial, Precision::F64) => {
+                (l.s_cap_monomial, l.cholqr_s_cap_monomial, "monomial")
+            }
             _ => (l.s_cap_shifted, l.cholqr_s_cap_shifted, "shifted"),
         };
         if c.s > cap {
@@ -461,7 +524,7 @@ impl<'a> Planner<'a> {
     /// slices must fit in `mem_frac` of each device's memory.
     fn mem_infeasible(
         &self,
-        _c: &Candidate,
+        c: &Candidate,
         s1: &[DevShapes],
         mpkc: Option<&[DevShapes]>,
     ) -> Option<String> {
@@ -473,7 +536,13 @@ impl<'a> Planner<'a> {
             let mut bytes = 8.0 * sh.nl as f64 * (self.m + 4) as f64 + 16.0 * n as f64;
             bytes += sh.slice_bytes as f64;
             if let Some(ms) = mpkc {
-                bytes += 16.0 * n as f64 + ms[d].slice_bytes as f64;
+                // f32 slices shrink each padded (value, index) slot from
+                // 12 bytes to 8; `slice_bytes` is exactly 12 per slot
+                let slice = match c.prec {
+                    Precision::F64 => ms[d].slice_bytes,
+                    Precision::F32 => ms[d].slice_bytes / 12 * 8,
+                };
+                bytes += 16.0 * n as f64 + slice as f64;
             }
             if bytes > cap {
                 return Some(format!(
@@ -511,7 +580,7 @@ impl<'a> Planner<'a> {
             let s_blk = s.min(m + 1 - ncols);
             w.sync();
             if cand.uses_mpk() {
-                self.walk_mpk_block(&mut w, mpkc.expect("mpk shapes built"), s_blk);
+                self.walk_mpk_block(&mut w, mpkc.expect("mpk shapes built"), s_blk, cand.prec);
             } else {
                 self.walk_spmv_block(&mut w, s1, s_blk, cand.basis);
             }
@@ -546,36 +615,56 @@ impl<'a> Planner<'a> {
         w.span()
     }
 
-    /// One `dist_spmv`: scatter, halo exchange, local SpMV.
+    /// BLAS-1 streaming charge at a precision (the executor's
+    /// `blas1_cost_at` mirror); `F64` is exactly `blas1_time`.
+    fn blas1_at(&self, prec: Precision, words: usize) -> f64 {
+        match prec {
+            Precision::F64 => self.model.blas1_time(words),
+            Precision::F32 => self.model.blas1_time_f32(words),
+        }
+    }
+
+    /// ELL SpMV charge at a precision; `F64` is exactly `spmv_time`.
+    fn spmv_at(&self, prec: Precision, padded: usize, rows: usize) -> f64 {
+        match prec {
+            Precision::F64 => self.model.spmv_time(padded, rows),
+            Precision::F32 => self.model.spmv_time_f32(padded, rows),
+        }
+    }
+
+    /// One `dist_spmv`: scatter, halo exchange, local SpMV. Always f64 —
+    /// the s = 1 residual plan is never demoted.
     fn walk_dist_spmv(&self, w: &mut Walk<'_>, s1: &[DevShapes]) {
         w.each(s1, |_, sh| self.model.blas1_time(2 * sh.nl));
-        self.walk_exchange(w, s1);
+        self.walk_exchange(w, s1, Precision::F64);
         w.each(s1, |_, sh| self.model.spmv_time(sh.local.padded, sh.local.rows));
     }
 
     /// The halo exchange compound (compress, uplink, host expand,
-    /// downlink, device expand). Nothing to do on one device.
-    fn walk_exchange(&self, w: &mut Walk<'_>, sh: &[DevShapes]) {
+    /// downlink, device expand) at the plan's wire precision. Nothing to
+    /// do on one device.
+    fn walk_exchange(&self, w: &mut Walk<'_>, sh: &[DevShapes], prec: Precision) {
         if sh.len() == 1 {
             return;
         }
-        w.each(sh, |_, s| self.model.blas1_time(2 * s.nsend));
-        w.uplink(sh, |s| 8 * s.nsend);
+        w.each(sh, |_, s| self.blas1_at(prec, 2 * s.nsend));
+        w.uplink(sh, |s| prec.bytes() * s.nsend);
         let moved: usize = sh.iter().map(|s| s.nsend).sum();
-        w.host_compute(0.0, 16.0 * moved as f64);
-        w.downlink(sh, |s| 8 * s.nneed);
-        w.each(sh, |_, s| self.model.blas1_time(2 * s.nneed));
+        w.host_compute(0.0, 2.0 * prec.bytes() as f64 * moved as f64);
+        w.downlink(sh, |s| prec.bytes() * s.nneed);
+        w.each(sh, |_, s| self.blas1_at(prec, 2 * s.nneed));
     }
 
-    /// One MPK block of `s_run <= s_plan` steps.
-    fn walk_mpk_block(&self, w: &mut Walk<'_>, mpkc: &[DevShapes], s_run: usize) {
+    /// One MPK block of `s_run <= s_plan` steps at the plan's precision
+    /// (the basis-column gathers write the f64 panel and stay f64).
+    fn walk_mpk_block(&self, w: &mut Walk<'_>, mpkc: &[DevShapes], s_run: usize, prec: Precision) {
         w.sync();
-        w.each(mpkc, |_, sh| self.model.blas1_time(2 * sh.nl));
-        self.walk_exchange(w, mpkc);
+        w.each(mpkc, |_, sh| self.blas1_at(prec, 2 * sh.nl));
+        self.walk_exchange(w, mpkc, prec);
         w.sync();
         let launch = self.model.param("launch_s").unwrap_or(0.0);
         let shift_scatter = |sl: &SliceShape| {
-            self.model.spmv_time(sl.padded, sl.rows) + self.model.blas1_time(2 * sl.rows) - launch
+            self.spmv_at(prec, sl.padded, sl.rows) + self.blas1_at(prec, 2 * sl.rows) - launch
         };
         for k in 1..=s_run {
             w.each(mpkc, |_, sh| {
@@ -879,6 +968,7 @@ mod tests {
                 ndev: 3,
                 ordering: Ordering::Natural,
                 reorth: false,
+                prec: Precision::F64,
             },
             Candidate {
                 s: 4,
@@ -889,6 +979,7 @@ mod tests {
                 ndev: 2,
                 ordering: Ordering::Natural,
                 reorth: false,
+                prec: Precision::F64,
             },
             Candidate {
                 s: 5,
@@ -899,6 +990,7 @@ mod tests {
                 ndev: 1,
                 ordering: Ordering::Natural,
                 reorth: false,
+                prec: Precision::F64,
             },
         ] {
             let chk = p.cross_validate(&cand, &rhs(a.nrows()), 5);
@@ -958,11 +1050,137 @@ mod tests {
             ndev: 2,
             ordering: Ordering::Natural,
             reorth: false,
+            prec: Precision::F64,
         };
         let (ap, _perm, layout) = prepare(&a, Ordering::Natural, 2);
         let healthy = p.predict_for_layout(&ap, &layout, &cand, &[1.0, 1.0]);
         let degraded = p.predict_for_layout(&ap, &layout, &cand, &[1.0, 4.0]);
         assert!(degraded > healthy * 1.5, "degraded {degraded:e} vs healthy {healthy:e}");
+    }
+
+    #[test]
+    fn f32_mpk_candidate_predicts_faster_and_cross_validates() {
+        let a = laplace2d(24, 24);
+        let p = planner(&a, 20);
+        let f64_cand = Candidate {
+            s: 5,
+            basis: BasisChoice::Newton,
+            tsqr: TsqrKind::CholQr,
+            borth: BorthKind::Cgs,
+            kernel: KernelMode::Mpk,
+            ndev: 3,
+            ordering: Ordering::Natural,
+            reorth: false,
+            prec: Precision::F64,
+        };
+        let f32_cand = Candidate { prec: Precision::F32, ..f64_cand };
+        let t64 = p.predict_cycle(&f64_cand);
+        let t32 = p.predict_cycle(&f32_cand);
+        assert!(
+            t32 < t64,
+            "f32 MPK slices and halos must predict a faster cycle: {t32:e} vs {t64:e}"
+        );
+        // the walker mirrors the executor's f32 charges, so the
+        // prediction must hold up against a real simulated f32 run too
+        let chk = p.cross_validate(&f32_cand, &rhs(a.nrows()), 5);
+        assert!(
+            chk.rel_err < 0.10,
+            "{}: predicted {:.3e} actual {:.3e} (rel {:.3})",
+            f32_cand.label(),
+            chk.predicted_cycle_s,
+            chk.actual_cycle_s,
+            chk.rel_err
+        );
+    }
+
+    #[test]
+    fn f32_monomial_caps_prune_harder_than_f64() {
+        let a = laplace2d(16, 16);
+        let p = planner(&a, 20);
+        let base = Candidate {
+            s: 8,
+            basis: BasisChoice::Monomial,
+            tsqr: TsqrKind::Cgs,
+            borth: BorthKind::Cgs,
+            kernel: KernelMode::Mpk,
+            ndev: 2,
+            ordering: Ordering::Natural,
+            reorth: false,
+            prec: Precision::F64,
+        };
+        // s = 8 monomial: at the f64 cap, over the f32 cap
+        assert!(p.prune_reason(&base).is_none());
+        let f32_cand = Candidate { prec: Precision::F32, ..base };
+        let reason = p.prune_reason(&f32_cand).expect("f32 monomial s=8 must be pruned");
+        assert!(reason.contains("f32 monomial"), "{reason}");
+        // CholQR monomial: s = 5 survives in f64, trips the f32 guard
+        let chol = Candidate { s: 5, tsqr: TsqrKind::CholQr, ..base };
+        assert!(p.prune_reason(&chol).is_none());
+        let chol32 = Candidate { prec: Precision::F32, ..chol };
+        let reason = p.prune_reason(&chol32).expect("f32 CholQR monomial s=5 must be pruned");
+        assert!(reason.contains("CholQR"), "{reason}");
+        // shifted bases keep the f64 caps in f32
+        let newton32 = Candidate { s: 15, basis: BasisChoice::Newton, ..f32_cand };
+        assert!(p.prune_reason(&newton32).is_none());
+    }
+
+    #[test]
+    fn mixed_space_ranks_f32_variants_without_duplicates() {
+        let a = laplace2d(16, 16);
+        let p = planner(&a, 20);
+        let plan = p.plan(&CandidateSpace::mixed(2));
+        // every f32 survivor runs MPK and is marked in its label
+        let f32_ranked: Vec<_> =
+            plan.ranked.iter().filter(|r| r.cand.prec == Precision::F32).collect();
+        assert!(!f32_ranked.is_empty());
+        for r in &f32_ranked {
+            assert!(r.cand.uses_mpk(), "{}", r.cand.label());
+            assert!(r.cand.label().contains(" f32"), "{}", r.cand.label());
+        }
+        // labels stay unique across the precision dimension
+        let mut labels: Vec<String> = plan.ranked.iter().map(|r| r.cand.label()).collect();
+        let total = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), total);
+        // an f32 candidate outranks its own f64 spelling whenever both
+        // survive (halved MPK bytes can only help the predicted cycle)
+        for r in &f32_ranked {
+            let twin = Candidate { prec: Precision::F64, ..r.cand };
+            if let Some(t) = plan.ranked.iter().find(|x| x.cand == twin) {
+                assert!(r.predicted_cycle_s < t.predicted_cycle_s, "{}", r.cand.label());
+            }
+        }
+        // the f64 half of the mixed plan is exactly the f64-only plan
+        let f64_only = p.plan(&CandidateSpace::paper(2));
+        let f64_ranked: Vec<_> =
+            plan.ranked.iter().filter(|r| r.cand.prec == Precision::F64).collect();
+        assert_eq!(f64_only.ranked.len(), f64_ranked.len());
+        for (a, b) in f64_only.ranked.iter().zip(&f64_ranked) {
+            assert_eq!(a.cand, b.cand);
+            assert_eq!(a.predicted_cycle_s.to_bits(), b.predicted_cycle_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn solver_config_carries_the_candidate_precision() {
+        let cand = Candidate {
+            s: 5,
+            basis: BasisChoice::Newton,
+            tsqr: TsqrKind::CholQr,
+            borth: BorthKind::Cgs,
+            kernel: KernelMode::Mpk,
+            ndev: 2,
+            ordering: Ordering::Natural,
+            reorth: false,
+            prec: Precision::F32,
+        };
+        assert_eq!(cand.solver_config(20, 1e-8, 50).mpk_prec, Precision::F32);
+        let f64_cand = Candidate { prec: Precision::F64, ..cand };
+        assert_eq!(f64_cand.solver_config(20, 1e-8, 50).mpk_prec, Precision::F64);
+        // f64 labels keep the pre-precision spelling
+        assert_eq!(f64_cand.label(), "s=5 newton CholQR+bcgs mpk d=2 natural");
+        assert_eq!(cand.label(), "s=5 newton CholQR+bcgs mpk f32 d=2 natural");
     }
 
     #[test]

@@ -193,6 +193,7 @@ mod tests {
             ndev: 3,
             ordering: Ordering::Natural,
             reorth: false,
+            prec: ca_scalar::Precision::F64,
         }
     }
 

@@ -45,6 +45,7 @@ fn base_candidate(cfg: &CaGmresConfig) -> Candidate {
         ndev: NDEV,
         ordering: Ordering::Natural,
         reorth: cfg.orth.reorth,
+        prec: cfg.mpk_prec,
     }
 }
 

@@ -58,10 +58,8 @@ fn single_fault_plan(kind: &str, after_op: u64, seed: u64) -> FaultPlan {
 /// must converge (host-verified) or fail with a typed breakdown (or
 /// honest restart exhaustion) — never panic, never run past the
 /// simulated-time budget.
-#[test]
-fn single_fault_grid_converges_or_fails_typed() {
+fn run_single_fault_grid(cfg: &FtConfig) {
     let (a, b) = problem();
-    let cfg = ft_cfg();
     let kinds = ["sdc", "transfer", "loss", "slowdown", "stalls", "hang", "link", "alloc"];
     let phases: [(u64, u64); 3] = [(0, 101), (300, 202), (1500, 303)];
     for kind in kinds {
@@ -71,7 +69,7 @@ fn single_fault_grid_converges_or_fails_typed() {
             let res = catch_unwind(AssertUnwindSafe(|| {
                 let mut mg = MultiGpu::with_defaults(NDEV);
                 mg.set_fault_plan(plan.clone());
-                ca_gmres_ft(mg, &a, &b, &cfg)
+                ca_gmres_ft(mg, &a, &b, cfg)
             }));
             let out = match res {
                 Ok(out) => out,
@@ -105,6 +103,22 @@ fn single_fault_grid_converges_or_fails_typed() {
             }
         }
     }
+}
+
+#[test]
+fn single_fault_grid_converges_or_fails_typed() {
+    run_single_fault_grid(&ft_cfg());
+}
+
+/// The same grid with the f32-basis mixed-precision configuration: fault
+/// handling and precision demotion must compose — no panic in any cell,
+/// convergence is still host-verified at the f64 tolerance, and any
+/// f32-conditioning breakdown the faults provoke surfaces typed.
+#[test]
+fn single_fault_grid_mixed_precision_converges_or_fails_typed() {
+    let mut cfg = ft_cfg();
+    cfg.solver.mpk_prec = ca_gmres_repro::scalar::Precision::F32;
+    run_single_fault_grid(&cfg);
 }
 
 /// A small composed-fault campaign end to end: every invariant green,

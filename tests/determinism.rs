@@ -246,6 +246,86 @@ fn instrumented_run_is_bit_identical_to_uninstrumented() {
     );
 }
 
+/// Property (scalar-generic refactor): the f64 instantiation of the
+/// generic kernel stack is bit-identical to the pre-refactor pure-f64
+/// code. The golden digests below were recorded on the commit *before*
+/// the `Scalar` trait was threaded through the kernels; any change to
+/// them means the refactor altered f64 arithmetic or the cost model,
+/// which the ISSUE forbids.
+#[test]
+fn f64_generic_stack_matches_pre_refactor_golden_digests() {
+    // byte-wise FNV-1a over the little-endian solution bits
+    fn fnv(words: &[u64]) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for w in words {
+            for b in w.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    }
+    let (xbits, t_bits, msgs, bytes, iters) = solve_with_plan(None);
+    let x_hash = fnv(&xbits);
+    assert_eq!(x_hash, 0xf9b6833b480543f7, "solution bits drifted from the pre-refactor stack");
+    assert_eq!(t_bits, 0x3f78c385be1dade6, "simulated clock drifted from the pre-refactor stack");
+    assert_eq!(msgs, 600, "message count drifted from the pre-refactor stack");
+    assert_eq!(bytes, 96360, "traffic bytes drifted from the pre-refactor stack");
+    assert_eq!(iters, 66, "iteration path drifted from the pre-refactor stack");
+}
+
+/// The mixed-precision driver (f32 basis + f64 refinement) with
+/// everything observable: solution bits, clock bits, counters including
+/// the f32-tagged byte lanes.
+#[allow(clippy::type_complexity)]
+fn solve_mixed_once() -> (Vec<u64>, u64, u64, u64, u64, usize, bool) {
+    use ca_gmres_repro::gmres::mpk::SpmvFormat;
+    use ca_gmres_repro::scalar::Precision;
+    let a = gen::convection_diffusion(14, 14, 1.5);
+    let (a_ord, p, layout) = prepare(&a, Ordering::Kway, 3);
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| ((i * 31 % 17) as f64) - 8.0).collect();
+    let mut mg = MultiGpu::with_defaults(3);
+    let cfg = CaGmresConfig {
+        s: 6,
+        m: 24,
+        rtol: 1e-9,
+        max_restarts: 300,
+        mpk_prec: Precision::F32,
+        ..Default::default()
+    };
+    let out =
+        ca_gmres_mixed(&mut mg, &a_ord, &perm::permute_vec(&b, &p), layout, &cfg, SpmvFormat::Ell)
+            .unwrap();
+    assert!(out.stats.converged);
+    let counters = mg.counters();
+    assert!(counters.total_bytes_f32() > 0, "mixed run must move f32-tagged halo bytes");
+    let x = perm::unpermute_vec(&out.x, &p);
+    (
+        x.iter().map(|v| v.to_bits()).collect(),
+        out.stats.t_total.to_bits(),
+        out.stats.comm_msgs,
+        out.stats.comm_bytes,
+        counters.total_bytes_f32(),
+        out.stats.total_iters,
+        out.escalated,
+    )
+}
+
+/// Property (mixed precision): the f32-basis solve is as deterministic as
+/// the f64 one — repeated runs are bitwise identical in solution, clocks,
+/// and every counter, including the precision-labelled byte lanes. The CI
+/// determinism matrix re-runs this whole suite under different
+/// `RAYON_NUM_THREADS`, so the same assertion also pins thread-count
+/// independence.
+#[test]
+fn mixed_precision_solve_is_bitwise_reproducible() {
+    let r1 = solve_mixed_once();
+    let r2 = solve_mixed_once();
+    assert!(!r1.6, "well-conditioned Newton basis must not escalate");
+    assert_eq!(r1, r2, "mixed-precision replay diverged");
+}
+
 /// Property (stream executor): replaying the queues with the same
 /// `FaultPlan` seed is bit-identical — same solution bits, same clock
 /// bits, same counters, and command-for-command identical per-device
