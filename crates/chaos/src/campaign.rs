@@ -83,6 +83,12 @@ pub struct CampaignReport {
     pub in_cycle_escalations: u64,
     pub block_resumes: u64,
     pub mid_cycle_rebalances: u64,
+    /// Numerical-health ladder activity totals, per rung.
+    pub ladder_escalations: u64,
+    pub ladder_reorths: u64,
+    pub ladder_throttles: u64,
+    pub ladder_basis_switches: u64,
+    pub ladder_promotions: u64,
     /// Detection-latency sample count / mean / max (seconds) across all
     /// runs that detected something.
     pub detections: u64,
@@ -157,6 +163,11 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         in_cycle_escalations: 0,
         block_resumes: 0,
         mid_cycle_rebalances: 0,
+        ladder_escalations: 0,
+        ladder_reorths: 0,
+        ladder_throttles: 0,
+        ladder_basis_switches: 0,
+        ladder_promotions: 0,
         detections: 0,
         detection_latency_mean_s: 0.0,
         detection_latency_max_s: 0.0,
@@ -205,6 +216,16 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         report.in_cycle_escalations += out.in_cycle_escalations as u64;
         report.block_resumes += out.block_resumes as u64;
         report.mid_cycle_rebalances += out.mid_cycle_rebalances as u64;
+        report.ladder_escalations += out.ladder_rungs.len() as u64;
+        for rung in &out.ladder_rungs {
+            match rung.as_str() {
+                "reorth" => report.ladder_reorths += 1,
+                "throttle" => report.ladder_throttles += 1,
+                "basis-switch" => report.ladder_basis_switches += 1,
+                "promote" => report.ladder_promotions += 1,
+                other => unreachable!("unknown ladder rung label {other}"),
+            }
+        }
         for &lat in &out.detection_latency_s {
             report.detections += 1;
             latency_sum += lat;
@@ -233,6 +254,22 @@ mod tests {
         let b = run_campaign(&cfg);
         assert_eq!(a.digest, b.digest, "campaign digest must be reproducible");
         assert_eq!(a.converged, b.converged);
+    }
+
+    #[test]
+    #[ignore = "CI campaign: 300 schedules including numerical faults"]
+    fn numerical_campaign_exercises_every_ladder_rung() {
+        let cfg =
+            CampaignConfig { seed: 2014, schedules: 300, obs_checked: 4, ..Default::default() };
+        let r = run_campaign(&cfg);
+        assert!(r.ok(), "violations: {:#?} nesting: {:?}", r.violations, r.span_nesting_error);
+        assert_eq!(r.panics, 0);
+        assert!(r.zero_rate_checked > 0, "no zero-rate schedule verified bit-identical");
+        assert!(r.ladder_escalations > 0, "ladder never escalated in 300 schedules");
+        assert!(r.ladder_reorths > 0, "reorth rung never fired");
+        assert!(r.ladder_throttles > 0, "throttle rung never fired");
+        assert!(r.ladder_basis_switches > 0, "basis-switch rung never fired");
+        assert!(r.ladder_promotions > 0, "promote rung never fired");
     }
 
     #[test]

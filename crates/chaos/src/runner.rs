@@ -8,7 +8,9 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use ca_gmres::prelude::{ca_gmres_ft, FtConfig, FtOutcome, HealthProbe};
+use ca_gmres::prelude::{
+    ca_gmres_ft, BasisChoice, BasisMonitor, FtConfig, FtOutcome, HealthProbe, Ladder, Precision,
+};
 use ca_gpusim::MultiGpu;
 use ca_sparse::gen::{convection_diffusion, laplace2d};
 use ca_sparse::Csr;
@@ -52,6 +54,10 @@ pub struct RunOutcome {
     pub in_cycle_escalations: usize,
     pub block_resumes: usize,
     pub mid_cycle_rebalances: usize,
+    /// Numerical-health ladder activity: rung labels of every escalation,
+    /// in firing order, plus the monitor's condition-check count.
+    pub ladder_rungs: Vec<String>,
+    pub cond_checks: u64,
     /// Detection latencies recorded by probe or boundary watchdog.
     pub detection_latency_s: Vec<f64>,
     /// FNV-1a fingerprint over the iterate bits, the total-time bits,
@@ -88,14 +94,38 @@ pub fn build_problem(sch: &ChaosSchedule) -> (Csr, Vec<f64>) {
 /// FT configuration for a schedule: watchdog always armed (hangs must be
 /// detected, not waited out), in-cycle probe per the schedule draw, with
 /// a straggler threshold so mid-cycle rebalancing gets exercised too.
+/// The numerical-health ladder is always armed, with a hair-trigger
+/// monitor: the campaign problems are tiny (≤ 196 rows, small `s`), so
+/// the production thresholds of [`BasisMonitor::default`] would never
+/// trip and the ladder's rungs would go untested. The throttle floor is
+/// pinned at the schedule's own `s` for the same reason — the throttle
+/// rung then only unwinds forced-s overrides, instead of soaking up
+/// every trigger on its way down to 2 and starving the costlier rungs
+/// (basis switch, promote) the campaign must also exercise. Both solves
+/// of a zero-rate replay share this config, so the bit-identity check
+/// still pins the armed machinery to determinism.
 #[must_use]
 pub fn ft_config(sch: &ChaosSchedule) -> FtConfig {
-    let mut cfg =
-        FtConfig { watchdog_timeout_s: Some(0.5), rebalance: true, ..FtConfig::default() };
+    let mut cfg = FtConfig {
+        watchdog_timeout_s: Some(0.5),
+        rebalance: true,
+        ladder: Some(Ladder {
+            monitor: BasisMonitor { cond_warn: 1e2, cond_fail: 1e6, growth_fail: 4.0 },
+            s_floor: sch.s,
+            ..Ladder::default()
+        }),
+        ..FtConfig::default()
+    };
     cfg.solver.s = sch.s;
     cfg.solver.m = sch.m;
     cfg.solver.rtol = RTOL;
     cfg.solver.max_restarts = 400;
+    if sch.monomial {
+        cfg.solver.basis = BasisChoice::Monomial;
+    }
+    if sch.f32_mpk {
+        cfg.solver.mpk_prec = Precision::F32;
+    }
     if sch.probe {
         cfg.probe =
             Some(HealthProbe { watchdog_timeout_s: Some(0.5), straggler_threshold: Some(2.0) });
@@ -142,9 +172,10 @@ fn solve(sch: &ChaosSchedule, a: &Csr, b: &[f64], with_plan: bool) -> Result<FtO
     match res {
         Ok(out) => Ok(out),
         Err(payload) => {
-            // a panic can strand the thread-local probe armed; reset so
-            // the next schedule on this worker starts clean
+            // a panic can strand the thread-local probe or basis monitor
+            // armed; reset so the next schedule on this worker starts clean
             HealthProbe::reset_thread();
+            BasisMonitor::reset_thread();
             let msg = payload
                 .downcast_ref::<&str>()
                 .map(|s| (*s).to_string())
@@ -178,6 +209,8 @@ pub fn run_schedule(sch: &ChaosSchedule) -> RunOutcome {
                 in_cycle_escalations: 0,
                 block_resumes: 0,
                 mid_cycle_rebalances: 0,
+                ladder_rungs: Vec::new(),
+                cond_checks: 0,
                 detection_latency_s: Vec::new(),
                 fingerprint: 0,
                 violations,
@@ -257,6 +290,8 @@ pub fn run_schedule(sch: &ChaosSchedule) -> RunOutcome {
         in_cycle_escalations: out.report.in_cycle_escalations,
         block_resumes: out.report.block_resumes,
         mid_cycle_rebalances: out.report.mid_cycle_rebalances,
+        ladder_rungs: out.report.escalations.iter().map(|e| e.rung.label().to_string()).collect(),
+        cond_checks: out.report.cond_checks,
         detection_latency_s: out.report.detection_latency_s.clone(),
         fingerprint: fp,
         violations,

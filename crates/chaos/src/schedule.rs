@@ -91,6 +91,21 @@ pub struct ChaosSchedule {
     pub link_degrade: Option<(usize, f64)>,
     /// Intermittent queue stalls: `(device, rate, stall_s)`.
     pub stalls: Option<(usize, f64, f64)>,
+    /// Numerical fault: seeded ill-conditioning basis perturbation,
+    /// `(per-block rate, blend magnitude)`.
+    pub basis_perturb: Option<(f64, f64)>,
+    /// Numerical fault: near-singular Gram nudge, `(per-factorization
+    /// rate, pull scale)` — scale 1.0 makes the Gram matrix exactly
+    /// singular.
+    pub gram_nudge: Option<(f64, f64)>,
+    /// Numerical fault: forced cap-violating step size override.
+    pub s_override: Option<usize>,
+    /// Run the fragile monomial basis instead of the default Newton one
+    /// (gives the ladder's basis-switch rung a real population).
+    pub monomial: bool,
+    /// Run the MPK operator in f32 (gives the promote rung a real
+    /// population).
+    pub f32_mpk: bool,
 }
 
 impl ChaosSchedule {
@@ -126,7 +141,7 @@ impl ChaosSchedule {
         // alloc faults are rare spice on top of a non-empty mask
         let alloc = mask != 0 && g.below(24) == 0;
 
-        ChaosSchedule {
+        let mut sch = ChaosSchedule {
             campaign_seed,
             index,
             plan_seed,
@@ -148,7 +163,37 @@ impl ChaosSchedule {
             stalls: stall.then(|| {
                 (g.below(ndev as u64) as usize, g.in_range(1e-4, 2e-3), g.in_range(0.05, 2.0))
             }),
+            basis_perturb: None,
+            gram_nudge: None,
+            s_override: None,
+            monomial: false,
+            f32_mpk: false,
+        };
+        // solver-surface draws: the monomial basis half the time, the f32
+        // MPK precision a quarter of the time — so the ladder's
+        // basis-switch and promote rungs see a real population
+        sch.monomial = g.below(2) == 0;
+        sch.f32_mpk = g.below(4) == 0;
+        // Numerical faults ride on ~1/4 of the non-zero-rate schedules.
+        // Drawn strictly after the hardware components (and gated on the
+        // same forced-zero mask), so the hardware draw stream of every
+        // pre-existing (seed, index) pair is unchanged and the zero-rate
+        // population stays exactly `mask == 0`.
+        if mask != 0 && g.below(4) == 0 {
+            let nmask = 1 + g.below(7); // at least one of the three kinds
+            if nmask & 0b1 != 0 {
+                sch.basis_perturb = Some((g.in_range(2e-2, 0.15), g.in_range(0.6, 1.0)));
+            }
+            if nmask & 0b10 != 0 {
+                sch.gram_nudge = Some((g.in_range(1e-2, 8e-2), g.in_range(0.8, 1.0)));
+            }
+            if nmask & 0b100 != 0 {
+                // deliberately above the §IV-A caps (and above every drawn
+                // s), so the ladder's throttle rung gets real work
+                sch.s_override = Some([9usize, 12, 16][g.below(3) as usize]);
+            }
         }
+        sch
     }
 
     /// Whether every fault component is off — such a schedule must be
@@ -162,6 +207,9 @@ impl ChaosSchedule {
             && self.slowdown.is_none()
             && self.link_degrade.is_none()
             && self.stalls.is_none()
+            && self.basis_perturb.is_none()
+            && self.gram_nudge.is_none()
+            && self.s_override.is_none()
     }
 
     /// Materialize the composed fault plan.
@@ -188,6 +236,15 @@ impl ChaosSchedule {
         }
         if let Some((d, r, s)) = self.stalls {
             p = p.with_stalls(d, r, s);
+        }
+        if let Some((r, mag)) = self.basis_perturb {
+            p = p.with_basis_perturb(r, mag);
+        }
+        if let Some((r, sc)) = self.gram_nudge {
+            p = p.with_gram_nudge(r, sc);
+        }
+        if let Some(s) = self.s_override {
+            p = p.with_s_override(s);
         }
         p
     }
@@ -227,11 +284,23 @@ impl ChaosSchedule {
         if let Some((d, r, s)) = self.stalls {
             parts.push(format!("stall(d{d},{r:.1e},{s:.2}s)"));
         }
+        if let Some((r, mag)) = self.basis_perturb {
+            parts.push(format!("perturb({r:.1e},w{mag:.2})"));
+        }
+        if let Some((r, sc)) = self.gram_nudge {
+            parts.push(format!("nudge({r:.1e},w{sc:.2})"));
+        }
+        if let Some(s) = self.s_override {
+            parts.push(format!("force-s={s}"));
+        }
         if parts.is_empty() {
             parts.push("zero-rate".into());
         }
         format!(
-            "#{idx} {fam:?} {nx}x{ny} ndev={ndev} s={s} m={m} {sched} probe={probe} [{faults}]",
+            "#{idx} {fam:?} {nx}x{ny} ndev={ndev} s={s} m={m} {basis}/{prec} {sched} \
+             probe={probe} [{faults}]",
+            basis = if self.monomial { "mono" } else { "newton" },
+            prec = if self.f32_mpk { "f32" } else { "f64" },
             idx = self.index,
             fam = self.family,
             nx = self.nx,
@@ -277,10 +346,32 @@ mod tests {
             if let Some((d, _, _)) = sch.slowdown {
                 assert!(d < sch.ndev);
             }
+            if let Some((r, mag)) = sch.basis_perturb {
+                assert!(r > 0.0 && mag > 0.0 && mag <= 1.0);
+            }
+            if let Some((r, sc)) = sch.gram_nudge {
+                assert!(r > 0.0 && sc > 0.0 && sc <= 1.0);
+            }
+            if let Some(s) = sch.s_override {
+                assert!(s > sch.s, "a forced s must actually violate the planned one");
+            }
             if sch.is_zero_rate() {
                 assert_eq!(p.sdc_rate, 0.0);
                 assert!(p.device_loss.is_none() && p.stalls.is_none());
+                assert!(p.forced_s().is_none());
             }
         }
+    }
+
+    #[test]
+    fn numerical_faults_appear_in_the_campaign_population() {
+        let schedules: Vec<_> = (0..800).map(|i| ChaosSchedule::generate(1, i)).collect();
+        let perturb = schedules.iter().filter(|s| s.basis_perturb.is_some()).count();
+        let nudge = schedules.iter().filter(|s| s.gram_nudge.is_some()).count();
+        let forced = schedules.iter().filter(|s| s.s_override.is_some()).count();
+        // each kind rides on ~1/4 * 4/7 of non-zero-rate schedules (~13%)
+        assert!(perturb >= 30, "only {perturb} basis-perturb schedules in 800");
+        assert!(nudge >= 30, "only {nudge} gram-nudge schedules in 800");
+        assert!(forced >= 30, "only {forced} s-override schedules in 800");
     }
 }

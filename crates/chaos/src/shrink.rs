@@ -25,6 +25,21 @@ fn still_failing(sch: &ChaosSchedule, runs: &mut usize) -> bool {
 /// component most likely to matter).
 fn component_drops(sch: &ChaosSchedule) -> Vec<ChaosSchedule> {
     let mut out = Vec::new();
+    if sch.s_override.is_some() {
+        let mut c = sch.clone();
+        c.s_override = None;
+        out.push(c);
+    }
+    if sch.gram_nudge.is_some() {
+        let mut c = sch.clone();
+        c.gram_nudge = None;
+        out.push(c);
+    }
+    if sch.basis_perturb.is_some() {
+        let mut c = sch.clone();
+        c.basis_perturb = None;
+        out.push(c);
+    }
     if sch.alloc_fault.is_some() {
         let mut c = sch.clone();
         c.alloc_fault = None;
@@ -101,6 +116,20 @@ fn rate_halvings(sch: &ChaosSchedule) -> Vec<ChaosSchedule> {
             out.push(c);
         }
     }
+    if let Some((r, mag)) = sch.basis_perturb {
+        if r > 1e-6 {
+            let mut c = sch.clone();
+            c.basis_perturb = Some((r / 2.0, mag));
+            out.push(c);
+        }
+    }
+    if let Some((r, sc)) = sch.gram_nudge {
+        if r > 1e-6 {
+            let mut c = sch.clone();
+            c.gram_nudge = Some((r / 2.0, sc));
+            out.push(c);
+        }
+    }
     out
 }
 
@@ -163,30 +192,25 @@ mod tests {
         let drops = component_drops(&sch);
         assert!(drops.len() >= 3);
         for d in &drops {
-            let before = [
-                sch.sdc_rate > 0.0,
-                sch.transfer_rate > 0.0,
-                sch.device_loss.is_some(),
-                sch.alloc_fault.is_some(),
-                sch.slowdown.is_some(),
-                sch.link_degrade.is_some(),
-                sch.stalls.is_some(),
-            ]
-            .iter()
-            .filter(|&&x| x)
-            .count();
-            let after = [
-                d.sdc_rate > 0.0,
-                d.transfer_rate > 0.0,
-                d.device_loss.is_some(),
-                d.alloc_fault.is_some(),
-                d.slowdown.is_some(),
-                d.link_degrade.is_some(),
-                d.stalls.is_some(),
-            ]
-            .iter()
-            .filter(|&&x| x)
-            .count();
+            let count = |s: &ChaosSchedule| {
+                [
+                    s.sdc_rate > 0.0,
+                    s.transfer_rate > 0.0,
+                    s.device_loss.is_some(),
+                    s.alloc_fault.is_some(),
+                    s.slowdown.is_some(),
+                    s.link_degrade.is_some(),
+                    s.stalls.is_some(),
+                    s.basis_perturb.is_some(),
+                    s.gram_nudge.is_some(),
+                    s.s_override.is_some(),
+                ]
+                .iter()
+                .filter(|&&x| x)
+                .count()
+            };
+            let before = count(&sch);
+            let after = count(d);
             assert_eq!(after + 1, before, "each drop removes exactly one component");
         }
         for h in rate_halvings(&sch) {

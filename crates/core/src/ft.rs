@@ -56,6 +56,7 @@
 //! non-adaptive CA-GMRES.
 
 use crate::cagmres::{generate_block_spmv, orth_block, BasisChoice, CaGmresConfig, KernelMode};
+use crate::health::{BasisMonitor, EscalationEvent, EscalationRung, Ladder};
 use crate::hess::BlockArnoldi;
 use crate::layout::Layout;
 use crate::mpk::mpk;
@@ -117,6 +118,16 @@ pub struct FtConfig {
     /// failed block instead of redoing the cycle. `None` (the default)
     /// reproduces the restart-boundary-only driver bit for bit.
     pub probe: Option<HealthProbe>,
+    /// Numerical-health escalation ladder: when set, a [`BasisMonitor`]
+    /// watches the basis condition (R-diagonal ratio of every TSQR,
+    /// monomial growth of every generated block) and a trigger walks the
+    /// configured escalation rungs — reorthogonalize, throttle `s`
+    /// in-cycle, switch to the Newton basis, promote the basis precision
+    /// to f64 — instead of letting the solve run into a hard breakdown.
+    /// `None` (the default) reproduces the unmonitored driver bit for
+    /// bit; armed on a well-conditioned run the monitor never fires and
+    /// the solve is likewise bit-identical.
+    pub ladder: Option<Ladder>,
 }
 
 impl Default for FtConfig {
@@ -132,6 +143,7 @@ impl Default for FtConfig {
             rebalance_threshold: 1.5,
             watchdog_timeout_s: None,
             probe: None,
+            ladder: None,
         }
     }
 }
@@ -190,6 +202,16 @@ pub struct FtReport {
     /// Simulated seconds of verified work discarded by rollbacks (cycle
     /// redo on the legacy path, block rollback on the probe path).
     pub work_lost_s: f64,
+    /// Escalation-ladder actions taken by the numerical-health subsystem,
+    /// in order (rung, restart cycle, trigger condition estimate).
+    pub escalations: Vec<EscalationEvent>,
+    /// Condition estimates the [`BasisMonitor`] found worth recording
+    /// (everything at or above its warn threshold), in observation order —
+    /// the trajectory a [`RestartTuner`] uses to tighten its caps.
+    pub cond_trajectory: Vec<f64>,
+    /// Condition/growth observations the monitor made (armed only; most
+    /// are healthy and leave no trajectory entry).
+    pub cond_checks: u64,
 }
 
 /// A re-planning decision returned by a [`RestartTuner`]: the step size
@@ -252,6 +274,14 @@ pub trait RestartTuner {
     ) -> Option<Layout> {
         None
     }
+
+    /// Numerical-health feedback: called at the restart boundary with the
+    /// escalations the ladder performed since the last call, before
+    /// `replan`. An implementation that owns step-size caps should
+    /// tighten them here (the events carry the `s` that broke and the
+    /// trigger condition estimate) so its next re-plan does not walk back
+    /// into the same breakdown. The default ignores the events.
+    fn observe_escalations(&mut self, _events: &[EscalationEvent]) {}
 }
 
 /// Outcome of a fault-tolerant solve.
@@ -634,6 +664,7 @@ pub fn ca_gmres_ft_with_tuner(
     // install (or clear) the in-cycle health probe for this solve; always
     // called so a probe leaked by an aborted solve cannot carry over
     HealthProbe::arm(cfg.probe.as_ref(), t_begin);
+    BasisMonitor::arm(cfg.ladder.as_ref().map(|l| &l.monitor));
     let fatal =
         ca_gmres_ft_impl(&mut mg, a, b, cfg, tuner, &mut stats, &mut report, &mut x_ckpt).err();
     if let Some(ps) = HealthProbe::disarm() {
@@ -641,12 +672,17 @@ pub fn ca_gmres_ft_with_tuner(
         report.in_cycle_escalations = ps.escalations;
         report.detection_latency_s.extend(ps.latencies);
     }
+    if let Some(ms) = BasisMonitor::disarm() {
+        report.cond_trajectory = ms.trajectory;
+        report.cond_checks = ms.records;
+    }
     if let Some(e) = fatal {
         stats.breakdown = Some(BreakdownKind::from(e));
         stats.converged = false;
     }
     mg.sync();
     stats.t_total = mg.time() - t_begin;
+    stats.t_reclaimed = mg.time_reclaimed();
     let c = mg.counters();
     stats.comm_msgs = c.total_msgs();
     stats.comm_bytes = c.total_bytes();
@@ -686,6 +722,20 @@ fn ca_gmres_ft_impl(
     let mut s_opt = (s_cur > 1 && !matches!(scfg.kernel, KernelMode::Spmv)).then_some(s_cur);
     let mut orth = scfg.orth;
     orth.abft = cfg.abft_orth;
+    // injected mis-tune: a fault plan may force a (possibly cap-violating)
+    // step size onto the solve — the numerical-health ladder is what is
+    // supposed to rescue it
+    if let Some(fs) = mg.fault_plan().and_then(|p| p.forced_s()) {
+        s_cur = fs.clamp(1, scfg.m);
+        s_opt = (s_cur > 1 && !matches!(scfg.kernel, KernelMode::Spmv)).then_some(s_cur);
+        report.s_final = s_cur;
+    }
+    // basis precision currently in effect; the Promote rung raises it
+    let mut prec_cur = scfg.mpk_prec;
+    // basis family currently in effect; the BasisSwitch rung moves a
+    // monomial solve onto the harvested Newton shifts (and later re-plans
+    // re-derive the spec from this, not the original config)
+    let mut basis_cur = scfg.basis;
 
     let mut sys = System::new_with_format_prec(
         mg,
@@ -694,7 +744,7 @@ fn ca_gmres_ft_impl(
         scfg.m,
         s_opt,
         crate::mpk::SpmvFormat::Ell,
-        scfg.mpk_prec,
+        prec_cur,
     )?;
     sys.load_rhs(mg, b)?;
     let mut abft = if cfg.abft_spmv { Some(AbftState::build(mg, a, &sys.layout)?) } else { None };
@@ -706,6 +756,12 @@ fn ca_gmres_ft_impl(
     let mut spec_full = BasisSpec::monomial(s_cur);
     let mut harvested = false;
     let mut redo_budget = cfg.recompute.retries();
+    // escalation-ladder state: a shared action budget (so a pathological
+    // matrix cannot ping-pong forever) and a high-water mark for feeding
+    // new events to the tuner exactly once
+    let mut ladder_budget = cfg.ladder.as_ref().map_or(0, |l| l.max_escalations);
+    let mut blocks_generated: u64 = 0;
+    let mut escalations_seen = 0usize;
     // hand-back state for re-entering an interrupted cycle at its last
     // verified block (None: start the next cycle fresh)
     let mut resume: Option<ResumeState> = None;
@@ -716,6 +772,9 @@ fn ca_gmres_ft_impl(
             // fresh cycle: let the probe raise a new straggler signal
             HealthProbe::unlatch_straggler();
         }
+        let can_switch_basis =
+            harvested && shifts.is_some() && matches!(basis_cur, BasisChoice::Monomial);
+        let can_promote = prec_cur == ca_scalar::Precision::F32;
         let cycle = run_protected_cycle(
             mg,
             &sys,
@@ -728,6 +787,10 @@ fn ca_gmres_ft_impl(
             target,
             harvested,
             resume.take(),
+            can_switch_basis,
+            can_promote,
+            &mut ladder_budget,
+            &mut blocks_generated,
             stats,
             report,
         );
@@ -741,7 +804,7 @@ fn ca_gmres_ft_impl(
                         }
                         mg.host_compute(30.0 * (scfg.m * scfg.m * scfg.m) as f64, 0.0);
                     }
-                    spec_full = spec_from_shifts(&shifts, scfg.basis, s_cur);
+                    spec_full = spec_from_shifts(&shifts, basis_cur, s_cur);
                     harvested = true;
                 }
                 let beta_explicit = sys.residual_norm(mg)?;
@@ -811,8 +874,16 @@ fn ca_gmres_ft_impl(
                     );
                     obs::counter_add("ft.device_losses", 1);
                 }
-                (sys, abft) =
-                    rebuild_system(mg, a, b, Layout::even(n, nsurv), cfg, s_opt, &[device])?;
+                (sys, abft) = rebuild_system(
+                    mg,
+                    a,
+                    b,
+                    Layout::even(n, nsurv),
+                    cfg,
+                    s_opt,
+                    &[device],
+                    prec_cur,
+                )?;
                 sys.upload_x(mg, x_ckpt)?;
                 HealthProbe::unlatch_straggler(); // rebuild reset the EWMAs
                 resume = Some(ResumeState { ck, reupload: true });
@@ -870,7 +941,7 @@ fn ca_gmres_ft_impl(
                         obs::counter_add("ft.rebalances", 1);
                         obs::counter_add("ft.rebalance.rows_moved", rows_moved as u64);
                     }
-                    (sys, abft) = rebuild_system(mg, a, b, new_layout, cfg, s_opt, &[])?;
+                    (sys, abft) = rebuild_system(mg, a, b, new_layout, cfg, s_opt, &[], prec_cur)?;
                     mg.to_devices(&bytes)?; // charge the row migration
                     sys.upload_x(mg, x_ckpt)?;
                     HealthProbe::unlatch_straggler(); // rebuild reset the EWMAs
@@ -880,6 +951,63 @@ fn ca_gmres_ft_impl(
                     // Resume in place; the latch keeps the probe from
                     // re-signalling the same imbalance this cycle.
                     resume = Some(ResumeState { ck, reupload: false });
+                }
+                continue;
+            }
+            Ok(CycleOutcome::Escalate { rung, ck }) => {
+                // --- numerical-health escalation: the cycle handed back
+                // because the cheap in-cycle rungs (reorth, throttle) are
+                // exhausted or unavailable and a structural change is
+                // needed. The triggering event is already in
+                // `report.escalations`; here we apply the action and
+                // charge it honestly ---
+                match rung {
+                    EscalationRung::BasisSwitch => {
+                        // monomial -> Newton on the harvested Ritz
+                        // shifts; verified basis columns stay valid, so a
+                        // checkpointed cycle resumes in place
+                        basis_cur = BasisChoice::Newton;
+                        spec_full = spec_from_shifts(&shifts, basis_cur, s_cur);
+                        if obs::enabled() {
+                            obs::close_open(mg.time());
+                            obs::instant_cause(
+                                "ft.escalate",
+                                HOST,
+                                mg.time(),
+                                "monomial basis switched to Newton (harvested Ritz \
+                                 shifts) after condition trigger",
+                            );
+                        }
+                        resume = ck.map(|ck| ResumeState { ck, reupload: false });
+                    }
+                    EscalationRung::Promote => {
+                        // f32 -> f64 basis rebuild; the checkpointed
+                        // columns are f64 on the host, so the resumed
+                        // cycle keeps its verified blocks
+                        prec_cur = ca_scalar::Precision::F64;
+                        if obs::enabled() {
+                            obs::close_open(mg.time());
+                            obs::instant_cause(
+                                "ft.escalate",
+                                HOST,
+                                mg.time(),
+                                "basis precision promoted f32 -> f64 after condition trigger",
+                            );
+                        }
+                        let layout = sys.layout.clone();
+                        (sys, abft) = rebuild_system(mg, a, b, layout, cfg, s_opt, &[], prec_cur)?;
+                        sys.upload_x(mg, x_ckpt)?;
+                        HealthProbe::unlatch_straggler(); // rebuild reset the EWMAs
+                        if ck.is_none() {
+                            // no checkpoint: the cycle restarts fresh,
+                            // from a recomputed (charged) residual
+                            beta = sys.residual_norm(mg)?;
+                        }
+                        resume = ck.map(|ck| ResumeState { ck, reupload: true });
+                    }
+                    EscalationRung::Reorth | EscalationRung::Throttle => {
+                        unreachable!("in-cycle rungs never hand back to the driver")
+                    }
                 }
                 continue;
             }
@@ -902,8 +1030,16 @@ fn ca_gmres_ft_impl(
                     );
                     obs::counter_add("ft.device_losses", 1);
                 }
-                (sys, abft) =
-                    rebuild_system(mg, a, b, Layout::even(n, nsurv), cfg, s_opt, &[device])?;
+                (sys, abft) = rebuild_system(
+                    mg,
+                    a,
+                    b,
+                    Layout::even(n, nsurv),
+                    cfg,
+                    s_opt,
+                    &[device],
+                    prec_cur,
+                )?;
                 sys.upload_x(mg, x_ckpt)?;
                 // same global problem, same target: recompute where we are
                 beta0 = beta0.max(f64::MIN_POSITIVE);
@@ -957,7 +1093,8 @@ fn ca_gmres_ft_impl(
                     );
                     obs::counter_add("ft.device_losses", hung.len() as u64);
                 }
-                (sys, abft) = rebuild_system(mg, a, b, Layout::even(n, alive), cfg, s_opt, &hung)?;
+                (sys, abft) =
+                    rebuild_system(mg, a, b, Layout::even(n, alive), cfg, s_opt, &hung, prec_cur)?;
                 sys.upload_x(mg, x_ckpt)?;
                 beta0 = beta0.max(f64::MIN_POSITIVE);
                 beta = sys.residual_norm(mg)?;
@@ -966,6 +1103,12 @@ fn ca_gmres_ft_impl(
         }
         if scfg.autotune {
             if let Some(t) = tuner.as_deref_mut() {
+                // feed the tuner any new escalations first: the re-plan
+                // below should already reflect the tightened caps
+                if report.escalations.len() > escalations_seen {
+                    t.observe_escalations(&report.escalations[escalations_seen..]);
+                    escalations_seen = report.escalations.len();
+                }
                 let health = mg.health_report();
                 if let Some(d) = t.replan(&health, s_cur, &sys.layout) {
                     assert!(
@@ -1013,12 +1156,13 @@ fn ca_gmres_ft_impl(
                         report.s_final = s_cur;
                         s_opt = (s_cur > 1 && !matches!(scfg.kernel, KernelMode::Spmv))
                             .then_some(s_cur);
-                        (sys, abft) = rebuild_system(mg, a, b, d.layout, cfg, s_opt, &[])?;
+                        (sys, abft) =
+                            rebuild_system(mg, a, b, d.layout, cfg, s_opt, &[], prec_cur)?;
                         if layout_changed {
                             mg.to_devices(&bytes)?; // charge the row migration
                         }
                         sys.upload_x(mg, x_ckpt)?;
-                        spec_full = spec_from_shifts(&shifts, scfg.basis, s_cur);
+                        spec_full = spec_from_shifts(&shifts, basis_cur, s_cur);
                         beta = sys.residual_norm(mg)?;
                         continue; // re-enter with the new plan; skip rebalance
                     }
@@ -1081,7 +1225,7 @@ fn ca_gmres_ft_impl(
                         obs::counter_add("ft.rebalances", 1);
                         obs::counter_add("ft.rebalance.rows_moved", rows_moved as u64);
                     }
-                    (sys, abft) = rebuild_system(mg, a, b, new_layout, cfg, s_opt, &[])?;
+                    (sys, abft) = rebuild_system(mg, a, b, new_layout, cfg, s_opt, &[], prec_cur)?;
                     mg.to_devices(&bytes)?; // charge the row migration
                     sys.upload_x(mg, x_ckpt)?;
                     beta = sys.residual_norm(mg)?;
@@ -1104,6 +1248,7 @@ fn ca_gmres_ft_impl(
 /// plan is reinstalled verbatim). A fresh executor also resets the op
 /// counters and health EWMAs, so post-rebuild health reflects the new
 /// partition rather than stale history.
+#[allow(clippy::too_many_arguments)]
 fn rebuild_system(
     mg: &mut MultiGpu,
     a: &Csr,
@@ -1112,15 +1257,18 @@ fn rebuild_system(
     cfg: &FtConfig,
     s_opt: Option<usize>,
     lost: &[usize],
+    prec: ca_scalar::Precision,
 ) -> GpuResult<(System, Option<AbftState>)> {
     let t_now = mg.time();
     let plan = mg.fault_plan().cloned();
     let schedule = mg.schedule();
     let prior = mg.counters();
+    let prior_reclaimed = mg.time_reclaimed();
     *mg = MultiGpu::new(layout.ndev(), mg.model().clone(), mg.config);
     mg.set_schedule(schedule); // rebuilt executor keeps the policy
     mg.fast_forward(t_now);
     mg.absorb_counters(prior);
+    mg.absorb_time_reclaimed(prior_reclaimed);
     if let Some(p) = plan {
         mg.set_fault_plan(if lost.is_empty() {
             p
@@ -1141,7 +1289,7 @@ fn rebuild_system(
         cfg.solver.m,
         s_opt,
         crate::mpk::SpmvFormat::Ell,
-        cfg.solver.mpk_prec,
+        prec,
     )?;
     sys.load_rhs(mg, b)?;
     let abft = if cfg.abft_spmv { Some(AbftState::build(mg, a, &sys.layout)?) } else { None };
@@ -1184,7 +1332,19 @@ enum MidCycleAction {
 /// interrupted at a block boundary with a checkpoint to resume from.
 enum CycleOutcome {
     Done(CycleResult),
-    Interrupted { action: MidCycleAction, ck: CycleCkpt },
+    Interrupted {
+        action: MidCycleAction,
+        ck: CycleCkpt,
+    },
+    /// The numerical-health ladder needs a structural action only the
+    /// driver can take (basis switch or precision promotion). The
+    /// triggering [`EscalationEvent`] is already recorded; `ck` (when a
+    /// checkpoint exists) lets the driver resume the cycle at its last
+    /// verified block after applying the action.
+    Escalate {
+        rung: EscalationRung,
+        ck: Option<CycleCkpt>,
+    },
 }
 
 /// Hand-back state for resuming an interrupted cycle. `reupload` is false
@@ -1256,6 +1416,37 @@ fn restore_ckpt(mg: &mut MultiGpu, sys: &System, ck: &CycleCkpt) -> GpuResult<()
     Ok(())
 }
 
+/// Record one escalation-ladder action: the report entry the tuner and
+/// the chaos harness consume, plus the `ft.detect` cause instant and
+/// metered counters (the *detection* is what fires here; the action
+/// itself — reorth pass, block regeneration, rebuild — is charged by the
+/// code that performs it).
+fn record_escalation(
+    report: &mut FtReport,
+    mg: &MultiGpu,
+    rung: EscalationRung,
+    cycle: usize,
+    column: usize,
+    s: usize,
+    cond_est: f64,
+) {
+    report.escalations.push(EscalationEvent { rung, cycle, column, s, cond_est });
+    if obs::enabled() {
+        obs::instant_cause(
+            "ft.detect",
+            HOST,
+            mg.time(),
+            &format!(
+                "numerical-health trigger (cond est {cond_est:.3e}) at column {column} \
+                 (s = {s}); escalating: {}",
+                rung.label()
+            ),
+        );
+        obs::counter_add("health.escalations", 1);
+        obs::counter_add(&format!("health.escalations.{}", rung.label()), 1);
+    }
+}
+
 /// What one protected restart cycle reports back.
 struct CycleResult {
     /// Implicit (least-squares) residual norm at the end of the cycle.
@@ -1288,6 +1479,10 @@ fn run_protected_cycle(
     target: f64,
     harvested: bool,
     resume: Option<ResumeState>,
+    can_switch_basis: bool,
+    can_promote: bool,
+    ladder_budget: &mut usize,
+    blocks_generated: &mut u64,
     stats: &mut SolveStats,
     report: &mut FtReport,
 ) -> GpuResult<CycleOutcome> {
@@ -1365,8 +1560,15 @@ fn run_protected_cycle(
         };
     }
 
+    // in-cycle ladder state: `s_cycle` may be throttled below `s_cur` for
+    // the remainder of this cycle, and one proactive CGS2-style
+    // reorthogonalization is allowed per cycle before the ladder moves on
+    // to the costlier rungs
+    let mut s_cycle = s_cur;
+    let mut reorth_used = false;
+
     'blocks: while ncols - 1 < scfg.m {
-        let s_blk = s_cur.min(scfg.m + 1 - ncols);
+        let s_blk = s_cycle.min(scfg.m + 1 - ncols);
         let spec_blk = spec_full.truncate(s_blk);
         let bmat = spec_blk.change_matrix();
         let start = ncols - 1;
@@ -1412,8 +1614,123 @@ fn run_protected_cycle(
                     // budget exhausted: accept; residual check backstops
                 }
             }
+            // --- numerical fault injection (after ABFT: this is *not*
+            // SDC — the model is a recurrence that went numerically bad,
+            // which no checksum identity can flag) ---
+            *blocks_generated += 1;
+            if let Some(w) =
+                mg.fault_plan().and_then(|p| p.basis_perturb_event(0, *blocks_generated))
+            {
+                // blend the newest basis column toward its predecessor
+                // (w = 1 makes them identical => rank-deficient panel);
+                // host-side mutation of device state, uncharged like SDC
+                let dst = start + s_blk;
+                for d in 0..sys.layout.ndev() {
+                    let mat = mg.device(d).mat(sys.v[d]);
+                    let blended: Vec<f64> = mat
+                        .col(dst)
+                        .iter()
+                        .zip(mat.col(dst - 1))
+                        .map(|(c, p)| (1.0 - w) * c + w * p)
+                        .collect();
+                    mg.device_mut(d).mat_mut(sys.v[d]).set_col(dst, &blended);
+                }
+            }
+            if BasisMonitor::armed() {
+                // monomial-growth probe: column norms of the block just
+                // generated, read from device state like the (equally
+                // uncharged, equally armed-only) checkpoint drain
+                let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+                for c in start..=start + s_blk {
+                    let mut ss = 0.0f64;
+                    for d in 0..sys.layout.ndev() {
+                        ss += mg.device(d).mat(sys.v[d]).col(c).iter().map(|x| x * x).sum::<f64>();
+                    }
+                    let norm = ss.sqrt();
+                    lo = lo.min(norm);
+                    hi = hi.max(norm);
+                }
+                BasisMonitor::record_growth(hi / lo.max(f64::MIN_POSITIVE));
+            }
+            // --- proactive escalation: consult the monitor (growth probe
+            // above, R-diagonal estimate of the previous block's TSQR)
+            // before spending this block's orthogonalization ---
+            let mut use_reorth = false;
+            if let Some(l) = &cfg.ladder {
+                if let Some(cond_est) = BasisMonitor::take_trigger() {
+                    if *ladder_budget > 0 && l.reorth && !reorth_used {
+                        // rung 1: CGS2-style second pass on this block
+                        *ladder_budget -= 1;
+                        reorth_used = true;
+                        use_reorth = true;
+                        record_escalation(
+                            report,
+                            mg,
+                            EscalationRung::Reorth,
+                            stats.restarts,
+                            start,
+                            s_blk,
+                            cond_est,
+                        );
+                    } else if *ladder_budget > 0 && l.throttle && s_cycle > l.s_floor {
+                        // rung 2: finish the cycle with shorter basis
+                        // blocks; the generated panel is discarded and
+                        // regenerated at the smaller s (charged in full),
+                        // verified columns stay where they are
+                        *ladder_budget -= 1;
+                        record_escalation(
+                            report,
+                            mg,
+                            EscalationRung::Throttle,
+                            stats.restarts,
+                            start,
+                            s_blk,
+                            cond_est,
+                        );
+                        s_cycle = (s_cycle / 2).max(l.s_floor);
+                        continue 'blocks;
+                    } else if *ladder_budget > 0 && l.basis_switch && can_switch_basis {
+                        // rung 3: hand back for a monomial -> Newton switch
+                        *ladder_budget -= 1;
+                        record_escalation(
+                            report,
+                            mg,
+                            EscalationRung::BasisSwitch,
+                            stats.restarts,
+                            start,
+                            s_blk,
+                            cond_est,
+                        );
+                        return Ok(CycleOutcome::Escalate {
+                            rung: EscalationRung::BasisSwitch,
+                            ck: ckpt.take(),
+                        });
+                    } else if *ladder_budget > 0 && l.promote && can_promote {
+                        // rung 4: hand back for an f32 -> f64 rebuild
+                        *ladder_budget -= 1;
+                        record_escalation(
+                            report,
+                            mg,
+                            EscalationRung::Promote,
+                            stats.restarts,
+                            start,
+                            s_blk,
+                            cond_est,
+                        );
+                        return Ok(CycleOutcome::Escalate {
+                            rung: EscalationRung::Promote,
+                            ck: ckpt.take(),
+                        });
+                    }
+                    // every rung exhausted or disabled: the trigger is
+                    // consumed and the solve continues unguarded (a hard
+                    // breakdown will still be typed honestly below)
+                }
+            }
             let (c0, c1) = if first_block { (0, s_blk + 1) } else { (ncols, ncols + s_blk) };
-            match orth_block(mg, sys, &sys.v, c0, c1, orth, None, stats, None) {
+            let ocfg =
+                if use_reorth { crate::orth::OrthConfig { reorth: true, ..*orth } } else { *orth };
+            match orth_block(mg, sys, &sys.v, c0, c1, &ocfg, None, stats, None) {
                 Ok(cr) => break cr,
                 Err(OrthError::Gpu(GpuSimError::DeviceLost { device })) if ckpt.is_some() => {
                     return Ok(CycleOutcome::Interrupted {
@@ -1448,12 +1765,91 @@ fn run_protected_cycle(
                     }
                 }
                 Err(e) => {
-                    // numerical breakdown (or persistent checksum failure)
+                    // the failed pass returned through `?`, leaving its
+                    // borth/tsqr spans open: seal them first so every arm
+                    // below lands its instants on a clean track
+                    obs::close_open(mg.time());
+                    // a checksum escape (retry budget exhausted above) or
+                    // a device error is not the ladder's business; every
+                    // other variant is a numerical breakdown the ladder
+                    // may still recover. Hard failures enter at Throttle:
+                    // in a deterministic simulation, re-running the same
+                    // factorization with a second CGS2 pass fails
+                    // identically, so the reorth rung is reserved for
+                    // drift flagged *before* breakdown.
+                    let numerical =
+                        !matches!(e, OrthError::ChecksumMismatch { .. } | OrthError::Gpu(_));
+                    if numerical && *ladder_budget > 0 {
+                        if let Some(l) = &cfg.ladder {
+                            let cond_est = BasisMonitor::take_trigger().unwrap_or(f64::INFINITY);
+                            if l.throttle && s_cycle > l.s_floor {
+                                *ladder_budget -= 1;
+                                record_escalation(
+                                    report,
+                                    mg,
+                                    EscalationRung::Throttle,
+                                    stats.restarts,
+                                    c0,
+                                    s_blk,
+                                    cond_est,
+                                );
+                                s_cycle = (s_cycle / 2).max(l.s_floor);
+                                if first_block {
+                                    // the failed factorization may have
+                                    // scaled column 0 in place: restore it
+                                    intercept!(sys.seed_basis(mg, beta_cycle));
+                                }
+                                continue 'blocks;
+                            }
+                            if l.basis_switch && can_switch_basis {
+                                *ladder_budget -= 1;
+                                record_escalation(
+                                    report,
+                                    mg,
+                                    EscalationRung::BasisSwitch,
+                                    stats.restarts,
+                                    c0,
+                                    s_blk,
+                                    cond_est,
+                                );
+                                return Ok(CycleOutcome::Escalate {
+                                    rung: EscalationRung::BasisSwitch,
+                                    ck: ckpt.take(),
+                                });
+                            }
+                            if l.promote && can_promote {
+                                *ladder_budget -= 1;
+                                record_escalation(
+                                    report,
+                                    mg,
+                                    EscalationRung::Promote,
+                                    stats.restarts,
+                                    c0,
+                                    s_blk,
+                                    cond_est,
+                                );
+                                return Ok(CycleOutcome::Escalate {
+                                    rung: EscalationRung::Promote,
+                                    ck: ckpt.take(),
+                                });
+                            }
+                        }
+                    }
+                    // numerical breakdown (or persistent checksum
+                    // failure): type it, and emit the detection instant
+                    // every other abort arm already emits
                     stats.breakdown = Some(BreakdownKind::Orthogonalization {
                         column: c0,
                         reason: e.to_string(),
                     });
-                    obs::close_open(mg.time());
+                    if obs::enabled() {
+                        obs::instant_cause(
+                            "ft.detect",
+                            HOST,
+                            mg.time(),
+                            &format!("orthogonalization breakdown at column {c0}: {e}"),
+                        );
+                    }
                     break 'blocks;
                 }
             }
@@ -1477,7 +1873,7 @@ fn run_protected_cycle(
         }
         ncols += s_blk;
         first_block = false;
-        if cfg.probe.is_some() && stats.breakdown.is_none() {
+        if (cfg.probe.is_some() || cfg.ladder.is_some()) && stats.breakdown.is_none() {
             // this block is verified: refresh the partial-cycle checkpoint
             update_ckpt(&mut ckpt, mg, sys, ncols, &arn, k_used, beta_cycle);
             if !hit_target && ncols - 1 < scfg.m {

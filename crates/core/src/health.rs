@@ -1,0 +1,399 @@
+//! Numerical-health subsystem: basis-condition monitoring and the
+//! escalation ladder.
+//!
+//! This is the *numerical* mirror of the hardware [`crate::ft::HealthProbe`]
+//! stack. Where the hardware probe watches clocks (hangs, stragglers), the
+//! [`BasisMonitor`] watches conditioning: every TSQR factorization already
+//! reduces a factor to the host — CholQR's Cholesky factor, SVQR's singular
+//! values, CAQR's stacked-R, the Gram-Schmidt diagonal — and the squared
+//! ratio of its extreme diagonal entries is a free condition estimate for
+//! the Gram matrix of the block (`κ(B) ≈ κ(V)²`, the quantity the paper's
+//! §IV-A stability caps bound *statically*). A second probe watches the raw
+//! monomial-basis growth on freshly generated MPK blocks (max/min column
+//! norm), catching ill-conditioning *before* the factorization sees it.
+//!
+//! **Cost model.** The estimates are O(s) host scans of factors the
+//! algorithm already reduced to the host for its own use, so recording them
+//! advances no simulated clock and moves no bytes; the growth probe's
+//! column-norm read follows the [`crate::ft`] checkpoint precedent (drained
+//! over the copy engines, overlapped with the next block's compute, and
+//! armed-only). The monitor is therefore **bit-invisible**: disarmed it is
+//! one thread-local read, and armed on a well-conditioned run it replays
+//! the unmonitored solve bit for bit (numerics, clock, counters). What *is*
+//! charged — fully and honestly — is every escalation **action** the
+//! monitor triggers: an extra reorthogonalization pass, a regenerated
+//! shorter block, a basis-spec switch's regeneration, an f64 rebuild.
+//!
+//! **The ladder.** Triggers feed a configurable [`Ladder`] in the FT driver,
+//! climbed in order of increasing cost:
+//!
+//! 1. **Reorth** — CGS2-style second BOrth+TSQR pass on the offending (and
+//!    subsequent) blocks. Proactive only: it repairs orthogonality drift
+//!    the monitor flags *before* breakdown; once a factorization has
+//!    actually failed a second pass over the same block cannot run.
+//! 2. **Throttle** — finish the cycle with shorter basis blocks (`s`
+//!    halved down to [`Ladder::s_floor`]), regenerating only the failed
+//!    block in place; the verified prefix and its [`crate::ft`] block
+//!    checkpoint survive, so no converged Krylov dimension is discarded.
+//! 3. **Basis switch** — monomial → Newton with the already-harvested Ritz
+//!    shifts (the paper's own remedy for monomial growth).
+//! 4. **Promote** — rebuild the MPK state at f64, generalizing
+//!    [`crate::mixed::ca_gmres_mixed`]'s one-shot escalation into a rung
+//!    any f32 solve can take mid-flight.
+//!
+//! Every escalation is recorded as an [`EscalationEvent`] (rung, cycle,
+//! trigger condition estimate) in `FtReport::escalations`, and the whole
+//! condition trajectory is handed to the `Retuner` so post-escalation
+//! re-plans tighten the matrix's caps instead of re-walking into the same
+//! breakdown.
+
+use crate::layout::Layout;
+use crate::mpk::SpmvFormat;
+use crate::system::System;
+use ca_dense::Mat;
+use ca_gpusim::faults::Result as GpuResult;
+use ca_gpusim::MultiGpu;
+use ca_obs as obs;
+use ca_scalar::Precision;
+use ca_sparse::Csr;
+use obs::Track::Host as HOST;
+use serde::Serialize;
+use std::cell::RefCell;
+
+/// Basis-condition monitor configuration (the numerical analog of
+/// [`crate::ft::HealthProbe`]).
+#[derive(Debug, Clone)]
+pub struct BasisMonitor {
+    /// Condition estimates at or above this are recorded in the trajectory
+    /// as *warnings* (fed to the `Retuner`) but do not trigger escalation.
+    pub cond_warn: f64,
+    /// Gram-condition estimate above which the monitor raises an
+    /// escalation trigger. The default sits where CholQR still has a few
+    /// digits left — early enough that the cheap rungs can still help.
+    pub cond_fail: f64,
+    /// Max/min column-norm ratio of a freshly generated (pre-orth) basis
+    /// block above which the growth probe raises a trigger — the monomial
+    /// signature of §IV-A, caught before the factorization fails.
+    pub growth_fail: f64,
+}
+
+impl Default for BasisMonitor {
+    fn default() -> Self {
+        Self { cond_warn: 1e8, cond_fail: 1e13, growth_fail: 1e12 }
+    }
+}
+
+/// One rung of the escalation ladder, in increasing cost order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum EscalationRung {
+    /// CGS2-style reorthogonalization of the offending block (and the rest
+    /// of the cycle).
+    Reorth,
+    /// In-cycle `s` throttling: regenerate the failed block shorter and
+    /// finish the cycle at the reduced step size.
+    Throttle,
+    /// Basis switch: monomial → Newton with harvested Ritz shifts.
+    BasisSwitch,
+    /// Precision promotion: rebuild the MPK state at f64.
+    Promote,
+}
+
+impl EscalationRung {
+    /// Short label for obs causes and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EscalationRung::Reorth => "reorth",
+            EscalationRung::Throttle => "throttle",
+            EscalationRung::BasisSwitch => "basis-switch",
+            EscalationRung::Promote => "promote",
+        }
+    }
+}
+
+/// One recorded escalation (FtReport::escalations).
+#[derive(Debug, Clone, Serialize)]
+pub struct EscalationEvent {
+    /// Which rung was taken.
+    pub rung: EscalationRung,
+    /// Restart cycle (0-based) the escalation happened in.
+    pub cycle: usize,
+    /// Basis column the trigger pointed at (block start).
+    pub column: usize,
+    /// Step size in effect when the trigger fired.
+    pub s: usize,
+    /// Condition estimate that pulled the trigger (`f64::INFINITY` when
+    /// the trigger was an actual factorization breakdown rather than a
+    /// monitor estimate).
+    pub cond_est: f64,
+}
+
+/// Escalation-ladder configuration ([`crate::ft::FtConfig::ladder`]).
+/// Each rung can be disabled individually; a disabled rung is skipped and
+/// the ladder climbs straight to the next one.
+#[derive(Debug, Clone)]
+pub struct Ladder {
+    /// The condition monitor feeding the ladder.
+    pub monitor: BasisMonitor,
+    /// Rung 1: CGS2 reorthogonalization.
+    pub reorth: bool,
+    /// Rung 2: in-cycle `s` throttling.
+    pub throttle: bool,
+    /// Rung 3: monomial → Newton basis switch.
+    pub basis_switch: bool,
+    /// Rung 4: f32 → f64 precision promotion.
+    pub promote: bool,
+    /// Total escalations allowed per solve before the driver stops
+    /// climbing and reports the breakdown honestly.
+    pub max_escalations: usize,
+    /// Throttling never shrinks `s` below this.
+    pub s_floor: usize,
+}
+
+impl Default for Ladder {
+    fn default() -> Self {
+        Self {
+            monitor: BasisMonitor::default(),
+            reorth: true,
+            throttle: true,
+            basis_switch: true,
+            promote: true,
+            max_escalations: 16,
+            s_floor: 2,
+        }
+    }
+}
+
+/// Live state of an armed monitor (thread-local, mirroring the
+/// [`crate::ft::HealthProbe`] discipline: the solve drives every record
+/// from the host thread).
+#[derive(Debug, Default)]
+struct MonitorState {
+    cond_warn: f64,
+    cond_fail: f64,
+    growth_fail: f64,
+    /// Condition estimates at or above `cond_warn`, in record order — the
+    /// trajectory the `Retuner` consumes.
+    trajectory: Vec<f64>,
+    /// Worst estimate since the driver last consumed a trigger.
+    trigger: Option<f64>,
+    records: u64,
+}
+
+/// What an armed monitor observed over one solve.
+pub(crate) struct MonitorSummary {
+    /// Warning-level condition estimates, in record order.
+    pub trajectory: Vec<f64>,
+    /// Total estimates recorded (including sub-warning ones).
+    pub records: u64,
+}
+
+thread_local! {
+    static MONITOR: RefCell<Option<MonitorState>> = const { RefCell::new(None) };
+}
+
+impl BasisMonitor {
+    /// Install (or clear, with `cfg == None`) the thread-local monitor for
+    /// one solve. Always called by the FT driver — also with `None` — so a
+    /// monitor leaked by an aborted solve cannot carry into the next.
+    pub(crate) fn arm(cfg: Option<&BasisMonitor>) {
+        MONITOR.with(|m| {
+            *m.borrow_mut() = cfg.map(|c| MonitorState {
+                cond_warn: c.cond_warn,
+                cond_fail: c.cond_fail,
+                growth_fail: c.growth_fail,
+                ..MonitorState::default()
+            });
+        });
+    }
+
+    /// Tear down the monitor and return what it saw.
+    pub(crate) fn disarm() -> Option<MonitorSummary> {
+        MONITOR
+            .with(|m| m.borrow_mut().take())
+            .map(|s| MonitorSummary { trajectory: s.trajectory, records: s.records })
+    }
+
+    /// Force-clear any armed monitor on this thread (chaos-harness hygiene
+    /// after a caught panic, like [`crate::ft::HealthProbe::reset_thread`]).
+    pub fn reset_thread() {
+        MONITOR.with(|m| *m.borrow_mut() = None);
+    }
+
+    /// Whether a monitor is armed on this thread (gates the growth probe's
+    /// host reads in the FT driver).
+    pub(crate) fn armed() -> bool {
+        MONITOR.with(|m| m.borrow().is_some())
+    }
+
+    /// Record a Gram-condition estimate from a TSQR factor's diagonal:
+    /// `(max|r_ii| / min|r_ii|)²` — a free upper-bound flavor of `κ(B)`
+    /// read off the host-resident `R`. Disarmed: one thread-local read.
+    pub(crate) fn record_r_diag(r: &Mat) {
+        if !Self::armed() {
+            return;
+        }
+        let k = r.nrows().min(r.ncols());
+        if k == 0 {
+            return;
+        }
+        let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+        for i in 0..k {
+            let d = r[(i, i)].abs();
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        let ratio = hi / lo.max(f64::MIN_POSITIVE);
+        Self::record_cond(ratio * ratio);
+    }
+
+    /// Record a condition estimate (already in Gram/`κ²` terms).
+    pub(crate) fn record_cond(est: f64) {
+        MONITOR.with(|m| {
+            let mut b = m.borrow_mut();
+            let Some(s) = b.as_mut() else { return };
+            s.records += 1;
+            if est >= s.cond_warn || !est.is_finite() {
+                s.trajectory.push(est);
+            }
+            if est >= s.cond_fail || !est.is_finite() {
+                s.trigger = Some(match s.trigger {
+                    Some(t) if t >= est => t,
+                    _ => est,
+                });
+            }
+            if obs::enabled() {
+                obs::observe("health.cond_est", est);
+                obs::counter_add("health.cond_checks", 1);
+            }
+        });
+    }
+
+    /// Record the max/min column-norm ratio of a freshly generated basis
+    /// block (the monomial growth probe). Triggers against
+    /// [`BasisMonitor::growth_fail`]; the ratio also lands in the
+    /// trajectory (it is a `κ(V)`-scale quantity, so it is squared first).
+    pub(crate) fn record_growth(ratio: f64) {
+        MONITOR.with(|m| {
+            let mut b = m.borrow_mut();
+            let Some(s) = b.as_mut() else { return };
+            s.records += 1;
+            let est = ratio * ratio;
+            if est >= s.cond_warn || !est.is_finite() {
+                s.trajectory.push(est);
+            }
+            if ratio >= s.growth_fail || !ratio.is_finite() {
+                s.trigger = Some(match s.trigger {
+                    Some(t) if t >= est => t,
+                    _ => est,
+                });
+            }
+            if obs::enabled() {
+                obs::observe("health.basis_growth", ratio);
+                obs::counter_add("health.growth_checks", 1);
+            }
+        });
+    }
+
+    /// Consume the pending escalation trigger, if any: the worst condition
+    /// estimate at or above the failure threshold since the last take.
+    pub(crate) fn take_trigger() -> Option<f64> {
+        MONITOR.with(|m| m.borrow_mut().as_mut().and_then(|s| s.trigger.take()))
+    }
+}
+
+/// The precision-promotion rung, shared by the FT driver's ladder and
+/// [`crate::mixed::ca_gmres_mixed`]'s breakdown escalation: build a fresh
+/// f64 [`System`] on `layout` (the slice re-upload is charged like the FT
+/// degradation rebuild), load the right-hand side, and re-anchor at
+/// `x_anchor` — the last accepted iterate.
+///
+/// # Errors
+/// Propagates simulated allocation/transfer failures and device loss.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn promote_system_f64(
+    mg: &mut MultiGpu,
+    a: &Csr,
+    b: &[f64],
+    layout: Layout,
+    m: usize,
+    s_opt: Option<usize>,
+    format: SpmvFormat,
+    x_anchor: &[f64],
+    why: &str,
+) -> GpuResult<System> {
+    if obs::enabled() {
+        obs::instant_cause("ft.escalate", HOST, mg.time(), why);
+        obs::counter_add("health.escalations", 1);
+        obs::counter_add("health.escalations.promote", 1);
+    }
+    let sys = System::new_with_format_prec(mg, a, layout, m, s_opt, format, Precision::F64)?;
+    sys.load_rhs(mg, b)?;
+    sys.upload_x(mg, x_anchor)?;
+    Ok(sys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_monitor_records_nothing() {
+        BasisMonitor::reset_thread();
+        assert!(!BasisMonitor::armed());
+        BasisMonitor::record_cond(1e20);
+        BasisMonitor::record_growth(1e20);
+        assert!(BasisMonitor::take_trigger().is_none());
+        assert!(BasisMonitor::disarm().is_none());
+    }
+
+    #[test]
+    fn armed_monitor_triggers_and_tracks_trajectory() {
+        BasisMonitor::arm(Some(&BasisMonitor::default()));
+        BasisMonitor::record_cond(1e4); // below warn: counted, not kept
+        BasisMonitor::record_cond(1e9); // warn: trajectory only
+        assert!(BasisMonitor::take_trigger().is_none());
+        BasisMonitor::record_cond(1e14); // fail: trigger
+        BasisMonitor::record_cond(1e15); // worse: trigger keeps the max
+        assert_eq!(BasisMonitor::take_trigger(), Some(1e15));
+        assert!(BasisMonitor::take_trigger().is_none(), "trigger is consumed");
+        let s = BasisMonitor::disarm().expect("armed");
+        assert_eq!(s.records, 4);
+        assert_eq!(s.trajectory, vec![1e9, 1e14, 1e15]);
+    }
+
+    #[test]
+    fn growth_probe_triggers_in_cond_units() {
+        BasisMonitor::arm(Some(&BasisMonitor::default()));
+        BasisMonitor::record_growth(1e3); // benign growth
+        assert!(BasisMonitor::take_trigger().is_none());
+        BasisMonitor::record_growth(1e13); // past growth_fail
+        let t = BasisMonitor::take_trigger().expect("growth trigger");
+        assert_eq!(t, 1e26, "trigger carries the squared (κ²) estimate");
+        BasisMonitor::reset_thread();
+    }
+
+    #[test]
+    fn r_diag_estimate_squares_the_ratio() {
+        BasisMonitor::arm(Some(&BasisMonitor::default()));
+        let mut r = Mat::zeros(3, 3);
+        r[(0, 0)] = 1.0;
+        r[(1, 1)] = 1e-3;
+        r[(2, 2)] = 1e-7;
+        BasisMonitor::record_r_diag(&r); // ratio 1e7 -> est 1e14 >= fail
+        let t = BasisMonitor::take_trigger().expect("cond trigger");
+        assert!((t / 1e14 - 1.0).abs() < 1e-9, "estimate {t:e}");
+        BasisMonitor::reset_thread();
+    }
+
+    #[test]
+    fn rung_labels_cover_the_ladder() {
+        for (rung, label) in [
+            (EscalationRung::Reorth, "reorth"),
+            (EscalationRung::Throttle, "throttle"),
+            (EscalationRung::BasisSwitch, "basis-switch"),
+            (EscalationRung::Promote, "promote"),
+        ] {
+            assert_eq!(rung.label(), label);
+        }
+    }
+}

@@ -43,6 +43,7 @@ pub mod cpu;
 pub mod eigs;
 pub mod ft;
 pub mod gmres;
+pub mod health;
 pub mod hess;
 pub mod layout;
 pub mod mixed;
@@ -63,6 +64,7 @@ pub mod prelude {
         RestartTuner, RetuneDecision,
     };
     pub use crate::gmres::{gmres, GmresConfig, GmresOutcome};
+    pub use crate::health::{BasisMonitor, EscalationEvent, EscalationRung, Ladder};
     pub use crate::layout::{prepare, Layout, Ordering};
     pub use crate::mixed::{ca_gmres_mixed, MixedOutcome};
     pub use crate::mpk::{MpkPlan, MpkState};
@@ -71,4 +73,5 @@ pub mod prelude {
     pub use crate::precond::{Applied as AppliedPrecond, Precond};
     pub use crate::stats::{BreakdownKind, SolveStats};
     pub use crate::system::System;
+    pub use ca_scalar::Precision;
 }

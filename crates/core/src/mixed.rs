@@ -20,24 +20,25 @@
 //! down cycles earlier than it would in f64. The driver leans on the
 //! existing breakdown machinery to monitor exactly this: when the f32
 //! solve aborts with [`BreakdownKind::Orthogonalization`] (CholQR pivot,
-//! singular R, ABFT checksum mismatch), [`ca_gmres_mixed`] *escalates* —
-//! it rebuilds the MPK state at f64 (charged like the fault-tolerant
-//! driver's rebuild path), re-anchors at the last accepted iterate, and
-//! finishes the solve in full precision. Escalation is the safety net, not
-//! the plan; the `ca-tune` planner's stability caps are tightened for f32
-//! so that planned configurations rarely trip it.
+//! singular R, ABFT checksum mismatch), [`ca_gmres_mixed`] *escalates*
+//! through the numerical-health ladder's precision-promotion rung
+//! ([`crate::health::promote_system_f64`], shared with the
+//! fault-tolerant driver): rebuild the MPK state at f64 (charged),
+//! re-anchor at the last accepted iterate, and finish the solve in full
+//! precision. Escalation is the safety net, not the plan; the `ca-tune`
+//! planner's stability caps are tightened for f32 so that planned
+//! configurations rarely trip it.
 
 use crate::cagmres::{ca_gmres, CaGmresConfig, CaGmresOutcome};
+use crate::health::{promote_system_f64, EscalationEvent, EscalationRung};
 use crate::layout::Layout;
 use crate::mpk::SpmvFormat;
 use crate::stats::{BreakdownKind, SolveStats};
 use crate::system::System;
 use ca_gpusim::faults::Result as GpuResult;
 use ca_gpusim::MultiGpu;
-use ca_obs as obs;
 use ca_scalar::Precision;
 use ca_sparse::Csr;
-use obs::Track::Host as HOST;
 
 /// Outcome of a mixed-precision solve.
 #[derive(Debug)]
@@ -61,6 +62,10 @@ pub struct MixedOutcome {
     /// Restart cycles executed with the f32 basis (all of them, unless
     /// the solve escalated).
     pub f32_restarts: usize,
+    /// Escalation-ladder events, in the shape the fault-tolerant driver
+    /// reports them: for this one-shot driver, at most a single
+    /// [`EscalationRung::Promote`] entry (the f32 -> f64 rebuild).
+    pub escalations: Vec<EscalationEvent>,
 }
 
 /// Solve `A x = b` with the f32-basis + f64-refinement scheme. `a` must
@@ -104,30 +109,35 @@ pub fn ca_gmres_mixed(
             escalated: false,
             prec_final: cfg.mpk_prec,
             f32_restarts,
+            escalations: Vec::new(),
         });
     }
 
     // --- escalate: the f32 basis conditioned itself into a CholQR/SVQR
-    // breakdown. Rebuild the MPK state at f64 (the slice re-upload is
-    // charged, like the FT driver's degradation rebuild), re-anchor at
-    // the last accepted iterate, and finish in full precision. ---
+    // breakdown. This is the ladder's precision-promotion rung (shared
+    // with the fault-tolerant driver): rebuild at f64 — slice re-upload
+    // charged — re-anchor at the last accepted iterate, and finish in
+    // full precision. ---
     let x_ckpt = sys.download_x(mg)?;
-    if obs::enabled() {
-        obs::instant_cause(
-            "mixed.escalate",
-            HOST,
-            mg.time(),
-            &format!(
-                "f32 basis breakdown ({}); rebuilding MPK state at f64 and resuming \
-                 from the last accepted iterate",
-                out.stats.breakdown.as_ref().map_or_else(String::new, ToString::to_string)
-            ),
-        );
-        obs::counter_add("mixed.escalations", 1);
-    }
-    let sys64 = System::new_with_format_prec(mg, a, layout, cfg.m, s_opt, format, Precision::F64)?;
-    sys64.load_rhs(mg, b)?;
-    sys64.upload_x(mg, &x_ckpt)?;
+    let breakdown_column = match &out.stats.breakdown {
+        Some(BreakdownKind::Orthogonalization { column, .. }) => *column,
+        _ => 0,
+    };
+    let why = format!(
+        "f32 basis breakdown ({}); rebuilding MPK state at f64 and resuming \
+         from the last accepted iterate",
+        out.stats.breakdown.as_ref().map_or_else(String::new, ToString::to_string)
+    );
+    let escalations = vec![EscalationEvent {
+        rung: EscalationRung::Promote,
+        cycle: out.stats.restarts,
+        column: breakdown_column,
+        s: cfg.s,
+        // one-shot driver: the breakdown is the trigger, no estimate
+        // trajectory exists to attach
+        cond_est: f64::INFINITY,
+    }];
+    let sys64 = promote_system_f64(mg, a, b, layout, cfg.m, s_opt, format, &x_ckpt, &why)?;
     let mut cfg64 = *cfg;
     cfg64.mpk_prec = Precision::F64;
     cfg64.max_restarts = cfg.max_restarts.saturating_sub(out.stats.restarts).max(1);
@@ -148,6 +158,7 @@ pub fn ca_gmres_mixed(
         escalated: true,
         prec_final: Precision::F64,
         f32_restarts: out.stats.restarts,
+        escalations,
     })
 }
 
@@ -167,6 +178,7 @@ fn merge_legs(f32_leg: &CaGmresOutcome, f64_leg: &CaGmresOutcome, t_total: f64) 
         t_orth: a.t_orth + b.t_orth,
         t_tsqr: a.t_tsqr + b.t_tsqr,
         t_small: a.t_small + b.t_small,
+        t_reclaimed: a.t_reclaimed + b.t_reclaimed,
         final_relres: a.final_relres * b.final_relres,
         prefetches: a.prefetches + b.prefetches,
         comm_msgs: a.comm_msgs + b.comm_msgs,
@@ -281,6 +293,9 @@ mod tests {
         let (out, r, _) = solve(&a, 2, &cfg);
         assert!(out.escalated, "expected an f32-induced CholQR breakdown");
         assert_eq!(out.prec_final, Precision::F64);
+        assert_eq!(out.escalations.len(), 1, "one promotion event expected");
+        assert_eq!(out.escalations[0].rung, EscalationRung::Promote);
+        assert_eq!(out.escalations[0].cycle, out.f32_restarts);
         assert!(
             out.stats.converged,
             "escalated solve must still converge: {:?}",

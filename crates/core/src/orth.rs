@@ -422,7 +422,7 @@ pub fn tsqr_with_hook(
 ) -> Result<Mat, OrthError> {
     assert!(c0 < c1);
     let k = c1 - c0;
-    match kind {
+    let r = match kind {
         TsqrKind::Mgs => {
             let mut r = Mat::zeros(k, k);
             for col in c0..c1 {
@@ -435,7 +435,7 @@ pub fn tsqr_with_hook(
                 }
                 normalize_col(mg, v, col, &mut r, c0)?;
             }
-            Ok(r)
+            r
         }
         TsqrKind::Cgs => {
             let mut r = Mat::zeros(k, k);
@@ -452,7 +452,7 @@ pub fn tsqr_with_hook(
                 }
                 normalize_col(mg, v, col, &mut r, c0)?;
             }
-            Ok(r)
+            r
         }
         TsqrKind::CgsFused => {
             let mut r = Mat::zeros(k, k);
@@ -507,7 +507,7 @@ pub fn tsqr_with_hook(
                     r[(col - c0, col - c0)] = norm;
                 }
             }
-            Ok(r)
+            r
         }
         TsqrKind::CholQr | TsqrKind::CholQrMixed => {
             let gemm = mg.config.gemm;
@@ -516,7 +516,8 @@ pub fn tsqr_with_hook(
             } else {
                 mg.run_map(|d, dev| dev.syrk_cols(v[d], c0, c1, gemm))
             };
-            let b = reduce_mat(mg, &parts)?;
+            let mut b = reduce_mat(mg, &parts)?;
+            maybe_nudge_gram(mg, &mut b);
             let r = match chol::cholesky_upper(&b) {
                 Ok(r) => r,
                 Err(ca_dense::DenseError::NotPositiveDefinite { index, pivot }) => {
@@ -527,12 +528,13 @@ pub fn tsqr_with_hook(
             mg.host_compute((k * k * k) as f64 / 3.0, (8 * k * k) as f64);
             mg.broadcast(8 * k * k)?;
             apply_trsm(mg, v, c0, c1, &r)?;
-            Ok(r)
+            r
         }
         TsqrKind::SvQr => {
             let gemm = mg.config.gemm;
             let parts = mg.run_map(|d, dev| dev.syrk_cols(v[d], c0, c1, gemm));
-            let b = reduce_mat(mg, &parts)?;
+            let mut b = reduce_mat(mg, &parts)?;
+            maybe_nudge_gram(mg, &mut b);
             // SVD of the Gram matrix (optionally after diagonal scaling,
             // the [20] stabilization), then R := qr(Sigma^{1/2} U^T D).
             let mut msvd = Mat::zeros(k, k);
@@ -561,7 +563,7 @@ pub fn tsqr_with_hook(
             mg.host_compute(14.0 * (k * k * k) as f64, (24 * k * k) as f64);
             mg.broadcast(8 * k * k)?;
             apply_trsm(mg, v, c0, c1, &r)?;
-            Ok(r)
+            r
         }
         TsqrKind::Caqr | TsqrKind::CaqrTree => {
             // local QRs (Q in place), gather R factors
@@ -614,8 +616,40 @@ pub fn tsqr_with_hook(
                 }
                 None => mg.run(|d, dev| dev.gemm_right_small(v[d], c0, c1, &qblocks[d])),
             }
-            Ok(f.r)
+            f.r
         }
+    };
+    // numerical-health hook: the R diagonal is already host-resident, so
+    // the condition estimate is a free O(k) scan — disarmed (every non-FT
+    // solve) this is a single thread-local read
+    crate::health::BasisMonitor::record_r_diag(&r);
+    Ok(r)
+}
+
+/// Numerical fault injection ([`ca_gpusim::faults::GramNudge`]): pull the
+/// host-reduced Gram matrix toward rank deficiency — its last row/column
+/// toward a scaled copy of the first — when the installed plan says so.
+/// Indexed by the executor's monotone message counter, so a replay nudges
+/// the same factorizations; the injection itself mutates host data only
+/// (like an SDC bit flip) and charges nothing.
+fn maybe_nudge_gram(mg: &MultiGpu, b: &mut Mat) {
+    let Some(w) = mg.fault_plan().and_then(|p| p.gram_nudge_event(mg.counters().total_msgs()))
+    else {
+        return;
+    };
+    let k = b.nrows();
+    if k < 2 {
+        return;
+    }
+    // target: column k-1 = alpha * column 0 (alpha preserves the diagonal
+    // magnitude), blended by w — exactly singular at w = 1, condition
+    // blow-up below it. Row mirrored to keep B symmetric.
+    let alpha = (b[(k - 1, k - 1)].abs() / b[(0, 0)].abs().max(f64::MIN_POSITIVE)).sqrt();
+    for i in 0..k {
+        let target = alpha * b[(i, 0)];
+        let v = (1.0 - w) * b[(i, k - 1)] + w * target;
+        b[(i, k - 1)] = v;
+        b[(k - 1, i)] = v;
     }
 }
 

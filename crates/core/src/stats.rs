@@ -84,6 +84,13 @@ pub struct SolveStats {
     /// Simulated host time in the small dense math (least squares,
     /// Hessenberg reconstruction, shift computation).
     pub t_small: f64,
+    /// Simulated seconds the watchdog took back from the end-to-end clock
+    /// by rewinding a hung device's projected (never completed) stall
+    /// tail to its detection instant. Phase timers that sampled the clock
+    /// before the rewind may have charged up to this much wall time that
+    /// `t_total` no longer covers; [`SolveStats::phases_consistent`]
+    /// grants exactly this slack. Zero on solves without a watchdog.
+    pub t_reclaimed: f64,
     /// Final residual norm relative to the initial one.
     pub final_relres: f64,
     /// Halo exchanges issued asynchronously ahead of their MPK block by
@@ -149,14 +156,20 @@ impl SolveStats {
     /// accumulation slack. `PhaseTimer` attributes mark-to-mark deltas, so
     /// a missing mark double-counts an interval into two phases — the bug
     /// class this catches.
+    ///
+    /// A watchdog rewind is the one legitimate exception: a phase that
+    /// contained a hung device's stall charged the projected queue tail
+    /// the watchdog later took back from the end-to-end clock, so the
+    /// budget is widened by exactly [`SolveStats::t_reclaimed`].
     pub fn phases_consistent(&self) -> bool {
         let slack = 1e-9 * self.t_total.abs().max(1.0);
         self.t_spmv >= 0.0
             && self.t_orth >= 0.0
             && self.t_tsqr >= 0.0
             && self.t_small >= 0.0
+            && self.t_reclaimed >= 0.0
             && self.t_tsqr <= self.t_orth + slack
-            && self.t_spmv + self.t_orth + self.t_small <= self.t_total + slack
+            && self.t_spmv + self.t_orth + self.t_small <= self.t_total + self.t_reclaimed + slack
     }
 
     /// Debug-mode assertion of [`SolveStats::phases_consistent`]; compiled
@@ -164,12 +177,13 @@ impl SolveStats {
     pub fn debug_check_phases(&self) {
         debug_assert!(
             self.phases_consistent(),
-            "phase times inconsistent: spmv={} orth={} (tsqr={}) small={} total={}",
+            "phase times inconsistent: spmv={} orth={} (tsqr={}) small={} total={} reclaimed={}",
             self.t_spmv,
             self.t_orth,
             self.t_tsqr,
             self.t_small,
-            self.t_total
+            self.t_total,
+            self.t_reclaimed
         );
     }
 }
@@ -331,6 +345,21 @@ mod tests {
         assert!(!s.phases_consistent());
         // negative phase time
         let s = SolveStats { t_total: 1.0, t_spmv: -0.1, ..Default::default() };
+        assert!(!s.phases_consistent());
+    }
+
+    #[test]
+    fn phases_consistent_grants_watchdog_reclaimed_slack() {
+        // a phase that straddled a hung device charged the projected queue
+        // tail; the watchdog later rewound the clock, so the attributed sum
+        // exceeds the final end-to-end time by exactly the reclaimed tail
+        let s = SolveStats { t_total: 0.5, t_spmv: 0.8, t_reclaimed: 0.4, ..Default::default() };
+        assert!(s.phases_consistent());
+        // but the slack is a budget, not a blank check
+        let s = SolveStats { t_total: 0.5, t_spmv: 1.0, t_reclaimed: 0.4, ..Default::default() };
+        assert!(!s.phases_consistent());
+        // and it must itself be non-negative
+        let s = SolveStats { t_total: 1.0, t_reclaimed: -0.1, ..Default::default() };
         assert!(!s.phases_consistent());
     }
 

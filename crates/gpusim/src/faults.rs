@@ -203,6 +203,39 @@ pub struct StallPlan {
     pub stall_s: f64,
 }
 
+/// Seeded ill-conditioned basis perturbation (numerical fault): after a
+/// generated s-step basis block passes its ABFT check, the last column of
+/// the block is nudged toward its predecessor with weight drawn from the
+/// plan hash, making the block nearly rank-deficient. This models the
+/// numerical reality the paper's §IV-A caps guard against — monomial basis
+/// vectors aligning with the dominant eigenvector — but on demand and
+/// reproducibly, so the escalation ladder's cheap rungs can be exercised.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BasisPerturb {
+    /// Per-block probability that the perturbation fires.
+    pub rate: f64,
+    /// Alignment strength in [0, 1]: the faulted column becomes
+    /// `(1 - magnitude) * v_last + magnitude * v_prev` (1.0 = exact copy
+    /// of the previous column, an instant rank deficiency).
+    pub magnitude: f64,
+}
+
+/// Seeded near-singular Gram nudge (numerical fault): after the Gram
+/// matrix `B = Vᵀ V` is reduced to the host inside CholQR/SVQR, its last
+/// row/column is pulled toward a scaled copy of the first, driving the
+/// smallest pivot toward zero. Exercises the Cholesky-breakdown path and
+/// the condition monitor without touching device state (the nudge lives in
+/// host arithmetic, exactly where a catastrophically cancelled reduction
+/// would surface).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GramNudge {
+    /// Per-factorization probability that the nudge fires.
+    pub rate: f64,
+    /// Blend weight in [0, 1] toward the rank-deficient Gram matrix
+    /// (1.0 = exactly singular).
+    pub scale: f64,
+}
+
 /// A seeded, deterministic fault schedule for one run.
 ///
 /// The default plan (any seed, all rates zero, no loss) injects nothing
@@ -231,6 +264,15 @@ pub struct FaultPlan {
     pub link_degrade: Option<LinkDegrade>,
     /// Optional intermittent queue stalls (fail-slow).
     pub stalls: Option<StallPlan>,
+    /// Optional ill-conditioned basis perturbations (numerical fault).
+    pub basis_perturb: Option<BasisPerturb>,
+    /// Optional near-singular Gram nudges (numerical fault).
+    pub gram_nudge: Option<GramNudge>,
+    /// Optional forced cap-violating step size: the solver is made to run
+    /// with this `s` regardless of what the planner chose, driving it past
+    /// the static §IV-A stability caps so the escalation ladder (not the
+    /// planner) has to save the run.
+    pub s_override: Option<usize>,
 }
 
 impl FaultPlan {
@@ -247,6 +289,9 @@ impl FaultPlan {
             slowdown: None,
             link_degrade: None,
             stalls: None,
+            basis_perturb: None,
+            gram_nudge: None,
+            s_override: None,
         }
     }
 
@@ -299,6 +344,35 @@ impl FaultPlan {
         assert!((0.0..=1.0).contains(&rate));
         assert!(stall_s >= 0.0);
         self.stalls = Some(StallPlan { device, rate, stall_s });
+        self
+    }
+
+    /// Builder: align the last column of generated basis blocks with their
+    /// predecessor with probability `rate` per block. `magnitude` in
+    /// [0, 1] sets how close to exact rank deficiency the block is pushed.
+    pub fn with_basis_perturb(mut self, rate: f64, magnitude: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        assert!((0.0..=1.0).contains(&magnitude));
+        self.basis_perturb = Some(BasisPerturb { rate, magnitude });
+        self
+    }
+
+    /// Builder: pull the host-reduced Gram matrix toward singularity with
+    /// probability `rate` per factorization. `scale` in [0, 1] sets how
+    /// singular (1.0 = exactly).
+    pub fn with_gram_nudge(mut self, rate: f64, scale: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        assert!((0.0..=1.0).contains(&scale));
+        self.gram_nudge = Some(GramNudge { rate, scale });
+        self
+    }
+
+    /// Builder: force the solver to run with step size `s`, ignoring the
+    /// configured/planned value — the chaos harness uses this to march the
+    /// basis past the static stability caps.
+    pub fn with_s_override(mut self, s: usize) -> Self {
+        assert!(s >= 1);
+        self.s_override = Some(s);
         self
     }
 
@@ -415,6 +489,45 @@ impl FaultPlan {
             0.0
         }
     }
+
+    /// Does basis block number `block` (a per-solve monotone counter) on
+    /// `device` get an ill-conditioning perturbation, and how strong?
+    /// Returns the alignment weight in (0, 1]. Pure in
+    /// `(seed, device, block)`; `None`/zero rate/zero magnitude is inert.
+    pub fn basis_perturb_event(&self, device: usize, block: u64) -> Option<f64> {
+        let bp = self.basis_perturb?;
+        if bp.rate <= 0.0 || bp.magnitude <= 0.0 {
+            return None;
+        }
+        let h = self.hash(0x4241_5349, device, block);
+        if Self::u01(h) < bp.rate {
+            Some(bp.magnitude)
+        } else {
+            None
+        }
+    }
+
+    /// Does host-side Gram factorization number `index` (a per-solve
+    /// monotone counter) get nudged toward singularity, and how far?
+    /// Returns the blend weight in (0, 1]. Device-independent (the Gram
+    /// factorization is a host step); `None`/zero rate/zero scale is inert.
+    pub fn gram_nudge_event(&self, index: u64) -> Option<f64> {
+        let gn = self.gram_nudge?;
+        if gn.rate <= 0.0 || gn.scale <= 0.0 {
+            return None;
+        }
+        let h = self.hash(0x4752_414d, 0, index);
+        if Self::u01(h) < gn.rate {
+            Some(gn.scale)
+        } else {
+            None
+        }
+    }
+
+    /// Forced step size, if this plan overrides the solver's `s`.
+    pub fn forced_s(&self) -> Option<usize> {
+        self.s_override
+    }
 }
 
 #[cfg(test)]
@@ -517,6 +630,39 @@ mod tests {
         let inert = FaultPlan::new(9).with_stalls(0, 0.0, 1.0);
         assert!((0..64).all(|op| inert.stall_time(0, op) == 0.0));
         assert_eq!(FaultPlan::new(9).with_slowdown(0, 1.0, 0).compute_multiplier(0, 5), 1.0);
+    }
+
+    #[test]
+    fn numerical_faults_are_deterministic_and_rate_faithful() {
+        let p = FaultPlan::new(11).with_basis_perturb(0.5, 0.9).with_gram_nudge(0.5, 0.99);
+        let a: Vec<Option<f64>> = (0..256).map(|b| p.basis_perturb_event(0, b)).collect();
+        let b: Vec<Option<f64>> = (0..256).map(|b| p.basis_perturb_event(0, b)).collect();
+        assert_eq!(a, b);
+        let frac = a.iter().filter(|e| e.is_some()).count() as f64 / 256.0;
+        assert!((0.3..0.7).contains(&frac), "rate 0.5 drew {frac}");
+        assert!(a.iter().flatten().all(|&m| m == 0.9));
+        let g: Vec<Option<f64>> = (0..256).map(|i| p.gram_nudge_event(i)).collect();
+        assert_eq!(g, (0..256).map(|i| p.gram_nudge_event(i)).collect::<Vec<_>>());
+        let gfrac = g.iter().filter(|e| e.is_some()).count() as f64 / 256.0;
+        assert!((0.3..0.7).contains(&gfrac), "rate 0.5 drew {gfrac}");
+        // the two kinds draw independent streams
+        let hits_b: Vec<bool> = a.iter().map(|e| e.is_some()).collect();
+        let hits_g: Vec<bool> = g.iter().map(|e| e.is_some()).collect();
+        assert_ne!(hits_b, hits_g);
+    }
+
+    #[test]
+    fn numerical_faults_inert_when_unset_or_zero() {
+        let off = FaultPlan::new(11);
+        assert!((0..64).all(|b| off.basis_perturb_event(0, b).is_none()));
+        assert!((0..64).all(|i| off.gram_nudge_event(i).is_none()));
+        assert!(off.forced_s().is_none());
+        let zero = FaultPlan::new(11).with_basis_perturb(0.0, 1.0).with_gram_nudge(1.0, 0.0);
+        assert!((0..64).all(|b| zero.basis_perturb_event(0, b).is_none()));
+        assert!((0..64).all(|i| zero.gram_nudge_event(i).is_none()));
+        let on = FaultPlan::new(11).with_basis_perturb(1.0, 0.5).with_s_override(16);
+        assert!((0..64).all(|b| on.basis_perturb_event(0, b) == Some(0.5)));
+        assert_eq!(on.forced_s(), Some(16));
     }
 
     #[test]

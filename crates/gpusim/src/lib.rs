@@ -78,8 +78,8 @@ pub mod trace;
 
 pub use device::{Device, MatId, SpId, SpSlice, VecId};
 pub use faults::{
-    AllocFault, DeviceLoss, FaultPlan, GpuSimError, LinkDegrade, SdcKind, SdcTargets, Slowdown,
-    StallPlan,
+    AllocFault, BasisPerturb, DeviceLoss, FaultPlan, GpuSimError, GramNudge, LinkDegrade, SdcKind,
+    SdcTargets, Slowdown, StallPlan,
 };
 pub use model::{EffCurve, GemmVariant, GemvVariant, KernelConfig, PerfModel, PARAM_NAMES};
 pub use multi::{CommCounters, DeviceHealth, HealthReport, MultiGpu};

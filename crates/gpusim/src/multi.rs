@@ -182,6 +182,12 @@ pub struct MultiGpu {
     events: EventTable,
     /// Per-device PCIe link timelines (one copy engine each).
     links: Vec<CopyEngine>,
+    /// Simulated seconds the watchdog took back by rewinding a hung
+    /// device's projected queue tail to its detection instant. An earlier
+    /// [`MultiGpu::time`] sample may have included the rewound tail, so
+    /// observers that charged phase time from such samples can overcount
+    /// end-to-end time by at most this much.
+    time_reclaimed: f64,
 }
 
 impl MultiGpu {
@@ -203,6 +209,7 @@ impl MultiGpu {
             schedule: Schedule::default(),
             events: EventTable::default(),
             links: vec![CopyEngine::default(); n_gpus],
+            time_reclaimed: 0.0,
         }
     }
 
@@ -316,6 +323,7 @@ impl MultiGpu {
         if hung.is_empty() {
             return hung;
         }
+        let t_before = self.time();
         // progress of everything that is not hung, at the moment of detection
         let t_rest = self
             .devices
@@ -340,7 +348,23 @@ impl MultiGpu {
                 obs::counter_add("watchdog.escalations", 1);
             }
         }
+        // the rewind can lower the end-to-end clock below values already
+        // observed through `time()` — account the difference so phase
+        // attribution charged from those samples stays auditable
+        self.time_reclaimed += (t_before - self.time()).max(0.0);
         hung
+    }
+
+    /// Total simulated seconds of projected (but never completed) stall
+    /// tail the watchdog has taken back from the end-to-end clock.
+    pub fn time_reclaimed(&self) -> f64 {
+        self.time_reclaimed
+    }
+
+    /// Carry a predecessor executor's reclaimed-time total across a
+    /// rebuild (the counterpart of [`MultiGpu::absorb_counters`]).
+    pub fn absorb_time_reclaimed(&mut self, prior: f64) {
+        self.time_reclaimed += prior;
     }
 
     /// One transfer message on device `d`'s link: draw transient faults,
@@ -1361,6 +1385,9 @@ mod tests {
         // the frozen clock is detection time, not the 50 s queue tail
         let healthy = mg.device(0).clock();
         assert!((mg.device(1).clock() - (healthy + 1.0)).abs() < 1e-12);
+        // the rewound tail is accounted: earlier time() samples saw the
+        // stalled projection, and the difference is now auditable
+        assert!(mg.time_reclaimed() > 40.0, "reclaimed {}", mg.time_reclaimed());
         // idempotent: a second sweep finds nothing new
         assert!(mg.watchdog(1.0).is_empty());
         // weights: lost device gets zero

@@ -182,8 +182,9 @@ pub struct CandidateSpace {
 
 impl CandidateSpace {
     /// The space the paper tunes over: `s` up to 20, monomial vs Newton,
-    /// the five TSQR algorithms, MPK vs SpMV generation, and every
-    /// device count up to `max_ndev`.
+    /// the TSQR algorithms (including the fused-CGS and batched-tree CAQR
+    /// variants), MPK vs SpMV generation, and every device count up to
+    /// `max_ndev`.
     #[must_use]
     pub fn paper(max_ndev: usize) -> Self {
         Self {
@@ -191,9 +192,11 @@ impl CandidateSpace {
             bases: vec![BasisChoice::Newton, BasisChoice::Monomial],
             tsqrs: vec![
                 TsqrKind::Cgs,
+                TsqrKind::CgsFused,
                 TsqrKind::CholQr,
                 TsqrKind::SvQr,
                 TsqrKind::Caqr,
+                TsqrKind::CaqrTree,
                 TsqrKind::Mgs,
             ],
             borths: vec![BorthKind::Cgs],
@@ -762,10 +765,7 @@ impl<'a> Planner<'a> {
                     self.walk_normalize(w, s1);
                 }
             }
-            // CgsFused's fast path has the same leading-order charges as
-            // CGS with the per-column normalization folded in; the walk
-            // uses the CGS sequence as its estimate.
-            TsqrKind::Cgs | TsqrKind::CgsFused => {
+            TsqrKind::Cgs => {
                 for col in 0..k {
                     if col > 0 {
                         w.each(s1, |_, sh| self.model.gemv_t_time(self.config.gemv, sh.nl, col));
@@ -780,6 +780,29 @@ impl<'a> Planner<'a> {
                         });
                     }
                     self.walk_normalize(w, s1);
+                }
+            }
+            // Mirror of the executor's fused-CGS fast path: per column,
+            // one fused reduction `[Vᵀv ; vᵀv]` (projection GEMV + squared
+            // norm launched back-to-back), one combined (col+1)-word
+            // broadcast, one fused update + scale — two sync points per
+            // column instead of CGS's four.
+            TsqrKind::CgsFused => {
+                for col in 0..k {
+                    if col == 0 {
+                        self.walk_normalize(w, s1);
+                        continue;
+                    }
+                    w.each(s1, |_, sh| {
+                        self.model.gemv_t_time(self.config.gemv, sh.nl, col)
+                            + self.model.blas1_time(2 * sh.nl)
+                    });
+                    self.walk_reduce(w, s1, col + 1);
+                    w.broadcast(8 * (col + 1));
+                    w.each(s1, |_, sh| {
+                        self.model.gemv_t_time(ca_gpusim::GemvVariant::MagmaTallSkinny, sh.nl, col)
+                            + self.model.blas1_time(2 * sh.nl)
+                    });
                 }
             }
             TsqrKind::CholQr | TsqrKind::CholQrMixed => {
@@ -802,11 +825,18 @@ impl<'a> Planner<'a> {
                 w.broadcast(8 * k * k);
                 w.each(s1, |_, sh| self.model.trsm_time(sh.nl, k));
             }
-            // CaqrTree's batched local factorization is walked with the
-            // flat GEQR2 charge — an upper bound that keeps the ranking
-            // conservative for the tree variant.
+            // Identical sequences except for the local factorization:
+            // CaqrTree's batched-panel leaf QRs charge the executor's
+            // `geqr2_batched_time` (h = 512 panels, the device default)
+            // instead of the flat GEQR2.
             TsqrKind::Caqr | TsqrKind::CaqrTree => {
-                w.each(s1, |_, sh| self.model.geqr2_time(sh.nl, k));
+                w.each(s1, |_, sh| {
+                    if kind == TsqrKind::CaqrTree {
+                        self.model.geqr2_batched_time(sh.nl, k, 512)
+                    } else {
+                        self.model.geqr2_time(sh.nl, k)
+                    }
+                });
                 w.uplink(s1, |_| 8 * k * k);
                 w.host_compute(
                     4.0 * (ndev * k) as f64 * (k * k) as f64,
@@ -988,6 +1018,28 @@ mod tests {
                 borth: BorthKind::Cgs,
                 kernel: KernelMode::Mpk,
                 ndev: 1,
+                ordering: Ordering::Natural,
+                reorth: false,
+                prec: Precision::F64,
+            },
+            Candidate {
+                s: 5,
+                basis: BasisChoice::Newton,
+                tsqr: TsqrKind::CgsFused,
+                borth: BorthKind::Cgs,
+                kernel: KernelMode::Mpk,
+                ndev: 2,
+                ordering: Ordering::Natural,
+                reorth: false,
+                prec: Precision::F64,
+            },
+            Candidate {
+                s: 5,
+                basis: BasisChoice::Newton,
+                tsqr: TsqrKind::CaqrTree,
+                borth: BorthKind::Cgs,
+                kernel: KernelMode::Mpk,
+                ndev: 3,
                 ordering: Ordering::Natural,
                 reorth: false,
                 prec: Precision::F64,

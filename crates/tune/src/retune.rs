@@ -156,6 +156,37 @@ impl RestartTuner for Retuner<'_> {
         let rebalanced = Layout::proportional_nnz(self.planner.matrix(), &weights);
         (rebalanced.starts != layout.starts).then_some(rebalanced)
     }
+
+    /// Numerical-health feedback: the ladder found this matrix's basis
+    /// degenerating at the step size the events carry. Tighten the
+    /// planner's stability caps for the base candidate's basis/precision
+    /// context to just below the smallest `s` that broke, so the next
+    /// `replan` grid excludes the breakdown region instead of walking
+    /// back into it. Reorth events are maintenance (drift repaired in
+    /// place, `s` itself not implicated) and leave the caps alone.
+    fn observe_escalations(&mut self, events: &[EscalationEvent]) {
+        for ev in events {
+            if ev.rung == EscalationRung::Reorth {
+                continue;
+            }
+            let cap = ev.s.saturating_sub(1).max(1);
+            let l = &mut self.planner.limits;
+            match (self.base.prec, self.base.basis) {
+                (ca_scalar::Precision::F32, BasisChoice::Monomial) => {
+                    l.s_cap_monomial_f32 = l.s_cap_monomial_f32.min(cap);
+                    l.cholqr_s_cap_monomial_f32 = l.cholqr_s_cap_monomial_f32.min(cap);
+                }
+                (_, BasisChoice::Monomial) => {
+                    l.s_cap_monomial = l.s_cap_monomial.min(cap);
+                    l.cholqr_s_cap_monomial = l.cholqr_s_cap_monomial.min(cap);
+                }
+                _ => {
+                    l.s_cap_shifted = l.s_cap_shifted.min(cap);
+                    l.cholqr_s_cap_shifted = l.cholqr_s_cap_shifted.min(cap);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -241,6 +272,30 @@ mod tests {
             lay.nlocal(2),
             a.nrows() / 3
         );
+    }
+
+    #[test]
+    fn escalations_tighten_the_planner_caps() {
+        let a = laplace2d(16, 16);
+        let mut r = Retuner::new(
+            &a,
+            20,
+            PerfModel::default(),
+            KernelConfig::default(),
+            Candidate { basis: BasisChoice::Monomial, ..base() },
+        );
+        let ev = |rung, s| EscalationEvent { rung, cycle: 1, column: 3, s, cond_est: 1e14 };
+        // a reorth is maintenance: caps untouched
+        r.observe_escalations(&[ev(EscalationRung::Reorth, 8)]);
+        assert_eq!(r.planner_mut().limits.s_cap_monomial, 8);
+        // a throttle at s = 8 excludes s >= 8 from future monomial plans
+        r.observe_escalations(&[ev(EscalationRung::Throttle, 8)]);
+        assert_eq!(r.planner_mut().limits.s_cap_monomial, 7);
+        assert_eq!(r.planner_mut().limits.cholqr_s_cap_monomial, 5); // already tighter
+                                                                     // tightening is monotone across further events
+        r.observe_escalations(&[ev(EscalationRung::BasisSwitch, 4)]);
+        assert_eq!(r.planner_mut().limits.s_cap_monomial, 3);
+        assert_eq!(r.planner_mut().limits.cholqr_s_cap_monomial, 3);
     }
 
     #[test]

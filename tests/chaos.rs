@@ -54,10 +54,57 @@ fn single_fault_plan(kind: &str, after_op: u64, seed: u64) -> FaultPlan {
     }
 }
 
-/// Every (fault kind × injection phase) cell: the probe-armed driver
-/// must converge (host-verified) or fail with a typed breakdown (or
-/// honest restart exhaustion) — never panic, never run past the
-/// simulated-time budget.
+/// One grid cell: the driver must converge (host-verified) or fail with
+/// a typed breakdown (or honest restart exhaustion) — never panic, never
+/// run past the simulated-time budget. Returns the outcome for further
+/// cell-specific assertions.
+fn check_cell(
+    cfg: &FtConfig,
+    a: &ca_gmres_repro::sparse::Csr,
+    b: &[f64],
+    plan: FaultPlan,
+    cell: &str,
+) -> FtOutcome {
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        let mut mg = MultiGpu::with_defaults(NDEV);
+        mg.set_fault_plan(plan);
+        ca_gmres_ft(mg, a, b, cfg)
+    }));
+    let out = match res {
+        Ok(out) => out,
+        Err(_) => {
+            HealthProbe::reset_thread();
+            BasisMonitor::reset_thread();
+            panic!("{cell}: driver panicked");
+        }
+    };
+    assert!(
+        out.stats.t_total.is_finite()
+            && out.stats.t_total >= 0.0
+            && out.stats.t_total <= TIME_BUDGET_S,
+        "{cell}: simulated time {} out of budget",
+        out.stats.t_total
+    );
+    if out.stats.converged {
+        let mut ax = vec![0.0; b.len()];
+        spmv::spmv(a, &out.x, &mut ax);
+        let rr: f64 = b.iter().zip(&ax).map(|(x, y)| (x - y) * (x - y)).sum();
+        let bb: f64 = b.iter().map(|x| x * x).sum();
+        let relres = (rr / bb).sqrt();
+        assert!(
+            relres <= cfg.solver.rtol * 10.0,
+            "{cell}: claimed convergence but relres = {relres:.3e}"
+        );
+    } else {
+        assert!(
+            out.stats.breakdown.is_some() || out.stats.restarts >= cfg.solver.max_restarts,
+            "{cell}: non-convergence with no typed breakdown"
+        );
+    }
+    out
+}
+
+/// Every (fault kind × injection phase) cell of the hardware-fault grid.
 fn run_single_fault_grid(cfg: &FtConfig) {
     let (a, b) = problem();
     let kinds = ["sdc", "transfer", "loss", "slowdown", "stalls", "hang", "link", "alloc"];
@@ -66,41 +113,7 @@ fn run_single_fault_grid(cfg: &FtConfig) {
         for (after_op, seed) in phases {
             let plan = single_fault_plan(kind, after_op, seed);
             let cell = format!("{kind}@{after_op}/seed{seed}");
-            let res = catch_unwind(AssertUnwindSafe(|| {
-                let mut mg = MultiGpu::with_defaults(NDEV);
-                mg.set_fault_plan(plan.clone());
-                ca_gmres_ft(mg, &a, &b, cfg)
-            }));
-            let out = match res {
-                Ok(out) => out,
-                Err(_) => {
-                    HealthProbe::reset_thread();
-                    panic!("{cell}: driver panicked");
-                }
-            };
-            assert!(
-                out.stats.t_total.is_finite()
-                    && out.stats.t_total >= 0.0
-                    && out.stats.t_total <= TIME_BUDGET_S,
-                "{cell}: simulated time {} out of budget",
-                out.stats.t_total
-            );
-            if out.stats.converged {
-                let mut ax = vec![0.0; b.len()];
-                spmv::spmv(&a, &out.x, &mut ax);
-                let rr: f64 = b.iter().zip(&ax).map(|(x, y)| (x - y) * (x - y)).sum();
-                let bb: f64 = b.iter().map(|x| x * x).sum();
-                let relres = (rr / bb).sqrt();
-                assert!(
-                    relres <= cfg.solver.rtol * 10.0,
-                    "{cell}: claimed convergence but relres = {relres:.3e}"
-                );
-            } else {
-                assert!(
-                    out.stats.breakdown.is_some() || out.stats.restarts >= cfg.solver.max_restarts,
-                    "{cell}: non-convergence with no typed breakdown"
-                );
-            }
+            check_cell(cfg, &a, &b, plan, &cell);
         }
     }
 }
@@ -135,6 +148,117 @@ fn composed_campaign_is_green_and_reproducible() {
     assert!(a.probe_armed > 0, "probe never armed in 48 schedules");
     let b = run_campaign(&cfg);
     assert_eq!(a.digest, b.digest, "campaign digest must be reproducible");
+}
+
+/// Numerical single-fault kinds: deterministic ill-conditioning basis
+/// perturbations, near-singular Gram nudges, and a forced cap-violating
+/// step size.
+fn numerical_fault_plan(kind: &str, seed: u64) -> FaultPlan {
+    let p = FaultPlan::new(seed);
+    match kind {
+        "perturb" => p.with_basis_perturb(0.25, 0.85),
+        "nudge" => p.with_gram_nudge(0.05, 0.95),
+        "force-s" => p.with_s_override(16),
+        other => panic!("unknown numerical fault kind {other}"),
+    }
+}
+
+fn run_numerical_grid(cfg: &FtConfig) {
+    let (a, b) = problem();
+    for kind in ["perturb", "nudge", "force-s"] {
+        for seed in [101u64, 202, 303] {
+            let cell = format!("{kind}/seed{seed}");
+            check_cell(cfg, &a, &b, numerical_fault_plan(kind, seed), &cell);
+        }
+    }
+}
+
+/// The unguarded (ladder-off) driver under every numerical fault kind:
+/// it may break down, but it must break down *typed* — never panic,
+/// never claim convergence it cannot host-verify.
+#[test]
+fn numerical_fault_grid_unguarded_converges_or_fails_typed() {
+    run_numerical_grid(&ft_cfg());
+}
+
+/// The same grid with the full escalation ladder armed.
+#[test]
+fn numerical_fault_grid_with_ladder_converges_or_fails_typed() {
+    let mut cfg = ft_cfg();
+    cfg.ladder = Some(Ladder::default());
+    run_numerical_grid(&cfg);
+}
+
+/// A ladder with exactly one rung enabled and a hair-trigger monitor, so
+/// the natural conditioning of the unscaled monomial basis is enough to
+/// fire it — each rung's mechanics get exercised in isolation without
+/// depending on a fault magnitude landing in a window.
+fn one_rung_ladder(rung: EscalationRung) -> Ladder {
+    let mut l = Ladder {
+        monitor: BasisMonitor { cond_warn: 10.0, cond_fail: 1e2, growth_fail: 1e12 },
+        reorth: false,
+        throttle: false,
+        basis_switch: false,
+        promote: false,
+        max_escalations: 1000,
+        s_floor: 2,
+    };
+    match rung {
+        EscalationRung::Reorth => l.reorth = true,
+        EscalationRung::Throttle => l.throttle = true,
+        EscalationRung::BasisSwitch => l.basis_switch = true,
+        EscalationRung::Promote => l.promote = true,
+    }
+    l
+}
+
+fn run_one_rung(cfg: &FtConfig, rung: EscalationRung) -> FtOutcome {
+    let (a, b) = problem();
+    let out = check_cell(cfg, &a, &b, FaultPlan::new(0), &format!("rung {rung:?}"));
+    assert!(
+        out.report.escalations.iter().any(|e| e.rung == rung),
+        "{rung:?} rung never fired; escalations: {:?}",
+        out.report.escalations
+    );
+    assert!(out.stats.converged, "{rung:?}-guarded solve must still converge");
+    out
+}
+
+#[test]
+fn ladder_reorth_rung_fires_and_converges() {
+    let mut cfg = ft_cfg();
+    cfg.ladder = Some(one_rung_ladder(EscalationRung::Reorth));
+    run_one_rung(&cfg, EscalationRung::Reorth);
+}
+
+#[test]
+fn ladder_throttle_rung_fires_and_converges() {
+    let mut cfg = ft_cfg();
+    cfg.ladder = Some(one_rung_ladder(EscalationRung::Throttle));
+    run_one_rung(&cfg, EscalationRung::Throttle);
+}
+
+#[test]
+fn ladder_basis_switch_rung_fires_and_converges() {
+    let mut cfg = ft_cfg();
+    cfg.solver.basis = BasisChoice::Monomial; // the switch is monomial -> Newton
+    cfg.ladder = Some(one_rung_ladder(EscalationRung::BasisSwitch));
+    let out = run_one_rung(&cfg, EscalationRung::BasisSwitch);
+    // monomial -> Newton is one-way: at most one switch per solve
+    let switches =
+        out.report.escalations.iter().filter(|e| e.rung == EscalationRung::BasisSwitch).count();
+    assert_eq!(switches, 1, "basis switch must fire exactly once");
+}
+
+#[test]
+fn ladder_promote_rung_fires_and_converges() {
+    let mut cfg = ft_cfg();
+    cfg.solver.mpk_prec = ca_gmres_repro::scalar::Precision::F32;
+    cfg.ladder = Some(one_rung_ladder(EscalationRung::Promote));
+    let out = run_one_rung(&cfg, EscalationRung::Promote);
+    let promotions =
+        out.report.escalations.iter().filter(|e| e.rung == EscalationRung::Promote).count();
+    assert_eq!(promotions, 1, "f32 -> f64 promotion must fire exactly once");
 }
 
 /// Schedules synthesize deterministically and their fault plans honor

@@ -326,6 +326,58 @@ fn mixed_precision_solve_is_bitwise_reproducible() {
     assert_eq!(r1, r2, "mixed-precision replay diverged");
 }
 
+/// The fault-tolerant driver on a healthy machine, with an optional
+/// numerical-health ladder armed. Returns everything observable plus the
+/// monitor's own activity counters.
+#[allow(clippy::type_complexity)]
+fn solve_ft_with_ladder(ladder: Option<Ladder>) -> ((Vec<u64>, u64, u64, u64, usize), u64, usize) {
+    let a = gen::convection_diffusion(14, 14, 1.5);
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| ((i * 31 % 17) as f64) - 8.0).collect();
+    let mut cfg = FtConfig { ladder, ..Default::default() };
+    cfg.solver.s = 6;
+    cfg.solver.m = 24;
+    cfg.solver.rtol = 1e-9;
+    cfg.solver.max_restarts = 300;
+    let mg = MultiGpu::with_defaults(3);
+    let out = ca_gmres_ft(mg, &a, &b, &cfg);
+    assert!(out.stats.converged);
+    (
+        (
+            out.x.iter().map(|v| v.to_bits()).collect(),
+            out.stats.t_total.to_bits(),
+            out.stats.comm_msgs,
+            out.stats.comm_bytes,
+            out.stats.total_iters,
+        ),
+        out.report.cond_checks,
+        out.report.escalations.len(),
+    )
+}
+
+/// Property (numerical-health monitor): arming the basis-condition
+/// monitor and the full escalation ladder on a healthy solve is
+/// bit-invisible — same solution bits, same simulated clock bits, same
+/// traffic counters — because the monitor reads only host-resident TSQR
+/// factors and uncharged checkpoint-style block norms. The armed run
+/// must nonetheless *observe* (condition records accumulate) while
+/// escalating exactly zero times.
+#[test]
+fn armed_ladder_on_healthy_run_is_bit_invisible() {
+    let (plain, plain_checks, _) = solve_ft_with_ladder(None);
+    let (armed, armed_checks, escalations) = solve_ft_with_ladder(Some(Ladder::default()));
+    assert_eq!(plain_checks, 0, "disarmed run must not record condition estimates");
+    assert!(armed_checks > 0, "armed monitor never recorded a condition estimate");
+    assert_eq!(escalations, 0, "healthy run must not escalate");
+    assert_eq!(plain.0, armed.0, "armed monitor perturbed the solution bits");
+    assert_eq!(plain.1, armed.1, "armed monitor perturbed the simulated clock");
+    assert_eq!(
+        (plain.2, plain.3, plain.4),
+        (armed.2, armed.3, armed.4),
+        "armed monitor perturbed traffic or iteration counters"
+    );
+}
+
 /// Property (stream executor): replaying the queues with the same
 /// `FaultPlan` seed is bit-identical — same solution bits, same clock
 /// bits, same counters, and command-for-command identical per-device
