@@ -163,11 +163,24 @@ pub struct RunMeta {
     /// recorded, if it ran under a `ca-obs` session — ties the artifact to
     /// the exact counter/gauge/histogram state that produced it.
     pub metrics_hash: Option<String>,
+    /// Seed of the open-loop arrival stream, for service studies driven
+    /// by `ca_serve::open_loop_arrivals` (null for solver-only figures).
+    pub arrival_seed: Option<u64>,
+    /// Offered load of that stream, jobs per simulated second (null for
+    /// solver-only figures). Together with `arrival_seed` this pins the
+    /// exact request trace an artifact was measured under.
+    pub offered_load_jobs_per_s: Option<f64>,
 }
 
 impl Default for RunMeta {
     fn default() -> Self {
-        Self { seed: SUITE_SEED, profile_hash: None, metrics_hash: None }
+        Self {
+            seed: SUITE_SEED,
+            profile_hash: None,
+            metrics_hash: None,
+            arrival_seed: None,
+            offered_load_jobs_per_s: None,
+        }
     }
 }
 
@@ -231,11 +244,21 @@ pub fn write_json<T: Serialize>(figure: &str, value: &T) {
         Some(h) => json_str(h),
         None => "null".into(),
     };
+    let arrival_seed = match meta.arrival_seed {
+        Some(s) => s.to_string(),
+        None => "null".into(),
+    };
+    let offered_load = match meta.offered_load_jobs_per_s {
+        Some(r) => format!("{r}"),
+        None => "null".into(),
+    };
     let envelope = format!(
         "{{\n  \"schema\": \"ca-bench/result\",\n  \"schema_version\": 1,\n  \
          \"figure\": {figure},\n  \"git\": {git},\n  \"threads\": {threads},\n  \
          \"seed\": {seed},\n  \"profile_hash\": {profile},\n  \
-         \"metrics_hash\": {metrics},\n  \"payload\": {payload}\n}}\n",
+         \"metrics_hash\": {metrics},\n  \"arrival_seed\": {arrival_seed},\n  \
+         \"offered_load_jobs_per_s\": {offered_load},\n  \
+         \"payload\": {payload}\n}}\n",
         figure = json_str(figure),
         git = json_str(&git_describe()),
         threads = rayon::current_num_threads(),

@@ -212,6 +212,13 @@ pub struct FtReport {
     /// Condition/growth observations the monitor made (armed only; most
     /// are healthy and leave no trajectory entry).
     pub cond_checks: u64,
+    /// Times the driver tore the executor down and rebuilt the
+    /// distributed system (device loss, watchdog escalation, rebalance,
+    /// retune, precision promotion). A rebuild replaces every device
+    /// allocation, so a caller holding operators resident across solves
+    /// (the `ca-serve` residency manager) must treat its handles as
+    /// invalidated whenever this is nonzero.
+    pub executor_rebuilds: usize,
 }
 
 /// A re-planning decision returned by a [`RestartTuner`]: the step size
@@ -541,6 +548,7 @@ impl HealthProbe {
 
 /// Per-device slices of the ABFT checksum vector `c = Aᵀ1`, aligned with
 /// the row [`Layout`].
+#[derive(Debug)]
 struct AbftState {
     cdev: Vec<VecId>,
 }
@@ -567,6 +575,13 @@ impl AbftState {
             cdev.push(id);
         }
         Ok(Self { cdev })
+    }
+
+    /// Free the per-device checksum vectors (residency eviction).
+    fn release(self, mg: &mut MultiGpu) {
+        for (d, &id) in self.cdev.iter().enumerate() {
+            mg.device_mut(d).free_vec(id);
+        }
     }
 
     /// Check the generated block `V[:, start+1 ..= start+s]` against the
@@ -652,8 +667,114 @@ pub fn ca_gmres_ft_with_tuner(
     cfg: &FtConfig,
     tuner: Option<&mut dyn RestartTuner>,
 ) -> FtOutcome {
-    assert_eq!(a.nrows(), b.len());
     let mut mg = mg;
+    let (out, _resident) = ca_gmres_ft_session(&mut mg, a, b, cfg, tuner, None, false);
+    out
+}
+
+/// Device-resident solver state held *between* solves of the same matrix:
+/// the distributed [`System`] (basis, iterate, SpMV/MPK plans) plus the
+/// ABFT checksum vectors, together with the identity it was built for.
+///
+/// The multi-tenant service front-end keeps one of these per warm
+/// operator so that back-to-back jobs on the same matrix skip the slice
+/// staging and plan loads entirely ([`ca_gmres_ft_session`] reuses the
+/// state when it is [`ResidentSystem::compatible`], and returns the
+/// refreshed state after a successful solve). [`ResidentSystem::release`]
+/// frees every device allocation when the residency manager evicts the
+/// operator.
+#[derive(Debug)]
+pub struct ResidentSystem {
+    sys: System,
+    abft: Option<AbftState>,
+    /// Global dimension the system was built for.
+    pub n: usize,
+    /// Restart length `m` (fixes the basis-matrix column count).
+    pub m: usize,
+    /// MPK step size the plans were analyzed for (`None`: plain SpMV).
+    pub s_opt: Option<usize>,
+    /// Precision of the MPK slices and halos.
+    pub prec: ca_scalar::Precision,
+    /// Device count of the pool the allocations live on.
+    pub ndev: usize,
+}
+
+impl ResidentSystem {
+    /// Whether this state can serve a solve of an `n`-row matrix under
+    /// `cfg` on an `ndev`-device pool. The effective step size must be
+    /// computed by the caller exactly as the driver does (including any
+    /// fault-plan forced `s`), so the check lives next to the one place
+    /// that knows: [`ca_gmres_ft_session`] re-derives it before calling.
+    pub fn compatible(&self, n: usize, cfg: &FtConfig, s_opt: Option<usize>, ndev: usize) -> bool {
+        self.n == n
+            && self.m == cfg.solver.m
+            && self.s_opt == s_opt
+            && self.prec == cfg.solver.mpk_prec
+            && self.ndev == ndev
+            && self.abft.is_some() == cfg.abft_spmv
+    }
+
+    /// Free every device allocation the state owns (basis, plans, ABFT
+    /// vectors), returning the bytes to the simulator's memory accounting.
+    pub fn release(self, mg: &mut MultiGpu) {
+        self.sys.release(mg);
+        if let Some(abft) = self.abft {
+            abft.release(mg);
+        }
+    }
+}
+
+/// Effective MPK step option for a solve of `cfg` on `mg`, mirroring the
+/// driver's own derivation (including a fault-plan forced `s`).
+fn effective_s_opt(mg: &MultiGpu, cfg: &FtConfig) -> Option<usize> {
+    let scfg = &cfg.solver;
+    let mut s_cur = scfg.s;
+    if let Some(fs) = mg.fault_plan().and_then(|p| p.forced_s()) {
+        s_cur = fs.clamp(1, scfg.m);
+    }
+    (s_cur > 1 && !matches!(scfg.kernel, KernelMode::Spmv)).then_some(s_cur)
+}
+
+/// Re-entrant fault-tolerant solve: [`ca_gmres_ft_with_tuner`] against a
+/// *borrowed* executor, with optional reuse of a [`ResidentSystem`] from
+/// a previous solve of the same matrix.
+///
+/// With `resident == None` and `rhs_precharged == false` this is
+/// bit-identical to [`ca_gmres_ft_with_tuner`] — same kernels, same
+/// clocks, same counters. A compatible `resident` skips the basis/plan
+/// allocation and slice staging (the warm-operator path); an incompatible
+/// one is released (freeing its device memory) and the state is rebuilt
+/// from scratch. `rhs_precharged` installs the right-hand side with
+/// [`System::set_rhs_uncharged`] — for callers that already charged an
+/// aggregated multi-RHS upload — instead of the per-solve charged
+/// [`System::load_rhs`].
+///
+/// Returns the refreshed resident state after the solve so the caller can
+/// keep the operator warm. `None` when the solve aborted on an
+/// unrecoverable fault — the caller must then treat its device-memory
+/// bookkeeping for this pool as stale (an executor rebuild inside the
+/// driver replaces all allocations; [`FtReport::executor_rebuilds`]
+/// counts those, and any nonzero count invalidates *other* operators the
+/// caller holds resident on the same pool).
+pub fn ca_gmres_ft_session(
+    mg: &mut MultiGpu,
+    a: &Csr,
+    b: &[f64],
+    cfg: &FtConfig,
+    tuner: Option<&mut dyn RestartTuner>,
+    resident: Option<ResidentSystem>,
+    rhs_precharged: bool,
+) -> (FtOutcome, Option<ResidentSystem>) {
+    assert_eq!(a.nrows(), b.len());
+    let s_opt = effective_s_opt(mg, cfg);
+    let init = match resident {
+        Some(r) if r.compatible(a.nrows(), cfg, s_opt, mg.n_gpus()) => Some((r.sys, r.abft)),
+        Some(r) => {
+            r.release(mg); // stale shape: evict rather than mis-solve
+            None
+        }
+        None => None,
+    };
     let mut stats = SolveStats::default();
     let mut report =
         FtReport { ndev_final: mg.n_gpus(), s_final: cfg.solver.s, ..Default::default() };
@@ -665,8 +786,21 @@ pub fn ca_gmres_ft_with_tuner(
     // called so a probe leaked by an aborted solve cannot carry over
     HealthProbe::arm(cfg.probe.as_ref(), t_begin);
     BasisMonitor::arm(cfg.ladder.as_ref().map(|l| &l.monitor));
-    let fatal =
-        ca_gmres_ft_impl(&mut mg, a, b, cfg, tuner, &mut stats, &mut report, &mut x_ckpt).err();
+    let mut final_sys: Option<(System, Option<AbftState>)> = None;
+    let fatal = ca_gmres_ft_impl(
+        mg,
+        a,
+        b,
+        cfg,
+        tuner,
+        init,
+        rhs_precharged,
+        &mut stats,
+        &mut report,
+        &mut x_ckpt,
+        &mut final_sys,
+    )
+    .err();
     if let Some(ps) = HealthProbe::disarm() {
         report.in_cycle_polls = ps.polls;
         report.in_cycle_escalations = ps.escalations;
@@ -697,7 +831,19 @@ pub fn ca_gmres_ft_with_tuner(
         obs::gauge_set("ft.s_final", report.s_final as f64);
         obs::gauge_set("ft.ndev_final", report.ndev_final as f64);
     }
-    FtOutcome { stats, report, x: x_ckpt }
+    // package the final device state for the caller's residency manager;
+    // the shape keys reflect what the solve *ended* with (a mid-solve
+    // retune/promotion/degradation rebuilt the system with new parameters)
+    let resident_out = final_sys.map(|(sys, abft)| ResidentSystem {
+        n: sys.n,
+        m: sys.m,
+        s_opt: sys.mpk.as_ref().map(|st| st.plan.s),
+        prec: sys.mpk.as_ref().map_or(cfg.solver.mpk_prec, |st| st.prec),
+        ndev: sys.layout.ndev(),
+        sys,
+        abft,
+    });
+    (FtOutcome { stats, report, x: x_ckpt }, resident_out)
 }
 
 /// Fallible body: only *unrecoverable* faults escape (device loss with no
@@ -710,9 +856,12 @@ fn ca_gmres_ft_impl(
     b: &[f64],
     cfg: &FtConfig,
     mut tuner: Option<&mut dyn RestartTuner>,
+    init: Option<(System, Option<AbftState>)>,
+    rhs_precharged: bool,
     stats: &mut SolveStats,
     report: &mut FtReport,
     x_ckpt: &mut Vec<f64>,
+    final_sys: &mut Option<(System, Option<AbftState>)>,
 ) -> GpuResult<()> {
     let n = a.nrows();
     let scfg = &cfg.solver;
@@ -737,17 +886,36 @@ fn ca_gmres_ft_impl(
     // re-derive the spec from this, not the original config)
     let mut basis_cur = scfg.basis;
 
-    let mut sys = System::new_with_format_prec(
-        mg,
-        a,
-        Layout::even(n, mg.n_gpus()),
-        scfg.m,
-        s_opt,
-        crate::mpk::SpmvFormat::Ell,
-        prec_cur,
-    )?;
-    sys.load_rhs(mg, b)?;
-    let mut abft = if cfg.abft_spmv { Some(AbftState::build(mg, a, &sys.layout)?) } else { None };
+    let (mut sys, mut abft) = match init {
+        Some((sys, abft)) => {
+            // warm operator handed in by the caller (already verified
+            // compatible): skip allocation and staging, just install the
+            // new right-hand side
+            debug_assert_eq!(sys.n, n);
+            debug_assert_eq!(sys.m, scfg.m);
+            if rhs_precharged {
+                sys.set_rhs_uncharged(mg, b);
+            } else {
+                sys.load_rhs(mg, b)?;
+            }
+            (sys, abft)
+        }
+        None => {
+            let sys = System::new_with_format_prec(
+                mg,
+                a,
+                Layout::even(n, mg.n_gpus()),
+                scfg.m,
+                s_opt,
+                crate::mpk::SpmvFormat::Ell,
+                prec_cur,
+            )?;
+            sys.load_rhs(mg, b)?;
+            let abft =
+                if cfg.abft_spmv { Some(AbftState::build(mg, a, &sys.layout)?) } else { None };
+            (sys, abft)
+        }
+    };
 
     let mut beta0 = sys.residual_norm(mg)?;
     let target = scfg.rtol * beta0;
@@ -883,6 +1051,7 @@ fn ca_gmres_ft_impl(
                     s_opt,
                     &[device],
                     prec_cur,
+                    report,
                 )?;
                 sys.upload_x(mg, x_ckpt)?;
                 HealthProbe::unlatch_straggler(); // rebuild reset the EWMAs
@@ -941,7 +1110,8 @@ fn ca_gmres_ft_impl(
                         obs::counter_add("ft.rebalances", 1);
                         obs::counter_add("ft.rebalance.rows_moved", rows_moved as u64);
                     }
-                    (sys, abft) = rebuild_system(mg, a, b, new_layout, cfg, s_opt, &[], prec_cur)?;
+                    (sys, abft) =
+                        rebuild_system(mg, a, b, new_layout, cfg, s_opt, &[], prec_cur, report)?;
                     mg.to_devices(&bytes)?; // charge the row migration
                     sys.upload_x(mg, x_ckpt)?;
                     HealthProbe::unlatch_straggler(); // rebuild reset the EWMAs
@@ -995,7 +1165,8 @@ fn ca_gmres_ft_impl(
                             );
                         }
                         let layout = sys.layout.clone();
-                        (sys, abft) = rebuild_system(mg, a, b, layout, cfg, s_opt, &[], prec_cur)?;
+                        (sys, abft) =
+                            rebuild_system(mg, a, b, layout, cfg, s_opt, &[], prec_cur, report)?;
                         sys.upload_x(mg, x_ckpt)?;
                         HealthProbe::unlatch_straggler(); // rebuild reset the EWMAs
                         if ck.is_none() {
@@ -1039,6 +1210,7 @@ fn ca_gmres_ft_impl(
                     s_opt,
                     &[device],
                     prec_cur,
+                    report,
                 )?;
                 sys.upload_x(mg, x_ckpt)?;
                 // same global problem, same target: recompute where we are
@@ -1093,8 +1265,17 @@ fn ca_gmres_ft_impl(
                     );
                     obs::counter_add("ft.device_losses", hung.len() as u64);
                 }
-                (sys, abft) =
-                    rebuild_system(mg, a, b, Layout::even(n, alive), cfg, s_opt, &hung, prec_cur)?;
+                (sys, abft) = rebuild_system(
+                    mg,
+                    a,
+                    b,
+                    Layout::even(n, alive),
+                    cfg,
+                    s_opt,
+                    &hung,
+                    prec_cur,
+                    report,
+                )?;
                 sys.upload_x(mg, x_ckpt)?;
                 beta0 = beta0.max(f64::MIN_POSITIVE);
                 beta = sys.residual_norm(mg)?;
@@ -1157,7 +1338,7 @@ fn ca_gmres_ft_impl(
                         s_opt = (s_cur > 1 && !matches!(scfg.kernel, KernelMode::Spmv))
                             .then_some(s_cur);
                         (sys, abft) =
-                            rebuild_system(mg, a, b, d.layout, cfg, s_opt, &[], prec_cur)?;
+                            rebuild_system(mg, a, b, d.layout, cfg, s_opt, &[], prec_cur, report)?;
                         if layout_changed {
                             mg.to_devices(&bytes)?; // charge the row migration
                         }
@@ -1225,7 +1406,8 @@ fn ca_gmres_ft_impl(
                         obs::counter_add("ft.rebalances", 1);
                         obs::counter_add("ft.rebalance.rows_moved", rows_moved as u64);
                     }
-                    (sys, abft) = rebuild_system(mg, a, b, new_layout, cfg, s_opt, &[], prec_cur)?;
+                    (sys, abft) =
+                        rebuild_system(mg, a, b, new_layout, cfg, s_opt, &[], prec_cur, report)?;
                     mg.to_devices(&bytes)?; // charge the row migration
                     sys.upload_x(mg, x_ckpt)?;
                     beta = sys.residual_norm(mg)?;
@@ -1237,6 +1419,7 @@ fn ca_gmres_ft_impl(
     stats.converged = beta <= target;
     stats.final_relres = if beta0 > 0.0 { beta / beta0 } else { 0.0 };
     report.layout_final = sys.layout.starts.clone();
+    *final_sys = Some((sys, abft));
     Ok(())
 }
 
@@ -1258,7 +1441,9 @@ fn rebuild_system(
     s_opt: Option<usize>,
     lost: &[usize],
     prec: ca_scalar::Precision,
+    report: &mut FtReport,
 ) -> GpuResult<(System, Option<AbftState>)> {
+    report.executor_rebuilds += 1;
     let t_now = mg.time();
     let plan = mg.fault_plan().cloned();
     let schedule = mg.schedule();
@@ -2075,6 +2260,77 @@ mod tests {
         for (u, v) in base.x.iter().zip(&probed.x) {
             assert_eq!(u.to_bits(), v.to_bits());
         }
+    }
+
+    #[test]
+    fn session_cold_matches_one_shot() {
+        // the re-entrant entry with no resident state is the consuming
+        // entry, bit for bit: solution, clock, and traffic counters
+        let (a, b, _) = problem();
+        let one_shot = ca_gmres_ft(MultiGpu::with_defaults(2), &a, &b, &cfg());
+        let mut mg = MultiGpu::with_defaults(2);
+        let (sess, resident) = ca_gmres_ft_session(&mut mg, &a, &b, &cfg(), None, None, false);
+        assert!(resident.is_some(), "healthy solve must hand back its device state");
+        assert_eq!(one_shot.stats.total_iters, sess.stats.total_iters);
+        assert_eq!(one_shot.stats.t_total.to_bits(), sess.stats.t_total.to_bits());
+        assert_eq!(one_shot.stats.comm_msgs, sess.stats.comm_msgs);
+        assert_eq!(one_shot.stats.comm_bytes, sess.stats.comm_bytes);
+        for (u, v) in one_shot.x.iter().zip(&sess.x) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn session_warm_reuse_skips_staging_and_matches() {
+        let (a, b, _) = problem();
+        let c = cfg();
+        let mut mg = MultiGpu::with_defaults(2);
+        let (first, resident) = ca_gmres_ft_session(&mut mg, &a, &b, &c, None, None, false);
+        assert!(first.stats.converged);
+        let mem_after_first: Vec<usize> = (0..2).map(|d| mg.device(d).mem_used()).collect();
+        let msgs_cold = mg.counters().total_msgs();
+
+        // warm solve of the same system: same numerics, no new
+        // allocations, and strictly less traffic than a cold solve
+        let (second, resident2) = ca_gmres_ft_session(&mut mg, &a, &b, &c, None, resident, false);
+        assert!(second.stats.converged);
+        for (u, v) in first.x.iter().zip(&second.x) {
+            assert_eq!(u.to_bits(), v.to_bits(), "warm solve changed the solution");
+        }
+        let mem_after_second: Vec<usize> = (0..2).map(|d| mg.device(d).mem_used()).collect();
+        assert_eq!(mem_after_first, mem_after_second, "warm solve must not allocate");
+        let msgs_warm = mg.counters().total_msgs() - msgs_cold;
+        assert!(msgs_warm < msgs_cold, "warm solve sent {msgs_warm} msgs, cold sent {msgs_cold}");
+        assert_eq!(second.report.executor_rebuilds, 0);
+
+        // eviction returns every byte to the pool
+        resident2.unwrap().release(&mut mg);
+        for d in 0..2 {
+            assert_eq!(mg.device(d).mem_used(), 0, "device {d} leaked after release");
+        }
+    }
+
+    #[test]
+    fn session_rhs_precharged_skips_rhs_upload_only() {
+        // with the RHS pre-staged (batched upload charged by the caller),
+        // the warm solve books exactly the load_rhs transfers fewer
+        let (a, b, _) = problem();
+        let c = cfg();
+        let run = |precharged: bool| {
+            let mut mg = MultiGpu::with_defaults(2);
+            let (_, resident) = ca_gmres_ft_session(&mut mg, &a, &b, &c, None, None, false);
+            let before = mg.counters();
+            let (out, _) = ca_gmres_ft_session(&mut mg, &a, &b, &c, None, resident, precharged);
+            let after = mg.counters();
+            (out, after.total_bytes() - before.total_bytes())
+        };
+        let (charged_out, charged_bytes) = run(false);
+        let (pre_out, pre_bytes) = run(true);
+        for (u, v) in charged_out.x.iter().zip(&pre_out.x) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+        let n = a.nrows() as u64;
+        assert_eq!(charged_bytes - pre_bytes, 8 * n, "exactly one RHS upload skipped");
     }
 
     #[test]

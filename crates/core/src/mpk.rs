@@ -274,6 +274,27 @@ impl MpkState {
         Ok(Self { plan, prec, local_slice, level_slices, z, local_rows })
     }
 
+    /// Free every device allocation this state owns (slices and the
+    /// double-buffer work vectors), returning the bytes to the simulator's
+    /// per-device memory accounting. Used by the multi-tenant residency
+    /// manager when a cold operator is evicted; deallocation is free in
+    /// simulated time, like allocation (the paper excludes setup).
+    pub fn release(self, mg: &mut MultiGpu) {
+        for (d, sl) in self.local_slice.iter().enumerate() {
+            mg.device_mut(d).free_slice(*sl);
+        }
+        for (d, lvs) in self.level_slices.iter().enumerate() {
+            for sl in lvs {
+                mg.device_mut(d).free_slice(*sl);
+            }
+        }
+        for (d, &(z0, z1)) in self.z.iter().enumerate() {
+            let dev = mg.device_mut(d);
+            dev.free_vec(z0);
+            dev.free_vec(z1);
+        }
+    }
+
     /// Exchange phase (the Fig. 4 "Setup"): bring the start vector's value
     /// at every needed remote row into each device's `z_cur` buffer.
     /// `z_cur` must already hold the local values.

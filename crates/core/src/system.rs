@@ -135,6 +135,40 @@ impl System {
         Ok(())
     }
 
+    /// Set `b` (and zero `x`) on the devices *without* charging the
+    /// transfer. The multi-tenant service front-end batches the right-hand
+    /// sides of co-resident jobs into one aggregated upload (charged once,
+    /// by the caller, at the full payload size) and then installs each
+    /// solve's RHS from that staging buffer with this host-side poke —
+    /// charging per-solve transfers again would double-count the traffic.
+    /// Single solves should use [`System::load_rhs`].
+    pub fn set_rhs_uncharged(&self, mg: &mut MultiGpu, b: &[f64]) {
+        assert_eq!(b.len(), self.n);
+        let (bc, xc) = (self.b_col(), self.x_col());
+        for d in 0..self.layout.ndev() {
+            let lo = self.layout.range(d).start;
+            let nl = self.layout.nlocal(d);
+            let dev = mg.device_mut(d);
+            dev.mat_mut(self.v[d]).set_col(bc, &b[lo..lo + nl]);
+            let zeros = vec![0.0; nl];
+            dev.mat_mut(self.v[d]).set_col(xc, &zeros);
+        }
+    }
+
+    /// Free every device allocation this system owns (the basis matrices
+    /// and both SpMV/MPK plans), returning the bytes to the simulator's
+    /// memory accounting. Used by the service residency manager when a
+    /// cold operator is evicted to make room for an incoming tenant.
+    pub fn release(self, mg: &mut MultiGpu) {
+        for (d, &v) in self.v.iter().enumerate() {
+            mg.device_mut(d).free_mat(v);
+        }
+        self.spmv.release(mg);
+        if let Some(mpk) = self.mpk {
+            mpk.release(mg);
+        }
+    }
+
     /// Upload an explicit iterate `x` to the devices (checkpoint restore
     /// for the fault-tolerant driver), charging the transfers.
     ///

@@ -17,7 +17,7 @@ use crate::model::{GemmVariant, GemvVariant, PerfModel};
 use crate::stream::{Cmd, Event, StreamTrace};
 use ca_dense::{blas1, blas3, qr, Mat};
 use ca_scalar::Precision;
-use ca_sparse::{Ell, Hyb};
+use ca_sparse::{Csr, Ell, Hyb};
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -32,6 +32,17 @@ pub struct MatId(pub(crate) usize);
 /// Handle to a device sparse slice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpId(pub(crate) usize);
+
+/// Allocation watermark of one device, taken with
+/// [`Device::mem_checkpoint`] and restored with [`Device::mem_rollback`]
+/// when a multi-object build fails partway.
+#[derive(Debug, Clone, Copy)]
+pub struct MemMark {
+    vecs: usize,
+    mats: usize,
+    slices: usize,
+    bytes: usize,
+}
 
 /// Sparse storage of a device slice: plain ELLPACK (the paper's GPU
 /// format) or hybrid ELL + COO (CUSP-style, robust to hub rows), each at
@@ -419,6 +430,71 @@ impl Device {
         self.charge_mem(storage.bytes() + rows.len() * 4)?;
         self.slices.push(SpSlice { storage, rows });
         Ok(SpId(self.slices.len() - 1))
+    }
+
+    // ---------- deallocation (multi-tenant residency management) ----------
+    //
+    // One-shot solves never free: the executor is dropped wholesale at the
+    // end, matching the paper's setup-excluded methodology. A *service*
+    // that keeps operators resident across jobs needs to return memory
+    // when a cold matrix is evicted, without invalidating the ids other
+    // resident systems hold — so frees tombstone the slot in place (ids
+    // are indices and must stay stable) and only the byte accounting and
+    // the backing host storage are released. Double-frees are idempotent:
+    // an already-empty slot releases zero bytes.
+
+    /// Free a device vector: release its bytes and tombstone the slot.
+    pub fn free_vec(&mut self, v: VecId) {
+        let bytes = self.vecs[v.0].len() * 8;
+        self.mem_bytes = self.mem_bytes.saturating_sub(bytes);
+        self.vecs[v.0] = Vec::new();
+    }
+
+    /// Free a device matrix: release its bytes and tombstone the slot.
+    pub fn free_mat(&mut self, m: MatId) {
+        let mat = &self.mats[m.0];
+        let bytes = mat.nrows() * mat.ncols() * 8;
+        self.mem_bytes = self.mem_bytes.saturating_sub(bytes);
+        self.mats[m.0] = Mat::zeros(0, 0);
+    }
+
+    /// Free a sparse slice: release its bytes and tombstone the slot.
+    pub fn free_slice(&mut self, s: SpId) {
+        let sl = &self.slices[s.0];
+        let bytes = sl.storage.bytes() + sl.rows.len() * 4;
+        self.mem_bytes = self.mem_bytes.saturating_sub(bytes);
+        self.slices[s.0] = SpSlice {
+            storage: SpStorage::Ell(Ell::from_csr(&Csr::from_raw(0, 0, vec![0], vec![], vec![]))),
+            rows: Vec::new(),
+        };
+    }
+
+    /// Snapshot the allocation state before a fallible multi-object build
+    /// (e.g. loading a new operator under memory pressure). If the build
+    /// fails partway, [`Device::mem_rollback`] discards everything
+    /// allocated since — otherwise the half-built object's charges would
+    /// leak, since its ids never escaped to be freed.
+    pub fn mem_checkpoint(&self) -> MemMark {
+        MemMark {
+            vecs: self.vecs.len(),
+            mats: self.mats.len(),
+            slices: self.slices.len(),
+            bytes: self.mem_bytes,
+        }
+    }
+
+    /// Roll allocations back to `mark`. Only valid when nothing allocated
+    /// *before* the mark was freed in between (the service's
+    /// evict-then-build ordering guarantees this), and when no id handed
+    /// out after the mark survives the rollback.
+    pub fn mem_rollback(&mut self, mark: &MemMark) {
+        debug_assert!(self.vecs.len() >= mark.vecs);
+        debug_assert!(self.mats.len() >= mark.mats);
+        debug_assert!(self.slices.len() >= mark.slices);
+        self.vecs.truncate(mark.vecs);
+        self.mats.truncate(mark.mats);
+        self.slices.truncate(mark.slices);
+        self.mem_bytes = mark.bytes;
     }
 
     fn spmv_cost(&self, s: SpId) -> f64 {
@@ -1301,6 +1377,61 @@ mod tests {
 
     fn dev() -> Device {
         Device::new(0, Arc::new(PerfModel::default()))
+    }
+
+    #[test]
+    fn free_returns_bytes_and_keeps_ids_stable() {
+        let mut d = dev();
+        let v0 = d.alloc_vec(100).unwrap();
+        let m0 = d.alloc_mat(50, 4).unwrap();
+        let a = laplace2d(8, 8);
+        let ell = Ell::from_csr(&a);
+        let ell_bytes = ell.bytes();
+        let s0 = d.load_slice(ell, (0..64).collect()).unwrap();
+        let used = d.mem_used();
+        assert_eq!(used, 100 * 8 + 50 * 4 * 8 + ell_bytes + 64 * 4);
+        d.free_vec(v0);
+        assert_eq!(d.mem_used(), used - 800);
+        d.free_mat(m0);
+        assert_eq!(d.mem_used(), used - 800 - 1600);
+        d.free_slice(s0);
+        assert_eq!(d.mem_used(), 0);
+        // double-free is idempotent (tombstoned slots release zero bytes)
+        d.free_vec(v0);
+        d.free_mat(m0);
+        d.free_slice(s0);
+        assert_eq!(d.mem_used(), 0);
+        // later allocations get fresh ids; earlier ids stay valid indices
+        let v1 = d.alloc_vec(10).unwrap();
+        assert_ne!(v1, v0);
+        assert_eq!(d.vec(v0).len(), 0);
+        assert_eq!(d.vec(v1).len(), 10);
+    }
+
+    #[test]
+    fn freed_memory_is_reusable() {
+        let mut d =
+            Device::new(0, Arc::new(PerfModel { dev_mem_capacity: 4096, ..PerfModel::default() }));
+        let v = d.alloc_vec(400).unwrap(); // 3200 of 4096 bytes
+        assert!(d.alloc_vec(400).is_err());
+        d.free_vec(v);
+        assert!(d.alloc_vec(400).is_ok());
+    }
+
+    #[test]
+    fn mem_rollback_discards_partial_build() {
+        let mut d = dev();
+        let keep = d.alloc_vec(64).unwrap();
+        let mark = d.mem_checkpoint();
+        let used = d.mem_used();
+        let _v = d.alloc_vec(128).unwrap();
+        let _m = d.alloc_mat(16, 16).unwrap();
+        d.mem_rollback(&mark);
+        assert_eq!(d.mem_used(), used);
+        assert_eq!(d.vec(keep).len(), 64);
+        // the slots themselves are gone, so the next alloc reuses them
+        let v2 = d.alloc_vec(1).unwrap();
+        assert_eq!(d.vec(v2).len(), 1);
     }
 
     #[test]

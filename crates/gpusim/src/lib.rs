@@ -76,7 +76,7 @@ pub mod retry;
 pub mod stream;
 pub mod trace;
 
-pub use device::{Device, MatId, SpId, SpSlice, VecId};
+pub use device::{Device, MatId, MemMark, SpId, SpSlice, VecId};
 pub use faults::{
     AllocFault, BasisPerturb, DeviceLoss, FaultPlan, GpuSimError, GramNudge, LinkDegrade, SdcKind,
     SdcTargets, Slowdown, StallPlan,

@@ -1,0 +1,667 @@
+//! The dispatch loop: slices, queue, batching, backfill, and fault
+//! isolation.
+//!
+//! Simulated-time model: each slice is an independent executor. The
+//! dispatcher always serves the slice with the *lowest host clock* — a
+//! quantity that only ever rises — so jobs become visible (arrival ≤
+//! that clock) in a deterministic order, and a job is never started
+//! before its arrival. An idle slice with nothing eligible fast-forwards
+//! to the next arrival (genuinely idle time moves every clock); all
+//! scheduling overhead (planning, dispatch bookkeeping) is charged with
+//! `advance_host` only, so it can delay a solve's start but never
+//! inflates device clocks or the solver's own phase timings.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use ca_gmres::ft::{ca_gmres_ft_session, FtConfig};
+use ca_gmres::prelude::*;
+use ca_gpusim::MultiGpu;
+use ca_obs as obs;
+use ca_obs::export::StreamingTrace;
+use ca_sparse::Csr;
+
+use crate::admission::{AdmissionCache, CachedAdmission, FairQueue};
+use crate::job::JobRequest;
+use crate::metrics::{hash_solution, percentile, JobRecord, JobStatus, ServiceReport};
+use crate::residency::Residency;
+use crate::{Policy, ServeConfig};
+
+/// One pool slice: an executor plus its warm-operator store.
+struct Slice {
+    mg: MultiGpu,
+    residency: Residency,
+    /// Excluded from dispatch until something changes (no eligible job).
+    parked: bool,
+    /// Simulated interval of the most recent contiguous run of solves,
+    /// for cross-slice overlap (backfill) detection.
+    busy_from: f64,
+    busy_until: f64,
+}
+
+/// A job waiting in the visible queue, with its fair-queueing tags.
+struct Queued {
+    req: JobRequest,
+    vstart: f64,
+    vfinish: f64,
+    /// Best ETA across the configured slice sizes (seconds).
+    eta_s: f64,
+}
+
+/// The service: matrix pool, slices, admission state, and the queue
+/// discipline. Construct once, then [`Service::run`] an arrival stream.
+pub struct Service {
+    cfg: ServeConfig,
+    matrices: BTreeMap<String, Csr>,
+    slices: Vec<Slice>,
+    admission: AdmissionCache,
+    fair: FairQueue,
+}
+
+impl Service {
+    /// Build the pool: one executor per configured slice, fault plans
+    /// installed where requested, admission cache cold.
+    #[must_use]
+    pub fn new(cfg: ServeConfig, matrices: Vec<(String, Csr)>) -> Self {
+        let slices = cfg
+            .slices
+            .iter()
+            .enumerate()
+            .map(|(i, &nd)| {
+                let mut mg = MultiGpu::new(nd, cfg.model.clone(), cfg.kernel_config);
+                mg.set_schedule(cfg.schedule);
+                if let Some((_, plan)) = cfg.fault_plans.iter().find(|(si, _)| *si == i) {
+                    mg.set_fault_plan(plan.clone());
+                }
+                Slice {
+                    mg,
+                    residency: Residency::default(),
+                    parked: false,
+                    busy_from: 0.0,
+                    busy_until: 0.0,
+                }
+            })
+            .collect();
+        let admission = AdmissionCache::new(
+            cfg.admission_space.clone(),
+            cfg.model.clone(),
+            cfg.kernel_config,
+            cfg.base.solver.m,
+            cfg.ewma_alpha,
+            cfg.expected_cycles_init,
+        );
+        let fair = FairQueue::new(cfg.tenant_weights.clone());
+        Self { cfg, matrices: matrices.into_iter().collect(), slices, admission, fair }
+    }
+
+    /// Simulated clock of slice `i` (host view) — test hook.
+    #[must_use]
+    pub fn slice_host_time(&self, i: usize) -> f64 {
+        self.slices[i].mg.host_time()
+    }
+
+    /// Run an arrival stream to completion.
+    pub fn run(&mut self, jobs: Vec<JobRequest>) -> ServiceReport {
+        self.run_inner(jobs, None)
+    }
+
+    /// [`Service::run`] with incremental span export: sealed spans are
+    /// drained into `trace` after every job, so the recorder's resident
+    /// log stays bounded over thousands of jobs.
+    pub fn run_streaming(
+        &mut self,
+        jobs: Vec<JobRequest>,
+        trace: &mut StreamingTrace,
+    ) -> ServiceReport {
+        self.run_inner(jobs, Some(trace))
+    }
+
+    fn run_inner(
+        &mut self,
+        mut jobs: Vec<JobRequest>,
+        mut trace: Option<&mut StreamingTrace>,
+    ) -> ServiceReport {
+        jobs.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
+        let mut pending: VecDeque<JobRequest> = jobs.into();
+        let mut queue: Vec<Queued> = Vec::new();
+        let mut report = ServiceReport::default();
+        // Distinct configured slice sizes, for ingest-time ETA/feasibility.
+        let mut sizes: Vec<usize> = self.cfg.slices.clone();
+        sizes.sort_unstable();
+        sizes.dedup();
+
+        loop {
+            // Serve the unparked slice with the lowest host clock.
+            let Some(s) = self
+                .slices
+                .iter()
+                .enumerate()
+                .filter(|(_, sl)| !sl.parked)
+                .min_by(|(i, a), (j, b)| {
+                    a.mg.host_time().total_cmp(&b.mg.host_time()).then(i.cmp(j))
+                })
+                .map(|(i, _)| i)
+            else {
+                // Every slice parked: nothing queued is servable on the
+                // current pool (e.g. degradation shrank every slice below
+                // the job's admissible device counts). Reject the queue;
+                // later arrivals may still be servable, so keep draining.
+                let h =
+                    self.slices.iter().map(|sl| sl.mg.host_time()).fold(f64::INFINITY, f64::min);
+                for q in queue.drain(..) {
+                    report.jobs.push(reject_record(&q.req, h));
+                    report.rejected += 1;
+                }
+                if pending.is_empty() {
+                    break;
+                }
+                self.unpark();
+                continue;
+            };
+            let h = self.slices[s].mg.host_time();
+
+            // Ingest arrivals visible at this clock (the pool-wide
+            // minimum, so tags are assigned in a deterministic order).
+            while pending.front().is_some_and(|j| j.arrival_s <= h) {
+                let req = pending.pop_front().expect("peeked");
+                self.ingest(req, &sizes, s, &mut queue, &mut report);
+                self.unpark();
+            }
+            report.max_queue_depth = report.max_queue_depth.max(queue.len());
+
+            if queue.is_empty() {
+                match pending.front() {
+                    Some(j) => {
+                        // Idle until the next arrival: real idle time, so
+                        // every clock on the slice moves.
+                        let t = j.arrival_s;
+                        self.slices[s].mg.fast_forward(t);
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+
+            match self.pick(s, &queue, h) {
+                Some(qi) => {
+                    self.unpark();
+                    self.dispatch(s, qi, &mut queue, &mut report, &mut trace);
+                }
+                None => {
+                    // Nothing in the queue admits at this slice's device
+                    // count: park it until another slice makes progress.
+                    self.slices[s].parked = true;
+                }
+            }
+        }
+
+        self.finalize(&mut report);
+        report
+    }
+
+    /// Tag a newly visible job (SFQ) or reject it if no configured slice
+    /// size admits it.
+    fn ingest(
+        &mut self,
+        req: JobRequest,
+        sizes: &[usize],
+        charge_slice: usize,
+        queue: &mut Vec<Queued>,
+        report: &mut ServiceReport,
+    ) {
+        let a = &self.matrices[&req.matrix];
+        let mut eta: Option<f64> = None;
+        let mut misses = 0u32;
+        for &nd in sizes {
+            let (e, miss) = self.admission.eta_s(&req.matrix, a, nd);
+            misses += u32::from(miss);
+            if let Some(e) = e {
+                eta = Some(eta.map_or(e, |b: f64| b.min(e)));
+            }
+        }
+        if misses > 0 {
+            self.slices[charge_slice]
+                .mg
+                .advance_host(f64::from(misses) * self.cfg.admission_cost_s);
+        }
+        let Some(eta_s) = eta else {
+            let h = self.slices[charge_slice].mg.host_time();
+            report.jobs.push(reject_record(&req, h));
+            report.rejected += 1;
+            return;
+        };
+        let (vstart, vfinish) = self.fair.tag(&req.tenant, eta_s);
+        if obs::enabled() {
+            obs::sample("serve.queue_depth", self.slices[charge_slice].mg.host_time(), {
+                queue.len() as f64 + 1.0
+            });
+        }
+        queue.push(Queued { req, vstart, vfinish, eta_s });
+    }
+
+    /// Choose the next job for slice `s`, or `None` when nothing queued
+    /// admits at its device count.
+    fn pick(&mut self, s: usize, queue: &[Queued], h: f64) -> Option<usize> {
+        let nd = self.slices[s].mg.n_gpus();
+        let mut feasible: Vec<usize> = Vec::new();
+        let mut miss_charge = 0u32;
+        for (i, q) in queue.iter().enumerate() {
+            let a = &self.matrices[&q.req.matrix];
+            let (v, miss) = self.admission.lookup(&q.req.matrix, a, nd);
+            miss_charge += u32::from(miss);
+            if v.is_some() {
+                feasible.push(i);
+            }
+        }
+        if miss_charge > 0 {
+            self.slices[s].mg.advance_host(f64::from(miss_charge) * self.cfg.admission_cost_s);
+        }
+        if feasible.is_empty() {
+            return None;
+        }
+        if self.cfg.policy == Policy::Fifo {
+            return feasible.iter().copied().min_by(|&i, &j| {
+                let (a, b) = (&queue[i].req, &queue[j].req);
+                a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id))
+            });
+        }
+        // Deadline-urgency bucket: jobs that will miss unless run now.
+        let urgent = feasible
+            .iter()
+            .copied()
+            .filter(|&i| queue[i].req.deadline_s.is_some_and(|d| h + queue[i].eta_s > d));
+        if let Some(pick) = urgent.min_by(|&i, &j| {
+            let (a, b) = (&queue[i], &queue[j]);
+            let (da, db) = (a.req.deadline_s.unwrap(), b.req.deadline_s.unwrap());
+            da.total_cmp(&db).then(a.vfinish.total_cmp(&b.vfinish)).then(a.req.id.cmp(&b.req.id))
+        }) {
+            return Some(pick);
+        }
+        // Fair order, with a bounded residency-affinity preference.
+        let by_vf = |&i: &usize, &j: &usize| {
+            queue[i]
+                .vfinish
+                .total_cmp(&queue[j].vfinish)
+                .then(queue[i].req.id.cmp(&queue[j].req.id))
+        };
+        let head = feasible.iter().copied().min_by(by_vf).expect("nonempty");
+        let window = queue[head].vfinish * (1.0 + self.cfg.affinity_slack);
+        feasible
+            .iter()
+            .copied()
+            .filter(|&i| {
+                self.slices[s].residency.contains(&queue[i].req.matrix)
+                    && queue[i].vfinish <= window
+            })
+            .min_by(by_vf)
+            .or(Some(head))
+    }
+
+    /// Run the chosen job (plus same-matrix riders, batched) on slice `s`.
+    fn dispatch(
+        &mut self,
+        s: usize,
+        qi: usize,
+        queue: &mut Vec<Queued>,
+        report: &mut ServiceReport,
+        trace: &mut Option<&mut StreamingTrace>,
+    ) {
+        let primary = queue.remove(qi);
+        let key = primary.req.matrix.clone();
+        let h = self.slices[s].mg.host_time();
+        if obs::enabled() {
+            obs::sample("serve.queue_depth", h, queue.len() as f64);
+        }
+
+        // Backfill: this dispatch overlaps, in simulated time, either
+        // this slice's still-draining device queues (host staging under a
+        // previous tenant's tail) or another slice's in-flight solve —
+        // the event-driven overlap the slice partitioning buys.
+        let overlap = self
+            .slices
+            .iter()
+            .enumerate()
+            .any(|(i, sl)| i != s && sl.busy_from <= h && h < sl.busy_until);
+        if self.slices[s].mg.time() > h + 1e-12 || overlap {
+            report.backfill_hits += 1;
+            if obs::enabled() {
+                obs::counter_add("serve.backfill_hits", 1);
+            }
+        }
+
+        let nd = self.slices[s].mg.n_gpus();
+        let a = &self.matrices[&key];
+        let n = a.nrows();
+        let (verdict, miss) = self.admission.lookup(&key, a, nd);
+        let adm: CachedAdmission = match verdict {
+            Some(v) => v.clone(),
+            None => {
+                // Degradation can shrink a slice below any admissible
+                // count between pick and dispatch.
+                report.jobs.push(reject_record(&primary.req, h));
+                report.rejected += 1;
+                return;
+            }
+        };
+        let overhead =
+            self.cfg.dispatch_cost_s + if miss { self.cfg.admission_cost_s } else { 0.0 };
+        self.slices[s].mg.advance_host(overhead);
+        self.fair.on_dispatch(primary.vstart);
+
+        // Riders: queued jobs on the same matrix, fairest first.
+        let mut batch = vec![primary];
+        if self.cfg.batch_max > 1 {
+            let mut riders: Vec<usize> =
+                (0..queue.len()).filter(|&i| queue[i].req.matrix == key).collect();
+            riders.sort_by(|&i, &j| {
+                queue[i]
+                    .vfinish
+                    .total_cmp(&queue[j].vfinish)
+                    .then(queue[i].req.id.cmp(&queue[j].req.id))
+            });
+            riders.truncate(self.cfg.batch_max - 1);
+            riders.sort_unstable_by(|a, b| b.cmp(a)); // remove back-to-front
+            for i in riders {
+                batch.push(queue.remove(i));
+            }
+            batch[1..]
+                .sort_by(|x, y| x.vfinish.total_cmp(&y.vfinish).then(x.req.id.cmp(&y.req.id)));
+        }
+        let batched = batch.len() > 1;
+        if batched {
+            report.batches += 1;
+            report.batched_jobs += batch.len() as u64;
+        }
+
+        // Make room for a cold build before any allocation happens.
+        if self.cfg.residency && !self.slices[s].residency.contains(&key) {
+            let sl = &mut self.slices[s];
+            let evicted = sl.residency.make_room(&mut sl.mg, &key, &adm.mem_bytes_per_dev);
+            report.evictions += evicted;
+            if evicted > 0 && obs::enabled() {
+                obs::counter_add("serve.evictions", evicted);
+            }
+        }
+
+        // Aggregated RHS staging: one charged upload for the whole batch,
+        // then each solve installs its RHS without re-charging.
+        let mut precharged = false;
+        if batched {
+            let layout = Layout::even(n, nd);
+            let bytes: Vec<usize> = (0..nd).map(|d| batch.len() * 8 * layout.nlocal(d)).collect();
+            precharged = self.slices[s].mg.to_devices(&bytes).is_ok();
+        }
+
+        for q in batch {
+            self.solve_one(s, q, &key, &adm, precharged, batched, report);
+            if let Some(t) = trace.as_deref_mut() {
+                t.flush_sealed();
+            }
+        }
+    }
+
+    /// One solve on slice `s`, with residency and fault bookkeeping.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_one(
+        &mut self,
+        s: usize,
+        q: Queued,
+        key: &str,
+        adm: &CachedAdmission,
+        precharged: bool,
+        batched: bool,
+        report: &mut ServiceReport,
+    ) {
+        let a = &self.matrices[key];
+        let sl = &mut self.slices[s];
+        let start_s = sl.mg.host_time();
+        let resident = if self.cfg.residency { sl.residency.take(key) } else { None };
+        let warm = resident.is_some();
+        if warm {
+            report.warm_hits += 1;
+            if obs::enabled() {
+                obs::counter_add("serve.warm_hits", 1);
+            }
+        }
+        let ftcfg = FtConfig {
+            solver: adm.cand.solver_config(
+                self.cfg.base.solver.m,
+                q.req.rtol,
+                self.cfg.base.solver.max_restarts,
+            ),
+            ..self.cfg.base.clone()
+        };
+        let sp = obs::span_begin("serve.job", obs::Track::Host, start_s);
+        let (out, res) =
+            ca_gmres_ft_session(&mut sl.mg, a, &q.req.rhs, &ftcfg, None, resident, precharged);
+        let done_s = sl.mg.time();
+        obs::span_end(sp, done_s);
+        if start_s > sl.busy_until {
+            sl.busy_from = start_s;
+        }
+        sl.busy_until = sl.busy_until.max(done_s);
+
+        // Fault isolation: an in-solve executor rebuild (device-loss
+        // recovery) invalidated every other operator on this slice.
+        if out.report.executor_rebuilds > 0 {
+            report.solver_rebuilds += out.report.executor_rebuilds as u64;
+            sl.residency.clear_stale();
+        }
+        match res {
+            Some(r) if self.cfg.residency => sl.residency.park(&mut sl.mg, key, r),
+            Some(r) => r.release(&mut sl.mg),
+            None => {
+                // Fatal solve: the driver dropped its system without
+                // freeing (accounting now holds orphaned bytes) — unless
+                // a rebuild already replaced the executor wholesale.
+                if out.report.executor_rebuilds == 0 {
+                    self.reinit_slice(s);
+                    report.executor_reinits += 1;
+                }
+            }
+        }
+        self.admission.observe_cycles(key, out.stats.restarts);
+
+        let status =
+            if out.stats.converged { JobStatus::Converged } else { JobStatus::Unconverged };
+        let deadline_met = q.req.deadline_s.map(|d| done_s <= d);
+        if deadline_met == Some(false) {
+            report.deadline_misses += 1;
+        }
+        report.jobs.push(JobRecord {
+            id: q.req.id,
+            tenant: q.req.tenant,
+            matrix: key.to_string(),
+            slice: s,
+            ndev: self.slices[s].mg.n_gpus(),
+            arrival_s: q.req.arrival_s,
+            start_s,
+            done_s,
+            tts_s: done_s - q.req.arrival_s,
+            status,
+            restarts: out.stats.restarts,
+            iters: out.stats.total_iters,
+            relres: out.stats.final_relres,
+            solver_t_total_s: out.stats.t_total,
+            warm,
+            batched,
+            deadline_met,
+            x_hash: hash_solution(&out.x),
+            x: self.cfg.keep_solutions.then_some(out.x),
+        });
+    }
+
+    /// Replace slice `s`'s executor after a fatal solve leaked device
+    /// allocations: fresh devices at the inherited simulated time, with
+    /// communication counters and reclaimed-time carried over so
+    /// end-to-end accounting stays honest.
+    fn reinit_slice(&mut self, s: usize) {
+        let sl = &mut self.slices[s];
+        let t = sl.mg.time();
+        let counters = sl.mg.counters();
+        let reclaimed = sl.mg.time_reclaimed();
+        let nd = sl.mg.n_gpus();
+        let mut fresh = MultiGpu::new(nd, self.cfg.model.clone(), self.cfg.kernel_config);
+        fresh.set_schedule(self.cfg.schedule);
+        fresh.fast_forward(t);
+        fresh.absorb_counters(counters);
+        fresh.absorb_time_reclaimed(reclaimed);
+        sl.mg = fresh;
+        sl.residency.clear_stale();
+    }
+
+    fn unpark(&mut self) {
+        for sl in &mut self.slices {
+            sl.parked = false;
+        }
+    }
+
+    /// Aggregate the dashboard numbers once the queue has drained.
+    fn finalize(&self, report: &mut ServiceReport) {
+        report.planner_misses = self.admission.misses;
+        let makespan = report.jobs.iter().map(|j| j.done_s).fold(0.0f64, f64::max);
+        report.makespan_s = makespan;
+        let completed = report.jobs.iter().filter(|j| j.status != JobStatus::Rejected).count();
+        report.throughput_jobs_per_s =
+            if makespan > 0.0 { completed as f64 / makespan } else { 0.0 };
+        let tts: Vec<f64> = report
+            .jobs
+            .iter()
+            .filter(|j| j.status != JobStatus::Rejected)
+            .map(|j| j.tts_s)
+            .collect();
+        report.p50_tts_s = percentile(&tts, 50.0);
+        report.p99_tts_s = percentile(&tts, 99.0);
+        report.mean_tts_s =
+            if tts.is_empty() { 0.0 } else { tts.iter().sum::<f64>() / tts.len() as f64 };
+        report.utilization = self
+            .slices
+            .iter()
+            .map(|sl| {
+                if makespan <= 0.0 {
+                    return 0.0;
+                }
+                let busy: f64 = (0..sl.mg.n_gpus()).map(|d| sl.mg.device(d).busy_time()).sum();
+                busy / (sl.mg.n_gpus() as f64 * makespan)
+            })
+            .collect();
+        if obs::enabled() {
+            obs::gauge_set("serve.throughput_jobs_per_s", report.throughput_jobs_per_s);
+            obs::gauge_set("serve.p50_tts_s", report.p50_tts_s);
+            obs::gauge_set("serve.p99_tts_s", report.p99_tts_s);
+            obs::gauge_set("serve.max_queue_depth", report.max_queue_depth as f64);
+        }
+    }
+}
+
+fn reject_record(req: &JobRequest, at_s: f64) -> JobRecord {
+    JobRecord {
+        id: req.id,
+        tenant: req.tenant.clone(),
+        matrix: req.matrix.clone(),
+        slice: usize::MAX,
+        ndev: 0,
+        arrival_s: req.arrival_s,
+        start_s: at_s,
+        done_s: at_s,
+        tts_s: at_s - req.arrival_s,
+        status: JobStatus::Rejected,
+        restarts: 0,
+        iters: 0,
+        relres: f64::NAN,
+        solver_t_total_s: 0.0,
+        warm: false,
+        batched: false,
+        deadline_met: req.deadline_s.map(|d| at_s <= d),
+        x_hash: 0,
+        x: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::open_loop_arrivals;
+    use crate::job::ArrivalSpec;
+    use crate::ServeConfig;
+
+    fn pool() -> Vec<(String, Csr)> {
+        vec![
+            ("lap16".to_string(), ca_sparse::gen::laplace2d(16, 16)),
+            ("lap20".to_string(), ca_sparse::gen::laplace2d(20, 20)),
+        ]
+    }
+
+    fn arrivals(seed: u64, jobs: usize, rate: f64) -> Vec<JobRequest> {
+        open_loop_arrivals(&ArrivalSpec {
+            seed,
+            jobs,
+            rate_jobs_per_s: rate,
+            tenants: vec!["acme".into(), "beta".into()],
+            matrices: vec![("lap16".into(), 256), ("lap20".into(), 400)],
+            rtol: 1e-8,
+            deadline_fraction: 0.3,
+            deadline_headroom_s: (0.01, 0.1),
+        })
+    }
+
+    #[test]
+    fn single_job_round_trip() {
+        let mut svc = Service::new(ServeConfig::new(vec![2]), pool());
+        let rep = svc.run(arrivals(1, 1, 10.0));
+        assert_eq!(rep.jobs.len(), 1);
+        let j = &rep.jobs[0];
+        assert_eq!(j.status, JobStatus::Converged);
+        assert!(j.relres <= 1e-8, "{}", j.relres);
+        assert_eq!(rep.rejected, 0);
+        assert!(j.start_s >= j.arrival_s);
+        assert!(j.done_s > j.start_s);
+        assert!(j.tts_s >= j.solver_t_total_s);
+        assert!(rep.throughput_jobs_per_s > 0.0);
+        assert_eq!(rep.utilization.len(), 1);
+        assert!(rep.utilization[0] > 0.0);
+    }
+
+    #[test]
+    fn repeated_matrices_hit_warm_residency_and_batch() {
+        let mut svc = Service::new(ServeConfig::new(vec![2]), pool());
+        let rep = svc.run(arrivals(3, 12, 500.0));
+        assert_eq!(rep.jobs.len(), 12);
+        assert!(rep.jobs.iter().all(|j| j.status == JobStatus::Converged));
+        assert!(rep.warm_hits > 0, "no warm reuse: {rep:?}");
+        assert!(rep.batched_jobs > 0, "no batching under saturation");
+        // Two matrix classes at one device count: the planner ran at most
+        // once per class.
+        assert!(rep.planner_misses <= 2, "{}", rep.planner_misses);
+        assert!(rep.max_queue_depth > 1);
+    }
+
+    #[test]
+    fn rerun_is_bit_identical() {
+        let run = || {
+            let mut svc = Service::new(ServeConfig::new(vec![1, 2]), pool());
+            svc.run(arrivals(9, 10, 400.0))
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.digest(), b.digest());
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.x_hash, y.x_hash);
+            assert_eq!(x.done_s.to_bits(), y.done_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn fifo_arm_serves_in_arrival_order_cold() {
+        let mut svc = Service::new(ServeConfig::naive_fifo(2), pool());
+        let rep = svc.run(arrivals(5, 8, 400.0));
+        assert_eq!(rep.jobs.len(), 8);
+        assert!(rep.jobs.iter().all(|j| j.status == JobStatus::Converged));
+        assert_eq!(rep.warm_hits, 0);
+        assert_eq!(rep.batches, 0);
+        assert_eq!(rep.evictions, 0);
+        let ids: Vec<u64> = rep.jobs.iter().map(|j| j.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted, "FIFO must complete in arrival order");
+    }
+}

@@ -29,12 +29,18 @@
 //!   boundaries from the live [`ca_gpusim::HealthReport`]. On a healthy
 //!   machine it returns `None` without touching the solver state, so a
 //!   tuned run replays an untuned run bit for bit.
+//! * [`admit`] — the planner repackaged as a service admission
+//!   controller: per-job cycle-time and memory-footprint estimates at
+//!   each candidate device count, and the device-count pick that
+//!   `ca-serve` turns into an ETA for deadline-aware queueing.
 
+pub mod admit;
 pub mod calibrate;
 pub mod plan;
 pub mod profile;
 pub mod retune;
 
+pub use admit::{admission_estimates, pick_ndev, AdmissionEstimate};
 pub use calibrate::{calibrate, calibrate_with_target, TargetShapes};
 pub use plan::{
     Candidate, CandidateSpace, CrossCheck, Plan, Planner, PlannerLimits, RankedCandidate,

@@ -523,6 +523,50 @@ impl<'a> Planner<'a> {
         None
     }
 
+    /// Planned device-memory footprint of `cand` in bytes, per device:
+    /// the basis panel (`m + 4` columns), the SpMV/MPK work vectors, and
+    /// the loaded sparse slices — the same roll-up the feasibility pruner
+    /// applies against [`PlannerLimits::mem_frac`]. The service admission
+    /// controller uses this to decide whether an operator fits next to
+    /// the tenants already resident on a pool (the estimate is advisory:
+    /// the simulator's own memory accounting is authoritative at build
+    /// time, and eviction reacts to the actual allocation failure).
+    #[must_use]
+    pub fn mem_estimate(&self, cand: &Candidate) -> Vec<f64> {
+        let (ap, _perm, layout) = prepare(self.a, cand.ordering, cand.ndev);
+        let s1 = shapes(&ap, &layout, 1);
+        let mpkc = cand.uses_mpk().then(|| shapes(&ap, &layout, cand.s));
+        self.mem_bytes_per_dev(cand, &s1, mpkc.as_deref())
+    }
+
+    /// Shared roll-up behind [`Planner::mem_estimate`] and the pruner.
+    fn mem_bytes_per_dev(
+        &self,
+        c: &Candidate,
+        s1: &[DevShapes],
+        mpkc: Option<&[DevShapes]>,
+    ) -> Vec<f64> {
+        let n = self.a.nrows();
+        s1.iter()
+            .enumerate()
+            .map(|(d, sh)| {
+                // basis + x/b/r columns, two work vectors per loaded plan
+                let mut bytes = 8.0 * sh.nl as f64 * (self.m + 4) as f64 + 16.0 * n as f64;
+                bytes += sh.slice_bytes as f64;
+                if let Some(ms) = mpkc {
+                    // f32 slices shrink each padded (value, index) slot
+                    // from 12 bytes to 8; `slice_bytes` is 12 per slot
+                    let slice = match c.prec {
+                        Precision::F64 => ms[d].slice_bytes,
+                        Precision::F32 => ms[d].slice_bytes / 12 * 8,
+                    };
+                    bytes += 16.0 * n as f64 + slice as f64;
+                }
+                bytes
+            })
+            .collect()
+    }
+
     /// Device-memory feasibility: basis panel + work vectors + loaded
     /// slices must fit in `mem_frac` of each device's memory.
     fn mem_infeasible(
@@ -533,20 +577,7 @@ impl<'a> Planner<'a> {
     ) -> Option<String> {
         let cap =
             self.model.param("dev_mem_capacity").unwrap_or(f64::INFINITY) * self.limits.mem_frac;
-        let n = self.a.nrows();
-        for (d, sh) in s1.iter().enumerate() {
-            // basis + x/b/r columns, two work vectors per loaded plan
-            let mut bytes = 8.0 * sh.nl as f64 * (self.m + 4) as f64 + 16.0 * n as f64;
-            bytes += sh.slice_bytes as f64;
-            if let Some(ms) = mpkc {
-                // f32 slices shrink each padded (value, index) slot from
-                // 12 bytes to 8; `slice_bytes` is exactly 12 per slot
-                let slice = match c.prec {
-                    Precision::F64 => ms[d].slice_bytes,
-                    Precision::F32 => ms[d].slice_bytes / 12 * 8,
-                };
-                bytes += 16.0 * n as f64 + slice as f64;
-            }
+        for (d, bytes) in self.mem_bytes_per_dev(c, s1, mpkc).into_iter().enumerate() {
             if bytes > cap {
                 return Some(format!(
                     "device {d} needs {:.1} MiB of {:.1} MiB budget",

@@ -5,5 +5,6 @@ pub use ca_gmres as gmres;
 pub use ca_gpusim as gpusim;
 pub use ca_obs as obs;
 pub use ca_scalar as scalar;
+pub use ca_serve as serve;
 pub use ca_sparse as sparse;
 pub use ca_tune as tune;
