@@ -14,9 +14,7 @@ use ca_dense::norms::orthogonality_error;
 use ca_gmres::orth::{tsqr, OrthConfig, TsqrKind};
 use ca_gmres::prelude::*;
 use ca_gpusim::{GemmVariant, KernelConfig, MatId, MultiGpu, PerfModel};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     study: String,
     config: String,
@@ -24,6 +22,8 @@ struct Row {
     orth_err: f64,
     extra: String,
 }
+
+ca_bench::jv_struct!(Row { study, config, time_ms, orth_err, extra });
 
 fn setup(n: usize, cols: usize, ndev: usize, config: KernelConfig) -> (MultiGpu, Vec<MatId>) {
     let mut mg = MultiGpu::new(ndev, PerfModel::default(), config);

@@ -12,9 +12,7 @@ use ca_bench::{balanced_problem, format_table, g3_circuit, write_json, Scale};
 use ca_gmres::cagmres::KernelMode;
 use ca_gmres::prelude::*;
 use ca_gpusim::MultiGpu;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     m: usize,
     s: usize,
@@ -22,6 +20,8 @@ struct Row {
     ca_ms_per_res: f64,
     speedup: f64,
 }
+
+ca_bench::jv_struct!(Row { m, s, gmres_ms_per_res, ca_ms_per_res, speedup });
 
 fn main() {
     let scale = Scale::from_args();

@@ -36,7 +36,6 @@ use ca_bench::{balanced_problem, format_table, set_run_meta, write_json, RunMeta
 use ca_gmres::prelude::*;
 use ca_gpusim::{KernelConfig, PerfModel};
 use ca_tune::{calibrate, fnv1a64, Candidate, CandidateSpace, MachineProfile, Planner};
-use serde::Serialize;
 
 const NDEV: usize = 3;
 /// Validated candidates per matrix (top of the ranking).
@@ -44,7 +43,6 @@ const ORACLE_K: usize = 10;
 /// Fixed CA-cycle budget for validation runs.
 const RESTARTS: usize = 4;
 
-#[derive(Serialize)]
 struct Row {
     matrix: String,
     config: String,
@@ -57,6 +55,19 @@ struct Row {
     paper_default: bool,
     oracle_best: bool,
 }
+
+ca_bench::jv_struct!(Row {
+    matrix,
+    config,
+    rank,
+    predicted_cycle_ms,
+    actual_cycle_ms,
+    rel_err,
+    tts_ms,
+    tuned_pick,
+    paper_default,
+    oracle_best,
+});
 
 fn paper_default() -> Candidate {
     let d = CaGmresConfig::default();
@@ -192,7 +203,7 @@ fn main() {
     let profile = calibrate(&PerfModel::default(), KernelConfig::default(), "m2090-sim");
     println!("DIGEST profile hash={}", profile.hash_hex());
     if !smoke {
-        let dir = std::path::Path::new("bench_results").join("profiles");
+        let dir = ca_bench::bench_dir().join("profiles");
         if std::fs::create_dir_all(&dir).is_ok() {
             let path = dir.join("default.json");
             let _ = std::fs::write(&path, profile.to_json());

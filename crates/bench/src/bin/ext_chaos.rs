@@ -36,13 +36,11 @@ use ca_bench::{balanced_problem, format_table, write_json, Scale, TestMatrix};
 use ca_chaos::{run_campaign, CampaignConfig, CampaignReport};
 use ca_gmres::prelude::*;
 use ca_gpusim::{FaultPlan, MultiGpu};
-use serde::Serialize;
 
 const NDEV: usize = 3;
 const FAULT_DEV: usize = 1;
 const WATCHDOG_S: f64 = 0.5;
 
-#[derive(Serialize)]
 struct Row {
     matrix: String,
     scenario: String,
@@ -58,11 +56,27 @@ struct Row {
     mid_cycle_rebalances: usize,
 }
 
-#[derive(Serialize)]
+ca_bench::jv_struct!(Row {
+    matrix,
+    scenario,
+    t_static_ms,
+    t_base_ms,
+    t_probe_ms,
+    lat_base_ms,
+    lat_probe_ms,
+    lat_ratio,
+    recovered_frac,
+    in_cycle_polls,
+    block_resumes,
+    mid_cycle_rebalances,
+});
+
 struct Output {
     rows: Vec<Row>,
     campaign: CampaignReport,
 }
+
+ca_bench::jv_struct!(Output { rows, campaign });
 
 fn ft_cfg(m: usize, probe: bool, straggler: bool, rebalance: bool) -> FtConfig {
     // straggler scenario: the boundary baseline rebalances at restarts,

@@ -20,7 +20,6 @@ use ca_bench::{format_table, write_json};
 use ca_gmres::cagmres::CaGmresConfig;
 use ca_gmres::ft::{ca_gmres_ft, FtConfig};
 use ca_gpusim::{FaultPlan, MultiGpu, SdcTargets};
-use serde::Serialize;
 
 const NDEV: usize = 3;
 
@@ -50,7 +49,6 @@ fn true_relres(a: &ca_sparse::Csr, b: &[f64], x: &[f64]) -> f64 {
     ca_dense::blas1::nrm2(&r) / ca_dense::blas1::nrm2(b)
 }
 
-#[derive(Serialize)]
 struct Row {
     scenario: String,
     protection: String,
@@ -66,6 +64,22 @@ struct Row {
     transfer_retries: u64,
     ndev_final: usize,
 }
+
+ca_bench::jv_struct!(Row {
+    scenario,
+    protection,
+    converged,
+    iters,
+    restarts,
+    time_ms,
+    overhead_pct,
+    true_relres,
+    sdc_detected,
+    blocks_recomputed,
+    cycles_redone,
+    transfer_retries,
+    ndev_final,
+});
 
 #[allow(clippy::too_many_arguments)]
 fn run(

@@ -40,7 +40,6 @@ use ca_gmres::prelude::*;
 use ca_gpusim::{CommCounters, MultiGpu};
 use ca_scalar::Precision;
 use ca_sparse::Csr;
-use serde::Serialize;
 
 const NDEV: usize = 3;
 /// Basis length for both precisions (a Newton basis: within the planner's
@@ -52,7 +51,6 @@ const COMM_RESTARTS: usize = 2;
 /// roundoff, so the mixed run only reaches it through f64 refinement.
 const RTOL: f64 = 1e-8;
 
-#[derive(Serialize)]
 struct Row {
     matrix: String,
     config: String,
@@ -70,6 +68,22 @@ struct Row {
     converged: bool,
     escalated: bool,
 }
+
+ca_bench::jv_struct!(Row {
+    matrix,
+    config,
+    cycle_spmv_ms,
+    cycle_total_ms,
+    comm_msgs,
+    comm_bytes,
+    comm_bytes_f32,
+    restarts,
+    total_iters,
+    tts_ms,
+    relres,
+    converged,
+    escalated,
+});
 
 fn relres(a: &Csr, x: &[f64], b: &[f64]) -> f64 {
     let mut r = vec![0.0; b.len()];

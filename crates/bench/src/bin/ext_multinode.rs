@@ -11,9 +11,7 @@ use ca_bench::{balanced_problem, format_table, g3_circuit, write_json, Scale};
 use ca_gmres::cagmres::KernelMode;
 use ca_gmres::prelude::*;
 use ca_gpusim::{KernelConfig, MultiGpu, PerfModel};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     gpus: usize,
     nodes: usize,
@@ -22,6 +20,8 @@ struct Row {
     ca_ms_per_res: f64,
     speedup: f64,
 }
+
+ca_bench::jv_struct!(Row { gpus, nodes, net_latency_us, gmres_ms_per_res, ca_ms_per_res, speedup });
 
 fn main() {
     let scale = Scale::from_args();

@@ -36,9 +36,7 @@ use ca_bench::{balanced_problem, format_table, nlpkkt, write_json, Scale, TestMa
 use ca_gmres::cagmres::KernelMode;
 use ca_gmres::prelude::*;
 use ca_gpusim::{MultiGpu, Schedule};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     matrix: String,
     s: usize,
@@ -49,6 +47,17 @@ struct Row {
     prefetches: u64,
     hidden_per_exchange_us: f64,
 }
+
+ca_bench::jv_struct!(Row {
+    matrix,
+    s,
+    t_sync_ms,
+    t_event_ms,
+    hidden_ms,
+    speedup,
+    prefetches,
+    hidden_per_exchange_us,
+});
 
 struct Outcome {
     x_bits: Vec<u64>,

@@ -12,9 +12,7 @@ use ca_bench::{balanced_problem, cant, format_table, g3_circuit, write_json, Sca
 use ca_gmres::prelude::*;
 use ca_gpusim::MultiGpu;
 use ca_sparse::hypergraph::Hypergraph;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     matrix: String,
     method: String,
@@ -24,6 +22,16 @@ struct Row {
     mpk_surf_vol_s5: f64,
     gmres_ms_per_res: f64,
 }
+
+ca_bench::jv_struct!(Row {
+    matrix,
+    method,
+    edge_cut,
+    lambda1_volume,
+    imbalance,
+    mpk_surf_vol_s5,
+    gmres_ms_per_res,
+});
 
 fn main() {
     let scale = Scale::from_args();

@@ -29,12 +29,10 @@ use ca_gmres::prelude::*;
 use ca_gmres::stats::SpanBreakdown;
 use ca_gpusim::{obs_ingest_traces, MultiGpu};
 use ca_obs as obs;
-use serde::Serialize;
 
 /// Simulated-time tolerance for span-vs-PhaseTimer agreement (seconds).
 const TOL_S: f64 = 1e-9;
 
-#[derive(Serialize)]
 struct Row {
     matrix: String,
     solver: String,
@@ -50,6 +48,22 @@ struct Row {
     copy_spans: usize,
     metrics_hash: String,
 }
+
+ca_bench::jv_struct!(Row {
+    matrix,
+    solver,
+    ngpus,
+    cycles,
+    spmv_ms,
+    orth_ms,
+    tsqr_ms,
+    small_ms,
+    total_ms,
+    span_timer_max_diff_s,
+    kernel_spans,
+    copy_spans,
+    metrics_hash,
+});
 
 struct Profiled {
     stats: SolveStats,
@@ -101,8 +115,8 @@ fn row_from(matrix: &str, solver: &str, ngpus: usize, p: &Profiled) -> Row {
 }
 
 fn write_artifacts(rec: &obs::Recording) {
-    let dir = std::path::Path::new("bench_results");
-    if std::fs::create_dir_all(dir).is_err() {
+    let dir = ca_bench::bench_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
     for (name, content) in [
@@ -207,7 +221,13 @@ fn main() {
     );
 
     let rec = first_rec.expect("suite is non-empty");
-    write_artifacts(&rec);
     set_run_meta(RunMeta { metrics_hash: Some(rec.metrics.hash_hex()), ..RunMeta::default() });
-    write_json("ext_profile", &rows);
+    write_artifacts(&rec);
+    if smoke {
+        // committed baseline for the bench-trend gate (CI reruns this
+        // with CA_BENCH_DIR set and diffs against it)
+        write_json("ext_profile_smoke", &rows);
+    } else {
+        write_json("ext_profile", &rows);
+    }
 }

@@ -38,7 +38,6 @@ use ca_gmres::prelude::*;
 use ca_gpusim::MultiGpu;
 use ca_serve::{open_loop_arrivals, ArrivalSpec, ServeConfig, Service};
 use ca_sparse::{gen, Csr};
-use serde::Serialize;
 
 /// Total devices in the pool; the serve arm splits them into two slices.
 const POOL_DEVICES: usize = 4;
@@ -51,10 +50,6 @@ const LOADS: [f64; 3] = [0.5, 0.9, 1.4];
 const JOBS: usize = 48;
 const SMOKE_JOBS: usize = 10;
 
-// Some fields exist only for the JSON artifact; the offline serde stub's
-// derive does not count them as reads.
-#[derive(Serialize)]
-#[allow(dead_code)]
 struct Row {
     arm: String,
     rho: f64,
@@ -79,6 +74,31 @@ struct Row {
     planner_misses: u64,
     digest: String,
 }
+
+ca_bench::jv_struct!(Row {
+    arm,
+    rho,
+    offered_jobs_per_s,
+    jobs,
+    converged,
+    unconverged,
+    rejected,
+    makespan_s,
+    throughput_jobs_per_s,
+    p50_tts_s,
+    p99_tts_s,
+    mean_tts_s,
+    utilization,
+    max_queue_depth,
+    warm_hits,
+    batches,
+    batched_jobs,
+    backfill_hits,
+    evictions,
+    deadline_misses,
+    planner_misses,
+    digest,
+});
 
 /// Downscaled Fig. 12 analogs (balanced, as §VI preprocesses them): big
 /// enough to have the suite's sparsity character, small enough that a
@@ -291,12 +311,16 @@ fn main() {
         )
     );
 
+    set_run_meta(RunMeta {
+        arrival_seed: Some(ARRIVAL_SEED),
+        offered_load_jobs_per_s: Some(sat * capacity),
+        ..RunMeta::default()
+    });
+    if smoke {
+        // committed baseline for the bench-trend gate
+        write_json("ext_service_smoke", &rows);
+    }
     if !smoke {
-        set_run_meta(RunMeta {
-            arrival_seed: Some(ARRIVAL_SEED),
-            offered_load_jobs_per_s: Some(sat * capacity),
-            ..RunMeta::default()
-        });
         write_json("ext_service", &rows);
         let mut txt = String::new();
         txt.push_str(&format!(
@@ -322,6 +346,6 @@ fn main() {
             ],
             &table,
         ));
-        let _ = std::fs::write("bench_results/ext_service.txt", txt);
+        ca_bench::write_text("ext_service", &txt);
     }
 }

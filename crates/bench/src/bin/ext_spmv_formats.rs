@@ -11,9 +11,7 @@ use ca_bench::{format_table, write_json};
 use ca_gmres::mpk::SpmvFormat;
 use ca_gmres::prelude::*;
 use ca_gpusim::MultiGpu;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     matrix: String,
     format: String,
@@ -22,6 +20,8 @@ struct Row {
     total_ms_per_res: f64,
     iters: usize,
 }
+
+ca_bench::jv_struct!(Row { matrix, format, device_mib, spmv_ms_per_res, total_ms_per_res, iters });
 
 fn run(a: &ca_sparse::Csr, name: &str, format: SpmvFormat, rows: &mut Vec<Row>) {
     let (ab, bal) = ca_sparse::balance::balance(a);

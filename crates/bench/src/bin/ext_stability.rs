@@ -33,7 +33,6 @@ use ca_bench::{format_table, write_json, Scale};
 use ca_gmres::prelude::*;
 use ca_gpusim::MultiGpu;
 use ca_sparse::{gen, Csr};
-use serde::Serialize;
 
 const NDEV: usize = 3;
 const M: usize = 24;
@@ -44,7 +43,6 @@ const STATIC_CAP: usize = 8;
 /// Step sizes swept — the last three sit beyond the static cap.
 const S_SWEEP: [usize; 5] = [6, 8, 10, 12, 16];
 
-#[derive(Serialize)]
 struct Row {
     matrix: String,
     s: usize,
@@ -60,6 +58,20 @@ struct Row {
     /// Worst Gram-condition estimate the monitor recorded.
     cond_peak: f64,
 }
+
+ca_bench::jv_struct!(Row {
+    matrix,
+    s,
+    arm,
+    converged,
+    breakdown,
+    restarts,
+    total_iters,
+    tts_ms,
+    relres,
+    escalations,
+    cond_peak,
+});
 
 fn problems() -> Vec<(String, Csr)> {
     vec![

@@ -32,12 +32,10 @@ use ca_bench::{balanced_problem, format_table, write_json, Scale, TestMatrix};
 use ca_gmres::cagmres::KernelMode;
 use ca_gmres::prelude::*;
 use ca_gpusim::{export_chrome_trace, FaultPlan, MultiGpu};
-use serde::Serialize;
 
 const NDEV: usize = 3;
 const SLOW_DEV: usize = 1;
 
-#[derive(Serialize)]
 struct Row {
     matrix: String,
     factor: f64,
@@ -49,6 +47,18 @@ struct Row {
     rebal_imbalance: f64,
     recovered_frac: f64,
 }
+
+ca_bench::jv_struct!(Row {
+    matrix,
+    factor,
+    t_ideal_ms,
+    t_static_ms,
+    t_rebal_ms,
+    rebalances,
+    static_imbalance,
+    rebal_imbalance,
+    recovered_frac,
+});
 
 struct Out {
     t: f64,
@@ -185,8 +195,9 @@ fn emit_trace(t: &TestMatrix) {
     sys.load_rhs(&mut mg, &b).unwrap();
     let _ = ca_gmres(&mut mg, &sys, &cfg);
     let json = export_chrome_trace(&mg.take_traces());
-    let path = std::path::Path::new("bench_results").join("ext_straggler_trace.json");
-    if std::fs::create_dir_all("bench_results").is_ok() && std::fs::write(&path, json).is_ok() {
+    let dir = ca_bench::bench_dir();
+    let path = dir.join("ext_straggler_trace.json");
+    if std::fs::create_dir_all(&dir).is_ok() && std::fs::write(&path, json).is_ok() {
         eprintln!("[ca-bench] wrote {}", path.display());
     }
 }

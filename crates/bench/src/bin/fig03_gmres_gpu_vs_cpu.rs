@@ -9,9 +9,7 @@
 use ca_bench::{format_table, gmres_flops, rhs_for, suite, write_json, Scale};
 use ca_gmres::prelude::*;
 use ca_gpusim::MultiGpu;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     matrix: String,
     config: String,
@@ -20,6 +18,8 @@ struct Row {
     time_s: f64,
     gflops: f64,
 }
+
+ca_bench::jv_struct!(Row { matrix, config, iters, restarts, time_s, gflops });
 
 fn main() {
     let scale = Scale::from_args();

@@ -10,9 +10,7 @@
 
 use ca_bench::{cant, format_table, g3_circuit, write_json, Scale};
 use ca_gmres::prelude::*;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     matrix: String,
     ordering: String,
@@ -24,6 +22,8 @@ struct Row {
     /// extra flops W^(d,s) summed over devices
     extra_work: usize,
 }
+
+ca_bench::jv_struct!(Row { matrix, ordering, s, ratio_max, ratio_mean, extra_work });
 
 fn main() {
     let scale = Scale::from_args();

@@ -21,9 +21,7 @@ use ca_gmres::mpk::SpmvFormat;
 use ca_gmres::prelude::*;
 use ca_gpusim::MultiGpu;
 use ca_scalar::Precision;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     matrix: String,
     ordering: String,
@@ -34,9 +32,18 @@ struct Row {
     relative_to_spmv: f64,
 }
 
+ca_bench::jv_struct!(Row {
+    matrix,
+    ordering,
+    s,
+    gather_elems,
+    scatter_elems,
+    total_for_m100,
+    relative_to_spmv,
+});
+
 /// One executed f64-vs-mixed counter comparison (same plan, same message
 /// schedule; only the payload width differs).
-#[derive(Serialize)]
 struct HaloCheck {
     matrix: String,
     s: usize,
@@ -46,11 +53,21 @@ struct HaloCheck {
     bytes_f32_tagged: u64,
 }
 
-#[derive(Serialize)]
+ca_bench::jv_struct!(HaloCheck {
+    matrix,
+    s,
+    msgs,
+    bytes_f64_run,
+    bytes_mixed_run,
+    bytes_f32_tagged,
+});
+
 struct Output {
     rows: Vec<Row>,
     halo_check: Vec<HaloCheck>,
 }
+
+ca_bench::jv_struct!(Output { rows, halo_check });
 
 /// Run a fixed two-cycle budget at `prec` and return the machine-wide
 /// transfer counters. Two cycles because the first restart of a Newton

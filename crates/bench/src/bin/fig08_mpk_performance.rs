@@ -13,9 +13,7 @@ use ca_gmres::mpk::{mpk, MpkState};
 use ca_gmres::newton::BasisSpec;
 use ca_gmres::prelude::*;
 use ca_gpusim::{MatId, MultiGpu};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     matrix: String,
     ordering: String,
@@ -25,6 +23,8 @@ struct Row {
     comm_ms: f64,
     speedup_vs_s1: f64,
 }
+
+ca_bench::jv_struct!(Row { matrix, ordering, s, total_ms, spmv_only_ms, comm_ms, speedup_vs_s1 });
 
 fn main() {
     let scale = Scale::from_args();

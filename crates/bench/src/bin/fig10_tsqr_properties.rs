@@ -6,9 +6,7 @@
 use ca_bench::{format_table, write_json};
 use ca_gmres::orth::{tsqr, TsqrKind};
 use ca_gpusim::{MatId, MultiGpu};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     algorithm: String,
     orth_error_bound: String,
@@ -17,6 +15,15 @@ struct Row {
     measured_roundtrips: u64,
     paper_roundtrips: String,
 }
+
+ca_bench::jv_struct!(Row {
+    algorithm,
+    orth_error_bound,
+    flops,
+    kernel_class,
+    measured_roundtrips,
+    paper_roundtrips,
+});
 
 fn main() {
     let s1 = 30usize; // s + 1 columns, the paper's typical block

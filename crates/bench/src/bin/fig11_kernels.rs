@@ -13,15 +13,15 @@
 use ca_bench::{format_table, write_json};
 use ca_gmres::orth::{tsqr, TsqrKind};
 use ca_gpusim::{GemmVariant, GemvVariant, MatId, MultiGpu, PerfModel};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Point {
     part: String,
     kernel: String,
     n: usize,
     gflops: f64,
 }
+
+ca_bench::jv_struct!(Point { part, kernel, n, gflops });
 
 fn fill_block(mg: &mut MultiGpu, n: usize, cols: usize) -> Vec<MatId> {
     let ndev = mg.n_gpus();

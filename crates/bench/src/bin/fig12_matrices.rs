@@ -8,9 +8,7 @@ use ca_gmres::cagmres::probe_gram_condition;
 use ca_gmres::newton::{newton_shifts_from_hessenberg, BasisSpec};
 use ca_gmres::prelude::*;
 use ca_gpusim::MultiGpu;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     name: String,
     n_thousands: f64,
@@ -19,6 +17,15 @@ struct Row {
     kappa_gram_monomial: f64,
     kappa_gram_newton: f64,
 }
+
+ca_bench::jv_struct!(Row {
+    name,
+    n_thousands,
+    nnz_per_n,
+    theta_ratio,
+    kappa_gram_monomial,
+    kappa_gram_newton,
+});
 
 fn main() {
     let scale = Scale::from_args();

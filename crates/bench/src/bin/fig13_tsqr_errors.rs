@@ -12,9 +12,7 @@ use ca_bench::{balanced_problem, format_table, g3_circuit, write_json, Scale};
 use ca_gmres::cagmres::TsqrErrorSample;
 use ca_gmres::prelude::*;
 use ca_gpusim::MultiGpu;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     s: usize,
     m: usize,
@@ -28,6 +26,20 @@ struct Row {
     elem_err_avg: f64,
     converged: bool,
 }
+
+ca_bench::jv_struct!(Row {
+    s,
+    m,
+    algorithm,
+    pass,
+    samples,
+    orth_err_min,
+    orth_err_avg,
+    orth_err_max,
+    fact_err_avg,
+    elem_err_avg,
+    converged,
+});
 
 fn summarize(s: usize, m: usize, name: &str, pass: u8, e: &[&TsqrErrorSample], conv: bool) -> Row {
     let pick = |f: fn(&TsqrErrorSample) -> f64| -> (f64, f64, f64) {

@@ -16,9 +16,7 @@
 use ca_bench::{balanced_problem, cant, diel_filter, format_table, g3_circuit, write_json, Scale};
 use ca_gmres::prelude::*;
 use ca_gpusim::MultiGpu;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     matrix: String,
     solver: String,
@@ -31,6 +29,19 @@ struct Row {
     speedup: Option<f64>,
     converged: bool,
 }
+
+ca_bench::jv_struct!(Row {
+    matrix,
+    solver,
+    ngpus,
+    restarts,
+    ortho_per_res_ms,
+    tsqr_per_res_ms,
+    spmv_per_res_ms,
+    total_per_res_ms,
+    speedup,
+    converged,
+});
 
 fn run_gmres(
     t: &ca_bench::TestMatrix,

@@ -11,7 +11,6 @@ use ca_bench::{balanced_problem, format_table, suite, write_json, Scale};
 use ca_gmres::cagmres::KernelMode;
 use ca_gmres::prelude::*;
 use ca_gpusim::MultiGpu;
-use serde::Serialize;
 
 /// Per-restart view: CA cycles only (the shift-harvest first cycle is
 /// amortized away in the paper's long runs).
@@ -19,7 +18,6 @@ fn ca_gmres_view(out: &ca_gmres::cagmres::CaGmresOutcome) -> &ca_gmres::stats::S
     &out.ca_stats
 }
 
-#[derive(Serialize)]
 struct Row {
     matrix: String,
     ngpus: usize,
@@ -33,6 +31,20 @@ struct Row {
     speedup: f64,
     normalized_vs_1gpu_gmres: f64,
 }
+
+ca_bench::jv_struct!(Row {
+    matrix,
+    ngpus,
+    gmres_total_per_res_ms,
+    gmres_orth_per_res_ms,
+    gmres_spmv_per_res_ms,
+    ca_total_per_res_ms,
+    ca_orth_per_res_ms,
+    ca_spmv_per_res_ms,
+    kernel_used,
+    speedup,
+    normalized_vs_1gpu_gmres,
+});
 
 fn main() {
     let scale = Scale::from_args();

@@ -15,7 +15,143 @@
 #![allow(clippy::needless_range_loop)]
 
 use ca_sparse::{gen, Csr};
-use serde::Serialize;
+
+pub mod trend;
+
+pub use ca_obs::Jv;
+
+/// Conversion into the shared [`Jv`] JSON value type — the hand-rolled
+/// replacement for `serde::Serialize` in result emission (the offline
+/// `serde_json` is a stub that writes `{"stub":true}`; nothing in the
+/// artifact path may touch it). Implement via [`jv_struct!`] for payload
+/// row structs.
+pub trait ToJv {
+    /// The JSON value for `self`.
+    fn to_jv(&self) -> Jv;
+}
+
+impl ToJv for Jv {
+    fn to_jv(&self) -> Jv {
+        self.clone()
+    }
+}
+impl ToJv for bool {
+    fn to_jv(&self) -> Jv {
+        Jv::Bool(*self)
+    }
+}
+impl ToJv for f64 {
+    fn to_jv(&self) -> Jv {
+        Jv::Num(*self)
+    }
+}
+impl ToJv for u64 {
+    fn to_jv(&self) -> Jv {
+        Jv::Int(i128::from(*self))
+    }
+}
+impl ToJv for u32 {
+    fn to_jv(&self) -> Jv {
+        Jv::Int(i128::from(*self))
+    }
+}
+impl ToJv for u8 {
+    fn to_jv(&self) -> Jv {
+        Jv::Int(i128::from(*self))
+    }
+}
+impl ToJv for i32 {
+    fn to_jv(&self) -> Jv {
+        Jv::Int(i128::from(*self))
+    }
+}
+impl ToJv for i64 {
+    fn to_jv(&self) -> Jv {
+        Jv::Int(i128::from(*self))
+    }
+}
+impl ToJv for usize {
+    fn to_jv(&self) -> Jv {
+        Jv::Int(*self as i128)
+    }
+}
+impl ToJv for String {
+    fn to_jv(&self) -> Jv {
+        Jv::Str(self.clone())
+    }
+}
+impl ToJv for &str {
+    fn to_jv(&self) -> Jv {
+        Jv::Str((*self).to_string())
+    }
+}
+impl<T: ToJv> ToJv for Option<T> {
+    fn to_jv(&self) -> Jv {
+        match self {
+            Some(v) => v.to_jv(),
+            None => Jv::Null,
+        }
+    }
+}
+impl<T: ToJv> ToJv for Vec<T> {
+    fn to_jv(&self) -> Jv {
+        Jv::Arr(self.iter().map(ToJv::to_jv).collect())
+    }
+}
+impl<T: ToJv> ToJv for [T] {
+    fn to_jv(&self) -> Jv {
+        Jv::Arr(self.iter().map(ToJv::to_jv).collect())
+    }
+}
+impl<T: ToJv + ?Sized> ToJv for &T {
+    fn to_jv(&self) -> Jv {
+        (*self).to_jv()
+    }
+}
+
+/// Implement [`ToJv`] for a payload struct, serializing the listed
+/// fields in order as a JSON object keyed by field name.
+#[macro_export]
+macro_rules! jv_struct {
+    ($t:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJv for $t {
+            fn to_jv(&self) -> $crate::Jv {
+                $crate::Jv::Obj(vec![
+                    $((stringify!($field).to_string(), $crate::ToJv::to_jv(&self.$field)),)+
+                ])
+            }
+        }
+    };
+}
+
+// Foreign report types that ride inside bench payloads (the orphan rule
+// keeps bins from implementing the bench-local trait for them).
+jv_struct!(ca_chaos::Violation { index, problems, schedule, shrunk });
+jv_struct!(ca_chaos::CampaignReport {
+    seed,
+    schedules,
+    passed,
+    panics,
+    converged,
+    typed_breakdowns,
+    zero_rate_checked,
+    probe_armed,
+    in_cycle_escalations,
+    block_resumes,
+    mid_cycle_rebalances,
+    ladder_escalations,
+    ladder_reorths,
+    ladder_throttles,
+    ladder_basis_switches,
+    ladder_promotions,
+    detections,
+    detection_latency_mean_s,
+    detection_latency_max_s,
+    span_nesting_error,
+    digest,
+    violation_count,
+    violations,
+});
 
 /// Problem-size scale for the suite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -203,68 +339,79 @@ fn git_describe() -> String {
         .unwrap_or_else(|| "unknown".into())
 }
 
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+/// Directory result artifacts are written to: `CA_BENCH_DIR` when set
+/// (the trend gate routes fresh smoke runs to a scratch dir this way),
+/// otherwise `bench_results/` (repo root when run via cargo; cwd
+/// otherwise).
+pub fn bench_dir() -> std::path::PathBuf {
+    std::env::var_os("CA_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("bench_results"))
 }
 
-/// Write a JSON result blob under `bench_results/` (repo root when run via
-/// cargo; cwd otherwise). Every figure and extension study shares this
-/// writer, so every artifact carries the same envelope: schema version,
-/// figure name, seed, thread count, `git describe`, and — for tuned
-/// runs — the machine-profile hash. The payload is the serialized
-/// `value`; the envelope fields are composed directly so they stay
-/// faithful even when `serde_json` is the offline dev stub.
-pub fn write_json<T: Serialize>(figure: &str, value: &T) {
-    let dir = std::path::Path::new("bench_results");
-    if std::fs::create_dir_all(dir).is_err() {
+/// Build the full result envelope for `value` as a [`Jv`] document.
+/// Exposed for the trend gate's tests; studies go through [`write_json`].
+pub fn result_envelope<T: ToJv>(figure: &str, value: &T) -> Jv {
+    let meta = RUN_META.lock().unwrap().clone().unwrap_or_default();
+    let opt_str = |o: &Option<String>| match o {
+        Some(s) => Jv::Str(s.clone()),
+        None => Jv::Null,
+    };
+    Jv::Obj(vec![
+        ("schema".into(), Jv::Str("ca-bench/result".into())),
+        ("schema_version".into(), Jv::Int(1)),
+        ("figure".into(), Jv::Str(figure.to_string())),
+        ("git".into(), Jv::Str(git_describe())),
+        ("threads".into(), Jv::Int(rayon::current_num_threads() as i128)),
+        ("seed".into(), Jv::Int(i128::from(meta.seed))),
+        ("profile_hash".into(), opt_str(&meta.profile_hash)),
+        ("metrics_hash".into(), opt_str(&meta.metrics_hash)),
+        (
+            "arrival_seed".into(),
+            match meta.arrival_seed {
+                Some(s) => Jv::Int(i128::from(s)),
+                None => Jv::Null,
+            },
+        ),
+        (
+            "offered_load_jobs_per_s".into(),
+            match meta.offered_load_jobs_per_s {
+                Some(r) => Jv::Num(r),
+                None => Jv::Null,
+            },
+        ),
+        ("payload".into(), value.to_jv()),
+    ])
+}
+
+/// Write a JSON result blob under [`bench_dir`]. Every figure and
+/// extension study shares this writer, so every artifact carries the
+/// same envelope: schema version, figure name, seed, thread count,
+/// `git describe`, and — for tuned runs — the machine-profile hash.
+/// The whole document is rendered through the hand-rolled [`Jv`]
+/// writer, so payloads stay faithful offline where `serde_json` is a
+/// `{"stub":true}` dev stub.
+pub fn write_json<T: ToJv>(figure: &str, value: &T) {
+    let dir = bench_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
     let path = dir.join(format!("{figure}.json"));
-    let Ok(payload) = serde_json::to_string_pretty(value) else {
+    let mut doc = result_envelope(figure, value).render_pretty();
+    doc.push('\n');
+    let _ = std::fs::write(&path, doc);
+    eprintln!("[ca-bench] wrote {}", path.display());
+}
+
+/// Write a plain-text table/report next to the JSON artifact of the
+/// same figure, honoring the [`bench_dir`] override.
+pub fn write_text(figure: &str, contents: &str) {
+    let dir = bench_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
         return;
-    };
-    let meta = RUN_META.lock().unwrap().clone().unwrap_or_default();
-    let profile = match &meta.profile_hash {
-        Some(h) => json_str(h),
-        None => "null".into(),
-    };
-    let metrics = match &meta.metrics_hash {
-        Some(h) => json_str(h),
-        None => "null".into(),
-    };
-    let arrival_seed = match meta.arrival_seed {
-        Some(s) => s.to_string(),
-        None => "null".into(),
-    };
-    let offered_load = match meta.offered_load_jobs_per_s {
-        Some(r) => format!("{r}"),
-        None => "null".into(),
-    };
-    let envelope = format!(
-        "{{\n  \"schema\": \"ca-bench/result\",\n  \"schema_version\": 1,\n  \
-         \"figure\": {figure},\n  \"git\": {git},\n  \"threads\": {threads},\n  \
-         \"seed\": {seed},\n  \"profile_hash\": {profile},\n  \
-         \"metrics_hash\": {metrics},\n  \"arrival_seed\": {arrival_seed},\n  \
-         \"offered_load_jobs_per_s\": {offered_load},\n  \
-         \"payload\": {payload}\n}}\n",
-        figure = json_str(figure),
-        git = json_str(&git_describe()),
-        threads = rayon::current_num_threads(),
-        seed = meta.seed,
-    );
-    let _ = std::fs::write(&path, envelope);
+    }
+    let path = dir.join(format!("{figure}.txt"));
+    let _ = std::fs::write(&path, contents);
     eprintln!("[ca-bench] wrote {}", path.display());
 }
 
@@ -311,5 +458,40 @@ mod tests {
         assert_eq!(b1.len(), t.a.nrows());
         let mean: f64 = b1.iter().sum::<f64>() / b1.len() as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+
+    struct EnvRow {
+        matrix: String,
+        t_total_s: f64,
+        iters: usize,
+        digest: Option<String>,
+    }
+    jv_struct!(EnvRow { matrix, t_total_s, iters, digest });
+
+    #[test]
+    fn envelope_round_trips_real_payload() {
+        let rows = vec![
+            EnvRow {
+                matrix: "cant".into(),
+                t_total_s: 0.125,
+                iters: 42,
+                digest: Some("00ff".into()),
+            },
+            EnvRow { matrix: "G3_circuit".into(), t_total_s: 1.5, iters: 7, digest: None },
+        ];
+        let txt = result_envelope("test_fig", &rows).render_pretty();
+        assert!(!txt.contains("stub"), "serde stub leaked into the artifact path:\n{txt}");
+        let doc = Jv::parse(&txt).expect("envelope must be valid JSON");
+        assert_eq!(doc.get("schema").and_then(Jv::as_str), Some("ca-bench/result"));
+        assert_eq!(doc.get("figure").and_then(Jv::as_str), Some("test_fig"));
+        let payload = match doc.get("payload") {
+            Some(Jv::Arr(rows)) => rows,
+            other => panic!("payload should be an array, got {other:?}"),
+        };
+        assert_eq!(payload.len(), 2);
+        assert_eq!(payload[0].get("matrix").and_then(Jv::as_str), Some("cant"));
+        assert_eq!(payload[0].get("t_total_s").and_then(Jv::as_f64), Some(0.125));
+        assert_eq!(payload[0].get("iters").and_then(Jv::as_u64), Some(42));
+        assert!(matches!(payload[1].get("digest"), Some(Jv::Null)));
     }
 }

@@ -1,0 +1,248 @@
+//! Bench-trend gate: compare a freshly generated result envelope
+//! against the committed baseline of the same figure.
+//!
+//! Three classes of check, matching what a deterministic-simulator
+//! artifact can promise:
+//!
+//! 1. **Schema** — the two documents must have the same shape (object
+//!    key sets at every path, array lengths, value kinds). A missing or
+//!    extra field means the artifact format drifted without the
+//!    baseline being regenerated.
+//! 2. **Digests** — any string field whose name ends in `digest` or
+//!    `hash` must match exactly; these fold the bit-deterministic run
+//!    state, so any difference is a real behavioral change.
+//! 3. **Times** — any numeric field whose name ends in `_s` or `_ms`
+//!    may improve freely but must not regress more than
+//!    [`DEFAULT_TOL`] (fresh ≤ (1 + tol) · baseline).
+//!
+//! Fields named `git` or `threads` carry run-environment noise and are
+//! compared for shape only. All other values (counts, rates, labels)
+//! are deliberately not compared: the digests already cover them.
+
+use ca_obs::Jv;
+
+/// Default allowed fractional time regression (10%).
+pub const DEFAULT_TOL: f64 = 0.10;
+
+/// Outcome of one baseline/fresh comparison.
+#[derive(Debug, Default)]
+pub struct TrendReport {
+    /// Human-readable failures; empty means the gate passes.
+    pub failures: Vec<String>,
+    /// Number of digest/hash fields compared exactly.
+    pub digests_checked: usize,
+    /// Number of time fields compared against the tolerance.
+    pub times_checked: usize,
+}
+
+impl TrendReport {
+    /// Whether the comparison passed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn kind(v: &Jv) -> &'static str {
+    match v {
+        Jv::Null => "null",
+        Jv::Bool(_) => "bool",
+        Jv::Int(_) => "number",
+        Jv::Num(_) => "number",
+        Jv::Str(_) => "string",
+        Jv::Arr(_) => "array",
+        Jv::Obj(_) => "object",
+    }
+}
+
+fn num(v: &Jv) -> Option<f64> {
+    match v {
+        Jv::Int(i) => Some(*i as f64),
+        Jv::Num(x) => Some(*x),
+        _ => None,
+    }
+}
+
+fn is_env_field(key: &str) -> bool {
+    key == "git" || key == "threads"
+}
+
+fn is_digest_field(key: &str) -> bool {
+    key.ends_with("digest") || key.ends_with("hash")
+}
+
+fn is_time_field(key: &str) -> bool {
+    // `_per_s` names are rates (jobs/s, Gflop/s): bigger is better, so
+    // the one-sided time check must not apply to them.
+    (key.ends_with("_s") && !key.ends_with("_per_s")) || key.ends_with("_ms")
+}
+
+fn walk(path: &str, key: &str, base: &Jv, fresh: &Jv, tol: f64, rep: &mut TrendReport) {
+    if is_env_field(key) {
+        return;
+    }
+    // A time field recorded as null in one run and a number in the
+    // other is a kind mismatch, caught below before the checks fire.
+    if kind(base) != kind(fresh) {
+        rep.failures.push(format!(
+            "{path}: value kind changed ({} -> {})",
+            kind(base),
+            kind(fresh)
+        ));
+        return;
+    }
+    match (base, fresh) {
+        (Jv::Obj(b), Jv::Obj(f)) => {
+            let bkeys: Vec<&str> = b.iter().map(|(k, _)| k.as_str()).collect();
+            let fkeys: Vec<&str> = f.iter().map(|(k, _)| k.as_str()).collect();
+            for k in &bkeys {
+                if !fkeys.contains(k) {
+                    rep.failures.push(format!("{path}: field \"{k}\" missing from fresh run"));
+                }
+            }
+            for k in &fkeys {
+                if !bkeys.contains(k) {
+                    rep.failures.push(format!("{path}: field \"{k}\" absent from baseline"));
+                }
+            }
+            for (k, bv) in b {
+                if let Some((_, fv)) = f.iter().find(|(fk, _)| fk == k) {
+                    walk(&format!("{path}.{k}"), k, bv, fv, tol, rep);
+                }
+            }
+        }
+        (Jv::Arr(b), Jv::Arr(f)) => {
+            if b.len() != f.len() {
+                rep.failures.push(format!(
+                    "{path}: array length changed ({} -> {})",
+                    b.len(),
+                    f.len()
+                ));
+                return;
+            }
+            for (i, (bv, fv)) in b.iter().zip(f).enumerate() {
+                walk(&format!("{path}[{i}]"), key, bv, fv, tol, rep);
+            }
+        }
+        _ if is_digest_field(key) => {
+            rep.digests_checked += 1;
+            let same = match (base, fresh) {
+                (Jv::Str(a), Jv::Str(b)) => a == b,
+                _ => base.render() == fresh.render(),
+            };
+            if !same {
+                rep.failures.push(format!(
+                    "{path}: digest changed ({} -> {})",
+                    base.render(),
+                    fresh.render()
+                ));
+            }
+        }
+        _ if is_time_field(key) => {
+            if let (Some(b), Some(f)) = (num(base), num(fresh)) {
+                rep.times_checked += 1;
+                if f > b * (1.0 + tol) + f64::MIN_POSITIVE {
+                    rep.failures.push(format!(
+                        "{path}: time regressed {b:.6e} -> {f:.6e} s ({:+.1}% > {:.0}% budget)",
+                        (f / b - 1.0) * 100.0,
+                        tol * 100.0
+                    ));
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compare two parsed result envelopes. `tol` is the fractional time
+/// regression budget ([`DEFAULT_TOL`] for the CLI).
+pub fn compare_envelopes(baseline: &Jv, fresh: &Jv, tol: f64) -> TrendReport {
+    let mut rep = TrendReport::default();
+    walk("$", "", baseline, fresh, tol, &mut rep);
+    rep
+}
+
+/// Parse and compare two envelope documents from their JSON text.
+pub fn compare_json(baseline: &str, fresh: &str, tol: f64) -> Result<TrendReport, String> {
+    let b = Jv::parse(baseline).map_err(|e| format!("baseline: invalid JSON: {e}"))?;
+    let f = Jv::parse(fresh).map_err(|e| format!("fresh: invalid JSON: {e}"))?;
+    for (name, doc) in [("baseline", &b), ("fresh", &f)] {
+        match doc.get("schema").and_then(Jv::as_str) {
+            Some("ca-bench/result") => {}
+            other => {
+                return Err(format!("{name}: not a ca-bench/result envelope (schema = {other:?})"))
+            }
+        }
+    }
+    Ok(compare_envelopes(&b, &f, tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(digest: &str, t: f64, git: &str) -> String {
+        format!(
+            "{{\"schema\":\"ca-bench/result\",\"schema_version\":1,\"git\":\"{git}\",\
+             \"threads\":8,\"payload\":[{{\"digest\":\"{digest}\",\"t_total_s\":{t},\
+             \"iters\":12}}]}}"
+        )
+    }
+
+    #[test]
+    fn identical_envelopes_pass() {
+        let rep = compare_json(&env("abcd", 1.0, "g1"), &env("abcd", 1.0, "g1"), 0.1).unwrap();
+        assert!(rep.ok(), "{:?}", rep.failures);
+        assert_eq!(rep.digests_checked, 1);
+        assert_eq!(rep.times_checked, 1);
+    }
+
+    #[test]
+    fn env_fields_are_ignored_but_schema_is_not() {
+        let rep = compare_json(&env("abcd", 1.0, "g1"), &env("abcd", 1.0, "g2"), 0.1).unwrap();
+        assert!(rep.ok(), "git value difference must not fail: {:?}", rep.failures);
+
+        let missing = "{\"schema\":\"ca-bench/result\",\"schema_version\":1,\
+                       \"git\":\"g\",\"threads\":8,\"payload\":[]}";
+        let rep = compare_json(&env("abcd", 1.0, "g1"), missing, 0.1).unwrap();
+        assert!(!rep.ok(), "changed payload shape must fail schema check");
+    }
+
+    #[test]
+    fn digest_drift_fails() {
+        let rep = compare_json(&env("abcd", 1.0, "g"), &env("eeee", 1.0, "g"), 0.1).unwrap();
+        assert_eq!(rep.failures.len(), 1);
+        assert!(rep.failures[0].contains("digest"), "{}", rep.failures[0]);
+    }
+
+    #[test]
+    fn time_regression_fails_but_improvement_passes() {
+        let rep = compare_json(&env("d", 1.0, "g"), &env("d", 1.2, "g"), 0.1).unwrap();
+        assert_eq!(rep.failures.len(), 1);
+        assert!(rep.failures[0].contains("regressed"), "{}", rep.failures[0]);
+
+        let rep = compare_json(&env("d", 1.0, "g"), &env("d", 0.5, "g"), 0.1).unwrap();
+        assert!(rep.ok(), "speedups must pass: {:?}", rep.failures);
+
+        let rep = compare_json(&env("d", 1.0, "g"), &env("d", 1.05, "g"), 0.1).unwrap();
+        assert!(rep.ok(), "regression within budget must pass: {:?}", rep.failures);
+    }
+
+    #[test]
+    fn rates_are_not_gated_as_times() {
+        let env = |tput: f64| {
+            format!(
+                "{{\"schema\":\"ca-bench/result\",\"payload\":\
+                 {{\"throughput_jobs_per_s\":{tput},\"t_total_s\":1.0}}}}"
+            )
+        };
+        let rep = compare_json(&env(100.0), &env(250.0), 0.1).unwrap();
+        assert!(rep.ok(), "a throughput increase must never fail: {:?}", rep.failures);
+        assert_eq!(rep.times_checked, 1, "only t_total_s is a time field");
+    }
+
+    #[test]
+    fn non_envelope_documents_are_rejected() {
+        assert!(compare_json("{\"stub\":true}", &env("d", 1.0, "g"), 0.1).is_err());
+        assert!(compare_json("not json", &env("d", 1.0, "g"), 0.1).is_err());
+    }
+}

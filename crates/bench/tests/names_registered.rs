@@ -1,0 +1,77 @@
+//! Every metric key a fully instrumented run emits must be declared in
+//! the `ca_obs::names` registry. An unregistered key is a typo or an
+//! emission site that bypassed the registry — either way dashboards and
+//! the trace-driven calibrator would silently miss it.
+
+use ca_gmres::prelude::*;
+use ca_gpusim::{obs_ingest_traces, MultiGpu};
+use ca_obs as obs;
+use ca_serve::{open_loop_arrivals, ArrivalSpec, ServeConfig, Service};
+
+fn assert_all_registered(rec: &obs::Recording, context: &str) {
+    let view = rec.metrics.view();
+    let unregistered: Vec<&str> = view.names().filter(|n| !obs::names::is_registered(n)).collect();
+    assert!(
+        unregistered.is_empty(),
+        "{context}: unregistered metric keys emitted: {unregistered:?}"
+    );
+    assert!(view.names().count() > 0, "{context}: run emitted no metrics at all");
+}
+
+#[test]
+fn profiled_solve_emits_only_registered_names() {
+    let a = ca_sparse::gen::laplace2d(24, 24);
+    let b: Vec<f64> = (0..a.nrows()).map(|i| 1.0 + (i as f64 * 0.37).sin()).collect();
+
+    obs::start();
+    let mut mg = MultiGpu::with_defaults(2);
+    mg.enable_trace();
+    let (pa, _perm, layout) = prepare(&a, Ordering::Natural, 2);
+    let cfg = CaGmresConfig { m: 20, s: 5, rtol: 1e-8, max_restarts: 8, ..Default::default() };
+    let sys = System::new(&mut mg, &pa, layout, cfg.m, Some(cfg.s)).unwrap();
+    sys.load_rhs(&mut mg, &b).unwrap();
+    let stats = ca_gmres(&mut mg, &sys, &cfg);
+    obs_ingest_traces(&mg.take_traces());
+    let rec = obs::finish();
+
+    assert!(stats.stats.converged, "probe solve must converge");
+    assert_all_registered(&rec, "instrumented solve");
+    // the calibrator's inputs are among them
+    let view = rec.metrics.view();
+    assert!(
+        view.histogram("kernel.spmv.s").is_some() || view.histogram("kernel.mpk_step.s").is_some()
+    );
+    assert!(view.histogram("copy.h2d.s").is_some());
+}
+
+#[test]
+fn recorded_service_stream_emits_only_registered_names() {
+    let matrices = vec![
+        ("lap16".to_string(), ca_sparse::gen::laplace2d(16, 16)),
+        ("lap20".to_string(), ca_sparse::gen::laplace2d(20, 20)),
+    ];
+    let jobs = open_loop_arrivals(&ArrivalSpec {
+        seed: 11,
+        jobs: 8,
+        rate_jobs_per_s: 300.0,
+        tenants: vec!["acme".into(), "beta".into()],
+        matrices: vec![("lap16".into(), 256), ("lap20".into(), 400)],
+        rtol: 1e-8,
+        deadline_fraction: 0.3,
+        deadline_headroom_s: (0.01, 0.1),
+    });
+
+    obs::start();
+    let mut cfg = ServeConfig::new(vec![1, 2]);
+    cfg.record_kernel_traces = true;
+    let mut svc = Service::new(cfg, matrices);
+    let rep = svc.run(jobs);
+    let rec = obs::finish();
+
+    assert_eq!(rep.jobs.len(), 8);
+    assert_all_registered(&rec, "recorded service stream");
+    // scheduler-side and tenant-side families both present
+    let view = rec.metrics.view();
+    assert!(view.names().any(|n| n.starts_with("serve.tenant.")));
+    assert!(view.names().any(|n| n.starts_with("kernel.")));
+}

@@ -235,6 +235,66 @@ pub struct RetuneDecision {
     pub layout: Layout,
 }
 
+/// Measured phase-time deltas since the previous restart boundary, fed
+/// to [`RestartTuner::observe_phases`] right before each `replan` call.
+///
+/// The numbers come from the driver's always-on `PhaseTimer`
+/// accumulators in [`SolveStats`] — *not* from `ca-obs` spans — so an
+/// instrumented and an uninstrumented autotune run feed the tuner
+/// bit-identical observations (the PR 5 invariant). `borth_s` is the
+/// projection-only part (`t_orth - t_tsqr`), matching the granularity of
+/// both the recorded host spans and the planner's
+/// [`ca-tune` `PhasePrediction`](https://docs.rs) phase split, so the
+/// tuner can compare observed against predicted shares directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseObservation {
+    /// Restart cycles covered by this delta (normally 1; more when
+    /// fault-recovery paths skipped intermediate boundaries).
+    pub cycles: usize,
+    /// Wall (simulated) seconds since the last observation, including
+    /// unattributed seed/bookkeeping time — the same denominator the
+    /// span-derived phase ratios use.
+    pub cycle_s: f64,
+    /// SpMV/MPK phase seconds.
+    pub spmv_s: f64,
+    /// BOrth projection seconds (orthogonalization minus TSQR).
+    pub borth_s: f64,
+    /// TSQR seconds.
+    pub tsqr_s: f64,
+    /// Host dense-math seconds.
+    pub small_s: f64,
+}
+
+impl PhaseObservation {
+    fn share(&self, part: f64) -> f64 {
+        if self.cycle_s > 0.0 {
+            part / self.cycle_s
+        } else {
+            0.0
+        }
+    }
+
+    /// SpMV/MPK fraction of the observed window.
+    pub fn spmv_share(&self) -> f64 {
+        self.share(self.spmv_s)
+    }
+
+    /// BOrth fraction of the observed window.
+    pub fn borth_share(&self) -> f64 {
+        self.share(self.borth_s)
+    }
+
+    /// TSQR fraction of the observed window.
+    pub fn tsqr_share(&self) -> f64 {
+        self.share(self.tsqr_s)
+    }
+
+    /// Host dense-math fraction of the observed window.
+    pub fn small_share(&self) -> f64 {
+        self.share(self.small_s)
+    }
+}
+
 /// Restart-boundary re-planning hook (tentpole layer 3 of the `ca-tune`
 /// subsystem, which provides the cost-model-driven implementation).
 ///
@@ -289,6 +349,17 @@ pub trait RestartTuner {
     /// trigger condition estimate) so its next re-plan does not walk back
     /// into the same breakdown. The default ignores the events.
     fn observe_escalations(&mut self, _events: &[EscalationEvent]) {}
+
+    /// Span-ratio drift feedback: called at the restart boundary with the
+    /// measured phase-time deltas since the previous boundary, after
+    /// `observe_escalations` and before `replan`. Implementations that
+    /// hold a cost model can compare the observed phase *shares* against
+    /// their prediction and re-plan on drift that per-device kernel
+    /// telemetry cannot attribute — the canonical case being a degraded
+    /// PCIe link, which inflates the communication-heavy phases while
+    /// every kernel's busy-time EWMA stays clean. The default ignores
+    /// the observation.
+    fn observe_phases(&mut self, _obs: &PhaseObservation) {}
 }
 
 /// Outcome of a fault-tolerant solve.
@@ -465,9 +536,9 @@ impl HealthProbe {
                                 point.label()
                             ),
                         );
-                        obs::observe("ft.detection_latency_s", latency);
+                        obs::observe(obs::names::FT_DETECTION_LATENCY_S, latency);
                     }
-                    obs::counter_add("ft.in_cycle_escalations", n as u64);
+                    obs::counter_add(obs::names::FT_IN_CYCLE_ESCALATIONS, n as u64);
                 }
                 return Err(GpuSimError::DeviceLost { device: hung[0] });
             }
@@ -507,7 +578,7 @@ impl HealthProbe {
                                     point.label()
                                 ),
                             );
-                            obs::observe("ft.detection_latency_s", latency);
+                            obs::observe(obs::names::FT_DETECTION_LATENCY_S, latency);
                         }
                     }
                 }
@@ -826,10 +897,10 @@ pub fn ca_gmres_ft_session(
     stats.debug_check_phases();
     if obs::enabled() {
         obs::close_open(mg.time()); // a fatal abort may have left spans open
-        obs::gauge_set("solve.t_total_s", stats.t_total);
-        obs::gauge_set("solve.final_relres", stats.final_relres);
-        obs::gauge_set("ft.s_final", report.s_final as f64);
-        obs::gauge_set("ft.ndev_final", report.ndev_final as f64);
+        obs::gauge_set(obs::names::SOLVE_T_TOTAL_S, stats.t_total);
+        obs::gauge_set(obs::names::SOLVE_FINAL_RELRES, stats.final_relres);
+        obs::gauge_set(obs::names::FT_S_FINAL, report.s_final as f64);
+        obs::gauge_set(obs::names::FT_NDEV_FINAL, report.ndev_final as f64);
     }
     // package the final device state for the caller's residency manager;
     // the shape keys reflect what the solve *ended* with (a mid-solve
@@ -933,6 +1004,10 @@ fn ca_gmres_ft_impl(
     // hand-back state for re-entering an interrupted cycle at its last
     // verified block (None: start the next cycle fresh)
     let mut resume: Option<ResumeState> = None;
+    // phase-accumulator marks for RestartTuner::observe_phases deltas
+    let (mut ph_t, mut ph_restarts) = (mg.time(), stats.restarts);
+    let (mut ph_spmv, mut ph_orth, mut ph_tsqr, mut ph_small) =
+        (stats.t_spmv, stats.t_orth, stats.t_tsqr, stats.t_small);
 
     while beta > target && stats.restarts < scfg.max_restarts {
         let t_cycle_entry = mg.time();
@@ -1000,7 +1075,7 @@ fn ca_gmres_ft_impl(
                                 cfg.residual_slack
                             ),
                         );
-                        obs::counter_add("ft.cycles_redone", 1);
+                        obs::counter_add(obs::names::FT_CYCLES_REDONE, 1);
                     }
                     sys.upload_x(mg, x_ckpt)?;
                     beta = sys.residual_norm(mg)?;
@@ -1040,7 +1115,7 @@ fn ca_gmres_ft_impl(
                             ck.ncols
                         ),
                     );
-                    obs::counter_add("ft.device_losses", 1);
+                    obs::counter_add(obs::names::FT_DEVICE_LOSSES, 1);
                 }
                 (sys, abft) = rebuild_system(
                     mg,
@@ -1107,8 +1182,8 @@ fn ca_gmres_ft_impl(
                                  resuming at the block checkpoint"
                             ),
                         );
-                        obs::counter_add("ft.rebalances", 1);
-                        obs::counter_add("ft.rebalance.rows_moved", rows_moved as u64);
+                        obs::counter_add(obs::names::FT_REBALANCES, 1);
+                        obs::counter_add(obs::names::FT_REBALANCE_ROWS_MOVED, rows_moved as u64);
                     }
                     (sys, abft) =
                         rebuild_system(mg, a, b, new_layout, cfg, s_opt, &[], prec_cur, report)?;
@@ -1199,7 +1274,7 @@ fn ca_gmres_ft_impl(
                         mg.time(),
                         &format!("device {device} lost; rebuilding on {nsurv} survivors"),
                     );
-                    obs::counter_add("ft.device_losses", 1);
+                    obs::counter_add(obs::names::FT_DEVICE_LOSSES, 1);
                 }
                 (sys, abft) = rebuild_system(
                     mg,
@@ -1251,7 +1326,7 @@ fn ca_gmres_ft_impl(
                                  detection latency {latency:.6}s"
                             ),
                         );
-                        obs::observe("ft.detection_latency_s", latency);
+                        obs::observe(obs::names::FT_DETECTION_LATENCY_S, latency);
                     }
                     obs::close_open(mg.time());
                     obs::instant_cause(
@@ -1263,7 +1338,7 @@ fn ca_gmres_ft_impl(
                             hung[0]
                         ),
                     );
-                    obs::counter_add("ft.device_losses", hung.len() as u64);
+                    obs::counter_add(obs::names::FT_DEVICE_LOSSES, hung.len() as u64);
                 }
                 (sys, abft) = rebuild_system(
                     mg,
@@ -1290,6 +1365,22 @@ fn ca_gmres_ft_impl(
                     t.observe_escalations(&report.escalations[escalations_seen..]);
                     escalations_seen = report.escalations.len();
                 }
+                // span-ratio drift input: phase-time deltas since the
+                // last boundary, from the always-on PhaseTimer
+                // accumulators (identical with and without ca-obs armed)
+                let d_orth = stats.t_orth - ph_orth;
+                let d_tsqr = stats.t_tsqr - ph_tsqr;
+                t.observe_phases(&PhaseObservation {
+                    cycles: stats.restarts - ph_restarts,
+                    cycle_s: (mg.time() - ph_t).max(0.0),
+                    spmv_s: stats.t_spmv - ph_spmv,
+                    borth_s: (d_orth - d_tsqr).max(0.0),
+                    tsqr_s: d_tsqr,
+                    small_s: stats.t_small - ph_small,
+                });
+                (ph_t, ph_restarts) = (mg.time(), stats.restarts);
+                (ph_spmv, ph_orth, ph_tsqr, ph_small) =
+                    (stats.t_spmv, stats.t_orth, stats.t_tsqr, stats.t_small);
                 let health = mg.health_report();
                 if let Some(d) = t.replan(&health, s_cur, &sys.layout) {
                     assert!(
@@ -1331,7 +1422,7 @@ fn ca_gmres_ft_impl(
                                     if layout_changed { "changed" } else { "kept" }
                                 ),
                             );
-                            obs::counter_add("ft.retunes", 1);
+                            obs::counter_add(obs::names::FT_RETUNES, 1);
                         }
                         s_cur = d.s;
                         report.s_final = s_cur;
@@ -1403,8 +1494,8 @@ fn ca_gmres_ft_impl(
                                 cfg.rebalance_threshold
                             ),
                         );
-                        obs::counter_add("ft.rebalances", 1);
-                        obs::counter_add("ft.rebalance.rows_moved", rows_moved as u64);
+                        obs::counter_add(obs::names::FT_REBALANCES, 1);
+                        obs::counter_add(obs::names::FT_REBALANCE_ROWS_MOVED, rows_moved as u64);
                     }
                     (sys, abft) =
                         rebuild_system(mg, a, b, new_layout, cfg, s_opt, &[], prec_cur, report)?;
@@ -1627,8 +1718,8 @@ fn record_escalation(
                 rung.label()
             ),
         );
-        obs::counter_add("health.escalations", 1);
-        obs::counter_add(&format!("health.escalations.{}", rung.label()), 1);
+        obs::counter_add(obs::names::HEALTH_ESCALATIONS, 1);
+        obs::counter_add(&obs::names::health_escalations_rung(rung.label()), 1);
     }
 }
 
@@ -1715,7 +1806,7 @@ fn run_protected_cycle(
         beta_cycle = ck.beta;
         first_block = false;
         report.block_resumes += 1;
-        obs::counter_add("ft.block_resumes", 1);
+        obs::counter_add(obs::names::FT_BLOCK_RESUMES, 1);
         ckpt = Some(ck);
     } else {
         sys.seed_basis(mg, beta)?;
@@ -1784,7 +1875,7 @@ fn run_protected_cycle(
                                  (attempt {attempts})"
                             ),
                         );
-                        obs::counter_add("ft.sdc_detected", 1);
+                        obs::counter_add(obs::names::FT_SDC_DETECTED, 1);
                     }
                     if attempts < cfg.recompute.retries() {
                         attempts += 1;
@@ -1793,7 +1884,7 @@ fn run_protected_cycle(
                             mg.fast_forward(mg.time() + wait); // space the retry out
                         }
                         report.blocks_recomputed += 1;
-                        obs::counter_add("ft.blocks_recomputed", 1);
+                        obs::counter_add(obs::names::FT_BLOCKS_RECOMPUTED, 1);
                         continue; // fresh op indices => fresh fault draws
                     }
                     // budget exhausted: accept; residual check backstops
@@ -1945,8 +2036,8 @@ fn run_protected_cycle(
                                  (attempt {attempts})"
                             ),
                         );
-                        obs::counter_add("ft.sdc_detected", 1);
-                        obs::counter_add("ft.blocks_recomputed", 1);
+                        obs::counter_add(obs::names::FT_SDC_DETECTED, 1);
+                        obs::counter_add(obs::names::FT_BLOCKS_RECOMPUTED, 1);
                     }
                 }
                 Err(e) => {

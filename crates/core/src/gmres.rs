@@ -190,7 +190,7 @@ fn gmres_impl(
     let now = mg.time();
     obs::span_end(sp_res, now);
     stats.t_spmv += timer.mark(now);
-    obs::sample("relres", now, 1.0);
+    obs::sample(obs::names::RELRES, now, 1.0);
     let target = cfg.rtol * beta0;
     let mut beta = beta0;
 
@@ -214,7 +214,7 @@ fn gmres_impl(
         obs::span_end(sp_res, now);
         stats.t_spmv += timer.mark(now);
         if beta0 > 0.0 {
-            obs::sample("relres", now, beta / beta0);
+            obs::sample(obs::names::RELRES, now, beta / beta0);
         }
         if stats.breakdown.is_some() {
             break;

@@ -262,8 +262,8 @@ impl BasisMonitor {
                 });
             }
             if obs::enabled() {
-                obs::observe("health.cond_est", est);
-                obs::counter_add("health.cond_checks", 1);
+                obs::observe(obs::names::HEALTH_COND_EST, est);
+                obs::counter_add(obs::names::HEALTH_COND_CHECKS, 1);
             }
         });
     }
@@ -288,8 +288,8 @@ impl BasisMonitor {
                 });
             }
             if obs::enabled() {
-                obs::observe("health.basis_growth", ratio);
-                obs::counter_add("health.growth_checks", 1);
+                obs::observe(obs::names::HEALTH_BASIS_GROWTH, ratio);
+                obs::counter_add(obs::names::HEALTH_GROWTH_CHECKS, 1);
             }
         });
     }
@@ -323,8 +323,8 @@ pub(crate) fn promote_system_f64(
 ) -> GpuResult<System> {
     if obs::enabled() {
         obs::instant_cause("ft.escalate", HOST, mg.time(), why);
-        obs::counter_add("health.escalations", 1);
-        obs::counter_add("health.escalations.promote", 1);
+        obs::counter_add(obs::names::HEALTH_ESCALATIONS, 1);
+        obs::counter_add(&obs::names::health_escalations_rung("promote"), 1);
     }
     let sys = System::new_with_format_prec(mg, a, layout, m, s_opt, format, Precision::F64)?;
     sys.load_rhs(mg, b)?;

@@ -426,7 +426,7 @@ pub fn mpk_prefetch(
             mg.time(),
             &format!("halo exchange issued ahead of block at column {start_col}"),
         );
-        obs::counter_add("mpk.prefetches", 1);
+        obs::counter_add(obs::names::MPK_PREFETCHES, 1);
     }
     Ok(PrefetchedHalo { start_col, inflight })
 }

@@ -318,7 +318,7 @@ pub fn borth_checked(
         }
     }
     mg.host_compute((c.nrows() * c.ncols()) as f64, (8 * c.nrows() * c.ncols()) as f64);
-    obs::counter_add("abft.borth_checks", 1);
+    obs::counter_add(obs::names::ABFT_BORTH_CHECKS, 1);
     if !checksums_agree(expected, got, scale) {
         if obs::enabled() {
             obs::instant_cause(
@@ -364,7 +364,7 @@ pub fn tsqr_checked(
     // f32 rounding scale so the checksum flags corruption, not precision
     let tol_scale =
         if kind == TsqrKind::CholQrMixed { scale * (f32::EPSILON as f64 / 1e-10) } else { scale };
-    obs::counter_add("abft.gram_checks", 1);
+    obs::counter_add(obs::names::ABFT_GRAM_CHECKS, 1);
     if !checksums_agree(expected, got, tol_scale) {
         if obs::enabled() {
             obs::instant_cause(

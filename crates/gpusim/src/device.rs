@@ -240,7 +240,7 @@ impl Device {
             self.ewma_slowdown += EWMA_ALPHA * (actual / dt - self.ewma_slowdown);
         }
         if self.stream.is_enabled() {
-            self.stream.push(Cmd::Kernel { name, start, dur: actual });
+            self.stream.push(Cmd::Kernel { name, start, dur: actual, modeled: dt });
         }
     }
 

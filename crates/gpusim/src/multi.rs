@@ -345,7 +345,7 @@ impl MultiGpu {
                          device {d} marked lost"
                     ),
                 );
-                obs::counter_add("watchdog.escalations", 1);
+                obs::counter_add(obs::names::WATCHDOG_ESCALATIONS, 1);
             }
         }
         // the rewind can lower the end-to-end clock below values already
@@ -398,7 +398,7 @@ impl MultiGpu {
             }
             if !plan.transfer_fails(d, msg, attempt) {
                 if attempt > 0 {
-                    obs::counter_add("comm.transfer_retries", u64::from(attempt));
+                    obs::counter_add(obs::names::COMM_TRANSFER_RETRIES, u64::from(attempt));
                 }
                 return Ok(elapsed + base);
             }
@@ -410,8 +410,8 @@ impl MultiGpu {
         self.counters.transfer_retries -= 1; // last attempt was not retried
         self.host_time += elapsed;
         if obs::enabled() {
-            obs::counter_add("comm.transfer_retries", u64::from(policy.max_attempts - 1));
-            obs::counter_add("comm.transfers_abandoned", 1);
+            obs::counter_add(obs::names::COMM_TRANSFER_RETRIES, u64::from(policy.max_attempts - 1));
+            obs::counter_add(obs::names::COMM_TRANSFERS_ABANDONED, 1);
         }
         Err(GpuSimError::TransferFailed { device: d, attempts: policy.max_attempts })
     }
@@ -638,12 +638,12 @@ impl MultiGpu {
             self.counters.bytes_to_host_f32 += bytes as u64;
         }
         if obs::enabled() {
-            obs::counter_add("comm.d2h.msgs", 1);
-            obs::counter_add("comm.d2h.bytes", bytes as u64);
-            obs::counter_add(&format!("comm.link{d}.d2h_bytes"), bytes as u64);
+            obs::counter_add(obs::names::COMM_D2H_MSGS, 1);
+            obs::counter_add(obs::names::COMM_D2H_BYTES, bytes as u64);
+            obs::counter_add(&obs::names::comm_link_bytes(d as u32, "d2h", false), bytes as u64);
             if prec == Precision::F32 {
-                obs::counter_add("comm.d2h.bytes_f32", bytes as u64);
-                obs::counter_add(&format!("comm.link{d}.d2h_bytes_f32"), bytes as u64);
+                obs::counter_add(obs::names::COMM_D2H_BYTES_F32, bytes as u64);
+                obs::counter_add(&obs::names::comm_link_bytes(d as u32, "d2h", true), bytes as u64);
             }
         }
         let ev = self.events.record(finish);
@@ -685,12 +685,12 @@ impl MultiGpu {
             self.counters.bytes_to_dev_f32 += bytes as u64;
         }
         if obs::enabled() {
-            obs::counter_add("comm.h2d.msgs", 1);
-            obs::counter_add("comm.h2d.bytes", bytes as u64);
-            obs::counter_add(&format!("comm.link{d}.h2d_bytes"), bytes as u64);
+            obs::counter_add(obs::names::COMM_H2D_MSGS, 1);
+            obs::counter_add(obs::names::COMM_H2D_BYTES, bytes as u64);
+            obs::counter_add(&obs::names::comm_link_bytes(d as u32, "h2d", false), bytes as u64);
             if prec == Precision::F32 {
-                obs::counter_add("comm.h2d.bytes_f32", bytes as u64);
-                obs::counter_add(&format!("comm.link{d}.h2d_bytes_f32"), bytes as u64);
+                obs::counter_add(obs::names::COMM_H2D_BYTES_F32, bytes as u64);
+                obs::counter_add(&obs::names::comm_link_bytes(d as u32, "h2d", true), bytes as u64);
             }
         }
         let ev = self.events.record(finish);

@@ -68,9 +68,13 @@ pub enum Cmd {
         name: &'static str,
         /// Queue-tail timestamp the kernel started at.
         start: f64,
-        /// Modeled kernel duration (seconds), including any injected
+        /// Kernel duration (seconds) as charged, including any injected
         /// fail-slow perturbation (slowdown multiplier, queue stall).
         dur: f64,
+        /// Fault-free modeled duration (seconds). Equal to `dur` on a
+        /// healthy device; the `dur / modeled` ratio is the observed
+        /// slowdown that trace-driven calibration fits parameters from.
+        modeled: f64,
     },
     /// A device→host copy on this device's link.
     CopyToHost {
@@ -251,14 +255,14 @@ mod tests {
     #[test]
     fn trace_records_only_when_enabled() {
         let mut tr = StreamTrace::default();
-        tr.push(Cmd::Kernel { name: "spmv", start: 0.0, dur: 1.0 });
+        tr.push(Cmd::Kernel { name: "spmv", start: 0.0, dur: 1.0, modeled: 1.0 });
         // pushes land regardless; callers gate on is_enabled()
         assert_eq!(tr.cmds().len(), 1);
         assert!(!tr.is_enabled());
         tr.enable();
         assert!(tr.is_enabled());
         let drained = tr.take();
-        assert_eq!(drained, vec![Cmd::Kernel { name: "spmv", start: 0.0, dur: 1.0 }]);
+        assert_eq!(drained, vec![Cmd::Kernel { name: "spmv", start: 0.0, dur: 1.0, modeled: 1.0 }]);
         assert!(tr.cmds().is_empty());
     }
 

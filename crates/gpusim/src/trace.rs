@@ -92,7 +92,7 @@ pub fn export_chrome_trace(traces: &[Vec<Cmd>]) -> String {
     for (d, cmds) in traces.iter().enumerate() {
         for cmd in cmds {
             match *cmd {
-                Cmd::Kernel { name, start, dur } => {
+                Cmd::Kernel { name, start, dur, .. } => {
                     push_slice(&mut out, queue_tid(d), name, start, dur);
                 }
                 Cmd::CopyToHost { bytes, start, finish } => {
@@ -143,10 +143,11 @@ pub fn obs_ingest_traces(traces: &[Vec<Cmd>]) {
         let link = obs::Track::Link(d as u32);
         for cmd in cmds {
             match *cmd {
-                Cmd::Kernel { name, start, dur } => {
+                Cmd::Kernel { name, start, dur, modeled } => {
                     obs::span(name, dev, start, start + dur);
-                    obs::observe(&format!("kernel.{name}.s"), dur);
-                    obs::counter_add(&format!("kernel.{name}.calls"), 1);
+                    obs::observe(&obs::names::kernel_seconds(name), dur);
+                    obs::observe(&obs::names::kernel_modeled_seconds(name), modeled);
+                    obs::counter_add(&obs::names::kernel_calls(name), 1);
                 }
                 Cmd::CopyToHost { bytes, start, finish } => {
                     obs::span(&format!("D2H {bytes} B"), link, start, finish);

@@ -33,13 +33,17 @@
 //! tools) and aggregation helpers in [`report`].
 
 pub mod export;
+pub mod jsonv;
 pub mod metrics;
+pub mod names;
 pub mod report;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 
-pub use metrics::{HistogramData, MetricValue, MetricsSnapshot};
+pub use jsonv::Jv;
+pub use metrics::{HistogramData, MetricValue, MetricsSnapshot, MetricsView};
+pub use report::PhaseRatios;
 
 /// Timeline a span or instant is attributed to.
 ///

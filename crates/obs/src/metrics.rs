@@ -1,15 +1,86 @@
 //! Typed metric registry with a deterministic JSON encoding.
 //!
 //! Three metric kinds: monotone `u64` counters, last-write-wins `f64`
-//! gauges, and summary histograms (count/sum/min/max). The snapshot
-//! serializes to hand-rolled JSON (the workspace `serde_json` is an offline
-//! stub) with `BTreeMap`-sorted keys and Rust's shortest-roundtrip float
-//! formatting, so the same run always produces byte-identical output; an
-//! FNV-1a hash of those bytes ties bench artifacts to the exact run.
+//! gauges, and log-bucketed quantile histograms (count/sum/min/max plus a
+//! sparse bucket vector, so p50/p99 are answerable after the fact). The
+//! snapshot serializes to hand-rolled JSON (the workspace `serde_json` is
+//! an offline stub) with `BTreeMap`-sorted keys and Rust's
+//! shortest-roundtrip float formatting, so the same run always produces
+//! byte-identical output; an FNV-1a hash of those bytes ties bench
+//! artifacts to the exact run.
+//!
+//! ## Bucketing scheme
+//!
+//! Bucket boundaries are derived from the IEEE-754 bit pattern: the
+//! biased exponent selects an octave and the top [`SUB_BITS`] mantissa
+//! bits split it into [`SUBS_PER_OCTAVE`] linear sub-buckets (HDR-style).
+//! The index is a pure function of the bits — no `log` call, no libm, no
+//! platform variance — so two runs, or two rayon thread counts, always
+//! bucket identically and merged counts are exactly the sum of their
+//! parts. Relative bucket width is at most `1/16` of an octave (≈ 6.3%),
+//! so a midpoint representative answers quantile queries within ~3.2%.
+//! Zero, negative, and non-finite observations land in the
+//! [`SENTINEL_BUCKET`].
 
 use std::collections::BTreeMap;
 
-/// Summary statistics of an observed distribution.
+/// Mantissa bits used for sub-bucketing (16 linear buckets per octave).
+pub const SUB_BITS: u32 = 4;
+
+/// Number of sub-buckets per power-of-two octave.
+pub const SUBS_PER_OCTAVE: i32 = 1 << SUB_BITS;
+
+/// Bucket index for observations outside `(0, +inf)`: zero, negative,
+/// and non-finite values. Sorts before every real bucket.
+pub const SENTINEL_BUCKET: i32 = i32::MIN;
+
+/// Log-bucket index of a value. Positive finite values map to
+/// `(unbiased_exponent * 16) | top-4-mantissa-bits`; subnormals collapse
+/// into the lowest normal bucket; everything else hits
+/// [`SENTINEL_BUCKET`].
+#[must_use]
+pub fn bucket_index(v: f64) -> i32 {
+    if !v.is_finite() || v <= 0.0 {
+        return SENTINEL_BUCKET;
+    }
+    let bits = v.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32;
+    if exp == 0 {
+        // subnormal: below every normal bucket; fold into the first one
+        return (1 - 1023) * SUBS_PER_OCTAVE;
+    }
+    let sub = ((bits >> (52 - SUB_BITS)) & (SUBS_PER_OCTAVE as u64 - 1)) as i32;
+    (exp - 1023) * SUBS_PER_OCTAVE + sub
+}
+
+/// Inclusive lower bound of bucket `idx` (0 for the sentinel).
+#[must_use]
+pub fn bucket_lo(idx: i32) -> f64 {
+    if idx == SENTINEL_BUCKET {
+        return 0.0;
+    }
+    let exp = idx.div_euclid(SUBS_PER_OCTAVE) + 1023;
+    let sub = idx.rem_euclid(SUBS_PER_OCTAVE) as u64;
+    if exp <= 0 {
+        return 0.0;
+    }
+    if exp >= 2047 {
+        return f64::MAX;
+    }
+    f64::from_bits(((exp as u64) << 52) | (sub << (52 - SUB_BITS)))
+}
+
+/// Exclusive upper bound of bucket `idx` (0 for the sentinel, whose
+/// members are all ≤ 0 or non-finite).
+#[must_use]
+pub fn bucket_hi(idx: i32) -> f64 {
+    if idx == SENTINEL_BUCKET {
+        return 0.0;
+    }
+    bucket_lo(idx.saturating_add(1))
+}
+
+/// Summary statistics plus log-bucket counts of an observed distribution.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct HistogramData {
     /// Number of observations.
@@ -20,6 +91,10 @@ pub struct HistogramData {
     pub min: f64,
     /// Largest observed value (0 when `count == 0`).
     pub max: f64,
+    /// Sparse `(bucket_index, count)` pairs, sorted by index. The counts
+    /// always sum to `count`; merging histograms adds them pointwise, so
+    /// the vector is invariant to observation order and thread count.
+    pub buckets: Vec<(i32, u64)>,
 }
 
 impl HistogramData {
@@ -34,15 +109,88 @@ impl HistogramData {
         }
         self.count += 1;
         self.sum += v;
+        self.bucket_add(bucket_index(v), 1);
+    }
+
+    fn bucket_add(&mut self, idx: i32, n: u64) {
+        match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+            Ok(slot) => self.buckets[slot].1 += n,
+            Err(slot) => self.buckets.insert(slot, (idx, n)),
+        }
+    }
+
+    /// Fold another histogram into this one. Bucket counts add
+    /// pointwise, so `merge` is associative and commutative — a sharded
+    /// collection merges to the same state in any order.
+    pub fn merge(&mut self, other: &HistogramData) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        for &(idx, n) in &other.buckets {
+            self.bucket_add(idx, n);
+        }
     }
 
     /// Mean of the observations (0 when empty).
+    #[must_use]
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Nearest-rank quantile from the bucket counts: the midpoint of the
+    /// bucket holding the `ceil(q·count)`-th observation, clamped to the
+    /// observed `[min, max]`. `q ≤ 0` returns `min`, `q ≥ 1` returns
+    /// `max`, and an empty histogram returns 0.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for &(idx, n) in &self.buckets {
+            cum += n;
+            if cum >= rank {
+                let rep = if idx == SENTINEL_BUCKET {
+                    0.0
+                } else {
+                    0.5 * (bucket_lo(idx) + bucket_hi(idx))
+                };
+                return rep.max(self.min).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median ([`Self::quantile`] at 0.5).
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile ([`Self::quantile`] at 0.99).
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
     }
 }
 
@@ -122,8 +270,17 @@ impl MetricsSnapshot {
                     out.push_str(&format!("{{\"type\":\"gauge\",\"value\":{}}}", json_f64(*g)));
                 }
                 MetricValue::Histogram(h) => {
+                    let mut buckets = String::from("[");
+                    for (i, (idx, n)) in h.buckets.iter().enumerate() {
+                        if i > 0 {
+                            buckets.push(',');
+                        }
+                        buckets.push_str(&format!("[{idx},{n}]"));
+                    }
+                    buckets.push(']');
                     out.push_str(&format!(
-                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                         \"buckets\":{buckets}}}",
                         h.count,
                         json_f64(h.sum),
                         json_f64(h.min),
@@ -136,9 +293,157 @@ impl MetricsSnapshot {
         out
     }
 
+    /// Parse a snapshot back from its [`Self::to_json`] encoding (also
+    /// accepts any JSON with the same object shape). Unknown `type` tags
+    /// and malformed entries are errors — a silent skip would decouple
+    /// the parsed snapshot from the hash of its source bytes.
+    pub fn from_json(src: &str) -> Result<MetricsSnapshot, String> {
+        let root = crate::jsonv::Jv::parse(src)?;
+        let fields = root.as_obj().ok_or("metrics snapshot must be a JSON object")?;
+        let mut values = BTreeMap::new();
+        for (name, v) in fields {
+            let kind = v
+                .get("type")
+                .and_then(crate::jsonv::Jv::as_str)
+                .ok_or_else(|| format!("metric '{name}' has no type tag"))?;
+            let num = |key: &str| -> Result<f64, String> {
+                match v.get(key) {
+                    // non-finite floats render as null; read them back as NaN
+                    Some(crate::jsonv::Jv::Null) => Ok(f64::NAN),
+                    Some(j) => {
+                        j.as_f64().ok_or_else(|| format!("metric '{name}' has non-numeric '{key}'"))
+                    }
+                    None => Err(format!("metric '{name}' missing numeric '{key}'")),
+                }
+            };
+            let value = match kind {
+                "counter" => MetricValue::Counter(
+                    v.get("value")
+                        .and_then(crate::jsonv::Jv::as_u64)
+                        .ok_or_else(|| format!("counter '{name}' missing integer value"))?,
+                ),
+                "gauge" => MetricValue::Gauge(num("value")?),
+                "histogram" => {
+                    let mut h = HistogramData {
+                        count: v
+                            .get("count")
+                            .and_then(crate::jsonv::Jv::as_u64)
+                            .ok_or_else(|| format!("histogram '{name}' missing count"))?,
+                        sum: num("sum")?,
+                        min: num("min")?,
+                        max: num("max")?,
+                        buckets: Vec::new(),
+                    };
+                    let buckets = v
+                        .get("buckets")
+                        .and_then(crate::jsonv::Jv::as_arr)
+                        .ok_or_else(|| format!("histogram '{name}' missing buckets"))?;
+                    for pair in buckets {
+                        let pair = pair.as_arr().filter(|p| p.len() == 2);
+                        let (idx, n) = pair
+                            .and_then(|p| Some((p[0].as_f64()? as i32, p[1].as_u64()?)))
+                            .ok_or_else(|| format!("histogram '{name}' has a malformed bucket"))?;
+                        h.buckets.push((idx, n));
+                    }
+                    if h.buckets.windows(2).any(|w| w[0].0 >= w[1].0) {
+                        return Err(format!("histogram '{name}' buckets not sorted"));
+                    }
+                    if h.buckets.iter().map(|&(_, n)| n).sum::<u64>() != h.count {
+                        return Err(format!(
+                            "histogram '{name}' bucket counts disagree with count"
+                        ));
+                    }
+                    MetricValue::Histogram(h)
+                }
+                other => return Err(format!("metric '{name}' has unknown type '{other}'")),
+            };
+            if values.insert(name.clone(), value).is_some() {
+                return Err(format!("duplicate metric '{name}'"));
+            }
+        }
+        Ok(MetricsSnapshot { values })
+    }
+
+    /// Read-only query view over this snapshot.
+    #[must_use]
+    pub fn view(&self) -> MetricsView<'_> {
+        MetricsView { snap: self }
+    }
+
     /// FNV-1a (64-bit) hash of [`Self::to_json`], as 16 lowercase hex digits.
     pub fn hash_hex(&self) -> String {
         format!("{:016x}", fnv1a(self.to_json().as_bytes()))
+    }
+}
+
+/// Typed query API over a [`MetricsSnapshot`]: the read side of the
+/// observability loop. `ca-tune`'s metrics calibration and `ca-serve`'s
+/// SLO reports consume snapshots exclusively through this view, so the
+/// snapshot's storage can evolve without touching them.
+#[derive(Clone, Copy, Debug)]
+pub struct MetricsView<'a> {
+    snap: &'a MetricsSnapshot,
+}
+
+impl<'a> MetricsView<'a> {
+    /// Counter value (`None` if absent or a different kind).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.snap.values.get(name) {
+            Some(MetricValue::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Gauge value (`None` if absent or a different kind).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.snap.values.get(name) {
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Histogram (`None` if absent or a different kind).
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&'a HistogramData> {
+        match self.snap.values.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// All metric names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &'a str> {
+        self.snap.values.keys().map(String::as_str)
+    }
+
+    /// Histograms whose name starts with `prefix`, sorted by name.
+    #[must_use]
+    pub fn histograms_with_prefix(&self, prefix: &str) -> Vec<(&'a str, &'a HistogramData)> {
+        self.snap
+            .values
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .filter_map(|(k, v)| match v {
+                MetricValue::Histogram(h) => Some((k.as_str(), h)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Counters whose name starts with `prefix`, sorted by name.
+    #[must_use]
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(&'a str, u64)> {
+        self.snap
+            .values
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .filter_map(|(k, v)| match v {
+                MetricValue::Counter(c) => Some((k.as_str(), *c)),
+                _ => None,
+            })
+            .collect()
     }
 }
 
@@ -222,5 +527,257 @@ mod tests {
         let mut reg = Registry::default();
         reg.gauge_set("x", 1.0);
         reg.counter_add("x", 1);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_tight() {
+        // indices are monotone in the value and bounds bracket the value
+        let mut prev = i32::MIN;
+        let mut v = 1e-12;
+        while v < 1e12 {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "bucket index must be monotone at {v}");
+            assert!(bucket_lo(idx) <= v && v < bucket_hi(idx), "bounds miss {v}");
+            // relative bucket width stays under 1/16 of an octave
+            assert!(bucket_hi(idx) / bucket_lo(idx) <= 1.0 + 1.0 / 16.0 + 1e-12);
+            prev = idx;
+            v *= 1.37;
+        }
+        // boundary values land exactly on their own lower bound
+        for idx in [-160, -1, 0, 1, 160] {
+            assert_eq!(bucket_index(bucket_lo(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn sentinel_bucket_catches_nonpositive_and_nonfinite() {
+        for v in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(bucket_index(v), SENTINEL_BUCKET, "{v}");
+        }
+        assert_eq!(bucket_index(5e-324), (1 - 1023) * SUBS_PER_OCTAVE); // subnormal
+        let mut h = HistogramData::default();
+        h.observe(0.0);
+        h.observe(2.0);
+        assert_eq!(h.buckets.len(), 2);
+        assert_eq!(h.buckets[0], (SENTINEL_BUCKET, 1));
+        assert_eq!(h.count, 2);
+    }
+
+    #[test]
+    fn quantiles_are_exact_on_bucket_representatives() {
+        let mut h = HistogramData::default();
+        // 100 observations of 1.0: every quantile is within its bucket
+        for _ in 0..100 {
+            h.observe(1.0);
+        }
+        assert_eq!(h.p50(), 1.0); // clamped to [min, max]
+        assert_eq!(h.p99(), 1.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(1.0), 1.0);
+
+        // bimodal: 90 fast at ~1ms, 10 slow at ~1s. p50 must sit in the
+        // fast mode's bucket, p99 in the slow mode's.
+        let mut h = HistogramData::default();
+        for _ in 0..90 {
+            h.observe(1e-3);
+        }
+        for _ in 0..10 {
+            h.observe(1.0);
+        }
+        let p50 = h.p50();
+        let p99 = h.p99();
+        assert!((p50 - 1e-3).abs() / 1e-3 < 1.0 / 16.0, "p50 {p50}");
+        assert_eq!(p99, 1.0, "p99 must clamp to the observed max");
+        // exact nearest-rank boundary: rank 90 is still the fast mode,
+        // rank 91 the slow one
+        assert!(h.quantile(0.90) < 1e-2);
+        assert!(h.quantile(0.91) > 0.5);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_by_bucket_width() {
+        let mut h = HistogramData::default();
+        let mut v = 3.7e-4;
+        let mut values = Vec::new();
+        for _ in 0..500 {
+            h.observe(v);
+            values.push(v);
+            v *= 1.01;
+        }
+        values.sort_by(f64::total_cmp);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let exact = values[((q * 500.0_f64).ceil() as usize).clamp(1, 500) - 1];
+            let approx = h.quantile(q);
+            assert!(
+                (approx - exact).abs() / exact < 0.04,
+                "q={q}: approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_order_invariant_and_matches_sequential() {
+        let values: Vec<f64> = (0..200).map(|i| 1e-6 * (1.1f64).powi(i % 37) + i as f64).collect();
+        let mut whole = HistogramData::default();
+        for &v in &values {
+            whole.observe(v);
+        }
+        // shard into 4 interleaved parts, merge in two different orders
+        let mut shards = vec![HistogramData::default(); 4];
+        for (i, &v) in values.iter().enumerate() {
+            shards[i % 4].observe(v);
+        }
+        let mut fwd = HistogramData::default();
+        for s in &shards {
+            fwd.merge(s);
+        }
+        let mut rev = HistogramData::default();
+        for s in shards.iter().rev() {
+            rev.merge(s);
+        }
+        // bucket counts and extrema are exactly order-invariant; the sum
+        // is a float accumulation, so it only agrees to rounding
+        assert_eq!(fwd.buckets, rev.buckets);
+        assert_eq!(fwd.buckets, whole.buckets);
+        assert_eq!((fwd.count, fwd.min, fwd.max), (rev.count, rev.min, rev.max));
+        assert_eq!((fwd.count, fwd.min, fwd.max), (whole.count, whole.min, whole.max));
+        assert!((fwd.sum - whole.sum).abs() <= 1e-9 * whole.sum.abs());
+        assert_eq!(fwd.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 200);
+    }
+
+    #[test]
+    fn histogram_json_round_trips_with_buckets() {
+        let mut reg = Registry::default();
+        reg.counter_add("jobs", 3);
+        reg.gauge_set("load", 0.75);
+        for v in [1e-3, 2e-3, 0.5, 0.0, 17.0] {
+            reg.observe("tts.s", v);
+        }
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"buckets\":[["), "bucket field missing: {json}");
+        let back = MetricsSnapshot::from_json(&json).expect("round trip");
+        assert_eq!(back, snap);
+        assert_eq!(back.to_json(), json);
+        // empty histograms keep an empty bucket array
+        let mut reg = Registry::default();
+        reg.observe("h", f64::NAN);
+        let snap = reg.snapshot();
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        match &back.values["h"] {
+            MetricValue::Histogram(h) => assert_eq!(h.buckets, vec![(SENTINEL_BUCKET, 1)]),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn golden_snapshot_bytes() {
+        // byte-exact golden: any change to key order, float formatting,
+        // or the histogram bucket encoding is a schema change and must
+        // show up here (and bump consumers) before it ships
+        let mut reg = Registry::default();
+        reg.counter_add("jobs", 2);
+        reg.gauge_set("load", 0.5);
+        reg.observe("lat.s", 1.0);
+        reg.observe("lat.s", 4.0);
+        let snap = reg.snapshot();
+        let golden = format!(
+            "{{\n  \"jobs\": {{\"type\":\"counter\",\"value\":2}},\n  \
+             \"lat.s\": {{\"type\":\"histogram\",\"count\":2,\"sum\":5,\"min\":1,\"max\":4,\
+             \"buckets\":[[0,1],[{},1]]}},\n  \
+             \"load\": {{\"type\":\"gauge\",\"value\":0.5}}\n}}\n",
+            2 * SUBS_PER_OCTAVE
+        );
+        assert_eq!(snap.to_json(), golden);
+        assert_eq!(MetricsSnapshot::from_json(&golden).unwrap().to_json(), golden);
+    }
+
+    #[test]
+    fn parallel_shard_merge_is_thread_count_invariant() {
+        // the pattern the recorder relies on: shards built on worker
+        // threads fold into one histogram whose buckets/count/extrema are
+        // bitwise identical to a sequential build, whatever
+        // RAYON_NUM_THREADS says (CI runs this under 1 and 4)
+        use rayon::prelude::*;
+        let values: Vec<f64> =
+            (0..1000).map(|i| 1e-6 * (1.003f64).powi(i) + (i % 7) as f64).collect();
+        let mut seq = HistogramData::default();
+        for &v in &values {
+            seq.observe(v);
+        }
+        let shards: Vec<HistogramData> = values
+            .par_chunks(17)
+            .map(|chunk| {
+                let mut h = HistogramData::default();
+                for &v in chunk {
+                    h.observe(v);
+                }
+                h
+            })
+            .collect();
+        let mut par = HistogramData::default();
+        for s in &shards {
+            par.merge(s);
+        }
+        assert_eq!(par.buckets, seq.buckets);
+        assert_eq!((par.count, par.min, par.max), (seq.count, seq.min, seq.max));
+        assert!((par.sum - seq.sum).abs() <= 1e-9 * seq.sum.abs());
+    }
+
+    proptest::proptest! {
+        /// Any sharding of any observation sequence merges to exactly the
+        /// sequential bucket vector, and the bucket counts always sum to
+        /// `count`.
+        #[test]
+        fn merged_buckets_match_sequential(
+            values in proptest::prelude::prop::collection::vec(1e-9f64..1e9, 1..200),
+            nshards in 1usize..8,
+        ) {
+            let mut seq = HistogramData::default();
+            for &v in &values { seq.observe(v); }
+            let mut shards = vec![HistogramData::default(); nshards];
+            for (i, &v) in values.iter().enumerate() {
+                shards[i % nshards].observe(v);
+            }
+            let mut merged = HistogramData::default();
+            for s in &shards { merged.merge(s); }
+            assert_eq!(merged.buckets, seq.buckets);
+            assert_eq!(merged.count, values.len() as u64);
+            assert_eq!(
+                merged.buckets.iter().map(|&(_, n)| n).sum::<u64>(),
+                merged.count
+            );
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_inconsistent_histograms() {
+        let bad = r#"{"h": {"type":"histogram","count":2,"sum":2,"min":1,"max":1,
+                      "buckets":[[0,1]]}}"#;
+        assert!(MetricsSnapshot::from_json(bad).is_err(), "count mismatch must fail");
+        let bad = r#"{"h": {"type":"mystery","value":1}}"#;
+        assert!(MetricsSnapshot::from_json(bad).is_err(), "unknown type must fail");
+    }
+
+    #[test]
+    fn view_queries_by_kind_and_prefix() {
+        let mut reg = Registry::default();
+        reg.counter_add("kernel.spmv.calls", 4);
+        reg.observe("kernel.spmv.s", 0.25);
+        reg.observe("kernel.axpy.s", 0.001);
+        reg.gauge_set("solve.t_total_s", 9.0);
+        let snap = reg.snapshot();
+        let view = snap.view();
+        assert_eq!(view.counter("kernel.spmv.calls"), Some(4));
+        assert_eq!(view.counter("kernel.spmv.s"), None, "kind mismatch is None");
+        assert_eq!(view.gauge("solve.t_total_s"), Some(9.0));
+        assert_eq!(view.histogram("kernel.spmv.s").map(|h| h.count), Some(1));
+        let hists = view.histograms_with_prefix("kernel.");
+        assert_eq!(
+            hists.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec!["kernel.axpy.s", "kernel.spmv.s"]
+        );
+        assert_eq!(view.counters_with_prefix("kernel."), vec![("kernel.spmv.calls", 4)]);
+        assert_eq!(view.names().count(), 4);
     }
 }

@@ -26,6 +26,91 @@ pub fn count_by_name(rec: &Recording, name: &str) -> usize {
     rec.spans.iter().filter(|s| s.name == name).count()
 }
 
+/// Observed per-phase time shares of the restart cycle, extracted from
+/// the host-track phase spans of a sealed [`Recording`].
+///
+/// This is the observability-side counterpart of the planner's phase
+/// prediction: `ca-tune`'s drift detector compares these observed shares
+/// against the plan's predicted shares and triggers a re-plan when they
+/// disagree beyond a threshold — even when the health EWMA is clean
+/// (e.g. a degraded PCIe link slows copies, which never show up as
+/// device busy-time).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseRatios {
+    /// Restart cycles observed (host `cycle` spans).
+    pub cycles: usize,
+    /// Σ host `cycle` span durations, seconds.
+    pub cycle_s: f64,
+    /// Σ host `spmv` span durations, seconds.
+    pub spmv_s: f64,
+    /// Σ host `borth` / `orth` span durations, seconds.
+    pub borth_s: f64,
+    /// Σ host `tsqr` span durations, seconds.
+    pub tsqr_s: f64,
+    /// Σ host `small` span durations, seconds.
+    pub small_s: f64,
+}
+
+impl PhaseRatios {
+    /// Sum the host-track phase spans of a recording.
+    pub fn from_recording(rec: &Recording) -> Self {
+        let mut out = Self::default();
+        for s in rec.spans.iter().filter(|s| s.track == Track::Host) {
+            let dur = (s.t1 - s.t0).max(0.0);
+            match s.name.as_str() {
+                "spmv" => out.spmv_s += dur,
+                "borth" | "orth" => out.borth_s += dur,
+                "tsqr" => out.tsqr_s += dur,
+                "small" => out.small_s += dur,
+                "cycle" => {
+                    out.cycles += 1;
+                    out.cycle_s += dur;
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Fraction of cycle time in SpMV/MPK (0 when no cycle time).
+    pub fn spmv_share(&self) -> f64 {
+        share(self.spmv_s, self.cycle_s)
+    }
+
+    /// Fraction of cycle time in block orthogonalization.
+    pub fn borth_share(&self) -> f64 {
+        share(self.borth_s, self.cycle_s)
+    }
+
+    /// Fraction of cycle time in TSQR.
+    pub fn tsqr_share(&self) -> f64 {
+        share(self.tsqr_s, self.cycle_s)
+    }
+
+    /// Fraction of cycle time in host dense math.
+    pub fn small_share(&self) -> f64 {
+        share(self.small_s, self.cycle_s)
+    }
+
+    /// Largest absolute disagreement across the four phase shares
+    /// against another ratio set (typically plan-predicted shares).
+    pub fn max_share_deviation(&self, other: &PhaseRatios) -> f64 {
+        (self.spmv_share() - other.spmv_share())
+            .abs()
+            .max((self.borth_share() - other.borth_share()).abs())
+            .max((self.tsqr_share() - other.tsqr_share()).abs())
+            .max((self.small_share() - other.small_share()).abs())
+    }
+}
+
+fn share(part: f64, whole: f64) -> f64 {
+    if whole > 0.0 {
+        part / whole
+    } else {
+        0.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,5 +133,44 @@ mod tests {
         let host = totals_on_track(&rec, Track::Host);
         assert_eq!(host["spmv"], 1.5);
         assert_eq!(count_by_name(&rec, "spmv"), 3);
+    }
+
+    fn host(name: &str, t0: f64, t1: f64) -> Span {
+        Span { name: name.into(), track: Track::Host, t0, t1, depth: 0 }
+    }
+
+    #[test]
+    fn phase_ratios_extract_host_shares() {
+        let rec = Recording {
+            spans: vec![
+                host("cycle", 0.0, 1.0),
+                host("spmv", 0.0, 0.4),
+                host("borth", 0.4, 0.6),
+                host("tsqr", 0.6, 0.9),
+                host("small", 0.9, 1.0),
+                // device spans and unknown names are ignored
+                Span { name: "spmv".into(), track: Track::Device(0), t0: 0.0, t1: 9.0, depth: 0 },
+                host("mpk.exchange", 0.0, 0.05),
+            ],
+            instants: vec![],
+            samples: vec![],
+            metrics: MetricsSnapshot::default(),
+        };
+        let r = PhaseRatios::from_recording(&rec);
+        assert_eq!(r.cycles, 1);
+        assert!((r.cycle_s - 1.0).abs() < 1e-15);
+        assert!((r.spmv_share() - 0.4).abs() < 1e-15);
+        assert!((r.borth_share() - 0.2).abs() < 1e-15);
+        assert!((r.tsqr_share() - 0.3).abs() < 1e-15);
+        assert!((r.small_share() - 0.1).abs() < 1e-15);
+        assert_eq!(r.max_share_deviation(&r), 0.0);
+
+        // a comm-degraded run: cycle inflates but phase seconds hold, so
+        // every share shrinks and the deviation is visible
+        let mut slow = r;
+        slow.cycle_s = 2.0;
+        assert!((r.max_share_deviation(&slow) - 0.2).abs() < 1e-15);
+        // empty recordings yield zero shares, not NaN
+        assert_eq!(PhaseRatios::default().spmv_share(), 0.0);
     }
 }

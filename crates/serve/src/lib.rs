@@ -27,11 +27,15 @@
 //!   dispatcher detects and counts. Fault tolerance passes through
 //!   per job: a device loss degrades the slice it happened on and the
 //!   jobs resident there, nothing else.
-//! * **Observability** ([`metrics`], plus `ca-obs` integration) — queue
-//!   depth, per-slice utilization, p50/p99 time-to-solution, eviction /
-//!   backfill / warm-hit counters, and an order-sensitive FNV digest
-//!   that CI diffs across thread counts. Long runs stream their spans
-//!   through [`ca_obs::export::StreamingTrace`] instead of accumulating.
+//! * **Observability** ([`metrics`], [`slo`], plus `ca-obs`
+//!   integration) — queue depth, per-slice utilization, p50/p99
+//!   time-to-solution, eviction / backfill / warm-hit counters, and an
+//!   order-sensitive FNV digest that CI diffs across thread counts.
+//!   [`slo::SloMonitor`] keeps per-tenant books (rolling deadline-hit
+//!   rate with edge-triggered `serve.slo_burn` alerts, TTS and
+//!   queue-delay quantile histograms) and lands one [`slo::TenantSlo`]
+//!   row per tenant in the report. Long runs stream their spans through
+//!   [`ca_obs::export::StreamingTrace`] instead of accumulating.
 //!
 //! Everything is bit-deterministic in (arrival seed, configuration):
 //! scheduling state lives in `BTreeMap`s and logical counters, every
@@ -43,6 +47,7 @@ pub mod job;
 pub mod metrics;
 pub mod residency;
 pub mod scheduler;
+pub mod slo;
 
 use std::collections::BTreeMap;
 
@@ -56,6 +61,7 @@ pub use job::{open_loop_arrivals, ArrivalSpec, JobRequest};
 pub use metrics::{hash_solution, percentile, JobRecord, JobStatus, ServiceReport};
 pub use residency::{Lru, Residency};
 pub use scheduler::Service;
+pub use slo::{SloConfig, SloMonitor, TenantSlo};
 
 /// Queue discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +119,14 @@ pub struct ServeConfig {
     /// Fault plans installed per slice index at pool construction
     /// (chaos / degradation studies).
     pub fault_plans: Vec<(usize, FaultPlan)>,
+    /// Per-tenant SLO objective and burn-alert window.
+    pub slo: slo::SloConfig,
+    /// Record per-kernel device traces on every slice and ingest them
+    /// into the ambient `ca-obs` session (when one is active) at the end
+    /// of the run — `kernel.*` / `copy.*` metrics over the whole stream,
+    /// the feed for trace-driven calibration. Purely observational:
+    /// simulated clocks and results are bit-identical either way.
+    pub record_kernel_traces: bool,
 }
 
 impl ServeConfig {
@@ -138,6 +152,8 @@ impl ServeConfig {
             ewma_alpha: 0.3,
             expected_cycles_init: 4.0,
             fault_plans: Vec::new(),
+            slo: slo::SloConfig::default(),
+            record_kernel_traces: false,
         }
     }
 

@@ -1,5 +1,7 @@
 //! Service-level outcomes: per-job records, aggregate dashboard
-//! numbers, and the determinism digest.
+//! numbers, per-tenant SLO rows, and the determinism digest.
+
+use crate::slo::TenantSlo;
 
 /// Terminal state of one job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +103,9 @@ pub struct ServiceReport {
     pub executor_reinits: u64,
     /// Executor rebuilds *inside* solves (device-loss recovery).
     pub solver_rebuilds: u64,
+    /// Per-tenant SLO summaries (alphabetical by tenant): deadline-hit
+    /// rates, TTS / queue-delay quantiles, and burn-alert counts.
+    pub tenants: Vec<TenantSlo>,
 }
 
 fn fnv(h: u64, x: u64) -> u64 {
@@ -161,6 +166,17 @@ impl ServiceReport {
         ] {
             h = fnv(h, c);
         }
+        for t in &self.tenants {
+            for b in t.tenant.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+            for c in [t.jobs, t.deadline_hits, t.deadline_misses, t.slo_burns] {
+                h = fnv(h, c);
+            }
+            for v in [t.hit_rate, t.p50_tts_s, t.p99_tts_s, t.p50_queue_delay_s] {
+                h = fnv(h, v.to_bits());
+            }
+        }
         fnv(h, self.makespan_s.to_bits())
     }
 }
@@ -208,5 +224,8 @@ mod tests {
         let d0 = a.digest();
         a.evictions += 1;
         assert_ne!(a.digest(), d0);
+        let d1 = a.digest();
+        a.tenants.push(TenantSlo { tenant: "t".into(), slo_burns: 1, ..TenantSlo::default() });
+        assert_ne!(a.digest(), d1, "digest must see the tenant SLO rows");
     }
 }

@@ -24,6 +24,7 @@ use crate::admission::{AdmissionCache, CachedAdmission, FairQueue};
 use crate::job::JobRequest;
 use crate::metrics::{hash_solution, percentile, JobRecord, JobStatus, ServiceReport};
 use crate::residency::Residency;
+use crate::slo::SloMonitor;
 use crate::{Policy, ServeConfig};
 
 /// One pool slice: an executor plus its warm-operator store.
@@ -55,6 +56,7 @@ pub struct Service {
     slices: Vec<Slice>,
     admission: AdmissionCache,
     fair: FairQueue,
+    slo: SloMonitor,
 }
 
 impl Service {
@@ -69,6 +71,9 @@ impl Service {
             .map(|(i, &nd)| {
                 let mut mg = MultiGpu::new(nd, cfg.model.clone(), cfg.kernel_config);
                 mg.set_schedule(cfg.schedule);
+                if cfg.record_kernel_traces {
+                    mg.enable_trace();
+                }
                 if let Some((_, plan)) = cfg.fault_plans.iter().find(|(si, _)| *si == i) {
                     mg.set_fault_plan(plan.clone());
                 }
@@ -90,7 +95,8 @@ impl Service {
             cfg.expected_cycles_init,
         );
         let fair = FairQueue::new(cfg.tenant_weights.clone());
-        Self { cfg, matrices: matrices.into_iter().collect(), slices, admission, fair }
+        let slo = SloMonitor::new(cfg.slo);
+        Self { cfg, matrices: matrices.into_iter().collect(), slices, admission, fair, slo }
     }
 
     /// Simulated clock of slice `i` (host view) — test hook.
@@ -121,6 +127,7 @@ impl Service {
         mut trace: Option<&mut StreamingTrace>,
     ) -> ServiceReport {
         jobs.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
+        self.slo = SloMonitor::new(self.cfg.slo);
         let mut pending: VecDeque<JobRequest> = jobs.into();
         let mut queue: Vec<Queued> = Vec::new();
         let mut report = ServiceReport::default();
@@ -148,7 +155,9 @@ impl Service {
                 let h =
                     self.slices.iter().map(|sl| sl.mg.host_time()).fold(f64::INFINITY, f64::min);
                 for q in queue.drain(..) {
-                    report.jobs.push(reject_record(&q.req, h));
+                    let r = reject_record(&q.req, h);
+                    self.slo.observe_job(&r, h);
+                    report.jobs.push(r);
                     report.rejected += 1;
                 }
                 if pending.is_empty() {
@@ -194,6 +203,11 @@ impl Service {
             }
         }
 
+        if self.cfg.record_kernel_traces && obs::enabled() {
+            for sl in &mut self.slices {
+                ca_gpusim::obs_ingest_traces(&sl.mg.take_traces());
+            }
+        }
         self.finalize(&mut report);
         report
     }
@@ -225,13 +239,15 @@ impl Service {
         }
         let Some(eta_s) = eta else {
             let h = self.slices[charge_slice].mg.host_time();
-            report.jobs.push(reject_record(&req, h));
+            let r = reject_record(&req, h);
+            self.slo.observe_job(&r, h);
+            report.jobs.push(r);
             report.rejected += 1;
             return;
         };
         let (vstart, vfinish) = self.fair.tag(&req.tenant, eta_s);
         if obs::enabled() {
-            obs::sample("serve.queue_depth", self.slices[charge_slice].mg.host_time(), {
+            obs::sample(obs::names::SERVE_QUEUE_DEPTH, self.slices[charge_slice].mg.host_time(), {
                 queue.len() as f64 + 1.0
             });
         }
@@ -309,7 +325,7 @@ impl Service {
         let key = primary.req.matrix.clone();
         let h = self.slices[s].mg.host_time();
         if obs::enabled() {
-            obs::sample("serve.queue_depth", h, queue.len() as f64);
+            obs::sample(obs::names::SERVE_QUEUE_DEPTH, h, queue.len() as f64);
         }
 
         // Backfill: this dispatch overlaps, in simulated time, either
@@ -324,7 +340,7 @@ impl Service {
         if self.slices[s].mg.time() > h + 1e-12 || overlap {
             report.backfill_hits += 1;
             if obs::enabled() {
-                obs::counter_add("serve.backfill_hits", 1);
+                obs::counter_add(obs::names::SERVE_BACKFILL_HITS, 1);
             }
         }
 
@@ -337,7 +353,9 @@ impl Service {
             None => {
                 // Degradation can shrink a slice below any admissible
                 // count between pick and dispatch.
-                report.jobs.push(reject_record(&primary.req, h));
+                let r = reject_record(&primary.req, h);
+                self.slo.observe_job(&r, h);
+                report.jobs.push(r);
                 report.rejected += 1;
                 return;
             }
@@ -378,7 +396,7 @@ impl Service {
             let evicted = sl.residency.make_room(&mut sl.mg, &key, &adm.mem_bytes_per_dev);
             report.evictions += evicted;
             if evicted > 0 && obs::enabled() {
-                obs::counter_add("serve.evictions", evicted);
+                obs::counter_add(obs::names::SERVE_EVICTIONS, evicted);
             }
         }
 
@@ -419,7 +437,7 @@ impl Service {
         if warm {
             report.warm_hits += 1;
             if obs::enabled() {
-                obs::counter_add("serve.warm_hits", 1);
+                obs::counter_add(obs::names::SERVE_WARM_HITS, 1);
             }
         }
         let ftcfg = FtConfig {
@@ -467,7 +485,7 @@ impl Service {
         if deadline_met == Some(false) {
             report.deadline_misses += 1;
         }
-        report.jobs.push(JobRecord {
+        let rec = JobRecord {
             id: q.req.id,
             tenant: q.req.tenant,
             matrix: key.to_string(),
@@ -487,7 +505,9 @@ impl Service {
             deadline_met,
             x_hash: hash_solution(&out.x),
             x: self.cfg.keep_solutions.then_some(out.x),
-        });
+        };
+        self.slo.observe_job(&rec, done_s);
+        report.jobs.push(rec);
     }
 
     /// Replace slice `s`'s executor after a fatal solve leaked device
@@ -500,8 +520,14 @@ impl Service {
         let counters = sl.mg.counters();
         let reclaimed = sl.mg.time_reclaimed();
         let nd = sl.mg.n_gpus();
+        if self.cfg.record_kernel_traces && obs::enabled() {
+            ca_gpusim::obs_ingest_traces(&sl.mg.take_traces());
+        }
         let mut fresh = MultiGpu::new(nd, self.cfg.model.clone(), self.cfg.kernel_config);
         fresh.set_schedule(self.cfg.schedule);
+        if self.cfg.record_kernel_traces {
+            fresh.enable_trace();
+        }
         fresh.fast_forward(t);
         fresh.absorb_counters(counters);
         fresh.absorb_time_reclaimed(reclaimed);
@@ -531,6 +557,7 @@ impl Service {
             .collect();
         report.p50_tts_s = percentile(&tts, 50.0);
         report.p99_tts_s = percentile(&tts, 99.0);
+        report.tenants = self.slo.finalize();
         report.mean_tts_s =
             if tts.is_empty() { 0.0 } else { tts.iter().sum::<f64>() / tts.len() as f64 };
         report.utilization = self
@@ -545,10 +572,10 @@ impl Service {
             })
             .collect();
         if obs::enabled() {
-            obs::gauge_set("serve.throughput_jobs_per_s", report.throughput_jobs_per_s);
-            obs::gauge_set("serve.p50_tts_s", report.p50_tts_s);
-            obs::gauge_set("serve.p99_tts_s", report.p99_tts_s);
-            obs::gauge_set("serve.max_queue_depth", report.max_queue_depth as f64);
+            obs::gauge_set(obs::names::SERVE_THROUGHPUT_JOBS_PER_S, report.throughput_jobs_per_s);
+            obs::gauge_set(obs::names::SERVE_P50_TTS_S, report.p50_tts_s);
+            obs::gauge_set(obs::names::SERVE_P99_TTS_S, report.p99_tts_s);
+            obs::gauge_set(obs::names::SERVE_MAX_QUEUE_DEPTH, report.max_queue_depth as f64);
         }
     }
 }
@@ -636,6 +663,38 @@ mod tests {
     }
 
     #[test]
+    fn recorded_stream_feeds_kernel_metrics_and_stays_bit_identical() {
+        let run = |record: bool| {
+            let mut cfg = ServeConfig::new(vec![1, 2]);
+            cfg.record_kernel_traces = record;
+            let mut svc = Service::new(cfg, pool());
+            svc.run(arrivals(11, 8, 300.0)).digest()
+        };
+        let plain = run(false);
+        assert_eq!(plain, run(true), "tracing must not perturb the stream");
+
+        ca_obs::start();
+        let recorded = run(true);
+        let rec = ca_obs::finish();
+        assert_eq!(plain, recorded, "obs session must not perturb the stream");
+        let view = rec.metrics.view();
+        let kernels = view.histograms_with_prefix("kernel.");
+        assert!(!kernels.is_empty(), "no kernel metrics ingested from the stream");
+        let spmv_calls: u64 = view.counter("kernel.spmv.calls").unwrap_or(0)
+            + view.counter("kernel.mpk_step.calls").unwrap_or(0);
+        assert!(spmv_calls > 0, "stream of solves recorded no SpMV/MPK work");
+
+        ca_obs::start();
+        let unrecorded = run(false);
+        let rec = ca_obs::finish();
+        assert_eq!(plain, unrecorded);
+        assert!(
+            rec.metrics.view().histograms_with_prefix("kernel.").is_empty(),
+            "flag off must ingest nothing"
+        );
+    }
+
+    #[test]
     fn rerun_is_bit_identical() {
         let run = || {
             let mut svc = Service::new(ServeConfig::new(vec![1, 2]), pool());
@@ -647,6 +706,26 @@ mod tests {
             assert_eq!(x.id, y.id);
             assert_eq!(x.x_hash, y.x_hash);
             assert_eq!(x.done_s.to_bits(), y.done_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn tenant_slo_rows_cover_every_job() {
+        let mut svc = Service::new(ServeConfig::new(vec![1, 2]), pool());
+        let rep = svc.run(arrivals(7, 10, 400.0));
+        assert!(!rep.tenants.is_empty());
+        let jobs: u64 = rep.tenants.iter().map(|t| t.jobs).sum();
+        assert_eq!(jobs, rep.jobs.len() as u64);
+        let misses: u64 = rep.tenants.iter().map(|t| t.deadline_misses).sum();
+        assert_eq!(misses, rep.deadline_misses);
+        let mut names: Vec<&str> = rep.tenants.iter().map(|t| t.tenant.as_str()).collect();
+        let sorted = names.clone();
+        names.sort_unstable();
+        assert_eq!(names, sorted, "tenant rows must be alphabetical");
+        for t in &rep.tenants {
+            assert!((0.0..=1.0).contains(&t.hit_rate), "{t:?}");
+            assert!(t.p50_tts_s <= t.p99_tts_s, "{t:?}");
+            assert_eq!(t.deadline_jobs, t.deadline_hits + t.deadline_misses);
         }
     }
 

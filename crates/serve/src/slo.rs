@@ -1,0 +1,307 @@
+//! Per-tenant SLO monitoring: rolling deadline-hit rate with burn
+//! alerts, and TTS / queue-delay distributions.
+//!
+//! The service-level numbers in [`ServiceReport`](crate::ServiceReport)
+//! are pool-wide; a noisy neighbour can sink one tenant's deadlines
+//! while the aggregate p99 looks fine. [`SloMonitor`] keeps the books
+//! per tenant, always on (it feeds [`TenantSlo`] rows into the report
+//! and its digest), and mirrors them into `ca-obs` when a recording
+//! session is active:
+//!
+//! * every completed job observes its time-to-solution and queue delay
+//!   into `serve.tenant.<t>.{tts_s,queue_delay_s}` quantile histograms
+//!   and bumps `serve.tenant.<t>.{jobs,deadline_hits,deadline_misses}`;
+//! * the final per-tenant hit rate lands in
+//!   `serve.tenant.<t>.hit_rate` gauges;
+//! * a rolling window over the tenant's most recent deadline-carrying
+//!   jobs drives the **burn alert**: when the windowed hit rate drops
+//!   below the configured objective, one `serve.slo_burn` instant fires
+//!   (edge-triggered — one alert per excursion, not one per miss) and
+//!   the matching counter increments.
+//!
+//! Instrumentation is strictly an *emission* concern: the monitor's
+//! decisions (burn counting included) read only its own state, so a
+//! recorded run and an unrecorded run stay bit-identical.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use ca_obs as obs;
+use ca_obs::HistogramData;
+
+use crate::metrics::{JobRecord, JobStatus};
+
+/// Service-level objective and alerting window.
+#[derive(Debug, Clone, Copy)]
+pub struct SloConfig {
+    /// Objective: fraction of deadline-carrying jobs that must hit.
+    pub target_hit_rate: f64,
+    /// Rolling window length, in deadline-carrying jobs per tenant.
+    pub window: usize,
+    /// Minimum deadline-carrying jobs in the window before the burn
+    /// detector may fire (suppresses cold-start noise).
+    pub min_observations: usize,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        Self { target_hit_rate: 0.95, window: 20, min_observations: 4 }
+    }
+}
+
+/// Final per-tenant SLO summary — one row per tenant, alphabetical.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantSlo {
+    /// Billing tenant.
+    pub tenant: String,
+    /// Jobs observed (rejected ones included).
+    pub jobs: u64,
+    /// Deadline-carrying jobs observed.
+    pub deadline_jobs: u64,
+    /// Deadline-carrying jobs that hit.
+    pub deadline_hits: u64,
+    /// Deadline-carrying jobs that missed.
+    pub deadline_misses: u64,
+    /// `hits / deadline_jobs`; `1.0` when the tenant carried none.
+    pub hit_rate: f64,
+    /// Median time-to-solution (non-rejected jobs).
+    pub p50_tts_s: f64,
+    /// 99th-percentile time-to-solution.
+    pub p99_tts_s: f64,
+    /// Median queue delay (dispatch minus arrival).
+    pub p50_queue_delay_s: f64,
+    /// Worst observed queue delay.
+    pub max_queue_delay_s: f64,
+    /// Burn alerts fired (windowed hit rate fell below the objective).
+    pub slo_burns: u64,
+}
+
+#[derive(Default)]
+struct TenantState {
+    tts: HistogramData,
+    queue_delay: HistogramData,
+    jobs: u64,
+    deadline_hits: u64,
+    deadline_misses: u64,
+    /// Most recent deadline outcomes, newest at the back.
+    recent: VecDeque<bool>,
+    burns: u64,
+    /// Inside a below-objective excursion (edge-trigger latch).
+    burning: bool,
+}
+
+/// Always-on per-tenant SLO bookkeeping for one service run.
+pub struct SloMonitor {
+    cfg: SloConfig,
+    tenants: BTreeMap<String, TenantState>,
+}
+
+impl SloMonitor {
+    #[must_use]
+    pub fn new(cfg: SloConfig) -> Self {
+        Self { cfg, tenants: BTreeMap::new() }
+    }
+
+    /// Account one terminal job record. `at_s` is the simulated time the
+    /// outcome became known (completion or rejection), used to stamp the
+    /// burn instant.
+    pub fn observe_job(&mut self, rec: &JobRecord, at_s: f64) {
+        let st = self.tenants.entry(rec.tenant.clone()).or_default();
+        st.jobs += 1;
+        if obs::enabled() {
+            obs::counter_add(&obs::names::serve_tenant(&rec.tenant, "jobs"), 1);
+        }
+        if rec.status != JobStatus::Rejected {
+            let delay = (rec.start_s - rec.arrival_s).max(0.0);
+            st.tts.observe(rec.tts_s);
+            st.queue_delay.observe(delay);
+            if obs::enabled() {
+                obs::observe(&obs::names::serve_tenant(&rec.tenant, "tts_s"), rec.tts_s);
+                obs::observe(&obs::names::serve_tenant(&rec.tenant, "queue_delay_s"), delay);
+            }
+        }
+        let Some(met) = rec.deadline_met else {
+            return;
+        };
+        if met {
+            st.deadline_hits += 1;
+        } else {
+            st.deadline_misses += 1;
+        }
+        if obs::enabled() {
+            let leaf = if met { "deadline_hits" } else { "deadline_misses" };
+            obs::counter_add(&obs::names::serve_tenant(&rec.tenant, leaf), 1);
+        }
+        st.recent.push_back(met);
+        while st.recent.len() > self.cfg.window {
+            st.recent.pop_front();
+        }
+        if st.recent.len() < self.cfg.min_observations {
+            return;
+        }
+        let hits = st.recent.iter().filter(|&&m| m).count();
+        let rate = hits as f64 / st.recent.len() as f64;
+        if rate < self.cfg.target_hit_rate {
+            if !st.burning {
+                st.burning = true;
+                st.burns += 1;
+                if obs::enabled() {
+                    obs::instant_cause(
+                        obs::names::SERVE_SLO_BURN,
+                        obs::Track::Host,
+                        at_s,
+                        &format!(
+                            "tenant={} window_hit_rate={:.3} target={:.3}",
+                            rec.tenant, rate, self.cfg.target_hit_rate
+                        ),
+                    );
+                    obs::counter_add(obs::names::SERVE_SLO_BURN, 1);
+                }
+            }
+        } else {
+            st.burning = false;
+        }
+    }
+
+    /// Per-tenant summaries (alphabetical by tenant), emitting the
+    /// `hit_rate` gauges when a recording session is active.
+    #[must_use]
+    pub fn finalize(&self) -> Vec<TenantSlo> {
+        self.tenants
+            .iter()
+            .map(|(tenant, st)| {
+                let deadline_jobs = st.deadline_hits + st.deadline_misses;
+                let hit_rate = if deadline_jobs > 0 {
+                    st.deadline_hits as f64 / deadline_jobs as f64
+                } else {
+                    1.0
+                };
+                if obs::enabled() {
+                    obs::gauge_set(&obs::names::serve_tenant(tenant, "hit_rate"), hit_rate);
+                }
+                TenantSlo {
+                    tenant: tenant.clone(),
+                    jobs: st.jobs,
+                    deadline_jobs,
+                    deadline_hits: st.deadline_hits,
+                    deadline_misses: st.deadline_misses,
+                    hit_rate,
+                    p50_tts_s: st.tts.p50(),
+                    p99_tts_s: st.tts.p99(),
+                    p50_queue_delay_s: st.queue_delay.p50(),
+                    max_queue_delay_s: if st.queue_delay.count > 0 {
+                        st.queue_delay.max
+                    } else {
+                        0.0
+                    },
+                    slo_burns: st.burns,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tenant: &str, id: u64, tts: f64, met: Option<bool>) -> JobRecord {
+        JobRecord {
+            id,
+            tenant: tenant.into(),
+            matrix: "m".into(),
+            slice: 0,
+            ndev: 1,
+            arrival_s: 0.0,
+            start_s: tts * 0.25,
+            done_s: tts,
+            tts_s: tts,
+            status: JobStatus::Converged,
+            restarts: 1,
+            iters: 10,
+            relres: 1e-9,
+            solver_t_total_s: tts * 0.5,
+            warm: false,
+            batched: false,
+            deadline_met: met,
+            x_hash: id,
+            x: None,
+        }
+    }
+
+    #[test]
+    fn rates_and_quantiles_per_tenant() {
+        let mut mon = SloMonitor::new(SloConfig::default());
+        for i in 0..10 {
+            mon.observe_job(&rec("acme", i, 1.0 + i as f64, Some(i % 2 == 0)), i as f64);
+            mon.observe_job(&rec("globex", 100 + i, 0.5, None), i as f64);
+        }
+        let rows = mon.finalize();
+        assert_eq!(rows.len(), 2);
+        let acme = &rows[0];
+        assert_eq!(acme.tenant, "acme");
+        assert_eq!(acme.jobs, 10);
+        assert_eq!(acme.deadline_jobs, 10);
+        assert_eq!(acme.deadline_hits, 5);
+        assert_eq!(acme.hit_rate, 0.5);
+        assert!(acme.p50_tts_s > 1.0 && acme.p50_tts_s < acme.p99_tts_s);
+        assert!(acme.p50_queue_delay_s > 0.0);
+        assert!(acme.max_queue_delay_s >= acme.p50_queue_delay_s);
+        let globex = &rows[1];
+        assert_eq!(globex.deadline_jobs, 0);
+        assert_eq!(globex.hit_rate, 1.0, "no deadlines carried: vacuously met");
+        assert_eq!(globex.slo_burns, 0);
+    }
+
+    #[test]
+    fn burn_is_edge_triggered_per_excursion() {
+        let cfg = SloConfig { target_hit_rate: 0.9, window: 4, min_observations: 2 };
+        let mut mon = SloMonitor::new(cfg);
+        let mut id = 0;
+        let mut push = |mon: &mut SloMonitor, met: bool| {
+            mon.observe_job(&rec("acme", id, 1.0, Some(met)), id as f64);
+            id += 1;
+        };
+        // two hits warm the window, then a run of misses: one alert
+        push(&mut mon, true);
+        push(&mut mon, true);
+        push(&mut mon, false);
+        push(&mut mon, false);
+        push(&mut mon, false);
+        // recovery: window refills with hits, rate back above target
+        for _ in 0..4 {
+            push(&mut mon, true);
+        }
+        // second excursion: second alert
+        push(&mut mon, false);
+        let rows = mon.finalize();
+        assert_eq!(rows[0].slo_burns, 2, "{rows:?}");
+    }
+
+    #[test]
+    fn min_observations_suppresses_cold_start() {
+        let cfg = SloConfig { target_hit_rate: 0.99, window: 8, min_observations: 4 };
+        let mut mon = SloMonitor::new(cfg);
+        for i in 0..3 {
+            mon.observe_job(&rec("t", i, 1.0, Some(false)), 0.0);
+        }
+        assert_eq!(mon.finalize()[0].slo_burns, 0);
+        let mut mon2 = SloMonitor::new(cfg);
+        for i in 0..4 {
+            mon2.observe_job(&rec("t", i, 1.0, Some(false)), 0.0);
+        }
+        assert_eq!(mon2.finalize()[0].slo_burns, 1);
+    }
+
+    #[test]
+    fn rejected_jobs_skip_latency_histograms() {
+        let mut mon = SloMonitor::new(SloConfig::default());
+        let mut r = rec("t", 1, 5.0, Some(false));
+        r.status = JobStatus::Rejected;
+        mon.observe_job(&r, 5.0);
+        let row = &mon.finalize()[0];
+        assert_eq!(row.jobs, 1);
+        assert_eq!(row.deadline_misses, 1);
+        assert_eq!(row.p50_tts_s, 0.0, "rejected job must not pollute TTS");
+        assert_eq!(row.max_queue_delay_s, 0.0);
+    }
+}

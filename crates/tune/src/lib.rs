@@ -33,15 +33,23 @@
 //!   controller: per-job cycle-time and memory-footprint estimates at
 //!   each candidate device count, and the device-count pick that
 //!   `ca-serve` turns into an ETA for deadline-aware queueing.
+//! * [`feedback`] — closed-loop calibration: fit a
+//!   [`profile::MachineProfile`] from the metrics snapshot of an
+//!   instrumented *production* run (per-kernel observed-vs-modeled time
+//!   histograms, link byte counters) instead of a synthetic replay, so
+//!   the planner can be re-grounded from whatever traffic the machine
+//!   actually served.
 
 pub mod admit;
 pub mod calibrate;
+pub mod feedback;
 pub mod plan;
 pub mod profile;
 pub mod retune;
 
 pub use admit::{admission_estimates, pick_ndev, AdmissionEstimate};
 pub use calibrate::{calibrate, calibrate_with_target, TargetShapes};
+pub use feedback::{calibrate_from_metrics, observed_slowdowns, FamilySlowdown};
 pub use plan::{
     Candidate, CandidateSpace, CrossCheck, Plan, Planner, PlannerLimits, RankedCandidate,
 };

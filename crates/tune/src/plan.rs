@@ -272,6 +272,83 @@ pub struct CrossCheck {
     pub tts_s: f64,
 }
 
+/// Predicted per-phase split of one CA restart cycle — the closed-form
+/// mirror of the host phase spans the solver emits (`spmv`, `borth`,
+/// `tsqr`, `small`). Produced by [`Planner::predict_phases`]; the
+/// [`crate::retune::Retuner`] compares these shares against the live
+/// phase-time deltas the fault-tolerant driver feeds it
+/// ([`ca_gmres::ft::PhaseObservation`]) to catch drift — e.g. a degraded
+/// PCIe link — that the kernel-only busy-time EWMA cannot see.
+///
+/// `spmv_s + borth_s + tsqr_s + small_s <= cycle_s`: seed/bookkeeping
+/// charges stay unattributed, exactly as the solver's span attribution
+/// leaves gaps inside its `cycle` span, so predicted and observed shares
+/// are computed against the same kind of denominator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhasePrediction {
+    /// End-to-end predicted cycle span, seconds.
+    pub cycle_s: f64,
+    /// Basis generation (MPK or shifted-SpMV blocks) plus the final
+    /// explicit residual — the solver's `spmv` spans.
+    pub spmv_s: f64,
+    /// Block orthogonalization projection passes (`borth` spans).
+    pub borth_s: f64,
+    /// Panel factorization (`tsqr` spans).
+    pub tsqr_s: f64,
+    /// Host dense math: Hessenberg reconstruction, least squares,
+    /// solution update (`small` spans).
+    pub small_s: f64,
+    /// Total PCIe link occupancy charged across all transfers (the sum
+    /// of per-copy link seconds, not wall time) — the denominator for
+    /// inferring a link slowdown from excess cycle time.
+    pub comm_s: f64,
+}
+
+impl PhasePrediction {
+    fn share(&self, part: f64) -> f64 {
+        if self.cycle_s > 0.0 {
+            part / self.cycle_s
+        } else {
+            0.0
+        }
+    }
+
+    /// SpMV/MPK fraction of the cycle.
+    #[must_use]
+    pub fn spmv_share(&self) -> f64 {
+        self.share(self.spmv_s)
+    }
+
+    /// BOrth fraction of the cycle.
+    #[must_use]
+    pub fn borth_share(&self) -> f64 {
+        self.share(self.borth_s)
+    }
+
+    /// TSQR fraction of the cycle.
+    #[must_use]
+    pub fn tsqr_share(&self) -> f64 {
+        self.share(self.tsqr_s)
+    }
+
+    /// Host dense-math fraction of the cycle.
+    #[must_use]
+    pub fn small_share(&self) -> f64 {
+        self.share(self.small_s)
+    }
+
+    /// Largest absolute share disagreement against observed phase shares
+    /// (each in `[0, 1]`, same order: spmv, borth, tsqr, small).
+    #[must_use]
+    pub fn max_share_deviation(&self, spmv: f64, borth: f64, tsqr: f64, small: f64) -> f64 {
+        (self.spmv_share() - spmv)
+            .abs()
+            .max((self.borth_share() - borth).abs())
+            .max((self.tsqr_share() - tsqr).abs())
+            .max((self.small_share() - small).abs())
+    }
+}
+
 /// Cost-model planner for one matrix and restart length.
 #[derive(Debug)]
 pub struct Planner<'a> {
@@ -325,6 +402,12 @@ impl<'a> Planner<'a> {
     #[must_use]
     pub fn model(&self) -> &PerfModel {
         &self.model
+    }
+
+    /// The kernel configuration predictions assume (GEMM/GEMV variants).
+    #[must_use]
+    pub fn config(&self) -> KernelConfig {
+        self.config
     }
 
     /// Restart length this planner scores cycles for.
@@ -410,7 +493,7 @@ impl<'a> Planner<'a> {
                                             let t = self.predict_on(&s1, mpkc, &cand, &slow);
                                             ranked.push(RankedCandidate {
                                                 cand,
-                                                predicted_cycle_s: t,
+                                                predicted_cycle_s: t.cycle_s,
                                             });
                                         }
                                     }
@@ -450,6 +533,29 @@ impl<'a> Planner<'a> {
         cand: &Candidate,
         slow: &[f64],
     ) -> f64 {
+        assert_eq!(slow.len(), layout.ndev());
+        self.predict_phases_for_layout(a, layout, cand, slow).cycle_s
+    }
+
+    /// Per-phase split of [`Planner::predict_cycle`]: the same walk, with
+    /// every charge attributed to the host phase span the solver would
+    /// bracket it with. `cycle_s` equals `predict_cycle` exactly.
+    #[must_use]
+    pub fn predict_phases(&self, cand: &Candidate) -> PhasePrediction {
+        let (ap, _perm, layout) = prepare(self.a, cand.ordering, cand.ndev);
+        self.predict_phases_for_layout(&ap, &layout, cand, &vec![1.0; cand.ndev])
+    }
+
+    /// Per-phase split of [`Planner::predict_for_layout`] (same walk,
+    /// same slowdown multipliers).
+    #[must_use]
+    pub fn predict_phases_for_layout(
+        &self,
+        a: &Csr,
+        layout: &Layout,
+        cand: &Candidate,
+        slow: &[f64],
+    ) -> PhasePrediction {
         assert_eq!(slow.len(), layout.ndev());
         let s1 = shapes(a, layout, 1);
         let mpkc = cand.uses_mpk().then(|| shapes(a, layout, cand.s));
@@ -591,21 +697,28 @@ impl<'a> Planner<'a> {
 
     // ---------- the flattened-clock walker ----------
 
-    /// Walk every charge of one CA restart cycle and return its span.
+    /// Walk every charge of one CA restart cycle and return its span,
+    /// split by solver phase. `attr` snapshots the walk frontier between
+    /// segments; deltas partition the cycle exactly, so the phase parts
+    /// plus the unattributed seed/bookkeeping slack sum to `cycle_s`.
     fn predict_on(
         &self,
         s1: &[DevShapes],
         mpkc: Option<&[DevShapes]>,
         cand: &Candidate,
         slow: &[f64],
-    ) -> f64 {
+    ) -> PhasePrediction {
         let mut w = Walk::new(&self.model, s1.len(), slow);
         let m = self.m;
         let s = cand.s;
+        let mut ph = PhasePrediction::default();
+        let mut mark = 0.0_f64;
 
-        // seed_basis: broadcast beta, copy + scale the residual column
+        // seed_basis: broadcast beta, copy + scale the residual column —
+        // before the solver opens its first phase span (unattributed)
         w.broadcast(8);
         w.each(s1, |_, sh| self.model.blas1_time(2 * sh.nl) + self.model.blas1_time(2 * sh.nl));
+        attr(&w, &mut mark);
 
         // basis blocks
         let mut ncols = 1usize;
@@ -619,8 +732,9 @@ impl<'a> Planner<'a> {
                 self.walk_spmv_block(&mut w, s1, s_blk, cand.basis);
             }
             w.sync();
+            ph.spmv_s += attr(&w, &mut mark);
             let (c0, k) = if first_block { (0, s_blk + 1) } else { (ncols, s_blk) };
-            self.walk_orth_block(&mut w, s1, c0, k, cand);
+            self.walk_orth_block(&mut w, &mut ph, &mut mark, s1, c0, k, cand);
             // Hessenberg reconstruction + least squares on the host
             w.sync();
             w.host_compute(
@@ -628,6 +742,7 @@ impl<'a> Planner<'a> {
                 (16 * (ncols + s_blk) * s_blk) as f64,
             );
             w.sync();
+            ph.small_s += attr(&w, &mut mark);
             ncols += s_blk;
             first_block = false;
         }
@@ -640,13 +755,18 @@ impl<'a> Planner<'a> {
             self.model.gemv_t_time(ca_gpusim::GemvVariant::MagmaTallSkinny, sh.nl, m)
         });
         w.sync();
+        ph.small_s += attr(&w, &mut mark);
         self.walk_dist_spmv(&mut w, s1);
+        ph.spmv_s += attr(&w, &mut mark);
         w.each(s1, |_, sh| self.model.blas1_time(2 * sh.nl) + self.model.blas1_time(3 * sh.nl));
         w.each(s1, |_, sh| self.model.blas1_time(2 * sh.nl));
         w.uplink(s1, |_| 8);
         w.host_compute(s1.len() as f64, 0.0);
         w.sync();
-        w.span()
+        attr(&w, &mut mark); // residual-norm bookkeeping: unattributed
+        ph.cycle_s = w.span();
+        ph.comm_s = w.comm;
+        ph
     }
 
     /// BLAS-1 streaming charge at a precision (the executor's
@@ -735,10 +855,14 @@ impl<'a> Planner<'a> {
     }
 
     /// BOrth + TSQR (+ optional "2x" pass) for one block of `k` new
-    /// columns against `c0` existing ones.
+    /// columns against `c0` existing ones, attributing each stage to its
+    /// phase (`borth`, `tsqr`; the pass-2 merge is host dense math).
+    #[allow(clippy::too_many_arguments)]
     fn walk_orth_block(
         &self,
         w: &mut Walk<'_>,
+        ph: &mut PhasePrediction,
+        mark: &mut f64,
         s1: &[DevShapes],
         c0: usize,
         k: usize,
@@ -749,11 +873,14 @@ impl<'a> Planner<'a> {
             w.sync();
             self.walk_borth(w, s1, c0, k, cand.borth);
             w.sync();
+            ph.borth_s += attr(w, mark);
             self.walk_tsqr(w, s1, c0, k, cand.tsqr);
             w.sync();
+            ph.tsqr_s += attr(w, mark);
             if pass == 2 {
                 w.host_compute(2.0 * ((c0 + k) * k * k) as f64, (24 * k * k) as f64);
                 w.sync();
+                ph.small_s += attr(w, mark);
             }
         }
     }
@@ -906,11 +1033,14 @@ struct Walk<'m> {
     dev: Vec<f64>,
     host: f64,
     slow: Vec<f64>,
+    /// Total PCIe link occupancy charged (sum over copies of per-copy
+    /// link seconds) — [`PhasePrediction::comm_s`].
+    comm: f64,
 }
 
 impl<'m> Walk<'m> {
     fn new(model: &'m PerfModel, ndev: usize, slow: &[f64]) -> Self {
-        Self { model, dev: vec![0.0; ndev], host: 0.0, slow: slow.to_vec() }
+        Self { model, dev: vec![0.0; ndev], host: 0.0, slow: slow.to_vec(), comm: 0.0 }
     }
 
     /// Charge a device kernel, scaled by the device's slowdown.
@@ -928,7 +1058,9 @@ impl<'m> Walk<'m> {
         for (d, sh) in shapes.iter().enumerate() {
             let b = bytes(sh);
             if b > 0 {
-                ready = ready.max(self.dev[d] + self.model.pcie_time(b));
+                let t = self.model.pcie_time(b);
+                ready = ready.max(self.dev[d] + t);
+                self.comm += t;
                 msgs += 1;
             }
         }
@@ -942,7 +1074,9 @@ impl<'m> Walk<'m> {
         for (d, sh) in shapes.iter().enumerate() {
             let b = bytes(sh);
             if b > 0 {
-                self.dev[d] = self.dev[d].max(self.host + self.model.pcie_time(b));
+                let t = self.model.pcie_time(b);
+                self.dev[d] = self.dev[d].max(self.host + t);
+                self.comm += t;
                 msgs += 1;
             }
         }
@@ -951,9 +1085,11 @@ impl<'m> Walk<'m> {
 
     fn broadcast(&mut self, b: usize) {
         let msgs = self.dev.len();
+        let t = self.model.pcie_time(b);
         for d in 0..msgs {
-            self.dev[d] = self.dev[d].max(self.host + self.model.pcie_time(b));
+            self.dev[d] = self.dev[d].max(self.host + t);
         }
+        self.comm += msgs as f64 * t;
         self.host += msgs as f64 * self.model.param("host_msg_s").unwrap_or(0.0);
     }
 
@@ -973,6 +1109,16 @@ impl<'m> Walk<'m> {
     fn span(&self) -> f64 {
         self.dev.iter().fold(self.host, |a, &b| a.max(b))
     }
+}
+
+/// Advance the phase mark to the walk's current frontier, returning the
+/// delta. Consecutive calls partition the cycle span exactly (the
+/// frontier is monotone), so phase attributions never overlap.
+fn attr(w: &Walk<'_>, mark: &mut f64) -> f64 {
+    let t = w.span();
+    let d = t - *mark;
+    *mark = t;
+    d
 }
 
 /// Extract the walker's shape summary from a real `MpkPlan` analysis —
@@ -1276,5 +1422,75 @@ mod tests {
         labels.sort();
         labels.dedup();
         assert_eq!(labels.len(), total);
+    }
+
+    #[test]
+    fn phase_prediction_partitions_the_cycle() {
+        let a = laplace2d(24, 24);
+        let p = planner(&a, 20);
+        let cand = Candidate {
+            s: 5,
+            basis: BasisChoice::Newton,
+            tsqr: TsqrKind::CholQr,
+            borth: BorthKind::Cgs,
+            kernel: KernelMode::Mpk,
+            ndev: 3,
+            ordering: Ordering::Natural,
+            reorth: false,
+            prec: Precision::F64,
+        };
+        let ph = p.predict_phases(&cand);
+        // the scalar prediction is the phase prediction's span, exactly
+        assert_eq!(ph.cycle_s.to_bits(), p.predict_cycle(&cand).to_bits());
+        // phases are non-negative and sum to at most the cycle (seed and
+        // residual-norm bookkeeping stay unattributed)
+        for t in [ph.spmv_s, ph.borth_s, ph.tsqr_s, ph.small_s] {
+            assert!(t >= 0.0);
+        }
+        let parts = ph.spmv_s + ph.borth_s + ph.tsqr_s + ph.small_s;
+        assert!(parts <= ph.cycle_s * (1.0 + 1e-12), "{parts} > {}", ph.cycle_s);
+        assert!(parts >= 0.9 * ph.cycle_s, "phases cover most of the cycle");
+        // a 3-device plan moves real bytes
+        assert!(ph.comm_s > 0.0);
+        // shares are a probability-like split
+        let shares = [ph.spmv_share(), ph.borth_share(), ph.tsqr_share(), ph.small_share()];
+        assert!(shares.iter().all(|&s| (0.0..=1.0).contains(&s)));
+        assert_eq!(ph.max_share_deviation(shares[0], shares[1], shares[2], shares[3]), 0.0);
+    }
+
+    #[test]
+    fn degraded_link_shifts_predicted_shares_toward_comm_phases() {
+        let a = laplace2d(24, 24);
+        let cand = Candidate {
+            s: 5,
+            basis: BasisChoice::Newton,
+            tsqr: TsqrKind::CholQr,
+            borth: BorthKind::Cgs,
+            kernel: KernelMode::Mpk,
+            ndev: 3,
+            ordering: Ordering::Natural,
+            reorth: false,
+            prec: Precision::F64,
+        };
+        let clean = planner(&a, 20).predict_phases(&cand);
+        // mirror the executor's link fail-slow: the whole per-copy time
+        // (latency + transfer) scales by the multiplier
+        let mut slow_model = PerfModel::default();
+        let bw = slow_model.param("pcie_bw").unwrap();
+        let lat = slow_model.param("pcie_latency_s").unwrap();
+        assert!(slow_model.set_param("pcie_bw", bw / 8.0));
+        assert!(slow_model.set_param("pcie_latency_s", lat * 8.0));
+        let p = Planner::new(&a, 20, slow_model, KernelConfig::default());
+        let degraded = p.predict_phases(&cand);
+        assert!(degraded.cycle_s > clean.cycle_s);
+        assert!(degraded.comm_s > clean.comm_s);
+        // the phase mix visibly drifts — the signal the retuner keys on
+        let dev = degraded.max_share_deviation(
+            clean.spmv_share(),
+            clean.borth_share(),
+            clean.tsqr_share(),
+            clean.small_share(),
+        );
+        assert!(dev > 0.01, "share deviation {dev} too small to detect");
     }
 }

@@ -15,6 +15,12 @@ use ca_gmres::prelude::*;
 use ca_gpusim::{HealthReport, KernelConfig, PerfModel};
 use ca_sparse::Csr;
 
+/// Link-slowdown hypotheses tried when explaining a phase-share drift
+/// (`1.0` first: the healthy explanation wins ties, keeping the drift
+/// detector inert on a machine that merely mismatches the model by a
+/// scale factor rather than by shape).
+const LINK_LAMBDAS: [f64; 6] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
 /// Re-planner for one fault-tolerant solve.
 ///
 /// Borrows the *prepared* (permuted) matrix the solve runs on — layout
@@ -31,6 +37,21 @@ pub struct Retuner<'a> {
     /// EWMA-slowdown spread below which the machine counts as healthy
     /// and the retuner stays inert.
     pub imbalance_threshold: f64,
+    /// Largest observed-vs-predicted phase-share deviation tolerated
+    /// before the span-ratio drift detector engages (only consulted when
+    /// the kernel EWMA looks healthy — the drift path exists for faults
+    /// the busy-time telemetry cannot see, like a degraded PCIe link).
+    /// Infinite by default, i.e. drift detection is *opt-in*: on a
+    /// healthy machine the walker's predicted shares legitimately miss
+    /// the measurement by a model-accuracy margin, so a finite
+    /// tolerance here is an operator decision (calibrate it from a
+    /// healthy stream's residual deviation), not something an
+    /// armed-but-idle tuner may assume — the bit-invisibility contract
+    /// only holds while this stays infinite or above that margin.
+    pub drift_threshold: f64,
+    /// Most recent phase observation from the driver
+    /// ([`RestartTuner::observe_phases`]); consumed by a drift re-plan.
+    last_phases: Option<PhaseObservation>,
 }
 
 impl<'a> Retuner<'a> {
@@ -51,6 +72,8 @@ impl<'a> Retuner<'a> {
             base,
             s_grid: vec![2, 3, 5, 8, 10, 15, 20],
             imbalance_threshold: 1.05,
+            drift_threshold: f64::INFINITY,
+            last_phases: None,
         }
     }
 
@@ -65,6 +88,112 @@ impl<'a> Retuner<'a> {
         let cand = Candidate { s, ndev: layout.ndev(), ..self.base };
         self.planner.predict_for_layout(a, layout, &cand, slow)
     }
+
+    /// A planner whose links run `lambda` times slower — the model-side
+    /// mirror of the executor's fail-slow link multiplier, which scales
+    /// each copy's whole duration (latency and transfer alike).
+    fn link_scaled_planner(&self, lambda: f64) -> Planner<'a> {
+        let mut model = self.planner.model().clone();
+        for p in ["pcie_bw", "net_bw"] {
+            if let Some(v) = model.param(p) {
+                model.set_param(p, v / lambda);
+            }
+        }
+        for p in ["pcie_latency_s", "net_latency_s"] {
+            if let Some(v) = model.param(p) {
+                model.set_param(p, v * lambda);
+            }
+        }
+        let mut planner =
+            Planner::new(self.planner.matrix(), self.planner.m(), model, self.planner.config());
+        planner.limits = self.planner.limits;
+        planner
+    }
+
+    /// Pruned, sorted step-size grid for a re-plan around `s_cur`.
+    fn s_options(&self, s_cur: usize) -> Vec<usize> {
+        let mut s_opts: Vec<usize> = self
+            .s_grid
+            .iter()
+            .copied()
+            .chain(std::iter::once(s_cur))
+            .filter(|&s| {
+                s >= 1 && s <= self.planner.m() && {
+                    let c = Candidate { s, ..self.base };
+                    self.planner.prune_reason(&c).is_none()
+                }
+            })
+            .collect();
+        s_opts.sort_unstable();
+        s_opts.dedup();
+        s_opts
+    }
+
+    /// Span-ratio drift path, consulted only when the kernel EWMA is
+    /// clean. Finds the link-slowdown hypothesis whose predicted phase
+    /// *shape* best matches the observation; if the healthy hypothesis
+    /// misses the observed shares by more than `drift_threshold` while a
+    /// degraded-link hypothesis explains them, the step-size grid is
+    /// re-scored on the degraded model (larger `s` amortizes the slow
+    /// link over fewer, bigger exchanges) and a strictly better winner
+    /// re-plans. The layout is kept: a slow link is not a row-balance
+    /// problem.
+    fn replan_for_drift(&mut self, s_cur: usize, layout: &Layout) -> Option<RetuneDecision> {
+        let obs = *self.last_phases.as_ref()?;
+        if obs.cycles == 0 || obs.cycle_s <= 0.0 {
+            return None;
+        }
+        let a = self.planner.matrix();
+        let ones = vec![1.0; layout.ndev()];
+        let cand = Candidate { s: s_cur, ndev: layout.ndev(), ..self.base };
+        let deviation = |p: &Planner<'_>| {
+            p.predict_phases_for_layout(a, layout, &cand, &ones).max_share_deviation(
+                obs.spmv_share(),
+                obs.borth_share(),
+                obs.tsqr_share(),
+                obs.small_share(),
+            )
+        };
+        let mut best_lambda = LINK_LAMBDAS[0];
+        let mut best_dev = deviation(&self.planner);
+        let healthy_dev = best_dev;
+        if healthy_dev <= self.drift_threshold {
+            return None; // the healthy model already explains the shape
+        }
+        for &lambda in &LINK_LAMBDAS[1..] {
+            let dev = deviation(&self.link_scaled_planner(lambda));
+            if dev < best_dev {
+                best_dev = dev;
+                best_lambda = lambda;
+            }
+        }
+        if best_lambda <= 1.0 {
+            return None; // drift, but not link-shaped: nothing to re-plan
+        }
+        // Re-score the step grid under the explaining model. Incumbent
+        // first; ties keep it, so a re-plan fires only on a strict win.
+        let degraded = self.link_scaled_planner(best_lambda);
+        let mut best_s = s_cur;
+        let mut best_t = degraded.predict_for_layout(a, layout, &cand, &ones);
+        for s in self.s_options(s_cur) {
+            if s == s_cur {
+                continue;
+            }
+            let c = Candidate { s, ndev: layout.ndev(), ..self.base };
+            let t = degraded.predict_for_layout(a, layout, &c, &ones);
+            if t < best_t {
+                best_t = t;
+                best_s = s;
+            }
+        }
+        if best_s == s_cur {
+            return None;
+        }
+        // consume the observation: the next drift decision must come
+        // from cycles measured under the new plan
+        self.last_phases = None;
+        Some(RetuneDecision { s: best_s, layout: layout.clone() })
+    }
 }
 
 impl RestartTuner for Retuner<'_> {
@@ -76,7 +205,12 @@ impl RestartTuner for Retuner<'_> {
     ) -> Option<RetuneDecision> {
         let all_alive = health.devices.iter().all(|d| d.alive);
         if all_alive && health.imbalance() <= self.imbalance_threshold {
-            return None; // healthy: stay invisible
+            // kernel telemetry is clean — any remaining signal lives in
+            // the phase shape (a degraded link never shows up in the
+            // busy-time EWMA). On a genuinely healthy machine the
+            // observed shares match the prediction and this returns
+            // None, preserving the armed-but-idle bit-identity contract.
+            return self.replan_for_drift(s_cur, layout);
         }
         let weights = health.throughput_weights();
         if weights.iter().all(|&w| w <= 0.0) {
@@ -98,20 +232,7 @@ impl RestartTuner for Retuner<'_> {
         } else {
             vec![layout, &rebalanced]
         };
-        let mut s_opts: Vec<usize> = self
-            .s_grid
-            .iter()
-            .copied()
-            .chain(std::iter::once(s_cur))
-            .filter(|&s| {
-                s >= 1 && s <= self.planner.m() && {
-                    let c = Candidate { s, ..self.base };
-                    self.planner.prune_reason(&c).is_none()
-                }
-            })
-            .collect();
-        s_opts.sort_unstable();
-        s_opts.dedup();
+        let s_opts = self.s_options(s_cur);
 
         // Deterministic argmin; the incumbent (s_cur, current layout) is
         // scored first and ties keep it, so a re-plan only fires when a
@@ -185,6 +306,16 @@ impl RestartTuner for Retuner<'_> {
                     l.cholqr_s_cap_shifted = l.cholqr_s_cap_shifted.min(cap);
                 }
             }
+        }
+    }
+
+    /// Keep the driver's latest phase-time deltas for the drift check.
+    /// Observations covering no finished cycle (a boundary re-entered
+    /// after fault recovery) are discarded rather than stored, so a
+    /// stale window never fuels a re-plan.
+    fn observe_phases(&mut self, obs: &PhaseObservation) {
+        if obs.cycles > 0 && obs.cycle_s > 0.0 {
+            self.last_phases = Some(*obs);
         }
     }
 }
@@ -296,6 +427,78 @@ mod tests {
         r.observe_escalations(&[ev(EscalationRung::BasisSwitch, 4)]);
         assert_eq!(r.planner_mut().limits.s_cap_monomial, 3);
         assert_eq!(r.planner_mut().limits.cholqr_s_cap_monomial, 3);
+    }
+
+    #[test]
+    fn matching_phase_observation_stays_invisible() {
+        // feed back the planner's own predicted shares: no drift, no plan
+        let a = laplace2d(16, 16);
+        let mut r = Retuner::new(&a, 20, PerfModel::default(), KernelConfig::default(), base());
+        r.drift_threshold = 0.05;
+        let layout = Layout::even(a.nrows(), 3);
+        let cand = Candidate { ndev: 3, ..base() };
+        let ph = r.planner_mut().predict_phases(&cand);
+        r.observe_phases(&PhaseObservation {
+            cycles: 1,
+            cycle_s: ph.cycle_s,
+            spmv_s: ph.spmv_s,
+            borth_s: ph.borth_s,
+            tsqr_s: ph.tsqr_s,
+            small_s: ph.small_s,
+        });
+        let h = health(&[1.0, 1.0, 1.0], &[true, true, true]);
+        assert!(r.replan(&h, 5, &layout).is_none());
+    }
+
+    #[test]
+    fn link_degrade_drift_replans_despite_clean_ewma() {
+        // observation synthesized from an 8x-degraded-link model: every
+        // kernel EWMA is 1.0 (a link fault never touches compute), but
+        // the phase shape shifts toward the comm-heavy phases. The drift
+        // detector must catch it and move to a larger s.
+        let a = laplace2d(16, 16);
+        let mut r = Retuner::new(&a, 20, PerfModel::default(), KernelConfig::default(), base());
+        r.drift_threshold = 0.05;
+        let layout = Layout::even(a.nrows(), 3);
+        let cand = Candidate { ndev: 3, ..base() };
+        let degraded = r.link_scaled_planner(8.0).predict_phases(&cand);
+        r.observe_phases(&PhaseObservation {
+            cycles: 1,
+            cycle_s: degraded.cycle_s,
+            spmv_s: degraded.spmv_s,
+            borth_s: degraded.borth_s,
+            tsqr_s: degraded.tsqr_s,
+            small_s: degraded.small_s,
+        });
+        let h = health(&[1.0, 1.0, 1.0], &[true, true, true]);
+        let d = r.replan(&h, 5, &layout).expect("link drift must trigger a re-plan");
+        assert!(d.s > 5, "slow link favors fewer, larger exchanges; got s={}", d.s);
+        assert_eq!(d.layout.starts, layout.starts, "a slow link is not a balance problem");
+        // the observation was consumed: the next boundary stays quiet
+        // until fresh cycles are measured under the new plan
+        assert!(r.replan(&h, d.s, &layout).is_none());
+    }
+
+    #[test]
+    fn drift_detection_is_opt_in() {
+        // same link-shaped observation, but drift_threshold left at its
+        // infinite default: an armed-but-unconfigured tuner must stay
+        // inert (the bit-invisibility contract for healthy machines)
+        let a = laplace2d(16, 16);
+        let mut r = Retuner::new(&a, 20, PerfModel::default(), KernelConfig::default(), base());
+        let layout = Layout::even(a.nrows(), 3);
+        let cand = Candidate { ndev: 3, ..base() };
+        let degraded = r.link_scaled_planner(8.0).predict_phases(&cand);
+        r.observe_phases(&PhaseObservation {
+            cycles: 1,
+            cycle_s: degraded.cycle_s,
+            spmv_s: degraded.spmv_s,
+            borth_s: degraded.borth_s,
+            tsqr_s: degraded.tsqr_s,
+            small_s: degraded.small_s,
+        });
+        let h = health(&[1.0, 1.0, 1.0], &[true, true, true]);
+        assert!(r.replan(&h, 5, &layout).is_none());
     }
 
     #[test]
